@@ -1,0 +1,134 @@
+//! Budget-capping combinator.
+//!
+//! Theorem 2's early-termination clause: if the adversary only ever
+//! corrupts `q < t` nodes, the protocol finishes in
+//! `O(min{q² log n / n, q / log n})` rounds. To measure that (experiment
+//! E6) we wrap a full-strength adversary and refuse to let it corrupt
+//! more than `q` nodes, while the protocol still *believes* (and is
+//! parameterized for) budget `t`.
+
+use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
+use aba_sim::Protocol;
+use rand::RngCore;
+
+/// Caps the corruptions of an inner adversary at `q`.
+///
+/// Sends on behalf of already-corrupted nodes are unaffected; corruption
+/// requests beyond the cap are dropped (and any sends they would have
+/// made from the not-corrupted nodes are filtered out too).
+#[derive(Debug, Clone)]
+pub struct BudgetCapped<A> {
+    inner: A,
+    cap: usize,
+}
+
+impl<A> BudgetCapped<A> {
+    /// Wraps `inner`, allowing it at most `cap` corruptions in total.
+    pub fn new(inner: A, cap: usize) -> Self {
+        BudgetCapped { inner, cap }
+    }
+
+    /// The wrapped adversary.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// The corruption cap `q`.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl<P: Protocol, A: Adversary<P>> Adversary<P> for BudgetCapped<A> {
+    fn act(&mut self, view: &RoundView<'_, P>, rng: &mut dyn RngCore) -> AdversaryAction<P::Msg> {
+        let mut action = self.inner.act(view, rng);
+        let used = view.ledger.used();
+        let allowed = self.cap.saturating_sub(used);
+        if action.corruptions.len() > allowed {
+            action.corruptions.truncate(allowed);
+        }
+        // Filter sends that now target nodes which stayed honest.
+        action.sends.retain(|(id, _)| {
+            view.ledger.is_corrupted(*id) || action.corruptions.contains(id)
+        });
+        action
+    }
+
+    fn name(&self) -> &'static str {
+        "budget-capped"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::AdaptiveCrash;
+    use aba_sim::prelude::*;
+    use rand::RngCore;
+
+    #[derive(Debug, Clone)]
+    struct T;
+    impl Message for T {
+        fn bit_size(&self) -> usize {
+            1
+        }
+    }
+
+    #[derive(Debug)]
+    struct N {
+        halted: bool,
+        deadline: u64,
+    }
+    impl Protocol for N {
+        type Msg = T;
+        fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<T> {
+            Emission::Broadcast(T)
+        }
+        fn receive(&mut self, r: Round, _i: Inbox<'_, T>, _rng: &mut dyn RngCore) {
+            if r.index() + 1 >= self.deadline {
+                self.halted = true;
+            }
+        }
+        fn output(&self) -> Option<bool> {
+            self.halted.then_some(true)
+        }
+        fn halted(&self) -> bool {
+            self.halted
+        }
+    }
+
+    #[test]
+    fn cap_limits_a_greedy_inner_adversary() {
+        let nodes: Vec<N> = (0..10)
+            .map(|_| N {
+                halted: false,
+                deadline: 6,
+            })
+            .collect();
+        // Inner wants 3 crashes per round; budget t=8; cap q=4.
+        let adv = BudgetCapped::new(AdaptiveCrash::steady(3), 4);
+        let report = Simulation::new(SimConfig::new(10, 8), nodes, adv).run();
+        assert_eq!(report.corruptions_used, 4);
+    }
+
+    #[test]
+    fn zero_cap_means_benign() {
+        let nodes: Vec<N> = (0..5)
+            .map(|_| N {
+                halted: false,
+                deadline: 3,
+            })
+            .collect();
+        let adv = BudgetCapped::new(AdaptiveCrash::steady(2), 0);
+        let report = Simulation::new(SimConfig::new(5, 5), nodes, adv).run();
+        assert_eq!(report.corruptions_used, 0);
+        assert!(report.all_halted);
+    }
+
+    #[test]
+    fn accessors_expose_inner_and_cap() {
+        let adv = BudgetCapped::new(AdaptiveCrash::steady(1), 7);
+        assert_eq!(adv.cap(), 7);
+        let _: &AdaptiveCrash = adv.inner();
+    }
+}

@@ -1,0 +1,45 @@
+//! # aba-adversary — generic adversary strategies
+//!
+//! Strategies in this crate work against *any* protocol run on
+//! [`aba_sim`]: they never inspect protocol-specific state, only the
+//! message traffic and corruption bookkeeping the simulator exposes.
+//! Protocol-aware attacks (the interesting ones for the paper's
+//! experiments) live in `aba-attacks`.
+//!
+//! Provided strategies:
+//!
+//! * [`StaticByzantine`] — the classic *static* adversary: picks its `t`
+//!   victims before round 0 and replays/garbles traffic; the baseline the
+//!   paper contrasts the adaptive model against;
+//! * [`AdaptiveCrash`] — adaptively crashes nodes on a schedule; the
+//!   fault model of the Bar-Joseph–Ben-Or lower bound;
+//! * [`RandomReplay`] — corrupted nodes echo a randomly chosen honest
+//!   node's current-round message to each recipient independently (a
+//!   cheap rushing equivocator that is protocol-agnostic);
+//! * [`BudgetCapped`] — wraps any adversary and caps the corruptions it
+//!   may perform at `q ≤ t`, for the paper's early-termination claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget_capped;
+pub mod crash;
+pub mod random_replay;
+pub mod static_byz;
+
+pub use budget_capped::BudgetCapped;
+pub use crash::{AdaptiveCrash, CrashSchedule};
+pub use random_replay::RandomReplay;
+pub use static_byz::{StaticBehavior, StaticByzantine};
+
+/// Re-export of the benign adversary for convenience.
+pub use aba_sim::adversary::Benign;
+
+/// Common imports for writing adversaries.
+pub mod prelude {
+    pub use crate::{
+        AdaptiveCrash, Benign, BudgetCapped, CrashSchedule, RandomReplay, StaticBehavior,
+        StaticByzantine,
+    };
+    pub use aba_sim::adversary::{Adversary, AdversaryAction, CorruptSend, RoundView};
+}

@@ -1,0 +1,220 @@
+//! The static Byzantine adversary.
+//!
+//! The weakest adversary class the paper discusses (Section 1): the `t`
+//! Byzantine nodes are fixed before the protocol starts, oblivious to the
+//! execution. Comparing protocols under this adversary against the
+//! adaptive attacks of `aba-attacks` reproduces the paper's motivation
+//! that adaptivity is what makes the problem hard.
+
+use aba_sim::adversary::{Adversary, AdversaryAction, CorruptSend, RoundView};
+use aba_sim::{NodeId, Protocol, Round};
+use rand::{Rng, RngCore};
+
+/// What the statically corrupted nodes do each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticBehavior {
+    /// Say nothing (equivalent to crashing at round 0).
+    Silence,
+    /// Replay, to every node independently, the current-round message of a
+    /// uniformly random honest node (equivocating noise). Requires the
+    /// rushing view; degrades to silence without it.
+    MirrorRandom,
+}
+
+/// Adversary that corrupts a fixed set of nodes at round 0 and then
+/// follows [`StaticBehavior`] forever.
+#[derive(Debug, Clone)]
+pub struct StaticByzantine {
+    victims: Vec<NodeId>,
+    behavior: StaticBehavior,
+}
+
+impl StaticByzantine {
+    /// Corrupts the `t` lowest-ID nodes.
+    ///
+    /// With ID-range committees this is also the *worst-case* static
+    /// placement for the paper's protocol: it concentrates faults in the
+    /// earliest committees.
+    pub fn first_t(t: usize, behavior: StaticBehavior) -> Self {
+        StaticByzantine {
+            victims: (0..t as u32).map(NodeId::new).collect(),
+            behavior,
+        }
+    }
+
+    /// Corrupts an explicit set of nodes.
+    pub fn of(victims: Vec<NodeId>, behavior: StaticBehavior) -> Self {
+        StaticByzantine { victims, behavior }
+    }
+
+    /// Corrupts `t` nodes spread evenly across the ID space (one per
+    /// stride), the *best-case* static placement for ID-range committees.
+    pub fn spread(n: usize, t: usize, behavior: StaticBehavior) -> Self {
+        let victims = if t == 0 {
+            Vec::new()
+        } else {
+            (0..t).map(|i| NodeId::new((i * n / t) as u32)).collect()
+        };
+        StaticByzantine { victims, behavior }
+    }
+
+    /// The victim set.
+    pub fn victims(&self) -> &[NodeId] {
+        &self.victims
+    }
+}
+
+impl<P: Protocol> Adversary<P> for StaticByzantine {
+    fn act(&mut self, view: &RoundView<'_, P>, rng: &mut dyn RngCore) -> AdversaryAction<P::Msg> {
+        let corruptions = if view.round == Round::ZERO {
+            self.victims.clone()
+        } else {
+            Vec::new()
+        };
+
+        let sends = match self.behavior {
+            StaticBehavior::Silence => Vec::new(),
+            StaticBehavior::MirrorRandom => {
+                let Some(mailbox) = view.outgoing else {
+                    return AdversaryAction {
+                        corruptions,
+                        sends: Vec::new(),
+                    };
+                };
+                // Pool of honest broadcasts to mirror.
+                let honest_senders: Vec<NodeId> = (0..view.n())
+                    .map(|i| NodeId::new(i as u32))
+                    .filter(|id| {
+                        !view.ledger.is_corrupted(*id)
+                            && !self.victims.contains(id)
+                            && !mailbox.is_silent(*id)
+                    })
+                    .collect();
+                if honest_senders.is_empty() {
+                    Vec::new()
+                } else {
+                    self.victims
+                        .iter()
+                        .map(|victim| {
+                            let per_recipient: Vec<(NodeId, P::Msg)> = (0..view.n())
+                                .filter_map(|recv| {
+                                    let recv = NodeId::new(recv as u32);
+                                    let src =
+                                        honest_senders[rng.gen_range(0..honest_senders.len())];
+                                    mailbox.resolve(src, recv).map(|m| (recv, m.clone()))
+                                })
+                                .collect();
+                            (*victim, CorruptSend::PerRecipient(per_recipient))
+                        })
+                        .collect()
+                }
+            }
+        };
+
+        AdversaryAction { corruptions, sends }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.behavior {
+            StaticBehavior::Silence => "static-silent",
+            StaticBehavior::MirrorRandom => "static-mirror",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::prelude::*;
+    use rand::RngCore;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Num(u32);
+    impl Message for Num {
+        fn bit_size(&self) -> usize {
+            32
+        }
+    }
+
+    #[derive(Debug)]
+    struct CountNode {
+        me: u32,
+        rounds: u64,
+        seen_last: usize,
+        halted: bool,
+    }
+    impl Protocol for CountNode {
+        type Msg = Num;
+        fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<Num> {
+            Emission::Broadcast(Num(self.me))
+        }
+        fn receive(&mut self, r: Round, inbox: Inbox<'_, Num>, _rng: &mut dyn RngCore) {
+            self.seen_last = inbox.len();
+            if r.index() + 1 >= self.rounds {
+                self.halted = true;
+            }
+        }
+        fn output(&self) -> Option<bool> {
+            self.halted.then_some(true)
+        }
+        fn halted(&self) -> bool {
+            self.halted
+        }
+    }
+
+    fn nodes(n: usize, rounds: u64) -> Vec<CountNode> {
+        (0..n as u32)
+            .map(|me| CountNode {
+                me,
+                rounds,
+                seen_last: 0,
+                halted: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn silent_static_removes_victims_traffic() {
+        let adv = StaticByzantine::first_t(2, StaticBehavior::Silence);
+        let report = Simulation::new(SimConfig::new(5, 2), nodes(5, 1), adv).run();
+        assert_eq!(report.corruptions_used, 2);
+        // Only 3 honest broadcast * 4 receivers = 12 messages.
+        assert_eq!(report.metrics.total_messages, 12);
+        assert!(!report.honest[0] && !report.honest[1] && report.honest[2]);
+    }
+
+    #[test]
+    fn mirror_random_sends_plausible_traffic() {
+        let adv = StaticByzantine::first_t(1, StaticBehavior::MirrorRandom);
+        let report = Simulation::new(SimConfig::new(4, 1), nodes(4, 1), adv).run();
+        // victim mirrors honest messages: 3 honest broadcasts (9) + up to 4
+        // mirrored sends.
+        assert!(report.metrics.total_messages > 9);
+        assert!(report.all_halted);
+    }
+
+    #[test]
+    fn mirror_degrades_to_silence_when_non_rushing() {
+        let adv = StaticByzantine::first_t(1, StaticBehavior::MirrorRandom);
+        let cfg = SimConfig::new(4, 1).with_info_model(InfoModel::NonRushing);
+        let report = Simulation::new(cfg, nodes(4, 1), adv).run();
+        assert_eq!(report.metrics.total_messages, 9);
+    }
+
+    #[test]
+    fn spread_picks_distinct_strided_ids() {
+        let adv = StaticByzantine::spread(12, 3, StaticBehavior::Silence);
+        let idx: Vec<usize> = adv.victims().iter().map(|v| v.index()).collect();
+        assert_eq!(idx, vec![0, 4, 8]);
+        let none = StaticByzantine::spread(12, 0, StaticBehavior::Silence);
+        assert!(none.victims().is_empty());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let a = StaticByzantine::first_t(1, StaticBehavior::Silence);
+        let b = StaticByzantine::first_t(1, StaticBehavior::MirrorRandom);
+        assert_eq!(Adversary::<CountNode>::name(&a), "static-silent");
+        assert_eq!(Adversary::<CountNode>::name(&b), "static-mirror");
+    }
+}

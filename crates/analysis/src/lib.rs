@@ -1,0 +1,30 @@
+//! # aba-analysis — statistics, regression, theory curves, and rendering
+//!
+//! Everything the experiment harness needs to turn raw trial results into
+//! the tables and figures of EXPERIMENTS.md:
+//!
+//! * [`stats`] — summary statistics (mean, variance, quantiles,
+//!   confidence intervals) over trial samples;
+//! * [`regression`] — least-squares log–log slope fitting, used to
+//!   *measure* the round-complexity exponents the paper proves
+//!   (`R ∝ t²` in regime 1, `R ∝ t` for the Chor–Coan baseline);
+//! * [`theory`] — the paper's bound curves (Theorem 2 upper bound, the
+//!   Chor–Coan bound, the Bar-Joseph–Ben-Or lower bound, the regime
+//!   boundary `t = n/log²n`);
+//! * [`table`] — markdown/CSV rendering of result tables and series;
+//! * [`plot`] — ASCII scatter plots so figures render in terminals and
+//!   markdown reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod regression;
+pub mod stats;
+pub mod table;
+pub mod theory;
+
+pub use plot::{render as render_plot, PlotOptions};
+pub use regression::{fit_linear, fit_loglog, fit_power_law, LinearFit};
+pub use stats::Summary;
+pub use table::{Series, Table};

@@ -1,0 +1,211 @@
+//! Minimal ASCII scatter/line plotting for terminal reports.
+//!
+//! Experiment "figures" are series of `(x, y)` points; this module
+//! renders them as a monospace grid so the markdown reports and CLI
+//! output show the *shape* (cliffs, crossovers, slopes) at a glance,
+//! with per-series glyphs and optional log scales.
+
+use crate::table::Series;
+
+/// Plot configuration.
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Grid width in characters (excluding axis labels).
+    pub width: usize,
+    /// Grid height in characters.
+    pub height: usize,
+    /// Log-scale the x axis.
+    pub log_x: bool,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width: 64,
+            height: 20,
+            log_x: false,
+            log_y: false,
+        }
+    }
+}
+
+impl PlotOptions {
+    /// Log–log preset (for power-law figures).
+    pub fn loglog() -> Self {
+        PlotOptions {
+            log_x: true,
+            log_y: true,
+            ..Default::default()
+        }
+    }
+}
+
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+fn transform(v: f64, log: bool) -> Option<f64> {
+    if log {
+        (v > 0.0).then(|| v.ln())
+    } else {
+        Some(v)
+    }
+}
+
+/// Renders the series onto an ASCII grid; returns a multi-line string
+/// including a legend and axis ranges. Series get the glyphs
+/// `* o + x # @ % &` in order; overlapping points show the
+/// latest-drawn series' glyph.
+///
+/// Points that cannot be placed (non-positive on a log axis, NaN) are
+/// skipped. Returns a placeholder string when nothing is plottable.
+pub fn render(series: &[Series], opts: &PlotOptions) -> String {
+    let mut pts: Vec<(usize, f64, f64)> = Vec::new();
+    for (si, s) in series.iter().enumerate() {
+        for (x, y) in &s.points {
+            if let (Some(tx), Some(ty)) = (transform(*x, opts.log_x), transform(*y, opts.log_y)) {
+                if tx.is_finite() && ty.is_finite() {
+                    pts.push((si, tx, ty));
+                }
+            }
+        }
+    }
+    if pts.is_empty() {
+        return "(no plottable points)".to_string();
+    }
+
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, x, y) in &pts {
+        min_x = min_x.min(*x);
+        max_x = max_x.max(*x);
+        min_y = min_y.min(*y);
+        max_y = max_y.max(*y);
+    }
+    // Degenerate ranges become a centered band.
+    if (max_x - min_x).abs() < f64::EPSILON {
+        min_x -= 1.0;
+        max_x += 1.0;
+    }
+    if (max_y - min_y).abs() < f64::EPSILON {
+        min_y -= 1.0;
+        max_y += 1.0;
+    }
+
+    let w = opts.width.max(8);
+    let h = opts.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, x, y) in &pts {
+        let cx = (((x - min_x) / (max_x - min_x)) * (w - 1) as f64).round() as usize;
+        let cy = (((y - min_y) / (max_y - min_y)) * (h - 1) as f64).round() as usize;
+        let row = h - 1 - cy; // y grows upward
+        grid[row][cx] = GLYPHS[si % GLYPHS.len()];
+    }
+
+    let untransform = |v: f64, log: bool| if log { v.exp() } else { v };
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>10.3} ", untransform(max_y, opts.log_y))
+        } else if i == h - 1 {
+            format!("{:>10.3} ", untransform(min_y, opts.log_y))
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(11));
+    out.push('+');
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>12.3}{:>width$.3}\n",
+        untransform(min_x, opts.log_x),
+        untransform(max_x, opts.log_x),
+        width = w
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(f64, f64)]) -> Series {
+        Series::from_points(label, pts.to_vec())
+    }
+
+    #[test]
+    fn renders_points_and_legend() {
+        let s = series("line", &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let out = render(&[s], &PlotOptions::default());
+        assert!(out.contains('*'));
+        assert!(out.contains("line"));
+        assert!(out.lines().count() > 20);
+    }
+
+    #[test]
+    fn two_series_get_distinct_glyphs() {
+        let a = series("up", &[(0.0, 0.0), (1.0, 1.0)]);
+        let b = series("down", &[(0.0, 1.0), (1.0, 0.0)]);
+        let out = render(&[a, b], &PlotOptions::default());
+        assert!(out.contains('*') && out.contains('o'));
+        assert!(out.contains("up") && out.contains("down"));
+    }
+
+    #[test]
+    fn log_axes_skip_nonpositive() {
+        let s = series("pow", &[(0.0, 1.0), (1.0, 10.0), (10.0, 100.0)]);
+        let out = render(&[s], &PlotOptions::loglog());
+        // x=0 is skipped, the rest plot fine.
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn empty_input_is_placeholder() {
+        let s = series("nothing", &[]);
+        assert_eq!(render(&[s], &PlotOptions::default()), "(no plottable points)");
+        let neg = series("neg", &[(-1.0, -1.0)]);
+        assert_eq!(
+            render(&[neg], &PlotOptions::loglog()),
+            "(no plottable points)"
+        );
+    }
+
+    #[test]
+    fn degenerate_single_point_renders() {
+        let s = series("dot", &[(5.0, 5.0)]);
+        let out = render(&[s], &PlotOptions::default());
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn corner_points_are_inside_grid() {
+        // Min/max points map to first/last columns without panicking.
+        let s = series("corners", &[(0.0, 0.0), (100.0, 1000.0)]);
+        let out = render(
+            &[s],
+            &PlotOptions {
+                width: 16,
+                height: 6,
+                ..Default::default()
+            },
+        );
+        // Count grid rows only (the legend line also contains '*').
+        let star_lines: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains('|') && l.contains('*'))
+            .collect();
+        assert_eq!(star_lines.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Least-squares fitting, used to extract complexity exponents from
+//! measured data.
+//!
+//! The paper proves `R(n,t) = O(t² log n / n)` for small `t`: on a
+//! log–log plot of rounds versus `t` at fixed `n`, the measured points
+//! should fall on a line of slope ≈ 2 (and the Chor–Coan baseline on
+//! slope ≈ 1). [`fit_loglog`] measures that slope and the goodness of
+//! fit, giving the experiments a quantitative pass/fail criterion rather
+//! than an eyeballed plot.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear least-squares fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect line).
+    pub r_squared: f64,
+    /// Points used.
+    pub count: usize,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// Returns `None` with fewer than two points or zero x-variance.
+pub fn fit_linear(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0 // constant y is fit perfectly by slope 0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        count: n,
+    })
+}
+
+/// Fits `log y = a + b·log x`; the returned slope `b` is the power-law
+/// exponent of `y ∝ x^b`. Points with non-positive coordinates are
+/// skipped (they have no logarithm).
+pub fn fit_loglog(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    fit_linear(&logged)
+}
+
+/// Convenience: power-law fit returning `(exponent, multiplier)` so that
+/// `y ≈ multiplier · x^exponent`.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    fit_loglog(points).map(|f| (f.slope, f.intercept.exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = fit_linear(&pts).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(f.count, 9);
+    }
+
+    #[test]
+    fn quadratic_power_law_measured() {
+        // y = 5 x^2 exactly.
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| (i as f64, 5.0 * (i as f64).powi(2)))
+            .collect();
+        let (exp, mult) = fit_power_law(&pts).unwrap();
+        assert!((exp - 2.0).abs() < 1e-10, "exponent {exp}");
+        assert!((mult - 5.0).abs() < 1e-9, "multiplier {mult}");
+    }
+
+    #[test]
+    fn noisy_power_law_within_tolerance() {
+        // y = x^1.5 with deterministic ±5% ripple.
+        let pts: Vec<(f64, f64)> = (1..40)
+            .map(|i| {
+                let x = i as f64;
+                let ripple = 1.0 + 0.05 * ((i % 7) as f64 - 3.0) / 3.0;
+                (x, x.powf(1.5) * ripple)
+            })
+            .collect();
+        let f = fit_loglog(&pts).unwrap();
+        assert!((f.slope - 1.5).abs() < 0.05, "slope {}", f.slope);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(fit_linear(&[]).is_none());
+        assert!(fit_linear(&[(1.0, 1.0)]).is_none());
+        assert!(fit_linear(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_points() {
+        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)];
+        let f = fit_loglog(&pts).unwrap();
+        assert_eq!(f.count, 3);
+        assert!((f.slope - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_y_has_r2_one_slope_zero() {
+        let pts = [(1.0, 4.0), (2.0, 4.0), (3.0, 4.0)];
+        let f = fit_linear(&pts).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+}

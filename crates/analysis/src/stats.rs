@@ -1,0 +1,216 @@
+//! Summary statistics over experiment samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of f64 measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for count < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: quantile_sorted(&sorted, 0.5),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+        })
+    }
+
+    /// Computes a summary of integer samples.
+    pub fn of_u64(samples: &[u64]) -> Option<Summary> {
+        let v: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&v)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean (`1.96·σ/√count`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Quantile of a pre-sorted sample via linear interpolation between
+/// closest ranks (type-7 estimator, the numpy/R default).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Proportion of `true` in a boolean sample together with a Wilson 95%
+/// confidence interval — used for agreement/validity success rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Proportion {
+    /// Number of successes.
+    pub successes: usize,
+    /// Number of trials.
+    pub trials: usize,
+    /// Point estimate `successes/trials`.
+    pub estimate: f64,
+    /// Lower end of the Wilson 95% interval.
+    pub wilson_low: f64,
+    /// Upper end of the Wilson 95% interval.
+    pub wilson_high: f64,
+}
+
+impl Proportion {
+    /// Computes the proportion; returns `None` when `trials == 0`.
+    pub fn of(successes: usize, trials: usize) -> Option<Proportion> {
+        if trials == 0 {
+            return None;
+        }
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z = 1.96_f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        Some(Proportion {
+            successes,
+            trials,
+            estimate: p,
+            wilson_low: (center - half).max(0.0),
+            wilson_high: (center + half).min(1.0),
+        })
+    }
+
+    /// Computes the proportion of `true` in a slice.
+    pub fn of_bools(sample: &[bool]) -> Option<Proportion> {
+        Self::of(sample.iter().filter(|b| **b).count(), sample.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn summary_of_u64() {
+        let s = Summary::of_u64(&[2, 4, 6]).unwrap();
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+        assert!((quantile_sorted(&sorted, 0.25) - 2.5).abs() < 1e-12);
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile_sorted(&sorted, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let sorted: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = quantile_sorted(&sorted, i as f64 / 20.0);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let many: Vec<f64> = (0..300).map(|i| (i % 3) as f64 + 1.0).collect();
+        let big = Summary::of(&many).unwrap();
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn proportion_wilson_interval() {
+        let p = Proportion::of(90, 100).unwrap();
+        assert!((p.estimate - 0.9).abs() < 1e-12);
+        assert!(p.wilson_low > 0.8 && p.wilson_low < 0.9);
+        assert!(p.wilson_high > 0.9 && p.wilson_high <= 1.0);
+        assert!(Proportion::of(0, 0).is_none());
+        let all = Proportion::of_bools(&[true, true]).unwrap();
+        assert_eq!(all.estimate, 1.0);
+        assert!(all.wilson_high <= 1.0);
+        let none = Proportion::of_bools(&[false, false, false]).unwrap();
+        assert_eq!(none.estimate, 0.0);
+        assert!(none.wilson_low >= 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Rendering of experiment results as markdown tables, CSV, and aligned
+//! text series — the "rows the paper reports" output format of the
+//! harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Text.
+    Text(String),
+    /// Integer.
+    Int(i64),
+    /// Float, rendered with 3 significant decimals.
+    Float(f64),
+    /// Empty cell.
+    Empty,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(i) => i.to_string(),
+            Cell::Float(x) => {
+                if x.is_nan() {
+                    "—".to_string()
+                } else if x.abs() >= 1000.0 {
+                    format!("{x:.0}")
+                } else {
+                    format!("{x:.3}")
+                }
+            }
+            Cell::Empty => String::new(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+/// A result table with named columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; ragged rows are padded when rendering.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<Cell>) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders as a GitHub-flavored markdown table (with title header).
+    pub fn to_markdown(&self) -> String {
+        let width = self.columns.len();
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let mut cells: Vec<String> = row.iter().map(Cell::render).collect();
+            cells.resize(width, String::new());
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing commas
+    /// or quotes).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let mut cells: Vec<String> = row.iter().map(|c| esc(&c.render())).collect();
+            cells.resize(self.columns.len(), String::new());
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+}
+
+/// A named (x, y) series — one curve of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Creates a series from points.
+    pub fn from_points(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) -> &mut Self {
+        self.points.push((x, y));
+        self
+    }
+}
+
+/// Renders several series that share an x-axis as one markdown table
+/// (x column followed by one column per series; missing x-values are
+/// blank). This is the "figure" format of the experiment reports.
+pub fn series_to_markdown(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN x"));
+    xs.dedup();
+
+    let mut columns: Vec<&str> = vec![x_label];
+    columns.extend(series.iter().map(|s| s.label.as_str()));
+    let mut table = Table::new(title, &columns);
+    for x in xs {
+        let mut row: Vec<Cell> = vec![Cell::Float(x)];
+        for s in series {
+            let y = s
+                .points
+                .iter()
+                .find(|(px, _)| (*px - x).abs() < f64::EPSILON * x.abs().max(1.0))
+                .map(|(_, py)| *py);
+            row.push(y.map(Cell::Float).unwrap_or(Cell::Empty));
+        }
+        table.push_row(row);
+    }
+    table.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_shapes_up() {
+        let mut t = Table::new("Rounds", &["n", "t", "rounds"]);
+        t.push_row(vec![64usize.into(), 8usize.into(), 12.5.into()]);
+        t.push_row(vec![128usize.into(), "16".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Rounds"));
+        assert!(md.contains("| n | t | rounds |"));
+        assert!(md.contains("| 64 | 8 | 12.500 |"));
+        assert!(md.contains("| 128 | 16 |  |"), "ragged row padded: {md}");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn cell_float_formatting() {
+        assert_eq!(Cell::Float(3.14159).render(), "3.142");
+        assert_eq!(Cell::Float(12345.6).render(), "12346");
+        assert_eq!(Cell::Float(f64::NAN).render(), "—");
+        assert_eq!(Cell::Empty.render(), "");
+        assert_eq!(Cell::Int(-3).render(), "-3");
+    }
+
+    #[test]
+    fn series_share_x_axis() {
+        let a = Series::from_points("ours", vec![(1.0, 2.0), (2.0, 8.0)]);
+        let b = Series::from_points("baseline", vec![(1.0, 3.0), (3.0, 27.0)]);
+        let md = series_to_markdown("Fig", "t", &[a, b]);
+        assert!(md.contains("| t | ours | baseline |"));
+        // x=2 has no baseline value; x=3 has no ours value.
+        assert!(md.contains("| 2.000 | 8.000 |  |"));
+        assert!(md.contains("| 3.000 |  | 27.000 |"));
+    }
+
+    #[test]
+    fn series_push_api() {
+        let mut s = Series::new("curve");
+        s.push(1.0, 1.0).push(2.0, 4.0);
+        assert_eq!(s.points.len(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! The paper's analytic bound curves.
+//!
+//! These are *shapes* (asymptotic bounds with the constants set to 1
+//! unless noted); experiments plot them next to measured data to check
+//! slopes, crossover locations, and ordering — never absolute values.
+//! All logarithms are base 2, matching the bit-oriented convention used
+//! across the workspace (the paper's asymptotics are base-agnostic).
+
+/// Base-2 logarithm of `n` as used throughout (`n ≥ 2` expected; values
+/// below 2 are clamped so the curves stay finite).
+pub fn log2n(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Theorem 2 upper bound shape: `min{t²·log n / n, t / log n}` rounds.
+pub fn paper_bound(n: usize, t: usize) -> f64 {
+    if t == 0 {
+        return 1.0;
+    }
+    let l = log2n(n);
+    let t = t as f64;
+    let n = n as f64;
+    (t * t * l / n).min(t / l).max(1.0)
+}
+
+/// The regime-1 branch `t²·log n / n` alone.
+pub fn paper_bound_regime1(n: usize, t: usize) -> f64 {
+    let l = log2n(n);
+    ((t * t) as f64 * l / n as f64).max(1.0)
+}
+
+/// Chor–Coan (1985) bound shape: `t / log n` expected rounds.
+pub fn chor_coan_bound(n: usize, t: usize) -> f64 {
+    (t as f64 / log2n(n)).max(1.0)
+}
+
+/// Bar-Joseph–Ben-Or lower bound shape: `t / √(n·log n)` rounds
+/// (Theorem 1). Any correct protocol sits above this curve.
+pub fn bjb_lower_bound(n: usize, t: usize) -> f64 {
+    (t as f64 / (n as f64 * log2n(n)).sqrt()).max(1.0)
+}
+
+/// Deterministic lower bound: `t + 1` rounds (Fischer–Lynch).
+pub fn deterministic_bound(t: usize) -> f64 {
+    (t + 1) as f64
+}
+
+/// The regime boundary `t* = n / log²n`: below it the paper's bound
+/// strictly beats Chor–Coan; above it they match asymptotically
+/// (Section 1.2).
+pub fn regime_boundary(n: usize) -> f64 {
+    n as f64 / log2n(n).powi(2)
+}
+
+/// Number of committees `c = min{α·⌈t²/n⌉·log n, 3α·t/log n}`
+/// (Algorithm 3 line 2), clamped to `[1, n]` so the partition is always
+/// well formed (the paper implicitly assumes parameters where this
+/// holds).
+pub fn committee_count(n: usize, t: usize, alpha: f64) -> usize {
+    assert!(n > 0);
+    assert!(alpha > 0.0, "alpha must be positive");
+    if t == 0 {
+        return 1;
+    }
+    let l = log2n(n);
+    let branch1 = alpha * ((t * t).div_ceil(n)) as f64 * l;
+    let branch2 = 3.0 * alpha * t as f64 / l;
+    let c = branch1.min(branch2).ceil() as usize;
+    c.clamp(1, n)
+}
+
+/// Committee size `s = n/c` implied by [`committee_count`] (rounded up,
+/// matching `CommitteePlan`).
+pub fn committee_size(n: usize, t: usize, alpha: f64) -> usize {
+    n.div_ceil(committee_count(n, t, alpha))
+}
+
+/// Maximum number of phases a rushing adversary can deny by the paper's
+/// counting argument: it takes `≥ √s/2` corruptions per denied committee
+/// (Lemma 5's contrapositive), so at most `2t/√s` phases die.
+pub fn max_denied_phases(n: usize, t: usize, alpha: f64) -> f64 {
+    let s = committee_size(n, t, alpha) as f64;
+    2.0 * t as f64 / s.sqrt()
+}
+
+/// Theorem 2 early-termination bound: `min{q²·log n/n, q/log n}` rounds
+/// when only `q < t` nodes are ever corrupted.
+pub fn early_termination_bound(n: usize, q: usize) -> f64 {
+    paper_bound(n, q)
+}
+
+/// Message-complexity shape `min{n·t²·log n, n²·t/log n}` (Section 1.2).
+pub fn paper_message_bound(n: usize, t: usize) -> f64 {
+    let l = log2n(n);
+    let (n, t) = (n as f64, t as f64);
+    (n * t * t * l).min(n * n * t / l).max(n * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_beats_chor_coan_below_boundary() {
+        // Strict improvement needs t in the window where branch 1 of the
+        // min is both above the 1-round floor and below branch 2:
+        // sqrt(n/log n) < t < n/log²n.
+        let n = 1 << 16;
+        for t in [80usize, 128, 200] {
+            assert!((t as f64) < regime_boundary(n));
+            assert!(
+                paper_bound(n, t) < chor_coan_bound(n, t),
+                "t={t} should favor the paper bound"
+            );
+        }
+        // Below the window both bounds clamp to the 1-round floor.
+        assert_eq!(paper_bound(n, 4), 1.0);
+    }
+
+    #[test]
+    fn bounds_match_above_boundary() {
+        let n = 1 << 16;
+        let t = n / 3 - 1;
+        // Above the boundary the min picks the t/log n branch.
+        assert_eq!(paper_bound(n, t), chor_coan_bound(n, t));
+    }
+
+    #[test]
+    fn paper_example_point() {
+        // §1.2: t = n^0.75 gives ~n^0.5·log n vs Chor–Coan ~n^0.75/log n.
+        // With base-2 logs the separation n^0.5·log n < n^0.75/log n needs
+        // n^0.25 > log²n, i.e. asymptotically large n — use n = 2^60
+        // (pure f64 curve evaluation, nothing is simulated).
+        let n: usize = 1 << 60;
+        let t = 1usize << 45; // n^0.75
+        let ours = paper_bound(n, t);
+        let cc = chor_coan_bound(n, t);
+        assert!(ours < cc, "paper bound {ours} must beat CC {cc}");
+        let expected = (n as f64).sqrt() * log2n(n);
+        assert!((ours / expected - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lower_bound_sits_below_everything() {
+        for n in [64usize, 1024, 1 << 16] {
+            for frac in [8usize, 16, 4] {
+                let t = n / frac;
+                assert!(bjb_lower_bound(n, t) <= paper_bound(n, t) + 1e-9);
+                assert!(bjb_lower_bound(n, t) <= chor_coan_bound(n, t) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn near_optimality_at_sqrt_n() {
+        // At t = √n the ratio upper/lower is polylog.
+        let n = 1 << 20;
+        let t = (n as f64).sqrt() as usize;
+        let ratio = paper_bound(n, t) / bjb_lower_bound(n, t);
+        let polylog = log2n(n).powi(2);
+        assert!(
+            ratio <= 2.0 * polylog,
+            "ratio {ratio} should be at most ~log²n = {polylog}"
+        );
+    }
+
+    #[test]
+    fn committee_count_regimes() {
+        let n = 4096;
+        // t=32: branch2 (3t/log n = 8) beats branch1 (⌈t²/n⌉·log n = 12).
+        assert_eq!(committee_count(n, 32, 1.0), 8);
+        // t=64: branch1 (12) beats branch2 (16).
+        assert_eq!(committee_count(n, 64, 1.0), 12);
+        // t=0: single committee.
+        assert_eq!(committee_count(n, 0, 1.0), 1);
+        // Large t: branch 2 (3αt/log n). t=1365: 3·1365/12 ≈ 341 < branch1.
+        let c = committee_count(n, 1365, 1.0);
+        assert_eq!(c, (3.0_f64 * 1365.0 / 12.0).ceil() as usize);
+        // Never exceeds n.
+        assert!(committee_count(16, 5, 50.0) <= 16);
+        // Always at least 1.
+        assert!(committee_count(2, 0, 1.0) >= 1);
+    }
+
+    #[test]
+    fn committee_size_shrinks_with_t() {
+        let n = 4096;
+        let s_small = committee_size(n, 16, 2.0);
+        let s_big = committee_size(n, 512, 2.0);
+        assert!(
+            s_small > s_big,
+            "bigger t ⇒ more committees ⇒ smaller size ({s_small} vs {s_big})"
+        );
+    }
+
+    #[test]
+    fn denied_phase_margin_is_sublinear_in_committees() {
+        // The paper's argument: killable phases << total committees, with
+        // a √log n margin in regime 1.
+        let n = 1 << 14;
+        let alpha = 2.0;
+        for t in [64usize, 128, 256] {
+            let c = committee_count(n, t, alpha) as f64;
+            let denied = max_denied_phases(n, t, alpha);
+            assert!(
+                denied < c,
+                "t={t}: denied {denied} must be < committees {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn message_bound_is_at_least_quadratic() {
+        assert!(paper_message_bound(100, 10) >= 100.0 * 100.0);
+    }
+
+    #[test]
+    fn early_termination_matches_paper_bound_shape() {
+        assert_eq!(early_termination_bound(1024, 9), paper_bound(1024, 9));
+    }
+
+    #[test]
+    fn log2n_clamps_tiny_n() {
+        assert_eq!(log2n(0), 1.0);
+        assert_eq!(log2n(1), 1.0);
+        assert_eq!(log2n(2), 1.0);
+        assert_eq!(log2n(1024), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn committee_count_rejects_bad_alpha() {
+        let _ = committee_count(16, 4, 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Shared round-context extraction for the BA attacks.
+
+use aba_agreement::{BaConfig, BaMsg, BaNodeView, CoinRoundMode};
+use aba_sim::adversary::RoundView;
+use aba_sim::{NodeId, Protocol, RoundMailbox};
+
+/// Everything a BA attack needs to know about the current round, pulled
+/// out of the full-information view.
+pub(crate) struct BaRoundCtx<'a> {
+    pub cfg: &'a BaConfig,
+    /// 1-based phase.
+    pub phase: u64,
+    /// 1-based subround.
+    pub sub: u64,
+    /// Live (non-corrupted, non-halted) honest node IDs.
+    pub live: Vec<NodeId>,
+    /// Currently corrupted node IDs (the adversary's puppets).
+    pub corrupted: Vec<NodeId>,
+    /// The committee designated for this phase.
+    pub committee: usize,
+}
+
+impl<'a> BaRoundCtx<'a> {
+    pub fn capture<P>(view: &'a RoundView<'a, P>) -> BaRoundCtx<'a>
+    where
+        P: Protocol<Msg = BaMsg> + BaNodeView,
+    {
+        let cfg = view.nodes[0].ba_config();
+        let (phase, sub) = cfg.schedule(view.round);
+        let live: Vec<NodeId> = view.live_honest().collect();
+        let corrupted: Vec<NodeId> = view.ledger.corrupted_nodes().collect();
+        BaRoundCtx {
+            cfg,
+            phase,
+            sub,
+            live,
+            corrupted,
+            committee: cfg.committee_for_phase(phase),
+        }
+    }
+
+    /// Whether this subround is the one carrying committee coin flips.
+    pub fn is_coin_subround(&self) -> bool {
+        match self.cfg.coin_round {
+            CoinRoundMode::Piggyback => self.sub == 2,
+            CoinRoundMode::Literal => self.sub == 3,
+        }
+    }
+
+    /// Live honest members of the current committee.
+    pub fn live_members(&self) -> Vec<NodeId> {
+        self.live
+            .iter()
+            .copied()
+            .filter(|id| self.cfg.plan.is_member(*id, self.committee))
+            .collect()
+    }
+
+    /// Corrupted members of the current committee (free coin control).
+    pub fn free_members(&self) -> Vec<NodeId> {
+        self.corrupted
+            .iter()
+            .copied()
+            .filter(|id| self.cfg.plan.is_member(*id, self.committee))
+            .collect()
+    }
+
+    /// Reads the current committee's honest flips from the rushing
+    /// mailbox: returns `(sum, plus_flippers, minus_flippers)`.
+    pub fn committee_flips(
+        &self,
+        mailbox: &RoundMailbox<BaMsg>,
+    ) -> (i64, Vec<NodeId>, Vec<NodeId>) {
+        let mut plus = Vec::new();
+        let mut minus = Vec::new();
+        for m in self.live_members() {
+            if let Some(msg) = mailbox.broadcast_of(m) {
+                if msg.phase() == self.phase {
+                    if let Some(f) = msg.clamped_flip() {
+                        if f > 0 {
+                            plus.push(m);
+                        } else {
+                            minus.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        let sum = plus.len() as i64 - minus.len() as i64;
+        (sum, plus, minus)
+    }
+}
+
+/// Counts live honest nodes holding each value; returns `(h0, h1)`.
+pub(crate) fn val_counts<P>(view: &RoundView<'_, P>, live: &[NodeId]) -> (usize, usize)
+where
+    P: Protocol<Msg = BaMsg> + BaNodeView,
+{
+    let mut h = [0usize; 2];
+    for id in live {
+        h[view.nodes[id.index()].ba_val() as usize] += 1;
+    }
+    (h[0], h[1])
+}
+
+/// Live honest nodes with `decided = true`, and their majority value.
+pub(crate) fn deciders<P>(view: &RoundView<'_, P>, live: &[NodeId]) -> (Vec<NodeId>, Option<bool>)
+where
+    P: Protocol<Msg = BaMsg> + BaNodeView,
+{
+    let d: Vec<NodeId> = live
+        .iter()
+        .copied()
+        .filter(|id| view.nodes[id.index()].ba_decided())
+        .collect();
+    if d.is_empty() {
+        return (d, None);
+    }
+    let ones = d
+        .iter()
+        .filter(|id| view.nodes[id.index()].ba_val())
+        .count();
+    let b = ones * 2 >= d.len();
+    (d, Some(b))
+}

@@ -1,0 +1,567 @@
+//! The combined best-effort adaptive rushing adversary.
+//!
+//! This is the default opponent in the round-complexity experiments. It
+//! layers three moves on top of the coin-splitting of [`crate::SplitVote`]:
+//!
+//! 1. **Round-1 decider creation** ("sliding"): once it controls
+//!    `f ≥ n − t − h_maj` puppets, it pushes a chosen set of `≤ t` honest
+//!    victims over the round-1 `n − t` threshold, creating honest
+//!    `decided` holders of the majority value `b_i` without new
+//!    corruptions.
+//! 2. **Round-2 threshold top-up**: with `d ≥ 1` honest deciders it sends
+//!    `(b_i, True)` to a victim set `W`, pushing them over `t + 1` into
+//!    case 2 — they will hold `b_i` while everyone else falls through to
+//!    the coin.
+//! 3. **Free-kill lottery**: the assigned value `b_i` is fixed in round 1,
+//!    *before* the committee flips exist (the independence at the heart of
+//!    Lemma 5). So with probability 1/2 the natural coin sign already
+//!    opposes `b_i` and the phase dies with **zero** fresh corruptions
+//!    (the adversary's committee puppets just stay silent). Only when the
+//!    coin naturally agrees with `b_i` must it pay the
+//!    `⌈(|S|+1−free)/2⌉` coin-denial price.
+//!
+//! The attack demonstrates empirically that no scheduling of these moves
+//! beats the paper's bound: the measured kill cost per phase stays
+//! `Ω(√s)` on average, exactly what Theorem 2's counting argument
+//! charges. Under a non-rushing view it degrades to blind gambles and
+//! majority corruption, reproducing the weaker Chor–Coan-era adversary.
+
+use crate::ctx::{deciders, val_counts, BaRoundCtx};
+use aba_agreement::{BaMsg, BaNodeView, CoinRoundMode, SubRound};
+use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
+use aba_sim::{Emission, NodeId, Protocol};
+use rand::RngCore;
+
+/// How eagerly the attack spends its corruption budget on coin denials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Pay any affordable denial price.
+    Greedy,
+    /// Skip phases whose denial price exceeds `⌈√s⌉ + 1` (wait for a
+    /// cheaper committee sum instead — pays off when phases are
+    /// plentiful, e.g. the Las Vegas variant).
+    Frugal,
+}
+
+/// See module docs.
+#[derive(Debug, Clone)]
+pub struct AdaptiveFullAttack {
+    policy: BudgetPolicy,
+    /// Victims topped up in round 2 of the current phase (for literal
+    /// coin-round mode, where the coin decision happens a subround
+    /// later).
+    pending_topup: Option<(Vec<NodeId>, bool)>,
+    free_kills: u64,
+    paid_kills: u64,
+    corruptions_spent: usize,
+}
+
+impl AdaptiveFullAttack {
+    /// Creates the attack with the given budget policy.
+    pub fn new(policy: BudgetPolicy) -> Self {
+        AdaptiveFullAttack {
+            policy,
+            pending_topup: None,
+            free_kills: 0,
+            paid_kills: 0,
+            corruptions_spent: 0,
+        }
+    }
+
+    /// Phases denied without fresh corruptions.
+    pub fn free_kills(&self) -> u64 {
+        self.free_kills
+    }
+
+    /// Phases denied by paying the coin-denial price.
+    pub fn paid_kills(&self) -> u64 {
+        self.paid_kills
+    }
+
+    /// Total fresh corruptions spent.
+    pub fn corruptions_spent(&self) -> usize {
+        self.corruptions_spent
+    }
+
+    fn round1_msg(phase: u64, val: bool) -> BaMsg {
+        BaMsg::Phase {
+            phase,
+            sub: SubRound::One,
+            val,
+            decided: false,
+            flip: None,
+        }
+    }
+
+    fn round2_msg(phase: u64, val: bool, decided: bool, flip: Option<i8>) -> BaMsg {
+        BaMsg::Phase {
+            phase,
+            sub: SubRound::Two,
+            val,
+            decided,
+            flip,
+        }
+    }
+
+    /// Round-1 move: create honest deciders when the puppet count allows.
+    fn act_round1<P>(&mut self, view: &RoundView<'_, P>, ctx: &BaRoundCtx<'_>) -> AdversaryAction<BaMsg>
+    where
+        P: Protocol<Msg = BaMsg> + BaNodeView,
+    {
+        self.pending_topup = None;
+        let (h0, h1) = val_counts(view, &ctx.live);
+        let (maj_val, h_maj) = if h1 >= h0 { (true, h1) } else { (false, h0) };
+        let n_t = ctx.cfg.n - ctx.cfg.t;
+        let f = ctx.corrupted.len();
+        if h_maj >= n_t || ctx.cfg.t == 0 {
+            return AdversaryAction::pass(); // phase already lost (Lemma 2)
+        }
+        if f + h_maj < n_t || f == 0 {
+            return AdversaryAction::pass(); // cannot push anyone over n−t
+        }
+        // Push up to t majority-holding-adjacent victims over n−t. Keep at
+        // least one non-victim so the network cannot unify.
+        let quota = ctx.cfg.t.min(ctx.live.len().saturating_sub(1));
+        if quota == 0 {
+            return AdversaryAction::pass();
+        }
+        let victims: Vec<NodeId> = ctx.live.iter().copied().take(quota).collect();
+        let msg = Self::round1_msg(ctx.phase, maj_val);
+        let sends = ctx
+            .corrupted
+            .iter()
+            .map(|puppet| {
+                let per: Vec<(NodeId, BaMsg)> = victims.iter().map(|v| (*v, msg)).collect();
+                (*puppet, Emission::PerRecipient(per))
+            })
+            .collect();
+        AdversaryAction {
+            corruptions: Vec::new(),
+            sends,
+        }
+    }
+
+    /// The flip-denial price cap under the current policy.
+    fn price_cap(&self, view_remaining: usize, committee_size: usize) -> usize {
+        match self.policy {
+            BudgetPolicy::Greedy => view_remaining,
+            BudgetPolicy::Frugal => {
+                view_remaining.min((committee_size as f64).sqrt().ceil() as usize + 1)
+            }
+        }
+    }
+
+    /// Builds sends for: top-up trues to `victims`, coin flips of `sign`
+    /// (or a half/half split when `sign` is `None`) to everyone else.
+    #[allow(clippy::too_many_arguments)]
+    fn compose_round2(
+        ctx: &BaRoundCtx<'_>,
+        puppets: &[NodeId],
+        committee_puppets: &[NodeId],
+        victims: &[NodeId],
+        b_i: bool,
+        receivers: &[NodeId],
+        coin: CoinMove,
+    ) -> Vec<(NodeId, Emission<BaMsg>)> {
+        let half = receivers.len() / 2;
+        puppets
+            .iter()
+            .map(|puppet| {
+                let is_member = committee_puppets.contains(puppet);
+                let mut per: Vec<(NodeId, BaMsg)> = Vec::with_capacity(receivers.len());
+                for (i, r) in receivers.iter().enumerate() {
+                    let is_victim = victims.contains(r);
+                    let flip = if is_member {
+                        match coin {
+                            CoinMove::Silent => None,
+                            CoinMove::Force(sign) => Some(if sign { 1 } else { -1 }),
+                            CoinMove::Split => Some(if i < half { 1 } else { -1 }),
+                        }
+                    } else {
+                        None
+                    };
+                    // Victims get a True top-up; everyone else a
+                    // threshold-neutral message (decided=false).
+                    let msg = Self::round2_msg(ctx.phase, b_i, is_victim, flip);
+                    if is_victim || flip.is_some() {
+                        per.push((*r, msg));
+                    }
+                }
+                (*puppet, Emission::PerRecipient(per))
+            })
+            .collect()
+    }
+
+    /// The coin-denial decision, shared by piggyback round 2 and literal
+    /// round 3.
+    fn deny_coin<P>(
+        &mut self,
+        view: &RoundView<'_, P>,
+        ctx: &BaRoundCtx<'_>,
+        victims: Vec<NodeId>,
+        b_i: Option<bool>,
+    ) -> AdversaryAction<BaMsg>
+    where
+        P: Protocol<Msg = BaMsg> + BaNodeView,
+    {
+        let free = ctx.free_members();
+        let Some(mailbox) = view.outgoing else {
+            // Non-rushing: corrupt a committee majority when affordable,
+            // else rely on the blind top-up gamble (already placed for
+            // piggyback mode by act_round2).
+            let members = ctx.live_members();
+            let total = members.len() + free.len();
+            let need = (total / 2 + 1).saturating_sub(free.len());
+            if need > view.ledger.remaining() || need > members.len() {
+                return AdversaryAction::pass();
+            }
+            let corruptions: Vec<NodeId> = members[..need].to_vec();
+            self.paid_kills += 1;
+            self.corruptions_spent += need;
+            let controlled: Vec<NodeId> = free.iter().chain(corruptions.iter()).copied().collect();
+            let receivers: Vec<NodeId> = ctx
+                .live
+                .iter()
+                .copied()
+                .filter(|id| !corruptions.contains(id))
+                .collect();
+            let sends = Self::compose_round2(
+                ctx,
+                &controlled,
+                &controlled,
+                &victims,
+                b_i.unwrap_or(false),
+                &receivers,
+                CoinMove::Split,
+            );
+            return AdversaryAction { corruptions, sends };
+        };
+
+        let (sum, plus, minus) = ctx.committee_flips(mailbox);
+        let sigma_bit = sum >= 0;
+
+        // Free kill: the natural coin already opposes b_i and the top-up
+        // keeps a split alive — puppets stay silent on the coin.
+        if let Some(b) = b_i {
+            if sigma_bit != b && !victims.is_empty() {
+                self.free_kills += 1;
+                let puppets = &ctx.corrupted;
+                if puppets.is_empty() {
+                    return AdversaryAction::pass();
+                }
+                let receivers: Vec<NodeId> = ctx.live.clone();
+                let sends = Self::compose_round2(
+                    ctx,
+                    puppets,
+                    &[],
+                    &victims,
+                    b,
+                    &receivers,
+                    CoinMove::Silent,
+                );
+                return AdversaryAction {
+                    corruptions: Vec::new(),
+                    sends,
+                };
+            }
+        }
+
+        // Pay: corrupt majority-side flippers.
+        let need = aba_coin::analysis::corruptions_to_deny(sum, free.len() as u64) as usize;
+        let majority = if sum >= 0 { &plus } else { &minus };
+        let cap = self.price_cap(view.ledger.remaining(), ctx.cfg.plan.committee_size());
+        if need > cap || need > majority.len() {
+            return AdversaryAction::pass();
+        }
+        let corruptions: Vec<NodeId> = majority[..need].to_vec();
+        self.paid_kills += 1;
+        self.corruptions_spent += need;
+        let controlled_members: Vec<NodeId> =
+            free.iter().chain(corruptions.iter()).copied().collect();
+        let receivers: Vec<NodeId> = ctx
+            .live
+            .iter()
+            .copied()
+            .filter(|id| !corruptions.contains(id))
+            .collect();
+        // With a top-up in place, force the coin to oppose b_i commonly;
+        // otherwise split the network.
+        let coin = match b_i {
+            Some(b) if !victims.is_empty() => CoinMove::Force(!b),
+            _ => CoinMove::Split,
+        };
+        let sends = Self::compose_round2(
+            ctx,
+            &controlled_members,
+            &controlled_members,
+            &victims,
+            b_i.unwrap_or(false),
+            &receivers,
+            coin,
+        );
+        AdversaryAction { corruptions, sends }
+    }
+
+    /// Round-2 move (piggyback): pick top-up victims and resolve the coin
+    /// in one shot. For literal mode this only places the top-up; the
+    /// coin decision happens in round 3.
+    fn act_round2<P>(&mut self, view: &RoundView<'_, P>, ctx: &BaRoundCtx<'_>) -> AdversaryAction<BaMsg>
+    where
+        P: Protocol<Msg = BaMsg> + BaNodeView,
+    {
+        let (d, b_i) = deciders(view, &ctx.live);
+        let t = ctx.cfg.t;
+        let f = ctx.corrupted.len();
+        if d.len() > t {
+            // Everyone will reach case 2 at least; phase is lost.
+            self.pending_topup = None;
+            return AdversaryAction::pass();
+        }
+        // Top-up is possible when d ≥ 1 and f covers the missing trues.
+        let topup_possible = !d.is_empty() && f >= t + 1 - d.len();
+        let victims: Vec<NodeId> = if topup_possible {
+            ctx.live
+                .iter()
+                .copied()
+                .take(t.min(ctx.live.len().saturating_sub(1)).max(1))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        match ctx.cfg.coin_round {
+            CoinRoundMode::Piggyback => self.deny_coin(view, ctx, victims, b_i),
+            CoinRoundMode::Literal => {
+                // Place the top-up now; remember it for round 3.
+                self.pending_topup = if victims.is_empty() {
+                    None
+                } else {
+                    b_i.map(|b| (victims.clone(), b))
+                };
+                let Some((victims, b)) = &self.pending_topup else {
+                    return AdversaryAction::pass();
+                };
+                if ctx.corrupted.is_empty() {
+                    return AdversaryAction::pass();
+                }
+                let sends = Self::compose_round2(
+                    ctx,
+                    &ctx.corrupted,
+                    &[],
+                    victims,
+                    *b,
+                    &ctx.live,
+                    CoinMove::Silent,
+                );
+                AdversaryAction {
+                    corruptions: Vec::new(),
+                    sends,
+                }
+            }
+        }
+    }
+}
+
+/// What controlled committee members do with their flips.
+#[derive(Debug, Clone, Copy)]
+enum CoinMove {
+    Silent,
+    Force(bool),
+    Split,
+}
+
+impl<P> Adversary<P> for AdaptiveFullAttack
+where
+    P: Protocol<Msg = BaMsg> + BaNodeView,
+{
+    fn act(&mut self, view: &RoundView<'_, P>, _rng: &mut dyn RngCore) -> AdversaryAction<BaMsg> {
+        let ctx = BaRoundCtx::capture(view);
+        if ctx.live.is_empty() {
+            return AdversaryAction::pass();
+        }
+        match ctx.sub {
+            1 => self.act_round1(view, &ctx),
+            2 => self.act_round2(view, &ctx),
+            3 => {
+                let (victims, b_i) = match self.pending_topup.take() {
+                    Some((v, b)) => (v, Some(b)),
+                    None => (Vec::new(), None),
+                };
+                self.deny_coin(view, &ctx, victims, b_i)
+            }
+            _ => AdversaryAction::pass(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-full"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_agreement::{BaConfig, CommitteeBa};
+    use aba_sim::{InfoModel, SimConfig, Simulation, Verdict};
+
+    fn split_inputs(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 2 == 0).collect()
+    }
+
+    fn run_attack(
+        n: usize,
+        t: usize,
+        seed: u64,
+        las_vegas: bool,
+        info: InfoModel,
+    ) -> (aba_sim::RunReport, Verdict) {
+        let cfg = if las_vegas {
+            BaConfig::paper_las_vegas(n, t, 2.0).unwrap()
+        } else {
+            BaConfig::paper(n, t, 2.0).unwrap()
+        };
+        let inputs = split_inputs(n);
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t)
+            .with_seed(seed)
+            .with_max_rounds(8_000)
+            .with_info_model(info);
+        let report =
+            Simulation::new(sim_cfg, nodes, AdaptiveFullAttack::new(BudgetPolicy::Greedy)).run();
+        let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+        (report, verdict)
+    }
+
+    #[test]
+    fn cannot_break_agreement_las_vegas() {
+        for seed in 0..6 {
+            let (report, verdict) = run_attack(32, 10, seed, true, InfoModel::Rushing);
+            assert!(report.all_halted, "seed {seed}: never terminated");
+            assert!(verdict.agreement, "seed {seed}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn attack_is_stronger_than_split_vote() {
+        let mut full_rounds = 0u64;
+        let mut split_rounds = 0u64;
+        for seed in 0..10 {
+            let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
+            let inputs = split_inputs(32);
+            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(8_000);
+            let r1 = Simulation::new(
+                sim_cfg.clone(),
+                CommitteeBa::network(&cfg, &inputs),
+                AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+            )
+            .run();
+            let r2 = Simulation::new(
+                sim_cfg,
+                CommitteeBa::network(&cfg, &inputs),
+                crate::SplitVote::new(),
+            )
+            .run();
+            full_rounds += r1.rounds;
+            split_rounds += r2.rounds;
+        }
+        assert!(
+            full_rounds >= split_rounds,
+            "full attack ({full_rounds}) should be at least as strong as split-vote ({split_rounds})"
+        );
+    }
+
+    #[test]
+    fn validity_is_untouchable() {
+        for seed in 0..4 {
+            let cfg = BaConfig::paper(16, 5, 2.0).unwrap();
+            let inputs = vec![false; 16];
+            let nodes = CommitteeBa::network(&cfg, &inputs);
+            let sim_cfg = SimConfig::new(16, 5).with_seed(seed);
+            let report = Simulation::new(
+                sim_cfg,
+                nodes,
+                AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+            )
+            .run();
+            let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+            assert_eq!(verdict.validity, Some(true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn whp_mode_survives_attack_with_high_probability() {
+        let mut ok = 0;
+        for seed in 0..12 {
+            let (_, verdict) = run_attack(32, 8, seed, false, InfoModel::Rushing);
+            if verdict.agreement {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 10, "agreement in only {ok}/12 runs");
+    }
+
+    #[test]
+    fn non_rushing_variant_is_weaker() {
+        let mut rushing = 0u64;
+        let mut nonrushing = 0u64;
+        for seed in 0..8 {
+            let (r1, _) = run_attack(32, 10, seed, true, InfoModel::Rushing);
+            let (r2, _) = run_attack(32, 10, seed, true, InfoModel::NonRushing);
+            rushing += r1.rounds;
+            nonrushing += r2.rounds;
+        }
+        assert!(
+            rushing >= nonrushing,
+            "rushing ({rushing}) must delay at least as long as non-rushing ({nonrushing})"
+        );
+    }
+
+    #[test]
+    fn frugal_policy_spends_less() {
+        let mut greedy_spend = 0usize;
+        let mut frugal_spend = 0usize;
+        for seed in 0..8 {
+            let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
+            let inputs = split_inputs(32);
+            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(8_000);
+            let g = Simulation::new(
+                sim_cfg.clone(),
+                CommitteeBa::network(&cfg, &inputs),
+                AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+            )
+            .run();
+            let f = Simulation::new(
+                sim_cfg,
+                CommitteeBa::network(&cfg, &inputs),
+                AdaptiveFullAttack::new(BudgetPolicy::Frugal),
+            )
+            .run();
+            greedy_spend += g.corruptions_used;
+            frugal_spend += f.corruptions_used;
+        }
+        assert!(
+            frugal_spend <= greedy_spend,
+            "frugal ({frugal_spend}) must not outspend greedy ({greedy_spend})"
+        );
+    }
+
+    #[test]
+    fn literal_mode_attack_works() {
+        for seed in 0..4 {
+            let cfg = BaConfig::paper_las_vegas(32, 10, 2.0)
+                .unwrap()
+                .with_coin_round(aba_agreement::CoinRoundMode::Literal);
+            let inputs = split_inputs(32);
+            let nodes = CommitteeBa::network(&cfg, &inputs);
+            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(9_000);
+            let report = Simulation::new(
+                sim_cfg,
+                nodes,
+                AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+            )
+            .run();
+            let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+            assert!(report.all_halted && verdict.agreement, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # aba-attacks — protocol-aware adaptive rushing attacks
+//!
+//! The adversaries that make the paper's experiments meaningful. Unlike
+//! the generic strategies in `aba-adversary`, these read the agreement
+//! protocol's full state (via `aba_agreement::BaNodeView` — the
+//! full-information model) and the current round's messages (rushing)
+//! to play the strongest moves the model allows:
+//!
+//! * [`CoinKiller`] — denies the committee coin each phase at minimal
+//!   corruption cost: after seeing the committee's flips it corrupts just
+//!   enough majority-side flippers to equivocate half the network across
+//!   the sign boundary (cost `⌈(|S|+1−free)/2⌉`, the quantity Theorem 2's
+//!   counting argument charges at `√s/2` per phase);
+//! * [`SplitVote`] — round-1 equivocation that keeps honest `val`s split
+//!   and pushes chosen victims over the `n−t` / `t+1` thresholds when
+//!   profitable;
+//! * [`AdaptiveFullAttack`] — the combined best-effort adversary used as
+//!   the default opponent in round-complexity experiments; supports
+//!   budget policies and both info models (it degrades gracefully when
+//!   non-rushing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coin_killer;
+pub(crate) mod ctx;
+pub mod full_attack;
+pub mod sampling_poison;
+pub mod split_vote;
+
+pub use coin_killer::{CoinKiller, NonRushingPolicy};
+pub use full_attack::{AdaptiveFullAttack, BudgetPolicy};
+pub use sampling_poison::SamplingPoison;
+pub use split_vote::SplitVote;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::coin_killer::{CoinKiller, NonRushingPolicy};
+    pub use crate::full_attack::{AdaptiveFullAttack, BudgetPolicy};
+    pub use crate::sampling_poison::SamplingPoison;
+    pub use crate::split_vote::SplitVote;
+}

@@ -1,0 +1,155 @@
+//! Attack on the sampling-majority dynamic (experiment E13).
+//!
+//! Corrupted nodes answer every query with the current honest *minority*
+//! value, maximally slowing (or reversing) convergence. With full
+//! information the adversary also corrupts adaptively: it prefers nodes
+//! that were sampled most often this iteration, so each corruption
+//! poisons as many majority computations as possible.
+
+use aba_agreement::sampling_majority::{SamplingMajorityNode, SmMsg};
+use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
+use aba_sim::{Emission, NodeId};
+use rand::RngCore;
+
+/// See module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SamplingPoison {
+    /// How many fresh corruptions per iteration (budget-capped).
+    per_iteration: usize,
+}
+
+impl SamplingPoison {
+    /// Creates the attack; it corrupts `per_iteration` fresh nodes per
+    /// sampling iteration until the budget is gone.
+    pub fn new(per_iteration: usize) -> Self {
+        SamplingPoison { per_iteration }
+    }
+
+    /// Corrupt everything available immediately.
+    pub fn eager() -> Self {
+        SamplingPoison {
+            per_iteration: usize::MAX,
+        }
+    }
+}
+
+impl Adversary<SamplingMajorityNode> for SamplingPoison {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, SamplingMajorityNode>,
+        _rng: &mut dyn RngCore,
+    ) -> AdversaryAction<SmMsg> {
+        let (iter, sub) = (view.round.index() / 2 + 1, view.round.index() % 2 + 1);
+        if sub != 2 {
+            // Corrupt at query time so the puppets can answer this
+            // iteration's queries.
+            let quota = self
+                .per_iteration
+                .min(view.ledger.remaining());
+            let corruptions: Vec<NodeId> = view.live_honest().take(quota).collect();
+            return AdversaryAction {
+                corruptions,
+                sends: Vec::new(),
+            };
+        }
+
+        // Reply round: every puppet answers *all* nodes with the honest
+        // minority value (unsolicited replies are ignored by honest
+        // receivers unless the sender was sampled — the adversary replies
+        // to everyone because it cannot lose by it).
+        let live: Vec<NodeId> = view.live_honest().collect();
+        if live.is_empty() {
+            return AdversaryAction::pass();
+        }
+        let ones = live
+            .iter()
+            .filter(|id| view.nodes[id.index()].val())
+            .count();
+        let minority = ones * 2 < live.len();
+        let reply = SmMsg::Reply {
+            iter,
+            val: minority,
+        };
+        let sends = view
+            .ledger
+            .corrupted_nodes()
+            .map(|puppet| {
+                (
+                    puppet,
+                    Emission::PerRecipient(live.iter().map(|r| (*r, reply)).collect()),
+                )
+            })
+            .collect();
+        AdversaryAction {
+            corruptions: Vec::new(),
+            sends,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sampling-poison"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::adversary::Benign;
+    use aba_sim::{SimConfig, Simulation};
+
+    fn agreement_fraction(report: &aba_sim::RunReport) -> f64 {
+        let outs: Vec<bool> = report
+            .outputs
+            .iter()
+            .zip(&report.honest)
+            .filter(|(_, h)| **h)
+            .filter_map(|(o, _)| *o)
+            .collect();
+        if outs.is_empty() {
+            return 1.0;
+        }
+        let ones = outs.iter().filter(|b| **b).count();
+        ones.max(outs.len() - ones) as f64 / outs.len() as f64
+    }
+
+    fn run(n: usize, t: usize, seed: u64, poison: bool) -> f64 {
+        let iters = SamplingMajorityNode::recommended_iterations(n);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let nodes = SamplingMajorityNode::network(n, iters, &inputs);
+        let cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(10_000);
+        let report = if poison {
+            Simulation::new(cfg, nodes, SamplingPoison::eager()).run()
+        } else {
+            Simulation::new(cfg, nodes, Benign).run()
+        };
+        agreement_fraction(&report)
+    }
+
+    #[test]
+    fn poison_hurts_convergence_at_large_t() {
+        let n = 64;
+        // At t well above √n the poisoner keeps the network split.
+        let mut attacked = 0.0;
+        let mut clean = 0.0;
+        for seed in 0..8 {
+            attacked += run(n, 20, seed, true);
+            clean += run(n, 0, seed, false);
+        }
+        assert!(
+            clean > attacked,
+            "poison must reduce agreement fraction: clean {clean} vs attacked {attacked}"
+        );
+    }
+
+    #[test]
+    fn small_budgets_cannot_stop_convergence() {
+        let n = 144; // √n = 12
+        let mut good = 0;
+        for seed in 0..6 {
+            if run(n, 3, seed, true) >= 0.9 {
+                good += 1;
+            }
+        }
+        assert!(good >= 4, "convergence survived in only {good}/6 runs");
+    }
+}

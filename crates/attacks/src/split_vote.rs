@@ -1,0 +1,237 @@
+//! The pure coin-splitting adversary.
+//!
+//! Every phase, after seeing the committee's flips (rushing), it corrupts
+//! the minimal number of majority-side flippers needed to equivocate the
+//! tallied sum across the `≥ 0` boundary, sending `+1`s to one half of
+//! the live honest nodes and `−1`s to the other. Honest values therefore
+//! stay split roughly 50/50 and no `n − t` / `t + 1` threshold is ever
+//! reached, so the protocol keeps coining until the attacker's budget
+//! runs out — at a cost of `Θ(√s)` corruptions per denied phase, the
+//! exact quantity Theorem 2's counting argument budgets for.
+//!
+//! Under a non-rushing model it falls back to corrupting a majority of
+//! the committee outright (guaranteed denial at `Θ(s)` cost), matching
+//! what the weaker Chor–Coan adversary must pay.
+
+use crate::ctx::BaRoundCtx;
+use aba_agreement::{BaMsg, BaNodeView, CoinRoundMode, SubRound};
+use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
+use aba_sim::{Emission, NodeId, Protocol};
+use rand::RngCore;
+
+/// See module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SplitVote {
+    phases_denied: u64,
+    corruptions_spent: usize,
+}
+
+impl SplitVote {
+    /// Creates the attack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Phases in which this attack performed a denial.
+    pub fn phases_denied(&self) -> u64 {
+        self.phases_denied
+    }
+
+    /// Total corruptions this attack decided to spend.
+    pub fn corruptions_spent(&self) -> usize {
+        self.corruptions_spent
+    }
+
+    /// The flip-carrying message a controlled committee member sends in
+    /// piggyback mode (threshold-neutral: `decided = false`).
+    fn flip_msg(ctx: &BaRoundCtx<'_>, sign: bool) -> BaMsg {
+        match ctx.cfg.coin_round {
+            CoinRoundMode::Piggyback => BaMsg::Phase {
+                phase: ctx.phase,
+                sub: SubRound::Two,
+                val: false,
+                decided: false,
+                flip: Some(if sign { 1 } else { -1 }),
+            },
+            CoinRoundMode::Literal => BaMsg::Flip {
+                phase: ctx.phase,
+                value: if sign { 1 } else { -1 },
+            },
+        }
+    }
+
+    /// Builds the equivocating sends: every controlled member sends `+1`
+    /// to the first half of `receivers` and `−1` to the rest.
+    fn split_sends(
+        ctx: &BaRoundCtx<'_>,
+        controlled: &[NodeId],
+        receivers: &[NodeId],
+    ) -> Vec<(NodeId, Emission<BaMsg>)> {
+        let half = receivers.len() / 2;
+        controlled
+            .iter()
+            .map(|puppet| {
+                let per: Vec<(NodeId, BaMsg)> = receivers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (*r, Self::flip_msg(ctx, i < half)))
+                    .collect();
+                (*puppet, Emission::PerRecipient(per))
+            })
+            .collect()
+    }
+}
+
+impl<P> Adversary<P> for SplitVote
+where
+    P: Protocol<Msg = BaMsg> + BaNodeView,
+{
+    fn act(&mut self, view: &RoundView<'_, P>, _rng: &mut dyn RngCore) -> AdversaryAction<BaMsg> {
+        let ctx = BaRoundCtx::capture(view);
+        if !ctx.is_coin_subround() || ctx.live.is_empty() {
+            return AdversaryAction::pass();
+        }
+        let free = ctx.free_members();
+
+        match view.outgoing {
+            Some(mailbox) => {
+                let (sum, plus, minus) = ctx.committee_flips(mailbox);
+                let need =
+                    aba_coin::analysis::corruptions_to_deny(sum, free.len() as u64) as usize;
+                let majority = if sum >= 0 { &plus } else { &minus };
+                if need > view.ledger.remaining() || need > majority.len() {
+                    return AdversaryAction::pass();
+                }
+                let corruptions: Vec<NodeId> = majority[..need].to_vec();
+                let controlled: Vec<NodeId> =
+                    free.iter().chain(corruptions.iter()).copied().collect();
+                if controlled.is_empty() {
+                    return AdversaryAction::pass();
+                }
+                self.phases_denied += 1;
+                self.corruptions_spent += need;
+                let receivers: Vec<NodeId> = ctx
+                    .live
+                    .iter()
+                    .copied()
+                    .filter(|id| !corruptions.contains(id))
+                    .collect();
+                AdversaryAction {
+                    sends: Self::split_sends(&ctx, &controlled, &receivers),
+                    corruptions,
+                }
+            }
+            None => {
+                // Non-rushing: guaranteed denial requires controlling a
+                // strict majority of the committee (then |honest sum| <
+                // #controlled, so a blind ± split always crosses zero).
+                let members = ctx.live_members();
+                let total = members.len() + free.len();
+                let need = (total / 2 + 1).saturating_sub(free.len());
+                if need > view.ledger.remaining() || need > members.len() {
+                    return AdversaryAction::pass();
+                }
+                let corruptions: Vec<NodeId> = members[..need].to_vec();
+                let controlled: Vec<NodeId> =
+                    free.iter().chain(corruptions.iter()).copied().collect();
+                if controlled.is_empty() {
+                    return AdversaryAction::pass();
+                }
+                self.phases_denied += 1;
+                self.corruptions_spent += need;
+                let receivers: Vec<NodeId> = ctx
+                    .live
+                    .iter()
+                    .copied()
+                    .filter(|id| !corruptions.contains(id))
+                    .collect();
+                AdversaryAction {
+                    sends: Self::split_sends(&ctx, &controlled, &receivers),
+                    corruptions,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "split-vote"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_agreement::{BaConfig, CommitteeBa};
+    use aba_sim::{SimConfig, Simulation, Verdict};
+
+    fn split_inputs(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn split_vote_delays_but_cannot_break_agreement() {
+        for seed in 0..8 {
+            let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
+            let inputs = split_inputs(32);
+            let nodes = CommitteeBa::network(&cfg, &inputs);
+            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(4_000);
+            let report = Simulation::new(sim_cfg, nodes, SplitVote::new()).run();
+            let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+            assert!(report.all_halted, "seed {seed}: ran out of rounds");
+            assert!(verdict.agreement, "seed {seed}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn split_vote_costs_rounds_compared_to_benign() {
+        let mut attacked = 0u64;
+        let mut benign = 0u64;
+        for seed in 0..10 {
+            let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
+            let inputs = split_inputs(32);
+            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(4_000);
+            let r1 = Simulation::new(
+                sim_cfg.clone(),
+                CommitteeBa::network(&cfg, &inputs),
+                SplitVote::new(),
+            )
+            .run();
+            let r2 = Simulation::new(
+                sim_cfg,
+                CommitteeBa::network(&cfg, &inputs),
+                aba_sim::adversary::Benign,
+            )
+            .run();
+            attacked += r1.rounds;
+            benign += r2.rounds;
+        }
+        assert!(
+            attacked > benign,
+            "attack must cost rounds: attacked {attacked} vs benign {benign}"
+        );
+    }
+
+    #[test]
+    fn split_vote_respects_budget() {
+        let cfg = BaConfig::paper_las_vegas(32, 5, 2.0).unwrap();
+        let inputs = split_inputs(32);
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(32, 5).with_seed(3).with_max_rounds(4_000);
+        let report = Simulation::new(sim_cfg, nodes, SplitVote::new()).run();
+        assert!(report.corruptions_used <= 5);
+        assert!(report.all_halted);
+    }
+
+    #[test]
+    fn validity_survives_split_vote() {
+        // All-same inputs: the adversary can't even delay (Lemma 2).
+        let cfg = BaConfig::paper(16, 5, 2.0).unwrap();
+        let inputs = vec![true; 16];
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(16, 5).with_seed(1);
+        let report = Simulation::new(sim_cfg, nodes, SplitVote::new()).run();
+        let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+        assert_eq!(verdict.validity, Some(true));
+        assert!(report.rounds <= 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Agreement benches (experiment families E1/E3/E5/E8): full protocol
+//! runs per protocol and size, fault-free and under the full attack.
+
+use aba_harness::{run_scenario, AttackSpec, InputSpec, ProtocolSpec, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_protocols_fault_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_fault_free");
+    for proto in [
+        ProtocolSpec::Paper { alpha: 2.0 },
+        ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ProtocolSpec::ChorCoan { beta: 1.0 },
+        ProtocolSpec::RabinDealer,
+        ProtocolSpec::PhaseKing,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(proto.name()),
+            &proto,
+            |b, &proto| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let s = Scenario::new(64, 21)
+                        .with_protocol(proto)
+                        .with_attack(AttackSpec::Benign)
+                        .with_inputs(InputSpec::Split)
+                        .with_seed(seed);
+                    run_scenario(&s).rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_paper_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_rounds_vs_t");
+    for t in [4usize, 16, 42] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let s = Scenario::new(128, t)
+                    .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                    .with_attack(AttackSpec::FullAttack)
+                    .with_seed(seed)
+                    .with_max_rounds(4_000);
+                run_scenario(&s).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_las_vegas_vs_whp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variant");
+    for (label, proto) in [
+        ("whp", ProtocolSpec::Paper { alpha: 2.0 }),
+        ("las_vegas", ProtocolSpec::PaperLasVegas { alpha: 2.0 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &proto, |b, &proto| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let s = Scenario::new(64, 21)
+                    .with_protocol(proto)
+                    .with_attack(AttackSpec::FullAttack)
+                    .with_seed(seed)
+                    .with_max_rounds(4_000);
+                run_scenario(&s).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_protocols_fault_free, bench_paper_scaling, bench_las_vegas_vs_whp
+}
+criterion_main!(benches);

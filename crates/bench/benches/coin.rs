@@ -1,0 +1,60 @@
+//! Coin benches (experiment family E2/E10): one-round common coin with
+//! and without the optimal rushing denial attack.
+
+use aba_attacks::{CoinKiller, NonRushingPolicy};
+use aba_coin::CoinFlipNode;
+use aba_sim::adversary::Benign;
+use aba_sim::{SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_coin_benign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coin_benign");
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = SimConfig::new(n, 0).with_seed(seed);
+                Simulation::new(cfg, CoinFlipNode::network(n), Benign)
+                    .run()
+                    .outputs[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coin_under_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coin_attacked");
+    for n in [64usize, 256, 1024] {
+        let t = ((n as f64).sqrt() / 2.0) as usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = SimConfig::new(n, t).with_seed(seed);
+                Simulation::new(
+                    cfg,
+                    CoinFlipNode::network(n),
+                    CoinKiller::new(NonRushingPolicy::Guaranteed),
+                )
+                .run()
+                .corruptions_used
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_tail_computation(c: &mut Criterion) {
+    c.bench_function("exact_binomial_tail_g65536", |b| {
+        b.iter(|| aba_coin::analysis::prob_abs_sum_greater(65_536, 256))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_coin_benign, bench_coin_under_attack, bench_exact_tail_computation
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Simulator micro-benchmarks: raw engine round throughput — the floor
+//! every experiment's wall-clock stands on.
+
+use aba_sim::adversary::Benign;
+use aba_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::RngCore;
+
+#[derive(Debug, Clone, Copy)]
+struct Beat(#[allow(dead_code)] u8);
+impl Message for Beat {
+    fn bit_size(&self) -> usize {
+        8
+    }
+}
+
+/// A node that broadcasts and counts forever.
+#[derive(Debug)]
+struct Chatter {
+    rounds: u64,
+    seen: usize,
+    halted: bool,
+}
+
+impl Protocol for Chatter {
+    type Msg = Beat;
+    fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<Beat> {
+        Emission::Broadcast(Beat(1))
+    }
+    fn receive(&mut self, r: Round, inbox: Inbox<'_, Beat>, _rng: &mut dyn RngCore) {
+        self.seen += inbox.iter().count();
+        if r.index() + 1 >= self.rounds {
+            self.halted = true;
+        }
+    }
+    fn output(&self) -> Option<bool> {
+        self.halted.then_some(self.seen > 0)
+    }
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    for n in [32usize, 128, 512] {
+        let rounds = 8u64;
+        // Each iteration simulates `rounds` full-broadcast rounds.
+        group.throughput(Throughput::Elements(rounds * (n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let nodes: Vec<Chatter> = (0..n)
+                    .map(|_| Chatter {
+                        rounds,
+                        seen: 0,
+                        halted: false,
+                    })
+                    .collect();
+                let cfg = SimConfig::new(n, 0).with_seed(1);
+                Simulation::new(cfg, nodes, Benign).run().rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mailbox_equivocation(c: &mut Criterion) {
+    c.bench_function("mailbox_per_recipient_resolution", |b| {
+        let n = 256usize;
+        let mut mb: RoundMailbox<Beat> = RoundMailbox::new(n);
+        for i in 0..n {
+            if i % 4 == 0 {
+                let per: Vec<(NodeId, Beat)> = (0..n as u32)
+                    .map(|j| (NodeId::new(j), Beat((j % 2) as u8)))
+                    .collect();
+                mb.set(NodeId::new(i as u32), Emission::PerRecipient(per));
+            } else {
+                mb.set(NodeId::new(i as u32), Emission::Broadcast(Beat(0)));
+            }
+        }
+        b.iter(|| {
+            let mut total = 0usize;
+            for r in 0..n as u32 {
+                total += mb.inbox(NodeId::new(r)).iter().count();
+            }
+            total
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_round_throughput, bench_mailbox_equivocation
+}
+criterion_main!(benches);

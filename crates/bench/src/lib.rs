@@ -1,0 +1,36 @@
+//! # aba-bench — Criterion benchmarks
+//!
+//! One bench target per experiment family (see `benches/`), plus
+//! simulator micro-benchmarks. The benches measure the wall-clock cost of
+//! regenerating (scaled-down versions of) each table/figure so
+//! performance regressions in the simulator or protocols show up in CI.
+//!
+//! This library crate only hosts small shared helpers for the bench
+//! targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aba_harness::{run_scenario, Scenario, TrialResult};
+
+/// Runs a scenario once and returns the result (thin wrapper so bench
+/// targets don't need the harness API surface).
+pub fn run_once(scenario: &Scenario) -> TrialResult {
+    run_scenario(scenario)
+}
+
+/// A tiny standard scenario used by several micro-benchmarks.
+pub fn small_scenario() -> Scenario {
+    Scenario::new(32, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_runs() {
+        let r = run_once(&small_scenario());
+        assert!(r.terminated);
+    }
+}

@@ -1,0 +1,394 @@
+//! Anti-concentration analysis backing Theorem 3.
+//!
+//! The paper's proof shows, for `g ≥ n − √n/2` honest nodes each flipping
+//! ±1 with sum `X`:
+//!
+//! ```text
+//! Pr[X > √n/2] = Pr[X² > θ·E[X²]]            (θ = n/(4g))
+//!             ≥ (1−θ)²·E[X²]²/E[X⁴]          (Paley–Zygmund)
+//!             = (1−θ)²·g²/(3g²−2g) ≥ (1−θ)²/3 ≥ 1/12.
+//! ```
+//!
+//! This module provides that analytic chain plus *exact* binomial tail
+//! probabilities, so the experiments can compare three layers: the
+//! paper's bound (pessimistic), the exact distribution, and the measured
+//! frequency.
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9
+/// coefficients; |error| < 1e-13 on the positive reals we use).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` via `ln_gamma`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Exact `Pr[S > k]` where `S` is the sum of `g` i.i.d. uniform ±1
+/// variables (so `S = 2B − g` with `B ~ Bin(g, 1/2)`).
+///
+/// Works for any integer threshold `k` (negative thresholds give
+/// probabilities above 1/2). Computed by summing `C(g, j)/2^g` in
+/// log-space; accurate to ~1e-12 for `g` up to a few hundred thousand.
+pub fn prob_sum_greater(g: u64, k: i64) -> f64 {
+    if g == 0 {
+        return if k < 0 { 1.0 } else { 0.0 };
+    }
+    // S > k  <=>  2B - g > k  <=>  B > (g + k)/2  <=>  B >= floor((g+k)/2) + 1.
+    let gk = g as i64 + k;
+    let j_min: i64 = if gk < 0 {
+        0
+    } else {
+        gk.div_euclid(2) + 1
+    };
+    if j_min <= 0 {
+        return 1.0;
+    }
+    let j_min = j_min as u64;
+    if j_min > g {
+        return 0.0;
+    }
+    let ln2 = std::f64::consts::LN_2;
+    let mut total = 0.0_f64;
+    // Sum from the largest term down for numerical stability.
+    for j in j_min..=g {
+        let ln_p = ln_choose(g, j) - g as f64 * ln2;
+        total += ln_p.exp();
+    }
+    total.min(1.0)
+}
+
+/// Exact `Pr[|S| > k]` for the same `S` (two-sided anti-concentration).
+/// For `k ≥ 0` this is `2·Pr[S > k]` by symmetry.
+pub fn prob_abs_sum_greater(g: u64, k: u64) -> f64 {
+    (2.0 * prob_sum_greater(g, k as i64)).min(1.0)
+}
+
+/// `E[|S|]` for the sum of `g` i.i.d. ±1 variables: exact formula
+/// `E|S| = g·2^{1−g}·C(g−1, ⌊(g−1)/2⌋)`, asymptotically `√(2g/π)`.
+pub fn expected_abs_sum(g: u64) -> f64 {
+    if g == 0 {
+        return 0.0;
+    }
+    let ln2 = std::f64::consts::LN_2;
+    let ln = (g as f64).ln() + (1.0 - g as f64) * ln2 + ln_choose(g - 1, (g - 1) / 2);
+    ln.exp()
+}
+
+/// The Paley–Zygmund step of Theorem 3: given `g` honest flippers in an
+/// `n`-node network, a lower bound on `Pr[X > √n/2]` (and by symmetry on
+/// `Pr[X < −√n/2]`).
+///
+/// Returns `None` when the bound's precondition `θ = n/(4g) < 1` fails
+/// (i.e. `g ≤ n/4`, where the paper's argument does not apply).
+pub fn paley_zygmund_one_side(n: u64, g: u64) -> Option<f64> {
+    if g == 0 {
+        return None;
+    }
+    let theta = n as f64 / (4.0 * g as f64);
+    if theta >= 1.0 {
+        return None;
+    }
+    let g = g as f64;
+    // (1−θ)² · g² / (3g² − 2g); the paper then relaxes to (1−θ)²/3.
+    Some((1.0 - theta).powi(2) * g * g / (3.0 * g * g - 2.0 * g))
+}
+
+/// Theorem 3's headline constant: with at most `√n/2` Byzantine nodes
+/// (so `g ≥ n − √n/2` honest), each side of the coin lands decisively
+/// with probability at least this value; the paper rounds it to `1/12`.
+pub fn theorem3_bound(n: u64) -> Option<f64> {
+    let byz = ((n as f64).sqrt() / 2.0).floor() as u64;
+    let g = n.saturating_sub(byz);
+    paley_zygmund_one_side(n, g)
+}
+
+/// Normal-approximation tail `Pr[S > k] ≈ 1 − Φ(k/√g)`, for sanity
+/// checks against [`prob_sum_greater`] at large `g`.
+pub fn normal_tail(g: u64, k: f64) -> f64 {
+    if g == 0 {
+        return 0.0;
+    }
+    let z = k / (g as f64).sqrt();
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Abramowitz–Stegun 7.1.26 rational
+/// approximation; |error| ≤ 1.5e-7 — ample for sanity checks).
+fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let val = poly * (-x_abs * x_abs).exp();
+    if sign_negative {
+        2.0 - val
+    } else {
+        val
+    }
+}
+
+/// Exact probability that the one-round coin over `g` flippers
+/// **survives** (stays common against) the optimal rushing denial attack
+/// with corruption budget `t`.
+///
+/// The attack denies iff [`corruptions_to_deny`] is within budget. The
+/// `sum ≥ 0 → 1` tie rule makes the two directions asymmetric: from a
+/// positive sum the adversary must reach `−1` (cost `⌈(S+1)/2⌉`), but
+/// from a negative sum reaching `0` already flips the output (cost
+/// `⌈|S|/2⌉`). The coin therefore survives iff `S ≥ 2t` or `S ≤ −2t−1`:
+///
+/// ```
+/// let p = aba_coin::analysis::prob_coin_survives(64, 2);
+/// assert!((p - 0.6201).abs() < 1e-3);
+/// ```
+pub fn prob_coin_survives(g: u64, t: u64) -> f64 {
+    if t == 0 {
+        return 1.0;
+    }
+    // Pr[S ≥ 2t] + Pr[S ≤ −(2t+1)] = Pr[S > 2t−1] + Pr[S > 2t] (symmetry).
+    (prob_sum_greater(g, 2 * t as i64 - 1) + prob_sum_greater(g, 2 * t as i64)).min(1.0)
+}
+
+/// Minimum *fresh* corruptions a rushing adversary needs to deny a
+/// committee coin, given the honest flip-sum `s` and `free` already-
+/// controlled committee members (see `aba-attacks::coin_killer` for the
+/// attack itself): it must be able to drive the tallied sum across the
+/// 0/−1 boundary for at least one receiver, which takes
+/// `m = ceil((|s̃|+1−free)/2)` corruptions of majority-side flippers,
+/// where `|s̃|` accounts for sums already below the boundary.
+pub fn corruptions_to_deny(honest_sum: i64, free_controlled: u64) -> u64 {
+    // The tally the adversary cannot touch is `honest_sum`; each fresh
+    // corruption of a majority-side flipper moves the reachable window
+    // floor down by 2 (removes +1, can send −1); each free controlled
+    // member moves it by 1 (can send −1 instead of +1... it was never in
+    // the honest sum, so exactly 1).
+    //
+    // Output 1 is taken when sum ≥ 0, output 0 when sum < 0. To deny the
+    // coin the adversary needs both a receiver with sum ≥ 0 and one with
+    // sum ≤ −1 (or to flip everyone across the natural side; same cost).
+    let s = honest_sum;
+    if s >= 0 {
+        // Needs floor reachable ≤ −1: s − 2m − free ≤ −1.
+        let need = s + 1 - free_controlled as i64;
+        if need <= 0 {
+            0
+        } else {
+            (need as u64).div_ceil(2)
+        }
+    } else {
+        // Natural output is 0; needs ceiling reachable ≥ 0: s + 2m + free ≥ 0.
+        let need = -s - free_controlled as i64;
+        if need <= 0 {
+            0
+        } else {
+            (need as u64).div_ceil(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert_close(ln_gamma(1.0), 0.0, 1e-10);
+        assert_close(ln_gamma(5.0), (24.0_f64).ln(), 1e-10);
+        assert_close(ln_gamma(11.0), (3_628_800.0_f64).ln(), 1e-9);
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert_close(ln_choose(5, 2), (10.0_f64).ln(), 1e-10);
+        assert_close(ln_choose(10, 5), (252.0_f64).ln(), 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_close(ln_choose(7, 0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn sum_tail_small_exact() {
+        // g=3: S ∈ {−3,−1,1,3} with probs 1/8, 3/8, 3/8, 1/8.
+        assert_close(prob_sum_greater(3, 0), 0.5, 1e-12);
+        assert_close(prob_sum_greater(3, 1), 0.125, 1e-12);
+        assert_close(prob_sum_greater(3, 2), 0.125, 1e-12);
+        assert_close(prob_sum_greater(3, 3), 0.0, 1e-12);
+        // S is odd for g=3: S > -1 means S ∈ {1,3} (prob 1/2) while
+        // S > -2 means S ∈ {-1,1,3} (prob 7/8).
+        assert_close(prob_sum_greater(3, -1), 0.5, 1e-12);
+        assert_close(prob_sum_greater(3, -2), 0.875, 1e-12);
+        assert_close(prob_sum_greater(3, -4), 1.0, 1e-12);
+        // g=2: S ∈ {−2, 0, 2} with probs 1/4, 1/2, 1/4.
+        assert_close(prob_sum_greater(2, 0), 0.25, 1e-12);
+        assert_close(prob_sum_greater(2, -1), 0.75, 1e-12);
+    }
+
+    #[test]
+    fn sum_tail_degenerate() {
+        assert_eq!(prob_sum_greater(0, 0), 0.0);
+        assert_eq!(prob_sum_greater(0, -1), 1.0);
+        // One flip: Pr[S > 0] = 1/2.
+        assert_close(prob_sum_greater(1, 0), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn abs_tail_is_twice_one_side() {
+        assert_close(prob_abs_sum_greater(3, 0), 1.0, 1e-12);
+        assert_close(prob_abs_sum_greater(3, 2), 0.25, 1e-12);
+        assert_close(prob_abs_sum_greater(4, 0), 0.625, 1e-12); // 1 - Pr[S=0] = 1 - 6/16
+    }
+
+    #[test]
+    fn expected_abs_sum_exact_small() {
+        assert_close(expected_abs_sum(1), 1.0, 1e-10);
+        assert_close(expected_abs_sum(2), 1.0, 1e-10); // |S| ∈ {0,2}: 0.5*0+0.5*2
+        assert_close(expected_abs_sum(3), 1.5, 1e-10); // 3/8*3*... = (3*1/8*2*(3)+...) check: |S|=3 w.p. 2/8, |S|=1 w.p. 6/8 -> 0.75+0.75=1.5
+        assert_close(expected_abs_sum(0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn expected_abs_sum_matches_asymptotic() {
+        let g = 10_000u64;
+        let asym = (2.0 * g as f64 / std::f64::consts::PI).sqrt();
+        let exact = expected_abs_sum(g);
+        assert!((exact - asym).abs() / asym < 0.01, "{exact} vs {asym}");
+    }
+
+    #[test]
+    fn paley_zygmund_matches_paper_constant() {
+        // For g ≥ n/2 (always true when byz ≤ √n/2 and n ≥ 2), the bound
+        // is ≥ 1/12 per the paper.
+        for n in [16u64, 64, 256, 1024, 65_536] {
+            let b = theorem3_bound(n).expect("precondition holds");
+            assert!(b >= 1.0 / 12.0, "n={n}: bound {b} < 1/12");
+            assert!(b < 0.34, "PZ bound can't exceed 1/3 here");
+        }
+    }
+
+    #[test]
+    fn paley_zygmund_precondition() {
+        assert!(paley_zygmund_one_side(100, 25).is_none()); // θ = 1
+        assert!(paley_zygmund_one_side(100, 24).is_none()); // θ > 1
+        assert!(paley_zygmund_one_side(100, 26).is_some());
+        assert!(paley_zygmund_one_side(100, 0).is_none());
+    }
+
+    #[test]
+    fn exact_tail_dominates_pz_bound() {
+        // The PZ bound must lower-bound the exact probability.
+        for n in [64u64, 256, 1024] {
+            let byz = ((n as f64).sqrt() / 2.0).floor() as u64;
+            let g = n - byz;
+            let k = ((n as f64).sqrt() / 2.0) as i64;
+            let exact = prob_sum_greater(g, k);
+            let bound = paley_zygmund_one_side(n, g).unwrap();
+            assert!(
+                exact >= bound,
+                "n={n}: exact {exact} < PZ bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_approx_agrees_with_exact_for_large_g() {
+        let g = 40_000u64;
+        for k in [0i64, 50, 100, 200] {
+            let exact = prob_sum_greater(g, k);
+            let approx = normal_tail(g, k as f64);
+            assert!(
+                (exact - approx).abs() < 0.01,
+                "g={g} k={k}: {exact} vs {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_reference_points() {
+        assert_close(erfc(0.0), 1.0, 1e-7);
+        assert_close(erfc(1.0), 0.157_299_2, 1e-6);
+        assert_close(erfc(-1.0), 2.0 - 0.157_299_2, 1e-6);
+    }
+
+    #[test]
+    fn corruptions_to_deny_basics() {
+        // Sum 0 (natural output 1): one corruption of a +1 flipper gives
+        // reachable floor 0-2 = -2 ≤ -1... but with sum 0 there may be no
+        // +1 flipper only when g=0; formula: need = 1 -> ceil(1/2) = 1.
+        assert_eq!(corruptions_to_deny(0, 0), 1);
+        assert_eq!(corruptions_to_deny(5, 0), 3); // move s+1 = 6, 2 per corruption
+        assert_eq!(corruptions_to_deny(-5, 0), 3); // move |s| = 5 upward, 2 per corruption
+        assert_eq!(corruptions_to_deny(5, 2), 2);
+        assert_eq!(corruptions_to_deny(5, 6), 0);
+        assert_eq!(corruptions_to_deny(-1, 1), 0);
+    }
+
+    #[test]
+    fn deny_cost_grows_linearly_in_sum() {
+        for s in 0..50i64 {
+            let c = corruptions_to_deny(s, 0);
+            assert_eq!(c, ((s + 1) as u64).div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn survival_probability_exact_small() {
+        // g=4, t=1: survive iff S ≥ 2 or S ≤ −3, i.e. S ∈ {2,4} or {−4}.
+        // Pr = (4+1)/16 + 1/16 = 6/16.
+        assert_close(prob_coin_survives(4, 1), 6.0 / 16.0, 1e-12);
+        assert_close(prob_coin_survives(4, 0), 1.0, 1e-12);
+        // Budget covers everything: never survives.
+        assert_close(prob_coin_survives(4, 3), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn survival_matches_denial_condition() {
+        // Cross-check against corruptions_to_deny by enumeration (g=10).
+        let g = 10u64;
+        for t in 1..6u64 {
+            let mut surviving = 0u64;
+            for ones in 0..=g {
+                let s = 2 * ones as i64 - g as i64;
+                if corruptions_to_deny(s, 0) > t {
+                    // weight by C(g, ones)
+                    surviving += (ln_choose(g, ones).exp()).round() as u64;
+                }
+            }
+            let direct = surviving as f64 / 2f64.powi(g as i32);
+            assert_close(prob_coin_survives(g, t), direct, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! ID-range committee partitioning (Section 3.2).
+//!
+//! Algorithm 3 groups the `n` nodes into `c` committees of uniform size
+//! `s = n/c` **by ID**: nodes with IDs in `{1..s}` form the first
+//! committee, `{s+1..2s}` the second, and so on; the last committee may
+//! be short (the paper ignores this; we keep it and treat it as a valid
+//! — just smaller — Algorithm 2 committee).
+
+use aba_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A partition of `0..n` into contiguous ID ranges of size `s` (last one
+/// possibly shorter).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitteePlan {
+    n: usize,
+    size: usize,
+    count: usize,
+}
+
+impl CommitteePlan {
+    /// Builds the plan that splits `n` nodes into (at most) `c`
+    /// committees, i.e. committees of size `s = ceil(n/c)`.
+    ///
+    /// `c` is clamped to `1..=n`, so the plan always has at least one
+    /// committee and committees always have at least one member.
+    pub fn with_committee_count(n: usize, c: usize) -> Self {
+        assert!(n > 0, "empty network");
+        let c = c.clamp(1, n);
+        let size = n.div_ceil(c);
+        let count = n.div_ceil(size);
+        CommitteePlan { n, size, count }
+    }
+
+    /// Builds the plan with committees of a target `size`
+    /// (`s` clamped to `1..=n`); used by the Chor–Coan configuration
+    /// where `s = Θ(log n)` regardless of `t`.
+    pub fn with_committee_size(n: usize, size: usize) -> Self {
+        assert!(n > 0, "empty network");
+        let size = size.clamp(1, n);
+        let count = n.div_ceil(size);
+        CommitteePlan { n, size, count }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nominal committee size `s` (the last committee may be smaller).
+    pub fn committee_size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of (non-empty) committees.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The committee a node belongs to (`0`-based).
+    pub fn committee_of(&self, node: NodeId) -> usize {
+        debug_assert!(node.index() < self.n);
+        node.index() / self.size
+    }
+
+    /// Whether `node` belongs to committee `idx`.
+    pub fn is_member(&self, node: NodeId, idx: usize) -> bool {
+        self.committee_of(node) == idx
+    }
+
+    /// The ID range of committee `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= count()`.
+    pub fn members(&self, idx: usize) -> impl Iterator<Item = NodeId> + Clone {
+        assert!(idx < self.count, "committee {idx} out of range");
+        let lo = idx * self.size;
+        let hi = ((idx + 1) * self.size).min(self.n);
+        (lo..hi).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Size of committee `idx` (equals `committee_size()` except possibly
+    /// for the last).
+    pub fn size_of(&self, idx: usize) -> usize {
+        assert!(idx < self.count, "committee {idx} out of range");
+        let lo = idx * self.size;
+        let hi = ((idx + 1) * self.size).min(self.n);
+        hi - lo
+    }
+
+    /// The committee used in (1-based) phase `p`, wrapping around for the
+    /// Las Vegas variant (Section 3.2: "keep iterating through the
+    /// committees, starting over once the c-th committee is reached").
+    pub fn committee_for_phase(&self, phase_1based: u64) -> usize {
+        debug_assert!(phase_1based >= 1);
+        ((phase_1based - 1) % self.count as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition() {
+        let p = CommitteePlan::with_committee_count(12, 3);
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.committee_size(), 4);
+        assert_eq!(
+            p.members(0).map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            p.members(2).map(|v| v.index()).collect::<Vec<_>>(),
+            vec![8, 9, 10, 11]
+        );
+        assert_eq!(p.size_of(0), 4);
+        assert_eq!(p.size_of(2), 4);
+    }
+
+    #[test]
+    fn ragged_last_committee() {
+        let p = CommitteePlan::with_committee_count(10, 3);
+        assert_eq!(p.committee_size(), 4);
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.size_of(2), 2, "last committee is short");
+        assert_eq!(
+            p.members(2).map(|v| v.index()).collect::<Vec<_>>(),
+            vec![8, 9]
+        );
+    }
+
+    #[test]
+    fn ragged_sizes_never_produce_empty_committee() {
+        // n=10, c=4 -> s=3 -> committees {0..3},{3..6},{6..9},{9..10}.
+        let p = CommitteePlan::with_committee_count(10, 4);
+        assert_eq!(p.count(), 4);
+        for i in 0..p.count() {
+            assert!(p.size_of(i) >= 1);
+        }
+        // n=10, c=6 -> s=2 -> exactly 5 committees, not 6.
+        let p = CommitteePlan::with_committee_count(10, 6);
+        assert_eq!(p.count(), 5);
+        for i in 0..p.count() {
+            assert_eq!(p.size_of(i), 2);
+        }
+    }
+
+    #[test]
+    fn clamping_extremes() {
+        let p = CommitteePlan::with_committee_count(5, 0);
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.committee_size(), 5);
+        let p = CommitteePlan::with_committee_count(5, 100);
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.committee_size(), 1);
+        let p = CommitteePlan::with_committee_size(5, 0);
+        assert_eq!(p.committee_size(), 1);
+        let p = CommitteePlan::with_committee_size(5, 99);
+        assert_eq!(p.committee_size(), 5);
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn membership_is_a_partition() {
+        let p = CommitteePlan::with_committee_count(23, 5);
+        let mut seen = vec![false; 23];
+        for c in 0..p.count() {
+            for m in p.members(c) {
+                assert!(!seen[m.index()], "node {m} in two committees");
+                seen[m.index()] = true;
+                assert_eq!(p.committee_of(m), c);
+                assert!(p.is_member(m, c));
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "every node in some committee");
+    }
+
+    #[test]
+    fn phase_schedule_wraps() {
+        let p = CommitteePlan::with_committee_count(9, 3);
+        assert_eq!(p.committee_for_phase(1), 0);
+        assert_eq!(p.committee_for_phase(3), 2);
+        assert_eq!(p.committee_for_phase(4), 0);
+        assert_eq!(p.committee_for_phase(7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn members_bounds_checked() {
+        let p = CommitteePlan::with_committee_count(4, 2);
+        let _ = p.members(2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Algorithms 1 and 2: the one-round coin-flipping protocols.
+//!
+//! Algorithm 1 (all nodes designated):
+//!
+//! ```text
+//! 1: Xv := Uniform({-1, 1})
+//! 2: Broadcast Xv to all neighbors
+//! 3: if Σ_{u∈N(v)} Xu ≥ 0 then Return 1
+//! 4: else Return 0
+//! ```
+//!
+//! Algorithm 2 is identical except only a designated node set `Vd` flips
+//! and is tallied; all `n` nodes output the sign of the designated sum.
+//! Flips from nodes outside `Vd` are ignored by honest receivers (the
+//! paper: "messages from byzantine nodes not in the committee are ignored
+//! by all honest nodes").
+
+use crate::committee::CommitteePlan;
+use crate::msg::CoinMsg;
+use aba_sim::{Emission, Inbox, NodeId, Protocol, Round};
+use rand::{Rng, RngCore};
+
+/// Which nodes are designated to flip (and be tallied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Designated {
+    /// Algorithm 1: every node flips.
+    All,
+    /// Algorithm 2: only the members of one committee of a plan flip.
+    Committee {
+        /// The committee partition.
+        plan: CommitteePlan,
+        /// Which committee is designated.
+        index: usize,
+    },
+    /// Algorithm 2 with an arbitrary explicit designated set (IDs must be
+    /// sorted; used by tests and by adversarial experiments).
+    Set(Vec<NodeId>),
+}
+
+impl Designated {
+    /// Whether `node` is designated.
+    pub fn contains(&self, node: NodeId) -> bool {
+        match self {
+            Designated::All => true,
+            Designated::Committee { plan, index } => plan.is_member(node, *index),
+            Designated::Set(ids) => ids.binary_search(&node).is_ok(),
+        }
+    }
+
+    /// Number of designated nodes in an `n`-node network.
+    pub fn len(&self, n: usize) -> usize {
+        match self {
+            Designated::All => n,
+            Designated::Committee { plan, index } => plan.size_of(*index),
+            Designated::Set(ids) => ids.len(),
+        }
+    }
+
+    /// True if no node is designated (degenerate; the sum is then 0 and
+    /// everyone outputs 1).
+    pub fn is_empty(&self, n: usize) -> bool {
+        self.len(n) == 0
+    }
+}
+
+/// One node of the single-round coin-flip protocol.
+///
+/// After the round completes, [`Protocol::output`] is `Some(bit)` — the
+/// node's common-coin output.
+#[derive(Debug, Clone)]
+pub struct CoinFlipNode {
+    id: NodeId,
+    n: usize,
+    designated: Designated,
+    /// The node's own flip, if it was designated (exposed for analysis).
+    flip: Option<i8>,
+    /// The tallied sum over designated senders (exposed for analysis).
+    sum: Option<i64>,
+    out: Option<bool>,
+    halted: bool,
+}
+
+impl CoinFlipNode {
+    /// Creates node `id` of `n` running Algorithm 1 or 2 depending on
+    /// `designated`.
+    pub fn new(id: NodeId, n: usize, designated: Designated) -> Self {
+        CoinFlipNode {
+            id,
+            n,
+            designated,
+            flip: None,
+            sum: None,
+            out: None,
+            halted: false,
+        }
+    }
+
+    /// Convenience: a full Algorithm 1 network.
+    pub fn network(n: usize) -> Vec<CoinFlipNode> {
+        (0..n as u32)
+            .map(|i| CoinFlipNode::new(NodeId::new(i), n, Designated::All))
+            .collect()
+    }
+
+    /// Convenience: an Algorithm 2 network where committee `index` of
+    /// `plan` is designated.
+    pub fn network_with_committee(n: usize, plan: &CommitteePlan, index: usize) -> Vec<CoinFlipNode> {
+        (0..n as u32)
+            .map(|i| {
+                CoinFlipNode::new(
+                    NodeId::new(i),
+                    n,
+                    Designated::Committee {
+                        plan: plan.clone(),
+                        index,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// This node's ±1 flip, if it was designated and has flipped.
+    pub fn flip(&self) -> Option<i8> {
+        self.flip
+    }
+
+    /// The designated-sum this node tallied (after the round).
+    pub fn sum(&self) -> Option<i64> {
+        self.sum
+    }
+
+    /// The node ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The designated (flipping) node set this node tallies.
+    pub fn designated(&self) -> &Designated {
+        &self.designated
+    }
+}
+
+impl Protocol for CoinFlipNode {
+    type Msg = CoinMsg;
+
+    fn emit(&mut self, _round: Round, rng: &mut dyn RngCore) -> Emission<CoinMsg> {
+        if self.designated.contains(self.id) {
+            let positive: bool = rng.gen();
+            self.flip = Some(if positive { 1 } else { -1 });
+            Emission::Broadcast(CoinMsg::from_sign(positive))
+        } else {
+            Emission::Silent
+        }
+    }
+
+    fn receive(&mut self, _round: Round, inbox: Inbox<'_, CoinMsg>, _rng: &mut dyn RngCore) {
+        // Tally only designated senders; clamp Byzantine garbage to ±1.
+        let sum: i64 = inbox
+            .iter()
+            .filter(|(sender, _)| self.designated.contains(*sender))
+            .map(|(_, m)| m.clamped())
+            .sum();
+        self.sum = Some(sum);
+        self.out = Some(sum >= 0);
+        self.halted = true;
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.out
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::adversary::Benign;
+    use aba_sim::{SimConfig, Simulation};
+
+    #[test]
+    fn all_honest_coin_is_common() {
+        for seed in 0..20 {
+            let cfg = SimConfig::new(33, 0).with_seed(seed);
+            let report = Simulation::new(cfg, CoinFlipNode::network(33), Benign).run();
+            assert!(report.all_halted);
+            assert_eq!(report.rounds, 1);
+            let first = report.outputs[0];
+            assert!(report.outputs.iter().all(|o| *o == first), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coin_is_not_constant_over_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..50 {
+            let cfg = SimConfig::new(9, 0).with_seed(seed);
+            let report = Simulation::new(cfg, CoinFlipNode::network(9), Benign).run();
+            seen.insert(report.outputs[0].unwrap());
+        }
+        assert_eq!(seen.len(), 2, "both coin values must occur");
+    }
+
+    #[test]
+    fn committee_coin_only_counts_members() {
+        let plan = CommitteePlan::with_committee_count(12, 4); // size-3 committees
+        let cfg = SimConfig::new(12, 0).with_seed(7);
+        let nodes = CoinFlipNode::network_with_committee(12, &plan, 1);
+        let report = Simulation::new(cfg, nodes, Benign).run();
+        assert!(report.all_halted);
+        // Only 3 designated senders broadcast: 3 * 11 = 33 messages.
+        assert_eq!(report.metrics.total_messages, 33);
+        let first = report.outputs[0];
+        assert!(report.outputs.iter().all(|o| *o == first));
+    }
+
+    #[test]
+    fn sum_matches_flips_of_members() {
+        use aba_sim::InfoModel;
+        let plan = CommitteePlan::with_committee_count(8, 2);
+        let nodes = CoinFlipNode::network_with_committee(8, &plan, 0);
+        let cfg = SimConfig::new(8, 0)
+            .with_seed(3)
+            .with_info_model(InfoModel::NonRushing);
+        let mut sim = Simulation::new(cfg, nodes, Benign);
+        sim.step();
+        let flips: i64 = sim.nodes()[0..4]
+            .iter()
+            .map(|nd| nd.flip().expect("designated flipped") as i64)
+            .sum();
+        for nd in sim.nodes() {
+            assert_eq!(nd.sum(), Some(flips));
+            assert_eq!(nd.output(), Some(flips >= 0));
+        }
+        for nd in &sim.nodes()[4..] {
+            assert_eq!(nd.flip(), None, "non-members never flip");
+        }
+    }
+
+    #[test]
+    fn explicit_set_designation() {
+        let set = Designated::Set(vec![NodeId::new(1), NodeId::new(4)]);
+        assert!(set.contains(NodeId::new(1)));
+        assert!(!set.contains(NodeId::new(2)));
+        assert_eq!(set.len(10), 2);
+        assert!(!set.is_empty(10));
+        assert!(Designated::Set(vec![]).is_empty(10));
+        assert_eq!(Designated::All.len(10), 10);
+    }
+
+    #[test]
+    fn ties_resolve_to_one() {
+        // Two designated nodes: if they flip opposite, sum = 0 -> output 1
+        // ("if Σ ≥ 0 then Return 1").
+        let set = Designated::Set(vec![NodeId::new(0), NodeId::new(1)]);
+        for seed in 0..40 {
+            let nodes: Vec<_> = (0..4u32)
+                .map(|i| CoinFlipNode::new(NodeId::new(i), 4, set.clone()))
+                .collect();
+            let cfg = SimConfig::new(4, 0).with_seed(seed);
+            let report = Simulation::new(cfg, nodes, Benign).run();
+            let outs: Vec<bool> = report.outputs.iter().map(|o| o.unwrap()).collect();
+            assert!(outs.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}

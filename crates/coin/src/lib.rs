@@ -1,0 +1,41 @@
+//! # aba-coin — common-coin protocols and their analysis
+//!
+//! Implements Section 3.1 of Dufoulon & Pandurangan (PODC 2025):
+//!
+//! * [`CoinFlipNode`] — **Algorithm 1** (every node flips ±1, broadcasts,
+//!   outputs the sign of the sum) and **Algorithm 2** (only a designated
+//!   committee flips; everyone outputs the sign of the committee sum);
+//!   the two differ only in the designated set, so one node type covers
+//!   both.
+//! * [`CommitteePlan`] — the ID-range committee partition used by
+//!   Algorithm 3 (`nodes with IDs {1..s}` form committee 1, and so on).
+//! * [`analysis`] — the Paley–Zygmund machinery of Theorem 3: the paper's
+//!   analytic lower bound on `Pr[|X| > √n/2]` and exact/approximate
+//!   binomial anti-concentration probabilities to compare measurements
+//!   against.
+//!
+//! A *common coin* (Definition 2) is a protocol where, with probability
+//! at least a constant `δ`, all honest nodes output the same bit, and
+//! conditioned on that the bit is bounded away from both 0 and 1. The
+//! experiments in `aba-harness` estimate both constants empirically under
+//! optimal adaptive rushing attacks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod committee;
+pub mod flip;
+pub mod msg;
+
+pub use committee::CommitteePlan;
+pub use flip::{CoinFlipNode, Designated};
+pub use msg::CoinMsg;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::analysis;
+    pub use crate::committee::CommitteePlan;
+    pub use crate::flip::{CoinFlipNode, Designated};
+    pub use crate::msg::CoinMsg;
+}

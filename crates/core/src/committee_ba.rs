@@ -1,0 +1,529 @@
+//! Algorithm 3 — committee-based Byzantine agreement.
+//!
+//! Each phase has two communication rounds (default piggyback mode):
+//!
+//! * **Round 1** (lines 8–16): broadcast `(i, 1, val, decided)`; if at
+//!   least `n − t` received messages carry an identical value `b`, set
+//!   `val := b`, `decided := true`, else `decided := false`.
+//! * **Round 2** (lines 19–31): broadcast `(i, 2, val, decided)` — with
+//!   committee-`i` members attaching a fresh ±1 flip. Then:
+//!   - **Case 1**: `≥ n − t` messages `(i,2,b,True)` → adopt `b`, set
+//!     `finish`;
+//!   - **Case 2**: `≥ t + 1` such messages → adopt `b`, `decided := true`;
+//!   - **Case 3**: otherwise adopt the committee coin (sign of the sum of
+//!     committee flips, Algorithm 2), `decided := false`.
+//!
+//! # Termination (`finish`) handling
+//!
+//! The paper says a finishing node "terminates after broadcasting its
+//! value one more time in the next phase" (lines 9–10). Read literally,
+//! that farewell appears only in round 1 of phase `i+1`, so a node that
+//! still needs `n − t` round-**2** `True` messages in phase `i+1` could
+//! be stranded if the adversary pushed everyone else to finish in phase
+//! `i` (the proof of Lemma 4 implicitly counts the finishers' farewell
+//! toward the next phase's round-2 tally). We therefore have a finishing
+//! node stand through **both** rounds of phase `i+1` — rebroadcasting
+//! `(val, decided=true)` and then halting — which is the minimal
+//! completion under which Lemma 4's statement ("v terminates in phase
+//! i+1, everyone else by phase i+2") holds verbatim. See DESIGN.md.
+
+use crate::msg::{BaMsg, SubRound};
+use crate::params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
+use crate::view::BaNodeView;
+use aba_sim::{Emission, Inbox, NodeId, Protocol, Round};
+use rand::{Rng, RngCore};
+
+/// One node of the committee-based agreement protocol (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct CommitteeBa {
+    cfg: BaConfig,
+    id: NodeId,
+    input: bool,
+    val: bool,
+    decided: bool,
+    /// Phase at which case 1 fired, if it has.
+    finish_phase: Option<u64>,
+    /// Current phase (updated on emit; 1-based).
+    cur_phase: u64,
+    /// This node's flip for the current phase, if it is a committee
+    /// member and has flipped.
+    flip: Option<i8>,
+    /// Literal coin-round mode: whether case 3 applies and the subround-3
+    /// tally is still needed.
+    need_coin: bool,
+    /// Number of phases in which this node fell through to the coin.
+    coin_phases: u64,
+    out: Option<bool>,
+    halted: bool,
+}
+
+impl CommitteeBa {
+    /// Creates node `id` with the given binary `input`.
+    pub fn new(cfg: BaConfig, id: NodeId, input: bool) -> Self {
+        CommitteeBa {
+            cfg,
+            id,
+            input,
+            val: input,
+            decided: false,
+            finish_phase: None,
+            cur_phase: 1,
+            flip: None,
+            need_coin: false,
+            coin_phases: 0,
+            out: None,
+            halted: false,
+        }
+    }
+
+    /// Builds the whole network from an input assignment.
+    pub fn network(cfg: &BaConfig, inputs: &[bool]) -> Vec<CommitteeBa> {
+        assert_eq!(inputs.len(), cfg.n, "one input per node");
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| CommitteeBa::new(cfg.clone(), NodeId::new(i as u32), *b))
+            .collect()
+    }
+
+    /// The node's input bit.
+    pub fn input(&self) -> bool {
+        self.input
+    }
+
+    /// The node ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// How many phases this node resolved via the fallback coin.
+    pub fn coin_phases(&self) -> u64 {
+        self.coin_phases
+    }
+
+    fn is_flipper(&self, phase: u64) -> bool {
+        matches!(self.cfg.coin, CoinSource::Committee)
+            && self
+                .cfg
+                .plan
+                .is_member(self.id, self.cfg.committee_for_phase(phase))
+    }
+
+    /// Ends the phase: in Whp mode, the schedule runs out after
+    /// `cfg.phases` phases and the node decides its current value
+    /// (Algorithm 3 line 32).
+    fn end_phase(&mut self, phase: u64) {
+        if self.cfg.mode == TerminationMode::Whp && phase >= self.cfg.phases {
+            self.out = Some(self.val);
+            self.halted = true;
+        }
+    }
+
+    /// Applies the case-3 coin for `phase` given the tallied committee
+    /// sum.
+    fn apply_coin(&mut self, phase: u64, committee_sum: i64, rng: &mut dyn RngCore) {
+        self.coin_phases += 1;
+        self.val = match self.cfg.coin {
+            CoinSource::Committee => committee_sum >= 0,
+            CoinSource::Dealer { .. } => self.cfg.dealer_coin(phase).expect("dealer source"),
+            // Ben-Or baseline: a local coin nobody else sees (drawn at
+            // receive time, so even a rushing adversary learns it only
+            // next round).
+            CoinSource::Private => rng.gen::<bool>(),
+        };
+        self.decided = false;
+    }
+
+    fn tally_round1(&mut self, phase: u64, inbox: &Inbox<'_, BaMsg>) {
+        let mut cnt = [0usize; 2];
+        for (_, m) in inbox.iter() {
+            if let BaMsg::Phase {
+                phase: p,
+                sub: SubRound::One,
+                val,
+                ..
+            } = m
+            {
+                if *p == phase {
+                    cnt[*val as usize] += 1;
+                }
+            }
+        }
+        let n_t = self.cfg.n - self.cfg.t;
+        // At most one side can reach n−t (2(n−t) > n for t < n/2).
+        if cnt[1] >= n_t {
+            self.val = true;
+            self.decided = true;
+        } else if cnt[0] >= n_t {
+            self.val = false;
+            self.decided = true;
+        } else {
+            self.decided = false;
+        }
+    }
+
+    fn tally_round2(&mut self, phase: u64, inbox: &Inbox<'_, BaMsg>, rng: &mut dyn RngCore) {
+        let committee = self.cfg.committee_for_phase(phase);
+        let piggyback_coin = matches!(self.cfg.coin, CoinSource::Committee)
+            && self.cfg.coin_round == CoinRoundMode::Piggyback;
+
+        let mut cnt_true = [0usize; 2];
+        let mut sum: i64 = 0;
+        for (sender, m) in inbox.iter() {
+            if let BaMsg::Phase {
+                phase: p,
+                sub: SubRound::Two,
+                val,
+                decided,
+                ..
+            } = m
+            {
+                if *p != phase {
+                    continue;
+                }
+                if *decided {
+                    cnt_true[*val as usize] += 1;
+                }
+                if piggyback_coin && self.cfg.plan.is_member(sender, committee) {
+                    if let Some(f) = m.clamped_flip() {
+                        sum += f;
+                    }
+                }
+            }
+        }
+
+        let n_t = self.cfg.n - self.cfg.t;
+        let t1 = self.cfg.t + 1;
+        // Only one value can clear either threshold against honest
+        // behaviour (Lemma 3); prefer the better-supported side if a
+        // malfunctioning test adversary ever violates that.
+        let better = if cnt_true[1] >= cnt_true[0] { 1 } else { 0 };
+        if cnt_true[better] >= n_t {
+            self.val = better == 1;
+            self.decided = true;
+            self.finish_phase = Some(phase);
+            self.finish_tail(phase);
+        } else if cnt_true[better] >= t1 {
+            self.val = better == 1;
+            self.decided = true;
+            self.finish_tail(phase);
+        } else {
+            match self.cfg.coin_round {
+                CoinRoundMode::Piggyback => {
+                    self.apply_coin(phase, sum, rng);
+                    self.end_phase(phase);
+                }
+                CoinRoundMode::Literal => {
+                    self.need_coin = true;
+                }
+            }
+        }
+    }
+
+    /// Phase bookkeeping shared by cases 1 and 2 after round 2.
+    fn finish_tail(&mut self, phase: u64) {
+        match self.cfg.coin_round {
+            CoinRoundMode::Piggyback => self.end_phase(phase),
+            CoinRoundMode::Literal => {
+                // Wait out the coin round in lockstep (nothing to tally).
+                self.need_coin = false;
+            }
+        }
+    }
+
+    fn tally_round3(&mut self, phase: u64, inbox: &Inbox<'_, BaMsg>, rng: &mut dyn RngCore) {
+        if self.need_coin {
+            let committee = self.cfg.committee_for_phase(phase);
+            let mut sum: i64 = 0;
+            for (sender, m) in inbox.iter() {
+                if let BaMsg::Flip { phase: p, .. } = m {
+                    if *p == phase && self.cfg.plan.is_member(sender, committee) {
+                        if let Some(f) = m.clamped_flip() {
+                            sum += f;
+                        }
+                    }
+                }
+            }
+            self.apply_coin(phase, sum, rng);
+            self.need_coin = false;
+        }
+        self.end_phase(phase);
+    }
+}
+
+impl Protocol for CommitteeBa {
+    type Msg = BaMsg;
+
+    fn emit(&mut self, round: Round, rng: &mut dyn RngCore) -> Emission<BaMsg> {
+        let (phase, sub) = self.cfg.schedule(round);
+        self.cur_phase = phase;
+        let last_sub = self.cfg.rounds_per_phase();
+
+        // Farewell phase: a node that set `finish` in phase fp stands
+        // through both rounds of phase fp+1, then halts.
+        if let Some(fp) = self.finish_phase {
+            if phase > fp {
+                let msg = BaMsg::Phase {
+                    phase,
+                    sub: SubRound::from_index(sub),
+                    val: self.val,
+                    decided: true,
+                    flip: None,
+                };
+                if sub == last_sub {
+                    self.out = Some(self.val);
+                    self.halted = true;
+                }
+                return Emission::Broadcast(msg);
+            }
+        }
+
+        match sub {
+            1 => {
+                self.flip = None;
+                Emission::Broadcast(BaMsg::Phase {
+                    phase,
+                    sub: SubRound::One,
+                    val: self.val,
+                    decided: self.decided,
+                    flip: None,
+                })
+            }
+            2 => {
+                let flip = if self.cfg.coin_round == CoinRoundMode::Piggyback
+                    && self.is_flipper(phase)
+                {
+                    let f: i8 = if rng.gen::<bool>() { 1 } else { -1 };
+                    self.flip = Some(f);
+                    Some(f)
+                } else {
+                    None
+                };
+                Emission::Broadcast(BaMsg::Phase {
+                    phase,
+                    sub: SubRound::Two,
+                    val: self.val,
+                    decided: self.decided,
+                    flip,
+                })
+            }
+            3 => {
+                if self.is_flipper(phase) {
+                    let f: i8 = if rng.gen::<bool>() { 1 } else { -1 };
+                    self.flip = Some(f);
+                    Emission::Broadcast(BaMsg::Flip {
+                        phase,
+                        value: f,
+                    })
+                } else {
+                    Emission::Silent
+                }
+            }
+            _ => unreachable!("subround bounded by rounds_per_phase"),
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: Inbox<'_, BaMsg>, rng: &mut dyn RngCore) {
+        let (phase, sub) = self.cfg.schedule(round);
+        if let Some(fp) = self.finish_phase {
+            if phase > fp {
+                return; // farewell phase: ignore traffic
+            }
+        }
+        match sub {
+            1 => self.tally_round1(phase, &inbox),
+            2 => self.tally_round2(phase, &inbox, rng),
+            3 => self.tally_round3(phase, &inbox, rng),
+            _ => unreachable!(),
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.out
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+impl BaNodeView for CommitteeBa {
+    fn ba_val(&self) -> bool {
+        self.val
+    }
+    fn ba_decided(&self) -> bool {
+        self.decided
+    }
+    fn ba_finished(&self) -> bool {
+        self.finish_phase.is_some()
+    }
+    fn ba_phase(&self) -> u64 {
+        self.cur_phase
+    }
+    fn ba_flip(&self) -> Option<i8> {
+        self.flip
+    }
+    fn ba_config(&self) -> &BaConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::adversary::Benign;
+    use aba_sim::{SimConfig, Simulation, Verdict};
+
+    fn run(cfg: BaConfig, inputs: Vec<bool>, seed: u64) -> (aba_sim::RunReport, Verdict) {
+        let n = cfg.n;
+        let t = cfg.t;
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(2_000);
+        let report = Simulation::new(sim_cfg, nodes, Benign).run();
+        let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+        (report, verdict)
+    }
+
+    #[test]
+    fn fault_free_uniform_inputs_decide_fast() {
+        for b in [false, true] {
+            let cfg = BaConfig::paper(16, 5, 2.0).unwrap();
+            let (report, verdict) = run(cfg, vec![b; 16], 1);
+            assert!(verdict.is_correct(), "verdict: {verdict:?}");
+            assert_eq!(verdict.decision, Some(b));
+            assert!(report.all_halted);
+            // Phase 1 decides; farewell through phase 2; ≤ 2 phases = 4 rounds.
+            assert!(report.rounds <= 4, "took {} rounds", report.rounds);
+        }
+    }
+
+    #[test]
+    fn fault_free_split_inputs_agree() {
+        for seed in 0..10 {
+            let cfg = BaConfig::paper(16, 5, 2.0).unwrap();
+            let inputs: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+            let (report, verdict) = run(cfg, inputs, seed);
+            assert!(report.all_halted, "seed {seed}");
+            assert!(verdict.agreement, "seed {seed}: {verdict:?}");
+            assert!(verdict.termination);
+        }
+    }
+
+    #[test]
+    fn las_vegas_terminates_fault_free() {
+        for seed in 0..10 {
+            let cfg = BaConfig::paper_las_vegas(16, 5, 2.0).unwrap();
+            let inputs: Vec<bool> = (0..16).map(|i| i < 8).collect();
+            let (report, verdict) = run(cfg, inputs, seed);
+            assert!(report.all_halted, "seed {seed}");
+            assert!(verdict.agreement && verdict.termination, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn literal_coin_round_mode_agrees_too() {
+        for seed in 0..10 {
+            let cfg = BaConfig::paper(16, 5, 2.0)
+                .unwrap()
+                .with_coin_round(CoinRoundMode::Literal);
+            let inputs: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+            let (report, verdict) = run(cfg, inputs, seed);
+            assert!(report.all_halted, "seed {seed}");
+            assert!(verdict.agreement, "seed {seed}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn rabin_dealer_agrees_and_is_quick() {
+        let mut total_rounds = 0;
+        for seed in 0..20 {
+            let cfg = BaConfig::rabin_dealer(16, 5, 12345).unwrap();
+            let inputs: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+            let (report, verdict) = run(cfg, inputs, seed);
+            assert!(report.all_halted && verdict.agreement, "seed {seed}");
+            total_rounds += report.rounds;
+        }
+        // Perfect shared coin: expected ~2 phases to align + 2 farewell
+        // phases ⇒ ~8 rounds on average is ample.
+        assert!(
+            total_rounds / 20 <= 12,
+            "dealer coin should settle fast, avg {}",
+            total_rounds / 20
+        );
+    }
+
+    #[test]
+    fn chor_coan_configuration_agrees() {
+        for seed in 0..5 {
+            let cfg = BaConfig::chor_coan(32, 5, 1.0).unwrap();
+            let inputs: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+            let (report, verdict) = run(cfg, inputs, seed);
+            assert!(report.all_halted && verdict.agreement, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn validity_holds_for_every_seed_and_size() {
+        for (n, t) in [(4, 1), (7, 2), (10, 3), (16, 5), (31, 10)] {
+            for seed in 0..3 {
+                let cfg = BaConfig::paper(n, t, 2.0).unwrap();
+                let (_, verdict) = run(cfg, vec![true; n], seed);
+                assert_eq!(verdict.validity, Some(true), "n={n} t={t} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_network_n1() {
+        let cfg = BaConfig::paper(1, 0, 1.0).unwrap();
+        let (report, verdict) = run(cfg, vec![true], 0);
+        assert!(report.all_halted);
+        assert_eq!(verdict.decision, Some(true));
+    }
+
+    #[test]
+    fn whp_mode_runs_at_most_c_plus_farewell_phases() {
+        let cfg = BaConfig::paper(32, 10, 2.0).unwrap();
+        let budget = cfg.whp_round_budget() + 2 * cfg.rounds_per_phase();
+        let inputs: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        let (report, _) = run(cfg, inputs, 3);
+        assert!(
+            report.rounds <= budget,
+            "rounds {} exceed whp budget {budget}",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn coin_phase_counting_is_exposed() {
+        let cfg = BaConfig::paper(16, 5, 2.0).unwrap();
+        let inputs: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(16, 5).with_seed(11);
+        let mut sim = Simulation::new(sim_cfg, nodes, Benign);
+        sim.step(); // round 1 of phase 1: split inputs -> nobody decides
+        sim.step(); // round 2: no True messages -> everyone coins
+        assert!(sim.nodes().iter().all(|nd| nd.coin_phases() == 1));
+    }
+
+    #[test]
+    fn view_trait_exposes_state() {
+        let cfg = BaConfig::paper(16, 5, 2.0).unwrap();
+        let node = CommitteeBa::new(cfg.clone(), NodeId::new(3), true);
+        assert!(node.ba_val());
+        assert!(!node.ba_decided());
+        assert!(!node.ba_finished());
+        assert_eq!(node.ba_phase(), 1);
+        assert_eq!(node.ba_flip(), None);
+        assert_eq!(node.ba_config(), &cfg);
+        assert!(node.input());
+        assert_eq!(node.id(), NodeId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per node")]
+    fn network_checks_input_length() {
+        let cfg = BaConfig::paper(16, 5, 2.0).unwrap();
+        let _ = CommitteeBa::network(&cfg, &[true; 4]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # aba-agreement — Byzantine agreement protocols
+//!
+//! The paper's primary contribution and the baselines it is measured
+//! against, all as [`aba_sim::Protocol`] state machines:
+//!
+//! * [`CommitteeBa`] — **Algorithm 3** of Dufoulon & Pandurangan (PODC
+//!   2025): Rabin-style two-round phases with thresholds `n−t` / `t+1`,
+//!   where phase `i`'s fallback coin is flipped by committee `i`
+//!   (Algorithm 2). Runs in `O(min{t²·log n/n, t/log n})` rounds w.h.p.
+//!   against an adaptive rushing full-information adversary, tolerating
+//!   `t < n/3`.
+//!   The same state machine, differently parameterized, yields:
+//!   - the **Las Vegas variant** (Section 3.2): loop over committees
+//!     until the early-termination mechanism fires;
+//!   - the **Chor–Coan (1985) baseline**: committees forced to size
+//!     `Θ(log n)` regardless of `t` (this is exactly footnote 3's
+//!     rushing-hardened reading of Chor–Coan);
+//!   - **Rabin's protocol**: the fallback coin comes from a trusted
+//!     dealer instead of a committee.
+//! * [`PhaseKingBa`] — the deterministic `O(t)`-round baseline
+//!   (Berman–Garay–Perry phase king, resilience `t < n/3`), standing in
+//!   for the deterministic protocols [9, 13] the paper cites.
+//!
+//! Configuration lives in [`BaConfig`]; adversaries that understand these
+//! protocols' internals live in `aba-attacks`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod committee_ba;
+pub mod msg;
+pub mod params;
+pub mod phase_king;
+pub mod sampling_majority;
+pub mod view;
+
+pub use committee_ba::CommitteeBa;
+pub use msg::{BaMsg, PkMsg, SubRound};
+pub use params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
+pub use phase_king::PhaseKingBa;
+pub use sampling_majority::{SamplingMajorityNode, SmMsg};
+pub use view::BaNodeView;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::committee_ba::CommitteeBa;
+    pub use crate::msg::{BaMsg, PkMsg, SubRound};
+    pub use crate::params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
+    pub use crate::phase_king::PhaseKingBa;
+    pub use crate::sampling_majority::{SamplingMajorityNode, SmMsg};
+    pub use crate::view::BaNodeView;
+}

@@ -1,0 +1,257 @@
+//! Wire formats of the agreement protocols, with CONGEST-honest bit
+//! sizes.
+
+use aba_sim::Message;
+use serde::{Deserialize, Serialize};
+
+/// Which communication round of a phase a message belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubRound {
+    /// First broadcast/receive round of the phase (Algorithm 3 lines
+    /// 8–16).
+    One,
+    /// Second broadcast/receive round (lines 19–31).
+    Two,
+    /// The separate coin-flip round used only in the literal (non
+    /// piggybacked) reading of the paper.
+    Three,
+}
+
+impl SubRound {
+    /// Subround from a 1-based index.
+    pub fn from_index(i: u64) -> SubRound {
+        match i {
+            1 => SubRound::One,
+            2 => SubRound::Two,
+            3 => SubRound::Three,
+            _ => panic!("subround index {i} out of range"),
+        }
+    }
+
+    /// 1-based index.
+    pub fn index(self) -> u64 {
+        match self {
+            SubRound::One => 1,
+            SubRound::Two => 2,
+            SubRound::Three => 3,
+        }
+    }
+}
+
+/// Bits needed to encode a value in `0..=v` (at least 1).
+fn bits_for(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros()) as usize
+}
+
+/// Message of the committee-based agreement protocol (Algorithm 3).
+///
+/// The paper's messages are `(i, round, val, decided)` tuples; in the
+/// default *piggyback* mode, committee members attach their ±1 coin
+/// contribution to the round-2 message (drawn at round-2 send time, so
+/// the independence required by Lemma 5 — the assigned value `b_i` is
+/// fixed in round 1, before any flip exists — is preserved, and a rushing
+/// adversary still sees flips before acting). The literal mode instead
+/// sends `Flip` in a third subround.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaMsg {
+    /// A phase message `(i, subround, val, decided, [flip])`.
+    Phase {
+        /// Phase number `i` (1-based).
+        phase: u64,
+        /// Which communication round of the phase.
+        sub: SubRound,
+        /// The sender's current value.
+        val: bool,
+        /// The sender's `decided` flag.
+        decided: bool,
+        /// Piggybacked coin contribution (±1); only meaningful from
+        /// committee-`i` members in subround 2.
+        flip: Option<i8>,
+    },
+    /// A standalone coin contribution (literal coin-round mode only).
+    Flip {
+        /// Phase number (1-based).
+        phase: u64,
+        /// The ±1 contribution.
+        value: i8,
+    },
+}
+
+impl BaMsg {
+    /// The phase this message claims to belong to.
+    pub fn phase(&self) -> u64 {
+        match self {
+            BaMsg::Phase { phase, .. } | BaMsg::Flip { phase, .. } => *phase,
+        }
+    }
+
+    /// The ±1 contribution carried by this message, clamped by sign
+    /// (Byzantine garbage like `0` or `42` becomes `+1`, `-7` becomes
+    /// `-1`), or `None` if it carries no flip.
+    pub fn clamped_flip(&self) -> Option<i64> {
+        let raw = match self {
+            BaMsg::Phase { flip, .. } => (*flip)?,
+            BaMsg::Flip { value, .. } => *value,
+        };
+        Some(if raw >= 0 { 1 } else { -1 })
+    }
+}
+
+impl Message for BaMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            BaMsg::Phase { phase, flip, .. } => {
+                // type tag (2) + phase counter + subround (2) + val (1) +
+                // decided (1) + flip presence (1) and sign (1 when present).
+                2 + bits_for(*phase) + 2 + 1 + 1 + 1 + usize::from(flip.is_some())
+            }
+            BaMsg::Flip { phase, .. } => 2 + bits_for(*phase) + 1,
+        }
+    }
+}
+
+/// Message of the Phase-King baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PkMsg {
+    /// Round-1 value broadcast.
+    Val {
+        /// Phase (1-based).
+        phase: u64,
+        /// The sender's value.
+        v: bool,
+    },
+    /// Round-2 proposal (sent only when the sender saw `n − t` identical
+    /// values in round 1).
+    Propose {
+        /// Phase (1-based).
+        phase: u64,
+        /// The proposed value.
+        v: bool,
+    },
+    /// Round-3 king broadcast.
+    King {
+        /// Phase (1-based).
+        phase: u64,
+        /// The king's value.
+        v: bool,
+    },
+}
+
+impl PkMsg {
+    /// The phase this message claims to belong to.
+    pub fn phase(&self) -> u64 {
+        match self {
+            PkMsg::Val { phase, .. } | PkMsg::Propose { phase, .. } | PkMsg::King { phase, .. } => {
+                *phase
+            }
+        }
+    }
+}
+
+impl Message for PkMsg {
+    fn bit_size(&self) -> usize {
+        let phase = self.phase();
+        // type tag (2) + phase counter + value (1).
+        2 + bits_for(phase) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subround_roundtrip() {
+        for i in 1..=3 {
+            assert_eq!(SubRound::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subround_rejects_zero() {
+        let _ = SubRound::from_index(0);
+    }
+
+    #[test]
+    fn bits_for_counters() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn phase_msg_is_logarithmic_in_phase() {
+        let small = BaMsg::Phase {
+            phase: 1,
+            sub: SubRound::One,
+            val: true,
+            decided: false,
+            flip: None,
+        };
+        let large = BaMsg::Phase {
+            phase: 1 << 20,
+            sub: SubRound::One,
+            val: true,
+            decided: false,
+            flip: None,
+        };
+        assert!(small.bit_size() < large.bit_size());
+        assert!(large.bit_size() <= 2 + 21 + 2 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn flip_presence_costs_one_bit() {
+        let without = BaMsg::Phase {
+            phase: 3,
+            sub: SubRound::Two,
+            val: false,
+            decided: false,
+            flip: None,
+        };
+        let with = BaMsg::Phase {
+            phase: 3,
+            sub: SubRound::Two,
+            val: false,
+            decided: false,
+            flip: Some(1),
+        };
+        assert_eq!(with.bit_size(), without.bit_size() + 1);
+    }
+
+    #[test]
+    fn clamping_rules() {
+        let m = BaMsg::Phase {
+            phase: 1,
+            sub: SubRound::Two,
+            val: true,
+            decided: true,
+            flip: Some(-9),
+        };
+        assert_eq!(m.clamped_flip(), Some(-1));
+        let m = BaMsg::Flip { phase: 2, value: 0 };
+        assert_eq!(m.clamped_flip(), Some(1));
+        let m = BaMsg::Phase {
+            phase: 1,
+            sub: SubRound::One,
+            val: true,
+            decided: false,
+            flip: None,
+        };
+        assert_eq!(m.clamped_flip(), None);
+        assert_eq!(m.phase(), 1);
+    }
+
+    #[test]
+    fn pk_msg_sizes_and_phase() {
+        let v = PkMsg::Val { phase: 5, v: true };
+        let p = PkMsg::Propose { phase: 5, v: true };
+        let k = PkMsg::King { phase: 5, v: false };
+        assert_eq!(v.phase(), 5);
+        assert_eq!(p.phase(), 5);
+        assert_eq!(k.phase(), 5);
+        assert_eq!(v.bit_size(), 2 + 3 + 1);
+    }
+}

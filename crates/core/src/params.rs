@@ -1,0 +1,380 @@
+//! Protocol configuration: committee sizing, termination mode, coin
+//! source.
+
+use aba_coin::CommitteePlan;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Base-2 logarithm used for committee sizing (clamped below at 1 so
+/// tiny networks stay well formed).
+fn log2n(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// How the protocol terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationMode {
+    /// Run exactly `c` phases and decide the current value (Algorithm 3
+    /// as written): agreement holds w.h.p.
+    Whp,
+    /// Loop over the committees forever, relying on the early-termination
+    /// mechanism (Section 3.2): agreement always holds, round count is a
+    /// random variable.
+    LasVegas,
+}
+
+/// Where the fallback coin of case 3 comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoinSource {
+    /// Phase `i`'s committee flips (Algorithm 2) — the paper's protocol.
+    Committee,
+    /// A trusted dealer supplies a shared random bit per phase — Rabin's
+    /// original assumption (reference &#91;28&#93; of the paper), reproduced as the idealized baseline.
+    /// All nodes derive the same unpredictable-to-the-protocol bit from
+    /// this seed.
+    Dealer {
+        /// The dealer's seed.
+        seed: u64,
+    },
+    /// Every node flips its **own** local coin — the Ben-Or-style
+    /// baseline (reference &#91;5&#93; of the paper). No communication for the
+    /// coin at all, but convergence now needs a large binomial deviation
+    /// to align a supermajority, so the expected round count explodes
+    /// with `n` — the measurable reason shared coins matter (experiment
+    /// E15).
+    Private,
+}
+
+/// Whether the committee coin rides on round-2 messages or gets its own
+/// round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoinRoundMode {
+    /// Committee members attach their flip to the round-2 broadcast
+    /// (2 rounds/phase). Default; preserves the adversarial ordering of
+    /// the paper (flips drawn after round 1 fixed `b_i`, visible to the
+    /// rushing adversary before round-2 delivery).
+    Piggyback,
+    /// Algorithm 2 runs as its own third round (3 rounds/phase), the
+    /// literal reading of the paper.
+    Literal,
+}
+
+/// Errors from configuration validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Resilience bound `n ≥ 3t + 1` violated.
+    TooManyFaults {
+        /// Network size.
+        n: usize,
+        /// Requested fault budget.
+        t: usize,
+    },
+    /// Network too small.
+    TooSmall {
+        /// Network size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooManyFaults { n, t } => {
+                write!(f, "resilience requires n ≥ 3t+1, got n={n}, t={t}")
+            }
+            ConfigError::TooSmall { n } => write!(f, "network of n={n} nodes is too small"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Full configuration of the committee-based agreement protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaConfig {
+    /// Network size `n`.
+    pub n: usize,
+    /// Fault tolerance `t` (the protocol's thresholds use this value; the
+    /// adversary may use fewer corruptions).
+    pub t: usize,
+    /// The committee partition.
+    pub plan: CommitteePlan,
+    /// Number of phases `c` in [`TerminationMode::Whp`] mode.
+    pub phases: u64,
+    /// Termination mode.
+    pub mode: TerminationMode,
+    /// Fallback-coin source.
+    pub coin: CoinSource,
+    /// Coin round placement.
+    pub coin_round: CoinRoundMode,
+}
+
+impl BaConfig {
+    /// The paper's protocol (Algorithm 3) with committee count
+    /// `c = min{α·⌈t²/n⌉·log n, 3α·t/log n}` (clamped to `[1, n]`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n < 3t + 1` (the optimal-resilience precondition) and
+    /// `n == 0`.
+    pub fn paper(n: usize, t: usize, alpha: f64) -> Result<Self, ConfigError> {
+        Self::validate(n, t)?;
+        let c = Self::committee_count(n, t, alpha);
+        let plan = CommitteePlan::with_committee_count(n, c);
+        Ok(BaConfig {
+            n,
+            t,
+            // The formula's c; if rounding made the partition coarser the
+            // schedule wraps around, so exactly c phases still run.
+            phases: c as u64,
+            plan,
+            mode: TerminationMode::Whp,
+            coin: CoinSource::Committee,
+            coin_round: CoinRoundMode::Piggyback,
+        })
+    }
+
+    /// The Las Vegas variant of the paper's protocol (Section 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BaConfig::paper`].
+    pub fn paper_las_vegas(n: usize, t: usize, alpha: f64) -> Result<Self, ConfigError> {
+        let mut cfg = Self::paper(n, t, alpha)?;
+        cfg.mode = TerminationMode::LasVegas;
+        Ok(cfg)
+    }
+
+    /// The Chor–Coan baseline: identical phase structure but committees
+    /// of fixed size `⌈β·log n⌉` regardless of `t` (footnote 3's
+    /// rushing-hardened reading of Chor–Coan 1985). Expected round
+    /// complexity `O(t/log n)` under its home (non-rushing) adversary.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BaConfig::paper`].
+    pub fn chor_coan(n: usize, t: usize, beta: f64) -> Result<Self, ConfigError> {
+        Self::validate(n, t)?;
+        assert!(beta > 0.0, "beta must be positive");
+        let size = (beta * log2n(n)).ceil() as usize;
+        let plan = CommitteePlan::with_committee_size(n, size.max(1));
+        Ok(BaConfig {
+            n,
+            t,
+            phases: plan.count() as u64,
+            plan,
+            mode: TerminationMode::LasVegas,
+            coin: CoinSource::Committee,
+            coin_round: CoinRoundMode::Piggyback,
+        })
+    }
+
+    /// Rabin's protocol: the same phase structure with a trusted-dealer
+    /// shared coin. Expected O(1) phases; the idealized upper baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BaConfig::paper`].
+    pub fn rabin_dealer(n: usize, t: usize, dealer_seed: u64) -> Result<Self, ConfigError> {
+        Self::validate(n, t)?;
+        let plan = CommitteePlan::with_committee_count(n, 1);
+        Ok(BaConfig {
+            n,
+            t,
+            phases: plan.count() as u64,
+            plan,
+            mode: TerminationMode::LasVegas,
+            coin: CoinSource::Dealer { seed: dealer_seed },
+            coin_round: CoinRoundMode::Piggyback,
+        })
+    }
+
+    /// The Ben-Or-style private-coin baseline: identical phase structure
+    /// but case 3 uses each node's own local coin. Always-correct, but
+    /// expected rounds grow exponentially with the honest-supermajority
+    /// deviation needed — the paper's motivation, measurable (E15).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BaConfig::paper`].
+    pub fn ben_or_private(n: usize, t: usize) -> Result<Self, ConfigError> {
+        Self::validate(n, t)?;
+        let plan = CommitteePlan::with_committee_count(n, 1);
+        Ok(BaConfig {
+            n,
+            t,
+            phases: plan.count() as u64,
+            plan,
+            mode: TerminationMode::LasVegas,
+            coin: CoinSource::Private,
+            coin_round: CoinRoundMode::Piggyback,
+        })
+    }
+
+    /// Switches termination mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: TerminationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Switches coin-round placement.
+    #[must_use]
+    pub fn with_coin_round(mut self, m: CoinRoundMode) -> Self {
+        self.coin_round = m;
+        self
+    }
+
+    fn validate(n: usize, t: usize) -> Result<(), ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::TooSmall { n });
+        }
+        if n < 3 * t + 1 {
+            return Err(ConfigError::TooManyFaults { n, t });
+        }
+        Ok(())
+    }
+
+    /// Algorithm 3 line 2: `c = min{α·⌈t²/n⌉·log n, 3α·t/log n}`,
+    /// clamped to `[1, n]`.
+    pub fn committee_count(n: usize, t: usize, alpha: f64) -> usize {
+        assert!(alpha > 0.0, "alpha must be positive");
+        if t == 0 {
+            return 1;
+        }
+        let l = log2n(n);
+        let branch1 = alpha * ((t * t).div_ceil(n)) as f64 * l;
+        let branch2 = 3.0 * alpha * t as f64 / l;
+        (branch1.min(branch2).ceil() as usize).clamp(1, n)
+    }
+
+    /// Rounds per phase under the configured coin placement.
+    pub fn rounds_per_phase(&self) -> u64 {
+        match self.coin_round {
+            CoinRoundMode::Piggyback => 2,
+            CoinRoundMode::Literal => 3,
+        }
+    }
+
+    /// Maps an engine round to `(phase, subround)`, both 1-based.
+    pub fn schedule(&self, round: aba_sim::Round) -> (u64, u64) {
+        let rpp = self.rounds_per_phase();
+        (round.index() / rpp + 1, round.index() % rpp + 1)
+    }
+
+    /// The committee flipping in a given (1-based) phase; wraps around in
+    /// Las Vegas mode.
+    pub fn committee_for_phase(&self, phase: u64) -> usize {
+        self.plan.committee_for_phase(phase)
+    }
+
+    /// The dealer's shared coin for a phase (only for
+    /// [`CoinSource::Dealer`]).
+    pub fn dealer_coin(&self, phase: u64) -> Option<bool> {
+        match self.coin {
+            CoinSource::Dealer { seed } => {
+                Some(aba_sim::rng::derive_seed(seed, phase) & 1 == 1)
+            }
+            CoinSource::Committee | CoinSource::Private => None,
+        }
+    }
+
+    /// Total engine rounds of a full Whp run (`c` phases).
+    pub fn whp_round_budget(&self) -> u64 {
+        self.phases * self.rounds_per_phase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_regimes() {
+        // t = 32 at n = 4096: branch2 (3αt/log n = 8) beats branch1
+        // (α·⌈t²/n⌉·log n = 12).
+        let cfg = BaConfig::paper(4096, 32, 1.0).unwrap();
+        assert_eq!(cfg.phases, 8);
+        // t = 64: branch1 (12) beats branch2 (16).
+        let cfg = BaConfig::paper(4096, 64, 1.0).unwrap();
+        assert_eq!(cfg.phases, 12);
+        assert_eq!(cfg.mode, TerminationMode::Whp);
+        // t = 0 degenerates to one committee (= Algorithm 1).
+        let cfg = BaConfig::paper(64, 0, 2.0).unwrap();
+        assert_eq!(cfg.plan.count(), 1);
+        assert_eq!(cfg.plan.committee_size(), 64);
+    }
+
+    #[test]
+    fn paper_config_rejects_bad_inputs() {
+        assert!(matches!(
+            BaConfig::paper(9, 3, 1.0),
+            Err(ConfigError::TooManyFaults { .. })
+        ));
+        assert!(BaConfig::paper(10, 3, 1.0).is_ok());
+        assert!(matches!(
+            BaConfig::paper(0, 0, 1.0),
+            Err(ConfigError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn committee_count_monotone_in_t_smallish() {
+        let n = 1 << 14;
+        let mut last = 0;
+        for t in [1usize, 8, 32, 128, 512, 2048] {
+            let c = BaConfig::committee_count(n, t, 2.0);
+            assert!(c >= last, "c must grow with t (t={t}: {c} < {last})");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn chor_coan_committee_size_is_logarithmic() {
+        let cfg = BaConfig::chor_coan(4096, 1000, 1.0).unwrap();
+        assert_eq!(cfg.plan.committee_size(), 12); // log2(4096)
+        let cfg = BaConfig::chor_coan(4096, 16, 1.0).unwrap();
+        assert_eq!(cfg.plan.committee_size(), 12, "independent of t");
+        assert_eq!(cfg.mode, TerminationMode::LasVegas);
+    }
+
+    #[test]
+    fn rabin_dealer_coin_is_shared_and_varied() {
+        let cfg = BaConfig::rabin_dealer(16, 5, 99).unwrap();
+        let c1 = cfg.dealer_coin(1).unwrap();
+        assert_eq!(cfg.dealer_coin(1).unwrap(), c1, "deterministic per phase");
+        let distinct: std::collections::HashSet<bool> =
+            (1..40).map(|p| cfg.dealer_coin(p).unwrap()).collect();
+        assert_eq!(distinct.len(), 2, "dealer coin takes both values");
+        // Committee-source config has no dealer coin.
+        let paper = BaConfig::paper(16, 5, 1.0).unwrap();
+        assert_eq!(paper.dealer_coin(1), None);
+    }
+
+    #[test]
+    fn schedule_piggyback_and_literal() {
+        let cfg = BaConfig::paper(16, 5, 1.0).unwrap();
+        assert_eq!(cfg.rounds_per_phase(), 2);
+        assert_eq!(cfg.schedule(aba_sim::Round::new(0)), (1, 1));
+        assert_eq!(cfg.schedule(aba_sim::Round::new(1)), (1, 2));
+        assert_eq!(cfg.schedule(aba_sim::Round::new(4)), (3, 1));
+        let cfg = cfg.with_coin_round(CoinRoundMode::Literal);
+        assert_eq!(cfg.rounds_per_phase(), 3);
+        assert_eq!(cfg.schedule(aba_sim::Round::new(5)), (2, 3));
+    }
+
+    #[test]
+    fn whp_round_budget() {
+        let cfg = BaConfig::paper(4096, 32, 1.0).unwrap();
+        assert_eq!(cfg.whp_round_budget(), 16); // 8 phases × 2 rounds
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let e = ConfigError::TooManyFaults { n: 9, t: 3 };
+        assert!(e.to_string().contains("3t+1"));
+        let e = ConfigError::TooSmall { n: 0 };
+        assert!(e.to_string().contains("n=0"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Phase-King: the deterministic `O(t)`-round baseline.
+//!
+//! Berman–Garay–Perry's algorithm with optimal resilience `t < n/3`,
+//! standing in for the deterministic protocols [9, 13] the paper cites
+//! (`t + 1` phases of 3 rounds each, polynomial messages). Against *any*
+//! adversary it terminates in exactly `3(t+1)` rounds — the `O(t)` curve
+//! the randomized protocols are measured against.
+//!
+//! Per phase `k` (king = node `k − 1`):
+//!
+//! 1. broadcast `val`;
+//! 2. if `≥ n − t` received round-1 values equal `y`, broadcast
+//!    "propose `y`". If more than `t` proposals for `y` arrive, set
+//!    `val := y`; remember the proposal count as `support`;
+//! 3. the king broadcasts its `val`; nodes with `support < n − t` adopt
+//!    the king's value.
+//!
+//! Agreement follows because at most one value can gather honest
+//! proposals per phase (`n > 3t`), and some phase has an honest king.
+
+use crate::msg::PkMsg;
+use aba_sim::{Emission, Inbox, NodeId, Protocol, Round};
+use rand::RngCore;
+
+/// One node of the Phase-King protocol.
+#[derive(Debug, Clone)]
+pub struct PhaseKingBa {
+    id: NodeId,
+    n: usize,
+    t: usize,
+    input: bool,
+    val: bool,
+    /// Proposal staged by round-1 processing, emitted in round 2.
+    pending_proposal: Option<bool>,
+    /// Number of proposals received for the adopted value this phase.
+    support: usize,
+    out: Option<bool>,
+    halted: bool,
+}
+
+impl PhaseKingBa {
+    /// Creates node `id` of an `n`-node network tolerating `t < n/3`
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3t + 1` (the protocol's resilience bound) or if
+    /// `t + 1 > n` (there must be enough kings).
+    pub fn new(id: NodeId, n: usize, t: usize, input: bool) -> Self {
+        assert!(n >= 3 * t + 1, "phase king requires n ≥ 3t+1");
+        PhaseKingBa {
+            id,
+            n,
+            t,
+            input,
+            val: input,
+            pending_proposal: None,
+            support: 0,
+            out: None,
+            halted: false,
+        }
+    }
+
+    /// Builds the whole network from an input assignment.
+    pub fn network(n: usize, t: usize, inputs: &[bool]) -> Vec<PhaseKingBa> {
+        assert_eq!(inputs.len(), n, "one input per node");
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| PhaseKingBa::new(NodeId::new(i as u32), n, t, *b))
+            .collect()
+    }
+
+    /// The node's input.
+    pub fn input(&self) -> bool {
+        self.input
+    }
+
+    /// Total engine rounds the protocol runs: `3(t+1)`.
+    pub fn total_rounds(t: usize) -> u64 {
+        3 * (t as u64 + 1)
+    }
+
+    /// Phase (1-based) and subround (1-based) for an engine round.
+    fn schedule(round: Round) -> (u64, u64) {
+        (round.index() / 3 + 1, round.index() % 3 + 1)
+    }
+
+    /// The king of a phase: node `phase − 1`.
+    fn king(&self, phase: u64) -> NodeId {
+        NodeId::new(((phase - 1) % self.n as u64) as u32)
+    }
+}
+
+impl Protocol for PhaseKingBa {
+    type Msg = PkMsg;
+
+    fn emit(&mut self, round: Round, _rng: &mut dyn RngCore) -> Emission<PkMsg> {
+        let (phase, sub) = Self::schedule(round);
+        match sub {
+            1 => Emission::Broadcast(PkMsg::Val {
+                phase,
+                v: self.val,
+            }),
+            2 => match self.pending_proposal {
+                Some(v) => Emission::Broadcast(PkMsg::Propose { phase, v }),
+                None => Emission::Silent,
+            },
+            3 => {
+                if self.king(phase) == self.id {
+                    Emission::Broadcast(PkMsg::King {
+                        phase,
+                        v: self.val,
+                    })
+                } else {
+                    Emission::Silent
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: Inbox<'_, PkMsg>, _rng: &mut dyn RngCore) {
+        let (phase, sub) = Self::schedule(round);
+        match sub {
+            1 => {
+                let mut cnt = [0usize; 2];
+                for (_, m) in inbox.iter() {
+                    if let PkMsg::Val { phase: p, v } = m {
+                        if *p == phase {
+                            cnt[*v as usize] += 1;
+                        }
+                    }
+                }
+                let n_t = self.n - self.t;
+                self.pending_proposal = if cnt[1] >= n_t {
+                    Some(true)
+                } else if cnt[0] >= n_t {
+                    Some(false)
+                } else {
+                    None
+                };
+            }
+            2 => {
+                let mut cnt = [0usize; 2];
+                for (_, m) in inbox.iter() {
+                    if let PkMsg::Propose { phase: p, v } = m {
+                        if *p == phase {
+                            cnt[*v as usize] += 1;
+                        }
+                    }
+                }
+                // At most one value can have more than t proposals from
+                // honest senders (n > 3t); adopt it and record support.
+                let better = if cnt[1] >= cnt[0] { 1 } else { 0 };
+                if cnt[better] > self.t {
+                    self.val = better == 1;
+                }
+                self.support = cnt[better];
+            }
+            3 => {
+                if self.support < self.n - self.t {
+                    // Weakly supported: defer to the king.
+                    let king = self.king(phase);
+                    if let Some(PkMsg::King { phase: p, v }) = inbox.from(king) {
+                        if *p == phase {
+                            self.val = *v;
+                        }
+                    }
+                    // A silent (crashed/Byzantine) king leaves val as is.
+                }
+                if phase == self.t as u64 + 1 {
+                    self.out = Some(self.val);
+                    self.halted = true;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.out
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::adversary::Benign;
+    use aba_sim::{SimConfig, Simulation, Verdict};
+
+    fn run(n: usize, t: usize, inputs: Vec<bool>, seed: u64) -> (aba_sim::RunReport, Verdict) {
+        let nodes = PhaseKingBa::network(n, t, &inputs);
+        let cfg = SimConfig::new(n, t).with_seed(seed);
+        let report = Simulation::new(cfg, nodes, Benign).run();
+        let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+        (report, verdict)
+    }
+
+    #[test]
+    fn uniform_inputs_decide_same_value() {
+        for b in [false, true] {
+            let (report, verdict) = run(10, 3, vec![b; 10], 0);
+            assert!(report.all_halted);
+            assert_eq!(verdict.validity, Some(true));
+            assert_eq!(verdict.decision, Some(b));
+            assert_eq!(report.rounds, PhaseKingBa::total_rounds(3));
+        }
+    }
+
+    #[test]
+    fn split_inputs_agree_fault_free() {
+        let inputs: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let (report, verdict) = run(10, 3, inputs, 1);
+        assert!(report.all_halted && verdict.agreement);
+    }
+
+    #[test]
+    fn t_zero_single_phase() {
+        let (report, verdict) = run(4, 0, vec![true, false, true, false], 0);
+        assert!(report.all_halted);
+        assert!(verdict.agreement);
+        assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn rounds_are_exactly_three_t_plus_one() {
+        let (report, _) = run(13, 4, vec![true; 13], 0);
+        assert_eq!(report.rounds, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "3t+1")]
+    fn resilience_bound_enforced() {
+        let _ = PhaseKingBa::new(NodeId::new(0), 9, 3, true);
+    }
+
+    #[test]
+    fn survives_silent_faults() {
+        use aba_adversary::{StaticBehavior, StaticByzantine};
+        let n = 10;
+        let t = 3;
+        let inputs = vec![true; n];
+        let nodes = PhaseKingBa::network(n, t, &inputs);
+        let cfg = SimConfig::new(n, t).with_seed(2);
+        // Crash the first 3 nodes — including the kings of phases 1–3.
+        let report = Simulation::new(
+            cfg,
+            nodes,
+            StaticByzantine::first_t(3, StaticBehavior::Silence),
+        )
+        .run();
+        let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+        assert!(report.all_halted);
+        assert_eq!(verdict.validity, Some(true), "{verdict:?}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Sampling-majority convergence (related work, Section 1.3).
+//!
+//! The paper contrasts its committee coin with the protocol of
+//! Augustine, Pandurangan and Robinson (reference &#91;3&#93; of the paper): "in each round, each node
+//! samples values from two random nodes and takes the majority of its
+//! value and the two sampled values; this is shown to converge to a
+//! common value in polylog(n) rounds if the number of Byzantine nodes is
+//! O(√n / polylog n)" — and notes both analyses rest on
+//! anti-concentration bounds.
+//!
+//! We implement that dynamic as a two-round query/reply iteration on the
+//! complete network. It provides **almost-everywhere** agreement (a
+//! `1 − o(1)` fraction of honest nodes converge) rather than Definition
+//! 1's everywhere-agreement, with only `O(n)` messages per round instead
+//! of `O(n²)` — a qualitatively different trade-off that experiment E13
+//! measures against the paper's protocol.
+
+use aba_sim::{Emission, Inbox, Message, NodeId, Protocol, Round};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Wire format of the sampling protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SmMsg {
+    /// "Send me your value" (iteration-tagged).
+    Query {
+        /// Iteration number (1-based).
+        iter: u64,
+    },
+    /// A value reply to a query of the same iteration.
+    Reply {
+        /// Iteration number (1-based).
+        iter: u64,
+        /// The replier's current value.
+        val: bool,
+    },
+}
+
+impl Message for SmMsg {
+    fn bit_size(&self) -> usize {
+        let iter = match self {
+            SmMsg::Query { iter } | SmMsg::Reply { iter, .. } => *iter,
+        };
+        // tag (1) + iteration counter + value (1 for replies).
+        1 + (64 - iter.max(1).leading_zeros()) as usize
+            + usize::from(matches!(self, SmMsg::Reply { .. }))
+    }
+}
+
+/// One node of the sampling-majority protocol.
+///
+/// Each iteration spans two engine rounds: queries out, replies back,
+/// then `val := majority(own, sampled₁, sampled₂)`. After the configured
+/// number of iterations the node outputs its value.
+#[derive(Debug, Clone)]
+pub struct SamplingMajorityNode {
+    id: NodeId,
+    n: usize,
+    iterations: u64,
+    val: bool,
+    /// Nodes queried this iteration (replies from others are ignored).
+    targets: [NodeId; 2],
+    /// Who queried us in the current iteration.
+    queriers: Vec<NodeId>,
+    out: Option<bool>,
+    halted: bool,
+}
+
+impl SamplingMajorityNode {
+    /// Creates node `id` of `n` with the given input, running for
+    /// `iterations` sampling iterations.
+    pub fn new(id: NodeId, n: usize, iterations: u64, input: bool) -> Self {
+        assert!(n >= 1 && iterations >= 1);
+        SamplingMajorityNode {
+            id,
+            n,
+            iterations,
+            val: input,
+            targets: [id, id],
+            queriers: Vec::new(),
+            out: None,
+            halted: false,
+        }
+    }
+
+    /// The iteration count the analysis of reference &#91;3&#93; suggests: `Θ(log² n)`.
+    pub fn recommended_iterations(n: usize) -> u64 {
+        let l = (n.max(2) as f64).log2();
+        (2.0 * l * l).ceil() as u64
+    }
+
+    /// Builds the whole network from an input assignment.
+    pub fn network(n: usize, iterations: u64, inputs: &[bool]) -> Vec<SamplingMajorityNode> {
+        assert_eq!(inputs.len(), n, "one input per node");
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SamplingMajorityNode::new(NodeId::new(i as u32), n, iterations, *b))
+            .collect()
+    }
+
+    /// Current value (exposed for adversaries and experiments — the
+    /// full-information model).
+    pub fn val(&self) -> bool {
+        self.val
+    }
+
+    /// The node ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn schedule(round: Round) -> (u64, u64) {
+        (round.index() / 2 + 1, round.index() % 2 + 1)
+    }
+}
+
+impl Protocol for SamplingMajorityNode {
+    type Msg = SmMsg;
+
+    fn emit(&mut self, round: Round, rng: &mut dyn RngCore) -> Emission<SmMsg> {
+        let (iter, sub) = Self::schedule(round);
+        match sub {
+            1 => {
+                // Sample two uniform nodes (with replacement, as in [3]).
+                let a = NodeId::new(rng.gen_range(0..self.n as u32));
+                let b = NodeId::new(rng.gen_range(0..self.n as u32));
+                self.targets = [a, b];
+                self.queriers.clear();
+                let q = SmMsg::Query { iter };
+                if a == b {
+                    Emission::PerRecipient(vec![(a, q)])
+                } else {
+                    Emission::PerRecipient(vec![(a, q), (b, q)])
+                }
+            }
+            2 => {
+                let reply = SmMsg::Reply {
+                    iter,
+                    val: self.val,
+                };
+                Emission::PerRecipient(
+                    self.queriers.iter().map(|q| (*q, reply)).collect(),
+                )
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: Inbox<'_, SmMsg>, _rng: &mut dyn RngCore) {
+        let (iter, sub) = Self::schedule(round);
+        match sub {
+            1 => {
+                self.queriers = inbox
+                    .iter()
+                    .filter(|(_, m)| matches!(m, SmMsg::Query { iter: i } if *i == iter))
+                    .map(|(s, _)| s)
+                    .collect();
+            }
+            2 => {
+                // Majority of own value and the replies from the two
+                // sampled nodes (a sampled node that stays silent simply
+                // contributes no vote; ties keep the current value).
+                let mut ones = usize::from(self.val);
+                let mut votes = 1usize;
+                for target in self.targets {
+                    if let Some(SmMsg::Reply { iter: i, val }) = inbox.from(target) {
+                        if *i == iter {
+                            votes += 1;
+                            ones += usize::from(*val);
+                        }
+                    }
+                }
+                if 2 * ones > votes {
+                    self.val = true;
+                } else if 2 * ones < votes {
+                    self.val = false;
+                }
+                if iter >= self.iterations {
+                    self.out = Some(self.val);
+                    self.halted = true;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.out
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::adversary::Benign;
+    use aba_sim::{SimConfig, Simulation};
+
+    fn honest_agreement_fraction(report: &aba_sim::RunReport) -> f64 {
+        let outs: Vec<bool> = report
+            .outputs
+            .iter()
+            .zip(&report.honest)
+            .filter(|(_, h)| **h)
+            .filter_map(|(o, _)| *o)
+            .collect();
+        let ones = outs.iter().filter(|b| **b).count();
+        ones.max(outs.len() - ones) as f64 / outs.len() as f64
+    }
+
+    #[test]
+    fn uniform_inputs_stay_put() {
+        let n = 32;
+        let iters = SamplingMajorityNode::recommended_iterations(n);
+        let nodes = SamplingMajorityNode::network(n, iters, &vec![true; n]);
+        let report = Simulation::new(SimConfig::new(n, 0).with_seed(1), nodes, Benign).run();
+        assert!(report.all_halted);
+        assert!(report.outputs.iter().all(|o| *o == Some(true)));
+        assert_eq!(report.rounds, 2 * iters);
+    }
+
+    #[test]
+    fn split_inputs_converge_fault_free() {
+        let n = 64;
+        let iters = SamplingMajorityNode::recommended_iterations(n);
+        let mut converged = 0;
+        for seed in 0..10 {
+            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let nodes = SamplingMajorityNode::network(n, iters, &inputs);
+            let report =
+                Simulation::new(SimConfig::new(n, 0).with_seed(seed), nodes, Benign).run();
+            if honest_agreement_fraction(&report) >= 0.99 {
+                converged += 1;
+            }
+        }
+        assert!(converged >= 8, "converged in only {converged}/10 runs");
+    }
+
+    #[test]
+    fn lopsided_inputs_converge_to_the_majority() {
+        let n = 64;
+        let iters = SamplingMajorityNode::recommended_iterations(n);
+        let mut to_majority = 0;
+        for seed in 0..10 {
+            // 75% ones: sampling dynamics strongly favor the majority.
+            let inputs: Vec<bool> = (0..n).map(|i| i % 4 != 0).collect();
+            let nodes = SamplingMajorityNode::network(n, iters, &inputs);
+            let report =
+                Simulation::new(SimConfig::new(n, 0).with_seed(seed + 100), nodes, Benign).run();
+            let ones = report
+                .outputs
+                .iter()
+                .filter(|o| **o == Some(true))
+                .count();
+            if ones as f64 >= 0.95 * n as f64 {
+                to_majority += 1;
+            }
+        }
+        assert!(to_majority >= 8, "majority won in only {to_majority}/10 runs");
+    }
+
+    #[test]
+    fn message_complexity_is_linear_per_round() {
+        let n = 128;
+        let nodes = SamplingMajorityNode::network(n, 4, &vec![false; n]);
+        let report = Simulation::new(SimConfig::new(n, 0).with_seed(3), nodes, Benign).run();
+        // Per iteration: ≤ 2n queries + ≤ 2n replies over 2 rounds.
+        let per_round = report.metrics.total_messages as f64 / report.rounds as f64;
+        assert!(
+            per_round <= 2.0 * n as f64,
+            "sampling should be O(n) messages/round, got {per_round}"
+        );
+    }
+
+    #[test]
+    fn recommended_iterations_grows_polylog() {
+        assert!(SamplingMajorityNode::recommended_iterations(16) >= 16);
+        let small = SamplingMajorityNode::recommended_iterations(64);
+        let large = SamplingMajorityNode::recommended_iterations(4096);
+        assert!(large > small);
+        assert!(large < 4096, "polylog, not polynomial");
+    }
+}

@@ -1,0 +1,25 @@
+//! Read-only protocol-state view for full-information adversaries.
+//!
+//! The paper's adversary knows "the entire state of the network at every
+//! round". The simulator already hands adversaries `&[P]`; this trait is
+//! the typed lens protocol-aware attacks use to read the agreement
+//! state without depending on a concrete node struct.
+
+use crate::params::BaConfig;
+
+/// State every Byzantine-agreement node in this workspace exposes to the
+/// (full-information) adversary.
+pub trait BaNodeView {
+    /// Current value `val_v`.
+    fn ba_val(&self) -> bool;
+    /// Current `decided_v` flag.
+    fn ba_decided(&self) -> bool;
+    /// Current `finish_v` flag.
+    fn ba_finished(&self) -> bool;
+    /// The phase the node is in (1-based).
+    fn ba_phase(&self) -> u64;
+    /// The node's current-phase coin flip, if it has flipped one.
+    fn ba_flip(&self) -> Option<i8>;
+    /// The protocol configuration (shared by all nodes of a run).
+    fn ba_config(&self) -> &BaConfig;
+}

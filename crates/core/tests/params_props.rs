@@ -1,0 +1,89 @@
+//! Property tests for protocol parameterization: the committee-count
+//! formula, schedules, and config invariants over arbitrary (n, t, α).
+
+use aba_agreement::{BaConfig, CoinRoundMode, TerminationMode};
+use aba_sim::Round;
+use proptest::prelude::*;
+
+/// Valid (n, t) pairs with n ≥ 3t + 1.
+fn n_t() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..60).prop_flat_map(|t| (Just(3 * t + 1), Just(t)).prop_flat_map(|(min_n, t)| {
+        (min_n..min_n + 50).prop_map(move |n| (n, t))
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The committee count is always in [1, n] and the partition covers
+    /// all nodes with nonempty committees.
+    #[test]
+    fn committee_count_is_well_formed((n, t) in n_t(), alpha in 0.5f64..16.0) {
+        let c = BaConfig::committee_count(n, t, alpha);
+        prop_assert!(c >= 1 && c <= n);
+        let cfg = BaConfig::paper(n, t, alpha).unwrap();
+        prop_assert!(cfg.plan.count() >= 1);
+        prop_assert!(cfg.phases >= 1);
+        let mut covered = 0usize;
+        for k in 0..cfg.plan.count() {
+            prop_assert!(cfg.plan.size_of(k) >= 1);
+            covered += cfg.plan.size_of(k);
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    /// More α never means fewer phases (the whp guarantee is monotone in
+    /// the schedule length).
+    #[test]
+    fn phases_monotone_in_alpha((n, t) in n_t(), alpha in 0.5f64..8.0) {
+        let c1 = BaConfig::committee_count(n, t, alpha);
+        let c2 = BaConfig::committee_count(n, t, alpha * 2.0);
+        prop_assert!(c2 >= c1, "alpha {alpha}: c({}) > c2({})", c1, c2);
+    }
+
+    /// The round schedule is a bijection onto (phase, subround) pairs.
+    #[test]
+    fn schedule_roundtrip((n, t) in n_t(), round in 0u64..10_000, literal in any::<bool>()) {
+        let mut cfg = BaConfig::paper(n, t, 2.0).unwrap();
+        if literal {
+            cfg = cfg.with_coin_round(CoinRoundMode::Literal);
+        }
+        let rpp = cfg.rounds_per_phase();
+        let (phase, sub) = cfg.schedule(Round::new(round));
+        prop_assert!(phase >= 1);
+        prop_assert!((1..=rpp).contains(&sub));
+        prop_assert_eq!((phase - 1) * rpp + (sub - 1), round);
+    }
+
+    /// The Las Vegas committee schedule wraps cleanly.
+    #[test]
+    fn committee_schedule_wraps((n, t) in n_t(), phase in 1u64..10_000) {
+        let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
+        let k = cfg.committee_for_phase(phase);
+        prop_assert!(k < cfg.plan.count());
+        prop_assert_eq!(k, cfg.committee_for_phase(phase + cfg.plan.count() as u64));
+    }
+
+    /// Dealer coins are deterministic per phase and non-constant across
+    /// phases.
+    #[test]
+    fn dealer_coin_properties((n, t) in n_t(), seed in any::<u64>()) {
+        let cfg = BaConfig::rabin_dealer(n, t, seed).unwrap();
+        prop_assert_eq!(cfg.mode, TerminationMode::LasVegas);
+        let coins: Vec<bool> = (1..=64).map(|p| cfg.dealer_coin(p).unwrap()).collect();
+        let again: Vec<bool> = (1..=64).map(|p| cfg.dealer_coin(p).unwrap()).collect();
+        prop_assert_eq!(&coins, &again);
+        let ones = coins.iter().filter(|b| **b).count();
+        prop_assert!((8..=56).contains(&ones), "64 dealer coins look biased: {ones} ones");
+    }
+
+    /// Resilience validation: n < 3t+1 is always rejected, n ≥ 3t+1
+    /// always accepted.
+    #[test]
+    fn resilience_boundary_is_sharp(t in 1usize..80) {
+        prop_assert!(BaConfig::paper(3 * t, t, 2.0).is_err());
+        prop_assert!(BaConfig::paper(3 * t + 1, t, 2.0).is_ok());
+        prop_assert!(BaConfig::chor_coan(3 * t, t, 1.0).is_err());
+        prop_assert!(BaConfig::rabin_dealer(3 * t, t, 0).is_err());
+    }
+}

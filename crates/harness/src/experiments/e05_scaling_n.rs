@@ -1,0 +1,109 @@
+//! E5 — Scaling at `t = n^{3/4}` (Section 1.2 / Figure 4).
+//!
+//! Claim (the paper's worked example): at `t = n^{3/4}` the paper's
+//! protocol takes `Õ(√n)` rounds while Chor–Coan needs `Õ(n^{3/4})` —
+//! asymptotically separated curves. We sweep `n` with `t = ⌊n^{3/4}⌋`
+//! and plot both measured round counts next to both theory shapes.
+
+use super::{mean_rounds, ExpParams};
+use crate::report::Report;
+use crate::runner::run_many;
+use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use aba_analysis::{fit_loglog, theory, Series, Table};
+
+/// Runs E5.
+pub fn run(params: &ExpParams) -> Report {
+    let mut report = Report::new("E5", "Scaling at t = n^0.75 (Section 1.2)");
+    let (ns, trials): (&[usize], usize) = if params.quick {
+        (&[128, 256], 3)
+    } else {
+        (&[128, 256, 512, 1024, 2048], 8)
+    };
+
+    let mut paper_series = Series::new("paper measured");
+    let mut cc_series = Series::new("chor-coan measured");
+    let mut paper_bound = Series::new("paper bound");
+    let mut cc_bound = Series::new("cc bound");
+    let mut table = Table::new(
+        "Rounds at t = n^0.75",
+        &["n", "t", "paper", "chor-coan", "paper bound", "cc bound"],
+    );
+
+    for &n in ns {
+        let t = ((n as f64).powf(0.75) as usize).min((n - 1) / 3);
+        let max_rounds = (8 * n) as u64;
+        let paper = mean_rounds(&run_many(
+            &Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(params.seed)
+                .with_max_rounds(max_rounds),
+            trials,
+        ));
+        let cc = mean_rounds(&run_many(
+            &Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(params.seed)
+                .with_max_rounds(max_rounds),
+            trials,
+        ));
+        paper_series.push(n as f64, paper);
+        cc_series.push(n as f64, cc);
+        paper_bound.push(n as f64, theory::paper_bound(n, t));
+        cc_bound.push(n as f64, theory::chor_coan_bound(n, t));
+        table.push_row(vec![
+            n.into(),
+            t.into(),
+            paper.into(),
+            cc.into(),
+            theory::paper_bound(n, t).into(),
+            theory::chor_coan_bound(n, t).into(),
+        ]);
+    }
+
+    if let Some(fit) = fit_loglog(&paper_series.points) {
+        report.note(format!(
+            "paper protocol: rounds ~ n^{:.2} (r²={:.3}); theory predicts an exponent well \
+             below Chor-Coan's",
+            fit.slope, fit.r_squared
+        ));
+    }
+    if let Some(fit) = fit_loglog(&cc_series.points) {
+        report.note(format!(
+            "chor-coan: rounds ~ n^{:.2} (r²={:.3})",
+            fit.slope, fit.r_squared
+        ));
+    }
+    report.note(
+        "Paper claim: at t = n^0.75 the new protocol is polynomially faster — asymptotically. \
+         Honest caveat: with base-2 logs the separation n^0.5·log n < n^0.75/log n only opens \
+         at n^0.25 > log²n (n ≳ 2^48); at simulable n the example point sits in the parity \
+         regime where the paper's own bound says the curves match. PASS therefore iff the \
+         paper protocol sits at or below Chor-Coan at every n and both follow the bound's \
+         shape; the asymptotic separation is validated analytically in aba-analysis::theory \
+         (test `paper_example_point`)."
+            .to_string(),
+    );
+    report.series.push(paper_series);
+    report.series.push(cc_series);
+    report.series.push(paper_bound);
+    report.series.push(cc_bound);
+    report.tables.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_e5_produces_four_series() {
+        let r = run(&ExpParams {
+            quick: true,
+            seed: 4,
+        });
+        assert_eq!(r.series.len(), 4);
+        assert_eq!(r.tables[0].rows.len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! E7 — Message complexity and CONGEST compliance (Section 1.2 /
+//! Figure 6).
+//!
+//! Claims: (a) message complexity `O(min{n·t²·log n, n²·t/log n})`
+//! (rounds × n² broadcast traffic, early termination included);
+//! (b) CONGEST model: only `O(log n)` bits cross any edge in any round.
+//! We sweep `t` at fixed `n`, reporting total messages, total bits, and
+//! the per-edge-per-round bit maximum.
+
+use super::{log_sweep, ExpParams};
+use crate::report::Report;
+use crate::runner::run_many;
+use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use aba_analysis::{theory, Series, Table};
+
+/// Runs E7.
+pub fn run(params: &ExpParams) -> Report {
+    let mut report = Report::new("E7", "Message complexity and CONGEST compliance");
+    let (n, trials) = if params.quick { (128, 4) } else { (512, 10) };
+    let ts = log_sweep(2, n / 4, if params.quick { 4 } else { 7 });
+
+    let mut msg_series = Series::new("messages measured");
+    let mut bound_series = Series::new("message bound shape");
+    let mut table = Table::new(
+        "Traffic vs t",
+        &[
+            "t",
+            "messages (mean)",
+            "bits (mean)",
+            "max edge bits",
+            "bound min{n t² log n, n² t/log n}",
+        ],
+    );
+
+    let mut worst_edge_bits = 0usize;
+    for &t in &ts {
+        let results = run_many(
+            &Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(params.seed)
+                .with_max_rounds((8 * n) as u64),
+            trials,
+        );
+        let msgs = results.iter().map(|r| r.messages as f64).sum::<f64>() / results.len() as f64;
+        let bits = results.iter().map(|r| r.bits as f64).sum::<f64>() / results.len() as f64;
+        let edge = results.iter().map(|r| r.max_edge_bits).max().unwrap_or(0);
+        worst_edge_bits = worst_edge_bits.max(edge);
+        msg_series.push(t as f64, msgs);
+        bound_series.push(t as f64, theory::paper_message_bound(n, t));
+        table.push_row(vec![
+            t.into(),
+            msgs.into(),
+            bits.into(),
+            edge.into(),
+            theory::paper_message_bound(n, t).into(),
+        ]);
+    }
+
+    let congest_budget = 8.0 * theory::log2n(n);
+    report.series.push(msg_series);
+    report.series.push(bound_series);
+    report.tables.push(table);
+    report.note(format!(
+        "CONGEST check: worst per-edge-per-round bits = {worst_edge_bits}, budget 8·log₂n = \
+         {congest_budget:.0} — PASS iff within budget."
+    ));
+    report.note(
+        "Paper claim: message complexity O(min{n t² log n, n² t/log n}). PASS iff measured \
+         messages stay below a constant multiple of the bound column (early termination makes \
+         them much lower for small q-use)."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_e7_congest_holds() {
+        let r = run(&ExpParams {
+            quick: true,
+            seed: 6,
+        });
+        assert!(r.notes[0].contains("PASS"));
+        // Extract worst edge bits from the table and assert the budget.
+        for row in &r.tables[0].rows {
+            if let aba_analysis::table::Cell::Int(edge) = &row[3] {
+                assert!(*edge <= (8.0 * theory::log2n(128)) as i64);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! E8 — Las Vegas variant versus whp variant (Section 3.2 / Table 2).
+//!
+//! Claim: looping over the committees (instead of stopping after `c`
+//! phases) makes agreement certain while keeping the same expected round
+//! complexity. We compare both variants under the full attack: agreement
+//! rate, termination rate, and the distribution of rounds.
+
+use super::{agreement_rate, termination_rate, ExpParams};
+use crate::report::Report;
+use crate::runner::run_many;
+use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use aba_analysis::{Summary, Table};
+
+/// Runs E8.
+pub fn run(params: &ExpParams) -> Report {
+    let mut report = Report::new("E8", "Las Vegas vs whp variant (Section 3.2)");
+    let sizes: &[(usize, usize)] = if params.quick {
+        &[(32, 10)]
+    } else {
+        &[(64, 21), (128, 42), (256, 85)]
+    };
+    let trials = if params.quick { 10 } else { 40 };
+
+    let mut table = Table::new(
+        "Variant comparison under the full adaptive attack",
+        &[
+            "n", "t", "variant", "agree%", "term%", "mean rounds", "median", "p99",
+        ],
+    );
+
+    for &(n, t) in sizes {
+        for (label, proto) in [
+            ("whp", ProtocolSpec::Paper { alpha: 2.0 }),
+            ("las-vegas", ProtocolSpec::PaperLasVegas { alpha: 2.0 }),
+        ] {
+            let results = run_many(
+                &Scenario::new(n, t)
+                    .with_protocol(proto)
+                    .with_attack(AttackSpec::FullAttack)
+                    .with_seed(params.seed)
+                    .with_max_rounds((16 * n) as u64),
+                trials,
+            );
+            let rounds: Vec<u64> = results.iter().map(|r| r.rounds).collect();
+            let summary = Summary::of_u64(&rounds).expect("trials nonempty");
+            table.push_row(vec![
+                n.into(),
+                t.into(),
+                label.into(),
+                (agreement_rate(&results) * 100.0).into(),
+                (termination_rate(&results) * 100.0).into(),
+                summary.mean.into(),
+                summary.median.into(),
+                summary.p99.into(),
+            ]);
+        }
+    }
+
+    report.tables.push(table);
+    report.note(
+        "Paper claim (Section 3.2): the Las Vegas variant always reaches agreement, in the \
+         same expected rounds. PASS iff las-vegas rows show 100% agreement and a mean close \
+         to (or below) the whp rows."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_e8_las_vegas_always_agrees() {
+        let r = run(&ExpParams {
+            quick: true,
+            seed: 8,
+        });
+        // Row 1 is las-vegas; agree% is column 3.
+        let row = &r.tables[0].rows[1];
+        if let aba_analysis::table::Cell::Float(pct) = &row[3] {
+            assert!(*pct >= 99.9, "las vegas agreement {pct}%");
+        } else {
+            panic!("expected float cell");
+        }
+    }
+}

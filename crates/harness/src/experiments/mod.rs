@@ -1,0 +1,228 @@
+//! The experiment suite (E1–E15).
+//!
+//! Each experiment regenerates one table or figure of EXPERIMENTS.md,
+//! validating a quantitative claim of the paper. All experiments are
+//! deterministic in `(params.seed)` and scale down under
+//! `params.quick` (used by tests and Criterion benches).
+
+pub mod e01_correctness;
+pub mod e02_coin;
+pub mod e03_rounds_vs_t;
+pub mod e04_crossover;
+pub mod e05_scaling_n;
+pub mod e06_early_term;
+pub mod e07_messages;
+pub mod e08_las_vegas;
+pub mod e09_lower_bound;
+pub mod e10_ruin_cost;
+pub mod e11_alpha;
+pub mod e12_adversaries;
+pub mod e13_sampling;
+pub mod e14_conjecture;
+pub mod e15_coin_sources;
+
+use crate::report::Report;
+use crate::runner::TrialResult;
+
+/// Global experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpParams {
+    /// Scale down sizes/trials for smoke runs.
+    pub quick: bool,
+    /// Master seed offset.
+    pub seed: u64,
+}
+
+impl Default for ExpParams {
+    fn default() -> Self {
+        ExpParams {
+            quick: false,
+            seed: 0,
+        }
+    }
+}
+
+/// A registered experiment.
+pub struct ExperimentDef {
+    /// Identifier, e.g. "e3".
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Entry point.
+    pub runner: fn(&ExpParams) -> Report,
+}
+
+/// All experiments in suite order.
+pub fn all() -> Vec<ExperimentDef> {
+    vec![
+        ExperimentDef {
+            id: "e1",
+            title: "Correctness matrix (Definition 1, Theorem 2)",
+            runner: e01_correctness::run,
+        },
+        ExperimentDef {
+            id: "e2",
+            title: "Common coin vs Byzantine budget (Theorem 3, Fig. 1)",
+            runner: e02_coin::run,
+        },
+        ExperimentDef {
+            id: "e3",
+            title: "Rounds vs t at fixed n (Theorem 2, Fig. 2)",
+            runner: e03_rounds_vs_t::run,
+        },
+        ExperimentDef {
+            id: "e4",
+            title: "Crossover vs Chor-Coan (Section 1.2, Fig. 3)",
+            runner: e04_crossover::run,
+        },
+        ExperimentDef {
+            id: "e5",
+            title: "Scaling at t = n^0.75 (Section 1.2, Fig. 4)",
+            runner: e05_scaling_n::run,
+        },
+        ExperimentDef {
+            id: "e6",
+            title: "Early termination vs actual corruptions q (Theorem 2, Fig. 5)",
+            runner: e06_early_term::run,
+        },
+        ExperimentDef {
+            id: "e7",
+            title: "Message complexity and CONGEST compliance (Section 1.2, Fig. 6)",
+            runner: e07_messages::run,
+        },
+        ExperimentDef {
+            id: "e8",
+            title: "Las Vegas variant vs whp variant (Section 3.2, Table 2)",
+            runner: e08_las_vegas::run,
+        },
+        ExperimentDef {
+            id: "e9",
+            title: "Gap to the Bar-Joseph-Ben-Or lower bound (Theorem 1, Fig. 7)",
+            runner: e09_lower_bound::run,
+        },
+        ExperimentDef {
+            id: "e10",
+            title: "Committee-ruin cost: rushing vs non-rushing (Fig. 8)",
+            runner: e10_ruin_cost::run,
+        },
+        ExperimentDef {
+            id: "e11",
+            title: "Committee constant alpha ablation (Theorem 2 proof, Table 3)",
+            runner: e11_alpha::run,
+        },
+        ExperimentDef {
+            id: "e12",
+            title: "Adversary ablation matrix (Section 1.1, Table 4)",
+            runner: e12_adversaries::run,
+        },
+        ExperimentDef {
+            id: "e13",
+            title: "Sampling-majority convergence threshold (Section 1.3, Fig. 9)",
+            runner: e13_sampling::run,
+        },
+        ExperimentDef {
+            id: "e14",
+            title: "Conjecture probe: attack-achieved delay vs t²/n (Section 4)",
+            runner: e14_conjecture::run,
+        },
+        ExperimentDef {
+            id: "e15",
+            title: "Coin-source ablation: committee vs dealer vs private (Section 1)",
+            runner: e15_coin_sources::run,
+        },
+    ]
+}
+
+/// Looks an experiment up by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<ExperimentDef> {
+    let id = id.to_ascii_lowercase();
+    all().into_iter().find(|e| e.id == id)
+}
+
+// ---- shared aggregation helpers ----
+
+/// Mean rounds over trials (censored trials count at their cap value).
+pub(crate) fn mean_rounds(results: &[TrialResult]) -> f64 {
+    if results.is_empty() {
+        return f64::NAN;
+    }
+    results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len() as f64
+}
+
+/// Fraction of trials with agreement.
+pub(crate) fn agreement_rate(results: &[TrialResult]) -> f64 {
+    if results.is_empty() {
+        return f64::NAN;
+    }
+    results.iter().filter(|r| r.agreement).count() as f64 / results.len() as f64
+}
+
+/// Fraction of trials that terminated before the cap.
+pub(crate) fn termination_rate(results: &[TrialResult]) -> f64 {
+    if results.is_empty() {
+        return f64::NAN;
+    }
+    results.iter().filter(|r| r.terminated).count() as f64 / results.len() as f64
+}
+
+/// Log-spaced integer sweep from `lo` to `hi` (inclusive-ish, deduped).
+pub(crate) fn log_sweep(lo: usize, hi: usize, points: usize) -> Vec<usize> {
+    assert!(lo >= 1 && hi >= lo && points >= 2);
+    let (lo_f, hi_f) = (lo as f64, hi as f64);
+    let mut out: Vec<usize> = (0..points)
+        .map(|i| {
+            let frac = i as f64 / (points - 1) as f64;
+            (lo_f * (hi_f / lo_f).powf(frac)).round() as usize
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let defs = all();
+        assert_eq!(defs.len(), 15);
+        let ids: std::collections::HashSet<&str> = defs.iter().map(|d| d.id).collect();
+        assert_eq!(ids.len(), 15);
+        assert!(by_id("e3").is_some());
+        assert!(by_id("E3").is_some());
+        assert!(by_id("e15").is_some());
+        assert!(by_id("e99").is_none());
+    }
+
+    #[test]
+    fn log_sweep_shapes() {
+        let s = log_sweep(1, 100, 5);
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.last(), Some(&100));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        let tight = log_sweep(3, 4, 6);
+        assert!(tight.len() <= 6 && !tight.is_empty());
+    }
+
+    #[test]
+    fn aggregation_helpers() {
+        use crate::runner::TrialResult;
+        let t = |rounds, agreement, terminated| TrialResult {
+            rounds,
+            terminated,
+            agreement,
+            validity: None,
+            decision: None,
+            corruptions: 0,
+            messages: 0,
+            bits: 0,
+            max_edge_bits: 0,
+        };
+        let rs = vec![t(10, true, true), t(20, false, false)];
+        assert_eq!(mean_rounds(&rs), 15.0);
+        assert_eq!(agreement_rate(&rs), 0.5);
+        assert_eq!(termination_rate(&rs), 0.5);
+        assert!(mean_rounds(&[]).is_nan());
+    }
+}

@@ -1,0 +1,23 @@
+//! # aba-harness — experiment definitions and the parallel trial runner
+//!
+//! Turns the protocols, adversaries, and analysis tools of the workspace
+//! into the reproducible experiment suite documented in EXPERIMENTS.md.
+//! Each experiment E1–E15 regenerates one table or figure validating a
+//! quantitative claim of the paper. Run them with the `aba-experiments`
+//! binary:
+//!
+//! ```text
+//! aba-experiments --exp all --quick --out results/
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use report::Report;
+pub use runner::{run_many, run_scenario, TrialResult};
+pub use scenario::{AttackSpec, InputSpec, ProtocolSpec, Scenario};

@@ -1,0 +1,146 @@
+//! Experiment report: a bundle of tables, series, and notes that gets
+//! rendered to stdout (markdown) and to disk (markdown + CSV + JSON).
+
+use aba_analysis::{Series, Table};
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+
+/// One experiment's rendered output.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Report {
+    /// Experiment identifier (e.g. "E3").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Figure series (grouped by figure: label prefix "fig/curve").
+    pub series: Vec<Series>,
+    /// Free-form observations, including the paper-vs-measured verdicts.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders everything as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        if !self.series.is_empty() {
+            out.push_str(&aba_analysis::table::series_to_markdown(
+                &format!("{} series", self.id),
+                "x",
+                &self.series,
+            ));
+            out.push('\n');
+            // ASCII rendering of the figure: log–log when the data spans
+            // a decade in strictly positive x, linear otherwise.
+            let xs: Vec<f64> = self
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.0))
+                .collect();
+            let positive = xs.iter().all(|x| *x > 0.0)
+                && self
+                    .series
+                    .iter()
+                    .flat_map(|s| s.points.iter().map(|p| p.1))
+                    .all(|y| y > 0.0);
+            let spans_decade = match (
+                xs.iter().cloned().reduce(f64::min),
+                xs.iter().cloned().reduce(f64::max),
+            ) {
+                (Some(lo), Some(hi)) => lo > 0.0 && hi / lo >= 10.0,
+                _ => false,
+            };
+            let opts = if positive && spans_decade {
+                aba_analysis::PlotOptions::loglog()
+            } else {
+                aba_analysis::PlotOptions::default()
+            };
+            out.push_str("```text\n");
+            out.push_str(&aba_analysis::render_plot(&self.series, &opts));
+            out.push_str("```\n\n");
+        }
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Writes markdown, CSV (one file per table), and a JSON dump under
+    /// `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let md_path = dir.join(format!("{}.md", self.id));
+        std::fs::write(&md_path, self.to_markdown())?;
+        for (i, t) in self.tables.iter().enumerate() {
+            let csv_path = dir.join(format!("{}_table{}.csv", self.id, i));
+            std::fs::write(&csv_path, t.to_csv())?;
+        }
+        let json_path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(json_path)?;
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        f.write_all(json.as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_analysis::table::Cell;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = Report::new("E0", "smoke");
+        let mut t = Table::new("tbl", &["a"]);
+        t.push_row(vec![Cell::Int(1)]);
+        r.tables.push(t);
+        r.series.push(Series::from_points("curve", vec![(1.0, 2.0)]));
+        r.note("looks right");
+        let md = r.to_markdown();
+        assert!(md.contains("## E0 — smoke"));
+        assert!(md.contains("### tbl"));
+        assert!(md.contains("> looks right"));
+        assert!(md.contains("curve"));
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join("aba_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = Report::new("E9", "files");
+        let mut t = Table::new("tbl", &["x"]);
+        t.push_row(vec![Cell::Float(1.5)]);
+        r.tables.push(t);
+        r.write_to(&dir).unwrap();
+        assert!(dir.join("E9.md").exists());
+        assert!(dir.join("E9_table0.csv").exists());
+        assert!(dir.join("E9.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

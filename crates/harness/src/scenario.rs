@@ -1,0 +1,257 @@
+//! Declarative description of one simulation trial.
+//!
+//! A [`Scenario`] fully determines a run: protocol, adversary, input
+//! assignment, sizes, seed, and information model. The runner
+//! monomorphizes over the concrete protocol/adversary combination at
+//! dispatch time so the simulation loop stays static-dispatch fast.
+
+use aba_sim::InfoModel;
+use serde::{Deserialize, Serialize};
+
+/// Which agreement protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolSpec {
+    /// The paper's Algorithm 3, whp mode (exactly `c` phases).
+    Paper {
+        /// Committee-count constant α.
+        alpha: f64,
+    },
+    /// The paper's Las Vegas variant (Section 3.2).
+    PaperLasVegas {
+        /// Committee-count constant α.
+        alpha: f64,
+    },
+    /// Same as `PaperLasVegas` but with the literal 3-round phases.
+    PaperLiteralCoin {
+        /// Committee-count constant α.
+        alpha: f64,
+    },
+    /// Chor–Coan baseline: `Θ(log n)`-size committees, Las Vegas.
+    ChorCoan {
+        /// Committee-size constant β (size = ⌈β·log₂ n⌉).
+        beta: f64,
+    },
+    /// Rabin's trusted-dealer protocol.
+    RabinDealer,
+    /// Ben-Or-style private-coin baseline (no shared coin at all).
+    BenOrPrivate,
+    /// Deterministic Phase-King baseline.
+    PhaseKing,
+}
+
+impl ProtocolSpec {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::Paper { .. } => "paper",
+            ProtocolSpec::PaperLasVegas { .. } => "paper-lv",
+            ProtocolSpec::PaperLiteralCoin { .. } => "paper-literal",
+            ProtocolSpec::ChorCoan { .. } => "chor-coan",
+            ProtocolSpec::RabinDealer => "rabin-dealer",
+            ProtocolSpec::BenOrPrivate => "ben-or-private",
+            ProtocolSpec::PhaseKing => "phase-king",
+        }
+    }
+}
+
+/// Which adversary to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackSpec {
+    /// No corruptions at all.
+    Benign,
+    /// Static silent adversary corrupting the `t` lowest IDs at round 0.
+    StaticSilent,
+    /// Static equivocating replayer.
+    StaticMirror,
+    /// Adaptive crash faults, `per_round` crashes per round.
+    Crash {
+        /// Crashes per round.
+        per_round: usize,
+    },
+    /// The pure coin-splitting adversary.
+    SplitVote,
+    /// The combined adaptive rushing attack (greedy budget).
+    FullAttack,
+    /// The combined attack with the frugal budget policy.
+    FullAttackFrugal,
+    /// The combined attack capped at `q` corruptions (early-termination
+    /// experiments).
+    FullAttackCapped {
+        /// Corruption cap `q ≤ t`.
+        q: usize,
+    },
+}
+
+impl AttackSpec {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackSpec::Benign => "benign",
+            AttackSpec::StaticSilent => "static-silent",
+            AttackSpec::StaticMirror => "static-mirror",
+            AttackSpec::Crash { .. } => "crash",
+            AttackSpec::SplitVote => "split-vote",
+            AttackSpec::FullAttack => "full-attack",
+            AttackSpec::FullAttackFrugal => "full-frugal",
+            AttackSpec::FullAttackCapped { .. } => "full-capped",
+        }
+    }
+}
+
+/// Input assignment across the `n` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputSpec {
+    /// Every node starts with `b` (validity experiments).
+    AllSame(bool),
+    /// Even IDs start 1, odd IDs start 0 (the adversary's favourite).
+    Split,
+    /// Node `i` starts with bit `i` of a seeded pseudorandom pattern.
+    Random,
+}
+
+impl InputSpec {
+    /// Materializes the assignment.
+    pub fn materialize(&self, n: usize, seed: u64) -> Vec<bool> {
+        match self {
+            InputSpec::AllSame(b) => vec![*b; n],
+            InputSpec::Split => (0..n).map(|i| i % 2 == 0).collect(),
+            InputSpec::Random => {
+                let mut state = seed ^ 0xC0FF_EE00_D15E_A5E5;
+                (0..n)
+                    .map(|_| aba_sim::rng::splitmix64(&mut state) & 1 == 1)
+                    .collect()
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InputSpec::AllSame(true) => "all-1",
+            InputSpec::AllSame(false) => "all-0",
+            InputSpec::Split => "split",
+            InputSpec::Random => "random",
+        }
+    }
+}
+
+/// A fully specified trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Network size.
+    pub n: usize,
+    /// Fault budget `t` (protocol parameter and adversary budget).
+    pub t: usize,
+    /// Protocol under test.
+    pub protocol: ProtocolSpec,
+    /// Adversary.
+    pub attack: AttackSpec,
+    /// Input assignment.
+    pub inputs: InputSpec,
+    /// Information model.
+    pub info: InfoModel,
+    /// Master seed.
+    pub seed: u64,
+    /// Round cap (runs hitting it count as non-terminating).
+    pub max_rounds: u64,
+}
+
+impl Scenario {
+    /// A scenario with sensible defaults: paper protocol (α = 2), full
+    /// attack, split inputs, rushing, 20 000-round cap.
+    pub fn new(n: usize, t: usize) -> Self {
+        Scenario {
+            n,
+            t,
+            protocol: ProtocolSpec::Paper { alpha: 2.0 },
+            attack: AttackSpec::FullAttack,
+            inputs: InputSpec::Split,
+            info: InfoModel::Rushing,
+            seed: 0,
+            max_rounds: 20_000,
+        }
+    }
+
+    /// Sets the protocol.
+    #[must_use]
+    pub fn with_protocol(mut self, p: ProtocolSpec) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// Sets the adversary.
+    #[must_use]
+    pub fn with_attack(mut self, a: AttackSpec) -> Self {
+        self.attack = a;
+        self
+    }
+
+    /// Sets the inputs.
+    #[must_use]
+    pub fn with_inputs(mut self, i: InputSpec) -> Self {
+        self.inputs = i;
+        self
+    }
+
+    /// Sets the info model.
+    #[must_use]
+    pub fn with_info(mut self, m: InfoModel) -> Self {
+        self.info = m;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the round cap.
+    #[must_use]
+    pub fn with_max_rounds(mut self, r: u64) -> Self {
+        self.max_rounds = r;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_materialize() {
+        assert_eq!(InputSpec::AllSame(true).materialize(3, 0), vec![true; 3]);
+        let split = InputSpec::Split.materialize(4, 0);
+        assert_eq!(split, vec![true, false, true, false]);
+        let r1 = InputSpec::Random.materialize(64, 7);
+        let r2 = InputSpec::Random.materialize(64, 7);
+        assert_eq!(r1, r2, "deterministic in seed");
+        let r3 = InputSpec::Random.materialize(64, 8);
+        assert_ne!(r1, r3, "varies with seed");
+        assert!(r1.iter().any(|b| *b) && r1.iter().any(|b| !*b));
+    }
+
+    #[test]
+    fn names_are_short_and_stable() {
+        assert_eq!(ProtocolSpec::Paper { alpha: 2.0 }.name(), "paper");
+        assert_eq!(AttackSpec::FullAttack.name(), "full-attack");
+        assert_eq!(InputSpec::Split.name(), "split");
+        assert_eq!(InputSpec::AllSame(false).name(), "all-0");
+    }
+
+    #[test]
+    fn builder_chain() {
+        let s = Scenario::new(64, 10)
+            .with_protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+            .with_attack(AttackSpec::Benign)
+            .with_inputs(InputSpec::AllSame(true))
+            .with_info(InfoModel::NonRushing)
+            .with_seed(42)
+            .with_max_rounds(99);
+        assert_eq!(s.n, 64);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.max_rounds, 99);
+        assert_eq!(s.protocol.name(), "chor-coan");
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-round message store.
+//!
+//! In a complete network most traffic is broadcast, so the mailbox stores
+//! one slot per sender: either a broadcast message (one clone, shared by
+//! all receivers) or a per-recipient map (used by equivocating Byzantine
+//! nodes). Receivers resolve their inbox lazily without allocating.
+
+use crate::id::NodeId;
+use crate::message::{Emission, Message};
+use std::collections::HashMap;
+
+/// One sender's contribution to the round.
+#[derive(Debug, Clone)]
+enum Slot<M> {
+    Silent,
+    Broadcast(M),
+    PerRecipient(HashMap<u32, M>),
+}
+
+/// All messages emitted in a single round, indexed by sender.
+#[derive(Debug, Clone)]
+pub struct RoundMailbox<M> {
+    n: usize,
+    slots: Vec<Slot<M>>,
+}
+
+impl<M: Message> RoundMailbox<M> {
+    /// Creates an empty mailbox for an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        RoundMailbox {
+            n,
+            slots: (0..n).map(|_| Slot::Silent).collect(),
+        }
+    }
+
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Installs `emission` as `sender`'s contribution, replacing whatever
+    /// was there (used both for honest emissions and for the adversary
+    /// overriding a freshly-corrupted node's message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn set(&mut self, sender: NodeId, emission: Emission<M>) {
+        let slot = &mut self.slots[sender.index()];
+        *slot = match emission {
+            Emission::Silent => Slot::Silent,
+            Emission::Broadcast(m) => Slot::Broadcast(m),
+            Emission::PerRecipient(v) => {
+                let mut map = HashMap::with_capacity(v.len());
+                for (to, m) in v {
+                    map.insert(to.raw(), m); // later entries override earlier
+                }
+                if map.is_empty() {
+                    Slot::Silent
+                } else {
+                    Slot::PerRecipient(map)
+                }
+            }
+        };
+    }
+
+    /// Removes `sender`'s contribution entirely.
+    pub fn silence(&mut self, sender: NodeId) {
+        self.slots[sender.index()] = Slot::Silent;
+    }
+
+    /// The message `receiver` gets from `sender` this round, if any.
+    pub fn resolve(&self, sender: NodeId, receiver: NodeId) -> Option<&M> {
+        match &self.slots[sender.index()] {
+            Slot::Silent => None,
+            Slot::Broadcast(m) => Some(m),
+            Slot::PerRecipient(map) => map.get(&receiver.raw()),
+        }
+    }
+
+    /// Whether `sender` broadcast (sent one identical message to everyone).
+    pub fn is_broadcast(&self, sender: NodeId) -> bool {
+        matches!(&self.slots[sender.index()], Slot::Broadcast(_))
+    }
+
+    /// Whether `sender` sent nothing at all.
+    pub fn is_silent(&self, sender: NodeId) -> bool {
+        matches!(&self.slots[sender.index()], Slot::Silent)
+    }
+
+    /// The broadcast message of `sender`, if it broadcast.
+    pub fn broadcast_of(&self, sender: NodeId) -> Option<&M> {
+        match &self.slots[sender.index()] {
+            Slot::Broadcast(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Zero-allocation view of all messages addressed to `receiver`.
+    pub fn inbox(&self, receiver: NodeId) -> Inbox<'_, M> {
+        Inbox {
+            mailbox: self,
+            receiver,
+        }
+    }
+
+    /// Total point-to-point messages generated this round.
+    pub fn message_count(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Silent => 0,
+                Slot::Broadcast(_) => self.n.saturating_sub(1),
+                Slot::PerRecipient(map) => map.len(),
+            })
+            .sum()
+    }
+
+    /// Total bits on the wire this round.
+    pub fn total_bits(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Silent => 0,
+                Slot::Broadcast(m) => m.bit_size() * self.n.saturating_sub(1),
+                Slot::PerRecipient(map) => map.values().map(Message::bit_size).sum(),
+            })
+            .sum()
+    }
+
+    /// The largest message crossing any single edge this round, in bits.
+    ///
+    /// Because each ordered pair of nodes exchanges at most one message per
+    /// round in this engine, this *is* the per-edge-per-round bit maximum
+    /// that the CONGEST model bounds.
+    pub fn max_edge_bits(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Silent => 0,
+                Slot::Broadcast(m) => m.bit_size(),
+                Slot::PerRecipient(map) => map.values().map(Message::bit_size).max().unwrap_or(0),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Lazily-resolved view of one receiver's incoming messages.
+///
+/// Iteration yields `(sender, &message)` in sender-ID order, one entry per
+/// sender that addressed this receiver. The receiver's own broadcast is
+/// included (the paper's tallies count the node's own value).
+#[derive(Debug, Clone, Copy)]
+pub struct Inbox<'a, M> {
+    mailbox: &'a RoundMailbox<M>,
+    receiver: NodeId,
+}
+
+impl<'a, M: Message> Inbox<'a, M> {
+    /// The receiving node.
+    pub fn receiver(&self) -> NodeId {
+        self.receiver
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.mailbox.n
+    }
+
+    /// Iterates over `(sender, message)` pairs addressed to this receiver.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a M)> + '_ {
+        let receiver = self.receiver;
+        let mailbox = self.mailbox;
+        (0..mailbox.n).filter_map(move |i| {
+            let sender = NodeId::new(i as u32);
+            mailbox.resolve(sender, receiver).map(|m| (sender, m))
+        })
+    }
+
+    /// The message from a specific sender, if any.
+    pub fn from(&self, sender: NodeId) -> Option<&'a M> {
+        self.mailbox.resolve(sender, self.receiver)
+    }
+
+    /// Number of messages addressed to this receiver.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Whether the inbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Tm(u8);
+    impl Message for Tm {
+        fn bit_size(&self) -> usize {
+            8
+        }
+    }
+
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut mb = RoundMailbox::new(4);
+        mb.set(id(1), Emission::Broadcast(Tm(9)));
+        for r in 0..4 {
+            assert_eq!(mb.resolve(id(1), id(r)), Some(&Tm(9)));
+        }
+        assert!(mb.is_broadcast(id(1)));
+        assert_eq!(mb.broadcast_of(id(1)), Some(&Tm(9)));
+    }
+
+    #[test]
+    fn silence_by_default_and_after_clear() {
+        let mut mb = RoundMailbox::new(3);
+        assert!(mb.is_silent(id(0)));
+        mb.set(id(0), Emission::Broadcast(Tm(1)));
+        assert!(!mb.is_silent(id(0)));
+        mb.silence(id(0));
+        assert!(mb.is_silent(id(0)));
+        assert_eq!(mb.resolve(id(0), id(1)), None);
+    }
+
+    #[test]
+    fn equivocation_delivers_different_messages() {
+        let mut mb = RoundMailbox::new(3);
+        mb.set(
+            id(2),
+            Emission::PerRecipient(vec![(id(0), Tm(0)), (id(1), Tm(1))]),
+        );
+        assert_eq!(mb.resolve(id(2), id(0)), Some(&Tm(0)));
+        assert_eq!(mb.resolve(id(2), id(1)), Some(&Tm(1)));
+        assert_eq!(mb.resolve(id(2), id(2)), None);
+        assert!(!mb.is_broadcast(id(2)));
+    }
+
+    #[test]
+    fn later_per_recipient_entries_override() {
+        let mut mb = RoundMailbox::new(2);
+        mb.set(
+            id(0),
+            Emission::PerRecipient(vec![(id(1), Tm(1)), (id(1), Tm(2))]),
+        );
+        assert_eq!(mb.resolve(id(0), id(1)), Some(&Tm(2)));
+    }
+
+    #[test]
+    fn inbox_iterates_in_sender_order() {
+        let mut mb = RoundMailbox::new(4);
+        mb.set(id(3), Emission::Broadcast(Tm(3)));
+        mb.set(id(1), Emission::Broadcast(Tm(1)));
+        mb.set(id(2), Emission::PerRecipient(vec![(id(0), Tm(2))]));
+        let inbox = mb.inbox(id(0));
+        let got: Vec<_> = inbox.iter().map(|(s, m)| (s.index(), m.0)).collect();
+        assert_eq!(got, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.from(id(3)), Some(&Tm(3)));
+        assert_eq!(inbox.from(id(0)), None);
+    }
+
+    #[test]
+    fn counting_messages_and_bits() {
+        let mut mb = RoundMailbox::new(4);
+        mb.set(id(0), Emission::Broadcast(Tm(0))); // 3 msgs, 24 bits
+        mb.set(id(1), Emission::PerRecipient(vec![(id(2), Tm(1)), (id(3), Tm(2))])); // 2 msgs, 16 bits
+        assert_eq!(mb.message_count(), 5);
+        assert_eq!(mb.total_bits(), 40);
+        assert_eq!(mb.max_edge_bits(), 8);
+    }
+
+    #[test]
+    fn empty_mailbox_counts_zero() {
+        let mb: RoundMailbox<Tm> = RoundMailbox::new(8);
+        assert_eq!(mb.message_count(), 0);
+        assert_eq!(mb.total_bits(), 0);
+        assert_eq!(mb.max_edge_bits(), 0);
+        assert!(mb.inbox(id(5)).is_empty());
+    }
+
+    #[test]
+    fn overriding_a_slot_replaces_it() {
+        let mut mb = RoundMailbox::new(2);
+        mb.set(id(0), Emission::Broadcast(Tm(1)));
+        mb.set(id(0), Emission::PerRecipient(vec![(id(1), Tm(7))]));
+        assert_eq!(mb.resolve(id(0), id(0)), None);
+        assert_eq!(mb.resolve(id(0), id(1)), Some(&Tm(7)));
+    }
+}

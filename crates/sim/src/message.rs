@@ -1,0 +1,140 @@
+//! Message trait and the emission type shared by honest nodes and the
+//! adversary.
+
+use crate::id::NodeId;
+use std::fmt::Debug;
+
+/// A protocol message.
+///
+/// Implementors must report an honest estimate of their encoded size in
+/// bits via [`Message::bit_size`]; the engine uses it for CONGEST
+/// accounting (the paper's model allows `O(log n)` bits per edge per
+/// round — experiments assert the measured maximum stays within that
+/// budget).
+pub trait Message: Clone + Debug {
+    /// Size of this message on the wire, in bits.
+    ///
+    /// The estimate should include every field a real encoding would carry
+    /// (tags, counters, flags) but not the sender/receiver IDs, which the
+    /// transport provides.
+    fn bit_size(&self) -> usize;
+}
+
+/// What a node (or the adversary, on behalf of a corrupted node) sends in
+/// one round.
+///
+/// Honest protocols in this workspace only ever broadcast or stay silent;
+/// `PerRecipient` exists so that Byzantine nodes can *equivocate* — send
+/// conflicting messages to different recipients in the same round — which
+/// is essential to the adaptive-adversary experiments.
+#[derive(Debug, Clone)]
+pub enum Emission<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Send the same message to every node (including the sender itself:
+    /// the paper's tallies, e.g. Algorithm 1 line 3, count the node's own
+    /// value).
+    Broadcast(M),
+    /// Send a chosen message to each listed recipient; unlisted recipients
+    /// receive nothing from this sender. Later entries for the same
+    /// recipient override earlier ones.
+    PerRecipient(Vec<(NodeId, M)>),
+}
+
+impl<M> Emission<M> {
+    /// True if nothing is sent.
+    pub fn is_silent(&self) -> bool {
+        match self {
+            Emission::Silent => true,
+            Emission::Broadcast(_) => false,
+            Emission::PerRecipient(v) => v.is_empty(),
+        }
+    }
+
+    /// Number of point-to-point messages this emission generates in an
+    /// `n`-node complete network (a broadcast costs `n - 1`: the self-copy
+    /// is local and free, matching how the paper counts messages).
+    pub fn message_count(&self, n: usize) -> usize {
+        match self {
+            Emission::Silent => 0,
+            Emission::Broadcast(_) => n.saturating_sub(1),
+            Emission::PerRecipient(v) => v.len(),
+        }
+    }
+}
+
+impl<M: Message> Emission<M> {
+    /// Total bits this emission puts on the wire in an `n`-node network.
+    pub fn total_bits(&self, n: usize) -> usize {
+        match self {
+            Emission::Silent => 0,
+            Emission::Broadcast(m) => m.bit_size() * n.saturating_sub(1),
+            Emission::PerRecipient(v) => v.iter().map(|(_, m)| m.bit_size()).sum(),
+        }
+    }
+
+    /// The largest single message in this emission, in bits.
+    pub fn max_bits(&self) -> usize {
+        match self {
+            Emission::Silent => 0,
+            Emission::Broadcast(m) => m.bit_size(),
+            Emission::PerRecipient(v) => v.iter().map(|(_, m)| m.bit_size()).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestMsg(u32);
+    impl Message for TestMsg {
+        fn bit_size(&self) -> usize {
+            32
+        }
+    }
+
+    #[test]
+    fn silent_counts_nothing() {
+        let e: Emission<TestMsg> = Emission::Silent;
+        assert!(e.is_silent());
+        assert_eq!(e.message_count(10), 0);
+        assert_eq!(e.total_bits(10), 0);
+        assert_eq!(e.max_bits(), 0);
+    }
+
+    #[test]
+    fn broadcast_counts_n_minus_one() {
+        let e = Emission::Broadcast(TestMsg(7));
+        assert!(!e.is_silent());
+        assert_eq!(e.message_count(10), 9);
+        assert_eq!(e.total_bits(10), 9 * 32);
+        assert_eq!(e.max_bits(), 32);
+    }
+
+    #[test]
+    fn per_recipient_counts_entries() {
+        let e = Emission::PerRecipient(vec![
+            (NodeId::new(1), TestMsg(0)),
+            (NodeId::new(2), TestMsg(1)),
+        ]);
+        assert!(!e.is_silent());
+        assert_eq!(e.message_count(10), 2);
+        assert_eq!(e.total_bits(10), 64);
+    }
+
+    #[test]
+    fn empty_per_recipient_is_silent() {
+        let e: Emission<TestMsg> = Emission::PerRecipient(vec![]);
+        assert!(e.is_silent());
+        assert_eq!(e.message_count(5), 0);
+    }
+
+    #[test]
+    fn broadcast_in_tiny_network() {
+        let e = Emission::Broadcast(TestMsg(0));
+        assert_eq!(e.message_count(1), 0);
+        assert_eq!(e.total_bits(0), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Run-level and round-level measurement.
+//!
+//! The experiment harness reads these to reproduce the paper's complexity
+//! claims: round complexity (Theorem 2), message complexity
+//! (`O(min{n·t²·log n, n²·t/log n})`, Section 1.2), and CONGEST
+//! compliance (`O(log n)` bits per edge per round, Section 1.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Measurements for a single round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Point-to-point messages delivered this round (a broadcast in an
+    /// `n`-node network counts as `n - 1`).
+    pub messages: usize,
+    /// Total bits on the wire this round.
+    pub bits: usize,
+    /// Largest message crossing any single edge this round, in bits.
+    pub max_edge_bits: usize,
+    /// Corruptions performed this round.
+    pub corruptions: usize,
+    /// Honest nodes that halted by the end of this round (cumulative).
+    pub halted_honest: usize,
+}
+
+/// Aggregated measurements for a whole run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total point-to-point messages.
+    pub total_messages: usize,
+    /// Total bits on the wire.
+    pub total_bits: usize,
+    /// Maximum over rounds of the per-edge bit maximum — the quantity the
+    /// CONGEST model bounds by `O(log n)`.
+    pub max_edge_bits: usize,
+    /// Total corruptions performed by the adversary.
+    pub corruptions: usize,
+    /// Per-round breakdown (present only when recording is enabled).
+    pub per_round: Vec<RoundMetrics>,
+}
+
+impl RunMetrics {
+    /// Creates empty metrics; `record_rounds` controls whether the
+    /// per-round breakdown is kept (costs memory on long runs).
+    pub fn new(record_rounds: bool) -> Self {
+        RunMetrics {
+            per_round: if record_rounds { Vec::new() } else { Vec::new() },
+            ..Default::default()
+        }
+    }
+
+    /// Folds one round's metrics into the totals.
+    pub fn absorb(&mut self, rm: RoundMetrics, keep_round: bool) {
+        self.rounds += 1;
+        self.total_messages += rm.messages;
+        self.total_bits += rm.bits;
+        self.max_edge_bits = self.max_edge_bits.max(rm.max_edge_bits);
+        self.corruptions += rm.corruptions;
+        if keep_round {
+            self.per_round.push(rm);
+        }
+    }
+
+    /// Average messages per round, if any rounds ran.
+    pub fn messages_per_round(&self) -> Option<f64> {
+        (self.rounds > 0).then(|| self.total_messages as f64 / self.rounds as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut m = RunMetrics::new(true);
+        m.absorb(
+            RoundMetrics {
+                messages: 10,
+                bits: 100,
+                max_edge_bits: 12,
+                corruptions: 1,
+                halted_honest: 0,
+            },
+            true,
+        );
+        m.absorb(
+            RoundMetrics {
+                messages: 5,
+                bits: 40,
+                max_edge_bits: 30,
+                corruptions: 0,
+                halted_honest: 3,
+            },
+            true,
+        );
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.total_messages, 15);
+        assert_eq!(m.total_bits, 140);
+        assert_eq!(m.max_edge_bits, 30);
+        assert_eq!(m.corruptions, 1);
+        assert_eq!(m.per_round.len(), 2);
+        assert_eq!(m.messages_per_round(), Some(7.5));
+    }
+
+    #[test]
+    fn no_rounds_means_no_average() {
+        let m = RunMetrics::new(false);
+        assert_eq!(m.messages_per_round(), None);
+    }
+
+    #[test]
+    fn per_round_can_be_skipped() {
+        let mut m = RunMetrics::new(false);
+        m.absorb(RoundMetrics::default(), false);
+        assert_eq!(m.rounds, 1);
+        assert!(m.per_round.is_empty());
+    }
+}

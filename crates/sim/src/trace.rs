@@ -1,0 +1,173 @@
+//! Optional event log for debugging and for invariant-checking tests.
+//!
+//! Tracing is off by default (it allocates); integration tests switch it
+//! on to check per-lemma invariants (e.g. Lemma 3: no two honest nodes
+//! assign different values in the same phase's first round).
+
+use crate::id::{NodeId, Round};
+use serde::{Deserialize, Serialize};
+
+/// A structured event recorded during a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A round began.
+    RoundStart {
+        /// The round.
+        round: Round,
+    },
+    /// The adversary corrupted a node.
+    Corruption {
+        /// The round.
+        round: Round,
+        /// The victim.
+        node: NodeId,
+        /// Total corruptions so far (including this one).
+        total: usize,
+    },
+    /// An honest node halted with an output.
+    Halt {
+        /// The round.
+        round: Round,
+        /// The node.
+        node: NodeId,
+        /// Its decided output.
+        output: Option<bool>,
+    },
+    /// Free-form, protocol-supplied annotation (phase transitions etc.).
+    Note {
+        /// The round.
+        round: Round,
+        /// The node the note concerns, if any.
+        node: Option<NodeId>,
+        /// The annotation.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The round the event belongs to.
+    pub fn round(&self) -> Round {
+        match self {
+            Event::RoundStart { round }
+            | Event::Corruption { round, .. }
+            | Event::Halt { round, .. }
+            | Event::Note { round, .. } => *round,
+        }
+    }
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// A disabled trace: `push` is a no-op.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// An enabled trace that records every event.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn push(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of a given round.
+    pub fn in_round(&self, round: Round) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.round() == round)
+    }
+
+    /// All corruption events, in order.
+    pub fn corruptions(&self) -> impl Iterator<Item = (Round, NodeId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Corruption { round, node, .. } => Some((*round, *node)),
+            _ => None,
+        })
+    }
+
+    /// All halt events, in order.
+    pub fn halts(&self) -> impl Iterator<Item = (Round, NodeId, Option<bool>)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Halt {
+                round,
+                node,
+                output,
+            } => Some((*round, *node, *output)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(Event::RoundStart { round: Round::ZERO });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.push(Event::RoundStart { round: Round::ZERO });
+        t.push(Event::Corruption {
+            round: Round::ZERO,
+            node: NodeId::new(3),
+            total: 1,
+        });
+        t.push(Event::Halt {
+            round: Round::new(2),
+            node: NodeId::new(1),
+            output: Some(true),
+        });
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.in_round(Round::ZERO).count(), 2);
+        assert_eq!(
+            t.corruptions().collect::<Vec<_>>(),
+            vec![(Round::ZERO, NodeId::new(3))]
+        );
+        assert_eq!(
+            t.halts().collect::<Vec<_>>(),
+            vec![(Round::new(2), NodeId::new(1), Some(true))]
+        );
+    }
+
+    #[test]
+    fn note_round_extraction() {
+        let e = Event::Note {
+            round: Round::new(5),
+            node: None,
+            text: "phase 2 begins".into(),
+        };
+        assert_eq!(e.round(), Round::new(5));
+    }
+}

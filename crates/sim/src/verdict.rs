@@ -1,0 +1,172 @@
+//! Post-run evaluation of the Byzantine agreement conditions.
+//!
+//! Definition 1 of the paper: every honest node terminates with an output
+//! such that (Agreement) any two honest outputs are equal, and (Validity)
+//! if every honest input is `b` then every honest output is `b`.
+
+use serde::{Deserialize, Serialize};
+
+/// The verdict for one run, computed from honest inputs and outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Every honest node halted with an output.
+    pub termination: bool,
+    /// All honest outputs that exist are equal (vacuously true if none).
+    pub agreement: bool,
+    /// If all honest *inputs* were equal to some `b`: whether all honest
+    /// outputs equal `b`. `None` when inputs were mixed (validity does not
+    /// constrain that case).
+    pub validity: Option<bool>,
+    /// The common decision value, when agreement holds and at least one
+    /// honest node decided.
+    pub decision: Option<bool>,
+}
+
+impl Verdict {
+    /// Evaluates the agreement conditions.
+    ///
+    /// `inputs` and `outputs` are indexed by node; `honest[i]` is false
+    /// for nodes the adversary corrupted (their entries are ignored —
+    /// the paper's conditions only constrain honest nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices have different lengths.
+    pub fn evaluate(inputs: &[bool], outputs: &[Option<bool>], honest: &[bool]) -> Verdict {
+        assert_eq!(inputs.len(), outputs.len());
+        assert_eq!(inputs.len(), honest.len());
+
+        let honest_outputs: Vec<Option<bool>> = outputs
+            .iter()
+            .zip(honest)
+            .filter(|(_, h)| **h)
+            .map(|(o, _)| *o)
+            .collect();
+        let honest_inputs: Vec<bool> = inputs
+            .iter()
+            .zip(honest)
+            .filter(|(_, h)| **h)
+            .map(|(i, _)| *i)
+            .collect();
+
+        let termination = honest_outputs.iter().all(|o| o.is_some());
+        let decided: Vec<bool> = honest_outputs.iter().filter_map(|o| *o).collect();
+        let agreement = decided.windows(2).all(|w| w[0] == w[1]);
+        let decision = if agreement {
+            decided.first().copied()
+        } else {
+            None
+        };
+
+        let uniform_input = honest_inputs
+            .first()
+            .map(|b| honest_inputs.iter().all(|x| x == b).then_some(*b));
+        let validity = match uniform_input {
+            Some(Some(b)) => Some(termination && agreement && decision == Some(b)),
+            _ => None,
+        };
+
+        Verdict {
+            termination,
+            agreement,
+            validity,
+            decision,
+        }
+    }
+
+    /// True when the run satisfies every applicable condition of
+    /// Definition 1 (termination, agreement, and validity when inputs
+    /// were uniform).
+    pub fn is_correct(&self) -> bool {
+        self.termination && self.agreement && self.validity.unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_agree_uniform_inputs() {
+        let v = Verdict::evaluate(
+            &[true, true, true],
+            &[Some(true), Some(true), Some(true)],
+            &[true, true, true],
+        );
+        assert!(v.termination && v.agreement);
+        assert_eq!(v.validity, Some(true));
+        assert_eq!(v.decision, Some(true));
+        assert!(v.is_correct());
+    }
+
+    #[test]
+    fn validity_violated_when_uniform_inputs_flipped() {
+        let v = Verdict::evaluate(
+            &[false, false],
+            &[Some(true), Some(true)],
+            &[true, true],
+        );
+        assert!(v.agreement);
+        assert_eq!(v.validity, Some(false));
+        assert!(!v.is_correct());
+    }
+
+    #[test]
+    fn mixed_inputs_have_no_validity_constraint() {
+        let v = Verdict::evaluate(
+            &[false, true],
+            &[Some(true), Some(true)],
+            &[true, true],
+        );
+        assert_eq!(v.validity, None);
+        assert!(v.is_correct());
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let v = Verdict::evaluate(
+            &[true, true, true],
+            &[Some(true), Some(false), Some(true)],
+            &[true, true, true],
+        );
+        assert!(!v.agreement);
+        assert_eq!(v.decision, None);
+        assert!(!v.is_correct());
+    }
+
+    #[test]
+    fn corrupted_nodes_are_ignored() {
+        // Node 1 is corrupted and "outputs" garbage — must not matter.
+        let v = Verdict::evaluate(
+            &[true, false, true],
+            &[Some(true), Some(false), Some(true)],
+            &[true, false, true],
+        );
+        assert!(v.agreement);
+        assert_eq!(v.validity, Some(true));
+        assert!(v.is_correct());
+    }
+
+    #[test]
+    fn non_termination_detected() {
+        let v = Verdict::evaluate(&[true, true], &[Some(true), None], &[true, true]);
+        assert!(!v.termination);
+        assert!(v.agreement, "one output is vacuously consistent");
+        assert_eq!(v.validity, Some(false), "validity requires termination");
+        assert!(!v.is_correct());
+    }
+
+    #[test]
+    fn no_honest_nodes_is_vacuous() {
+        let v = Verdict::evaluate(&[true], &[None], &[false]);
+        assert!(v.termination && v.agreement);
+        assert_eq!(v.validity, None);
+        assert!(v.is_correct());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = Verdict::evaluate(&[true], &[None, None], &[true]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Engine edge cases: full corruption, corrupting halted nodes, zero
+//! budgets, trace completeness.
+
+use aba_sim::adversary::{Adversary, AdversaryAction, Benign, RoundView};
+use aba_sim::prelude::*;
+use rand::RngCore;
+
+#[derive(Debug, Clone)]
+struct Ping;
+impl Message for Ping {
+    fn bit_size(&self) -> usize {
+        2
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    deadline: u64,
+    halted: bool,
+}
+impl Protocol for Node {
+    type Msg = Ping;
+    fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<Ping> {
+        Emission::Broadcast(Ping)
+    }
+    fn receive(&mut self, r: Round, _i: Inbox<'_, Ping>, _rng: &mut dyn RngCore) {
+        if r.index() + 1 >= self.deadline {
+            self.halted = true;
+        }
+    }
+    fn output(&self) -> Option<bool> {
+        self.halted.then_some(true)
+    }
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+fn nodes(n: usize, deadline: u64) -> Vec<Node> {
+    (0..n)
+        .map(|_| Node {
+            deadline,
+            halted: false,
+        })
+        .collect()
+}
+
+/// Corrupts everyone in round 0.
+struct TotalCorruption;
+impl Adversary<Node> for TotalCorruption {
+    fn act(&mut self, view: &RoundView<'_, Node>, _rng: &mut dyn RngCore) -> AdversaryAction<Ping> {
+        if view.round == Round::ZERO {
+            AdversaryAction {
+                corruptions: (0..view.n() as u32).map(NodeId::new).collect(),
+                sends: Vec::new(),
+            }
+        } else {
+            AdversaryAction::pass()
+        }
+    }
+}
+
+#[test]
+fn fully_corrupted_network_terminates_vacuously() {
+    let cfg = SimConfig::new(4, 4).with_max_rounds(100);
+    let report = Simulation::new(cfg, nodes(4, 50), TotalCorruption).run();
+    // No honest nodes left: the run ends immediately after the round.
+    assert!(report.all_halted, "vacuously true with zero honest nodes");
+    assert_eq!(report.corruptions_used, 4);
+    assert!(report.rounds <= 2);
+    assert!(report.outputs.iter().all(|o| o.is_none()));
+}
+
+/// Corrupts one node well after it has halted.
+struct LateCorruptor;
+impl Adversary<Node> for LateCorruptor {
+    fn act(&mut self, view: &RoundView<'_, Node>, _rng: &mut dyn RngCore) -> AdversaryAction<Ping> {
+        // Node 0 halts at round 1; corrupt it at round 2.
+        if view.round.index() == 2 {
+            AdversaryAction {
+                corruptions: vec![NodeId::new(0)],
+                sends: vec![(NodeId::new(0), Emission::Broadcast(Ping))],
+            }
+        } else {
+            AdversaryAction::pass()
+        }
+    }
+}
+
+#[test]
+fn corrupting_a_halted_node_is_allowed_and_erases_its_output() {
+    // Nodes 1..3 halt at round 4; node 0 halts at round 2 (deadline 2).
+    let mut all = nodes(4, 4);
+    all[0].deadline = 2;
+    let cfg = SimConfig::new(4, 1).with_max_rounds(100);
+    let report = Simulation::new(cfg, all, LateCorruptor).run();
+    assert!(!report.honest[0]);
+    assert_eq!(report.outputs[0], None, "corrupted outputs are discarded");
+    assert!(report.honest[1] && report.outputs[1] == Some(true));
+}
+
+#[test]
+fn zero_budget_ledger_blocks_everything() {
+    let cfg = SimConfig::new(3, 0).with_max_rounds(10);
+    let report = Simulation::new(cfg, nodes(3, 2), Benign).run();
+    assert_eq!(report.corruptions_used, 0);
+    assert!(report.honest.iter().all(|h| *h));
+}
+
+#[test]
+fn trace_records_round_starts_halts_and_corruptions() {
+    let cfg = SimConfig::new(4, 1).with_max_rounds(100).with_trace(true);
+    let mut all = nodes(4, 4);
+    all[0].deadline = 2;
+    let report = Simulation::new(cfg, all, LateCorruptor).run();
+    let round_starts = report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::RoundStart { .. }))
+        .count();
+    assert_eq!(round_starts as u64, report.rounds);
+    assert_eq!(report.trace.corruptions().count(), 1);
+    // Node 0 halted (round 1) before being corrupted (round 2).
+    let halts: Vec<_> = report.trace.halts().collect();
+    assert!(halts.iter().any(|(r, node, _)| node.index() == 0 && r.index() == 1));
+}
+
+#[test]
+fn per_round_metrics_recorded_when_enabled() {
+    let cfg = SimConfig::new(3, 0).with_round_metrics(true);
+    let report = Simulation::new(cfg, nodes(3, 3), Benign).run();
+    assert_eq!(report.metrics.per_round.len() as u64, report.rounds);
+    for rm in &report.metrics.per_round {
+        assert_eq!(rm.messages, 3 * 2);
+        assert_eq!(rm.max_edge_bits, 2);
+    }
+}
+
+#[test]
+fn n_equals_one_runs() {
+    let cfg = SimConfig::new(1, 0);
+    let report = Simulation::new(cfg, nodes(1, 2), Benign).run();
+    assert!(report.all_halted);
+    assert_eq!(report.metrics.total_messages, 0, "no one to talk to");
+}

@@ -1,0 +1,166 @@
+//! Property tests on the engine: invariants that must hold for arbitrary
+//! corruption schedules and network sizes.
+
+use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
+use aba_sim::prelude::*;
+use proptest::prelude::*;
+use rand::RngCore;
+
+#[derive(Debug, Clone)]
+struct Tick(u8);
+impl Message for Tick {
+    fn bit_size(&self) -> usize {
+        8
+    }
+}
+
+/// Counts invocations; halts at a deadline.
+#[derive(Debug)]
+struct Probe {
+    deadline: u64,
+    emits: u64,
+    receives: u64,
+    halted: bool,
+}
+
+impl Protocol for Probe {
+    type Msg = Tick;
+    fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<Tick> {
+        self.emits += 1;
+        Emission::Broadcast(Tick(1))
+    }
+    fn receive(&mut self, r: Round, _i: Inbox<'_, Tick>, _rng: &mut dyn RngCore) {
+        self.receives += 1;
+        if r.index() + 1 >= self.deadline {
+            self.halted = true;
+        }
+    }
+    fn output(&self) -> Option<bool> {
+        self.halted.then_some(true)
+    }
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+/// Corrupts a scripted set of (round, node) pairs; corrupted nodes stay
+/// silent.
+#[derive(Debug, Clone)]
+struct Scripted {
+    script: Vec<(u64, u32)>,
+}
+
+impl Adversary<Probe> for Scripted {
+    fn act(&mut self, view: &RoundView<'_, Probe>, _rng: &mut dyn RngCore) -> AdversaryAction<Tick> {
+        let due: Vec<NodeId> = self
+            .script
+            .iter()
+            .filter(|(r, _)| *r == view.round.index())
+            .map(|(_, id)| NodeId::new(*id))
+            .filter(|id| !view.ledger.is_corrupted(*id))
+            .take(view.ledger.remaining())
+            .collect();
+        AdversaryAction {
+            corruptions: due,
+            sends: Vec::new(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Corrupted nodes are never stepped again: their emit/receive
+    /// counters freeze at the corruption round.
+    #[test]
+    fn corrupted_nodes_are_frozen(
+        n in 2usize..16,
+        t_frac in 0usize..16,
+        deadline in 2u64..12,
+        script in proptest::collection::vec((0u64..12, 0u32..16), 0..12),
+        seed in any::<u64>(),
+    ) {
+        let t = t_frac % n;
+        let script: Vec<(u64, u32)> = script
+            .into_iter()
+            .map(|(r, id)| (r, id % n as u32))
+            .collect();
+        let nodes: Vec<Probe> = (0..n)
+            .map(|_| Probe { deadline, emits: 0, receives: 0, halted: false })
+            .collect();
+        let cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(40).with_trace(true);
+        let mut sim = Simulation::new(cfg, nodes, Scripted { script });
+        while sim.step() {}
+        // Corruption rounds, by node.
+        let corrupted_at: std::collections::HashMap<usize, u64> = sim
+            .ledger()
+            .history()
+            .iter()
+            .map(|(r, id)| (id.index(), r.index()))
+            .collect();
+        let report_rounds = sim.round().index();
+        for (i, node) in sim.nodes().iter().enumerate() {
+            match corrupted_at.get(&i) {
+                Some(r) => {
+                    // Stepped once per round up to and including round r
+                    // (corruption happens after emit of round r).
+                    prop_assert!(node.emits <= r + 1, "node {i} emitted after corruption");
+                    prop_assert!(node.receives <= *r, "node {i} received after corruption");
+                }
+                None => {
+                    let active = node.emits;
+                    prop_assert!(active <= report_rounds);
+                }
+            }
+        }
+        // Budget always respected.
+        prop_assert!(sim.ledger().used() <= t);
+    }
+
+    /// Metrics identity: total messages equals the sum over rounds, and
+    /// every round's messages fit under n(n−1).
+    #[test]
+    fn metrics_are_consistent(
+        n in 1usize..12,
+        deadline in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        let nodes: Vec<Probe> = (0..n)
+            .map(|_| Probe { deadline, emits: 0, receives: 0, halted: false })
+            .collect();
+        let cfg = SimConfig::new(n, 0)
+            .with_seed(seed)
+            .with_round_metrics(true)
+            .with_max_rounds(32);
+        let report = Simulation::new(cfg, nodes, aba_sim::adversary::Benign).run();
+        let sum: usize = report.metrics.per_round.iter().map(|r| r.messages).sum();
+        prop_assert_eq!(sum, report.metrics.total_messages);
+        for rm in &report.metrics.per_round {
+            prop_assert!(rm.messages <= n * (n - 1).max(0));
+        }
+        prop_assert!(report.all_halted);
+        prop_assert_eq!(report.rounds, deadline);
+    }
+
+    /// Determinism across reconstruction: step-by-step equals run().
+    #[test]
+    fn stepping_equals_running(
+        n in 1usize..10,
+        deadline in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        let mk = || -> Vec<Probe> {
+            (0..n)
+                .map(|_| Probe { deadline, emits: 0, receives: 0, halted: false })
+                .collect()
+        };
+        let cfg = SimConfig::new(n, 0).with_seed(seed);
+        let a = Simulation::new(cfg.clone(), mk(), aba_sim::adversary::Benign).run();
+        let mut sim = Simulation::new(cfg, mk(), aba_sim::adversary::Benign);
+        while sim.step() {}
+        let b = sim.into_report();
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.metrics.total_messages, b.metrics.total_messages);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the mailbox/emission layer: delivery semantics,
+//! counting laws, and equivocation behaviour under arbitrary traffic.
+
+use aba_sim::{Emission, Message, NodeId, RoundMailbox};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Tm(u16);
+impl Message for Tm {
+    fn bit_size(&self) -> usize {
+        16
+    }
+}
+
+/// An arbitrary emission targeting nodes in `0..n`.
+fn emission_strategy(n: usize) -> impl Strategy<Value = Emission<Tm>> {
+    prop_oneof![
+        Just(Emission::Silent),
+        any::<u16>().prop_map(|v| Emission::Broadcast(Tm(v))),
+        proptest::collection::vec((0..n as u32, any::<u16>()), 0..2 * n).prop_map(|pairs| {
+            Emission::PerRecipient(
+                pairs
+                    .into_iter()
+                    .map(|(to, v)| (NodeId::new(to), Tm(v)))
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// message_count equals the number of resolvable (sender, receiver)
+    /// pairs, excluding broadcast self-copies.
+    #[test]
+    fn message_count_matches_resolution(
+        n in 1usize..24,
+        emissions in proptest::collection::vec(emission_strategy(16), 1..24),
+    ) {
+        let mut mb: RoundMailbox<Tm> = RoundMailbox::new(n);
+        for (i, e) in emissions.iter().enumerate().take(n) {
+            // Clamp recipient ids into range.
+            let clamped = match e {
+                Emission::PerRecipient(v) => Emission::PerRecipient(
+                    v.iter()
+                        .map(|(to, m)| (NodeId::new(to.raw() % n as u32), m.clone()))
+                        .collect(),
+                ),
+                other => other.clone(),
+            };
+            mb.set(NodeId::new(i as u32), clamped);
+        }
+        let mut resolvable = 0usize;
+        for s in 0..n {
+            let sender = NodeId::new(s as u32);
+            for r in 0..n {
+                let receiver = NodeId::new(r as u32);
+                if mb.resolve(sender, receiver).is_some() && !(mb.is_broadcast(sender) && s == r) {
+                    resolvable += 1;
+                }
+            }
+        }
+        prop_assert_eq!(mb.message_count(), resolvable);
+    }
+
+    /// Inboxes are consistent with point resolution.
+    #[test]
+    fn inbox_agrees_with_resolve(
+        n in 1usize..16,
+        emissions in proptest::collection::vec(emission_strategy(16), 1..16),
+    ) {
+        let mut mb: RoundMailbox<Tm> = RoundMailbox::new(n);
+        for (i, e) in emissions.iter().enumerate().take(n) {
+            let clamped = match e {
+                Emission::PerRecipient(v) => Emission::PerRecipient(
+                    v.iter()
+                        .map(|(to, m)| (NodeId::new(to.raw() % n as u32), m.clone()))
+                        .collect(),
+                ),
+                other => other.clone(),
+            };
+            mb.set(NodeId::new(i as u32), clamped);
+        }
+        for r in 0..n {
+            let receiver = NodeId::new(r as u32);
+            let via_inbox: Vec<(u32, Tm)> = mb
+                .inbox(receiver)
+                .iter()
+                .map(|(s, m)| (s.raw(), m.clone()))
+                .collect();
+            let via_resolve: Vec<(u32, Tm)> = (0..n as u32)
+                .filter_map(|s| {
+                    mb.resolve(NodeId::new(s), receiver)
+                        .map(|m| (s, m.clone()))
+                })
+                .collect();
+            prop_assert_eq!(via_inbox, via_resolve);
+        }
+    }
+
+    /// Total bits = Σ message bits; the per-edge max never exceeds the
+    /// total and is attained by some delivered message.
+    #[test]
+    fn bit_accounting_laws(
+        n in 2usize..16,
+        emissions in proptest::collection::vec(emission_strategy(12), 1..12),
+    ) {
+        let mut mb: RoundMailbox<Tm> = RoundMailbox::new(n);
+        for (i, e) in emissions.iter().enumerate().take(n) {
+            let clamped = match e {
+                Emission::PerRecipient(v) => Emission::PerRecipient(
+                    v.iter()
+                        .map(|(to, m)| (NodeId::new(to.raw() % n as u32), m.clone()))
+                        .collect(),
+                ),
+                other => other.clone(),
+            };
+            mb.set(NodeId::new(i as u32), clamped);
+        }
+        prop_assert_eq!(mb.total_bits(), mb.message_count() * 16);
+        if mb.message_count() > 0 {
+            prop_assert_eq!(mb.max_edge_bits(), 16);
+        } else {
+            prop_assert_eq!(mb.max_edge_bits(), 0);
+        }
+    }
+
+    /// Setting a slot twice keeps only the second emission.
+    #[test]
+    fn set_is_last_writer_wins(
+        n in 2usize..12,
+        first in emission_strategy(8),
+        second in emission_strategy(8),
+    ) {
+        let clamp = |e: &Emission<Tm>| match e {
+            Emission::PerRecipient(v) => Emission::PerRecipient(
+                v.iter()
+                    .map(|(to, m)| (NodeId::new(to.raw() % n as u32), m.clone()))
+                    .collect(),
+            ),
+            other => other.clone(),
+        };
+        let mut a: RoundMailbox<Tm> = RoundMailbox::new(n);
+        a.set(NodeId::new(0), clamp(&first));
+        a.set(NodeId::new(0), clamp(&second));
+        let mut b: RoundMailbox<Tm> = RoundMailbox::new(n);
+        b.set(NodeId::new(0), clamp(&second));
+        for r in 0..n as u32 {
+            prop_assert_eq!(
+                a.resolve(NodeId::new(0), NodeId::new(r)),
+                b.resolve(NodeId::new(0), NodeId::new(r))
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Adversary tournament: every implemented attack plays against the
+//! paper's protocol; the table shows how many rounds each adversary
+//! class actually buys (Section 1's model hierarchy, measured).
+//!
+//! ```text
+//! cargo run --release --example adversary_tournament
+//! ```
+
+use adaptive_ba::analysis::Table;
+use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
+use adaptive_ba::sim::InfoModel;
+
+fn main() {
+    let n = 64;
+    let t = 21;
+    let trials = 20;
+
+    let attacks = [
+        AttackSpec::Benign,
+        AttackSpec::StaticSilent,
+        AttackSpec::StaticMirror,
+        AttackSpec::Crash { per_round: 1 },
+        AttackSpec::SplitVote,
+        AttackSpec::FullAttackFrugal,
+        AttackSpec::FullAttack,
+    ];
+
+    let mut table = Table::new(
+        format!("Adversary tournament vs Algorithm 3 (n={n}, t={t}, {trials} trials)"),
+        &["attack", "info", "mean rounds", "max rounds", "agree%", "corruptions"],
+    );
+
+    for attack in attacks {
+        for info in [InfoModel::NonRushing, InfoModel::Rushing] {
+            let scenario = Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .with_attack(attack)
+                .with_info(info)
+                .with_seed(7)
+                .with_max_rounds(20_000);
+            let results = run_many(&scenario, trials);
+            let mean = results.iter().map(|r| r.rounds as f64).sum::<f64>() / trials as f64;
+            let max = results.iter().map(|r| r.rounds).max().unwrap_or(0);
+            let agree =
+                results.iter().filter(|r| r.agreement).count() as f64 * 100.0 / trials as f64;
+            let corr = results.iter().map(|r| r.corruptions as f64).sum::<f64>() / trials as f64;
+            table.push_row(vec![
+                attack.name().into(),
+                (if info.is_rushing() { "rushing" } else { "non-rushing" }).into(),
+                mean.into(),
+                max.into(),
+                agree.into(),
+                corr.into(),
+            ]);
+        }
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading guide: agreement stays at 100% for every adversary (the protocol cannot be\n\
+         broken, only delayed); rounds climb with adaptivity and information — the rushing\n\
+         full attack is the paper's model and the most expensive row."
+    );
+}

@@ -1,0 +1,84 @@
+//! Common-coin demo: Algorithm 1 live, with and without an adversary.
+//!
+//! Shows the anti-concentration effect Theorem 3 rests on: the honest
+//! ±1 sum lands `Ω(√n)` away from zero with constant probability, so an
+//! adversary with only `√n/2` corruptions usually cannot drag it across
+//! the boundary — the coin stays *common*.
+//!
+//! ```text
+//! cargo run --release --example common_coin_demo
+//! ```
+
+use adaptive_ba::attacks::{CoinKiller, NonRushingPolicy};
+use adaptive_ba::coin::{analysis, CoinFlipNode};
+use adaptive_ba::sim::adversary::Benign;
+use adaptive_ba::sim::{SimConfig, Simulation};
+
+fn common_rate(n: usize, t: usize, trials: u64, attack: bool) -> (f64, f64) {
+    let mut common = 0u64;
+    let mut ones = 0u64;
+    for seed in 0..trials {
+        let cfg = SimConfig::new(n, t).with_seed(seed);
+        let nodes = CoinFlipNode::network(n);
+        let report = if attack {
+            Simulation::new(cfg, nodes, CoinKiller::new(NonRushingPolicy::Guaranteed)).run()
+        } else {
+            Simulation::new(cfg, nodes, Benign).run()
+        };
+        let outs: Vec<bool> = report
+            .outputs
+            .iter()
+            .zip(&report.honest)
+            .filter(|(_, h)| **h)
+            .filter_map(|(o, _)| *o)
+            .collect();
+        if outs.windows(2).all(|w| w[0] == w[1]) {
+            common += 1;
+            if outs[0] {
+                ones += 1;
+            }
+        }
+    }
+    (
+        common as f64 / trials as f64,
+        if common > 0 {
+            ones as f64 / common as f64
+        } else {
+            f64::NAN
+        },
+    )
+}
+
+fn main() {
+    let n = 256;
+    let sqrt_n = (n as f64).sqrt();
+    let trials = 400;
+
+    println!("Algorithm 1 on n = {n} nodes, {trials} trials per row\n");
+    println!("| budget t | t/√n | Pr[common] | Pr[1|common] | exact theory | PZ floor |");
+    println!("|---|---|---|---|---|---|");
+    for t in [0usize, 4, 8, 12, 16, 24, 32, 48, 64] {
+        if 3 * t >= n {
+            break;
+        }
+        let (p_comm, bias) = common_rate(n, t, trials, t > 0);
+        let theory = if t == 0 {
+            1.0
+        } else {
+            analysis::prob_abs_sum_greater(n as u64, (2 * t - 1) as u64)
+        };
+        let pz = analysis::theorem3_bound(n as u64)
+            .map(|b| format!("{:.3}", 2.0 * b))
+            .unwrap_or_else(|| "—".into());
+        println!(
+            "| {t} | {:.2} | {p_comm:.3} | {bias:.3} | {theory:.3} | {pz} |",
+            t as f64 / sqrt_n
+        );
+    }
+    println!(
+        "\nTheorem 3 (paper): up to √n/2 = {:.0} adaptive rushing corruptions cannot stop the\n\
+         coin from being common with constant probability — watch Pr[common] stay above the\n\
+         Paley–Zygmund floor there, then collapse as t grows past Θ(√n).",
+        sqrt_n / 2.0
+    );
+}

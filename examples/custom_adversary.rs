@@ -1,0 +1,108 @@
+//! Writing your own adversary: implement `Adversary` against the
+//! agreement protocol, with the same full-information rushing view the
+//! built-in attacks get.
+//!
+//! The example adversary below is a "flip-flopper": every round it makes
+//! all its corrupted nodes broadcast the *minority* value among honest
+//! nodes, trying to drag the network back and forth. (It is measurably
+//! weaker than the library's coin-killing attacks — the point is the
+//! API.)
+//!
+//! ```text
+//! cargo run --release --example custom_adversary
+//! ```
+
+use adaptive_ba::agreement::{BaConfig, BaMsg, BaNodeView, CommitteeBa, SubRound};
+use adaptive_ba::attacks::{AdaptiveFullAttack, BudgetPolicy};
+use adaptive_ba::sim::adversary::{Adversary, AdversaryAction, RoundView};
+use adaptive_ba::sim::{Emission, NodeId, Round, SimConfig, Simulation, Verdict};
+use rand::RngCore;
+
+/// Corrupts `t` nodes immediately, then always pushes the honest
+/// minority value.
+struct FlipFlopper;
+
+impl Adversary<CommitteeBa> for FlipFlopper {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, CommitteeBa>,
+        _rng: &mut dyn RngCore,
+    ) -> AdversaryAction<BaMsg> {
+        // Round 0: grab the whole budget at once (IDs spread out so every
+        // committee gets a puppet).
+        let corruptions: Vec<NodeId> = if view.round == Round::ZERO {
+            let n = view.n();
+            let t = view.ledger.budget();
+            (0..t).map(|i| NodeId::new((i * n / t.max(1)) as u32)).collect()
+        } else {
+            Vec::new()
+        };
+
+        // Full information: read every honest node's current value.
+        let honest_ones = view
+            .live_honest()
+            .filter(|id| view.nodes[id.index()].ba_val())
+            .count();
+        let honest_total = view.live_honest().count().max(1);
+        let minority = honest_ones * 2 < honest_total;
+
+        // All puppets broadcast the minority value with a current-phase
+        // header (the config is shared by every node).
+        let cfg: &BaConfig = view.nodes[0].ba_config();
+        let (phase, sub) = cfg.schedule(view.round);
+        let msg = BaMsg::Phase {
+            phase,
+            sub: SubRound::from_index(sub),
+            val: minority,
+            decided: false,
+            flip: Some(if minority { 1 } else { -1 }),
+        };
+        let sends = view
+            .ledger
+            .corrupted_nodes()
+            .chain(corruptions.iter().copied())
+            .map(|id| (id, Emission::Broadcast(msg)))
+            .collect();
+
+        AdversaryAction { corruptions, sends }
+    }
+
+    fn name(&self) -> &'static str {
+        "flip-flopper"
+    }
+}
+
+fn mean_rounds<A: Adversary<CommitteeBa> + Clone>(adv: A, trials: u64) -> f64 {
+    let (n, t) = (64, 21);
+    let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
+    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let mut total = 0u64;
+    for seed in 0..trials {
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(10_000);
+        let report = Simulation::new(sim_cfg, nodes, adv.clone()).run();
+        let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
+        assert!(verdict.agreement, "no adversary can break agreement");
+        total += report.rounds;
+    }
+    total as f64 / trials as f64
+}
+
+impl Clone for FlipFlopper {
+    fn clone(&self) -> Self {
+        FlipFlopper
+    }
+}
+
+fn main() {
+    let trials = 15;
+    let custom = mean_rounds(FlipFlopper, trials);
+    let library = mean_rounds(AdaptiveFullAttack::new(BudgetPolicy::Greedy), trials);
+    println!("mean rounds over {trials} trials (n=64, t=21, split inputs):");
+    println!("  your FlipFlopper attack : {custom:.1}");
+    println!("  library full attack     : {library:.1}");
+    println!(
+        "\nBoth keep agreement intact (they must — Theorem 2); the library attack just\n\
+         delays longer because it prices its corruptions against the committee coin."
+    );
+}

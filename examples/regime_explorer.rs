@@ -1,0 +1,77 @@
+//! Regime explorer: sweep `t` at a fixed `n` and watch the paper's
+//! `min{t²·log n/n, t/log n}` bound switch branches, with measured
+//! rounds for both the paper's protocol and the Chor–Coan baseline.
+//!
+//! ```text
+//! cargo run --release --example regime_explorer [n]
+//! ```
+
+use adaptive_ba::analysis::{theory, Table};
+use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+    let trials = 8;
+
+    let mut table = Table::new(
+        format!("Regime explorer at n = {n} (adaptive rushing full attack, {trials} trials)"),
+        &[
+            "t",
+            "committees c",
+            "committee size s",
+            "paper rounds",
+            "chor-coan rounds",
+            "paper bound",
+            "cc bound",
+            "regime",
+        ],
+    );
+
+    let boundary = theory::regime_boundary(n);
+    let mut t = 2usize;
+    while t < n / 3 {
+        let c = theory::committee_count(n, t, 2.0);
+        let s = theory::committee_size(n, t, 2.0);
+        let paper = run_many(
+            &Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(11)
+                .with_max_rounds((8 * n) as u64),
+            trials,
+        );
+        let cc = run_many(
+            &Scenario::new(n, t)
+                .with_protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(11)
+                .with_max_rounds((8 * n) as u64),
+            trials,
+        );
+        let mean = |rs: &[adaptive_ba::harness::TrialResult]| {
+            rs.iter().map(|r| r.rounds as f64).sum::<f64>() / rs.len() as f64
+        };
+        table.push_row(vec![
+            t.into(),
+            c.into(),
+            s.into(),
+            mean(&paper).into(),
+            mean(&cc).into(),
+            theory::paper_bound(n, t).into(),
+            theory::chor_coan_bound(n, t).into(),
+            (if (t as f64) < boundary {
+                "t < n/log²n (improvement)"
+            } else {
+                "t ≥ n/log²n (parity)"
+            })
+            .into(),
+        ]);
+        t *= 2;
+    }
+
+    println!("{}", table.to_markdown());
+    println!("regime boundary t* = n/log²n = {boundary:.1}");
+}

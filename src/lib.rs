@@ -1,0 +1,36 @@
+//! # adaptive-ba — Byzantine agreement under an adaptive adversary
+//!
+//! Facade crate for the reproduction of Dufoulon & Pandurangan,
+//! *Improved Byzantine Agreement under an Adaptive Adversary* (PODC
+//! 2025, arXiv:2506.04919). It re-exports the workspace crates:
+//!
+//! * [`sim`] — synchronous full-information round simulator (substrate);
+//! * [`adversary`] — adversary framework and generic strategies;
+//! * [`coin`] — the paper's common-coin protocols (Algorithms 1 and 2);
+//! * [`agreement`] — the paper's committee-based Byzantine agreement
+//!   protocol (Algorithm 3) and the baselines it is compared against;
+//! * [`attacks`] — protocol-aware adaptive rushing attack strategies;
+//! * [`analysis`] — statistics, regression, and theory bound curves;
+//! * [`harness`] — experiment definitions and the parallel trial runner.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
+//! EXPERIMENTS.md at the repository root for the system inventory and the
+//! paper-claim-by-claim experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use aba_adversary as adversary;
+pub use aba_agreement as agreement;
+pub use aba_analysis as analysis;
+pub use aba_attacks as attacks;
+pub use aba_coin as coin;
+pub use aba_harness as harness;
+pub use aba_sim as sim;
+
+/// Workspace-wide prelude: the most common types for running experiments.
+pub mod prelude {
+    pub use aba_agreement::prelude::*;
+    pub use aba_attacks::prelude::*;
+    pub use aba_coin::prelude::*;
+    pub use aba_sim::prelude::*;
+}

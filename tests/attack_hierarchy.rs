@@ -1,0 +1,83 @@
+//! Integration: the adversary hierarchy of Section 1 is measurable —
+//! stronger information/adaptivity buys more rounds, and the rushing
+//! full-information adversary is the strongest implemented.
+
+use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
+use adaptive_ba::sim::InfoModel;
+
+fn mean_rounds(attack: AttackSpec, info: InfoModel, trials: usize) -> f64 {
+    let s = Scenario::new(64, 21)
+        .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .with_attack(attack)
+        .with_info(info)
+        .with_seed(4242)
+        .with_max_rounds(40_000);
+    let results = run_many(&s, trials);
+    assert!(
+        results.iter().all(|r| r.terminated && r.agreement),
+        "{:?} broke the protocol",
+        attack
+    );
+    results.iter().map(|r| r.rounds as f64).sum::<f64>() / trials as f64
+}
+
+#[test]
+fn adaptive_byzantine_beats_static_and_crash() {
+    let trials = 12;
+    let benign = mean_rounds(AttackSpec::Benign, InfoModel::Rushing, trials);
+    let static_silent = mean_rounds(AttackSpec::StaticSilent, InfoModel::Rushing, trials);
+    let full = mean_rounds(AttackSpec::FullAttack, InfoModel::Rushing, trials);
+    assert!(
+        full > benign,
+        "full attack ({full}) must beat benign ({benign})"
+    );
+    assert!(
+        full > static_silent,
+        "full attack ({full}) must beat static ({static_silent})"
+    );
+}
+
+#[test]
+fn rushing_beats_non_rushing_for_the_full_attack() {
+    let trials = 12;
+    let rushing = mean_rounds(AttackSpec::FullAttack, InfoModel::Rushing, trials);
+    let non_rushing = mean_rounds(AttackSpec::FullAttack, InfoModel::NonRushing, trials);
+    assert!(
+        rushing >= non_rushing,
+        "rushing ({rushing}) must be at least as strong as non-rushing ({non_rushing})"
+    );
+}
+
+#[test]
+fn split_vote_is_within_full_attack() {
+    let trials = 12;
+    let split = mean_rounds(AttackSpec::SplitVote, InfoModel::Rushing, trials);
+    let full = mean_rounds(AttackSpec::FullAttack, InfoModel::Rushing, trials);
+    // The full attack subsumes split-vote's moves; allow sampling slack.
+    assert!(
+        full >= 0.8 * split,
+        "full ({full}) unexpectedly much weaker than split-vote ({split})"
+    );
+}
+
+#[test]
+fn budgetless_adversary_is_harmless() {
+    // t = 0: every attack degenerates to benign behaviour.
+    for attack in [
+        AttackSpec::StaticSilent,
+        AttackSpec::Crash { per_round: 2 },
+        AttackSpec::SplitVote,
+        AttackSpec::FullAttack,
+    ] {
+        let s = Scenario::new(16, 0)
+            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .with_attack(attack)
+            .with_seed(9);
+        let results = run_many(&s, 5);
+        for r in &results {
+            assert_eq!(r.corruptions, 0);
+            assert!(r.terminated && r.agreement);
+            assert!(r.rounds <= 10, "{} rounds with t=0", r.rounds);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration: CONGEST bandwidth compliance and bit-exact determinism.
+
+use adaptive_ba::harness::{run_many, run_scenario, AttackSpec, InputSpec, ProtocolSpec, Scenario};
+
+#[test]
+fn congest_budget_holds_for_every_protocol() {
+    // The paper's model allows O(log n) bits per edge per round; assert a
+    // fixed constant multiple across protocols, sizes, and adversaries.
+    for &(n, t) in &[(16usize, 5usize), (64, 21), (128, 42)] {
+        let budget = (8.0 * (n as f64).log2()) as usize;
+        for protocol in [
+            ProtocolSpec::Paper { alpha: 2.0 },
+            ProtocolSpec::PaperLiteralCoin { alpha: 2.0 },
+            ProtocolSpec::ChorCoan { beta: 1.0 },
+            ProtocolSpec::PhaseKing,
+        ] {
+            let s = Scenario::new(n, t)
+                .with_protocol(protocol)
+                .with_attack(AttackSpec::FullAttack)
+                .with_seed(3)
+                .with_max_rounds(40_000);
+            let r = run_scenario(&s);
+            assert!(
+                r.max_edge_bits <= budget,
+                "{} n={n}: {} bits/edge/round (budget {budget})",
+                protocol.name(),
+                r.max_edge_bits
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_bit_exact_reproducible() {
+    for protocol in [
+        ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ProtocolSpec::ChorCoan { beta: 1.0 },
+        ProtocolSpec::RabinDealer,
+    ] {
+        for attack in [AttackSpec::FullAttack, AttackSpec::Crash { per_round: 1 }] {
+            let s = Scenario::new(31, 10)
+                .with_protocol(protocol)
+                .with_attack(attack)
+                .with_inputs(InputSpec::Random)
+                .with_seed(0xFEED)
+                .with_max_rounds(40_000);
+            let a = run_scenario(&s);
+            let b = run_scenario(&s);
+            assert_eq!(a, b, "{}/{}", protocol.name(), attack.name());
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let base = Scenario::new(31, 10)
+        .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .with_attack(AttackSpec::SplitVote)
+        .with_max_rounds(40_000);
+    let results = run_many(&base, 16);
+    let distinct_rounds: std::collections::HashSet<u64> =
+        results.iter().map(|r| r.rounds).collect();
+    assert!(
+        distinct_rounds.len() > 1,
+        "16 seeds produced identical round counts — randomness broken?"
+    );
+}
+
+#[test]
+fn message_totals_scale_with_n_squared_per_round() {
+    // Sanity: per-round traffic of a broadcast protocol is ~n(n−1).
+    let s = Scenario::new(32, 0)
+        .with_protocol(ProtocolSpec::Paper { alpha: 2.0 })
+        .with_attack(AttackSpec::Benign)
+        .with_inputs(InputSpec::AllSame(true))
+        .with_seed(1);
+    let r = run_scenario(&s);
+    let per_round = r.messages as f64 / r.rounds as f64;
+    let full = (32.0 * 31.0) as f64;
+    assert!(
+        per_round <= full + 1.0 && per_round >= 0.5 * full,
+        "per-round messages {per_round} out of range (full broadcast {full})"
+    );
+}

@@ -1,0 +1,65 @@
+//! Integration: Theorem 2's early-termination clause — the protocol's
+//! running time tracks the corruptions the adversary *actually* performs
+//! (`q`), not the budget it was provisioned for (`t`).
+
+use adaptive_ba::analysis::theory;
+use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
+
+fn mean_rounds(n: usize, t: usize, q: usize, trials: usize) -> f64 {
+    let s = Scenario::new(n, t)
+        .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .with_attack(AttackSpec::FullAttackCapped { q })
+        .with_seed(1000)
+        .with_max_rounds(40_000);
+    let results = run_many(&s, trials);
+    assert!(results.iter().all(|r| r.terminated && r.agreement));
+    results.iter().map(|r| r.rounds as f64).sum::<f64>() / trials as f64
+}
+
+#[test]
+fn rounds_track_q_not_t() {
+    let n = 64;
+    let t = 21;
+    let idle = mean_rounds(n, t, 0, 8);
+    let light = mean_rounds(n, t, 4, 8);
+    let heavy = mean_rounds(n, t, 21, 8);
+    // A benign-in-practice adversary ends things almost immediately.
+    assert!(idle <= 8.0, "q=0 took {idle} rounds");
+    // More actual corruptions must cost more rounds on average.
+    assert!(
+        heavy >= light && light >= idle,
+        "rounds not monotone in q: {idle} / {light} / {heavy}"
+    );
+}
+
+#[test]
+fn capped_attack_never_exceeds_q() {
+    for q in [0usize, 3, 9] {
+        let s = Scenario::new(31, 10)
+            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .with_attack(AttackSpec::FullAttackCapped { q })
+            .with_seed(7)
+            .with_max_rounds(40_000);
+        for r in run_many(&s, 6) {
+            assert!(r.corruptions <= q, "q={q} but {} corrupted", r.corruptions);
+        }
+    }
+}
+
+#[test]
+fn early_termination_stays_within_bound_shape() {
+    // Measured rounds at cap q should stay within a constant multiple of
+    // min{q² log n/n, q/log n} + the constant floor.
+    let n = 64;
+    let t = 21;
+    for q in [4usize, 8, 16] {
+        let measured = mean_rounds(n, t, q, 8);
+        let bound = theory::early_termination_bound(n, q);
+        // Generous constant: 2 rounds per phase, plus setup/farewell.
+        let allowance = 8.0 * bound + 10.0;
+        assert!(
+            measured <= allowance,
+            "q={q}: measured {measured} vs allowance {allowance}"
+        );
+    }
+}

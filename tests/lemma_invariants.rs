@@ -1,0 +1,211 @@
+//! Integration: the paper's lemmas, checked on live executions.
+//!
+//! These tests step the simulation round by round and inspect honest node
+//! state through the full-information view — the same lens the adversary
+//! gets — asserting the per-phase invariants the proofs rely on.
+
+use adaptive_ba::agreement::{BaConfig, BaNodeView, CommitteeBa};
+use adaptive_ba::attacks::{AdaptiveFullAttack, BudgetPolicy};
+use adaptive_ba::sim::adversary::Benign;
+use adaptive_ba::sim::{NodeId, Protocol, SimConfig, Simulation};
+
+fn split_inputs(n: usize) -> Vec<bool> {
+    (0..n).map(|i| i % 2 == 0).collect()
+}
+
+/// Lemma 3: after round 1 of any phase, no two honest nodes have decided
+/// on different values.
+#[test]
+fn lemma3_deciders_share_value() {
+    for seed in 0..10 {
+        let n = 31;
+        let t = 10;
+        let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
+        let inputs = split_inputs(n);
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(4_000);
+        let mut sim = Simulation::new(
+            sim_cfg,
+            nodes,
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+        );
+        let mut round = 0u64;
+        loop {
+            let more = sim.step();
+            // After an even engine round (subround 1 received):
+            if round % 2 == 0 {
+                let decided_vals: Vec<bool> = sim
+                    .nodes()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, node)| {
+                        !sim.ledger().is_corrupted(NodeId::new(*i as u32))
+                            && node.ba_decided()
+                            && !node.halted()
+                    })
+                    .map(|(_, node)| node.ba_val())
+                    .collect();
+                assert!(
+                    decided_vals.windows(2).all(|w| w[0] == w[1]),
+                    "seed {seed} round {round}: honest deciders disagree"
+                );
+            }
+            if !more {
+                break;
+            }
+            round += 1;
+        }
+    }
+}
+
+/// Lemma 2 and validity: if at least n−t honest nodes share a value at a
+/// phase start, everyone adopts it that phase (here: uniform inputs end
+/// the protocol immediately, adversary notwithstanding).
+#[test]
+fn lemma2_supermajority_locks_in() {
+    for seed in 0..5 {
+        let n = 22;
+        let t = 7;
+        let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
+        let inputs = vec![true; n];
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed);
+        let report = Simulation::new(
+            sim_cfg,
+            nodes,
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+        )
+        .run();
+        // Phase 1 decides + finishes, farewell through phase 2: ≤ 4 rounds.
+        assert!(
+            report.rounds <= 4,
+            "seed {seed}: {} rounds despite unanimous start",
+            report.rounds
+        );
+        assert!(report
+            .outputs
+            .iter()
+            .zip(&report.honest)
+            .filter(|(_, h)| **h)
+            .all(|(o, _)| *o == Some(true)));
+    }
+}
+
+/// Lemma 4: once any honest node sets `finish` in phase i, every honest
+/// node halts by the end of phase i+2.
+#[test]
+fn lemma4_termination_cascade() {
+    for seed in 0..10 {
+        let n = 31;
+        let t = 10;
+        let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
+        let rpp = cfg.rounds_per_phase();
+        let inputs = split_inputs(n);
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(4_000);
+        let mut sim = Simulation::new(
+            sim_cfg,
+            nodes,
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+        );
+        let mut first_finish_phase: Option<u64> = None;
+        let mut round = 0u64;
+        loop {
+            let more = sim.step();
+            if first_finish_phase.is_none() {
+                let finished = sim.nodes().iter().enumerate().any(|(i, node)| {
+                    !sim.ledger().is_corrupted(NodeId::new(i as u32)) && node.ba_finished()
+                });
+                if finished {
+                    first_finish_phase = Some(round / rpp + 1);
+                }
+            }
+            if !more {
+                break;
+            }
+            round += 1;
+        }
+        let report = sim.into_report();
+        assert!(report.all_halted, "seed {seed}");
+        let fp = first_finish_phase.expect("somebody finished");
+        let last_halt = report
+            .halt_rounds
+            .iter()
+            .zip(&report.honest)
+            .filter(|(_, h)| **h)
+            .filter_map(|(r, _)| *r)
+            .max()
+            .unwrap();
+        let deadline = (fp + 2) * rpp; // end of phase fp+2
+        assert!(
+            last_halt < deadline,
+            "seed {seed}: finish in phase {fp} but last halt at round {last_halt} \
+             (deadline {deadline})"
+        );
+    }
+}
+
+/// The whp variant runs at most `c` phases (`2c` rounds) — Algorithm 3's
+/// loop bound — even when the adversary denies every coin.
+#[test]
+fn whp_round_budget_is_respected() {
+    for seed in 0..5 {
+        let n = 31;
+        let t = 10;
+        let cfg = BaConfig::paper(n, t, 2.0).unwrap();
+        let budget = cfg.whp_round_budget();
+        let inputs = split_inputs(n);
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(100_000);
+        let report = Simulation::new(
+            sim_cfg,
+            nodes,
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+        )
+        .run();
+        assert!(
+            report.rounds <= budget,
+            "seed {seed}: whp run took {} rounds, budget {budget}",
+            report.rounds
+        );
+    }
+}
+
+/// Theorem 3 as an invariant of full runs: with a benign adversary, every
+/// coin phase produces a *common* value — all honest nodes leave any
+/// phase with identical `val` whenever no threshold case fired.
+#[test]
+fn benign_coin_phases_are_always_common() {
+    for seed in 0..10 {
+        let n = 16;
+        let t = 5;
+        let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
+        let inputs = split_inputs(n);
+        let nodes = CommitteeBa::network(&cfg, &inputs);
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(1_000);
+        let mut sim = Simulation::new(sim_cfg, nodes, Benign);
+        let mut round = 0u64;
+        loop {
+            let more = sim.step();
+            if round % 2 == 1 {
+                // End of a phase: all honest nodes must share val (the
+                // coin is common without Byzantine interference, and
+                // threshold adoptions share b_i by Lemma 3).
+                let vals: Vec<bool> = sim
+                    .nodes()
+                    .iter()
+                    .filter(|node| !node.halted())
+                    .map(|node| node.ba_val())
+                    .collect();
+                assert!(
+                    vals.windows(2).all(|w| w[0] == w[1]),
+                    "seed {seed} round {round}: benign phase not common"
+                );
+            }
+            if !more {
+                break;
+            }
+            round += 1;
+        }
+    }
+}

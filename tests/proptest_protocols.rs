@@ -1,0 +1,106 @@
+//! Property-based integration tests: Definition 1 holds for arbitrary
+//! (n, t, seed, inputs, protocol, adversary) draws; simulator laws hold
+//! for arbitrary traffic.
+
+use adaptive_ba::harness::{run_scenario, AttackSpec, InputSpec, ProtocolSpec, Scenario};
+use proptest::prelude::*;
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolSpec> {
+    prop_oneof![
+        Just(ProtocolSpec::Paper { alpha: 2.0 }),
+        Just(ProtocolSpec::PaperLasVegas { alpha: 2.0 }),
+        Just(ProtocolSpec::PaperLiteralCoin { alpha: 2.0 }),
+        Just(ProtocolSpec::ChorCoan { beta: 1.0 }),
+        Just(ProtocolSpec::RabinDealer),
+        Just(ProtocolSpec::PhaseKing),
+    ]
+}
+
+fn attack_strategy() -> impl Strategy<Value = AttackSpec> {
+    prop_oneof![
+        Just(AttackSpec::Benign),
+        Just(AttackSpec::StaticSilent),
+        Just(AttackSpec::StaticMirror),
+        (1usize..3).prop_map(|per_round| AttackSpec::Crash { per_round }),
+        Just(AttackSpec::SplitVote),
+        Just(AttackSpec::FullAttack),
+        (0usize..5).prop_map(|q| AttackSpec::FullAttackCapped { q }),
+    ]
+}
+
+fn input_strategy() -> impl Strategy<Value = InputSpec> {
+    prop_oneof![
+        Just(InputSpec::AllSame(true)),
+        Just(InputSpec::AllSame(false)),
+        Just(InputSpec::Split),
+        Just(InputSpec::Random),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline property: any drawn configuration satisfies
+    /// termination, agreement, and validity.
+    #[test]
+    fn definition1_holds(
+        t in 0usize..6,
+        extra in 1usize..12,
+        protocol in protocol_strategy(),
+        attack in attack_strategy(),
+        inputs in input_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let n = 3 * t + extra; // always ≥ 3t+1
+        let s = Scenario::new(n, t)
+            .with_protocol(protocol)
+            .with_attack(attack)
+            .with_inputs(inputs)
+            .with_seed(seed)
+            .with_max_rounds(60_000);
+        let r = run_scenario(&s);
+        prop_assert!(r.terminated, "{}/{} n={n} t={t}", protocol.name(), attack.name());
+        prop_assert!(r.agreement, "{}/{} n={n} t={t}", protocol.name(), attack.name());
+        if let Some(valid) = r.validity {
+            prop_assert!(valid, "{}/{} n={n} t={t}", protocol.name(), attack.name());
+        }
+        // The adversary never exceeds its budget.
+        prop_assert!(r.corruptions <= t);
+    }
+
+    /// Determinism as a property: identical scenarios yield identical
+    /// results.
+    #[test]
+    fn runs_are_pure_functions_of_seed(
+        t in 0usize..4,
+        extra in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = 3 * t + extra;
+        let s = Scenario::new(n, t)
+            .with_attack(AttackSpec::FullAttack)
+            .with_seed(seed)
+            .with_max_rounds(60_000);
+        prop_assert_eq!(run_scenario(&s), run_scenario(&s));
+    }
+
+    /// Validity is independent of the adversary: uniform inputs always
+    /// come back out.
+    #[test]
+    fn validity_under_any_attack(
+        b in any::<bool>(),
+        attack in attack_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let s = Scenario::new(13, 4)
+            .with_attack(attack)
+            .with_inputs(InputSpec::AllSame(b))
+            .with_seed(seed)
+            .with_max_rounds(60_000);
+        let r = run_scenario(&s);
+        prop_assert_eq!(r.decision, Some(b));
+    }
+}
