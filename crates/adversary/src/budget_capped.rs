@@ -48,9 +48,9 @@ impl<P: Protocol, A: Adversary<P>> Adversary<P> for BudgetCapped<A> {
             action.corruptions.truncate(allowed);
         }
         // Filter sends that now target nodes which stayed honest.
-        action.sends.retain(|(id, _)| {
-            view.ledger.is_corrupted(*id) || action.corruptions.contains(id)
-        });
+        action
+            .sends
+            .retain(|(id, _)| view.ledger.is_corrupted(*id) || action.corruptions.contains(id));
         action
     }
 

@@ -58,9 +58,7 @@ impl AdaptiveCrash {
         rng: &mut dyn RngCore,
     ) -> Vec<NodeId> {
         let mut live: Vec<NodeId> = view.live_honest().collect();
-        let quota = how_many
-            .min(view.ledger.remaining())
-            .min(live.len());
+        let quota = how_many.min(view.ledger.remaining()).min(live.len());
         live.shuffle(rng);
         live.truncate(quota);
         live
@@ -177,12 +175,8 @@ mod tests {
     #[test]
     fn crash_never_exceeds_live_nodes() {
         // Budget bigger than the network: must not panic.
-        let report = Simulation::new(
-            SimConfig::new(3, 3),
-            nodes(3, 4),
-            AdaptiveCrash::steady(10),
-        )
-        .run();
+        let report =
+            Simulation::new(SimConfig::new(3, 3), nodes(3, 4), AdaptiveCrash::steady(10)).run();
         assert_eq!(report.corruptions_used, 3);
     }
 }

@@ -128,11 +128,7 @@ pub fn render(series: &[Series], opts: &PlotOptions) -> String {
         width = w
     ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!(
-            "  {} {}\n",
-            GLYPHS[si % GLYPHS.len()],
-            s.label
-        ));
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
     }
     out
 }
@@ -174,7 +170,10 @@ mod tests {
     #[test]
     fn empty_input_is_placeholder() {
         let s = series("nothing", &[]);
-        assert_eq!(render(&[s], &PlotOptions::default()), "(no plottable points)");
+        assert_eq!(
+            render(&[s], &PlotOptions::default()),
+            "(no plottable points)"
+        );
         let neg = series("neg", &[(-1.0, -1.0)]);
         assert_eq!(
             render(&[neg], &PlotOptions::loglog()),

@@ -8,10 +8,8 @@
 //! fit, giving the experiments a quantitative pass/fail criterion rather
 //! than an eyeballed plot.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a simple linear least-squares fit `y = intercept + slope·x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,
@@ -35,10 +33,7 @@ pub fn fit_linear(points: &[(f64, f64)]) -> Option<LinearFit> {
     let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
     let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
     let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
     if sxx == 0.0 {
         return None;
@@ -125,7 +120,14 @@ mod tests {
 
     #[test]
     fn loglog_skips_nonpositive_points() {
-        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)];
+        let pts = [
+            (0.0, 1.0),
+            (-1.0, 2.0),
+            (1.0, 0.0),
+            (1.0, 2.0),
+            (2.0, 4.0),
+            (4.0, 8.0),
+        ];
         let f = fit_loglog(&pts).unwrap();
         assert_eq!(f.count, 3);
         assert!((f.slope - 1.0).abs() < 1e-12);

@@ -1,9 +1,7 @@
 //! Summary statistics over experiment samples.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary of a sample of f64 measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -91,7 +89,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 
 /// Proportion of `true` in a boolean sample together with a Wilson 95%
 /// confidence interval — used for agreement/validity success rates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Proportion {
     /// Number of successes.
     pub successes: usize,

@@ -2,11 +2,10 @@
 //! text series — the "rows the paper reports" output format of the
 //! harness.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A cell value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cell {
     /// Text.
     Text(String),
@@ -69,7 +68,7 @@ impl From<f64> for Cell {
 }
 
 /// A result table with named columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -104,7 +103,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let mut cells: Vec<String> = row.iter().map(Cell::render).collect();
@@ -128,7 +131,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let mut cells: Vec<String> = row.iter().map(|c| esc(&c.render())).collect();
@@ -140,7 +147,7 @@ impl Table {
 }
 
 /// A named (x, y) series — one curve of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Curve label.
     pub label: String,
@@ -228,7 +235,7 @@ mod tests {
 
     #[test]
     fn cell_float_formatting() {
-        assert_eq!(Cell::Float(3.14159).render(), "3.142");
+        assert_eq!(Cell::Float(1.23456).render(), "1.235");
         assert_eq!(Cell::Float(12345.6).render(), "12346");
         assert_eq!(Cell::Float(f64::NAN).render(), "—");
         assert_eq!(Cell::Empty.render(), "");

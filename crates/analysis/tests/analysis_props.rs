@@ -1,99 +1,164 @@
-//! Property tests for the analysis layer: statistics laws, regression
-//! recovery, and theory-curve orderings.
+//! Property-style tests for the analysis layer, deterministically
+//! sampled: statistics laws, regression recovery, and theory-curve
+//! orderings. (No proptest in this offline workspace — cases come from a
+//! fixed-seed SplitMix64 stream.)
 
 use aba_analysis::stats::{quantile_sorted, Proportion};
 use aba_analysis::{fit_linear, fit_loglog, theory, Summary};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+/// Deterministic case generator over the workspace's rand shim.
+struct Cases(SmallRng);
 
-    /// Summaries are order-invariant and bounded by min/max.
-    #[test]
-    fn summary_laws(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Cases(SmallRng::seed_from_u64(seed))
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform draw from [lo, hi).
+    fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn floats(&mut self, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| self.float(lo, hi)).collect()
+    }
+}
+
+/// Summaries are order-invariant and bounded by min/max.
+#[test]
+fn summary_laws() {
+    let mut cases = Cases::new(0x5A5A);
+    for _ in 0..256 {
+        let len = 1 + cases.below(199) as usize;
+        let mut xs = cases.floats(len, -1e6, 1e6);
         let s1 = Summary::of(&xs).unwrap();
         xs.reverse();
         let s2 = Summary::of(&xs).unwrap();
-        prop_assert!((s1.mean - s2.mean).abs() < 1e-6);
-        prop_assert_eq!(s1.min, s2.min);
-        prop_assert_eq!(s1.max, s2.max);
-        prop_assert!(s1.min <= s1.median && s1.median <= s1.max);
-        prop_assert!(s1.median <= s1.p95 + 1e-12 && s1.p95 <= s1.p99 + 1e-12);
-        prop_assert!(s1.min <= s1.mean && s1.mean <= s1.max);
-        prop_assert!(s1.std_dev >= 0.0);
+        assert!((s1.mean - s2.mean).abs() < 1e-6);
+        assert_eq!(s1.min, s2.min);
+        assert_eq!(s1.max, s2.max);
+        assert!(s1.min <= s1.median && s1.median <= s1.max);
+        assert!(s1.median <= s1.p95 + 1e-12 && s1.p95 <= s1.p99 + 1e-12);
+        assert!(s1.min <= s1.mean && s1.mean <= s1.max);
+        assert!(s1.std_dev >= 0.0);
     }
+}
 
-    /// Quantiles are monotone in q.
-    #[test]
-    fn quantiles_monotone(mut xs in proptest::collection::vec(-1e3f64..1e3, 1..100), steps in 2usize..20) {
+/// Quantiles are monotone in q.
+#[test]
+fn quantiles_monotone() {
+    let mut cases = Cases::new(0x9A9A);
+    for _ in 0..256 {
+        let len = 1 + cases.below(99) as usize;
+        let steps = 2 + cases.below(18) as usize;
+        let mut xs = cases.floats(len, -1e3, 1e3);
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut last = f64::NEG_INFINITY;
         for i in 0..=steps {
             let q = quantile_sorted(&xs, i as f64 / steps as f64);
-            prop_assert!(q >= last - 1e-12);
+            assert!(q >= last - 1e-12);
             last = q;
         }
     }
+}
 
-    /// Wilson intervals contain the point estimate and stay in [0,1].
-    #[test]
-    fn wilson_contains_estimate(successes in 0usize..500, extra in 0usize..500) {
+/// Wilson intervals contain the point estimate and stay in [0,1].
+#[test]
+fn wilson_contains_estimate() {
+    let mut cases = Cases::new(0x3113);
+    for _ in 0..256 {
+        let successes = cases.below(500) as usize;
+        let extra = cases.below(500) as usize;
         let trials = successes + extra;
-        prop_assume!(trials > 0);
+        if trials == 0 {
+            continue;
+        }
         let p = Proportion::of(successes, trials).unwrap();
-        prop_assert!(p.wilson_low <= p.estimate + 1e-12);
-        prop_assert!(p.estimate <= p.wilson_high + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&p.wilson_low));
-        prop_assert!((0.0..=1.0).contains(&p.wilson_high));
+        assert!(p.wilson_low <= p.estimate + 1e-12);
+        assert!(p.estimate <= p.wilson_high + 1e-12);
+        assert!((0.0..=1.0).contains(&p.wilson_low));
+        assert!((0.0..=1.0).contains(&p.wilson_high));
     }
+}
 
-    /// Linear regression recovers exact lines from arbitrary slopes.
-    #[test]
-    fn linear_fit_recovers(slope in -50f64..50.0, intercept in -50f64..50.0, k in 3usize..40) {
+/// Linear regression recovers exact lines from arbitrary slopes.
+#[test]
+fn linear_fit_recovers() {
+    let mut cases = Cases::new(0xF17A);
+    for _ in 0..256 {
+        let slope = cases.float(-50.0, 50.0);
+        let intercept = cases.float(-50.0, 50.0);
+        let k = 3 + cases.below(37) as usize;
         let pts: Vec<(f64, f64)> = (0..k)
             .map(|i| (i as f64, slope * i as f64 + intercept))
             .collect();
         let fit = fit_linear(&pts).unwrap();
-        prop_assert!((fit.slope - slope).abs() < 1e-6, "{} vs {}", fit.slope, slope);
-        prop_assert!((fit.intercept - intercept).abs() < 1e-5);
+        assert!((fit.slope - slope).abs() < 1e-6, "{} vs {slope}", fit.slope);
+        assert!((fit.intercept - intercept).abs() < 1e-5);
     }
+}
 
-    /// Power-law fits recover exact exponents.
-    #[test]
-    fn power_fit_recovers(exponent in -3f64..3.0, scale in 0.1f64..100.0, k in 3usize..30) {
+/// Power-law fits recover exact exponents.
+#[test]
+fn power_fit_recovers() {
+    let mut cases = Cases::new(0xF17B);
+    for _ in 0..256 {
+        let exponent = cases.float(-3.0, 3.0);
+        let scale = cases.float(0.1, 100.0);
+        let k = 3 + cases.below(27) as usize;
         let pts: Vec<(f64, f64)> = (1..=k)
             .map(|i| (i as f64, scale * (i as f64).powf(exponent)))
             .collect();
         let fit = fit_loglog(&pts).unwrap();
-        prop_assert!((fit.slope - exponent).abs() < 1e-6);
+        assert!((fit.slope - exponent).abs() < 1e-6);
     }
+}
 
-    /// Theory ordering: lower bound ≤ paper bound ≤ Chor-Coan bound for
-    /// every admissible (n, t).
-    #[test]
-    fn bound_ordering(t in 1usize..5000, extra in 1usize..5000) {
+/// Theory ordering: lower bound ≤ paper bound ≤ Chor-Coan bound for
+/// every admissible (n, t).
+#[test]
+fn bound_ordering() {
+    let mut cases = Cases::new(0xB0BD);
+    for _ in 0..256 {
+        let t = 1 + cases.below(4999) as usize;
+        let extra = 1 + cases.below(4999) as usize;
         let n = 3 * t + extra;
         let lb = theory::bjb_lower_bound(n, t);
         let paper = theory::paper_bound(n, t);
         let cc = theory::chor_coan_bound(n, t);
-        prop_assert!(lb <= paper + 1e-9, "lb {lb} > paper {paper} (n={n}, t={t})");
-        prop_assert!(paper <= cc + 1e-9, "paper {paper} > cc {cc} (n={n}, t={t})");
+        assert!(lb <= paper + 1e-9, "lb {lb} > paper {paper} (n={n}, t={t})");
+        assert!(paper <= cc + 1e-9, "paper {paper} > cc {cc} (n={n}, t={t})");
         // Paper bound is monotone in t.
         let paper_more = theory::paper_bound(n, t + 1);
-        prop_assert!(paper_more + 1e-9 >= paper);
+        assert!(paper_more + 1e-9 >= paper);
     }
+}
 
-    /// Committee size × count covers n.
-    #[test]
-    fn committee_geometry(t in 0usize..2000, extra in 1usize..2000, alpha in 0.5f64..8.0) {
+/// Committee size × count covers n.
+#[test]
+fn committee_geometry() {
+    let mut cases = Cases::new(0x6E03);
+    for _ in 0..256 {
+        let t = cases.below(2000) as usize;
+        let extra = 1 + cases.below(1999) as usize;
+        let alpha = cases.float(0.5, 8.0);
         let n = 3 * t + extra;
         let c = theory::committee_count(n, t, alpha);
         let s = theory::committee_size(n, t, alpha);
-        prop_assert!(c * s >= n, "c={c} s={s} n={n}");
+        assert!(c * s >= n, "c={c} s={s} n={n}");
         // The *effective* committee count is ceil(n/s) ≤ c; it tiles n
         // with no empty committee.
         let count = n.div_ceil(s);
-        prop_assert!(count <= c);
-        prop_assert!(s * (count.saturating_sub(1)) < n, "empty committee: count={count} s={s} n={n}");
+        assert!(count <= c);
+        assert!(
+            s * (count.saturating_sub(1)) < n,
+            "empty committee: count={count} s={s} n={n}"
+        );
     }
 }

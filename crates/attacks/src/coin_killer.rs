@@ -198,9 +198,12 @@ mod tests {
         let mut denied = 0;
         for seed in 0..50 {
             let cfg = SimConfig::new(17, 8).with_seed(seed);
-            let report =
-                Simulation::new(cfg, CoinFlipNode::network(17), CoinKiller::new(NonRushingPolicy::Guaranteed))
-                    .run();
+            let report = Simulation::new(
+                cfg,
+                CoinFlipNode::network(17),
+                CoinKiller::new(NonRushingPolicy::Guaranteed),
+            )
+            .run();
             if outputs_split(&report.outputs, &report.honest) {
                 denied += 1;
             }
@@ -248,7 +251,7 @@ mod tests {
             sim.step();
             let report = sim.into_report();
             let cost = report.corruptions_used;
-            assert!(cost <= (n + 1) / 2, "cost {cost} absurdly high");
+            assert!(cost <= n.div_ceil(2), "cost {cost} absurdly high");
             assert!(
                 outputs_split(&report.outputs, &report.honest),
                 "seed {seed}: with unlimited budget the coin must be denied"
@@ -303,12 +306,8 @@ mod tests {
         let plan = CommitteePlan::with_committee_count(n, 4); // size 10
         let nodes = CoinFlipNode::network_with_committee(n, &plan, 2);
         let cfg = SimConfig::new(n, n).with_seed(9).with_trace(true);
-        let report = Simulation::new(
-            cfg,
-            nodes,
-            CoinKiller::new(NonRushingPolicy::Guaranteed),
-        )
-        .run();
+        let report =
+            Simulation::new(cfg, nodes, CoinKiller::new(NonRushingPolicy::Guaranteed)).run();
         for (_, node) in report.trace.corruptions() {
             assert!(
                 (20..30).contains(&node.index()),

@@ -104,7 +104,11 @@ impl AdaptiveFullAttack {
     }
 
     /// Round-1 move: create honest deciders when the puppet count allows.
-    fn act_round1<P>(&mut self, view: &RoundView<'_, P>, ctx: &BaRoundCtx<'_>) -> AdversaryAction<BaMsg>
+    fn act_round1<P>(
+        &mut self,
+        view: &RoundView<'_, P>,
+        ctx: &BaRoundCtx<'_>,
+    ) -> AdversaryAction<BaMsg>
     where
         P: Protocol<Msg = BaMsg> + BaNodeView,
     {
@@ -305,7 +309,11 @@ impl AdaptiveFullAttack {
     /// Round-2 move (piggyback): pick top-up victims and resolve the coin
     /// in one shot. For literal mode this only places the top-up; the
     /// coin decision happens in round 3.
-    fn act_round2<P>(&mut self, view: &RoundView<'_, P>, ctx: &BaRoundCtx<'_>) -> AdversaryAction<BaMsg>
+    fn act_round2<P>(
+        &mut self,
+        view: &RoundView<'_, P>,
+        ctx: &BaRoundCtx<'_>,
+    ) -> AdversaryAction<BaMsg>
     where
         P: Protocol<Msg = BaMsg> + BaNodeView,
     {
@@ -426,8 +434,12 @@ mod tests {
             .with_seed(seed)
             .with_max_rounds(8_000)
             .with_info_model(info);
-        let report =
-            Simulation::new(sim_cfg, nodes, AdaptiveFullAttack::new(BudgetPolicy::Greedy)).run();
+        let report = Simulation::new(
+            sim_cfg,
+            nodes,
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+        )
+        .run();
         let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
         (report, verdict)
     }
@@ -448,7 +460,9 @@ mod tests {
         for seed in 0..10 {
             let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
             let inputs = split_inputs(32);
-            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(8_000);
+            let sim_cfg = SimConfig::new(32, 10)
+                .with_seed(seed)
+                .with_max_rounds(8_000);
             let r1 = Simulation::new(
                 sim_cfg.clone(),
                 CommitteeBa::network(&cfg, &inputs),
@@ -523,7 +537,9 @@ mod tests {
         for seed in 0..8 {
             let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
             let inputs = split_inputs(32);
-            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(8_000);
+            let sim_cfg = SimConfig::new(32, 10)
+                .with_seed(seed)
+                .with_max_rounds(8_000);
             let g = Simulation::new(
                 sim_cfg.clone(),
                 CommitteeBa::network(&cfg, &inputs),
@@ -553,7 +569,9 @@ mod tests {
                 .with_coin_round(aba_agreement::CoinRoundMode::Literal);
             let inputs = split_inputs(32);
             let nodes = CommitteeBa::network(&cfg, &inputs);
-            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(9_000);
+            let sim_cfg = SimConfig::new(32, 10)
+                .with_seed(seed)
+                .with_max_rounds(9_000);
             let report = Simulation::new(
                 sim_cfg,
                 nodes,

@@ -43,9 +43,7 @@ impl Adversary<SamplingMajorityNode> for SamplingPoison {
         if sub != 2 {
             // Corrupt at query time so the puppets can answer this
             // iteration's queries.
-            let quota = self
-                .per_iteration
-                .min(view.ledger.remaining());
+            let quota = self.per_iteration.min(view.ledger.remaining());
             let corruptions: Vec<NodeId> = view.live_honest().take(quota).collect();
             return AdversaryAction {
                 corruptions,

@@ -96,8 +96,7 @@ where
         match view.outgoing {
             Some(mailbox) => {
                 let (sum, plus, minus) = ctx.committee_flips(mailbox);
-                let need =
-                    aba_coin::analysis::corruptions_to_deny(sum, free.len() as u64) as usize;
+                let need = aba_coin::analysis::corruptions_to_deny(sum, free.len() as u64) as usize;
                 let majority = if sum >= 0 { &plus } else { &minus };
                 if need > view.ledger.remaining() || need > majority.len() {
                     return AdversaryAction::pass();
@@ -174,7 +173,9 @@ mod tests {
             let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
             let inputs = split_inputs(32);
             let nodes = CommitteeBa::network(&cfg, &inputs);
-            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(4_000);
+            let sim_cfg = SimConfig::new(32, 10)
+                .with_seed(seed)
+                .with_max_rounds(4_000);
             let report = Simulation::new(sim_cfg, nodes, SplitVote::new()).run();
             let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
             assert!(report.all_halted, "seed {seed}: ran out of rounds");
@@ -189,7 +190,9 @@ mod tests {
         for seed in 0..10 {
             let cfg = BaConfig::paper_las_vegas(32, 10, 2.0).unwrap();
             let inputs = split_inputs(32);
-            let sim_cfg = SimConfig::new(32, 10).with_seed(seed).with_max_rounds(4_000);
+            let sim_cfg = SimConfig::new(32, 10)
+                .with_seed(seed)
+                .with_max_rounds(4_000);
             let r1 = Simulation::new(
                 sim_cfg.clone(),
                 CommitteeBa::network(&cfg, &inputs),

@@ -1,11 +1,15 @@
 //! Agreement benches (experiment families E1/E3/E5/E8): full protocol
 //! runs per protocol and size, fault-free and under the full attack.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench agreement
+//! ```
 
-use aba_harness::{run_scenario, AttackSpec, InputSpec, ProtocolSpec, Scenario};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aba_bench::Group;
+use aba_harness::{AttackSpec, InputSpec, ProtocolSpec, ScenarioBuilder};
 
-fn bench_protocols_fault_free(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_fault_free");
+fn main() {
+    let group = Group::new("protocol_fault_free");
     for proto in [
         ProtocolSpec::Paper { alpha: 2.0 },
         ProtocolSpec::PaperLasVegas { alpha: 2.0 },
@@ -13,70 +17,31 @@ fn bench_protocols_fault_free(c: &mut Criterion) {
         ProtocolSpec::RabinDealer,
         ProtocolSpec::PhaseKing,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(proto.name()),
-            &proto,
-            |b, &proto| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let s = Scenario::new(64, 21)
-                        .with_protocol(proto)
-                        .with_attack(AttackSpec::Benign)
-                        .with_inputs(InputSpec::Split)
-                        .with_seed(seed);
-                    run_scenario(&s).rounds
-                })
-            },
-        );
+        let mut seed = 0u64;
+        group.bench(proto.name(), || {
+            seed += 1;
+            ScenarioBuilder::new(64, 21)
+                .protocol(proto)
+                .adversary(AttackSpec::Benign)
+                .inputs(InputSpec::Split)
+                .seed(seed)
+                .run()
+                .rounds
+        });
     }
-    group.finish();
-}
 
-fn bench_paper_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_rounds_vs_t");
+    let group = Group::new("paper_rounds_vs_t");
     for t in [4usize, 16, 42] {
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let s = Scenario::new(128, t)
-                    .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                    .with_attack(AttackSpec::FullAttack)
-                    .with_seed(seed)
-                    .with_max_rounds(4_000);
-                run_scenario(&s).rounds
-            })
+        let mut seed = 0u64;
+        group.bench(&format!("t={t}"), || {
+            seed += 1;
+            ScenarioBuilder::new(128, t)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(seed)
+                .max_rounds(4_000)
+                .run()
+                .rounds
         });
     }
-    group.finish();
 }
-
-fn bench_las_vegas_vs_whp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("variant");
-    for (label, proto) in [
-        ("whp", ProtocolSpec::Paper { alpha: 2.0 }),
-        ("las_vegas", ProtocolSpec::PaperLasVegas { alpha: 2.0 }),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &proto, |b, &proto| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let s = Scenario::new(64, 21)
-                    .with_protocol(proto)
-                    .with_attack(AttackSpec::FullAttack)
-                    .with_seed(seed)
-                    .with_max_rounds(4_000);
-                run_scenario(&s).rounds
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_protocols_fault_free, bench_paper_scaling, bench_las_vegas_vs_whp
-}
-criterion_main!(benches);

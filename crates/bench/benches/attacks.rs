@@ -1,11 +1,15 @@
 //! Attack benches (experiment families E6/E12): what each adversary
 //! class costs in simulation time, and the early-termination sweep.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench attacks
+//! ```
 
-use aba_harness::{run_scenario, AttackSpec, ProtocolSpec, Scenario};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aba_bench::Group;
+use aba_harness::{AttackSpec, ProtocolSpec, ScenarioBuilder};
 
-fn bench_adversaries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adversary");
+fn main() {
+    let group = Group::new("adversary");
     for attack in [
         AttackSpec::Benign,
         AttackSpec::StaticSilent,
@@ -13,48 +17,31 @@ fn bench_adversaries(c: &mut Criterion) {
         AttackSpec::SplitVote,
         AttackSpec::FullAttack,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(attack.name()),
-            &attack,
-            |b, &attack| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let s = Scenario::new(64, 21)
-                        .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                        .with_attack(attack)
-                        .with_seed(seed)
-                        .with_max_rounds(4_000);
-                    run_scenario(&s).rounds
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_early_termination(c: &mut Criterion) {
-    let mut group = c.benchmark_group("early_termination_q");
-    for q in [0usize, 5, 21] {
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let s = Scenario::new(64, 21)
-                    .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                    .with_attack(AttackSpec::FullAttackCapped { q })
-                    .with_seed(seed)
-                    .with_max_rounds(4_000);
-                run_scenario(&s).rounds
-            })
+        let mut seed = 0u64;
+        group.bench(attack.name(), || {
+            seed += 1;
+            ScenarioBuilder::new(64, 21)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(attack)
+                .seed(seed)
+                .max_rounds(4_000)
+                .run()
+                .rounds
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_adversaries, bench_early_termination
+    let group = Group::new("early_termination_q");
+    for q in [0usize, 5, 21] {
+        let mut seed = 0u64;
+        group.bench(&format!("q={q}"), || {
+            seed += 1;
+            ScenarioBuilder::new(64, 21)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(AttackSpec::FullAttackCapped { q })
+                .seed(seed)
+                .max_rounds(4_000)
+                .run()
+                .rounds
+        });
+    }
 }
-criterion_main!(benches);

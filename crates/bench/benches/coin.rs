@@ -1,60 +1,45 @@
 //! Coin benches (experiment family E2/E10): one-round common coin with
 //! and without the optimal rushing denial attack.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench coin
+//! ```
 
-use aba_attacks::{CoinKiller, NonRushingPolicy};
-use aba_coin::CoinFlipNode;
-use aba_sim::adversary::Benign;
-use aba_sim::{SimConfig, Simulation};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aba_bench::Group;
+use aba_harness::{AttackSpec, ProtocolSpec, ScenarioBuilder};
 
-fn bench_coin_benign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coin_benign");
+fn main() {
+    let group = Group::new("coin_benign");
     for n in [64usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = SimConfig::new(n, 0).with_seed(seed);
-                Simulation::new(cfg, CoinFlipNode::network(n), Benign)
-                    .run()
-                    .outputs[0]
-            })
+        let mut seed = 0u64;
+        group.bench(&format!("n={n}"), || {
+            seed += 1;
+            ScenarioBuilder::new(n, 0)
+                .protocol(ProtocolSpec::CommonCoin)
+                .adversary(AttackSpec::Benign)
+                .seed(seed)
+                .run()
+                .decision
         });
     }
-    group.finish();
-}
 
-fn bench_coin_under_attack(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coin_attacked");
+    let group = Group::new("coin_attacked");
     for n in [64usize, 256, 1024] {
         let t = ((n as f64).sqrt() / 2.0) as usize;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = SimConfig::new(n, t).with_seed(seed);
-                Simulation::new(
-                    cfg,
-                    CoinFlipNode::network(n),
-                    CoinKiller::new(NonRushingPolicy::Guaranteed),
-                )
+        let mut seed = 0u64;
+        group.bench(&format!("n={n}"), || {
+            seed += 1;
+            ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::CommonCoin)
+                .adversary(AttackSpec::CoinKiller)
+                .seed(seed)
                 .run()
-                .corruptions_used
-            })
+                .corruptions
         });
     }
-    group.finish();
-}
 
-fn bench_exact_tail_computation(c: &mut Criterion) {
-    c.bench_function("exact_binomial_tail_g65536", |b| {
-        b.iter(|| aba_coin::analysis::prob_abs_sum_greater(65_536, 256))
+    let group = Group::new("coin_analysis");
+    group.bench("exact_binomial_tail_g65536", || {
+        aba_coin::analysis::prob_abs_sum_greater(65_536, 256)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_coin_benign, bench_coin_under_attack, bench_exact_tail_computation
-}
-criterion_main!(benches);

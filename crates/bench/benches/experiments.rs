@@ -1,35 +1,22 @@
 //! Experiment-regeneration benches: the wall-clock cost of rebuilding
-//! each table/figure of EXPERIMENTS.md in quick mode. One Criterion
-//! target per experiment keeps regressions in any layer visible.
+//! each table/figure of EXPERIMENTS.md in quick mode. One target per
+//! experiment keeps regressions in any layer visible.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench experiments
+//! ```
 
+use aba_bench::Group;
 use aba_harness::experiments::{self, ExpParams};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_quick_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment_quick");
-    group.sample_size(10);
-    // The fast experiments get a proper Criterion loop; the slow ones
-    // are exercised once per sample with reduced statistics.
+fn main() {
+    let group = Group::new("experiment_quick");
     for def in experiments::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(def.id),
-            &def.runner,
-            |b, runner| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let params = ExpParams { quick: true, seed };
-                    runner(&params).tables.len()
-                })
-            },
-        );
+        let mut seed = 0u64;
+        group.bench(def.id, || {
+            seed += 1;
+            let params = ExpParams { quick: true, seed };
+            (def.runner)(&params).tables.len()
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_quick_experiments
-}
-criterion_main!(benches);

@@ -1,9 +1,13 @@
 //! Simulator micro-benchmarks: raw engine round throughput — the floor
 //! every experiment's wall-clock stands on.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench simulator
+//! ```
 
+use aba_bench::Group;
 use aba_sim::adversary::Benign;
 use aba_sim::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::RngCore;
 
 #[derive(Debug, Clone, Copy)]
@@ -41,56 +45,44 @@ impl Protocol for Chatter {
     }
 }
 
-fn bench_round_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_rounds");
+fn main() {
+    let group = Group::new("engine_rounds");
     for n in [32usize, 128, 512] {
         let rounds = 8u64;
         // Each iteration simulates `rounds` full-broadcast rounds.
-        group.throughput(Throughput::Elements(rounds * (n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let nodes: Vec<Chatter> = (0..n)
-                    .map(|_| Chatter {
-                        rounds,
-                        seen: 0,
-                        halted: false,
-                    })
-                    .collect();
-                let cfg = SimConfig::new(n, 0).with_seed(1);
-                Simulation::new(cfg, nodes, Benign).run().rounds
-            })
+        group.bench(&format!("n={n}"), || {
+            let nodes: Vec<Chatter> = (0..n)
+                .map(|_| Chatter {
+                    rounds,
+                    seen: 0,
+                    halted: false,
+                })
+                .collect();
+            let cfg = SimConfig::new(n, 0).with_seed(1);
+            Simulation::new(cfg, nodes, Benign).run().rounds
         });
     }
-    group.finish();
-}
 
-fn bench_mailbox_equivocation(c: &mut Criterion) {
-    c.bench_function("mailbox_per_recipient_resolution", |b| {
-        let n = 256usize;
-        let mut mb: RoundMailbox<Beat> = RoundMailbox::new(n);
-        for i in 0..n {
-            if i % 4 == 0 {
-                let per: Vec<(NodeId, Beat)> = (0..n as u32)
-                    .map(|j| (NodeId::new(j), Beat((j % 2) as u8)))
-                    .collect();
-                mb.set(NodeId::new(i as u32), Emission::PerRecipient(per));
-            } else {
-                mb.set(NodeId::new(i as u32), Emission::Broadcast(Beat(0)));
-            }
+    // The equivocation/inbox-resolution hot path, exercised every round
+    // for every node.
+    let group = Group::new("mailbox");
+    let n = 256usize;
+    let mut mb: RoundMailbox<Beat> = RoundMailbox::new(n);
+    for i in 0..n {
+        if i % 4 == 0 {
+            let per: Vec<(NodeId, Beat)> = (0..n as u32)
+                .map(|j| (NodeId::new(j), Beat((j % 2) as u8)))
+                .collect();
+            mb.set(NodeId::new(i as u32), Emission::PerRecipient(per));
+        } else {
+            mb.set(NodeId::new(i as u32), Emission::Broadcast(Beat(0)));
         }
-        b.iter(|| {
-            let mut total = 0usize;
-            for r in 0..n as u32 {
-                total += mb.inbox(NodeId::new(r)).iter().count();
-            }
-            total
-        })
+    }
+    group.bench("per_recipient_resolution", || {
+        let mut total = 0usize;
+        for r in 0..n as u32 {
+            total += mb.inbox(NodeId::new(r)).iter().count();
+        }
+        total
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_round_throughput, bench_mailbox_equivocation
-}
-criterion_main!(benches);

@@ -1,27 +1,89 @@
-//! # aba-bench — Criterion benchmarks
+//! # aba-bench — wall-clock benchmarks without external harnesses
 //!
 //! One bench target per experiment family (see `benches/`), plus
-//! simulator micro-benchmarks. The benches measure the wall-clock cost of
-//! regenerating (scaled-down versions of) each table/figure so
+//! simulator micro-benchmarks. The benches measure the wall-clock cost
+//! of regenerating (scaled-down versions of) each table/figure so
 //! performance regressions in the simulator or protocols show up in CI.
 //!
-//! This library crate only hosts small shared helpers for the bench
-//! targets.
+//! This workspace builds with no network access, so instead of Criterion
+//! the targets use the tiny adaptive timing harness in this crate: each
+//! measurement warms up, then runs enough iterations to fill a sampling
+//! window (`ABA_BENCH_MS` milliseconds, default 300; set `ABA_BENCH_MS=0`
+//! for a single-iteration smoke run in CI) and reports mean and best
+//! iteration times.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use aba_harness::{run_scenario, Scenario, TrialResult};
+use aba_harness::{Scenario, ScenarioBuilder, TrialResult};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-/// Runs a scenario once and returns the result (thin wrapper so bench
-/// targets don't need the harness API surface).
+/// Runs a scenario once through the facade and returns the result (thin
+/// wrapper so bench targets don't need the harness API surface).
 pub fn run_once(scenario: &Scenario) -> TrialResult {
-    run_scenario(scenario)
+    ScenarioBuilder::from_scenario(scenario.clone()).run()
 }
 
 /// A tiny standard scenario used by several micro-benchmarks.
 pub fn small_scenario() -> Scenario {
     Scenario::new(32, 10)
+}
+
+/// The sampling window per measurement.
+fn sample_window() -> Duration {
+    let ms = std::env::var("ABA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// A named group of measurements, printed as an aligned table.
+pub struct Group {
+    name: &'static str,
+    window: Duration,
+}
+
+impl Group {
+    /// Starts a group and prints its header; the sampling window comes
+    /// from `ABA_BENCH_MS` (default 300 ms, `0` = single pass).
+    pub fn new(name: &'static str) -> Self {
+        Self::with_window(name, sample_window())
+    }
+
+    /// Starts a group with an explicit sampling window (no environment
+    /// involved; `Duration::ZERO` = single pass).
+    pub fn with_window(name: &'static str, window: Duration) -> Self {
+        println!("\n== {name}");
+        Group { name, window }
+    }
+
+    /// Measures `f` adaptively and prints one result line. The closure's
+    /// return value is black-boxed so the work cannot be optimized away.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(f());
+        let window = self.window;
+        let mut iters = 0u64;
+        let mut best = Duration::MAX;
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            best = best.min(dt);
+            iters += 1;
+            if started.elapsed() >= window {
+                break;
+            }
+        }
+        let mean = started.elapsed() / iters as u32;
+        println!(
+            "{:<18} {:<22} mean {:>12?}   best {:>12?}   ({} iters)",
+            self.name, label, mean, best, iters
+        );
+    }
 }
 
 #[cfg(test)]
@@ -32,5 +94,17 @@ mod tests {
     fn helper_runs() {
         let r = run_once(&small_scenario());
         assert!(r.terminated);
+    }
+
+    #[test]
+    fn bench_harness_smoke() {
+        let g = Group::with_window("smoke", Duration::ZERO);
+        let mut calls = 0u32;
+        g.bench("counter", || {
+            calls += 1;
+            calls
+        });
+        // Warm-up + at least one timed iteration.
+        assert!(calls >= 2);
     }
 }

@@ -7,11 +7,10 @@
 //! — just smaller — Algorithm 2 committee).
 
 use aba_sim::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A partition of `0..n` into contiguous ID ranges of size `s` (last one
 /// possibly shorter).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitteePlan {
     n: usize,
     size: usize,

@@ -104,7 +104,11 @@ impl CoinFlipNode {
 
     /// Convenience: an Algorithm 2 network where committee `index` of
     /// `plan` is designated.
-    pub fn network_with_committee(n: usize, plan: &CommitteePlan, index: usize) -> Vec<CoinFlipNode> {
+    pub fn network_with_committee(
+        n: usize,
+        plan: &CommitteePlan,
+        index: usize,
+    ) -> Vec<CoinFlipNode> {
         (0..n as u32)
             .map(|i| {
                 CoinFlipNode::new(

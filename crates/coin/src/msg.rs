@@ -1,11 +1,10 @@
 //! Wire format of the standalone coin-flip protocols.
 
 use aba_sim::Message;
-use serde::{Deserialize, Serialize};
 
 /// A single ±1 coin contribution (Algorithm 1 line 2 / Algorithm 2
 /// line 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoinMsg {
     /// The contribution; honest nodes send exactly `+1` or `-1`. The
     /// receiver clamps anything else (Byzantine garbage) into `±1` by

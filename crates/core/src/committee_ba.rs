@@ -290,15 +290,14 @@ impl Protocol for CommitteeBa {
                 })
             }
             2 => {
-                let flip = if self.cfg.coin_round == CoinRoundMode::Piggyback
-                    && self.is_flipper(phase)
-                {
-                    let f: i8 = if rng.gen::<bool>() { 1 } else { -1 };
-                    self.flip = Some(f);
-                    Some(f)
-                } else {
-                    None
-                };
+                let flip =
+                    if self.cfg.coin_round == CoinRoundMode::Piggyback && self.is_flipper(phase) {
+                        let f: i8 = if rng.gen::<bool>() { 1 } else { -1 };
+                        self.flip = Some(f);
+                        Some(f)
+                    } else {
+                        None
+                    };
                 Emission::Broadcast(BaMsg::Phase {
                     phase,
                     sub: SubRound::Two,
@@ -311,10 +310,7 @@ impl Protocol for CommitteeBa {
                 if self.is_flipper(phase) {
                     let f: i8 = if rng.gen::<bool>() { 1 } else { -1 };
                     self.flip = Some(f);
-                    Emission::Broadcast(BaMsg::Flip {
-                        phase,
-                        value: f,
-                    })
+                    Emission::Broadcast(BaMsg::Flip { phase, value: f })
                 } else {
                     Emission::Silent
                 }

@@ -2,10 +2,9 @@
 //! sizes.
 
 use aba_sim::Message;
-use serde::{Deserialize, Serialize};
 
 /// Which communication round of a phase a message belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubRound {
     /// First broadcast/receive round of the phase (Algorithm 3 lines
     /// 8–16).
@@ -52,7 +51,7 @@ fn bits_for(v: u64) -> usize {
 /// fixed in round 1, before any flip exists — is preserved, and a rushing
 /// adversary still sees flips before acting). The literal mode instead
 /// sends `Flip` in a third subround.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaMsg {
     /// A phase message `(i, subround, val, decided, [flip])`.
     Phase {
@@ -111,7 +110,7 @@ impl Message for BaMsg {
 }
 
 /// Message of the Phase-King baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PkMsg {
     /// Round-1 value broadcast.
     Val {

@@ -2,7 +2,6 @@
 //! source.
 
 use aba_coin::CommitteePlan;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -13,7 +12,7 @@ fn log2n(n: usize) -> f64 {
 }
 
 /// How the protocol terminates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TerminationMode {
     /// Run exactly `c` phases and decide the current value (Algorithm 3
     /// as written): agreement holds w.h.p.
@@ -25,7 +24,7 @@ pub enum TerminationMode {
 }
 
 /// Where the fallback coin of case 3 comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoinSource {
     /// Phase `i`'s committee flips (Algorithm 2) — the paper's protocol.
     Committee,
@@ -48,7 +47,7 @@ pub enum CoinSource {
 
 /// Whether the committee coin rides on round-2 messages or gets its own
 /// round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoinRoundMode {
     /// Committee members attach their flip to the round-2 broadcast
     /// (2 rounds/phase). Default; preserves the adversarial ordering of
@@ -91,7 +90,7 @@ impl fmt::Display for ConfigError {
 impl Error for ConfigError {}
 
 /// Full configuration of the committee-based agreement protocol.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaConfig {
     /// Network size `n`.
     pub n: usize,
@@ -273,9 +272,7 @@ impl BaConfig {
     /// [`CoinSource::Dealer`]).
     pub fn dealer_coin(&self, phase: u64) -> Option<bool> {
         match self.coin {
-            CoinSource::Dealer { seed } => {
-                Some(aba_sim::rng::derive_seed(seed, phase) & 1 == 1)
-            }
+            CoinSource::Dealer { seed } => Some(aba_sim::rng::derive_seed(seed, phase) & 1 == 1),
             CoinSource::Committee | CoinSource::Private => None,
         }
     }

@@ -47,7 +47,7 @@ impl PhaseKingBa {
     /// Panics if `n < 3t + 1` (the protocol's resilience bound) or if
     /// `t + 1 > n` (there must be enough kings).
     pub fn new(id: NodeId, n: usize, t: usize, input: bool) -> Self {
-        assert!(n >= 3 * t + 1, "phase king requires n ≥ 3t+1");
+        assert!(n > 3 * t, "phase king requires n ≥ 3t+1");
         PhaseKingBa {
             id,
             n,
@@ -98,20 +98,14 @@ impl Protocol for PhaseKingBa {
     fn emit(&mut self, round: Round, _rng: &mut dyn RngCore) -> Emission<PkMsg> {
         let (phase, sub) = Self::schedule(round);
         match sub {
-            1 => Emission::Broadcast(PkMsg::Val {
-                phase,
-                v: self.val,
-            }),
+            1 => Emission::Broadcast(PkMsg::Val { phase, v: self.val }),
             2 => match self.pending_proposal {
                 Some(v) => Emission::Broadcast(PkMsg::Propose { phase, v }),
                 None => Emission::Silent,
             },
             3 => {
                 if self.king(phase) == self.id {
-                    Emission::Broadcast(PkMsg::King {
-                        phase,
-                        v: self.val,
-                    })
+                    Emission::Broadcast(PkMsg::King { phase, v: self.val })
                 } else {
                     Emission::Silent
                 }

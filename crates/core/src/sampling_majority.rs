@@ -17,10 +17,9 @@
 
 use aba_sim::{Emission, Inbox, Message, NodeId, Protocol, Round};
 use rand::{Rng, RngCore};
-use serde::{Deserialize, Serialize};
 
 /// Wire format of the sampling protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SmMsg {
     /// "Send me your value" (iteration-tagged).
     Query {
@@ -139,9 +138,7 @@ impl Protocol for SamplingMajorityNode {
                     iter,
                     val: self.val,
                 };
-                Emission::PerRecipient(
-                    self.queriers.iter().map(|q| (*q, reply)).collect(),
-                )
+                Emission::PerRecipient(self.queriers.iter().map(|q| (*q, reply)).collect())
             }
             _ => unreachable!(),
         }
@@ -231,8 +228,7 @@ mod tests {
         for seed in 0..10 {
             let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
             let nodes = SamplingMajorityNode::network(n, iters, &inputs);
-            let report =
-                Simulation::new(SimConfig::new(n, 0).with_seed(seed), nodes, Benign).run();
+            let report = Simulation::new(SimConfig::new(n, 0).with_seed(seed), nodes, Benign).run();
             if honest_agreement_fraction(&report) >= 0.99 {
                 converged += 1;
             }
@@ -251,16 +247,15 @@ mod tests {
             let nodes = SamplingMajorityNode::network(n, iters, &inputs);
             let report =
                 Simulation::new(SimConfig::new(n, 0).with_seed(seed + 100), nodes, Benign).run();
-            let ones = report
-                .outputs
-                .iter()
-                .filter(|o| **o == Some(true))
-                .count();
+            let ones = report.outputs.iter().filter(|o| **o == Some(true)).count();
             if ones as f64 >= 0.95 * n as f64 {
                 to_majority += 1;
             }
         }
-        assert!(to_majority >= 8, "majority won in only {to_majority}/10 runs");
+        assert!(
+            to_majority >= 8,
+            "majority won in only {to_majority}/10 runs"
+        );
     }
 
     #[test]

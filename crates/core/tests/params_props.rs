@@ -1,89 +1,124 @@
-//! Property tests for protocol parameterization: the committee-count
-//! formula, schedules, and config invariants over arbitrary (n, t, α).
+//! Property-style tests for protocol parameterization, deterministically
+//! sampled: the committee-count formula, schedules, and config invariants
+//! over pseudorandom (n, t, α) draws. (No proptest in this offline
+//! workspace — cases come from a fixed-seed generator.)
 
 use aba_agreement::{BaConfig, CoinRoundMode, TerminationMode};
 use aba_sim::Round;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 
-/// Valid (n, t) pairs with n ≥ 3t + 1.
-fn n_t() -> impl Strategy<Value = (usize, usize)> {
-    (0usize..60).prop_flat_map(|t| (Just(3 * t + 1), Just(t)).prop_flat_map(|(min_n, t)| {
-        (min_n..min_n + 50).prop_map(move |n| (n, t))
-    }))
+/// A valid (n, t) pair with n ≥ 3t + 1.
+fn n_t(gen: &mut SmallRng) -> (usize, usize) {
+    let t = gen.gen_range(0..60usize);
+    let min_n = 3 * t + 1;
+    (gen.gen_range(min_n..min_n + 50), t)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// The committee count is always in [1, n] and the partition covers
-    /// all nodes with nonempty committees.
-    #[test]
-    fn committee_count_is_well_formed((n, t) in n_t(), alpha in 0.5f64..16.0) {
+/// The committee count is always in [1, n] and the partition covers all
+/// nodes with nonempty committees.
+#[test]
+fn committee_count_is_well_formed() {
+    let mut gen = SmallRng::seed_from_u64(0xC0C0);
+    for _ in 0..256 {
+        let (n, t) = n_t(&mut gen);
+        let alpha = gen.gen_range(0.5f64..16.0);
         let c = BaConfig::committee_count(n, t, alpha);
-        prop_assert!(c >= 1 && c <= n);
+        assert!(c >= 1 && c <= n, "n={n} t={t} alpha={alpha}");
         let cfg = BaConfig::paper(n, t, alpha).unwrap();
-        prop_assert!(cfg.plan.count() >= 1);
-        prop_assert!(cfg.phases >= 1);
+        assert!(cfg.plan.count() >= 1);
+        assert!(cfg.phases >= 1);
         let mut covered = 0usize;
         for k in 0..cfg.plan.count() {
-            prop_assert!(cfg.plan.size_of(k) >= 1);
+            assert!(cfg.plan.size_of(k) >= 1, "n={n} t={t} alpha={alpha} k={k}");
             covered += cfg.plan.size_of(k);
         }
-        prop_assert_eq!(covered, n);
+        assert_eq!(covered, n, "n={n} t={t} alpha={alpha}");
     }
+}
 
-    /// More α never means fewer phases (the whp guarantee is monotone in
-    /// the schedule length).
-    #[test]
-    fn phases_monotone_in_alpha((n, t) in n_t(), alpha in 0.5f64..8.0) {
+/// More α never means fewer committees (the whp guarantee is monotone in
+/// the schedule length).
+#[test]
+fn phases_monotone_in_alpha() {
+    let mut gen = SmallRng::seed_from_u64(0xA1FA);
+    for _ in 0..256 {
+        let (n, t) = n_t(&mut gen);
+        let alpha = gen.gen_range(0.5f64..8.0);
         let c1 = BaConfig::committee_count(n, t, alpha);
         let c2 = BaConfig::committee_count(n, t, alpha * 2.0);
-        prop_assert!(c2 >= c1, "alpha {alpha}: c({}) > c2({})", c1, c2);
+        assert!(c2 >= c1, "n={n} t={t} alpha={alpha}: c({c1}) > c2({c2})");
     }
+}
 
-    /// The round schedule is a bijection onto (phase, subround) pairs.
-    #[test]
-    fn schedule_roundtrip((n, t) in n_t(), round in 0u64..10_000, literal in any::<bool>()) {
+/// The round schedule is a bijection onto (phase, subround) pairs.
+#[test]
+fn schedule_roundtrip() {
+    let mut gen = SmallRng::seed_from_u64(0x5C4E);
+    for _ in 0..256 {
+        let (n, t) = n_t(&mut gen);
+        let round = gen.gen_range(0..10_000u64);
+        let literal = gen.gen::<bool>();
         let mut cfg = BaConfig::paper(n, t, 2.0).unwrap();
         if literal {
             cfg = cfg.with_coin_round(CoinRoundMode::Literal);
         }
         let rpp = cfg.rounds_per_phase();
         let (phase, sub) = cfg.schedule(Round::new(round));
-        prop_assert!(phase >= 1);
-        prop_assert!((1..=rpp).contains(&sub));
-        prop_assert_eq!((phase - 1) * rpp + (sub - 1), round);
+        let ctx = format!("n={n} t={t} round={round} literal={literal}");
+        assert!(phase >= 1, "{ctx}");
+        assert!((1..=rpp).contains(&sub), "{ctx}");
+        assert_eq!((phase - 1) * rpp + (sub - 1), round, "{ctx}");
     }
+}
 
-    /// The Las Vegas committee schedule wraps cleanly.
-    #[test]
-    fn committee_schedule_wraps((n, t) in n_t(), phase in 1u64..10_000) {
+/// The Las Vegas committee schedule wraps cleanly.
+#[test]
+fn committee_schedule_wraps() {
+    let mut gen = SmallRng::seed_from_u64(0x3A95);
+    for _ in 0..256 {
+        let (n, t) = n_t(&mut gen);
+        let phase = gen.gen_range(1..10_000u64);
         let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
         let k = cfg.committee_for_phase(phase);
-        prop_assert!(k < cfg.plan.count());
-        prop_assert_eq!(k, cfg.committee_for_phase(phase + cfg.plan.count() as u64));
+        assert!(k < cfg.plan.count(), "n={n} t={t} phase={phase}");
+        assert_eq!(
+            k,
+            cfg.committee_for_phase(phase + cfg.plan.count() as u64),
+            "n={n} t={t} phase={phase}"
+        );
     }
+}
 
-    /// Dealer coins are deterministic per phase and non-constant across
-    /// phases.
-    #[test]
-    fn dealer_coin_properties((n, t) in n_t(), seed in any::<u64>()) {
+/// Dealer coins are deterministic per phase and non-constant across
+/// phases.
+#[test]
+fn dealer_coin_properties() {
+    let mut gen = SmallRng::seed_from_u64(0xDEA1);
+    for _ in 0..128 {
+        let (n, t) = n_t(&mut gen);
+        let seed = gen.next_u64();
         let cfg = BaConfig::rabin_dealer(n, t, seed).unwrap();
-        prop_assert_eq!(cfg.mode, TerminationMode::LasVegas);
+        assert_eq!(cfg.mode, TerminationMode::LasVegas);
         let coins: Vec<bool> = (1..=64).map(|p| cfg.dealer_coin(p).unwrap()).collect();
         let again: Vec<bool> = (1..=64).map(|p| cfg.dealer_coin(p).unwrap()).collect();
-        prop_assert_eq!(&coins, &again);
+        assert_eq!(coins, again, "n={n} t={t} seed={seed}");
         let ones = coins.iter().filter(|b| **b).count();
-        prop_assert!((8..=56).contains(&ones), "64 dealer coins look biased: {ones} ones");
+        assert!(
+            (8..=56).contains(&ones),
+            "n={n} t={t} seed={seed}: 64 dealer coins look biased: {ones} ones"
+        );
     }
+}
 
-    /// Resilience validation: n < 3t+1 is always rejected, n ≥ 3t+1
-    /// always accepted.
-    #[test]
-    fn resilience_boundary_is_sharp(t in 1usize..80) {
-        prop_assert!(BaConfig::paper(3 * t, t, 2.0).is_err());
-        prop_assert!(BaConfig::paper(3 * t + 1, t, 2.0).is_ok());
-        prop_assert!(BaConfig::chor_coan(3 * t, t, 1.0).is_err());
-        prop_assert!(BaConfig::rabin_dealer(3 * t, t, 0).is_err());
+/// Resilience validation: n < 3t+1 is always rejected, n ≥ 3t+1 always
+/// accepted.
+#[test]
+fn resilience_boundary_is_sharp() {
+    for t in 1usize..80 {
+        assert!(BaConfig::paper(3 * t, t, 2.0).is_err(), "t={t}");
+        assert!(BaConfig::paper(3 * t + 1, t, 2.0).is_ok(), "t={t}");
+        assert!(BaConfig::chor_coan(3 * t, t, 1.0).is_err(), "t={t}");
+        assert!(BaConfig::rabin_dealer(3 * t, t, 0).is_err(), "t={t}");
     }
 }

@@ -86,7 +86,10 @@ fn round1_wrong_phase_messages_are_ignored() {
         .map(|s| (s, phase_msg(2, SubRound::One, true, false)))
         .collect();
     deliver(&mut v, 0, &msgs);
-    assert!(!v.ba_decided(), "messages from the wrong phase must be ignored");
+    assert!(
+        !v.ba_decided(),
+        "messages from the wrong phase must be ignored"
+    );
 }
 
 #[test]
@@ -97,7 +100,10 @@ fn round1_wrong_subround_messages_are_ignored() {
         .map(|s| (s, phase_msg(1, SubRound::Two, true, true)))
         .collect();
     deliver(&mut v, 0, &msgs);
-    assert!(!v.ba_decided(), "round-2 messages must not count in round 1");
+    assert!(
+        !v.ba_decided(),
+        "round-2 messages must not count in round 1"
+    );
 }
 
 #[test]

@@ -7,9 +7,9 @@
 //! and split inputs and report the success rates.
 
 use super::{agreement_rate, mean_rounds, termination_rate, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, InputSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, InputSpec, ProtocolSpec};
 use aba_analysis::Table;
 
 /// Runs E1.
@@ -51,17 +51,17 @@ pub fn run(params: &ExpParams) -> Report {
         for proto in protocols {
             for attack in attacks {
                 for input in inputs {
-                    let s = Scenario::new(n, t)
-                        .with_protocol(proto)
-                        .with_attack(attack)
-                        .with_inputs(input)
-                        .with_seed(params.seed)
-                        .with_max_rounds(30_000);
-                    let results = run_many(&s, trials);
-                    let validity_applicable: Vec<&crate::runner::TrialResult> = results
-                        .iter()
-                        .filter(|r| r.validity.is_some())
-                        .collect();
+                    let results = ScenarioBuilder::new(n, t)
+                        .protocol(proto)
+                        .adversary(attack)
+                        .inputs(input)
+                        .seed(params.seed)
+                        .max_rounds(30_000)
+                        .trials(trials)
+                        .run_batch()
+                        .results;
+                    let validity_applicable: Vec<&crate::runner::TrialResult> =
+                        results.iter().filter(|r| r.validity.is_some()).collect();
                     let valid_pct = if validity_applicable.is_empty() {
                         f64::NAN
                     } else {

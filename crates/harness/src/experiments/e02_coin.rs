@@ -14,11 +14,11 @@
 //! * the Paley–Zygmund floor at the Theorem 3 budget.
 
 use super::ExpParams;
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{Series, Table};
-use aba_attacks::{CoinKiller, NonRushingPolicy};
-use aba_coin::{analysis, CoinFlipNode};
-use aba_sim::{SimConfig, Simulation};
+use aba_coin::analysis;
 
 /// Measured outcome of a batch of standalone coin runs.
 struct CoinStats {
@@ -28,35 +28,25 @@ struct CoinStats {
 }
 
 fn measure(n: usize, t: usize, trials: usize, seed: u64) -> CoinStats {
-    let mut stats = CoinStats {
-        common: 0,
-        common_ones: 0,
-        trials,
-    };
-    for i in 0..trials {
-        let cfg = SimConfig::new(n, t).with_seed(seed.wrapping_add(i as u64));
-        let report = Simulation::new(
-            cfg,
-            CoinFlipNode::network(n),
-            CoinKiller::new(NonRushingPolicy::Guaranteed),
-        )
-        .run();
-        let outs: Vec<bool> = report
-            .outputs
+    let batch = ScenarioBuilder::new(n, t)
+        .protocol(ProtocolSpec::CommonCoin)
+        .adversary(AttackSpec::CoinKiller)
+        .seed(seed)
+        .trials(trials)
+        .run_batch();
+    CoinStats {
+        common: batch
+            .results
             .iter()
-            .zip(&report.honest)
-            .filter(|(_, h)| **h)
-            .filter_map(|(o, _)| *o)
-            .collect();
-        let all_same = outs.windows(2).all(|w| w[0] == w[1]);
-        if all_same && !outs.is_empty() {
-            stats.common += 1;
-            if outs[0] {
-                stats.common_ones += 1;
-            }
-        }
+            .filter(|r| r.agreement && r.decision.is_some())
+            .count(),
+        common_ones: batch
+            .results
+            .iter()
+            .filter(|r| r.decision == Some(true))
+            .count(),
+        trials,
     }
-    stats
 }
 
 /// Runs E2.
@@ -85,7 +75,9 @@ pub fn run(params: &ExpParams) -> Report {
         let sqrt_n = (n as f64).sqrt();
         let mut measured = Series::new(format!("n={n} measured"));
         let mut theory = Series::new(format!("n={n} theory"));
-        let budgets: Vec<usize> = (0..=8).map(|i| (i as f64 * sqrt_n / 4.0) as usize).collect();
+        let budgets: Vec<usize> = (0..=8)
+            .map(|i| (i as f64 * sqrt_n / 4.0) as usize)
+            .collect();
         for t in budgets {
             if 3 * t >= n {
                 continue;
@@ -102,7 +94,7 @@ pub fn run(params: &ExpParams) -> Report {
             // `prob_coin_survives`).
             let p_theory = analysis::prob_coin_survives(n as u64, t as u64);
             // The paper's headline floor: ≥ 1/12 per side (Theorem 3).
-            let pz = Some(2.0 / 12.0);
+            let pz = 2.0 / 12.0;
             measured.push(t as f64 / sqrt_n, p_comm);
             theory.push(t as f64 / sqrt_n, p_theory);
             table.push_row(vec![
@@ -112,7 +104,7 @@ pub fn run(params: &ExpParams) -> Report {
                 p_comm.into(),
                 p_theory.into(),
                 p_one.into(),
-                pz.unwrap_or(f64::NAN).into(),
+                pz.into(),
             ]);
         }
         report.series.push(measured);

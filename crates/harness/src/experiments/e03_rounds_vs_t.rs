@@ -17,9 +17,9 @@
 //! and the full series are reported for inspection.
 
 use super::{log_sweep, mean_rounds, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{fit_loglog, theory, Series, Table};
 
 /// Runs E3.
@@ -37,7 +37,14 @@ pub fn run(params: &ExpParams) -> Report {
     );
     let mut detail = Table::new(
         "Rounds to termination (mean over trials)",
-        &["n", "t", "paper rounds", "chor-coan rounds", "paper bound", "cc bound"],
+        &[
+            "n",
+            "t",
+            "paper rounds",
+            "chor-coan rounds",
+            "paper bound",
+            "cc bound",
+        ],
     );
 
     for &n in ns {
@@ -48,22 +55,22 @@ pub fn run(params: &ExpParams) -> Report {
 
         for &t in &ts {
             let max_rounds = (8 * n) as u64;
-            let paper = run_many(
-                &Scenario::new(n, t)
-                    .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                    .with_attack(AttackSpec::FullAttack)
-                    .with_seed(params.seed)
-                    .with_max_rounds(max_rounds),
-                trials,
-            );
-            let cc = run_many(
-                &Scenario::new(n, t)
-                    .with_protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
-                    .with_attack(AttackSpec::FullAttack)
-                    .with_seed(params.seed)
-                    .with_max_rounds(max_rounds),
-                trials,
-            );
+            let paper = ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds(max_rounds)
+                .trials(trials)
+                .run_batch()
+                .results;
+            let cc = ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds(max_rounds)
+                .trials(trials)
+                .run_batch()
+                .results;
             let pr = mean_rounds(&paper);
             let cr = mean_rounds(&cc);
             paper_series.push(t as f64, pr);

@@ -8,9 +8,9 @@
 //! `t` and decay toward ~1 as `t` crosses the boundary.
 
 use super::{log_sweep, mean_rounds, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
 
 /// Runs E4.
@@ -28,22 +28,26 @@ pub fn run(params: &ExpParams) -> Report {
 
     for &t in &ts {
         let max_rounds = (8 * n) as u64;
-        let paper = mean_rounds(&run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds(max_rounds),
-            trials,
-        ));
-        let cc = mean_rounds(&run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds(max_rounds),
-            trials,
-        ));
+        let paper = mean_rounds(
+            &ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds(max_rounds)
+                .trials(trials)
+                .run_batch()
+                .results,
+        );
+        let cc = mean_rounds(
+            &ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds(max_rounds)
+                .trials(trials)
+                .run_batch()
+                .results,
+        );
         let ratio = cc / paper;
         let b_ratio = theory::chor_coan_bound(n, t) / theory::paper_bound(n, t);
         ratio_series.push(t as f64, ratio);

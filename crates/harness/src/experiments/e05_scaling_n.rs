@@ -6,9 +6,9 @@
 //! and plot both measured round counts next to both theory shapes.
 
 use super::{mean_rounds, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{fit_loglog, theory, Series, Table};
 
 /// Runs E5.
@@ -32,22 +32,26 @@ pub fn run(params: &ExpParams) -> Report {
     for &n in ns {
         let t = ((n as f64).powf(0.75) as usize).min((n - 1) / 3);
         let max_rounds = (8 * n) as u64;
-        let paper = mean_rounds(&run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds(max_rounds),
-            trials,
-        ));
-        let cc = mean_rounds(&run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds(max_rounds),
-            trials,
-        ));
+        let paper = mean_rounds(
+            &ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds(max_rounds)
+                .trials(trials)
+                .run_batch()
+                .results,
+        );
+        let cc = mean_rounds(
+            &ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds(max_rounds)
+                .trials(trials)
+                .run_batch()
+                .results,
+        );
         paper_series.push(n as f64, paper);
         cc_series.push(n as f64, cc);
         paper_bound.push(n as f64, theory::paper_bound(n, t));

@@ -8,9 +8,9 @@
 //! corruptions, and sweep `q`.
 
 use super::{mean_rounds, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
 
 /// Runs E6.
@@ -30,21 +30,25 @@ pub fn run(params: &ExpParams) -> Report {
     let mut bound = Series::new("early-termination bound");
     let mut table = Table::new(
         "Rounds vs corruption cap q",
-        &["q", "rounds", "corruptions used", "bound min{q^2 log n/n, q/log n}"],
+        &[
+            "q",
+            "rounds",
+            "corruptions used",
+            "bound min{q^2 log n/n, q/log n}",
+        ],
     );
 
     for &q in &qs {
-        let results = run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(AttackSpec::FullAttackCapped { q })
-                .with_seed(params.seed)
-                .with_max_rounds((16 * n) as u64),
-            trials,
-        );
+        let results = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttackCapped { q })
+            .seed(params.seed)
+            .max_rounds((16 * n) as u64)
+            .trials(trials)
+            .run_batch()
+            .results;
         let rounds = mean_rounds(&results);
-        let used =
-            results.iter().map(|r| r.corruptions as f64).sum::<f64>() / results.len() as f64;
+        let used = results.iter().map(|r| r.corruptions as f64).sum::<f64>() / results.len() as f64;
         measured.push(q as f64, rounds);
         bound.push(q as f64, theory::early_termination_bound(n, q));
         table.push_row(vec![

@@ -8,9 +8,9 @@
 //! the per-edge-per-round bit maximum.
 
 use super::{log_sweep, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
 
 /// Runs E7.
@@ -34,14 +34,14 @@ pub fn run(params: &ExpParams) -> Report {
 
     let mut worst_edge_bits = 0usize;
     for &t in &ts {
-        let results = run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds((8 * n) as u64),
-            trials,
-        );
+        let results = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .seed(params.seed)
+            .max_rounds((8 * n) as u64)
+            .trials(trials)
+            .run_batch()
+            .results;
         let msgs = results.iter().map(|r| r.messages as f64).sum::<f64>() / results.len() as f64;
         let bits = results.iter().map(|r| r.bits as f64).sum::<f64>() / results.len() as f64;
         let edge = results.iter().map(|r| r.max_edge_bits).max().unwrap_or(0);

@@ -6,9 +6,9 @@
 //! rate, termination rate, and the distribution of rounds.
 
 use super::{agreement_rate, termination_rate, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{Summary, Table};
 
 /// Runs E8.
@@ -24,7 +24,14 @@ pub fn run(params: &ExpParams) -> Report {
     let mut table = Table::new(
         "Variant comparison under the full adaptive attack",
         &[
-            "n", "t", "variant", "agree%", "term%", "mean rounds", "median", "p99",
+            "n",
+            "t",
+            "variant",
+            "agree%",
+            "term%",
+            "mean rounds",
+            "median",
+            "p99",
         ],
     );
 
@@ -33,14 +40,14 @@ pub fn run(params: &ExpParams) -> Report {
             ("whp", ProtocolSpec::Paper { alpha: 2.0 }),
             ("las-vegas", ProtocolSpec::PaperLasVegas { alpha: 2.0 }),
         ] {
-            let results = run_many(
-                &Scenario::new(n, t)
-                    .with_protocol(proto)
-                    .with_attack(AttackSpec::FullAttack)
-                    .with_seed(params.seed)
-                    .with_max_rounds((16 * n) as u64),
-                trials,
-            );
+            let results = ScenarioBuilder::new(n, t)
+                .protocol(proto)
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds((16 * n) as u64)
+                .trials(trials)
+                .run_batch()
+                .results;
             let rounds: Vec<u64> = results.iter().map(|r| r.rounds).collect();
             let summary = Summary::of_u64(&rounds).expect("trials nonempty");
             table.push_row(vec![

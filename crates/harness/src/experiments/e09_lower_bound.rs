@@ -7,9 +7,9 @@
 //! and report the ratio to the bound curve.
 
 use super::{log_sweep, mean_rounds, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
 
 /// Runs E9.
@@ -27,14 +27,14 @@ pub fn run(params: &ExpParams) -> Report {
     );
 
     for &t in &ts {
-        let results = run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds((8 * n) as u64),
-            trials,
-        );
+        let results = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .seed(params.seed)
+            .max_rounds((8 * n) as u64)
+            .trials(trials)
+            .run_batch()
+            .results;
         let rounds = mean_rounds(&results);
         let lb = theory::bjb_lower_bound(n, t);
         ratio_series.push(t as f64, rounds / lb);

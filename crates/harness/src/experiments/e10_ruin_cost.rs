@@ -8,27 +8,22 @@
 //! unlimited budget and record what the optimal attack actually paid.
 
 use super::ExpParams;
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{fit_loglog, Series, Table};
-use aba_attacks::{CoinKiller, NonRushingPolicy};
-use aba_coin::{analysis, CoinFlipNode};
-use aba_sim::{InfoModel, SimConfig, Simulation};
+use aba_coin::analysis;
+use aba_sim::InfoModel;
 
 fn mean_cost(s: usize, trials: usize, seed: u64, info: InfoModel) -> f64 {
-    let mut total = 0usize;
-    for i in 0..trials {
-        let cfg = SimConfig::new(s, s)
-            .with_seed(seed.wrapping_add(i as u64))
-            .with_info_model(info);
-        let report = Simulation::new(
-            cfg,
-            CoinFlipNode::network(s),
-            CoinKiller::new(NonRushingPolicy::Guaranteed),
-        )
-        .run();
-        total += report.corruptions_used;
-    }
-    total as f64 / trials as f64
+    ScenarioBuilder::new(s, s)
+        .protocol(ProtocolSpec::CommonCoin)
+        .adversary(AttackSpec::CoinKiller)
+        .info_model(info)
+        .seed(seed)
+        .trials(trials)
+        .run_batch()
+        .mean_corruptions()
 }
 
 /// Runs E10.

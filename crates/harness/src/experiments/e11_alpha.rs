@@ -8,9 +8,9 @@
 //! phases are too few) and the cost in rounds.
 
 use super::{agreement_rate, mean_rounds, termination_rate, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_agreement::BaConfig;
 use aba_analysis::Table;
 
@@ -27,20 +27,25 @@ pub fn run(params: &ExpParams) -> Report {
     let mut table = Table::new(
         "Whp-variant quality vs alpha",
         &[
-            "alpha", "phases c", "committee size s", "agree%", "term%", "mean rounds",
+            "alpha",
+            "phases c",
+            "committee size s",
+            "agree%",
+            "term%",
+            "mean rounds",
         ],
     );
 
     for alpha in alphas {
         let cfg = BaConfig::paper(n, t, alpha).expect("valid (n,t)");
-        let results = run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::Paper { alpha })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds((16 * n) as u64),
-            trials,
-        );
+        let results = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::Paper { alpha })
+            .adversary(AttackSpec::FullAttack)
+            .seed(params.seed)
+            .max_rounds((16 * n) as u64)
+            .trials(trials)
+            .run_batch()
+            .results;
         table.push_row(vec![
             alpha.into(),
             (cfg.phases as usize).into(),

@@ -7,9 +7,9 @@
 //! actually buys the adversary.
 
 use super::{agreement_rate, mean_rounds, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::Table;
 use aba_sim::InfoModel;
 
@@ -45,20 +45,25 @@ pub fn run(params: &ExpParams) -> Report {
 
     for attack in attacks {
         for info in [InfoModel::NonRushing, InfoModel::Rushing] {
-            let results = run_many(
-                &Scenario::new(n, t)
-                    .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                    .with_attack(attack)
-                    .with_info(info)
-                    .with_seed(params.seed)
-                    .with_max_rounds((16 * n) as u64),
-                trials,
-            );
-            let used = results.iter().map(|r| r.corruptions as f64).sum::<f64>()
-                / results.len() as f64;
+            let results = ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(attack)
+                .info_model(info)
+                .seed(params.seed)
+                .max_rounds((16 * n) as u64)
+                .trials(trials)
+                .run_batch()
+                .results;
+            let used =
+                results.iter().map(|r| r.corruptions as f64).sum::<f64>() / results.len() as f64;
             table.push_row(vec![
                 attack.name().into(),
-                (if info.is_rushing() { "rushing" } else { "non-rushing" }).into(),
+                (if info.is_rushing() {
+                    "rushing"
+                } else {
+                    "non-rushing"
+                })
+                .into(),
                 mean_rounds(&results).into(),
                 (agreement_rate(&results) * 100.0).into(),
                 used.into(),

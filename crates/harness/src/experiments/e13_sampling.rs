@@ -10,26 +10,11 @@
 //! cliff, mirroring E2's coin cliff.
 
 use super::ExpParams;
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
+use crate::scenario::{AttackSpec, InputSpec, ProtocolSpec};
 use aba_agreement::SamplingMajorityNode;
 use aba_analysis::{Series, Table};
-use aba_attacks::SamplingPoison;
-use aba_sim::{RunReport, SimConfig, Simulation};
-
-fn agreement_fraction(report: &RunReport) -> f64 {
-    let outs: Vec<bool> = report
-        .outputs
-        .iter()
-        .zip(&report.honest)
-        .filter(|(_, h)| **h)
-        .filter_map(|(o, _)| *o)
-        .collect();
-    if outs.is_empty() {
-        return 1.0;
-    }
-    let ones = outs.iter().filter(|b| **b).count();
-    ones.max(outs.len() - ones) as f64 / outs.len() as f64
-}
 
 /// Runs E13.
 pub fn run(params: &ExpParams) -> Report {
@@ -52,32 +37,21 @@ pub fn run(params: &ExpParams) -> Report {
         .filter(|t| 3 * t < n)
         .collect();
     for t in budgets {
-        // Trials are independent; run them on all cores.
-        let mut fractions: Vec<f64> = vec![0.0; trials];
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(2)
-            .min(trials.max(1));
-        let chunk = trials.div_ceil(workers);
-        crossbeam::scope(|scope| {
-            for (w, slot_chunk) in fractions.chunks_mut(chunk).enumerate() {
-                let base_seed = params.seed.wrapping_add((w * chunk) as u64);
-                scope.spawn(move |_| {
-                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                        let inputs: Vec<bool> = (0..n).map(|k| k % 2 == 0).collect();
-                        let nodes = SamplingMajorityNode::network(n, iters, &inputs);
-                        let cfg = SimConfig::new(n, t)
-                            .with_seed(base_seed.wrapping_add(j as u64))
-                            .with_max_rounds(4 * iters + 8);
-                        let r = Simulation::new(cfg, nodes, SamplingPoison::eager()).run();
-                        *slot = agreement_fraction(&r);
-                    }
-                });
-            }
-        })
-        .expect("worker panicked");
-        let full = fractions.iter().filter(|f| **f >= 1.0 - 1e-12).count();
-        let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        // Trials are independent; the facade runs them on all cores.
+        let batch = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::SamplingMajority { iters })
+            .adversary(AttackSpec::SamplingPoison)
+            .inputs(InputSpec::Split)
+            .seed(params.seed)
+            .max_rounds(4 * iters + 8)
+            .trials(trials)
+            .run_batch();
+        let full = batch
+            .results
+            .iter()
+            .filter(|r| r.agree_fraction >= 1.0 - 1e-12)
+            .count();
+        let mean = batch.mean_agree_fraction();
         series.push(t as f64 / sqrt_n, mean);
         table.push_row(vec![
             t.into(),

@@ -11,9 +11,9 @@
 //! achieves.
 
 use super::{log_sweep, mean_rounds, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
 
 /// Least-squares scale for `y ≈ a·basis` through the origin, plus the
@@ -34,7 +34,11 @@ fn fit_through_origin(points: &[(f64, f64)]) -> (f64, f64) {
 pub fn run(params: &ExpParams) -> Report {
     let mut report = Report::new("E14", "Conjecture probe: is t²/n the right lower bound?");
     let (n, trials) = if params.quick { (128, 4) } else { (512, 10) };
-    let ts = log_sweep((n as f64).sqrt() as usize, n / 4, if params.quick { 4 } else { 7 });
+    let ts = log_sweep(
+        (n as f64).sqrt() as usize,
+        n / 4,
+        if params.quick { 4 } else { 7 },
+    );
 
     let mut measured = Series::new("measured delay (rounds - floor)");
     let mut conj = Series::new("conjecture shape t²·log n/n");
@@ -46,25 +50,29 @@ pub fn run(params: &ExpParams) -> Report {
 
     // The constant floor (fault-free rounds) is subtracted so the shapes
     // compete on the adversary-attributable part only.
-    let floor = mean_rounds(&run_many(
-        &Scenario::new(n, ts[0])
-            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-            .with_attack(AttackSpec::Benign)
-            .with_seed(params.seed),
-        trials,
-    ));
+    let floor = mean_rounds(
+        &ScenarioBuilder::new(n, ts[0])
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::Benign)
+            .seed(params.seed)
+            .trials(trials)
+            .run_batch()
+            .results,
+    );
 
     let mut conj_pts = Vec::new();
     let mut lb_pts = Vec::new();
     for &t in &ts {
-        let rounds = mean_rounds(&run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(params.seed)
-                .with_max_rounds((8 * n) as u64),
-            trials,
-        ));
+        let rounds = mean_rounds(
+            &ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(params.seed)
+                .max_rounds((8 * n) as u64)
+                .trials(trials)
+                .run_batch()
+                .results,
+        );
         let delay = (rounds - floor).max(0.0);
         let c_basis = theory::paper_bound_regime1(n, t);
         let l_basis = theory::bjb_lower_bound(n, t);
@@ -73,12 +81,7 @@ pub fn run(params: &ExpParams) -> Report {
         proven.push(t as f64, l_basis);
         conj_pts.push((c_basis, delay));
         lb_pts.push((l_basis, delay));
-        table.push_row(vec![
-            t.into(),
-            delay.into(),
-            c_basis.into(),
-            l_basis.into(),
-        ]);
+        table.push_row(vec![t.into(), delay.into(), c_basis.into(), l_basis.into()]);
     }
 
     let (a_conj, res_conj) = fit_through_origin(&conj_pts);

@@ -1,7 +1,7 @@
 //! E15 — Coin-source ablation: why shared coins matter (paper §1, the
 //! premise).
 //!
-//! The entire line of work from Rabin [28] through Chor–Coan to this
+//! The entire line of work from Rabin \[28\] through Chor–Coan to this
 //! paper exists because *common* randomness collapses the convergence
 //! problem. This ablation swaps only the case-3 coin of the identical
 //! phase machine:
@@ -14,14 +14,17 @@
 //!   `n` while the shared-coin variants stay flat.
 
 use super::{mean_rounds, termination_rate, ExpParams};
+use crate::facade::ScenarioBuilder;
 use crate::report::Report;
-use crate::runner::run_many;
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{Series, Table};
 
 /// Runs E15.
 pub fn run(params: &ExpParams) -> Report {
-    let mut report = Report::new("E15", "Coin-source ablation: committee vs dealer vs private");
+    let mut report = Report::new(
+        "E15",
+        "Coin-source ablation: committee vs dealer vs private",
+    );
     let (ns, trials): (&[usize], usize) = if params.quick {
         (&[16, 32], 6)
     } else {
@@ -43,15 +46,18 @@ pub fn run(params: &ExpParams) -> Report {
         // *is* the result.
         let cap = (50 * n) as u64;
         let mk = |proto| {
-            Scenario::new(n, t)
-                .with_protocol(proto)
-                .with_attack(AttackSpec::SplitVote)
-                .with_seed(params.seed)
-                .with_max_rounds(cap)
+            ScenarioBuilder::new(n, t)
+                .protocol(proto)
+                .adversary(AttackSpec::SplitVote)
+                .seed(params.seed)
+                .max_rounds(cap)
+                .trials(trials)
         };
-        let com = run_many(&mk(ProtocolSpec::PaperLasVegas { alpha: 2.0 }), trials);
-        let dea = run_many(&mk(ProtocolSpec::RabinDealer), trials);
-        let pri = run_many(&mk(ProtocolSpec::BenOrPrivate), trials);
+        let com = mk(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .run_batch()
+            .results;
+        let dea = mk(ProtocolSpec::RabinDealer).run_batch().results;
+        let pri = mk(ProtocolSpec::BenOrPrivate).run_batch().results;
         let (rc, rd, rp) = (mean_rounds(&com), mean_rounds(&dea), mean_rounds(&pri));
         committee.push(n as f64, rc);
         dealer.push(n as f64, rd);

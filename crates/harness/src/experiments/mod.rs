@@ -3,7 +3,7 @@
 //! Each experiment regenerates one table or figure of EXPERIMENTS.md,
 //! validating a quantitative claim of the paper. All experiments are
 //! deterministic in `(params.seed)` and scale down under
-//! `params.quick` (used by tests and Criterion benches).
+//! `params.quick` (used by tests and the bench targets).
 
 pub mod e01_correctness;
 pub mod e02_coin;
@@ -25,21 +25,12 @@ use crate::report::Report;
 use crate::runner::TrialResult;
 
 /// Global experiment parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExpParams {
     /// Scale down sizes/trials for smoke runs.
     pub quick: bool,
     /// Master seed offset.
     pub seed: u64,
-}
-
-impl Default for ExpParams {
-    fn default() -> Self {
-        ExpParams {
-            quick: false,
-            seed: 0,
-        }
-    }
 }
 
 /// A registered experiment.
@@ -133,10 +124,18 @@ pub fn all() -> Vec<ExperimentDef> {
     ]
 }
 
-/// Looks an experiment up by id (case-insensitive).
+/// Looks an experiment up by id (case-insensitive; zero-padded forms
+/// like `e01` are accepted).
 pub fn by_id(id: &str) -> Option<ExperimentDef> {
     let id = id.to_ascii_lowercase();
-    all().into_iter().find(|e| e.id == id)
+    let canonical = match id.strip_prefix('e') {
+        Some(num) => match num.trim_start_matches('0') {
+            "" => id.clone(),
+            trimmed => format!("e{trimmed}"),
+        },
+        None => id.clone(),
+    };
+    all().into_iter().find(|e| e.id == canonical)
 }
 
 // ---- shared aggregation helpers ----
@@ -191,8 +190,10 @@ mod tests {
         assert_eq!(ids.len(), 15);
         assert!(by_id("e3").is_some());
         assert!(by_id("E3").is_some());
+        assert!(by_id("e03").is_some(), "zero-padded ids accepted");
         assert!(by_id("e15").is_some());
         assert!(by_id("e99").is_none());
+        assert!(by_id("e0").is_none());
     }
 
     #[test]
@@ -218,6 +219,8 @@ mod tests {
             messages: 0,
             bits: 0,
             max_edge_bits: 0,
+            agree_fraction: 1.0,
+            adversary: "test",
         };
         let rs = vec![t(10, true, true), t(20, false, false)];
         assert_eq!(mean_rounds(&rs), 15.0);

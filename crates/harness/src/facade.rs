@@ -1,0 +1,399 @@
+//! The blessed run API: [`ScenarioBuilder`] composes protocol ×
+//! adversary × parameters and executes trials; [`BatchReport`]
+//! aggregates them.
+//!
+//! Every example, integration test, and experiment in this workspace
+//! constructs runs through this facade — there is exactly one way to run
+//! an experiment. The builder is re-exported at the root of the
+//! `adaptive-ba` crate:
+//!
+//! ```
+//! use aba_harness::{AttackSpec, ProtocolSpec, ScenarioBuilder};
+//!
+//! let report = ScenarioBuilder::new(16, 5)
+//!     .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+//!     .adversary(AttackSpec::FullAttack)
+//!     .seed(42)
+//!     .trials(8)
+//!     .run_batch();
+//! assert_eq!(report.agreement_rate(), 1.0);
+//! ```
+
+use crate::runner::{self, TrialResult};
+use crate::scenario::{AttackSpec, InputSpec, ProtocolSpec, Scenario};
+use aba_agreement::CommitteeBa;
+use aba_sim::adversary::Adversary;
+use aba_sim::InfoModel;
+
+/// Builder-style facade over the whole experiment stack.
+///
+/// Defaults mirror [`Scenario::new`]: the paper's whp protocol (α = 2),
+/// the adaptive rushing full attack, split inputs, rushing information
+/// model, seed 0, a 20 000-round cap, and a single trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+    trials: usize,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario for `n` nodes with corruption budget `t`.
+    pub fn new(n: usize, t: usize) -> Self {
+        ScenarioBuilder {
+            scenario: Scenario::new(n, t),
+            trials: 1,
+        }
+    }
+
+    /// Wraps an existing declarative [`Scenario`].
+    pub fn from_scenario(scenario: Scenario) -> Self {
+        ScenarioBuilder {
+            scenario,
+            trials: 1,
+        }
+    }
+
+    /// Selects the protocol under test.
+    #[must_use]
+    pub fn protocol(mut self, p: ProtocolSpec) -> Self {
+        self.scenario.protocol = p;
+        self
+    }
+
+    /// Selects the adversary.
+    #[must_use]
+    pub fn adversary(mut self, a: AttackSpec) -> Self {
+        self.scenario.attack = a;
+        self
+    }
+
+    /// Selects the input assignment.
+    #[must_use]
+    pub fn inputs(mut self, i: InputSpec) -> Self {
+        self.scenario.inputs = i;
+        self
+    }
+
+    /// Selects the information model (rushing vs non-rushing).
+    #[must_use]
+    pub fn info_model(mut self, m: InfoModel) -> Self {
+        self.scenario.info = m;
+        self
+    }
+
+    /// Sets the master seed of the first trial (trial `i` runs at
+    /// `seed + i`).
+    #[must_use]
+    pub fn seed(mut self, s: u64) -> Self {
+        self.scenario.seed = s;
+        self
+    }
+
+    /// Sets the hard round cap; runs hitting it count as non-terminating.
+    #[must_use]
+    pub fn max_rounds(mut self, r: u64) -> Self {
+        self.scenario.max_rounds = r;
+        self
+    }
+
+    /// Sets the number of trials executed by [`ScenarioBuilder::run_batch`].
+    #[must_use]
+    pub fn trials(mut self, k: usize) -> Self {
+        self.trials = k;
+        self
+    }
+
+    /// The underlying declarative scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs a single trial at the configured seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(n, t)` violates the selected protocol's precondition
+    /// (`n ≥ 3t + 1` for the agreement protocols).
+    pub fn run(&self) -> TrialResult {
+        runner::run_scenario(&self.scenario)
+    }
+
+    /// Runs the configured number of trials in parallel (seeds
+    /// `seed..seed + trials`) and aggregates them.
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`ScenarioBuilder::run`].
+    pub fn run_batch(&self) -> BatchReport {
+        BatchReport {
+            results: runner::run_many(&self.scenario, self.trials),
+            scenario: self.scenario.clone(),
+        }
+    }
+
+    /// Runs a single trial of the configured committee-family protocol
+    /// against a caller-supplied adversary — the escape hatch for custom
+    /// attack research (see `examples/custom_adversary.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured protocol is not committee-based: custom
+    /// adversaries are typed against [`CommitteeBa`].
+    pub fn run_with<A>(&self, adversary: A) -> TrialResult
+    where
+        A: Adversary<CommitteeBa>,
+    {
+        runner::run_committee_custom(&self.scenario, adversary)
+    }
+
+    /// Runs the configured number of trials against caller-supplied
+    /// adversaries, one fresh instance per trial from `make` (called with
+    /// the trial's seed).
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`ScenarioBuilder::run_with`].
+    pub fn run_batch_with<A, F>(&self, make: F) -> BatchReport
+    where
+        A: Adversary<CommitteeBa>,
+        F: Fn(u64) -> A + Sync,
+    {
+        let results = runner::run_many_with(&self.scenario, self.trials, |s| {
+            runner::run_committee_custom(s, make(s.seed))
+        });
+        BatchReport {
+            results,
+            scenario: self.scenario.clone(),
+        }
+    }
+}
+
+/// Aggregated outcome of a batch of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// The base scenario (trial `i` ran at `scenario.seed + i`).
+    pub scenario: Scenario,
+    /// Per-trial results, in seed order.
+    pub results: Vec<TrialResult>,
+}
+
+impl BatchReport {
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    fn rate(&self, pred: impl Fn(&TrialResult) -> bool) -> f64 {
+        if self.results.is_empty() {
+            return f64::NAN;
+        }
+        self.results.iter().filter(|r| pred(r)).count() as f64 / self.results.len() as f64
+    }
+
+    fn mean(&self, f: impl Fn(&TrialResult) -> f64) -> f64 {
+        if self.results.is_empty() {
+            return f64::NAN;
+        }
+        self.results.iter().map(f).sum::<f64>() / self.results.len() as f64
+    }
+
+    /// Fraction of trials where all honest outputs agreed.
+    pub fn agreement_rate(&self) -> f64 {
+        self.rate(|r| r.agreement)
+    }
+
+    /// Fraction of trials that terminated before the round cap.
+    pub fn termination_rate(&self) -> f64 {
+        self.rate(|r| r.terminated)
+    }
+
+    /// Fraction of trials satisfying Definition 1 outright.
+    pub fn correct_rate(&self) -> f64 {
+        self.rate(TrialResult::correct)
+    }
+
+    /// Whether every trial satisfied Definition 1.
+    pub fn all_correct(&self) -> bool {
+        self.results.iter().all(TrialResult::correct)
+    }
+
+    /// Mean rounds to termination (censored trials count at the cap).
+    pub fn mean_rounds(&self) -> f64 {
+        self.mean(|r| r.rounds as f64)
+    }
+
+    /// Worst-case rounds over the batch.
+    pub fn max_rounds(&self) -> u64 {
+        self.results.iter().map(|r| r.rounds).max().unwrap_or(0)
+    }
+
+    /// Mean corruptions the adversary actually performed.
+    pub fn mean_corruptions(&self) -> f64 {
+        self.mean(|r| r.corruptions as f64)
+    }
+
+    /// Mean point-to-point messages per round.
+    pub fn mean_messages_per_round(&self) -> f64 {
+        self.mean(|r| r.messages as f64 / (r.rounds.max(1)) as f64)
+    }
+
+    /// Mean honest-majority agreement fraction (the almost-everywhere
+    /// metric).
+    pub fn mean_agree_fraction(&self) -> f64 {
+        self.mean(|r| r.agree_fraction)
+    }
+
+    /// Among agreeing trials, the fraction that decided `b` (`NaN` if no
+    /// trial agreed) — e.g. the conditional coin bias of Definition 2.
+    pub fn decision_rate(&self, b: bool) -> f64 {
+        let agreed: Vec<_> = self.results.iter().filter(|r| r.agreement).collect();
+        if agreed.is_empty() {
+            return f64::NAN;
+        }
+        agreed.iter().filter(|r| r.decision == Some(b)).count() as f64 / agreed.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_every_axis() {
+        let b = ScenarioBuilder::new(64, 10)
+            .protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+            .adversary(AttackSpec::Benign)
+            .inputs(InputSpec::AllSame(true))
+            .info_model(InfoModel::NonRushing)
+            .seed(42)
+            .max_rounds(99)
+            .trials(3);
+        let s = b.scenario();
+        assert_eq!((s.n, s.t, s.seed, s.max_rounds), (64, 10, 42, 99));
+        assert_eq!(s.protocol.name(), "chor-coan");
+        assert_eq!(s.attack.name(), "benign");
+        assert!(!s.info.is_rushing());
+    }
+
+    #[test]
+    fn single_run_and_batch_agree_on_first_seed() {
+        let b = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::SplitVote)
+            .seed(9)
+            .trials(3);
+        let single = b.run();
+        let batch = b.run_batch();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.results[0], single);
+    }
+
+    #[test]
+    fn batch_aggregates() {
+        let report = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::Benign)
+            .inputs(InputSpec::AllSame(true))
+            .trials(4)
+            .run_batch();
+        assert_eq!(report.len(), 4);
+        assert!(report.all_correct());
+        assert_eq!(report.agreement_rate(), 1.0);
+        assert_eq!(report.termination_rate(), 1.0);
+        assert_eq!(report.correct_rate(), 1.0);
+        assert_eq!(report.decision_rate(true), 1.0);
+        assert_eq!(report.mean_agree_fraction(), 1.0);
+        assert!(report.mean_rounds() >= 1.0);
+        assert!(report.max_rounds() as f64 >= report.mean_rounds());
+        assert!(report.mean_messages_per_round() > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_rates_are_nan() {
+        let report = ScenarioBuilder::new(7, 2).trials(0).run_batch();
+        assert!(report.is_empty());
+        assert!(report.agreement_rate().is_nan());
+        assert!(report.mean_rounds().is_nan());
+        assert!(report.decision_rate(true).is_nan());
+        assert_eq!(report.max_rounds(), 0);
+    }
+
+    #[test]
+    fn common_coin_protocol_reports_commonality() {
+        // Fault-free Algorithm 1 always yields a common coin.
+        let report = ScenarioBuilder::new(32, 0)
+            .protocol(ProtocolSpec::CommonCoin)
+            .adversary(AttackSpec::Benign)
+            .trials(6)
+            .run_batch();
+        assert_eq!(report.agreement_rate(), 1.0);
+        for r in &report.results {
+            assert!(r.terminated);
+            assert_eq!(r.validity, None, "the coin has no validity notion");
+            assert!(r.decision.is_some());
+        }
+    }
+
+    #[test]
+    fn sampling_majority_protocol_runs() {
+        let r = ScenarioBuilder::new(64, 4)
+            .protocol(ProtocolSpec::SamplingMajority { iters: 0 })
+            .adversary(AttackSpec::SamplingPoison)
+            .max_rounds(4_000)
+            .run();
+        assert!(r.terminated);
+        assert!((0.5..=1.0).contains(&r.agree_fraction), "{r:?}");
+    }
+
+    #[test]
+    fn mismatched_attack_degrades_visibly() {
+        // Coin-specific attack against a committee protocol and vice
+        // versa must dispatch to the strongest applicable adversary —
+        // and the substitution must be recorded in the result.
+        let r = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::CoinKiller)
+            .run();
+        assert!(r.terminated && r.agreement);
+        assert_ne!(r.adversary, AttackSpec::CoinKiller.name());
+        let r = ScenarioBuilder::new(36, 3)
+            .protocol(ProtocolSpec::CommonCoin)
+            .adversary(AttackSpec::FullAttack)
+            .run();
+        assert!(r.terminated);
+        assert_ne!(r.adversary, AttackSpec::FullAttack.name());
+        // A matched pair records the adversary it asked for.
+        let r = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::Benign)
+            .run();
+        assert_eq!(r.adversary, "benign");
+    }
+
+    #[test]
+    fn custom_adversary_escape_hatch() {
+        use aba_adversary::Benign;
+        let b = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .inputs(InputSpec::AllSame(true))
+            .trials(2);
+        let single = b.run_with(Benign);
+        assert!(single.correct());
+        let batch = b.run_batch_with(|_seed| Benign);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.all_correct());
+    }
+
+    #[test]
+    #[should_panic(expected = "committee-family")]
+    fn custom_adversary_rejects_non_committee_protocol() {
+        let _ = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PhaseKing)
+            .run_with(aba_adversary::Benign);
+    }
+}

@@ -1,23 +1,40 @@
-//! # aba-harness — experiment definitions and the parallel trial runner
+//! # aba-harness — the ScenarioBuilder facade and the experiment suite
 //!
-//! Turns the protocols, adversaries, and analysis tools of the workspace
-//! into the reproducible experiment suite documented in EXPERIMENTS.md.
-//! Each experiment E1–E15 regenerates one table or figure validating a
-//! quantitative claim of the paper. Run them with the `aba-experiments`
-//! binary:
+//! This crate owns the **one blessed way to run an experiment**: the
+//! [`ScenarioBuilder`] facade, which composes protocol × adversary ×
+//! parameters declaratively and executes trials on all cores. On top of
+//! it sit the reproducible experiments E1–E15 documented in
+//! EXPERIMENTS.md at the repository root, each regenerating one table or
+//! figure validating a quantitative claim of the paper. Run them with
+//! the `aba-experiments` binary:
 //!
 //! ```text
 //! aba-experiments --exp all --quick --out results/
+//! ```
+//!
+//! ## Running a scenario
+//!
+//! ```
+//! use aba_harness::{AttackSpec, ProtocolSpec, ScenarioBuilder};
+//!
+//! let result = ScenarioBuilder::new(16, 5)
+//!     .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+//!     .adversary(AttackSpec::FullAttack)
+//!     .seed(7)
+//!     .run();
+//! assert!(result.correct());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod facade;
 pub mod report;
-pub mod runner;
+pub(crate) mod runner;
 pub mod scenario;
 
+pub use facade::{BatchReport, ScenarioBuilder};
 pub use report::Report;
-pub use runner::{run_many, run_scenario, TrialResult};
+pub use runner::TrialResult;
 pub use scenario::{AttackSpec, InputSpec, ProtocolSpec, Scenario};

@@ -2,12 +2,11 @@
 //! rendered to stdout (markdown) and to disk (markdown + CSV + JSON).
 
 use aba_analysis::{Series, Table};
-use serde::{Deserialize, Serialize};
 use std::io::Write as _;
 use std::path::Path;
 
 /// One experiment's rendered output.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Report {
     /// Experiment identifier (e.g. "E3").
     pub id: String,
@@ -102,10 +101,107 @@ impl Report {
         }
         let json_path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(json_path)?;
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        f.write_all(json.as_bytes())?;
+        f.write_all(self.to_json().as_bytes())?;
         Ok(())
+    }
+
+    /// Renders the report as a JSON document (hand-rolled: this workspace
+    /// builds without network access, so no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str("  \"tables\": [");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"title\": {}, ", json_str(&t.title)));
+            out.push_str(&format!(
+                "\"columns\": [{}], ",
+                t.columns
+                    .iter()
+                    .map(|c| json_str(c))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            out.push_str("\"rows\": [");
+            for (j, row) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "[{}]",
+                    row.iter().map(json_cell).collect::<Vec<_>>().join(", ")
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"label\": {}, ", json_str(&s.label)));
+            out.push_str("\"points\": [");
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{}, {}]", json_num(*x), json_num(*y)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an f64 as a JSON number (JSON has no NaN/Infinity: use null).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders one table cell as a JSON value.
+fn json_cell(c: &aba_analysis::table::Cell) -> String {
+    use aba_analysis::table::Cell;
+    match c {
+        Cell::Text(s) => json_str(s),
+        Cell::Int(i) => i.to_string(),
+        Cell::Float(x) => json_num(*x),
+        Cell::Empty => "null".to_string(),
     }
 }
 
@@ -120,7 +216,8 @@ mod tests {
         let mut t = Table::new("tbl", &["a"]);
         t.push_row(vec![Cell::Int(1)]);
         r.tables.push(t);
-        r.series.push(Series::from_points("curve", vec![(1.0, 2.0)]));
+        r.series
+            .push(Series::from_points("curve", vec![(1.0, 2.0)]));
         r.note("looks right");
         let md = r.to_markdown();
         assert!(md.contains("## E0 — smoke"));

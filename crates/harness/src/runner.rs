@@ -1,15 +1,22 @@
 //! Trial execution: scenario dispatch and the parallel batch runner.
+//!
+//! This module is the *engine room* of the [`crate::ScenarioBuilder`]
+//! facade: it monomorphizes the declarative [`Scenario`] into a concrete
+//! protocol/adversary pair and runs it. It is crate-private on purpose —
+//! downstream code composes runs exclusively through the facade.
 
 use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
 use aba_adversary::{AdaptiveCrash, Benign, BudgetCapped, StaticBehavior, StaticByzantine};
-use aba_agreement::{BaConfig, CoinRoundMode, CommitteeBa, PhaseKingBa};
-use aba_attacks::{AdaptiveFullAttack, BudgetPolicy, SplitVote};
+use aba_agreement::{BaConfig, CoinRoundMode, CommitteeBa, PhaseKingBa, SamplingMajorityNode};
+use aba_attacks::{
+    AdaptiveFullAttack, BudgetPolicy, CoinKiller, NonRushingPolicy, SamplingPoison, SplitVote,
+};
+use aba_coin::CoinFlipNode;
 use aba_sim::adversary::Adversary;
 use aba_sim::{RunReport, SimConfig, Simulation, Verdict};
-use serde::{Deserialize, Serialize};
 
 /// Result of one trial, flattened for aggregation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialResult {
     /// Rounds until every honest node halted (or the cap).
     pub rounds: u64,
@@ -29,21 +36,68 @@ pub struct TrialResult {
     pub bits: usize,
     /// Max bits over any edge in any round (CONGEST check).
     pub max_edge_bits: usize,
+    /// Fraction of honest outputs sharing the majority value (1.0 under
+    /// full agreement; the almost-everywhere metric for
+    /// [`ProtocolSpec::SamplingMajority`]).
+    pub agree_fraction: f64,
+    /// Name of the adversary strategy that actually ran. Protocol-
+    /// mismatched attack specs degrade to the strongest applicable
+    /// strategy; this field records the substitution so results are
+    /// never silently misattributed.
+    pub adversary: &'static str,
+}
+
+/// Majority fraction among the honest outputs (1.0 when none exist).
+fn majority_fraction(report: &RunReport) -> f64 {
+    let outs = report.honest_outputs();
+    if outs.is_empty() {
+        return 1.0;
+    }
+    let ones = outs.iter().filter(|b| **b).count();
+    ones.max(outs.len() - ones) as f64 / outs.len() as f64
 }
 
 impl TrialResult {
-    fn from_run(report: &RunReport, inputs: &[bool]) -> TrialResult {
-        let verdict = Verdict::evaluate(inputs, &report.outputs, &report.honest);
+    /// The fields shared by every kind of run; the agreement/validity/
+    /// decision triple is left at its vacuous default for the caller.
+    fn base(report: &RunReport, adversary: &'static str) -> TrialResult {
         TrialResult {
             rounds: report.rounds,
             terminated: report.all_halted,
-            agreement: verdict.agreement,
-            validity: verdict.validity,
-            decision: verdict.decision,
+            agreement: true,
+            validity: None,
+            decision: None,
             corruptions: report.corruptions_used,
             messages: report.metrics.total_messages,
             bits: report.metrics.total_bits,
             max_edge_bits: report.metrics.max_edge_bits,
+            agree_fraction: majority_fraction(report),
+            adversary,
+        }
+    }
+
+    fn from_run(report: &RunReport, inputs: &[bool], adversary: &'static str) -> TrialResult {
+        let verdict = Verdict::evaluate(inputs, &report.outputs, &report.honest);
+        TrialResult {
+            agreement: verdict.agreement,
+            validity: verdict.validity,
+            decision: verdict.decision,
+            ..Self::base(report, adversary)
+        }
+    }
+
+    /// For input-less protocols (the common coin): agreement means the
+    /// coin was common; validity is vacuous.
+    fn from_coin_run(report: &RunReport, adversary: &'static str) -> TrialResult {
+        let agreement = report.honest_outputs_agree();
+        TrialResult {
+            agreement,
+            decision: if agreement {
+                report.honest_outputs().first().copied()
+            } else {
+                None
+            },
+            ..Self::base(report, adversary)
         }
     }
 
@@ -65,29 +119,111 @@ fn run_committee<A>(s: &Scenario, cfg: BaConfig, adversary: A) -> TrialResult
 where
     A: Adversary<CommitteeBa>,
 {
+    let name = adversary.name();
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = CommitteeBa::network(&cfg, &inputs);
     let report = Simulation::new(sim_config(s), nodes, adversary).run();
-    TrialResult::from_run(&report, &inputs)
+    TrialResult::from_run(&report, &inputs, name)
 }
 
 fn run_phase_king<A>(s: &Scenario, adversary: A) -> TrialResult
 where
     A: Adversary<PhaseKingBa>,
 {
+    let name = adversary.name();
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = PhaseKingBa::network(s.n, s.t, &inputs);
     let report = Simulation::new(sim_config(s), nodes, adversary).run();
-    TrialResult::from_run(&report, &inputs)
+    TrialResult::from_run(&report, &inputs, name)
+}
+
+fn run_coin<A>(s: &Scenario, adversary: A) -> TrialResult
+where
+    A: Adversary<CoinFlipNode>,
+{
+    let name = adversary.name();
+    let nodes = CoinFlipNode::network(s.n);
+    let report = Simulation::new(sim_config(s), nodes, adversary).run();
+    TrialResult::from_coin_run(&report, name)
+}
+
+fn run_sampling<A>(s: &Scenario, iters: u64, adversary: A) -> TrialResult
+where
+    A: Adversary<SamplingMajorityNode>,
+{
+    let name = adversary.name();
+    let iters = if iters == 0 {
+        SamplingMajorityNode::recommended_iterations(s.n)
+    } else {
+        iters
+    };
+    let inputs = s.inputs.materialize(s.n, s.seed);
+    let nodes = SamplingMajorityNode::network(s.n, iters, &inputs);
+    let report = Simulation::new(sim_config(s), nodes, adversary).run();
+    TrialResult::from_run(&report, &inputs, name)
+}
+
+/// Dispatches the one-shot coin over the attack axis. Protocol-specific
+/// attacks that don't understand the coin degrade to [`CoinKiller`], the
+/// strongest coin-aware adversary.
+fn dispatch_coin(s: &Scenario) -> TrialResult {
+    let killer = || CoinKiller::new(NonRushingPolicy::Guaranteed);
+    match s.attack {
+        AttackSpec::Benign => run_coin(s, Benign),
+        AttackSpec::StaticSilent => {
+            run_coin(s, StaticByzantine::first_t(s.t, StaticBehavior::Silence))
+        }
+        AttackSpec::StaticMirror => run_coin(
+            s,
+            StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+        ),
+        AttackSpec::Crash { per_round } => run_coin(s, AdaptiveCrash::steady(per_round)),
+        AttackSpec::FullAttackCapped { q } => run_coin(s, BudgetCapped::new(killer(), q)),
+        AttackSpec::CoinKiller
+        | AttackSpec::SplitVote
+        | AttackSpec::FullAttack
+        | AttackSpec::FullAttackFrugal
+        | AttackSpec::SamplingPoison => run_coin(s, killer()),
+    }
+}
+
+/// Dispatches the sampling-majority dynamic over the attack axis.
+/// Protocol-specific attacks that don't understand it degrade to
+/// [`SamplingPoison`], the strongest sampling-aware adversary.
+fn dispatch_sampling(s: &Scenario, iters: u64) -> TrialResult {
+    match s.attack {
+        AttackSpec::Benign => run_sampling(s, iters, Benign),
+        AttackSpec::StaticSilent => run_sampling(
+            s,
+            iters,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+        ),
+        AttackSpec::StaticMirror => run_sampling(
+            s,
+            iters,
+            StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+        ),
+        AttackSpec::Crash { per_round } => run_sampling(s, iters, AdaptiveCrash::steady(per_round)),
+        AttackSpec::FullAttackCapped { q } => {
+            run_sampling(s, iters, BudgetCapped::new(SamplingPoison::eager(), q))
+        }
+        AttackSpec::SamplingPoison
+        | AttackSpec::SplitVote
+        | AttackSpec::FullAttack
+        | AttackSpec::FullAttackFrugal
+        | AttackSpec::CoinKiller => run_sampling(s, iters, SamplingPoison::eager()),
+    }
 }
 
 /// Dispatches a committee-protocol scenario over the attack axis.
 fn dispatch_committee(s: &Scenario, cfg: BaConfig) -> TrialResult {
     match s.attack {
         AttackSpec::Benign => run_committee(s, cfg, Benign),
-        AttackSpec::StaticSilent => {
-            run_committee(s, cfg, StaticByzantine::first_t(s.t, StaticBehavior::Silence))
-        }
+        AttackSpec::StaticSilent => run_committee(
+            s,
+            cfg,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+        ),
         AttackSpec::StaticMirror => run_committee(
             s,
             cfg,
@@ -106,7 +242,57 @@ fn dispatch_committee(s: &Scenario, cfg: BaConfig) -> TrialResult {
             cfg,
             BudgetCapped::new(AdaptiveFullAttack::new(BudgetPolicy::Greedy), q),
         ),
+        // Protocol-mismatched attacks degrade to the strongest
+        // committee-aware adversary.
+        AttackSpec::CoinKiller | AttackSpec::SamplingPoison => {
+            run_committee(s, cfg, AdaptiveFullAttack::new(BudgetPolicy::Greedy))
+        }
     }
+}
+
+/// The committee-family protocol configuration of a scenario, or `None`
+/// for the non-committee protocols.
+pub(crate) fn committee_config(s: &Scenario) -> Option<BaConfig> {
+    let cfg = match s.protocol {
+        ProtocolSpec::Paper { alpha } => BaConfig::paper(s.n, s.t, alpha).expect("valid (n, t)"),
+        ProtocolSpec::PaperLasVegas { alpha } => {
+            BaConfig::paper_las_vegas(s.n, s.t, alpha).expect("valid (n, t)")
+        }
+        ProtocolSpec::PaperLiteralCoin { alpha } => BaConfig::paper_las_vegas(s.n, s.t, alpha)
+            .expect("valid (n, t)")
+            .with_coin_round(CoinRoundMode::Literal),
+        ProtocolSpec::ChorCoan { beta } => {
+            BaConfig::chor_coan(s.n, s.t, beta).expect("valid (n, t)")
+        }
+        ProtocolSpec::RabinDealer => {
+            BaConfig::rabin_dealer(s.n, s.t, s.seed ^ 0xDEA1).expect("valid (n, t)")
+        }
+        ProtocolSpec::BenOrPrivate => BaConfig::ben_or_private(s.n, s.t).expect("valid (n, t)"),
+        ProtocolSpec::PhaseKing
+        | ProtocolSpec::CommonCoin
+        | ProtocolSpec::SamplingMajority { .. } => return None,
+    };
+    Some(cfg)
+}
+
+/// Runs a scenario's committee-family protocol against a caller-supplied
+/// adversary — the facade's escape hatch for custom attack research.
+///
+/// # Panics
+///
+/// Panics if the scenario's protocol is not committee-based (the custom
+/// adversary is typed against [`CommitteeBa`]).
+pub(crate) fn run_committee_custom<A>(s: &Scenario, adversary: A) -> TrialResult
+where
+    A: Adversary<CommitteeBa>,
+{
+    let cfg = committee_config(s).unwrap_or_else(|| {
+        panic!(
+            "custom adversaries run against committee-family protocols; {} is not one",
+            s.protocol.name()
+        )
+    });
+    run_committee(s, cfg, adversary)
 }
 
 /// Runs one scenario to completion.
@@ -115,36 +301,13 @@ fn dispatch_committee(s: &Scenario, cfg: BaConfig) -> TrialResult {
 ///
 /// Panics if the scenario's `(n, t)` violates a protocol precondition
 /// (`n ≥ 3t + 1`); scenario construction is programmer-controlled.
-pub fn run_scenario(s: &Scenario) -> TrialResult {
+pub(crate) fn run_scenario(s: &Scenario) -> TrialResult {
+    if let Some(cfg) = committee_config(s) {
+        return dispatch_committee(s, cfg);
+    }
     match s.protocol {
-        ProtocolSpec::Paper { alpha } => {
-            let cfg = BaConfig::paper(s.n, s.t, alpha).expect("valid (n, t)");
-            dispatch_committee(s, cfg)
-        }
-        ProtocolSpec::PaperLasVegas { alpha } => {
-            let cfg = BaConfig::paper_las_vegas(s.n, s.t, alpha).expect("valid (n, t)");
-            dispatch_committee(s, cfg)
-        }
-        ProtocolSpec::PaperLiteralCoin { alpha } => {
-            let cfg = BaConfig::paper_las_vegas(s.n, s.t, alpha)
-                .expect("valid (n, t)")
-                .with_coin_round(CoinRoundMode::Literal);
-            dispatch_committee(s, cfg)
-        }
-        ProtocolSpec::ChorCoan { beta } => {
-            let cfg = BaConfig::chor_coan(s.n, s.t, beta).expect("valid (n, t)");
-            dispatch_committee(s, cfg)
-        }
-        ProtocolSpec::RabinDealer => {
-            // The dealer seed is derived from the scenario seed so trials
-            // differ but stay reproducible.
-            let cfg = BaConfig::rabin_dealer(s.n, s.t, s.seed ^ 0xDEA1).expect("valid (n, t)");
-            dispatch_committee(s, cfg)
-        }
-        ProtocolSpec::BenOrPrivate => {
-            let cfg = BaConfig::ben_or_private(s.n, s.t).expect("valid (n, t)");
-            dispatch_committee(s, cfg)
-        }
+        ProtocolSpec::CommonCoin => dispatch_coin(s),
+        ProtocolSpec::SamplingMajority { iters } => dispatch_sampling(s, iters),
         ProtocolSpec::PhaseKing => match s.attack {
             AttackSpec::Benign => run_phase_king(s, Benign),
             AttackSpec::StaticSilent => {
@@ -154,21 +317,27 @@ pub fn run_scenario(s: &Scenario) -> TrialResult {
                 s,
                 StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
             ),
-            AttackSpec::Crash { per_round } => {
-                run_phase_king(s, AdaptiveCrash::steady(per_round))
-            }
+            AttackSpec::Crash { per_round } => run_phase_king(s, AdaptiveCrash::steady(per_round)),
             // The BA-state-aware attacks don't apply to Phase-King's
             // message type; fall back to adaptive crash, the strongest
             // generic adversary (Phase-King is deterministic, so its
             // round count is attack-independent anyway).
             _ => run_phase_king(s, AdaptiveCrash::steady(1)),
         },
+        _ => unreachable!("committee-family protocols are handled above"),
     }
 }
 
-/// Runs `trials` seeds of a base scenario in parallel (scoped threads;
-/// one chunk per available core) and returns results in seed order.
-pub fn run_many(base: &Scenario, trials: usize) -> Vec<TrialResult> {
+/// Runs `trials` seed-shifted copies of a base scenario in parallel
+/// (scoped threads; one chunk per available core), evaluating each with
+/// `run`, and returns results in seed order.
+pub(crate) fn run_many_with<F>(base: &Scenario, trials: usize, run: F) -> Vec<TrialResult>
+where
+    F: Fn(&Scenario) -> TrialResult + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
     let scenarios: Vec<Scenario> = (0..trials as u64)
         .map(|i| {
             let mut s = base.clone();
@@ -182,17 +351,26 @@ pub fn run_many(base: &Scenario, trials: usize) -> Vec<TrialResult> {
         .min(scenarios.len().max(1));
     let mut results: Vec<Option<TrialResult>> = vec![None; scenarios.len()];
     let chunk = scenarios.len().div_ceil(workers);
-    crossbeam::scope(|scope| {
+    let run = &run;
+    std::thread::scope(|scope| {
         for (slot_chunk, scen_chunk) in results.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, scenario) in slot_chunk.iter_mut().zip(scen_chunk) {
-                    *slot = Some(run_scenario(scenario));
+                    *slot = Some(run(scenario));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Runs `trials` seeds of a base scenario in parallel and returns results
+/// in seed order.
+pub(crate) fn run_many(base: &Scenario, trials: usize) -> Vec<TrialResult> {
+    run_many_with(base, trials, run_scenario)
 }
 
 #[cfg(test)]

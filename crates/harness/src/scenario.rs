@@ -6,10 +6,9 @@
 //! dispatch time so the simulation loop stays static-dispatch fast.
 
 use aba_sim::InfoModel;
-use serde::{Deserialize, Serialize};
 
 /// Which agreement protocol to run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProtocolSpec {
     /// The paper's Algorithm 3, whp mode (exactly `c` phases).
     Paper {
@@ -37,6 +36,17 @@ pub enum ProtocolSpec {
     BenOrPrivate,
     /// Deterministic Phase-King baseline.
     PhaseKing,
+    /// One-shot common coin (Algorithm 1: the whole network flips).
+    ///
+    /// `agreement` in the [`crate::TrialResult`] means the coin was
+    /// *common*; `decision` is the coin value; validity is vacuous.
+    CommonCoin,
+    /// Sampling-majority dynamic (almost-everywhere agreement baseline,
+    /// Section 1.3). `iters = 0` uses the recommended `Θ(log² n)` count.
+    SamplingMajority {
+        /// Sampling iterations (0 = recommended for `n`).
+        iters: u64,
+    },
 }
 
 impl ProtocolSpec {
@@ -50,12 +60,14 @@ impl ProtocolSpec {
             ProtocolSpec::RabinDealer => "rabin-dealer",
             ProtocolSpec::BenOrPrivate => "ben-or-private",
             ProtocolSpec::PhaseKing => "phase-king",
+            ProtocolSpec::CommonCoin => "common-coin",
+            ProtocolSpec::SamplingMajority { .. } => "sampling-majority",
         }
     }
 }
 
 /// Which adversary to run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AttackSpec {
     /// No corruptions at all.
     Benign,
@@ -80,6 +92,14 @@ pub enum AttackSpec {
         /// Corruption cap `q ≤ t`.
         q: usize,
     },
+    /// The optimal coin-denial adversary (Algorithm 1/2-aware). Only
+    /// meaningful against [`super::ProtocolSpec::CommonCoin`]; other
+    /// protocols degrade it to their strongest applicable attack.
+    CoinKiller,
+    /// The sampling-majority poisoner. Only meaningful against
+    /// [`super::ProtocolSpec::SamplingMajority`]; other protocols degrade
+    /// it to their strongest applicable attack.
+    SamplingPoison,
 }
 
 impl AttackSpec {
@@ -94,12 +114,14 @@ impl AttackSpec {
             AttackSpec::FullAttack => "full-attack",
             AttackSpec::FullAttackFrugal => "full-frugal",
             AttackSpec::FullAttackCapped { .. } => "full-capped",
+            AttackSpec::CoinKiller => "coin-killer",
+            AttackSpec::SamplingPoison => "sampling-poison",
         }
     }
 }
 
 /// Input assignment across the `n` nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InputSpec {
     /// Every node starts with `b` (validity experiments).
     AllSame(bool),
@@ -136,7 +158,7 @@ impl InputSpec {
 }
 
 /// A fully specified trial.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Network size.
     pub n: usize,

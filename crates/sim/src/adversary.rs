@@ -24,7 +24,7 @@ use crate::protocol::Protocol;
 use rand::RngCore;
 
 /// How much of the current round the adversary observes before acting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InfoModel {
     /// The adversary sees the current round's messages (and therefore the
     /// current round's random choices) before choosing corruptions and

@@ -21,7 +21,7 @@ use crate::trace::{Event, Trace};
 use rand::rngs::SmallRng;
 
 /// Configuration of a run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Network size `n`.
     pub n: usize,

@@ -60,7 +60,10 @@ impl fmt::Display for SimError {
                 "adversary requested {requested} total corruptions at {round}, budget is {budget}"
             ),
             SimError::SendFromHonest { node, round } => {
-                write!(f, "adversary tried to send as honest node {node} at {round}")
+                write!(
+                    f,
+                    "adversary tried to send as honest node {node} at {round}"
+                )
             }
             SimError::UnknownNode { node, n } => {
                 write!(f, "node {node} out of range for n={n}")
@@ -91,10 +94,15 @@ mod tests {
         };
         assert!(e.to_string().contains("v4"));
 
-        assert!(SimError::BadNetworkSize { n: 0 }.to_string().contains("n=0"));
-        assert!(SimError::NodeCountMismatch { expected: 4, got: 2 }
+        assert!(SimError::BadNetworkSize { n: 0 }
             .to_string()
-            .contains("expected 4"));
+            .contains("n=0"));
+        assert!(SimError::NodeCountMismatch {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains("expected 4"));
         assert!(SimError::UnknownNode {
             node: NodeId::new(9),
             n: 4

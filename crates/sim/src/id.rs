@@ -5,7 +5,6 @@
 //! partitioning by ID range trivial). Rounds are a simple counter starting
 //! at zero.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a node in the complete network. Dense in `0..n`.
@@ -13,7 +12,7 @@ use std::fmt;
 /// The receiver of any message learns the sender's `NodeId` from the
 /// transport (engine), matching the authenticated-channel assumption of
 /// the paper's model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -52,7 +51,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A synchronous round number, starting at 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Round(u64);
 
 impl Round {

@@ -77,7 +77,7 @@ pub mod trace;
 pub mod verdict;
 
 pub use adversary::{Adversary, AdversaryAction, CorruptionLedger, InfoModel, RoundView};
-pub use engine::{SimConfig, Simulation, RunReport};
+pub use engine::{RunReport, SimConfig, Simulation};
 pub use error::SimError;
 pub use id::{NodeId, Round};
 pub use mailbox::{Inbox, RoundMailbox};
@@ -89,7 +89,9 @@ pub use verdict::Verdict;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
-    pub use crate::adversary::{Adversary, AdversaryAction, CorruptSend, CorruptionLedger, InfoModel, RoundView};
+    pub use crate::adversary::{
+        Adversary, AdversaryAction, CorruptSend, CorruptionLedger, InfoModel, RoundView,
+    };
     pub use crate::engine::{RunReport, SimConfig, Simulation};
     pub use crate::error::SimError;
     pub use crate::id::{NodeId, Round};

@@ -274,7 +274,10 @@ mod tests {
     fn counting_messages_and_bits() {
         let mut mb = RoundMailbox::new(4);
         mb.set(id(0), Emission::Broadcast(Tm(0))); // 3 msgs, 24 bits
-        mb.set(id(1), Emission::PerRecipient(vec![(id(2), Tm(1)), (id(3), Tm(2))])); // 2 msgs, 16 bits
+        mb.set(
+            id(1),
+            Emission::PerRecipient(vec![(id(2), Tm(1)), (id(3), Tm(2))]),
+        ); // 2 msgs, 16 bits
         assert_eq!(mb.message_count(), 5);
         assert_eq!(mb.total_bits(), 40);
         assert_eq!(mb.max_edge_bits(), 8);

@@ -5,10 +5,8 @@
 //! (`O(min{n·t²·log n, n²·t/log n})`, Section 1.2), and CONGEST
 //! compliance (`O(log n)` bits per edge per round, Section 1.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Measurements for a single round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundMetrics {
     /// Point-to-point messages delivered this round (a broadcast in an
     /// `n`-node network counts as `n - 1`).
@@ -24,7 +22,7 @@ pub struct RoundMetrics {
 }
 
 /// Aggregated measurements for a whole run.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunMetrics {
     /// Rounds executed.
     pub rounds: u64,
@@ -46,7 +44,7 @@ impl RunMetrics {
     /// per-round breakdown is kept (costs memory on long runs).
     pub fn new(record_rounds: bool) -> Self {
         RunMetrics {
-            per_round: if record_rounds { Vec::new() } else { Vec::new() },
+            per_round: Vec::with_capacity(if record_rounds { 64 } else { 0 }),
             ..Default::default()
         }
     }

@@ -4,7 +4,7 @@
 //! seed)`. Each node and the adversary get independent streams derived
 //! from the master seed with SplitMix64, so adding or removing one
 //! consumer never perturbs another's stream — essential for reproducible
-//! experiments and for proptest shrinking.
+//! experiments and for reproducible failure cases.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -5,10 +5,9 @@
 //! assign different values in the same phase's first round).
 
 use crate::id::{NodeId, Round};
-use serde::{Deserialize, Serialize};
 
 /// A structured event recorded during a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// A round began.
     RoundStart {

@@ -4,10 +4,8 @@
 //! such that (Agreement) any two honest outputs are equal, and (Validity)
 //! if every honest input is `b` then every honest output is `b`.
 
-use serde::{Deserialize, Serialize};
-
 /// The verdict for one run, computed from honest inputs and outputs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Verdict {
     /// Every honest node halted with an output.
     pub termination: bool,
@@ -101,11 +99,7 @@ mod tests {
 
     #[test]
     fn validity_violated_when_uniform_inputs_flipped() {
-        let v = Verdict::evaluate(
-            &[false, false],
-            &[Some(true), Some(true)],
-            &[true, true],
-        );
+        let v = Verdict::evaluate(&[false, false], &[Some(true), Some(true)], &[true, true]);
         assert!(v.agreement);
         assert_eq!(v.validity, Some(false));
         assert!(!v.is_correct());
@@ -113,11 +107,7 @@ mod tests {
 
     #[test]
     fn mixed_inputs_have_no_validity_constraint() {
-        let v = Verdict::evaluate(
-            &[false, true],
-            &[Some(true), Some(true)],
-            &[true, true],
-        );
+        let v = Verdict::evaluate(&[false, true], &[Some(true), Some(true)], &[true, true]);
         assert_eq!(v.validity, None);
         assert!(v.is_correct());
     }

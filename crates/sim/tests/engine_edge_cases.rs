@@ -123,7 +123,9 @@ fn trace_records_round_starts_halts_and_corruptions() {
     assert_eq!(report.trace.corruptions().count(), 1);
     // Node 0 halted (round 1) before being corrupted (round 2).
     let halts: Vec<_> = report.trace.halts().collect();
-    assert!(halts.iter().any(|(r, node, _)| node.index() == 0 && r.index() == 1));
+    assert!(halts
+        .iter()
+        .any(|(r, node, _)| node.index() == 0 && r.index() == 1));
 }
 
 #[test]

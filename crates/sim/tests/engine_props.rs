@@ -1,13 +1,16 @@
-//! Property tests on the engine: invariants that must hold for arbitrary
-//! corruption schedules and network sizes.
+//! Property-style tests on the engine, deterministically sampled:
+//! invariants that must hold for arbitrary corruption schedules and
+//! network sizes. (No proptest in this offline workspace — cases are
+//! drawn from a fixed-seed generator so every run checks the same
+//! sample.)
 
 use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
 use aba_sim::prelude::*;
-use proptest::prelude::*;
-use rand::RngCore;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 #[derive(Debug, Clone)]
-struct Tick(u8);
+struct Tick(#[allow(dead_code)] u8);
 impl Message for Tick {
     fn bit_size(&self) -> usize {
         8
@@ -21,6 +24,17 @@ struct Probe {
     emits: u64,
     receives: u64,
     halted: bool,
+}
+
+fn probes(n: usize, deadline: u64) -> Vec<Probe> {
+    (0..n)
+        .map(|_| Probe {
+            deadline,
+            emits: 0,
+            receives: 0,
+            halted: false,
+        })
+        .collect()
 }
 
 impl Protocol for Probe {
@@ -51,7 +65,11 @@ struct Scripted {
 }
 
 impl Adversary<Probe> for Scripted {
-    fn act(&mut self, view: &RoundView<'_, Probe>, _rng: &mut dyn RngCore) -> AdversaryAction<Tick> {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, Probe>,
+        _rng: &mut dyn RngCore,
+    ) -> AdversaryAction<Tick> {
         let due: Vec<NodeId> = self
             .script
             .iter()
@@ -67,29 +85,26 @@ impl Adversary<Probe> for Scripted {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+/// Corrupted nodes are never stepped again: their emit/receive counters
+/// freeze at the corruption round.
+#[test]
+fn corrupted_nodes_are_frozen() {
+    let mut gen = SmallRng::seed_from_u64(0xF07E);
+    for _ in 0..96 {
+        let n = gen.gen_range(2..16usize);
+        let t = gen.gen_range(0..16usize) % n;
+        let deadline = gen.gen_range(2..12u64);
+        let script: Vec<(u64, u32)> = (0..gen.gen_range(0..12usize))
+            .map(|_| (gen.gen_range(0..12u64), gen.gen_range(0..n as u32)))
+            .collect();
+        let seed = gen.next_u64();
+        let ctx = format!("n={n} t={t} deadline={deadline} seed={seed} script={script:?}");
 
-    /// Corrupted nodes are never stepped again: their emit/receive
-    /// counters freeze at the corruption round.
-    #[test]
-    fn corrupted_nodes_are_frozen(
-        n in 2usize..16,
-        t_frac in 0usize..16,
-        deadline in 2u64..12,
-        script in proptest::collection::vec((0u64..12, 0u32..16), 0..12),
-        seed in any::<u64>(),
-    ) {
-        let t = t_frac % n;
-        let script: Vec<(u64, u32)> = script
-            .into_iter()
-            .map(|(r, id)| (r, id % n as u32))
-            .collect();
-        let nodes: Vec<Probe> = (0..n)
-            .map(|_| Probe { deadline, emits: 0, receives: 0, halted: false })
-            .collect();
-        let cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(40).with_trace(true);
-        let mut sim = Simulation::new(cfg, nodes, Scripted { script });
+        let cfg = SimConfig::new(n, t)
+            .with_seed(seed)
+            .with_max_rounds(40)
+            .with_trace(true);
+        let mut sim = Simulation::new(cfg, probes(n, deadline), Scripted { script });
         while sim.step() {}
         // Corruption rounds, by node.
         let corrupted_at: std::collections::HashMap<usize, u64> = sim
@@ -104,63 +119,67 @@ proptest! {
                 Some(r) => {
                     // Stepped once per round up to and including round r
                     // (corruption happens after emit of round r).
-                    prop_assert!(node.emits <= r + 1, "node {i} emitted after corruption");
-                    prop_assert!(node.receives <= *r, "node {i} received after corruption");
+                    assert!(
+                        node.emits <= r + 1,
+                        "{ctx}: node {i} emitted after corruption"
+                    );
+                    assert!(
+                        node.receives <= *r,
+                        "{ctx}: node {i} received after corruption"
+                    );
                 }
                 None => {
-                    let active = node.emits;
-                    prop_assert!(active <= report_rounds);
+                    assert!(node.emits <= report_rounds, "{ctx}: node {i}");
                 }
             }
         }
         // Budget always respected.
-        prop_assert!(sim.ledger().used() <= t);
+        assert!(sim.ledger().used() <= t, "{ctx}");
     }
+}
 
-    /// Metrics identity: total messages equals the sum over rounds, and
-    /// every round's messages fit under n(n−1).
-    #[test]
-    fn metrics_are_consistent(
-        n in 1usize..12,
-        deadline in 1u64..10,
-        seed in any::<u64>(),
-    ) {
-        let nodes: Vec<Probe> = (0..n)
-            .map(|_| Probe { deadline, emits: 0, receives: 0, halted: false })
-            .collect();
+/// Metrics identity: total messages equals the sum over rounds, and
+/// every round's messages fit under n(n−1).
+#[test]
+fn metrics_are_consistent() {
+    let mut gen = SmallRng::seed_from_u64(0x3E7A);
+    for _ in 0..64 {
+        let n = gen.gen_range(1..12usize);
+        let deadline = gen.gen_range(1..10u64);
+        let seed = gen.next_u64();
         let cfg = SimConfig::new(n, 0)
             .with_seed(seed)
             .with_round_metrics(true)
             .with_max_rounds(32);
-        let report = Simulation::new(cfg, nodes, aba_sim::adversary::Benign).run();
+        let report = Simulation::new(cfg, probes(n, deadline), aba_sim::adversary::Benign).run();
         let sum: usize = report.metrics.per_round.iter().map(|r| r.messages).sum();
-        prop_assert_eq!(sum, report.metrics.total_messages);
+        assert_eq!(sum, report.metrics.total_messages, "n={n} seed={seed}");
         for rm in &report.metrics.per_round {
-            prop_assert!(rm.messages <= n * (n - 1).max(0));
+            assert!(rm.messages <= n * (n - 1), "n={n} seed={seed}");
         }
-        prop_assert!(report.all_halted);
-        prop_assert_eq!(report.rounds, deadline);
+        assert!(report.all_halted);
+        assert_eq!(report.rounds, deadline, "n={n} seed={seed}");
     }
+}
 
-    /// Determinism across reconstruction: step-by-step equals run().
-    #[test]
-    fn stepping_equals_running(
-        n in 1usize..10,
-        deadline in 1u64..8,
-        seed in any::<u64>(),
-    ) {
-        let mk = || -> Vec<Probe> {
-            (0..n)
-                .map(|_| Probe { deadline, emits: 0, receives: 0, halted: false })
-                .collect()
-        };
+/// Determinism across reconstruction: step-by-step equals run().
+#[test]
+fn stepping_equals_running() {
+    let mut gen = SmallRng::seed_from_u64(0x57E9);
+    for _ in 0..48 {
+        let n = gen.gen_range(1..10usize);
+        let deadline = gen.gen_range(1..8u64);
+        let seed = gen.next_u64();
         let cfg = SimConfig::new(n, 0).with_seed(seed);
-        let a = Simulation::new(cfg.clone(), mk(), aba_sim::adversary::Benign).run();
-        let mut sim = Simulation::new(cfg, mk(), aba_sim::adversary::Benign);
+        let a = Simulation::new(cfg.clone(), probes(n, deadline), aba_sim::adversary::Benign).run();
+        let mut sim = Simulation::new(cfg, probes(n, deadline), aba_sim::adversary::Benign);
         while sim.step() {}
         let b = sim.into_report();
-        prop_assert_eq!(a.rounds, b.rounds);
-        prop_assert_eq!(a.outputs, b.outputs);
-        prop_assert_eq!(a.metrics.total_messages, b.metrics.total_messages);
+        assert_eq!(a.rounds, b.rounds, "n={n} seed={seed}");
+        assert_eq!(a.outputs, b.outputs, "n={n} seed={seed}");
+        assert_eq!(
+            a.metrics.total_messages, b.metrics.total_messages,
+            "n={n} seed={seed}"
+        );
     }
 }

@@ -7,8 +7,7 @@
 //! ```
 
 use adaptive_ba::analysis::Table;
-use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
-use adaptive_ba::sim::InfoModel;
+use adaptive_ba::prelude::*;
 
 fn main() {
     let n = 64;
@@ -27,30 +26,38 @@ fn main() {
 
     let mut table = Table::new(
         format!("Adversary tournament vs Algorithm 3 (n={n}, t={t}, {trials} trials)"),
-        &["attack", "info", "mean rounds", "max rounds", "agree%", "corruptions"],
+        &[
+            "attack",
+            "info",
+            "mean rounds",
+            "max rounds",
+            "agree%",
+            "corruptions",
+        ],
     );
 
     for attack in attacks {
         for info in [InfoModel::NonRushing, InfoModel::Rushing] {
-            let scenario = Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(attack)
-                .with_info(info)
-                .with_seed(7)
-                .with_max_rounds(20_000);
-            let results = run_many(&scenario, trials);
-            let mean = results.iter().map(|r| r.rounds as f64).sum::<f64>() / trials as f64;
-            let max = results.iter().map(|r| r.rounds).max().unwrap_or(0);
-            let agree =
-                results.iter().filter(|r| r.agreement).count() as f64 * 100.0 / trials as f64;
-            let corr = results.iter().map(|r| r.corruptions as f64).sum::<f64>() / trials as f64;
+            let report = ScenarioBuilder::new(n, t)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(attack)
+                .info_model(info)
+                .seed(7)
+                .max_rounds(20_000)
+                .trials(trials)
+                .run_batch();
             table.push_row(vec![
                 attack.name().into(),
-                (if info.is_rushing() { "rushing" } else { "non-rushing" }).into(),
-                mean.into(),
-                max.into(),
-                agree.into(),
-                corr.into(),
+                (if info.is_rushing() {
+                    "rushing"
+                } else {
+                    "non-rushing"
+                })
+                .into(),
+                report.mean_rounds().into(),
+                report.max_rounds().into(),
+                (report.agreement_rate() * 100.0).into(),
+                report.mean_corruptions().into(),
             ]);
         }
     }

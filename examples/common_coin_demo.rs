@@ -9,44 +9,21 @@
 //! cargo run --release --example common_coin_demo
 //! ```
 
-use adaptive_ba::attacks::{CoinKiller, NonRushingPolicy};
-use adaptive_ba::coin::{analysis, CoinFlipNode};
-use adaptive_ba::sim::adversary::Benign;
-use adaptive_ba::sim::{SimConfig, Simulation};
+use adaptive_ba::coin::analysis;
+use adaptive_ba::prelude::*;
 
-fn common_rate(n: usize, t: usize, trials: u64, attack: bool) -> (f64, f64) {
-    let mut common = 0u64;
-    let mut ones = 0u64;
-    for seed in 0..trials {
-        let cfg = SimConfig::new(n, t).with_seed(seed);
-        let nodes = CoinFlipNode::network(n);
-        let report = if attack {
-            Simulation::new(cfg, nodes, CoinKiller::new(NonRushingPolicy::Guaranteed)).run()
+/// `(Pr[common], Pr[1 | common])` over a batch of standalone coin runs.
+fn common_rate(n: usize, t: usize, trials: usize, attack: bool) -> (f64, f64) {
+    let report = ScenarioBuilder::new(n, t)
+        .protocol(ProtocolSpec::CommonCoin)
+        .adversary(if attack {
+            AttackSpec::CoinKiller
         } else {
-            Simulation::new(cfg, nodes, Benign).run()
-        };
-        let outs: Vec<bool> = report
-            .outputs
-            .iter()
-            .zip(&report.honest)
-            .filter(|(_, h)| **h)
-            .filter_map(|(o, _)| *o)
-            .collect();
-        if outs.windows(2).all(|w| w[0] == w[1]) {
-            common += 1;
-            if outs[0] {
-                ones += 1;
-            }
-        }
-    }
-    (
-        common as f64 / trials as f64,
-        if common > 0 {
-            ones as f64 / common as f64
-        } else {
-            f64::NAN
-        },
-    )
+            AttackSpec::Benign
+        })
+        .trials(trials)
+        .run_batch();
+    (report.agreement_rate(), report.decision_rate(true))
 }
 
 fn main() {

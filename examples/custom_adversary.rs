@@ -1,6 +1,7 @@
 //! Writing your own adversary: implement `Adversary` against the
 //! agreement protocol, with the same full-information rushing view the
-//! built-in attacks get.
+//! built-in attacks get, then plug it into the `ScenarioBuilder` facade
+//! through the `run_with`/`run_batch_with` escape hatch.
 //!
 //! The example adversary below is a "flip-flopper": every round it makes
 //! all its corrupted nodes broadcast the *minority* value among honest
@@ -14,12 +15,13 @@
 
 use adaptive_ba::agreement::{BaConfig, BaMsg, BaNodeView, CommitteeBa, SubRound};
 use adaptive_ba::attacks::{AdaptiveFullAttack, BudgetPolicy};
+use adaptive_ba::prelude::*;
 use adaptive_ba::sim::adversary::{Adversary, AdversaryAction, RoundView};
-use adaptive_ba::sim::{Emission, NodeId, Round, SimConfig, Simulation, Verdict};
 use rand::RngCore;
 
 /// Corrupts `t` nodes immediately, then always pushes the honest
 /// minority value.
+#[derive(Clone)]
 struct FlipFlopper;
 
 impl Adversary<CommitteeBa> for FlipFlopper {
@@ -33,7 +35,9 @@ impl Adversary<CommitteeBa> for FlipFlopper {
         let corruptions: Vec<NodeId> = if view.round == Round::ZERO {
             let n = view.n();
             let t = view.ledger.budget();
-            (0..t).map(|i| NodeId::new((i * n / t.max(1)) as u32)).collect()
+            (0..t)
+                .map(|i| NodeId::new((i * n / t.max(1)) as u32))
+                .collect()
         } else {
             Vec::new()
         };
@@ -72,35 +76,32 @@ impl Adversary<CommitteeBa> for FlipFlopper {
     }
 }
 
-fn mean_rounds<A: Adversary<CommitteeBa> + Clone>(adv: A, trials: u64) -> f64 {
-    let (n, t) = (64, 21);
-    let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
-    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-    let mut total = 0u64;
-    for seed in 0..trials {
-        let nodes = CommitteeBa::network(&cfg, &inputs);
-        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(10_000);
-        let report = Simulation::new(sim_cfg, nodes, adv.clone()).run();
-        let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
-        assert!(verdict.agreement, "no adversary can break agreement");
-        total += report.rounds;
-    }
-    total as f64 / trials as f64
-}
-
-impl Clone for FlipFlopper {
-    fn clone(&self) -> Self {
-        FlipFlopper
-    }
-}
-
 fn main() {
     let trials = 15;
-    let custom = mean_rounds(FlipFlopper, trials);
-    let library = mean_rounds(AdaptiveFullAttack::new(BudgetPolicy::Greedy), trials);
+    // The facade runs the scenario's committee protocol against any
+    // caller-supplied adversary: one fresh instance per trial.
+    let base = ScenarioBuilder::new(64, 21)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .inputs(InputSpec::Split)
+        .max_rounds(10_000)
+        .trials(trials);
+
+    let custom = base.run_batch_with(|_seed| FlipFlopper);
+    let library = base.run_batch_with(|_seed| AdaptiveFullAttack::new(BudgetPolicy::Greedy));
+    assert_eq!(
+        custom.agreement_rate(),
+        1.0,
+        "no adversary can break agreement"
+    );
+    assert_eq!(
+        library.agreement_rate(),
+        1.0,
+        "no adversary can break agreement"
+    );
+
     println!("mean rounds over {trials} trials (n=64, t=21, split inputs):");
-    println!("  your FlipFlopper attack : {custom:.1}");
-    println!("  library full attack     : {library:.1}");
+    println!("  your FlipFlopper attack : {:.1}", custom.mean_rounds());
+    println!("  library full attack     : {:.1}", library.mean_rounds());
     println!(
         "\nBoth keep agreement intact (they must — Theorem 2); the library attack just\n\
          delays longer because it prices its corruptions against the committee coin."

@@ -5,41 +5,41 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use adaptive_ba::agreement::{BaConfig, CommitteeBa};
-use adaptive_ba::attacks::{AdaptiveFullAttack, BudgetPolicy};
-use adaptive_ba::sim::{SimConfig, Simulation, Verdict};
+use adaptive_ba::prelude::*;
 
 fn main() {
-    // A 64-node network tolerating up to t = 21 < n/3 Byzantine nodes.
-    let n = 64;
-    let t = 21;
+    // A 64-node network tolerating up to t = 21 < n/3 Byzantine nodes,
+    // running Algorithm 3's Las Vegas variant (Section 3.2) against the
+    // full-information rushing adversary on split inputs — the paper's
+    // worst case. The whole experiment is one builder chain:
+    let result = ScenarioBuilder::new(64, 21)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::FullAttack)
+        .inputs(InputSpec::Split)
+        .info_model(InfoModel::Rushing)
+        .seed(42)
+        .max_rounds(10_000)
+        .run();
 
-    // Algorithm 3, Las Vegas variant (Section 3.2): loops over the
-    // committees until the early-termination mechanism fires, so
-    // agreement is certain and the round count is the random variable.
-    let cfg = BaConfig::paper_las_vegas(n, t, 2.0).expect("n ≥ 3t + 1");
+    println!("rounds to termination : {}", result.rounds);
+    println!("corruptions performed : {}/21", result.corruptions);
+    println!("messages sent         : {}", result.messages);
+    println!("max bits/edge/round   : {}", result.max_edge_bits);
+    println!("agreement             : {}", result.agreement);
+    println!("decision              : {:?}", result.decision);
+    assert!(result.agreement, "Theorem 2 says this cannot fail");
+
+    // Batches run in parallel on all cores; the report aggregates them.
+    let batch = ScenarioBuilder::new(64, 21)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::FullAttack)
+        .seed(42)
+        .trials(16)
+        .run_batch();
     println!(
-        "protocol: {} committees of size {} (α = 2)",
-        cfg.plan.count(),
-        cfg.plan.committee_size()
+        "\n16 trials: agreement {:.0}%, mean rounds {:.1}, worst {}",
+        batch.agreement_rate() * 100.0,
+        batch.mean_rounds(),
+        batch.max_rounds()
     );
-
-    // Adversarial worst case: split inputs, full-information rushing
-    // adversary that creates deciders, tops up thresholds, and kills
-    // committee coins at minimal cost.
-    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-    let nodes = CommitteeBa::network(&cfg, &inputs);
-    let adversary = AdaptiveFullAttack::new(BudgetPolicy::Greedy);
-
-    let sim_cfg = SimConfig::new(n, t).with_seed(42).with_max_rounds(10_000);
-    let report = Simulation::new(sim_cfg, nodes, adversary).run();
-
-    let verdict = Verdict::evaluate(&inputs, &report.outputs, &report.honest);
-    println!("rounds to termination : {}", report.rounds);
-    println!("corruptions performed : {}/{}", report.corruptions_used, t);
-    println!("messages sent         : {}", report.metrics.total_messages);
-    println!("max bits/edge/round   : {}", report.metrics.max_edge_bits);
-    println!("agreement             : {}", verdict.agreement);
-    println!("decision              : {:?}", verdict.decision);
-    assert!(verdict.agreement, "Theorem 2 says this cannot fail");
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use adaptive_ba::analysis::{theory, Table};
-use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
+use adaptive_ba::prelude::*;
 
 fn main() {
     let n: usize = std::env::args()
@@ -35,31 +35,26 @@ fn main() {
     while t < n / 3 {
         let c = theory::committee_count(n, t, 2.0);
         let s = theory::committee_size(n, t, 2.0);
-        let paper = run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(11)
-                .with_max_rounds((8 * n) as u64),
-            trials,
-        );
-        let cc = run_many(
-            &Scenario::new(n, t)
-                .with_protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(11)
-                .with_max_rounds((8 * n) as u64),
-            trials,
-        );
-        let mean = |rs: &[adaptive_ba::harness::TrialResult]| {
-            rs.iter().map(|r| r.rounds as f64).sum::<f64>() / rs.len() as f64
-        };
+        let paper = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .seed(11)
+            .max_rounds((8 * n) as u64)
+            .trials(trials)
+            .run_batch();
+        let cc = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+            .adversary(AttackSpec::FullAttack)
+            .seed(11)
+            .max_rounds((8 * n) as u64)
+            .trials(trials)
+            .run_batch();
         table.push_row(vec![
             t.into(),
             c.into(),
             s.into(),
-            mean(&paper).into(),
-            mean(&cc).into(),
+            paper.mean_rounds().into(),
+            cc.mean_rounds().into(),
             theory::paper_bound(n, t).into(),
             theory::chor_coan_bound(n, t).into(),
             (if (t as f64) < boundary {

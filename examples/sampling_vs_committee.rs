@@ -12,68 +12,44 @@
 //! cargo run --release --example sampling_vs_committee
 //! ```
 
-use adaptive_ba::agreement::{BaConfig, CommitteeBa, SamplingMajorityNode};
-use adaptive_ba::attacks::{AdaptiveFullAttack, BudgetPolicy, SamplingPoison};
-use adaptive_ba::sim::{RunReport, SimConfig, Simulation};
-
-fn agreement_fraction(report: &RunReport) -> f64 {
-    let outs: Vec<bool> = report
-        .outputs
-        .iter()
-        .zip(&report.honest)
-        .filter(|(_, h)| **h)
-        .filter_map(|(o, _)| *o)
-        .collect();
-    if outs.is_empty() {
-        return 1.0;
-    }
-    let ones = outs.iter().filter(|b| **b).count();
-    ones.max(outs.len() - ones) as f64 / outs.len() as f64
-}
+use adaptive_ba::agreement::SamplingMajorityNode;
+use adaptive_ba::prelude::*;
 
 fn main() {
     let n = 256;
     let sqrt_n = (n as f64).sqrt() as usize; // 16
-    let trials = 10u64;
+    let trials = 10;
+    let iters = SamplingMajorityNode::recommended_iterations(n);
 
     println!("n = {n}, split inputs, {trials} trials per cell\n");
     println!("| t | committee BA: agree frac | msgs/round | sampling: agree frac | msgs/round |");
     println!("|---|---|---|---|---|");
 
     for t in [sqrt_n / 2, sqrt_n, 2 * sqrt_n, n / 4] {
-        let mut ba_frac = 0.0;
-        let mut ba_msgs = 0.0;
-        let mut sm_frac = 0.0;
-        let mut sm_msgs = 0.0;
-        for seed in 0..trials {
-            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        // The paper's protocol under the strongest attack.
+        let ba = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .inputs(InputSpec::Split)
+            .max_rounds(8_000)
+            .trials(trials)
+            .run_batch();
 
-            // The paper's protocol under the strongest attack.
-            let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
-            let nodes = CommitteeBa::network(&cfg, &inputs);
-            let sim = SimConfig::new(n, t).with_seed(seed).with_max_rounds(8_000);
-            let r = Simulation::new(sim, nodes, AdaptiveFullAttack::new(BudgetPolicy::Greedy))
-                .run();
-            ba_frac += agreement_fraction(&r);
-            ba_msgs += r.metrics.total_messages as f64 / r.rounds as f64;
+        // Sampling majority under the poisoner.
+        let sm = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::SamplingMajority { iters })
+            .adversary(AttackSpec::SamplingPoison)
+            .inputs(InputSpec::Split)
+            .max_rounds(4 * iters + 8)
+            .trials(trials)
+            .run_batch();
 
-            // Sampling majority under the poisoner.
-            let iters = SamplingMajorityNode::recommended_iterations(n);
-            let nodes = SamplingMajorityNode::network(n, iters, &inputs);
-            let sim = SimConfig::new(n, t)
-                .with_seed(seed)
-                .with_max_rounds(4 * iters + 8);
-            let r = Simulation::new(sim, nodes, SamplingPoison::eager()).run();
-            sm_frac += agreement_fraction(&r);
-            sm_msgs += r.metrics.total_messages as f64 / r.rounds as f64;
-        }
-        let k = trials as f64;
         println!(
             "| {t} | {:.3} | {:.0} | {:.3} | {:.0} |",
-            ba_frac / k,
-            ba_msgs / k,
-            sm_frac / k,
-            sm_msgs / k
+            ba.mean_agree_fraction(),
+            ba.mean_messages_per_round(),
+            sm.mean_agree_fraction(),
+            sm.mean_messages_per_round()
         );
     }
 

@@ -2,7 +2,34 @@
 //!
 //! Facade crate for the reproduction of Dufoulon & Pandurangan,
 //! *Improved Byzantine Agreement under an Adaptive Adversary* (PODC
-//! 2025, arXiv:2506.04919). It re-exports the workspace crates:
+//! 2025, arXiv:2506.04919).
+//!
+//! ## Running an experiment
+//!
+//! There is exactly one blessed way to run an experiment: the
+//! [`ScenarioBuilder`] facade. It composes protocol × adversary ×
+//! parameters declaratively, runs trials on all cores, and returns typed
+//! [`TrialResult`]/[`BatchReport`] values:
+//!
+//! ```
+//! use adaptive_ba::prelude::*;
+//!
+//! let report = ScenarioBuilder::new(64, 21)       // n = 64, t = 21 < n/3
+//!     .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+//!     .adversary(AttackSpec::FullAttack)          // adaptive rushing attack
+//!     .info_model(InfoModel::Rushing)
+//!     .seed(42)
+//!     .trials(8)
+//!     .run_batch();
+//! assert_eq!(report.agreement_rate(), 1.0);       // Theorem 2 in action
+//! ```
+//!
+//! Single runs use `.run()`; custom adversaries plug in through
+//! `.run_with(...)` (see `examples/custom_adversary.rs`).
+//!
+//! ## Workspace layout
+//!
+//! This crate re-exports the workspace crates:
 //!
 //! * [`sim`] — synchronous full-information round simulator (substrate);
 //! * [`adversary`] — adversary framework and generic strategies;
@@ -11,13 +38,15 @@
 //!   protocol (Algorithm 3) and the baselines it is compared against;
 //! * [`attacks`] — protocol-aware adaptive rushing attack strategies;
 //! * [`analysis`] — statistics, regression, and theory bound curves;
-//! * [`harness`] — experiment definitions and the parallel trial runner.
+//! * [`harness`] — the [`ScenarioBuilder`] facade, the experiment suite
+//!   E1–E15, and the parallel trial runner.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md at the repository root for the system inventory and the
 //! paper-claim-by-claim experiment index.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use aba_adversary as adversary;
 pub use aba_agreement as agreement;
@@ -27,10 +56,17 @@ pub use aba_coin as coin;
 pub use aba_harness as harness;
 pub use aba_sim as sim;
 
+pub use aba_harness::{
+    AttackSpec, BatchReport, InputSpec, ProtocolSpec, Scenario, ScenarioBuilder, TrialResult,
+};
+
 /// Workspace-wide prelude: the most common types for running experiments.
 pub mod prelude {
     pub use aba_agreement::prelude::*;
     pub use aba_attacks::prelude::*;
     pub use aba_coin::prelude::*;
+    pub use aba_harness::{
+        AttackSpec, BatchReport, InputSpec, ProtocolSpec, Scenario, ScenarioBuilder, TrialResult,
+    };
     pub use aba_sim::prelude::*;
 }

@@ -2,7 +2,7 @@
 //! input × size combination (the whp variants at these sizes have
 //! negligible failure probability, so a single violation is a bug).
 
-use adaptive_ba::harness::{run_scenario, AttackSpec, InputSpec, ProtocolSpec, Scenario};
+use adaptive_ba::{AttackSpec, InputSpec, ProtocolSpec, ScenarioBuilder};
 
 const PROTOCOLS: &[ProtocolSpec] = &[
     ProtocolSpec::Paper { alpha: 2.0 },
@@ -43,16 +43,19 @@ fn matrix_small() {
     for &(n, t) in &[(4usize, 1usize), (7, 2), (16, 5)] {
         for &protocol in PROTOCOLS {
             for &attack in ATTACKS {
-                for inputs in [InputSpec::AllSame(true), InputSpec::AllSame(false), InputSpec::Split]
-                {
+                for inputs in [
+                    InputSpec::AllSame(true),
+                    InputSpec::AllSame(false),
+                    InputSpec::Split,
+                ] {
                     for seed in 0..2 {
-                        let s = Scenario::new(n, t)
-                            .with_protocol(protocol)
-                            .with_attack(attack)
-                            .with_inputs(inputs)
-                            .with_seed(seed)
-                            .with_max_rounds(40_000);
-                        let r = run_scenario(&s);
+                        let s = ScenarioBuilder::new(n, t)
+                            .protocol(protocol)
+                            .adversary(attack)
+                            .inputs(inputs)
+                            .seed(seed)
+                            .max_rounds(40_000);
+                        let r = s.run();
                         assert!(
                             r.terminated,
                             "{}/{} n={n} t={t} seed={seed}: no termination",
@@ -93,13 +96,13 @@ fn whp_agreement_rate_improves_with_alpha() {
     let rate = |alpha: f64| {
         let mut ok = 0;
         for seed in 0..trials {
-            let s = Scenario::new(16, 5)
-                .with_protocol(ProtocolSpec::Paper { alpha })
-                .with_attack(AttackSpec::FullAttack)
-                .with_inputs(InputSpec::Split)
-                .with_seed(seed)
-                .with_max_rounds(40_000);
-            if run_scenario(&s).agreement {
+            let s = ScenarioBuilder::new(16, 5)
+                .protocol(ProtocolSpec::Paper { alpha })
+                .adversary(AttackSpec::FullAttack)
+                .inputs(InputSpec::Split)
+                .seed(seed)
+                .max_rounds(40_000);
+            if s.run().agreement {
                 ok += 1;
             }
         }
@@ -119,13 +122,13 @@ fn matrix_medium_strongest_attack() {
     // Focus the expensive sizes on the strongest adversary.
     for &(n, t) in &[(31usize, 10usize), (64, 21), (100, 33)] {
         for &protocol in PROTOCOLS {
-            let s = Scenario::new(n, t)
-                .with_protocol(protocol)
-                .with_attack(AttackSpec::FullAttack)
-                .with_inputs(InputSpec::Split)
-                .with_seed(99)
-                .with_max_rounds(60_000);
-            let r = run_scenario(&s);
+            let s = ScenarioBuilder::new(n, t)
+                .protocol(protocol)
+                .adversary(AttackSpec::FullAttack)
+                .inputs(InputSpec::Split)
+                .seed(99)
+                .max_rounds(60_000);
+            let r = s.run();
             assert!(r.terminated, "{} n={n} t={t}: {r:?}", protocol.name());
             if agreement_is_guaranteed(protocol, AttackSpec::FullAttack) {
                 assert!(r.agreement, "{} n={n} t={t}: {r:?}", protocol.name());
@@ -137,12 +140,12 @@ fn matrix_medium_strongest_attack() {
 #[test]
 fn t_zero_everything_converges_in_a_blink() {
     for &protocol in PROTOCOLS {
-        let s = Scenario::new(8, 0)
-            .with_protocol(protocol)
-            .with_attack(AttackSpec::Benign)
-            .with_inputs(InputSpec::Split)
-            .with_seed(5);
-        let r = run_scenario(&s);
+        let s = ScenarioBuilder::new(8, 0)
+            .protocol(protocol)
+            .adversary(AttackSpec::Benign)
+            .inputs(InputSpec::Split)
+            .seed(5);
+        let r = s.run();
         assert!(r.terminated && r.agreement, "{}", protocol.name());
         // ≤ 4 phases even in the 3-round literal mode.
         assert!(r.rounds <= 12, "{}: {} rounds", protocol.name(), r.rounds);
@@ -154,13 +157,13 @@ fn maximal_resilience_boundary() {
     // n = 3t + 1 exactly — the paper's optimal-resilience edge.
     for &(n, t) in &[(7usize, 2usize), (13, 4), (22, 7), (31, 10)] {
         assert_eq!(n, 3 * t + 1);
-        let s = Scenario::new(n, t)
-            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-            .with_attack(AttackSpec::FullAttack)
-            .with_inputs(InputSpec::Split)
-            .with_seed(17)
-            .with_max_rounds(60_000);
-        let r = run_scenario(&s);
+        let s = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .inputs(InputSpec::Split)
+            .seed(17)
+            .max_rounds(60_000);
+        let r = s.run();
         assert!(r.terminated && r.agreement, "n={n} t={t}: {r:?}");
     }
 }
@@ -168,13 +171,13 @@ fn maximal_resilience_boundary() {
 #[test]
 fn mixed_random_inputs_agree() {
     for seed in 0..6 {
-        let s = Scenario::new(25, 8)
-            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-            .with_attack(AttackSpec::FullAttack)
-            .with_inputs(InputSpec::Random)
-            .with_seed(seed)
-            .with_max_rounds(40_000);
-        let r = run_scenario(&s);
+        let s = ScenarioBuilder::new(25, 8)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .inputs(InputSpec::Random)
+            .seed(seed)
+            .max_rounds(40_000);
+        let r = s.run();
         assert!(r.terminated && r.agreement, "seed {seed}: {r:?}");
     }
 }

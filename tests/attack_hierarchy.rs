@@ -2,17 +2,17 @@
 //! stronger information/adaptivity buys more rounds, and the rushing
 //! full-information adversary is the strongest implemented.
 
-use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
 use adaptive_ba::sim::InfoModel;
+use adaptive_ba::{AttackSpec, ProtocolSpec, ScenarioBuilder};
 
 fn mean_rounds(attack: AttackSpec, info: InfoModel, trials: usize) -> f64 {
-    let s = Scenario::new(64, 21)
-        .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-        .with_attack(attack)
-        .with_info(info)
-        .with_seed(4242)
-        .with_max_rounds(40_000);
-    let results = run_many(&s, trials);
+    let s = ScenarioBuilder::new(64, 21)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(attack)
+        .info_model(info)
+        .seed(4242)
+        .max_rounds(40_000);
+    let results = s.trials(trials).run_batch().results;
     assert!(
         results.iter().all(|r| r.terminated && r.agreement),
         "{:?} broke the protocol",
@@ -69,11 +69,11 @@ fn budgetless_adversary_is_harmless() {
         AttackSpec::SplitVote,
         AttackSpec::FullAttack,
     ] {
-        let s = Scenario::new(16, 0)
-            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-            .with_attack(attack)
-            .with_seed(9);
-        let results = run_many(&s, 5);
+        let s = ScenarioBuilder::new(16, 0)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(attack)
+            .seed(9);
+        let results = s.trials(5).run_batch().results;
         for r in &results {
             assert_eq!(r.corruptions, 0);
             assert!(r.terminated && r.agreement);

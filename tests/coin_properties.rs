@@ -1,55 +1,33 @@
 //! Integration: the common-coin protocols (Theorem 3 / Corollary 1)
-//! measured as black boxes, including property-based committee checks.
+//! measured as black boxes, plus deterministically sampled committee
+//! checks. (No proptest: configurations come from fixed-seed streams so
+//! every CI run checks the identical sample.)
 
 use adaptive_ba::attacks::{CoinKiller, NonRushingPolicy};
 use adaptive_ba::coin::{analysis, CoinFlipNode, CommitteePlan};
 use adaptive_ba::sim::adversary::Benign;
 use adaptive_ba::sim::{SimConfig, Simulation};
-use proptest::prelude::*;
-
-fn honest_outputs(report: &adaptive_ba::sim::RunReport) -> Vec<bool> {
-    report
-        .outputs
-        .iter()
-        .zip(&report.honest)
-        .filter(|(_, h)| **h)
-        .filter_map(|(o, _)| *o)
-        .collect()
-}
+use adaptive_ba::{AttackSpec, ProtocolSpec, ScenarioBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Theorem 3, measured: with budget √n/2 under the optimal rushing
 /// attack, the coin is common with probability well above the analytic
 /// 1/6 floor, and conditioned on commonality both values occur.
 #[test]
 fn theorem3_floor_holds_empirically() {
-    let n = 144; // √n = 12, budget 6
-    let t = 6;
-    let trials = 300;
-    let mut common = 0usize;
-    let mut ones = 0usize;
-    for seed in 0..trials {
-        let cfg = SimConfig::new(n, t).with_seed(seed as u64);
-        let report = Simulation::new(
-            cfg,
-            CoinFlipNode::network(n),
-            CoinKiller::new(NonRushingPolicy::Guaranteed),
-        )
-        .run();
-        let outs = honest_outputs(&report);
-        if outs.windows(2).all(|w| w[0] == w[1]) {
-            common += 1;
-            if outs[0] {
-                ones += 1;
-            }
-        }
-    }
-    let p_comm = common as f64 / trials as f64;
+    let report = ScenarioBuilder::new(144, 6) // √n = 12, budget 6
+        .protocol(ProtocolSpec::CommonCoin)
+        .adversary(AttackSpec::CoinKiller)
+        .trials(300)
+        .run_batch();
+    let p_comm = report.agreement_rate();
     assert!(
         p_comm >= 1.0 / 6.0,
         "Pr[Comm] = {p_comm} below the Theorem 3 floor"
     );
     // Definition 2(B): conditional bias bounded away from 0 and 1.
-    let bias = ones as f64 / common as f64;
+    let bias = report.decision_rate(true);
     assert!(
         (0.15..=0.85).contains(&bias),
         "conditional bias {bias} not bounded away from 0/1"
@@ -63,21 +41,13 @@ fn measured_commonality_tracks_exact_theory() {
     let n = 64;
     let trials = 400;
     for t in [2usize, 4, 8] {
-        let mut common = 0usize;
-        for seed in 0..trials {
-            let cfg = SimConfig::new(n, t).with_seed(seed as u64 + 50_000);
-            let report = Simulation::new(
-                cfg,
-                CoinFlipNode::network(n),
-                CoinKiller::new(NonRushingPolicy::Guaranteed),
-            )
-            .run();
-            let outs = honest_outputs(&report);
-            if outs.windows(2).all(|w| w[0] == w[1]) {
-                common += 1;
-            }
-        }
-        let measured = common as f64 / trials as f64;
+        let measured = ScenarioBuilder::new(n, t)
+            .protocol(ProtocolSpec::CommonCoin)
+            .adversary(AttackSpec::CoinKiller)
+            .seed(50_000)
+            .trials(trials)
+            .run_batch()
+            .agreement_rate();
         let theory = analysis::prob_coin_survives(n as u64, t as u64);
         assert!(
             (measured - theory).abs() < 0.08,
@@ -86,69 +56,82 @@ fn measured_commonality_tracks_exact_theory() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+fn honest_outputs(report: &adaptive_ba::sim::RunReport) -> Vec<bool> {
+    report.honest_outputs()
+}
 
-    /// Fault-free Algorithm 1/2 always yields a common coin, for any
-    /// network size, committee choice, and seed.
-    #[test]
-    fn fault_free_coin_is_always_common(
-        n in 1usize..64,
-        c in 1usize..10,
-        idx_raw in 0usize..10,
-        seed in any::<u64>(),
-    ) {
+/// Fault-free Algorithm 1/2 always yields a common coin, for sampled
+/// network sizes, committee choices, and seeds. (White-box: committee
+/// selection is below the facade's abstraction level.)
+#[test]
+fn fault_free_coin_is_always_common() {
+    let mut gen = SmallRng::seed_from_u64(0xC01D);
+    for _ in 0..40 {
+        let n = gen.gen_range(1..64usize);
+        let c = gen.gen_range(1..10usize);
         let plan = CommitteePlan::with_committee_count(n, c);
-        let idx = idx_raw % plan.count();
+        let idx = gen.gen_range(0..10usize) % plan.count();
+        let seed = gen.next_u64();
         let nodes = CoinFlipNode::network_with_committee(n, &plan, idx);
         let cfg = SimConfig::new(n, 0).with_seed(seed);
         let report = Simulation::new(cfg, nodes, Benign).run();
         let outs = honest_outputs(&report);
-        prop_assert_eq!(outs.len(), n);
-        prop_assert!(outs.windows(2).all(|w| w[0] == w[1]));
-    }
-
-    /// Committee plans partition the ID space for arbitrary (n, c).
-    #[test]
-    fn committee_plan_is_a_partition(n in 1usize..500, c in 0usize..600) {
-        let plan = CommitteePlan::with_committee_count(n, c);
-        let mut seen = vec![false; n];
-        for k in 0..plan.count() {
-            prop_assert!(plan.size_of(k) >= 1);
-            for m in plan.members(k) {
-                prop_assert!(!seen[m.index()]);
-                seen[m.index()] = true;
-                prop_assert_eq!(plan.committee_of(m), k);
-            }
-        }
-        prop_assert!(seen.into_iter().all(|s| s));
-    }
-
-    /// The denial-cost formula is exact: the optimal rushing attack with
-    /// unlimited budget spends exactly ⌈(|S|+1)/2⌉ where S is the honest
-    /// flip sum it observed.
-    #[test]
-    fn killer_cost_matches_formula(n in 3usize..40, seed in any::<u64>()) {
-        let cfg = SimConfig::new(n, n).with_seed(seed);
-        let nodes = CoinFlipNode::network(n);
-        let mut sim = Simulation::new(
-            cfg,
-            nodes,
-            CoinKiller::new(NonRushingPolicy::Guaranteed),
+        assert_eq!(outs.len(), n, "n={n} c={c} idx={idx} seed={seed}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "n={n} c={c} idx={idx} seed={seed}: coin not common"
         );
-        sim.step();
-        // Reconstruct the honest sum: flips of nodes that stayed honest
-        // plus flips of the corrupted (they were honest when they
-        // flipped).
-        let total: i64 = sim
-            .nodes()
-            .iter()
-            .filter_map(|nd| nd.flip())
-            .map(|f| f as i64)
-            .sum();
-        let report = sim.into_report();
-        let expected = analysis::corruptions_to_deny(total, 0) as usize;
-        prop_assert_eq!(report.corruptions_used, expected,
-            "n={} sum={}", n, total);
+    }
+}
+
+/// Committee plans partition the ID space for arbitrary (n, c).
+#[test]
+fn committee_plan_is_a_partition() {
+    for n in [1usize, 2, 3, 7, 16, 99, 250, 499] {
+        for c in [0usize, 1, 2, 5, 50, 599] {
+            let plan = CommitteePlan::with_committee_count(n, c);
+            let mut seen = vec![false; n];
+            for k in 0..plan.count() {
+                assert!(plan.size_of(k) >= 1, "n={n} c={c} k={k}");
+                for m in plan.members(k) {
+                    assert!(!seen[m.index()], "n={n} c={c}: {m:?} double-assigned");
+                    seen[m.index()] = true;
+                    assert_eq!(plan.committee_of(m), k, "n={n} c={c}");
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "n={n} c={c}: gap in coverage");
+        }
+    }
+}
+
+/// The denial-cost formula is exact: the optimal rushing attack with
+/// unlimited budget spends exactly ⌈(|S|+1)/2⌉ where S is the honest
+/// flip sum it observed. (White-box: reads node flips mid-run.)
+#[test]
+fn killer_cost_matches_formula() {
+    for n in 3usize..40 {
+        for seed_salt in 0..2u64 {
+            let seed = (n as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed_salt);
+            let cfg = SimConfig::new(n, n).with_seed(seed);
+            let nodes = CoinFlipNode::network(n);
+            let mut sim =
+                Simulation::new(cfg, nodes, CoinKiller::new(NonRushingPolicy::Guaranteed));
+            sim.step();
+            // Reconstruct the honest sum: flips of nodes that stayed
+            // honest plus flips of the corrupted (they were honest when
+            // they flipped).
+            let total: i64 = sim
+                .nodes()
+                .iter()
+                .filter_map(|nd| nd.flip())
+                .map(|f| f as i64)
+                .sum();
+            let report = sim.into_report();
+            let expected = analysis::corruptions_to_deny(total, 0) as usize;
+            assert_eq!(
+                report.corruptions_used, expected,
+                "n={n} seed={seed} sum={total}"
+            );
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Integration: CONGEST bandwidth compliance and bit-exact determinism.
 
-use adaptive_ba::harness::{run_many, run_scenario, AttackSpec, InputSpec, ProtocolSpec, Scenario};
+use adaptive_ba::{AttackSpec, InputSpec, ProtocolSpec, ScenarioBuilder};
 
 #[test]
 fn congest_budget_holds_for_every_protocol() {
@@ -14,12 +14,12 @@ fn congest_budget_holds_for_every_protocol() {
             ProtocolSpec::ChorCoan { beta: 1.0 },
             ProtocolSpec::PhaseKing,
         ] {
-            let s = Scenario::new(n, t)
-                .with_protocol(protocol)
-                .with_attack(AttackSpec::FullAttack)
-                .with_seed(3)
-                .with_max_rounds(40_000);
-            let r = run_scenario(&s);
+            let s = ScenarioBuilder::new(n, t)
+                .protocol(protocol)
+                .adversary(AttackSpec::FullAttack)
+                .seed(3)
+                .max_rounds(40_000);
+            let r = s.run();
             assert!(
                 r.max_edge_bits <= budget,
                 "{} n={n}: {} bits/edge/round (budget {budget})",
@@ -38,14 +38,14 @@ fn runs_are_bit_exact_reproducible() {
         ProtocolSpec::RabinDealer,
     ] {
         for attack in [AttackSpec::FullAttack, AttackSpec::Crash { per_round: 1 }] {
-            let s = Scenario::new(31, 10)
-                .with_protocol(protocol)
-                .with_attack(attack)
-                .with_inputs(InputSpec::Random)
-                .with_seed(0xFEED)
-                .with_max_rounds(40_000);
-            let a = run_scenario(&s);
-            let b = run_scenario(&s);
+            let s = ScenarioBuilder::new(31, 10)
+                .protocol(protocol)
+                .adversary(attack)
+                .inputs(InputSpec::Random)
+                .seed(0xFEED)
+                .max_rounds(40_000);
+            let a = s.run();
+            let b = s.run();
             assert_eq!(a, b, "{}/{}", protocol.name(), attack.name());
         }
     }
@@ -53,11 +53,11 @@ fn runs_are_bit_exact_reproducible() {
 
 #[test]
 fn different_seeds_differ_somewhere() {
-    let base = Scenario::new(31, 10)
-        .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-        .with_attack(AttackSpec::SplitVote)
-        .with_max_rounds(40_000);
-    let results = run_many(&base, 16);
+    let base = ScenarioBuilder::new(31, 10)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::SplitVote)
+        .max_rounds(40_000);
+    let results = base.trials(16).run_batch().results;
     let distinct_rounds: std::collections::HashSet<u64> =
         results.iter().map(|r| r.rounds).collect();
     assert!(
@@ -69,14 +69,14 @@ fn different_seeds_differ_somewhere() {
 #[test]
 fn message_totals_scale_with_n_squared_per_round() {
     // Sanity: per-round traffic of a broadcast protocol is ~n(n−1).
-    let s = Scenario::new(32, 0)
-        .with_protocol(ProtocolSpec::Paper { alpha: 2.0 })
-        .with_attack(AttackSpec::Benign)
-        .with_inputs(InputSpec::AllSame(true))
-        .with_seed(1);
-    let r = run_scenario(&s);
+    let s = ScenarioBuilder::new(32, 0)
+        .protocol(ProtocolSpec::Paper { alpha: 2.0 })
+        .adversary(AttackSpec::Benign)
+        .inputs(InputSpec::AllSame(true))
+        .seed(1);
+    let r = s.run();
     let per_round = r.messages as f64 / r.rounds as f64;
-    let full = (32.0 * 31.0) as f64;
+    let full = 32.0 * 31.0;
     assert!(
         per_round <= full + 1.0 && per_round >= 0.5 * full,
         "per-round messages {per_round} out of range (full broadcast {full})"

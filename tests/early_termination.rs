@@ -3,15 +3,15 @@
 //! (`q`), not the budget it was provisioned for (`t`).
 
 use adaptive_ba::analysis::theory;
-use adaptive_ba::harness::{run_many, AttackSpec, ProtocolSpec, Scenario};
+use adaptive_ba::{AttackSpec, ProtocolSpec, ScenarioBuilder};
 
 fn mean_rounds(n: usize, t: usize, q: usize, trials: usize) -> f64 {
-    let s = Scenario::new(n, t)
-        .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-        .with_attack(AttackSpec::FullAttackCapped { q })
-        .with_seed(1000)
-        .with_max_rounds(40_000);
-    let results = run_many(&s, trials);
+    let s = ScenarioBuilder::new(n, t)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::FullAttackCapped { q })
+        .seed(1000)
+        .max_rounds(40_000);
+    let results = s.trials(trials).run_batch().results;
     assert!(results.iter().all(|r| r.terminated && r.agreement));
     results.iter().map(|r| r.rounds as f64).sum::<f64>() / trials as f64
 }
@@ -35,12 +35,12 @@ fn rounds_track_q_not_t() {
 #[test]
 fn capped_attack_never_exceeds_q() {
     for q in [0usize, 3, 9] {
-        let s = Scenario::new(31, 10)
-            .with_protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-            .with_attack(AttackSpec::FullAttackCapped { q })
-            .with_seed(7)
-            .with_max_rounds(40_000);
-        for r in run_many(&s, 6) {
+        let s = ScenarioBuilder::new(31, 10)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttackCapped { q })
+            .seed(7)
+            .max_rounds(40_000);
+        for r in s.trials(6).run_batch().results {
             assert!(r.corruptions <= q, "q={q} but {} corrupted", r.corruptions);
         }
     }

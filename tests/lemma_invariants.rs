@@ -33,7 +33,7 @@ fn lemma3_deciders_share_value() {
         loop {
             let more = sim.step();
             // After an even engine round (subround 1 received):
-            if round % 2 == 0 {
+            if round.is_multiple_of(2) {
                 let decided_vals: Vec<bool> = sim
                     .nodes()
                     .iter()
@@ -156,7 +156,9 @@ fn whp_round_budget_is_respected() {
         let budget = cfg.whp_round_budget();
         let inputs = split_inputs(n);
         let nodes = CommitteeBa::network(&cfg, &inputs);
-        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(100_000);
+        let sim_cfg = SimConfig::new(n, t)
+            .with_seed(seed)
+            .with_max_rounds(100_000);
         let report = Simulation::new(
             sim_cfg,
             nodes,

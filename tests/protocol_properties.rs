@@ -1,0 +1,120 @@
+//! Property-style integration tests, deterministically sampled:
+//! Definition 1 holds for pseudorandom (n, t, seed, inputs, protocol,
+//! adversary) draws. (This workspace builds with no network access, so
+//! instead of proptest the configurations are drawn from a fixed-seed
+//! generator — every CI run checks the identical sample.)
+
+use adaptive_ba::{AttackSpec, InputSpec, ProtocolSpec, ScenarioBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn random_protocol(gen: &mut SmallRng) -> ProtocolSpec {
+    match gen.gen_range(0..6u32) {
+        0 => ProtocolSpec::Paper { alpha: 2.0 },
+        1 => ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        2 => ProtocolSpec::PaperLiteralCoin { alpha: 2.0 },
+        3 => ProtocolSpec::ChorCoan { beta: 1.0 },
+        4 => ProtocolSpec::RabinDealer,
+        _ => ProtocolSpec::PhaseKing,
+    }
+}
+
+fn random_attack(gen: &mut SmallRng) -> AttackSpec {
+    match gen.gen_range(0..7u32) {
+        0 => AttackSpec::Benign,
+        1 => AttackSpec::StaticSilent,
+        2 => AttackSpec::StaticMirror,
+        3 => AttackSpec::Crash {
+            per_round: gen.gen_range(1..3usize),
+        },
+        4 => AttackSpec::SplitVote,
+        5 => AttackSpec::FullAttack,
+        _ => AttackSpec::FullAttackCapped {
+            q: gen.gen_range(0..5usize),
+        },
+    }
+}
+
+fn random_inputs(gen: &mut SmallRng) -> InputSpec {
+    match gen.gen_range(0..4u32) {
+        0 => InputSpec::AllSame(true),
+        1 => InputSpec::AllSame(false),
+        2 => InputSpec::Split,
+        _ => InputSpec::Random,
+    }
+}
+
+/// The headline property: any drawn configuration satisfies termination,
+/// agreement, and validity.
+#[test]
+fn definition1_holds_on_sampled_configurations() {
+    let mut gen = SmallRng::seed_from_u64(0xD1F0);
+    for _ in 0..48 {
+        let t = gen.gen_range(0..6usize);
+        let n = 3 * t + gen.gen_range(1..12usize); // always ≥ 3t + 1
+        let protocol = random_protocol(&mut gen);
+        let attack = random_attack(&mut gen);
+        let inputs = random_inputs(&mut gen);
+        let seed = gen.next_u64();
+        let r = ScenarioBuilder::new(n, t)
+            .protocol(protocol)
+            .adversary(attack)
+            .inputs(inputs)
+            .seed(seed)
+            .max_rounds(60_000)
+            .run();
+        let ctx = format!(
+            "{}/{} n={n} t={t} seed={seed}",
+            protocol.name(),
+            attack.name()
+        );
+        assert!(r.terminated, "{ctx}: no termination");
+        assert!(r.agreement, "{ctx}: agreement broken");
+        if let Some(valid) = r.validity {
+            assert!(valid, "{ctx}: validity broken");
+        }
+        // The adversary never exceeds its budget.
+        assert!(r.corruptions <= t, "{ctx}: budget exceeded");
+    }
+}
+
+/// Determinism as a property: identical scenarios yield identical
+/// results.
+#[test]
+fn runs_are_pure_functions_of_seed() {
+    let mut gen = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..12 {
+        let t = gen.gen_range(0..4usize);
+        let n = 3 * t + gen.gen_range(1..8usize);
+        let seed = gen.next_u64();
+        let b = ScenarioBuilder::new(n, t)
+            .adversary(AttackSpec::FullAttack)
+            .seed(seed)
+            .max_rounds(60_000);
+        assert_eq!(b.run(), b.run(), "n={n} t={t} seed={seed}");
+    }
+}
+
+/// Validity is independent of the adversary: uniform inputs always come
+/// back out.
+#[test]
+fn validity_under_any_attack() {
+    let mut gen = SmallRng::seed_from_u64(0x7A11);
+    for _ in 0..24 {
+        let b = gen.gen::<bool>();
+        let attack = random_attack(&mut gen);
+        let seed = gen.next_u64();
+        let r = ScenarioBuilder::new(13, 4)
+            .adversary(attack)
+            .inputs(InputSpec::AllSame(b))
+            .seed(seed)
+            .max_rounds(60_000)
+            .run();
+        assert_eq!(
+            r.decision,
+            Some(b),
+            "{} seed={seed} input={b}",
+            attack.name()
+        );
+    }
+}

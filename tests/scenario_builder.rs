@@ -1,0 +1,109 @@
+//! Integration: the `ScenarioBuilder` facade — the one blessed way to
+//! run an experiment — over the protocol × adversary matrix the facade
+//! contract guarantees, plus determinism of the typed results.
+
+use adaptive_ba::sim::InfoModel;
+use adaptive_ba::{AttackSpec, BatchReport, InputSpec, ProtocolSpec, ScenarioBuilder};
+
+/// {CommitteeBa (whp + Las Vegas), PhaseKing} × {Benign, StaticByzantine,
+/// AdaptiveCrash}: agreement and validity hold outright on
+/// honest-majority configurations.
+#[test]
+fn committee_and_phase_king_vs_generic_adversaries() {
+    let protocols = [
+        ProtocolSpec::Paper { alpha: 2.0 },
+        ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ProtocolSpec::PhaseKing,
+    ];
+    let attacks = [
+        AttackSpec::Benign,
+        AttackSpec::StaticSilent,
+        AttackSpec::StaticMirror,
+        AttackSpec::Crash { per_round: 1 },
+    ];
+    for &(n, t) in &[(7usize, 2usize), (16, 5), (31, 10)] {
+        for protocol in protocols {
+            for attack in attacks {
+                for value in [false, true] {
+                    let r = ScenarioBuilder::new(n, t)
+                        .protocol(protocol)
+                        .adversary(attack)
+                        .inputs(InputSpec::AllSame(value))
+                        .seed(3)
+                        .max_rounds(40_000)
+                        .run();
+                    let ctx = format!("{}/{} n={n} t={t}", protocol.name(), attack.name());
+                    assert!(r.terminated, "{ctx}: no termination");
+                    assert!(r.agreement, "{ctx}: agreement broken");
+                    assert_eq!(r.validity, Some(true), "{ctx}: validity broken");
+                    assert_eq!(r.decision, Some(value), "{ctx}: wrong decision");
+                    assert!(r.correct(), "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// Same seed → bit-identical `TrialResult`, across protocols, attacks,
+/// and info models; different seeds perturb the randomized protocols.
+#[test]
+fn same_seed_gives_identical_trial_results() {
+    for protocol in [
+        ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ProtocolSpec::ChorCoan { beta: 1.0 },
+        ProtocolSpec::CommonCoin,
+    ] {
+        for info in [InfoModel::Rushing, InfoModel::NonRushing] {
+            let b = ScenarioBuilder::new(31, 10)
+                .protocol(protocol)
+                .adversary(AttackSpec::FullAttack)
+                .inputs(InputSpec::Random)
+                .info_model(info)
+                .seed(0xFEED)
+                .max_rounds(40_000);
+            assert_eq!(b.run(), b.run(), "{}", protocol.name());
+        }
+    }
+    // Batches are deterministic too, element by element.
+    let b = ScenarioBuilder::new(16, 5)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::SplitVote)
+        .seed(11)
+        .trials(8);
+    let x: BatchReport = b.run_batch();
+    let y: BatchReport = b.run_batch();
+    assert_eq!(x, y);
+    // ...and trial i of a batch equals a single run at seed + i.
+    let single = ScenarioBuilder::new(16, 5)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::SplitVote)
+        .seed(11 + 3)
+        .run();
+    assert_eq!(x.results[3], single);
+}
+
+/// The builder covers every protocol in the registry without panicking,
+/// including the non-agreement workloads.
+#[test]
+fn every_protocol_spec_runs_through_the_facade() {
+    for protocol in [
+        ProtocolSpec::Paper { alpha: 2.0 },
+        ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ProtocolSpec::PaperLiteralCoin { alpha: 2.0 },
+        ProtocolSpec::ChorCoan { beta: 1.0 },
+        ProtocolSpec::RabinDealer,
+        ProtocolSpec::BenOrPrivate,
+        ProtocolSpec::PhaseKing,
+        ProtocolSpec::CommonCoin,
+        ProtocolSpec::SamplingMajority { iters: 0 },
+    ] {
+        let r = ScenarioBuilder::new(16, 5)
+            .protocol(protocol)
+            .adversary(AttackSpec::Benign)
+            .inputs(InputSpec::AllSame(true))
+            .max_rounds(20_000)
+            .run();
+        assert!(r.terminated, "{}: no termination", protocol.name());
+        assert!(r.agreement, "{}: no agreement", protocol.name());
+    }
+}
