@@ -44,4 +44,6 @@ fn main() {
                 .rounds
         });
     }
+
+    aba_bench::finish();
 }

@@ -42,4 +42,6 @@ fn main() {
     group.bench("exact_binomial_tail_g65536", || {
         aba_coin::analysis::prob_abs_sum_greater(65_536, 256)
     });
+
+    aba_bench::finish();
 }

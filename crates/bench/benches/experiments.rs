@@ -19,4 +19,6 @@ fn main() {
             (def.runner)(&params).tables.len()
         });
     }
+
+    aba_bench::finish();
 }

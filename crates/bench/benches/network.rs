@@ -1,0 +1,111 @@
+//! Network-model benchmarks: what each `aba-net` delivery model costs
+//! on top of the raw engine round loop.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench network
+//! cargo bench -p aba-bench --bench network -- --json BENCH_results.json
+//! ```
+//!
+//! The `sync` row is the control: its transparent fast path must sit
+//! within noise of the `pass-through` (pre-network engine) row. The
+//! other models pay for per-message routing and broadcast expansion.
+
+use aba_bench::Group;
+use aba_net::{BoundedDelay, DelayScheduler, LossyLinks, NetDelivery, Partition, Synchronous};
+use aba_sim::adversary::Benign;
+use aba_sim::prelude::*;
+use rand::RngCore;
+
+#[derive(Debug, Clone, Copy)]
+struct Beat(#[allow(dead_code)] u8);
+impl Message for Beat {
+    fn bit_size(&self) -> usize {
+        8
+    }
+}
+
+/// A node that broadcasts every round and halts after a fixed horizon.
+#[derive(Debug)]
+struct Chatter {
+    rounds: u64,
+    seen: usize,
+    halted: bool,
+}
+
+impl Protocol for Chatter {
+    type Msg = Beat;
+    fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<Beat> {
+        Emission::Broadcast(Beat(1))
+    }
+    fn receive(&mut self, r: Round, inbox: Inbox<'_, Beat>, _rng: &mut dyn RngCore) {
+        self.seen += inbox.iter().count();
+        if r.index() + 1 >= self.rounds {
+            self.halted = true;
+        }
+    }
+    fn output(&self) -> Option<bool> {
+        self.halted.then_some(self.seen > 0)
+    }
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+fn nodes(n: usize, rounds: u64) -> Vec<Chatter> {
+    (0..n)
+        .map(|_| Chatter {
+            rounds,
+            seen: 0,
+            halted: false,
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 128usize;
+    let rounds = 8u64;
+    let cfg = || {
+        SimConfig::new(n, 0)
+            .with_seed(1)
+            .with_max_rounds(rounds + 16)
+    };
+
+    let group = Group::new("net_models");
+    group.bench("pass-through", || {
+        Simulation::new(cfg(), nodes(n, rounds), Benign)
+            .run()
+            .rounds
+    });
+    group.bench("sync", || {
+        let net = NetDelivery::new(Synchronous, 1);
+        Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+            .run()
+            .rounds
+    });
+    group.bench("lossy(0.1)", || {
+        let net = NetDelivery::new(LossyLinks::new(0.1), 1);
+        Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+            .run()
+            .rounds
+    });
+    group.bench("delay(2,random)", || {
+        let net = NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
+        Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+            .run()
+            .rounds
+    });
+    group.bench("delay(2,adv)", || {
+        let net = NetDelivery::new(BoundedDelay::new(2, DelayScheduler::DelayHonest), 1);
+        Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+            .run()
+            .rounds
+    });
+    group.bench("partition(2,heal=4)", || {
+        let net = NetDelivery::new(Partition::striped(n, 2, 4), 1);
+        Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+            .run()
+            .rounds
+    });
+
+    aba_bench::finish();
+}

@@ -85,4 +85,6 @@ fn main() {
         }
         total
     });
+
+    aba_bench::finish();
 }

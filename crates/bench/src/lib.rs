@@ -39,6 +39,78 @@ fn sample_window() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// One finished measurement, as recorded for `--json` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Group the measurement belongs to.
+    pub group: String,
+    /// Measurement label within the group.
+    pub label: String,
+    /// Mean iteration time in nanoseconds.
+    pub mean_ns: u128,
+    /// Best iteration time in nanoseconds.
+    pub best_ns: u128,
+    /// Timed iterations.
+    pub iters: u64,
+}
+
+/// Every measurement taken in this process, in completion order.
+static RECORDS: std::sync::Mutex<Vec<BenchRecord>> = std::sync::Mutex::new(Vec::new());
+
+/// Snapshot of the measurements recorded so far.
+pub fn records() -> Vec<BenchRecord> {
+    RECORDS.lock().expect("records lock").clone()
+}
+
+/// Renders records as a JSON document (hand-rolled: offline workspace,
+/// no serde). Group/label strings are benchmark-author-controlled ASCII,
+/// but quotes and backslashes are escaped anyway.
+fn records_to_json(records: &[BenchRecord]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("{\n  \"benches\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"group\": \"{}\", \"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}, \"iters\": {}}}",
+            esc(&r.group),
+            esc(&r.label),
+            r.mean_ns,
+            r.best_ns,
+            r.iters
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Finishes a bench target: if `--json <path>` was passed on the command
+/// line (e.g. `cargo bench -p aba-bench --bench simulator -- --json
+/// BENCH_results.json`), writes every measurement this process took as a
+/// machine-readable JSON file, so the perf trajectory can be tracked
+/// across commits. Each bench binary writes the whole file; when running
+/// several targets, give each its own path. Call it at the end of every
+/// bench `main`.
+///
+/// # Panics
+///
+/// Panics if `--json` is passed without a path or the file cannot be
+/// written — in a benchmark binary, failing loudly beats dropping data.
+pub fn finish() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args.next().expect("--json needs a path");
+            let json = records_to_json(&records());
+            std::fs::write(&path, json)
+                .unwrap_or_else(|e| panic!("cannot write bench JSON to {path}: {e}"));
+            eprintln!("wrote bench results to {path}");
+            return;
+        }
+    }
+}
+
 /// A named group of measurements, printed as an aligned table.
 pub struct Group {
     name: &'static str,
@@ -83,6 +155,13 @@ impl Group {
             "{:<18} {:<22} mean {:>12?}   best {:>12?}   ({} iters)",
             self.name, label, mean, best, iters
         );
+        RECORDS.lock().expect("records lock").push(BenchRecord {
+            group: self.name.to_string(),
+            label: label.to_string(),
+            mean_ns: mean.as_nanos(),
+            best_ns: best.as_nanos(),
+            iters,
+        });
     }
 }
 
@@ -106,5 +185,36 @@ mod tests {
         });
         // Warm-up + at least one timed iteration.
         assert!(calls >= 2);
+        // The measurement was recorded for --json output.
+        let recs = records();
+        let rec = recs
+            .iter()
+            .find(|r| r.group == "smoke" && r.label == "counter")
+            .expect("measurement recorded");
+        assert!(rec.iters >= 1);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = records_to_json(&[
+            BenchRecord {
+                group: "g".into(),
+                label: "a\"b".into(),
+                mean_ns: 12,
+                best_ns: 10,
+                iters: 3,
+            },
+            BenchRecord {
+                group: "g".into(),
+                label: "plain".into(),
+                mean_ns: 99,
+                best_ns: 98,
+                iters: 1,
+            },
+        ]);
+        assert!(json.starts_with("{\n  \"benches\": ["));
+        assert!(json.contains("\"label\": \"a\\\"b\""));
+        assert!(json.contains("\"mean_ns\": 99"));
+        assert!(json.trim_end().ends_with('}'));
     }
 }

@@ -41,7 +41,7 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: aba-experiments [--exp all|e1..e12] [--quick] [--seed N] \
+                    "usage: aba-experiments [--exp all|e1..e16] [--quick] [--seed N] \
                      [--out DIR] [--list]"
                 );
                 std::process::exit(0);

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E15).
+//! The experiment suite (E1–E16).
 //!
 //! Each experiment regenerates one table or figure of EXPERIMENTS.md,
 //! validating a quantitative claim of the paper. All experiments are
@@ -20,6 +20,7 @@ pub mod e12_adversaries;
 pub mod e13_sampling;
 pub mod e14_conjecture;
 pub mod e15_coin_sources;
+pub mod e16_network;
 
 use crate::report::Report;
 use crate::runner::TrialResult;
@@ -121,6 +122,11 @@ pub fn all() -> Vec<ExperimentDef> {
             title: "Coin-source ablation: committee vs dealer vs private (Section 1)",
             runner: e15_coin_sources::run,
         },
+        ExperimentDef {
+            id: "e16",
+            title: "Agreement under weakened synchrony: lossy links and bounded delay (aba-net)",
+            runner: e16_network::run,
+        },
     ]
 }
 
@@ -185,13 +191,13 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let defs = all();
-        assert_eq!(defs.len(), 15);
+        assert_eq!(defs.len(), 16);
         let ids: std::collections::HashSet<&str> = defs.iter().map(|d| d.id).collect();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         assert!(by_id("e3").is_some());
         assert!(by_id("E3").is_some());
         assert!(by_id("e03").is_some(), "zero-padded ids accepted");
-        assert!(by_id("e15").is_some());
+        assert!(by_id("e16").is_some());
         assert!(by_id("e99").is_none());
         assert!(by_id("e0").is_none());
     }
@@ -220,7 +226,11 @@ mod tests {
             bits: 0,
             max_edge_bits: 0,
             agree_fraction: 1.0,
+            delivered: 0,
+            dropped: 0,
+            delayed: 0,
             adversary: "test",
+            network: "sync",
         };
         let rs = vec![t(10, true, true), t(20, false, false)];
         assert_eq!(mean_rounds(&rs), 15.0);

@@ -20,7 +20,7 @@
 //! ```
 
 use crate::runner::{self, TrialResult};
-use crate::scenario::{AttackSpec, InputSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
 use aba_agreement::CommitteeBa;
 use aba_sim::adversary::Adversary;
 use aba_sim::InfoModel;
@@ -78,6 +78,13 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn info_model(mut self, m: InfoModel) -> Self {
         self.scenario.info = m;
+        self
+    }
+
+    /// Selects the network conditions (synchronous by default).
+    #[must_use]
+    pub fn network(mut self, net: NetworkSpec) -> Self {
+        self.scenario.network = net;
         self
     }
 
@@ -232,6 +239,51 @@ impl BatchReport {
         self.results.iter().map(|r| r.rounds).max().unwrap_or(0)
     }
 
+    /// Nearest-rank percentile of rounds-to-termination over the batch
+    /// (`p` in `(0, 100]`; e.g. `rounds_percentile(50.0)` is the median,
+    /// `rounds_percentile(95.0)` the p95). Censored trials count at the
+    /// round cap. Returns 0 for an empty batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 100`.
+    pub fn rounds_percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.results.is_empty() {
+            return 0;
+        }
+        let mut rounds: Vec<u64> = self.results.iter().map(|r| r.rounds).collect();
+        rounds.sort_unstable();
+        // Nearest-rank: the smallest value with at least ⌈p/100 · N⌉
+        // observations at or below it.
+        let rank = ((p / 100.0) * rounds.len() as f64).ceil() as usize;
+        rounds[rank.clamp(1, rounds.len()) - 1]
+    }
+
+    /// Mean messages the network dropped per trial.
+    pub fn mean_dropped(&self) -> f64 {
+        self.mean(|r| r.dropped as f64)
+    }
+
+    /// Mean delay events per trial.
+    pub fn mean_delayed(&self) -> f64 {
+        self.mean(|r| r.delayed as f64)
+    }
+
+    /// Fraction of emitted messages the network actually delivered
+    /// (1.0 under the synchronous network; `NaN` on an empty batch).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return f64::NAN;
+        }
+        let emitted: usize = self.results.iter().map(|r| r.messages).sum();
+        if emitted == 0 {
+            return 1.0;
+        }
+        let delivered: usize = self.results.iter().map(|r| r.delivered).sum();
+        delivered as f64 / emitted as f64
+    }
+
     /// Mean corruptions the adversary actually performed.
     pub fn mean_corruptions(&self) -> f64 {
         self.mean(|r| r.corruptions as f64)
@@ -270,6 +322,7 @@ mod tests {
             .adversary(AttackSpec::Benign)
             .inputs(InputSpec::AllSame(true))
             .info_model(InfoModel::NonRushing)
+            .network(NetworkSpec::LossyLinks { p_drop: 0.1 })
             .seed(42)
             .max_rounds(99)
             .trials(3);
@@ -277,7 +330,76 @@ mod tests {
         assert_eq!((s.n, s.t, s.seed, s.max_rounds), (64, 10, 42, 99));
         assert_eq!(s.protocol.name(), "chor-coan");
         assert_eq!(s.attack.name(), "benign");
+        assert_eq!(s.network.name(), "lossy");
         assert!(!s.info.is_rushing());
+    }
+
+    #[test]
+    fn rounds_percentile_nearest_rank() {
+        // Deterministic protocol: every trial of Phase-King at the same
+        // (n, t) under benign conditions takes the same rounds, so the
+        // percentile must equal that constant at every p.
+        let report = ScenarioBuilder::new(10, 3)
+            .protocol(ProtocolSpec::PhaseKing)
+            .adversary(AttackSpec::Benign)
+            .inputs(InputSpec::AllSame(true))
+            .trials(4)
+            .run_batch();
+        let median = report.rounds_percentile(50.0);
+        assert_eq!(median, report.rounds_percentile(95.0));
+        assert_eq!(median, report.max_rounds());
+        // Hand-checked nearest-rank on a synthetic batch.
+        let mut synth = report.clone();
+        for (i, r) in synth.results.iter_mut().enumerate() {
+            r.rounds = (i as u64 + 1) * 10; // 10, 20, 30, 40
+        }
+        assert_eq!(synth.rounds_percentile(25.0), 10);
+        assert_eq!(synth.rounds_percentile(50.0), 20);
+        assert_eq!(synth.rounds_percentile(75.0), 30);
+        assert_eq!(synth.rounds_percentile(76.0), 40);
+        assert_eq!(synth.rounds_percentile(100.0), 40);
+    }
+
+    #[test]
+    fn empty_batch_percentile_is_zero() {
+        let report = ScenarioBuilder::new(7, 2).trials(0).run_batch();
+        assert_eq!(report.rounds_percentile(50.0), 0);
+        assert!(report.delivery_rate().is_nan());
+    }
+
+    #[test]
+    fn synchronous_network_delivers_everything() {
+        let report = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .trials(3)
+            .run_batch();
+        assert_eq!(report.delivery_rate(), 1.0);
+        assert_eq!(report.mean_dropped(), 0.0);
+        assert_eq!(report.mean_delayed(), 0.0);
+        for r in &report.results {
+            assert_eq!(r.network, "sync");
+            assert_eq!(r.delivered, r.messages);
+        }
+    }
+
+    #[test]
+    fn lossy_network_loses_traffic_but_stays_deterministic() {
+        let b = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .network(NetworkSpec::LossyLinks { p_drop: 0.1 })
+            .max_rounds(500)
+            .trials(3);
+        let a = b.run_batch();
+        let c = b.run_batch();
+        assert_eq!(a.results, c.results, "same seeds, same drops");
+        assert!(a.delivery_rate() < 1.0);
+        assert!(a.mean_dropped() > 0.0);
+        for r in &a.results {
+            assert_eq!(r.network, "lossy");
+            assert_eq!(r.delivered + r.dropped, r.messages);
+        }
     }
 
     #[test]

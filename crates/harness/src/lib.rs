@@ -37,4 +37,8 @@ pub mod scenario;
 pub use facade::{BatchReport, ScenarioBuilder};
 pub use report::Report;
 pub use runner::TrialResult;
-pub use scenario::{AttackSpec, InputSpec, ProtocolSpec, Scenario};
+pub use scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
+
+// `NetworkSpec::BoundedDelay` carries an `aba-net` scheduler; re-export
+// it so facade users need only this crate.
+pub use aba_net::DelayScheduler;

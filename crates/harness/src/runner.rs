@@ -5,14 +5,16 @@
 //! protocol/adversary pair and runs it. It is crate-private on purpose —
 //! downstream code composes runs exclusively through the facade.
 
-use crate::scenario::{AttackSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, NetworkSpec, ProtocolSpec, Scenario};
 use aba_adversary::{AdaptiveCrash, Benign, BudgetCapped, StaticBehavior, StaticByzantine};
 use aba_agreement::{BaConfig, CoinRoundMode, CommitteeBa, PhaseKingBa, SamplingMajorityNode};
 use aba_attacks::{
     AdaptiveFullAttack, BudgetPolicy, CoinKiller, NonRushingPolicy, SamplingPoison, SplitVote,
 };
 use aba_coin::CoinFlipNode;
+use aba_net::{BoundedDelay, LossyLinks, NetDelivery, Partition, Synchronous};
 use aba_sim::adversary::Adversary;
+use aba_sim::protocol::Protocol;
 use aba_sim::{RunReport, SimConfig, Simulation, Verdict};
 
 /// Result of one trial, flattened for aggregation.
@@ -40,11 +42,21 @@ pub struct TrialResult {
     /// full agreement; the almost-everywhere metric for
     /// [`ProtocolSpec::SamplingMajority`]).
     pub agree_fraction: f64,
+    /// Messages the network actually handed to receivers (equals
+    /// `messages` under [`NetworkSpec::Synchronous`]).
+    pub delivered: usize,
+    /// Messages the network dropped.
+    pub dropped: usize,
+    /// Delay events (a message counts once when first held back and
+    /// once per further deferral on a busy link).
+    pub delayed: usize,
     /// Name of the adversary strategy that actually ran. Protocol-
     /// mismatched attack specs degrade to the strongest applicable
     /// strategy; this field records the substitution so results are
     /// never silently misattributed.
     pub adversary: &'static str,
+    /// Name of the network model the trial ran under.
+    pub network: &'static str,
 }
 
 /// Majority fraction among the honest outputs (1.0 when none exist).
@@ -60,7 +72,7 @@ fn majority_fraction(report: &RunReport) -> f64 {
 impl TrialResult {
     /// The fields shared by every kind of run; the agreement/validity/
     /// decision triple is left at its vacuous default for the caller.
-    fn base(report: &RunReport, adversary: &'static str) -> TrialResult {
+    fn base(report: &RunReport, adversary: &'static str, network: &'static str) -> TrialResult {
         TrialResult {
             rounds: report.rounds,
             terminated: report.all_halted,
@@ -72,23 +84,36 @@ impl TrialResult {
             bits: report.metrics.total_bits,
             max_edge_bits: report.metrics.max_edge_bits,
             agree_fraction: majority_fraction(report),
+            delivered: report.metrics.total_delivered,
+            dropped: report.metrics.total_dropped,
+            delayed: report.metrics.total_delayed,
             adversary,
+            network,
         }
     }
 
-    fn from_run(report: &RunReport, inputs: &[bool], adversary: &'static str) -> TrialResult {
+    fn from_run(
+        report: &RunReport,
+        inputs: &[bool],
+        adversary: &'static str,
+        network: &'static str,
+    ) -> TrialResult {
         let verdict = Verdict::evaluate(inputs, &report.outputs, &report.honest);
         TrialResult {
             agreement: verdict.agreement,
             validity: verdict.validity,
             decision: verdict.decision,
-            ..Self::base(report, adversary)
+            ..Self::base(report, adversary, network)
         }
     }
 
     /// For input-less protocols (the common coin): agreement means the
     /// coin was common; validity is vacuous.
-    fn from_coin_run(report: &RunReport, adversary: &'static str) -> TrialResult {
+    fn from_coin_run(
+        report: &RunReport,
+        adversary: &'static str,
+        network: &'static str,
+    ) -> TrialResult {
         let agreement = report.honest_outputs_agree();
         TrialResult {
             agreement,
@@ -97,7 +122,7 @@ impl TrialResult {
             } else {
                 None
             },
-            ..Self::base(report, adversary)
+            ..Self::base(report, adversary, network)
         }
     }
 
@@ -115,6 +140,52 @@ fn sim_config(s: &Scenario) -> SimConfig {
         .with_max_rounds(s.max_rounds)
 }
 
+/// Runs the simulation under the scenario's network conditions,
+/// monomorphizing the engine over the concrete delivery stage so every
+/// protocol × adversary × network combination stays static-dispatch.
+///
+/// The model is seeded from the scenario's master seed on the dedicated
+/// network RNG stream, so the same seed reproduces the same drops and
+/// delays — and switching models never perturbs node or adversary
+/// randomness.
+fn simulate<P, A>(s: &Scenario, nodes: Vec<P>, adversary: A) -> RunReport
+where
+    P: Protocol,
+    A: Adversary<P>,
+{
+    let cfg = sim_config(s);
+    match s.network {
+        NetworkSpec::Synchronous => {
+            Simulation::with_network(cfg, nodes, adversary, NetDelivery::new(Synchronous, s.seed))
+                .run()
+        }
+        NetworkSpec::LossyLinks { p_drop } => Simulation::with_network(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(LossyLinks::new(p_drop), s.seed),
+        )
+        .run(),
+        NetworkSpec::BoundedDelay {
+            max_delay,
+            scheduler,
+        } => Simulation::with_network(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(BoundedDelay::new(max_delay, scheduler), s.seed),
+        )
+        .run(),
+        NetworkSpec::Partition { groups, heal_round } => Simulation::with_network(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(Partition::striped(s.n, groups, heal_round), s.seed),
+        )
+        .run(),
+    }
+}
+
 fn run_committee<A>(s: &Scenario, cfg: BaConfig, adversary: A) -> TrialResult
 where
     A: Adversary<CommitteeBa>,
@@ -122,8 +193,8 @@ where
     let name = adversary.name();
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = CommitteeBa::network(&cfg, &inputs);
-    let report = Simulation::new(sim_config(s), nodes, adversary).run();
-    TrialResult::from_run(&report, &inputs, name)
+    let report = simulate(s, nodes, adversary);
+    TrialResult::from_run(&report, &inputs, name, s.network.name())
 }
 
 fn run_phase_king<A>(s: &Scenario, adversary: A) -> TrialResult
@@ -133,8 +204,8 @@ where
     let name = adversary.name();
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = PhaseKingBa::network(s.n, s.t, &inputs);
-    let report = Simulation::new(sim_config(s), nodes, adversary).run();
-    TrialResult::from_run(&report, &inputs, name)
+    let report = simulate(s, nodes, adversary);
+    TrialResult::from_run(&report, &inputs, name, s.network.name())
 }
 
 fn run_coin<A>(s: &Scenario, adversary: A) -> TrialResult
@@ -143,8 +214,8 @@ where
 {
     let name = adversary.name();
     let nodes = CoinFlipNode::network(s.n);
-    let report = Simulation::new(sim_config(s), nodes, adversary).run();
-    TrialResult::from_coin_run(&report, name)
+    let report = simulate(s, nodes, adversary);
+    TrialResult::from_coin_run(&report, name, s.network.name())
 }
 
 fn run_sampling<A>(s: &Scenario, iters: u64, adversary: A) -> TrialResult
@@ -159,8 +230,8 @@ where
     };
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = SamplingMajorityNode::network(s.n, iters, &inputs);
-    let report = Simulation::new(sim_config(s), nodes, adversary).run();
-    TrialResult::from_run(&report, &inputs, name)
+    let report = simulate(s, nodes, adversary);
+    TrialResult::from_run(&report, &inputs, name, s.network.name())
 }
 
 /// Dispatches the one-shot coin over the attack axis. Protocol-specific

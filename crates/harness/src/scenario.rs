@@ -5,6 +5,7 @@
 //! monomorphizes over the concrete protocol/adversary combination at
 //! dispatch time so the simulation loop stays static-dispatch fast.
 
+use aba_net::DelayScheduler;
 use aba_sim::InfoModel;
 
 /// Which agreement protocol to run.
@@ -157,6 +158,59 @@ impl InputSpec {
     }
 }
 
+/// Which network conditions the messages travel under.
+///
+/// Declarative counterpart of the `aba-net` models; the runner
+/// instantiates the concrete model (seeded from the scenario's master
+/// seed on the dedicated network RNG stream) at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkSpec {
+    /// Lock-step synchrony: every message delivered in its emission
+    /// round (the paper's model; the default).
+    Synchronous,
+    /// Each directed message is independently dropped with probability
+    /// `p_drop`.
+    LossyLinks {
+        /// Per-message drop probability in `[0, 1]`.
+        p_drop: f64,
+    },
+    /// Bounded-delay partial synchrony: every message arrives within
+    /// `max_delay` rounds of emission.
+    BoundedDelay {
+        /// The delay bound (0 degenerates to synchrony).
+        max_delay: u64,
+        /// Who picks each message's delay within the bound.
+        scheduler: DelayScheduler,
+    },
+    /// A striped partition (node `i` in group `i % groups`) that heals
+    /// at `heal_round`.
+    Partition {
+        /// Number of groups (≥ 1).
+        groups: usize,
+        /// First round at which cross-group traffic flows again.
+        heal_round: u64,
+    },
+}
+
+impl NetworkSpec {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkSpec::Synchronous => "sync",
+            NetworkSpec::LossyLinks { .. } => "lossy",
+            NetworkSpec::BoundedDelay {
+                scheduler: DelayScheduler::Random,
+                ..
+            } => "bounded-delay",
+            NetworkSpec::BoundedDelay {
+                scheduler: DelayScheduler::DelayHonest,
+                ..
+            } => "bounded-delay-adv",
+            NetworkSpec::Partition { .. } => "partition",
+        }
+    }
+}
+
 /// A fully specified trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -172,6 +226,8 @@ pub struct Scenario {
     pub inputs: InputSpec,
     /// Information model.
     pub info: InfoModel,
+    /// Network conditions.
+    pub network: NetworkSpec,
     /// Master seed.
     pub seed: u64,
     /// Round cap (runs hitting it count as non-terminating).
@@ -180,7 +236,8 @@ pub struct Scenario {
 
 impl Scenario {
     /// A scenario with sensible defaults: paper protocol (α = 2), full
-    /// attack, split inputs, rushing, 20 000-round cap.
+    /// attack, split inputs, rushing, synchronous network, 20 000-round
+    /// cap.
     pub fn new(n: usize, t: usize) -> Self {
         Scenario {
             n,
@@ -189,6 +246,7 @@ impl Scenario {
             attack: AttackSpec::FullAttack,
             inputs: InputSpec::Split,
             info: InfoModel::Rushing,
+            network: NetworkSpec::Synchronous,
             seed: 0,
             max_rounds: 20_000,
         }
@@ -219,6 +277,13 @@ impl Scenario {
     #[must_use]
     pub fn with_info(mut self, m: InfoModel) -> Self {
         self.info = m;
+        self
+    }
+
+    /// Sets the network conditions.
+    #[must_use]
+    pub fn with_network(mut self, net: NetworkSpec) -> Self {
+        self.network = net;
         self
     }
 
@@ -260,6 +325,32 @@ mod tests {
         assert_eq!(AttackSpec::FullAttack.name(), "full-attack");
         assert_eq!(InputSpec::Split.name(), "split");
         assert_eq!(InputSpec::AllSame(false).name(), "all-0");
+        assert_eq!(NetworkSpec::Synchronous.name(), "sync");
+        assert_eq!(NetworkSpec::LossyLinks { p_drop: 0.1 }.name(), "lossy");
+        assert_eq!(
+            NetworkSpec::BoundedDelay {
+                max_delay: 2,
+                scheduler: DelayScheduler::Random
+            }
+            .name(),
+            "bounded-delay"
+        );
+        assert_eq!(
+            NetworkSpec::BoundedDelay {
+                max_delay: 2,
+                scheduler: DelayScheduler::DelayHonest
+            }
+            .name(),
+            "bounded-delay-adv"
+        );
+        assert_eq!(
+            NetworkSpec::Partition {
+                groups: 2,
+                heal_round: 5
+            }
+            .name(),
+            "partition"
+        );
     }
 
     #[test]
@@ -269,11 +360,18 @@ mod tests {
             .with_attack(AttackSpec::Benign)
             .with_inputs(InputSpec::AllSame(true))
             .with_info(InfoModel::NonRushing)
+            .with_network(NetworkSpec::LossyLinks { p_drop: 0.2 })
             .with_seed(42)
             .with_max_rounds(99);
         assert_eq!(s.n, 64);
         assert_eq!(s.seed, 42);
         assert_eq!(s.max_rounds, 99);
         assert_eq!(s.protocol.name(), "chor-coan");
+        assert_eq!(s.network.name(), "lossy");
+    }
+
+    #[test]
+    fn default_network_is_synchronous() {
+        assert_eq!(Scenario::new(7, 2).network, NetworkSpec::Synchronous);
     }
 }

@@ -1,0 +1,199 @@
+//! The in-flight message queue.
+//!
+//! [`FlightQueue`] generalizes the engine's per-round mailbox across
+//! rounds: every routed message — even one delivered immediately — is
+//! enqueued with a due round, then drained into the round's arrivals
+//! mailbox in emission (sequence) order. Because each ordered node pair
+//! exchanges at most one message per round in this engine (the CONGEST
+//! invariant `max_edge_bits` relies on), a link that already carries a
+//! message this round defers any further due traffic to the next round,
+//! oldest-first — FIFO links with unit per-round capacity.
+
+use aba_sim::{Message, NodeId, Round, RoundMailbox};
+
+/// One message travelling between rounds.
+#[derive(Debug, Clone)]
+struct InFlight<M> {
+    /// Round index at which the message becomes deliverable.
+    due: u64,
+    /// Round index at which it was emitted (`due >= emit` always).
+    emit: u64,
+    sender: NodeId,
+    receiver: NodeId,
+    msg: M,
+}
+
+/// Outcome of one [`FlightQueue::drain_due`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainOutcome {
+    /// Messages moved into the arrivals mailbox.
+    pub delivered: usize,
+    /// Due messages deferred to the next round because their link was
+    /// already carrying an older message.
+    pub deferred: usize,
+}
+
+/// Cross-round message store with FIFO per-link delivery.
+#[derive(Debug, Clone)]
+pub struct FlightQueue<M> {
+    /// Kept in sequence (emission) order: pushes append, and deferrals
+    /// preserve positions, so draining front-to-back is oldest-first.
+    entries: Vec<InFlight<M>>,
+}
+
+impl<M: Message> FlightQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        FlightQueue {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Messages currently in flight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Enqueues a message emitted in `emit` for delivery at `due`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due < emit`: a message cannot arrive before it was
+    /// sent.
+    pub fn push(&mut self, emit: Round, due: u64, sender: NodeId, receiver: NodeId, msg: M) {
+        assert!(
+            due >= emit.index(),
+            "message due r{due} before its emission {emit}"
+        );
+        self.entries.push(InFlight {
+            due,
+            emit: emit.index(),
+            sender,
+            receiver,
+            msg,
+        });
+    }
+
+    /// Moves every message due by `round` into `out`, oldest first; a
+    /// due message whose link is already occupied in `out` slips to the
+    /// next round. Messages due later stay queued untouched.
+    pub fn drain_due(&mut self, round: Round, out: &mut RoundMailbox<M>) -> DrainOutcome {
+        let mut outcome = DrainOutcome::default();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for mut e in self.entries.drain(..) {
+            if e.due > round.index() {
+                kept.push(e);
+            } else if out.resolve(e.sender, e.receiver).is_some() {
+                e.due = round.index() + 1;
+                outcome.deferred += 1;
+                kept.push(e);
+            } else {
+                debug_assert!(e.emit <= round.index(), "delivery before emission");
+                out.insert(e.sender, e.receiver, e.msg);
+                outcome.delivered += 1;
+            }
+        }
+        self.entries = kept;
+        outcome
+    }
+}
+
+impl<M: Message> Default for FlightQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Tm(u8);
+    impl Message for Tm {
+        fn bit_size(&self) -> usize {
+            8
+        }
+    }
+
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn due_messages_deliver_future_ones_wait() {
+        let mut q: FlightQueue<Tm> = FlightQueue::new();
+        q.push(Round::ZERO, 0, id(0), id(1), Tm(1));
+        q.push(Round::ZERO, 2, id(0), id(2), Tm(2));
+        let mut out = RoundMailbox::new(3);
+        let o = q.drain_due(Round::ZERO, &mut out);
+        assert_eq!(
+            o,
+            DrainOutcome {
+                delivered: 1,
+                deferred: 0
+            }
+        );
+        assert_eq!(out.resolve(id(0), id(1)), Some(&Tm(1)));
+        assert_eq!(out.resolve(id(0), id(2)), None);
+        assert_eq!(q.len(), 1);
+        // Round 1: still not due.
+        let mut out = RoundMailbox::new(3);
+        assert_eq!(q.drain_due(Round::new(1), &mut out).delivered, 0);
+        // Round 2: arrives.
+        let mut out = RoundMailbox::new(3);
+        assert_eq!(q.drain_due(Round::new(2), &mut out).delivered, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn busy_link_defers_oldest_first() {
+        let mut q: FlightQueue<Tm> = FlightQueue::new();
+        // Two messages on the same link, emitted in rounds 0 and 1, both
+        // due by round 1.
+        q.push(Round::ZERO, 1, id(0), id(1), Tm(1));
+        q.push(Round::new(1), 1, id(0), id(1), Tm(2));
+        let mut out = RoundMailbox::new(2);
+        let o = q.drain_due(Round::new(1), &mut out);
+        assert_eq!(
+            o,
+            DrainOutcome {
+                delivered: 1,
+                deferred: 1
+            }
+        );
+        // The older message won the link.
+        assert_eq!(out.resolve(id(0), id(1)), Some(&Tm(1)));
+        // The younger one arrives next round.
+        let mut out = RoundMailbox::new(2);
+        assert_eq!(q.drain_due(Round::new(2), &mut out).delivered, 1);
+        assert_eq!(out.resolve(id(0), id(1)), Some(&Tm(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn no_message_is_duplicated() {
+        let mut q: FlightQueue<Tm> = FlightQueue::new();
+        for r in 0..4u32 {
+            q.push(Round::ZERO, 0, id(0), id(r + 1), Tm(r as u8));
+        }
+        let mut out = RoundMailbox::new(8);
+        assert_eq!(q.drain_due(Round::ZERO, &mut out).delivered, 4);
+        // Draining again delivers nothing: the queue handed them off.
+        let mut out2 = RoundMailbox::new(8);
+        assert_eq!(q.drain_due(Round::ZERO, &mut out2).delivered, 0);
+        assert_eq!(out2.message_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its emission")]
+    fn delivery_before_emission_is_rejected() {
+        let mut q: FlightQueue<Tm> = FlightQueue::new();
+        q.push(Round::new(5), 3, id(0), id(1), Tm(0));
+    }
+}

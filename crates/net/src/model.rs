@@ -1,0 +1,85 @@
+//! The per-message routing contract.
+//!
+//! A [`NetworkModel`] is the *policy* half of the delivery pipeline: for
+//! every point-to-point message emitted in a round it chooses a [`Fate`]
+//! — deliver now, delay by `d ≥ 1` rounds, or drop. The *mechanism* half
+//! (expanding broadcasts, queueing delayed traffic, assembling the
+//! arrivals mailbox) is [`crate::NetDelivery`], which drives the model.
+//!
+//! ## Contract
+//!
+//! * `route` is called once per directed link carrying a message, in
+//!   ascending `(sender, receiver)` order within a round, rounds in
+//!   order. Models draw randomness only from the RNG handed in (the
+//!   engine's dedicated network stream), so a run remains a pure
+//!   function of `(config, master seed)`.
+//! * A node's local self-copy of its own broadcast never traverses the
+//!   network and is never routed — no model can suppress it.
+//! * `transparent(round)` returning `true` promises that *every* call to
+//!   `route` in that round would return [`Fate::Deliver`] without
+//!   consuming randomness; the driver uses it to skip per-message work
+//!   (and, for [`crate::Synchronous`], to preserve bit-for-bit the
+//!   pre-network engine behavior).
+
+use aba_sim::{NodeId, Round};
+use rand::RngCore;
+
+/// One directed link carrying a message this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// The emitting node.
+    pub sender: NodeId,
+    /// The addressed node.
+    pub receiver: NodeId,
+    /// Whether the sender is (still) honest — adversarial schedulers
+    /// discriminate honest traffic.
+    pub sender_honest: bool,
+}
+
+/// The routing decision for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver in the emission round.
+    Deliver,
+    /// Hold for `d` rounds (a value of 0 is promoted to 1: a delayed
+    /// message can never arrive before its emission round is over).
+    Delay(u64),
+    /// Destroy the message.
+    Drop,
+}
+
+/// A deterministic, seed-reproducible network-condition model.
+pub trait NetworkModel {
+    /// Decides the fate of the message crossing `link` in `round`.
+    fn route(&mut self, round: Round, link: Link, rng: &mut dyn RngCore) -> Fate;
+
+    /// True if every message this round is delivered immediately and no
+    /// randomness is consumed — the fast-path promise (see module docs).
+    fn transparent(&self, _round: Round) -> bool {
+        false
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysDrop;
+    impl NetworkModel for AlwaysDrop {
+        fn route(&mut self, _: Round, _: Link, _: &mut dyn RngCore) -> Fate {
+            Fate::Drop
+        }
+        fn name(&self) -> &'static str {
+            "always-drop"
+        }
+    }
+
+    #[test]
+    fn default_transparency_is_false() {
+        assert!(!AlwaysDrop.transparent(Round::ZERO));
+        assert_eq!(AlwaysDrop.name(), "always-drop");
+    }
+}

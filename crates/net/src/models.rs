@@ -1,0 +1,357 @@
+//! The four shipped network-condition models.
+//!
+//! All models are deterministic given the engine's network RNG stream,
+//! so any run — under any model — replays bit-for-bit from its master
+//! seed.
+
+use crate::model::{Fate, Link, NetworkModel};
+use aba_sim::{NodeId, Round};
+use rand::{Rng, RngCore};
+
+/// The paper's lock-step synchronous network: every message is delivered
+/// in its emission round. This is the default model and preserves the
+/// pre-network engine behavior exactly (it is transparent every round,
+/// so the driver never expands broadcasts or touches the RNG).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synchronous;
+
+impl NetworkModel for Synchronous {
+    fn route(&mut self, _round: Round, _link: Link, _rng: &mut dyn RngCore) -> Fate {
+        Fate::Deliver
+    }
+
+    fn transparent(&self, _round: Round) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+}
+
+/// Independent per-message loss: each directed message is destroyed with
+/// probability `p_drop`. A broadcast may therefore reach only a subset
+/// of the network — exactly the erasure behavior of unreliable links.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyLinks {
+    p_drop: f64,
+}
+
+impl LossyLinks {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_drop` lies in `[0, 1]`.
+    pub fn new(p_drop: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_drop),
+            "p_drop must be a probability, got {p_drop}"
+        );
+        LossyLinks { p_drop }
+    }
+
+    /// The per-message drop probability.
+    pub fn p_drop(&self) -> f64 {
+        self.p_drop
+    }
+}
+
+impl NetworkModel for LossyLinks {
+    fn route(&mut self, _round: Round, _link: Link, rng: &mut dyn RngCore) -> Fate {
+        if rng.gen_bool(self.p_drop) {
+            Fate::Drop
+        } else {
+            Fate::Deliver
+        }
+    }
+
+    fn transparent(&self, _round: Round) -> bool {
+        // p_drop == 0.0 still consumes one RNG draw per message in
+        // `route`, so only the exact zero case could be transparent;
+        // keep it simple and never claim transparency.
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "lossy"
+    }
+}
+
+/// How [`BoundedDelay`] picks each message's delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayScheduler {
+    /// Uniform delay in `0..=max_delay` per message (0 = deliver now).
+    Random,
+    /// Worst-case scheduler: every honest-sent message is held the full
+    /// `max_delay` rounds while corrupted senders' traffic arrives
+    /// immediately — the adversarial scheduling of Lewko & Lewko, bounded
+    /// by partial synchrony.
+    DelayHonest,
+}
+
+/// Bounded-delay partial synchrony: every message arrives within
+/// `max_delay` rounds of emission; the scheduler decides where in that
+/// window.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedDelay {
+    max_delay: u64,
+    scheduler: DelayScheduler,
+}
+
+impl BoundedDelay {
+    /// Creates the model. `max_delay == 0` degenerates to the
+    /// synchronous network.
+    pub fn new(max_delay: u64, scheduler: DelayScheduler) -> Self {
+        BoundedDelay {
+            max_delay,
+            scheduler,
+        }
+    }
+
+    /// The delay bound.
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+}
+
+impl NetworkModel for BoundedDelay {
+    fn route(&mut self, _round: Round, link: Link, rng: &mut dyn RngCore) -> Fate {
+        if self.max_delay == 0 {
+            return Fate::Deliver;
+        }
+        let d = match self.scheduler {
+            DelayScheduler::Random => rng.gen_range(0..=self.max_delay),
+            DelayScheduler::DelayHonest => {
+                if link.sender_honest {
+                    self.max_delay
+                } else {
+                    0
+                }
+            }
+        };
+        if d == 0 {
+            Fate::Deliver
+        } else {
+            Fate::Delay(d)
+        }
+    }
+
+    fn transparent(&self, _round: Round) -> bool {
+        self.max_delay == 0
+    }
+
+    fn name(&self) -> &'static str {
+        match self.scheduler {
+            DelayScheduler::Random => "bounded-delay",
+            DelayScheduler::DelayHonest => "bounded-delay-adv",
+        }
+    }
+}
+
+/// A temporary network partition: until `heal_round`, messages crossing
+/// group boundaries are dropped; from `heal_round` on, the network is
+/// whole again. Nodes not assigned to any group are isolated (each in
+/// its own singleton group).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    group_of: Vec<usize>,
+    heal_round: u64,
+}
+
+impl Partition {
+    /// Builds a partition from explicit groups over an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed node is out of range or listed twice.
+    pub fn from_groups(n: usize, groups: &[Vec<NodeId>], heal_round: u64) -> Self {
+        // Unlisted nodes get singleton groups after the explicit ones.
+        let mut group_of: Vec<usize> = (0..n).map(|i| groups.len() + i).collect();
+        let mut seen = vec![false; n];
+        for (g, members) in groups.iter().enumerate() {
+            for id in members {
+                assert!(id.index() < n, "node {id} out of range for n = {n}");
+                assert!(!seen[id.index()], "node {id} listed in two groups");
+                seen[id.index()] = true;
+                group_of[id.index()] = g;
+            }
+        }
+        Partition {
+            group_of,
+            heal_round,
+        }
+    }
+
+    /// Builds a striped partition: node `i` joins group `i % groups`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0`.
+    pub fn striped(n: usize, groups: usize, heal_round: u64) -> Self {
+        assert!(groups > 0, "need at least one group");
+        Partition {
+            group_of: (0..n).map(|i| i % groups).collect(),
+            heal_round,
+        }
+    }
+
+    /// The round from which the partition is healed.
+    pub fn heal_round(&self) -> u64 {
+        self.heal_round
+    }
+
+    /// Whether two nodes can talk in `round`.
+    pub fn connected(&self, round: Round, a: NodeId, b: NodeId) -> bool {
+        round.index() >= self.heal_round || self.group_of[a.index()] == self.group_of[b.index()]
+    }
+}
+
+impl NetworkModel for Partition {
+    fn route(&mut self, round: Round, link: Link, _rng: &mut dyn RngCore) -> Fate {
+        if self.connected(round, link.sender, link.receiver) {
+            Fate::Deliver
+        } else {
+            Fate::Drop
+        }
+    }
+
+    fn transparent(&self, round: Round) -> bool {
+        round.index() >= self.heal_round
+    }
+
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::rng;
+
+    fn link(s: u32, r: u32, honest: bool) -> Link {
+        Link {
+            sender: NodeId::new(s),
+            receiver: NodeId::new(r),
+            sender_honest: honest,
+        }
+    }
+
+    #[test]
+    fn synchronous_is_transparent_and_delivers() {
+        let mut m = Synchronous;
+        assert!(m.transparent(Round::ZERO));
+        let mut r = rng::rng_for(0, rng::streams::NETWORK);
+        assert_eq!(
+            m.route(Round::ZERO, link(0, 1, true), &mut r),
+            Fate::Deliver
+        );
+    }
+
+    #[test]
+    fn lossy_extremes() {
+        let mut r = rng::rng_for(1, rng::streams::NETWORK);
+        let mut never = LossyLinks::new(0.0);
+        let mut always = LossyLinks::new(1.0);
+        for i in 0..64 {
+            assert_eq!(
+                never.route(Round::ZERO, link(0, i, true), &mut r),
+                Fate::Deliver
+            );
+            assert_eq!(
+                always.route(Round::ZERO, link(0, i, true), &mut r),
+                Fate::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_rate_is_roughly_p() {
+        let mut m = LossyLinks::new(0.3);
+        let mut r = rng::rng_for(2, rng::streams::NETWORK);
+        let drops = (0..10_000)
+            .filter(|_| m.route(Round::ZERO, link(0, 1, true), &mut r) == Fate::Drop)
+            .count();
+        assert!((2_700..3_300).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn lossy_rejects_bad_probability() {
+        let _ = LossyLinks::new(1.5);
+    }
+
+    #[test]
+    fn bounded_delay_random_stays_in_window() {
+        let mut m = BoundedDelay::new(3, DelayScheduler::Random);
+        let mut r = rng::rng_for(3, rng::streams::NETWORK);
+        let mut seen_delay = false;
+        for _ in 0..256 {
+            match m.route(Round::ZERO, link(0, 1, true), &mut r) {
+                Fate::Deliver => {}
+                Fate::Delay(d) => {
+                    assert!((1..=3).contains(&d));
+                    seen_delay = true;
+                }
+                Fate::Drop => panic!("bounded delay never drops"),
+            }
+        }
+        assert!(seen_delay);
+    }
+
+    #[test]
+    fn adversarial_scheduler_delays_honest_only() {
+        let mut m = BoundedDelay::new(4, DelayScheduler::DelayHonest);
+        let mut r = rng::rng_for(4, rng::streams::NETWORK);
+        assert_eq!(
+            m.route(Round::ZERO, link(0, 1, true), &mut r),
+            Fate::Delay(4)
+        );
+        assert_eq!(
+            m.route(Round::ZERO, link(2, 1, false), &mut r),
+            Fate::Deliver
+        );
+    }
+
+    #[test]
+    fn zero_delay_bound_is_transparent() {
+        let m = BoundedDelay::new(0, DelayScheduler::Random);
+        assert!(m.transparent(Round::ZERO));
+    }
+
+    #[test]
+    fn partition_splits_then_heals() {
+        let mut m = Partition::striped(4, 2, 3);
+        let mut r = rng::rng_for(5, rng::streams::NETWORK);
+        // Groups: {0, 2} and {1, 3}.
+        assert_eq!(
+            m.route(Round::ZERO, link(0, 2, true), &mut r),
+            Fate::Deliver
+        );
+        assert_eq!(m.route(Round::ZERO, link(0, 1, true), &mut r), Fate::Drop);
+        assert!(!m.transparent(Round::new(2)));
+        assert!(m.transparent(Round::new(3)));
+        assert_eq!(
+            m.route(Round::new(3), link(0, 1, true), &mut r),
+            Fate::Deliver
+        );
+    }
+
+    #[test]
+    fn explicit_groups_isolate_unlisted_nodes() {
+        let groups = vec![vec![NodeId::new(0), NodeId::new(1)]];
+        let m = Partition::from_groups(4, &groups, 10);
+        assert!(m.connected(Round::ZERO, NodeId::new(0), NodeId::new(1)));
+        assert!(!m.connected(Round::ZERO, NodeId::new(2), NodeId::new(3)));
+        assert!(!m.connected(Round::ZERO, NodeId::new(0), NodeId::new(2)));
+        assert!(m.connected(Round::new(10), NodeId::new(2), NodeId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn duplicate_membership_panics() {
+        let groups = vec![vec![NodeId::new(0)], vec![NodeId::new(0)]];
+        let _ = Partition::from_groups(2, &groups, 0);
+    }
+}

@@ -7,10 +7,14 @@
 //!    messages iff rushing), corrupting nodes and dictating corrupted
 //!    nodes' emissions — including replacing messages emitted in step 1
 //!    by nodes corrupted in this very round;
-//! 3. messages are delivered, every live honest node processes its inbox;
+//! 3. the **delivery stage** ([`Delivery`]) decides what arrives this
+//!    round (the default, [`PassThrough`], delivers everything
+//!    immediately — the paper's synchronous model), then every live
+//!    honest node processes its inbox;
 //! 4. metrics and trace are updated.
 
 use crate::adversary::{Adversary, CorruptionLedger, InfoModel, RoundView};
+use crate::delivery::{Delivery, PassThrough};
 use crate::error::SimError;
 use crate::id::{NodeId, Round};
 use crate::mailbox::RoundMailbox;
@@ -142,11 +146,18 @@ impl RunReport {
     }
 }
 
-/// A single simulation run binding a protocol, an adversary, and a config.
-pub struct Simulation<P: Protocol, A: Adversary<P>> {
+/// A single simulation run binding a protocol, an adversary, a network
+/// delivery stage, and a config.
+///
+/// The third type parameter selects the [`Delivery`] implementation and
+/// defaults to [`PassThrough`] (strict lock-step synchrony); richer
+/// network conditions plug in via [`Simulation::with_network`] without
+/// giving up static dispatch.
+pub struct Simulation<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg> = PassThrough> {
     cfg: SimConfig,
     nodes: Vec<P>,
     adversary: A,
+    delivery: D,
     ledger: CorruptionLedger,
     node_rngs: Vec<SmallRng>,
     adv_rng: SmallRng,
@@ -158,8 +169,9 @@ pub struct Simulation<P: Protocol, A: Adversary<P>> {
     done: bool,
 }
 
-impl<P: Protocol, A: Adversary<P>> Simulation<P, A> {
-    /// Creates a simulation.
+impl<P: Protocol, A: Adversary<P>> Simulation<P, A, PassThrough> {
+    /// Creates a simulation on the synchronous network (every message
+    /// delivered in its emission round).
     ///
     /// # Panics
     ///
@@ -170,7 +182,7 @@ impl<P: Protocol, A: Adversary<P>> Simulation<P, A> {
         Self::try_new(cfg, nodes, adversary).expect("invalid simulation setup")
     }
 
-    /// Fallible constructor.
+    /// Fallible constructor on the synchronous network.
     ///
     /// # Errors
     ///
@@ -178,6 +190,31 @@ impl<P: Protocol, A: Adversary<P>> Simulation<P, A> {
     /// [`SimError::NodeCountMismatch`] if the node vector has the wrong
     /// length.
     pub fn try_new(cfg: SimConfig, nodes: Vec<P>, adversary: A) -> Result<Self, SimError> {
+        Self::try_with_network(cfg, nodes, adversary, PassThrough)
+    }
+}
+
+impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
+    /// Creates a simulation with an explicit network delivery stage.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::new`].
+    pub fn with_network(cfg: SimConfig, nodes: Vec<P>, adversary: A, delivery: D) -> Self {
+        Self::try_with_network(cfg, nodes, adversary, delivery).expect("invalid simulation setup")
+    }
+
+    /// Fallible constructor with an explicit network delivery stage.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::try_new`].
+    pub fn try_with_network(
+        cfg: SimConfig,
+        nodes: Vec<P>,
+        adversary: A,
+        delivery: D,
+    ) -> Result<Self, SimError> {
         if cfg.n == 0 {
             return Err(SimError::BadNetworkSize { n: 0 });
         }
@@ -201,6 +238,7 @@ impl<P: Protocol, A: Adversary<P>> Simulation<P, A> {
             metrics: RunMetrics::new(cfg.record_rounds),
             nodes,
             adversary,
+            delivery,
             ledger,
             node_rngs,
             adv_rng,
@@ -315,16 +353,20 @@ impl<P: Protocol, A: Adversary<P>> Simulation<P, A> {
             mailbox.set(id, send);
         }
 
-        // Phase 3: delivery + local processing.
+        // Phase 3: the delivery stage decides what arrives this round
+        // (emission metrics are taken from the wire mailbox first, so
+        // message/bit accounting measures offered load regardless of the
+        // network model), then every live honest node processes its inbox.
         let round_messages = mailbox.message_count();
         let round_bits = mailbox.total_bits();
         let round_max_edge = mailbox.max_edge_bits();
+        let (arrivals, delivery_stats) = self.delivery.deliver(round, mailbox, &self.ledger);
         for i in 0..n {
             let id = NodeId::new(i as u32);
             if self.halted[i] || self.ledger.is_corrupted(id) {
                 continue;
             }
-            self.nodes[i].receive(round, mailbox.inbox(id), &mut self.node_rngs[i]);
+            self.nodes[i].receive(round, arrivals.inbox(id), &mut self.node_rngs[i]);
             if self.nodes[i].halted() {
                 self.halted[i] = true;
                 self.halt_rounds[i] = Some(round.index());
@@ -350,6 +392,9 @@ impl<P: Protocol, A: Adversary<P>> Simulation<P, A> {
                 max_edge_bits: round_max_edge,
                 corruptions: self.ledger.used() - corruptions_before,
                 halted_honest,
+                delivered: delivery_stats.delivered,
+                dropped: delivery_stats.dropped,
+                delayed: delivery_stats.delayed,
             },
             self.cfg.record_rounds,
         );
@@ -637,6 +682,60 @@ mod tests {
         let report = sim.into_report();
         assert!(report.all_halted);
         assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn delivery_stage_seam_is_exercised() {
+        use crate::delivery::{Delivery, DeliveryStats};
+
+        /// A network that destroys every message ("blackout").
+        struct Blackout;
+        impl<M: Message> Delivery<M> for Blackout {
+            fn deliver(
+                &mut self,
+                _round: Round,
+                wire: RoundMailbox<M>,
+                _ledger: &CorruptionLedger,
+            ) -> (RoundMailbox<M>, DeliveryStats) {
+                let dropped = wire.message_count();
+                (
+                    RoundMailbox::new(wire.n()),
+                    DeliveryStats {
+                        dropped,
+                        ..DeliveryStats::default()
+                    },
+                )
+            }
+            fn name(&self) -> &'static str {
+                "blackout"
+            }
+        }
+
+        // All inputs true, but nobody hears anyone: the majority tally
+        // sees an empty inbox, so every node outputs false — proof that
+        // the arrivals mailbox (not the wire mailbox) feeds `receive`.
+        let report =
+            Simulation::with_network(SimConfig::new(5, 0), maj_nodes(5, 5, 1), Benign, Blackout)
+                .run();
+        assert!(report.all_halted);
+        assert!(report.outputs.iter().all(|o| *o == Some(false)));
+        assert_eq!(
+            report.metrics.total_messages, 20,
+            "offered load still counted"
+        );
+        assert_eq!(report.metrics.total_delivered, 0);
+        assert_eq!(report.metrics.total_dropped, 20);
+    }
+
+    #[test]
+    fn pass_through_counts_every_message_delivered() {
+        let report = Simulation::new(SimConfig::new(7, 0), maj_nodes(7, 5, 1), Benign).run();
+        assert_eq!(
+            report.metrics.total_delivered,
+            report.metrics.total_messages
+        );
+        assert_eq!(report.metrics.total_dropped, 0);
+        assert_eq!(report.metrics.total_delayed, 0);
     }
 
     #[test]

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod delivery;
 pub mod engine;
 pub mod error;
 pub mod id;
@@ -77,6 +78,7 @@ pub mod trace;
 pub mod verdict;
 
 pub use adversary::{Adversary, AdversaryAction, CorruptionLedger, InfoModel, RoundView};
+pub use delivery::{Delivery, DeliveryStats, PassThrough};
 pub use engine::{RunReport, SimConfig, Simulation};
 pub use error::SimError;
 pub use id::{NodeId, Round};
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::adversary::{
         Adversary, AdversaryAction, CorruptSend, CorruptionLedger, InfoModel, RoundView,
     };
+    pub use crate::delivery::{Delivery, DeliveryStats, PassThrough};
     pub use crate::engine::{RunReport, SimConfig, Simulation};
     pub use crate::error::SimError;
     pub use crate::id::{NodeId, Round};

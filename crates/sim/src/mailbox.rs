@@ -69,6 +69,38 @@ impl<M: Message> RoundMailbox<M> {
         self.slots[sender.index()] = Slot::Silent;
     }
 
+    /// Adds a single point-to-point message, merging with whatever
+    /// `sender` already has in this mailbox (the delivery stage uses this
+    /// to assemble a round's arrivals one message at a time). A broadcast
+    /// slot is first expanded to its per-recipient equivalent; an
+    /// existing message for the same `(sender, receiver)` pair is
+    /// replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn insert(&mut self, sender: NodeId, receiver: NodeId, m: M) {
+        let slot = &mut self.slots[sender.index()];
+        match slot {
+            Slot::Silent => {
+                let mut map = HashMap::with_capacity(1);
+                map.insert(receiver.raw(), m);
+                *slot = Slot::PerRecipient(map);
+            }
+            Slot::Broadcast(b) => {
+                let mut map = HashMap::with_capacity(self.n);
+                for r in 0..self.n as u32 {
+                    map.insert(r, b.clone());
+                }
+                map.insert(receiver.raw(), m);
+                *slot = Slot::PerRecipient(map);
+            }
+            Slot::PerRecipient(map) => {
+                map.insert(receiver.raw(), m);
+            }
+        }
+    }
+
     /// The message `receiver` gets from `sender` this round, if any.
     pub fn resolve(&self, sender: NodeId, receiver: NodeId) -> Option<&M> {
         match &self.slots[sender.index()] {
@@ -290,6 +322,26 @@ mod tests {
         assert_eq!(mb.total_bits(), 0);
         assert_eq!(mb.max_edge_bits(), 0);
         assert!(mb.inbox(id(5)).is_empty());
+    }
+
+    #[test]
+    fn insert_merges_into_every_slot_kind() {
+        let mut mb = RoundMailbox::new(3);
+        // Into a silent slot.
+        mb.insert(id(0), id(1), Tm(5));
+        assert_eq!(mb.resolve(id(0), id(1)), Some(&Tm(5)));
+        assert_eq!(mb.resolve(id(0), id(2)), None);
+        // Into a per-recipient slot: same pair replaces, new pair adds.
+        mb.insert(id(0), id(1), Tm(6));
+        mb.insert(id(0), id(2), Tm(7));
+        assert_eq!(mb.resolve(id(0), id(1)), Some(&Tm(6)));
+        assert_eq!(mb.resolve(id(0), id(2)), Some(&Tm(7)));
+        // Into a broadcast slot: other recipients keep the broadcast copy.
+        mb.set(id(1), Emission::Broadcast(Tm(1)));
+        mb.insert(id(1), id(0), Tm(9));
+        assert_eq!(mb.resolve(id(1), id(0)), Some(&Tm(9)));
+        assert_eq!(mb.resolve(id(1), id(1)), Some(&Tm(1)));
+        assert_eq!(mb.resolve(id(1), id(2)), Some(&Tm(1)));
     }
 
     #[test]

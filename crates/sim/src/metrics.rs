@@ -19,6 +19,14 @@ pub struct RoundMetrics {
     pub corruptions: usize,
     /// Honest nodes that halted by the end of this round (cumulative).
     pub halted_honest: usize,
+    /// Point-to-point messages actually handed to receivers this round
+    /// (equals `messages` under the synchronous network).
+    pub delivered: usize,
+    /// Messages dropped by the network this round.
+    pub dropped: usize,
+    /// Delay events this round (a message counts once when first held
+    /// back and once per further deferral).
+    pub delayed: usize,
 }
 
 /// Aggregated measurements for a whole run.
@@ -35,6 +43,14 @@ pub struct RunMetrics {
     pub max_edge_bits: usize,
     /// Total corruptions performed by the adversary.
     pub corruptions: usize,
+    /// Total messages the network actually delivered. Equals
+    /// `total_messages` under the synchronous network; lower when links
+    /// drop traffic or hold it past the end of the run.
+    pub total_delivered: usize,
+    /// Total messages the network dropped.
+    pub total_dropped: usize,
+    /// Total delay events (see [`RoundMetrics::delayed`]).
+    pub total_delayed: usize,
     /// Per-round breakdown (present only when recording is enabled).
     pub per_round: Vec<RoundMetrics>,
 }
@@ -56,6 +72,9 @@ impl RunMetrics {
         self.total_bits += rm.bits;
         self.max_edge_bits = self.max_edge_bits.max(rm.max_edge_bits);
         self.corruptions += rm.corruptions;
+        self.total_delivered += rm.delivered;
+        self.total_dropped += rm.dropped;
+        self.total_delayed += rm.delayed;
         if keep_round {
             self.per_round.push(rm);
         }
@@ -81,6 +100,9 @@ mod tests {
                 max_edge_bits: 12,
                 corruptions: 1,
                 halted_honest: 0,
+                delivered: 9,
+                dropped: 1,
+                delayed: 0,
             },
             true,
         );
@@ -91,6 +113,9 @@ mod tests {
                 max_edge_bits: 30,
                 corruptions: 0,
                 halted_honest: 3,
+                delivered: 4,
+                dropped: 0,
+                delayed: 2,
             },
             true,
         );
@@ -99,6 +124,9 @@ mod tests {
         assert_eq!(m.total_bits, 140);
         assert_eq!(m.max_edge_bits, 30);
         assert_eq!(m.corruptions, 1);
+        assert_eq!(m.total_delivered, 13);
+        assert_eq!(m.total_dropped, 1);
+        assert_eq!(m.total_delayed, 2);
         assert_eq!(m.per_round.len(), 2);
         assert_eq!(m.messages_per_round(), Some(7.5));
     }

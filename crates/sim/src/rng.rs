@@ -35,6 +35,10 @@ pub mod streams {
     pub const ENGINE: u64 = u64::MAX - 1;
     /// Stream for input assignment.
     pub const INPUTS: u64 = u64::MAX - 2;
+    /// Stream for the network model (drop/delay decisions). Kept apart
+    /// from every node and adversary stream so enabling a network model
+    /// never perturbs protocol or adversary randomness.
+    pub const NETWORK: u64 = u64::MAX - 3;
 }
 
 /// Creates the RNG for a given stream of a master seed.

@@ -32,6 +32,9 @@
 //! This crate re-exports the workspace crates:
 //!
 //! * [`sim`] — synchronous full-information round simulator (substrate);
+//! * [`net`] — pluggable network-condition models (lossy links,
+//!   bounded-delay partial synchrony, partitions) behind the engine's
+//!   delivery seam;
 //! * [`adversary`] — adversary framework and generic strategies;
 //! * [`coin`] — the paper's common-coin protocols (Algorithms 1 and 2);
 //! * [`agreement`] — the paper's committee-based Byzantine agreement
@@ -54,10 +57,12 @@ pub use aba_analysis as analysis;
 pub use aba_attacks as attacks;
 pub use aba_coin as coin;
 pub use aba_harness as harness;
+pub use aba_net as net;
 pub use aba_sim as sim;
 
 pub use aba_harness::{
-    AttackSpec, BatchReport, InputSpec, ProtocolSpec, Scenario, ScenarioBuilder, TrialResult,
+    AttackSpec, BatchReport, DelayScheduler, InputSpec, NetworkSpec, ProtocolSpec, Scenario,
+    ScenarioBuilder, TrialResult,
 };
 
 /// Workspace-wide prelude: the most common types for running experiments.
@@ -66,7 +71,8 @@ pub mod prelude {
     pub use aba_attacks::prelude::*;
     pub use aba_coin::prelude::*;
     pub use aba_harness::{
-        AttackSpec, BatchReport, InputSpec, ProtocolSpec, Scenario, ScenarioBuilder, TrialResult,
+        AttackSpec, BatchReport, DelayScheduler, InputSpec, NetworkSpec, ProtocolSpec, Scenario,
+        ScenarioBuilder, TrialResult,
     };
     pub use aba_sim::prelude::*;
 }

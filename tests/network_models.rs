@@ -1,0 +1,335 @@
+//! Network-subsystem invariants, end to end through the facade.
+//!
+//! Pinned here:
+//! * **Synchronous equivalence** — with `NetworkSpec::Synchronous` (the
+//!   default) the engine reproduces the pre-`aba-net` engine bit for
+//!   bit: golden values captured on fixed seeds before the delivery
+//!   stage existed, plus a live `PassThrough`-vs-`NetDelivery`
+//!   comparison at the sim layer.
+//! * **Determinism** — same seed, same results, under every
+//!   `NetworkSpec`.
+//! * **Conservation** — no message is duplicated or conjured:
+//!   delivered + dropped never exceeds emitted, and models that never
+//!   delay account for every message exactly.
+//! * **Coverage** — every protocol × adversary combination runs end to
+//!   end under every network model.
+
+use adaptive_ba::net::{NetDelivery, Synchronous};
+use adaptive_ba::prelude::*;
+use adaptive_ba::{DelayScheduler, NetworkSpec};
+
+const NETWORKS: [NetworkSpec; 5] = [
+    NetworkSpec::Synchronous,
+    NetworkSpec::LossyLinks { p_drop: 0.1 },
+    NetworkSpec::BoundedDelay {
+        max_delay: 2,
+        scheduler: DelayScheduler::Random,
+    },
+    NetworkSpec::BoundedDelay {
+        max_delay: 2,
+        scheduler: DelayScheduler::DelayHonest,
+    },
+    NetworkSpec::Partition {
+        groups: 2,
+        heal_round: 6,
+    },
+];
+
+/// Golden values captured from the engine *before* the network
+/// subsystem existed (same scenarios, same seeds, default synchronous
+/// network). Any drift here means the refactor changed synchronous
+/// semantics.
+#[test]
+fn synchronous_matches_pre_network_engine_goldens() {
+    struct Golden {
+        n: usize,
+        t: usize,
+        seed: u64,
+        protocol: ProtocolSpec,
+        attack: AttackSpec,
+        rounds: u64,
+        decision: Option<bool>,
+        corruptions: usize,
+        messages: usize,
+        bits: usize,
+        max_edge_bits: usize,
+    }
+    let goldens = [
+        Golden {
+            n: 32,
+            t: 10,
+            seed: 11,
+            protocol: ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+            attack: AttackSpec::FullAttack,
+            rounds: 24,
+            decision: Some(false),
+            corruptions: 10,
+            messages: 19360,
+            bits: 193788,
+            max_edge_bits: 12,
+        },
+        Golden {
+            n: 16,
+            t: 5,
+            seed: 3,
+            protocol: ProtocolSpec::Paper { alpha: 2.0 },
+            attack: AttackSpec::SplitVote,
+            rounds: 14,
+            decision: Some(true),
+            corruptions: 5,
+            messages: 2659,
+            bits: 24966,
+            max_edge_bits: 11,
+        },
+        Golden {
+            n: 16,
+            t: 5,
+            seed: 7,
+            protocol: ProtocolSpec::ChorCoan { beta: 1.0 },
+            attack: AttackSpec::StaticMirror,
+            rounds: 6,
+            decision: Some(true),
+            corruptions: 5,
+            messages: 1470,
+            bits: 12806,
+            max_edge_bits: 10,
+        },
+        Golden {
+            n: 16,
+            t: 5,
+            seed: 9,
+            protocol: ProtocolSpec::PhaseKing,
+            attack: AttackSpec::Crash { per_round: 1 },
+            rounds: 18,
+            decision: Some(true),
+            corruptions: 5,
+            messages: 1950,
+            bits: 10530,
+            max_edge_bits: 6,
+        },
+        Golden {
+            n: 32,
+            t: 5,
+            seed: 13,
+            protocol: ProtocolSpec::CommonCoin,
+            attack: AttackSpec::CoinKiller,
+            rounds: 1,
+            decision: None,
+            corruptions: 3,
+            messages: 986,
+            bits: 2958,
+            max_edge_bits: 3,
+        },
+        Golden {
+            n: 64,
+            t: 4,
+            seed: 21,
+            protocol: ProtocolSpec::SamplingMajority { iters: 0 },
+            attack: AttackSpec::SamplingPoison,
+            rounds: 144,
+            decision: Some(false),
+            corruptions: 4,
+            messages: 33865,
+            bits: 239797,
+            max_edge_bits: 9,
+        },
+    ];
+    for g in goldens {
+        let r = ScenarioBuilder::new(g.n, g.t)
+            .protocol(g.protocol)
+            .adversary(g.attack)
+            .seed(g.seed)
+            .max_rounds(4_000)
+            .run();
+        let name = g.protocol.name();
+        assert_eq!(r.rounds, g.rounds, "{name}: rounds drifted");
+        assert_eq!(r.decision, g.decision, "{name}: decision drifted");
+        assert_eq!(r.corruptions, g.corruptions, "{name}: corruptions drifted");
+        assert_eq!(r.messages, g.messages, "{name}: messages drifted");
+        assert_eq!(r.bits, g.bits, "{name}: bits drifted");
+        assert_eq!(
+            r.max_edge_bits, g.max_edge_bits,
+            "{name}: edge bits drifted"
+        );
+        // The synchronous network delivers everything it is offered.
+        assert_eq!(r.delivered, r.messages, "{name}: sync must deliver all");
+        assert_eq!((r.dropped, r.delayed), (0, 0), "{name}: sync never drops");
+    }
+}
+
+/// The explicit `NetworkSpec::Synchronous` and the builder default are
+/// the same thing.
+#[test]
+fn explicit_synchronous_equals_default() {
+    let base = ScenarioBuilder::new(16, 5)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::FullAttack)
+        .seed(5)
+        .trials(4);
+    let default = base.run_batch();
+    let explicit = base.network(NetworkSpec::Synchronous).run_batch();
+    assert_eq!(default.results, explicit.results);
+}
+
+/// At the sim layer, `NetDelivery<Synchronous>` and the engine's raw
+/// `PassThrough` default produce identical reports — the transparent
+/// fast path touches neither mailbox nor RNG.
+#[test]
+fn net_delivery_synchronous_equals_pass_through() {
+    use adaptive_ba::agreement::{BaConfig, CommitteeBa};
+    use adaptive_ba::attacks::{AdaptiveFullAttack, BudgetPolicy};
+
+    for seed in [0u64, 1, 17, 255] {
+        let (n, t) = (24, 7);
+        let cfg = BaConfig::paper_las_vegas(n, t, 2.0).unwrap();
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let sim_cfg = SimConfig::new(n, t).with_seed(seed).with_max_rounds(2_000);
+        let plain = Simulation::new(
+            sim_cfg.clone(),
+            CommitteeBa::network(&cfg, &inputs),
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+        )
+        .run();
+        let netted = Simulation::with_network(
+            sim_cfg,
+            CommitteeBa::network(&cfg, &inputs),
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+            NetDelivery::new(Synchronous, seed),
+        )
+        .run();
+        assert_eq!(plain.rounds, netted.rounds, "seed {seed}");
+        assert_eq!(plain.outputs, netted.outputs, "seed {seed}");
+        assert_eq!(plain.honest, netted.honest, "seed {seed}");
+        assert_eq!(plain.halt_rounds, netted.halt_rounds, "seed {seed}");
+        assert_eq!(
+            plain.corruptions_used, netted.corruptions_used,
+            "seed {seed}"
+        );
+        assert_eq!(plain.metrics, netted.metrics, "seed {seed}");
+    }
+}
+
+/// Same seed ⇒ same result, under every network model.
+#[test]
+fn every_network_is_deterministic_in_the_seed() {
+    for net in NETWORKS {
+        let b = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .network(net)
+            .seed(31)
+            .max_rounds(300)
+            .trials(3);
+        let a = b.run_batch();
+        let c = b.run_batch();
+        assert_eq!(a.results, c.results, "{} not deterministic", net.name());
+    }
+}
+
+/// Message conservation: the network never creates traffic, and models
+/// without queues account for every emitted message exactly.
+#[test]
+fn networks_conserve_messages() {
+    for net in NETWORKS {
+        let r = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .network(net)
+            .seed(2)
+            .max_rounds(300)
+            .run();
+        assert!(
+            r.delivered + r.dropped <= r.messages,
+            "{}: delivered {} + dropped {} > emitted {}",
+            net.name(),
+            r.delivered,
+            r.dropped,
+            r.messages
+        );
+        match net {
+            // No queue: every message is either delivered or dropped.
+            NetworkSpec::Synchronous
+            | NetworkSpec::LossyLinks { .. }
+            | NetworkSpec::Partition { .. } => {
+                assert_eq!(
+                    r.delivered + r.dropped,
+                    r.messages,
+                    "{}: unaccounted messages",
+                    net.name()
+                );
+            }
+            // Queued messages may outlive the run.
+            NetworkSpec::BoundedDelay { .. } => {}
+        }
+    }
+}
+
+/// Acceptance: every protocol × adversary combination runs end to end
+/// under every network model (no panics, no hangs; termination is not
+/// required — adverse networks may legitimately exhaust the cap).
+#[test]
+fn full_matrix_runs_under_every_network() {
+    let protocols = [
+        ProtocolSpec::Paper { alpha: 2.0 },
+        ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ProtocolSpec::PaperLiteralCoin { alpha: 2.0 },
+        ProtocolSpec::ChorCoan { beta: 1.0 },
+        ProtocolSpec::RabinDealer,
+        ProtocolSpec::BenOrPrivate,
+        ProtocolSpec::PhaseKing,
+        ProtocolSpec::CommonCoin,
+        ProtocolSpec::SamplingMajority { iters: 4 },
+    ];
+    let attacks = [
+        AttackSpec::Benign,
+        AttackSpec::StaticSilent,
+        AttackSpec::StaticMirror,
+        AttackSpec::Crash { per_round: 1 },
+        AttackSpec::SplitVote,
+        AttackSpec::FullAttack,
+        AttackSpec::FullAttackFrugal,
+        AttackSpec::FullAttackCapped { q: 2 },
+        AttackSpec::CoinKiller,
+        AttackSpec::SamplingPoison,
+    ];
+    for net in NETWORKS {
+        for protocol in protocols {
+            for attack in attacks {
+                let r = ScenarioBuilder::new(16, 5)
+                    .protocol(protocol)
+                    .adversary(attack)
+                    .network(net)
+                    .seed(1)
+                    .max_rounds(120)
+                    .run();
+                assert_eq!(r.network, net.name());
+                assert!(
+                    r.rounds > 0 && r.rounds <= 120,
+                    "{}/{}/{} produced no rounds",
+                    protocol.name(),
+                    attack.name(),
+                    net.name()
+                );
+            }
+        }
+    }
+}
+
+/// A partition that never heals keeps the paper protocol from global
+/// agreement... but once healed in time, agreement is reached. The
+/// model must make a visible difference.
+#[test]
+fn partition_visibly_disturbs_runs() {
+    let healed = ScenarioBuilder::new(16, 0)
+        .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+        .adversary(AttackSpec::Benign)
+        .network(NetworkSpec::Partition {
+            groups: 2,
+            heal_round: 4,
+        })
+        .max_rounds(400)
+        .run();
+    assert!(healed.terminated, "healed partition should still terminate");
+    assert!(healed.agreement);
+    assert!(healed.dropped > 0, "pre-heal rounds must drop traffic");
+}
