@@ -71,6 +71,13 @@ fn main() {
     };
 
     let group = Group::new("net_models");
+    bench_small(&group, n, rounds, cfg);
+    bench_large();
+
+    aba_bench::finish();
+}
+
+fn bench_small(group: &Group, n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {
     group.bench("pass-through", || {
         Simulation::new(cfg(), nodes(n, rounds), Benign)
             .run()
@@ -106,6 +113,37 @@ fn main() {
             .run()
             .rounds
     });
+}
 
-    aba_bench::finish();
+/// Large-`n` sweeps: the non-transparent models route `n²` messages per
+/// round, so these rows measure the optimized message plane where it
+/// matters (and where the pre-dense HashMap path used to dominate).
+fn bench_large() {
+    let rounds = 4u64;
+    let group = Group::new("net_large");
+    for n in [256usize, 512] {
+        let cfg = || {
+            SimConfig::new(n, 0)
+                .with_seed(1)
+                .with_max_rounds(rounds + 16)
+        };
+        group.bench(&format!("sync n={n}"), || {
+            let net = NetDelivery::new(Synchronous, 1);
+            Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+                .run()
+                .rounds
+        });
+        group.bench(&format!("lossy(0.1) n={n}"), || {
+            let net = NetDelivery::new(LossyLinks::new(0.1), 1);
+            Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+                .run()
+                .rounds
+        });
+        group.bench(&format!("delay(2,random) n={n}"), || {
+            let net = NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
+            Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+                .run()
+                .rounds
+        });
+    }
 }

@@ -1,0 +1,141 @@
+//! Regression gate: diff a fresh `--json` bench run against the
+//! committed baseline.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench network -- --json BENCH_fresh.json
+//! # bench binaries run with CWD = crates/bench, so the file lands there
+//! cargo run -p aba-bench --bin compare -- \
+//!     --baseline crates/bench/BENCH_baseline.json \
+//!     --fresh crates/bench/BENCH_fresh.json
+//! ```
+//!
+//! Compares best-iteration times on the pinned groups (default
+//! `net_models` and `net_large`), warns on >10% slowdowns, and exits
+//! non-zero on >35% — or when a pinned baseline measurement is missing
+//! from the fresh run, so renaming a bench cannot silently disarm the
+//! gate. Thresholds and groups are overridable (`--warn 0.2`,
+//! `--fail 0.5`, `--groups net_models`).
+//!
+//! Pass `--normalize <group/label>` (CI uses
+//! `net_models/pass-through`) to divide every measurement by that
+//! control row from its own file before comparing: the gate then
+//! checks the *relative cost shape*, which holds across machines —
+//! required whenever the committed baseline and the fresh run come
+//! from different hardware.
+
+use aba_bench::{compare_benches, parse_bench_json};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    groups: Vec<String>,
+    warn: f64,
+    fail: f64,
+    normalize: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "crates/bench/BENCH_baseline.json".into(),
+        fresh: "crates/bench/BENCH_fresh.json".into(),
+        groups: vec!["net_models".into(), "net_large".into()],
+        warn: 0.10,
+        fail: 0.35,
+        normalize: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = value()?,
+            "--fresh" => args.fresh = value()?,
+            "--groups" => args.groups = value()?.split(',').map(str::to_string).collect(),
+            "--warn" => args.warn = value()?.parse().map_err(|e| format!("--warn: {e}"))?,
+            "--fail" => args.fail = value()?.parse().map_err(|e| format!("--fail: {e}"))?,
+            "--normalize" => args.normalize = Some(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let load = |path: &str| -> Result<Vec<aba_bench::BenchRecord>, String> {
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_bench_json(&doc)
+    };
+    let (baseline, fresh) = match (load(&args.baseline), load(&args.fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let groups: Vec<&str> = args.groups.iter().map(String::as_str).collect();
+    let report = compare_benches(
+        &baseline,
+        &fresh,
+        &groups,
+        args.warn,
+        args.fail,
+        args.normalize.as_deref(),
+    );
+
+    if let Some(ctrl) = &args.normalize {
+        println!("(times normalized to the {ctrl} control row of each run)");
+    }
+    println!(
+        "{:<12} {:<24} {:>12} {:>12} {:>8}",
+        "group", "label", "baseline", "fresh", "delta"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<12} {:<24} {:>10}µs {:>10}µs {:>+7.1}%",
+            row.group,
+            row.label,
+            row.base_ns / 1_000,
+            row.fresh_ns / 1_000,
+            row.delta * 100.0
+        );
+    }
+    for key in &report.warnings {
+        eprintln!(
+            "warning: {key} regressed more than {:.0}%",
+            args.warn * 100.0
+        );
+    }
+    let mut failed = false;
+    for key in &report.missing {
+        eprintln!("error: baseline entry {key} missing from the fresh run");
+        failed = true;
+    }
+    if report.rows.is_empty() && report.missing.is_empty() {
+        eprintln!("error: no baseline measurements matched the pinned groups");
+        failed = true;
+    }
+    for key in &report.failures {
+        eprintln!(
+            "error: {key} regressed more than {:.0}% vs the committed baseline",
+            args.fail * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "perf gate OK: {} measurements within {:.0}% of baseline",
+            report.rows.len(),
+            args.fail * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

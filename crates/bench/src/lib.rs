@@ -111,6 +111,161 @@ pub fn finish() {
     }
 }
 
+/// Parses a `BENCH_*.json` document produced by [`finish`] back into
+/// records. Hand-rolled like the writer: the format is exactly what
+/// [`finish`] emits — one object per line inside the `"benches"` array.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_bench_json(doc: &str) -> Result<Vec<BenchRecord>, String> {
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let tag = format!("\"{key}\": \"");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        // Fields are written with escaped quotes/backslashes; undo both.
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => return Some(out),
+                '\\' => out.push(chars.next()?),
+                c => out.push(c),
+            }
+        }
+        None
+    }
+    fn num_field(line: &str, key: &str) -> Option<u128> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let digits: String = line[start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    }
+    let mut records = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"group\"") {
+            continue;
+        }
+        let parse = || -> Option<BenchRecord> {
+            Some(BenchRecord {
+                group: str_field(line, "group")?,
+                label: str_field(line, "label")?,
+                mean_ns: num_field(line, "mean_ns")?,
+                best_ns: num_field(line, "best_ns")?,
+                iters: num_field(line, "iters")? as u64,
+            })
+        };
+        records.push(parse().ok_or_else(|| format!("malformed bench record: {line}"))?);
+    }
+    Ok(records)
+}
+
+/// One row of a baseline-vs-fresh comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Group of the measurement.
+    pub group: String,
+    /// Label within the group.
+    pub label: String,
+    /// Baseline best-iteration nanoseconds.
+    pub base_ns: u128,
+    /// Fresh best-iteration nanoseconds.
+    pub fresh_ns: u128,
+    /// `fresh / base − 1`: positive is a slowdown.
+    pub delta: f64,
+}
+
+/// Outcome of [`compare_benches`].
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Per-measurement rows, in baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Labels slower than the warn threshold (but under fail).
+    pub warnings: Vec<String>,
+    /// Labels slower than the fail threshold.
+    pub failures: Vec<String>,
+    /// Baseline measurements with no fresh counterpart.
+    pub missing: Vec<String>,
+}
+
+/// Diffs a fresh bench run against a committed baseline over the pinned
+/// `groups` (best-iteration times: the minimum is far less sensitive to
+/// scheduler noise than the mean). `warn`/`fail` are fractional
+/// slowdowns, e.g. `0.10` and `0.35`.
+///
+/// `normalize` (as `"group/label"`) selects a control measurement:
+/// every time is divided by that row's time *from the same file* before
+/// comparing, so the gate checks the relative cost shape rather than
+/// absolute nanoseconds — essential when the baseline was captured on
+/// different hardware (e.g. a committed dev-machine baseline checked on
+/// a CI runner). The control row itself still appears in the report
+/// with its raw (unnormalized) delta, but is never flagged.
+pub fn compare_benches(
+    baseline: &[BenchRecord],
+    fresh: &[BenchRecord],
+    groups: &[&str],
+    warn: f64,
+    fail: f64,
+    normalize: Option<&str>,
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    let control = |records: &[BenchRecord]| -> Option<f64> {
+        let key = normalize?;
+        records
+            .iter()
+            .find(|r| format!("{}/{}", r.group, r.label) == key)
+            .map(|r| r.best_ns.max(1) as f64)
+    };
+    let (base_ctrl, fresh_ctrl) = (control(baseline), control(fresh));
+    if normalize.is_some() && (base_ctrl.is_none() || fresh_ctrl.is_none()) {
+        report.missing.push(format!(
+            "{} (normalization control)",
+            normalize.unwrap_or("")
+        ));
+        return report;
+    }
+    for base in baseline {
+        if !groups.contains(&base.group.as_str()) {
+            continue;
+        }
+        let key = format!("{}/{}", base.group, base.label);
+        let Some(now) = fresh
+            .iter()
+            .find(|r| r.group == base.group && r.label == base.label)
+        else {
+            report.missing.push(key);
+            continue;
+        };
+        let is_control = normalize == Some(key.as_str());
+        let base_t = base.best_ns.max(1) as f64 / base_ctrl.unwrap_or(1.0);
+        let fresh_t = now.best_ns.max(1) as f64 / fresh_ctrl.unwrap_or(1.0);
+        let delta = if is_control {
+            now.best_ns as f64 / base.best_ns.max(1) as f64 - 1.0
+        } else {
+            fresh_t / base_t - 1.0
+        };
+        if !is_control {
+            if delta > fail {
+                report.failures.push(key.clone());
+            } else if delta > warn {
+                report.warnings.push(key.clone());
+            }
+        }
+        report.rows.push(CompareRow {
+            group: base.group.clone(),
+            label: base.label.clone(),
+            base_ns: base.best_ns,
+            fresh_ns: now.best_ns,
+            delta,
+        });
+    }
+    report
+}
+
 /// A named group of measurements, printed as an aligned table.
 pub struct Group {
     name: &'static str,
@@ -192,6 +347,141 @@ mod tests {
             .find(|r| r.group == "smoke" && r.label == "counter")
             .expect("measurement recorded");
         assert!(rec.iters >= 1);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let records = vec![
+            BenchRecord {
+                group: "net_models".into(),
+                label: "lossy(0.1)".into(),
+                mean_ns: 1200,
+                best_ns: 1000,
+                iters: 7,
+            },
+            BenchRecord {
+                group: "net_large".into(),
+                label: "a\"b\\c".into(),
+                mean_ns: 5,
+                best_ns: 4,
+                iters: 1,
+            },
+        ];
+        let parsed = parse_bench_json(&records_to_json(&records)).expect("parses");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn compare_classifies_regressions() {
+        let base = vec![
+            BenchRecord {
+                group: "g".into(),
+                label: "ok".into(),
+                mean_ns: 0,
+                best_ns: 1000,
+                iters: 1,
+            },
+            BenchRecord {
+                group: "g".into(),
+                label: "warn".into(),
+                mean_ns: 0,
+                best_ns: 1000,
+                iters: 1,
+            },
+            BenchRecord {
+                group: "g".into(),
+                label: "fail".into(),
+                mean_ns: 0,
+                best_ns: 1000,
+                iters: 1,
+            },
+            BenchRecord {
+                group: "g".into(),
+                label: "gone".into(),
+                mean_ns: 0,
+                best_ns: 1000,
+                iters: 1,
+            },
+            BenchRecord {
+                group: "unpinned".into(),
+                label: "ignored".into(),
+                mean_ns: 0,
+                best_ns: 1,
+                iters: 1,
+            },
+        ];
+        let fresh = vec![
+            BenchRecord {
+                group: "g".into(),
+                label: "ok".into(),
+                mean_ns: 0,
+                best_ns: 1050,
+                iters: 1,
+            },
+            BenchRecord {
+                group: "g".into(),
+                label: "warn".into(),
+                mean_ns: 0,
+                best_ns: 1200,
+                iters: 1,
+            },
+            BenchRecord {
+                group: "g".into(),
+                label: "fail".into(),
+                mean_ns: 0,
+                best_ns: 2000,
+                iters: 1,
+            },
+        ];
+        let report = compare_benches(&base, &fresh, &["g"], 0.10, 0.35, None);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.warnings, vec!["g/warn".to_string()]);
+        assert_eq!(report.failures, vec!["g/fail".to_string()]);
+        assert_eq!(report.missing, vec!["g/gone".to_string()]);
+        // Speedups are never flagged.
+        assert!(report.rows[0].delta < 0.10);
+    }
+
+    #[test]
+    fn compare_normalizes_against_a_control_row() {
+        let rec = |group: &str, label: &str, best: u128| BenchRecord {
+            group: group.into(),
+            label: label.into(),
+            mean_ns: 0,
+            best_ns: best,
+            iters: 1,
+        };
+        // The fresh machine is uniformly 3x slower: every raw time
+        // triples, but relative to the control the shape is unchanged
+        // except for "worse", which also doubled relative to control.
+        let base = vec![
+            rec("g", "ctrl", 100),
+            rec("g", "same", 500),
+            rec("g", "worse", 500),
+        ];
+        let fresh = vec![
+            rec("g", "ctrl", 300),
+            rec("g", "same", 1500),
+            rec("g", "worse", 3000),
+        ];
+        let raw = compare_benches(&base, &fresh, &["g"], 0.10, 0.35, None);
+        assert_eq!(raw.failures.len(), 3, "absolute mode flags everything");
+        let norm = compare_benches(&base, &fresh, &["g"], 0.10, 0.35, Some("g/ctrl"));
+        assert_eq!(norm.failures, vec!["g/worse".to_string()]);
+        assert!(norm.warnings.is_empty());
+        assert!(
+            norm.rows
+                .iter()
+                .find(|r| r.label == "same")
+                .unwrap()
+                .delta
+                .abs()
+                < 1e-9
+        );
+        // A missing control row aborts the comparison loudly.
+        let broken = compare_benches(&base, &fresh, &["g"], 0.10, 0.35, Some("g/nope"));
+        assert!(broken.rows.is_empty());
+        assert_eq!(broken.missing.len(), 1);
     }
 
     #[test]

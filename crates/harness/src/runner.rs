@@ -399,13 +399,19 @@ pub(crate) fn run_scenario(s: &Scenario) -> TrialResult {
     }
 }
 
-/// Runs `trials` seed-shifted copies of a base scenario in parallel
-/// (scoped threads; one chunk per available core), evaluating each with
-/// `run`, and returns results in seed order.
+/// Runs `trials` seed-shifted copies of a base scenario in parallel,
+/// evaluating each with `run`, and returns results in seed order.
+///
+/// Scheduling is work-stealing: workers claim trials one at a time from
+/// a shared atomic index, so a single slow trial (a long Las Vegas tail,
+/// a round-cap run under an adverse network) occupies one core instead
+/// of idling everything behind a statically-assigned chunk.
 pub(crate) fn run_many_with<F>(base: &Scenario, trials: usize, run: F) -> Vec<TrialResult>
 where
     F: Fn(&Scenario) -> TrialResult + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     if trials == 0 {
         return Vec::new();
     }
@@ -419,17 +425,32 @@ where
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(scenarios.len().max(1));
+        .min(scenarios.len());
+    let next = AtomicUsize::new(0);
     let mut results: Vec<Option<TrialResult>> = vec![None; scenarios.len()];
-    let chunk = scenarios.len().div_ceil(workers);
     let run = &run;
+    let next = &next;
+    let scenarios = &scenarios;
     std::thread::scope(|scope| {
-        for (slot_chunk, scen_chunk) in results.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, scenario) in slot_chunk.iter_mut().zip(scen_chunk) {
-                    *slot = Some(run(scenario));
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = scenarios.get(i) else {
+                            break;
+                        };
+                        local.push((i, run(scenario)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("worker thread panicked") {
+                results[i] = Some(result);
+            }
         }
     });
     results

@@ -2,10 +2,11 @@
 //! engine's delivery seam.
 //!
 //! Per round it routes every point-to-point message of the wire mailbox
-//! through the model, parks the survivors in a [`FlightQueue`] (due this
-//! round or later), and drains everything due into the arrivals mailbox
-//! — FIFO per link, one message per link per round, so the CONGEST
-//! accounting invariant survives arbitrary delay patterns.
+//! through the model; survivors of a broadcast stay one shared row while
+//! delayed traffic parks in a [`FlightQueue`] (due later), which drains
+//! into the arrivals mailbox — FIFO per link, one message per link per
+//! round, so the CONGEST accounting invariant survives arbitrary delay
+//! patterns.
 //!
 //! When the model is transparent for the round and nothing is in flight,
 //! the wire mailbox is passed through untouched: no broadcast expansion,
@@ -23,11 +24,38 @@ use rand::rngs::SmallRng;
 /// flight queue. Construct with the run's master seed: the model draws
 /// from the dedicated network RNG stream, so enabling it never perturbs
 /// node or adversary randomness.
+///
+/// The stage is broadcast-aware: a broadcast whose links survive is
+/// stored in the arrivals mailbox as one shared row — the message is
+/// *moved*, not cloned `n` times — and only delayed or deferred copies
+/// are cloned into the flight queue. All scratch buffers and the
+/// arrivals mailbox itself are pooled across rounds, so steady-state
+/// delivery allocates nothing.
 #[derive(Debug)]
 pub struct NetDelivery<M, N> {
     model: N,
     queue: FlightQueue<M>,
     rng: SmallRng,
+    /// Pooled arrivals mailbox; swaps with the engine's wire mailbox
+    /// every non-transparent round.
+    pool: RoundMailbox<M>,
+    /// Receivers knocked out of this round's broadcasts (flat, ascending
+    /// per sender), indexed by `bcast_spans`.
+    knocked_flat: Vec<u32>,
+    /// `(sender, start, end)` spans into `knocked_flat`, one per
+    /// broadcasting sender this round.
+    bcast_spans: Vec<(u32, usize, usize)>,
+    /// This round's surviving non-broadcast messages, merged after the
+    /// flight queue drains (older in-flight traffic wins a busy link).
+    fresh: Vec<(u32, u32)>,
+    /// Per-sender scratch: receivers whose link was already owned by an
+    /// older in-flight message when a broadcast merged.
+    conflicts: Vec<u32>,
+    /// Per-sender scratch: open `(due, receivers)` delay groups of the
+    /// broadcast currently being routed.
+    delay_groups: Vec<(u64, Vec<u32>)>,
+    /// Recycled receiver lists for `delay_groups`.
+    spare_lists: Vec<Vec<u32>>,
 }
 
 impl<M: Message, N: NetworkModel> NetDelivery<M, N> {
@@ -37,6 +65,13 @@ impl<M: Message, N: NetworkModel> NetDelivery<M, N> {
             model,
             queue: FlightQueue::new(),
             rng: rng_for(master_seed, streams::NETWORK),
+            pool: RoundMailbox::default(),
+            knocked_flat: Vec::new(),
+            bcast_spans: Vec::new(),
+            fresh: Vec::new(),
+            conflicts: Vec::new(),
+            delay_groups: Vec::new(),
+            spare_lists: Vec::new(),
         }
     }
 
@@ -50,7 +85,7 @@ impl<M: Message, N: NetworkModel> Delivery<M> for NetDelivery<M, N> {
     fn deliver(
         &mut self,
         round: Round,
-        wire: RoundMailbox<M>,
+        mut wire: RoundMailbox<M>,
         ledger: &CorruptionLedger,
     ) -> (RoundMailbox<M>, DeliveryStats) {
         let mut stats = DeliveryStats::default();
@@ -60,45 +95,159 @@ impl<M: Message, N: NetworkModel> Delivery<M> for NetDelivery<M, N> {
         }
 
         let n = wire.n();
-        let mut out = RoundMailbox::new(n);
+        let mut out = std::mem::take(&mut self.pool);
+        out.reset(n);
+        self.knocked_flat.clear();
+        self.bcast_spans.clear();
+        self.fresh.clear();
+
+        // Route every fresh message through the model, in (sender,
+        // receiver) order — the RNG consumption order is part of the
+        // engine's determinism contract. Survivors are *not* placed in
+        // the arrivals mailbox yet: older in-flight traffic must win a
+        // busy link, so fresh survivors merge after the queue drains.
         for s in 0..n as u32 {
             let sender = NodeId::new(s);
+            if wire.is_silent(sender) {
+                continue;
+            }
             let sender_honest = !ledger.is_corrupted(sender);
-            for r in 0..n as u32 {
-                let receiver = NodeId::new(r);
-                let Some(m) = wire.resolve(sender, receiver) else {
-                    continue;
-                };
-                // A node's self-copy of its own broadcast never touches
-                // the network: deliver it directly (it is also excluded
-                // from `message_count`, so it is not in the stats).
-                if sender == receiver {
-                    out.insert(sender, receiver, m.clone());
-                    continue;
+            if let Some(m) = wire.broadcast_of(sender) {
+                // Broadcast row: survivors stay implicit (one shared
+                // copy); knocked-out receivers are recorded per sender,
+                // and delayed receivers accumulate into per-due flight
+                // groups — one queued clone per group, not per receiver.
+                let start = self.knocked_flat.len();
+                for r in 0..n as u32 {
+                    if r == s {
+                        continue; // the local self-copy never routes
+                    }
+                    let link = Link {
+                        sender,
+                        receiver: NodeId::new(r),
+                        sender_honest,
+                    };
+                    match self.model.route(round, link, &mut self.rng) {
+                        Fate::Deliver => {}
+                        Fate::Delay(d) => {
+                            stats.delayed += 1;
+                            let due = round.index() + d.max(1);
+                            self.knocked_flat.push(r);
+                            let group = match self.delay_groups.iter_mut().find(|(g, _)| *g == due)
+                            {
+                                Some((_, list)) => list,
+                                None => {
+                                    let list = self.spare_lists.pop().unwrap_or_default();
+                                    self.delay_groups.push((due, list));
+                                    &mut self.delay_groups.last_mut().expect("just pushed").1
+                                }
+                            };
+                            group.push(r);
+                        }
+                        Fate::Drop => {
+                            stats.dropped += 1;
+                            self.knocked_flat.push(r);
+                        }
+                    }
                 }
-                let link = Link {
-                    sender,
-                    receiver,
-                    sender_honest,
-                };
-                match self.model.route(round, link, &mut self.rng) {
-                    Fate::Deliver => {
-                        self.queue
-                            .push(round, round.index(), sender, receiver, m.clone());
+                for (due, mut list) in self.delay_groups.drain(..) {
+                    self.queue.push_group(round, due, sender, &list, m.clone());
+                    list.clear();
+                    self.spare_lists.push(list);
+                }
+                self.bcast_spans.push((s, start, self.knocked_flat.len()));
+            } else {
+                for r in 0..n as u32 {
+                    let receiver = NodeId::new(r);
+                    let Some(m) = wire.resolve(sender, receiver) else {
+                        continue;
+                    };
+                    // A node's self-copy never touches the network:
+                    // deliver it directly (it is also excluded from
+                    // `message_count`, so it is not in the stats). It
+                    // cannot conflict with queued traffic — the queue
+                    // never carries self-links.
+                    if r == s {
+                        out.insert(sender, receiver, m.clone());
+                        continue;
                     }
-                    Fate::Delay(d) => {
-                        stats.delayed += 1;
-                        let due = round.index() + d.max(1);
-                        self.queue.push(round, due, sender, receiver, m.clone());
+                    let link = Link {
+                        sender,
+                        receiver,
+                        sender_honest,
+                    };
+                    match self.model.route(round, link, &mut self.rng) {
+                        Fate::Deliver => self.fresh.push((s, r)),
+                        Fate::Delay(d) => {
+                            stats.delayed += 1;
+                            let due = round.index() + d.max(1);
+                            self.queue.push(round, due, sender, receiver, m.clone());
+                        }
+                        Fate::Drop => stats.dropped += 1,
                     }
-                    Fate::Drop => stats.dropped += 1,
                 }
             }
         }
 
+        // Older in-flight traffic lands first (FIFO per link).
         let drained = self.queue.drain_due(round, &mut out);
-        stats.delivered = drained.delivered;
+        stats.delivered += drained.delivered;
         stats.delayed += drained.deferred;
+
+        // Merge this round's surviving broadcasts. The common case — no
+        // old traffic landed on the sender's row — installs one shared
+        // row and moves the base out of the wire mailbox: zero clones.
+        for &(s, start, end) in &self.bcast_spans {
+            let sender = NodeId::new(s);
+            let knocked = &self.knocked_flat[start..end];
+            let base = wire
+                .take_broadcast(sender)
+                .expect("broadcast row vanished mid-round");
+            if out.is_silent(sender) {
+                stats.delivered += n - 1 - knocked.len();
+                out.set_broadcast_except(sender, base, knocked);
+            } else {
+                // Queued messages already own some of this sender's
+                // links. Layer the base under them: each older message
+                // keeps its link and the fresh copy slips to the next
+                // round, exactly as if it had lost the link inside the
+                // queue. Still one shared base — only the deferred
+                // copies are cloned.
+                self.conflicts.clear();
+                out.merge_broadcast_except(sender, base, knocked, &mut self.conflicts);
+                stats.delivered += n - 1 - knocked.len() - self.conflicts.len();
+                if !self.conflicts.is_empty() {
+                    stats.delayed += self.conflicts.len();
+                    let copy = out
+                        .broadcast_base(sender)
+                        .expect("base installed above")
+                        .clone();
+                    self.queue
+                        .push_group(round, round.index() + 1, sender, &self.conflicts, copy);
+                }
+            }
+        }
+
+        // Merge this round's surviving point-to-point messages.
+        for &(s, r) in &self.fresh {
+            let sender = NodeId::new(s);
+            let receiver = NodeId::new(r);
+            let m = wire
+                .resolve(sender, receiver)
+                .expect("fresh message vanished mid-round")
+                .clone();
+            match out.insert_if_vacant(sender, receiver, m) {
+                None => stats.delivered += 1,
+                Some(m) => {
+                    stats.delayed += 1;
+                    self.queue
+                        .push(round, round.index() + 1, sender, receiver, m);
+                }
+            }
+        }
+
+        // The drained wire mailbox becomes next round's arrivals pool.
+        self.pool = wire;
         (out, stats)
     }
 
@@ -237,5 +386,45 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "different seeds explore different drops");
+    }
+
+    /// The arrivals mailbox of a surviving broadcast holds one shared
+    /// row, not `n` per-recipient clones — the delivery stage's central
+    /// memory-layout claim.
+    #[test]
+    fn surviving_broadcast_stays_shared_in_arrivals() {
+        // p_drop = 0 routes every link (consuming RNG) but drops none.
+        let mut d: NetDelivery<Tm, _> = NetDelivery::new(LossyLinks::new(0.0), 7);
+        let ledger = CorruptionLedger::new(5, 0);
+        let (out, stats) = d.deliver(Round::ZERO, full_broadcast(5), &ledger);
+        assert_eq!(stats.delivered, 20);
+        for s in 0..5 {
+            assert!(out.is_broadcast(id(s)), "sender {s} row was expanded");
+        }
+    }
+
+    /// An in-flight message that lands on a link a fresh broadcast also
+    /// wants keeps the link (FIFO); the fresh copy slips one round.
+    #[test]
+    fn old_traffic_wins_the_link_fresh_broadcast_defers() {
+        let mut d: NetDelivery<Tm, _> =
+            NetDelivery::new(BoundedDelay::new(1, DelayScheduler::DelayHonest), 1);
+        let ledger = CorruptionLedger::new(2, 0);
+        // Round 0: honest broadcasts held 1 round.
+        let (out0, s0) = d.deliver(Round::ZERO, full_broadcast(2), &ledger);
+        assert_eq!(s0.delivered, 0);
+        assert_eq!(s0.delayed, 2);
+        assert_eq!(out0.resolve(id(0), id(1)), None);
+        // Round 1: round-0 traffic is due now and wins both links; the
+        // round-1 broadcasts are held again *and* their due copies must
+        // queue behind the delivered ones.
+        let (out1, s1) = d.deliver(Round::new(1), full_broadcast(2), &ledger);
+        assert_eq!(s1.delivered, 2, "round-0 messages land");
+        assert_eq!(out1.resolve(id(0), id(1)), Some(&Tm(0)));
+        assert_eq!(Delivery::<Tm>::in_flight(&d), 2, "round-1 copies held");
+        // Drain the tail with silent wires: the round-1 copies arrive.
+        let (out2, s2) = d.deliver(Round::new(2), RoundMailbox::new(2), &ledger);
+        assert_eq!(s2.delivered, 2);
+        assert_eq!(out2.resolve(id(1), id(0)), Some(&Tm(1)));
     }
 }

@@ -1,25 +1,36 @@
 //! The in-flight message queue.
 //!
 //! [`FlightQueue`] generalizes the engine's per-round mailbox across
-//! rounds: every routed message — even one delivered immediately — is
-//! enqueued with a due round, then drained into the round's arrivals
-//! mailbox in emission (sequence) order. Because each ordered node pair
+//! rounds. Messages travel as **grouped flights**: one group per
+//! `(sender, emission round, due round)` carrying a single shared
+//! message and a pooled receiver list — a delayed broadcast is one group
+//! with many receivers, not `n` cloned entries. The message is cloned
+//! only per *delivered* receiver, at drain time.
+//!
+//! Groups are kept in push (sequence) order and drained front-to-back
+//! into the round's arrivals mailbox. Because each ordered node pair
 //! exchanges at most one message per round in this engine (the CONGEST
-//! invariant `max_edge_bits` relies on), a link that already carries a
-//! message this round defers any further due traffic to the next round,
-//! oldest-first — FIFO links with unit per-round capacity.
+//! invariant `max_edge_bits` relies on), two receivers of one group can
+//! never contend for the same link; contention only happens *between*
+//! groups, and group order is push order — so delivery is FIFO per link
+//! with unit per-round capacity, exactly as with individual entries. A
+//! receiver whose link is already carrying an older message slips to the
+//! next round inside its group (the group splits off its undelivered
+//! tail as a `due + 1` group in place, preserving its position).
 
 use aba_sim::{Message, NodeId, Round, RoundMailbox};
 
-/// One message travelling between rounds.
+/// One group of messages travelling between rounds: the same payload
+/// from one sender to many receivers, emitted and due together.
 #[derive(Debug, Clone)]
-struct InFlight<M> {
-    /// Round index at which the message becomes deliverable.
+struct Flight<M> {
+    /// Round index at which the group becomes deliverable.
     due: u64,
     /// Round index at which it was emitted (`due >= emit` always).
     emit: u64,
     sender: NodeId,
-    receiver: NodeId,
+    /// Receivers still owed the message, in routing order.
+    receivers: Vec<u32>,
     msg: M,
 }
 
@@ -36,30 +47,47 @@ pub struct DrainOutcome {
 /// Cross-round message store with FIFO per-link delivery.
 #[derive(Debug, Clone)]
 pub struct FlightQueue<M> {
-    /// Kept in sequence (emission) order: pushes append, and deferrals
+    /// Kept in sequence (push) order: pushes append, and deferrals
     /// preserve positions, so draining front-to-back is oldest-first.
-    entries: Vec<InFlight<M>>,
+    groups: Vec<Flight<M>>,
+    /// Total receivers across all groups (the in-flight message count).
+    messages: usize,
+    /// Drained-group scratch, swapped with `groups` during
+    /// [`FlightQueue::drain_due`] so draining allocates nothing after
+    /// warm-up.
+    scratch: Vec<Flight<M>>,
+    /// Retired receiver lists, recycled so steady-state pushes allocate
+    /// nothing.
+    vec_pool: Vec<Vec<u32>>,
 }
 
 impl<M: Message> FlightQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         FlightQueue {
-            entries: Vec::new(),
+            groups: Vec::new(),
+            messages: 0,
+            scratch: Vec::new(),
+            vec_pool: Vec::new(),
         }
     }
 
     /// Messages currently in flight.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.messages
     }
 
     /// Whether nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.messages == 0
     }
 
-    /// Enqueues a message emitted in `emit` for delivery at `due`.
+    fn fresh_receivers(&mut self) -> Vec<u32> {
+        self.vec_pool.pop().unwrap_or_default()
+    }
+
+    /// Enqueues a single message emitted in `emit` for delivery at `due`
+    /// (a group of one).
     ///
     /// # Panics
     ///
@@ -70,11 +98,40 @@ impl<M: Message> FlightQueue<M> {
             due >= emit.index(),
             "message due r{due} before its emission {emit}"
         );
-        self.entries.push(InFlight {
+        let mut receivers = self.fresh_receivers();
+        receivers.push(receiver.raw());
+        self.messages += 1;
+        self.groups.push(Flight {
             due,
             emit: emit.index(),
             sender,
-            receiver,
+            receivers,
+            msg,
+        });
+    }
+
+    /// Enqueues one shared message from `sender` to every receiver in
+    /// `receivers` (routing order), emitted in `emit` and due at `due`.
+    /// The receiver list is copied into a pooled buffer; the message is
+    /// stored once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due < emit` or `receivers` is empty.
+    pub fn push_group(&mut self, emit: Round, due: u64, sender: NodeId, receivers: &[u32], msg: M) {
+        assert!(
+            due >= emit.index(),
+            "message due r{due} before its emission {emit}"
+        );
+        assert!(!receivers.is_empty(), "flight group with no receivers");
+        let mut list = self.fresh_receivers();
+        list.extend_from_slice(receivers);
+        self.messages += list.len();
+        self.groups.push(Flight {
+            due,
+            emit: emit.index(),
+            sender,
+            receivers: list,
             msg,
         });
     }
@@ -84,21 +141,60 @@ impl<M: Message> FlightQueue<M> {
     /// next round. Messages due later stay queued untouched.
     pub fn drain_due(&mut self, round: Round, out: &mut RoundMailbox<M>) -> DrainOutcome {
         let mut outcome = DrainOutcome::default();
-        let mut kept = Vec::with_capacity(self.entries.len());
-        for mut e in self.entries.drain(..) {
-            if e.due > round.index() {
-                kept.push(e);
-            } else if out.resolve(e.sender, e.receiver).is_some() {
-                e.due = round.index() + 1;
-                outcome.deferred += 1;
-                kept.push(e);
+        // Ping-pong with the pooled scratch vector: `drain` moves groups
+        // out without giving up either buffer's capacity, so steady-state
+        // drains allocate nothing.
+        std::mem::swap(&mut self.groups, &mut self.scratch);
+        for mut g in self.scratch.drain(..) {
+            if g.due > round.index() {
+                self.groups.push(g);
+                continue;
+            }
+            debug_assert!(g.emit <= round.index(), "delivery before emission");
+            // A group of one (point-to-point traffic, or a broadcast's
+            // final bounce) moves its owned message instead of cloning.
+            if g.receivers.len() == 1 {
+                let receiver = NodeId::new(g.receivers[0]);
+                match out.insert_if_vacant(g.sender, receiver, g.msg) {
+                    None => {
+                        outcome.delivered += 1;
+                        self.messages -= 1;
+                        g.receivers.clear();
+                        self.vec_pool.push(g.receivers);
+                    }
+                    Some(msg) => {
+                        g.msg = msg;
+                        g.due = round.index() + 1;
+                        outcome.deferred += 1;
+                        self.groups.push(g);
+                    }
+                }
+                continue;
+            }
+            // Deliver every receiver whose link is free; compact the
+            // deferred tail in place so the group keeps its queue
+            // position (FIFO) without reallocating.
+            let mut kept = 0;
+            for i in 0..g.receivers.len() {
+                let receiver = NodeId::new(g.receivers[i]);
+                if out.insert_if_vacant_with(g.sender, receiver, || g.msg.clone()) {
+                    outcome.delivered += 1;
+                    self.messages -= 1;
+                } else {
+                    g.receivers[kept] = g.receivers[i];
+                    kept += 1;
+                }
+            }
+            if kept > 0 {
+                g.receivers.truncate(kept);
+                outcome.deferred += kept;
+                g.due = round.index() + 1;
+                self.groups.push(g);
             } else {
-                debug_assert!(e.emit <= round.index(), "delivery before emission");
-                out.insert(e.sender, e.receiver, e.msg);
-                outcome.delivered += 1;
+                g.receivers.clear();
+                self.vec_pool.push(g.receivers);
             }
         }
-        self.entries = kept;
         outcome
     }
 }
@@ -195,5 +291,41 @@ mod tests {
     fn delivery_before_emission_is_rejected() {
         let mut q: FlightQueue<Tm> = FlightQueue::new();
         q.push(Round::new(5), 3, id(0), id(1), Tm(0));
+    }
+
+    #[test]
+    fn group_shares_one_message_across_receivers() {
+        let mut q: FlightQueue<Tm> = FlightQueue::new();
+        q.push_group(Round::ZERO, 1, id(0), &[1, 2, 3], Tm(7));
+        assert_eq!(q.len(), 3);
+        let mut out = RoundMailbox::new(4);
+        assert_eq!(q.drain_due(Round::ZERO, &mut out).delivered, 0, "not due");
+        let mut out = RoundMailbox::new(4);
+        let o = q.drain_due(Round::new(1), &mut out);
+        assert_eq!(o.delivered, 3);
+        for r in 1..4 {
+            assert_eq!(out.resolve(id(0), id(r)), Some(&Tm(7)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn group_splits_on_partially_busy_links() {
+        let mut q: FlightQueue<Tm> = FlightQueue::new();
+        // An older single already owns link (0, 2) at round 1.
+        q.push(Round::ZERO, 1, id(0), id(2), Tm(9));
+        q.push_group(Round::new(1), 1, id(0), &[1, 2, 3], Tm(7));
+        let mut out = RoundMailbox::new(4);
+        let o = q.drain_due(Round::new(1), &mut out);
+        assert_eq!(o.delivered, 3, "single + two group receivers");
+        assert_eq!(o.deferred, 1, "group receiver 2 lost its link");
+        assert_eq!(out.resolve(id(0), id(2)), Some(&Tm(9)), "older wins");
+        assert_eq!(out.resolve(id(0), id(1)), Some(&Tm(7)));
+        assert_eq!(q.len(), 1);
+        // The split-off tail lands next round.
+        let mut out = RoundMailbox::new(4);
+        assert_eq!(q.drain_due(Round::new(2), &mut out).delivered, 1);
+        assert_eq!(out.resolve(id(0), id(2)), Some(&Tm(7)));
+        assert!(q.is_empty());
     }
 }

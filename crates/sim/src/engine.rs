@@ -167,6 +167,10 @@ pub struct Simulation<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg> = PassTh
     trace: Trace,
     round: Round,
     done: bool,
+    /// Pooled round mailbox: taken at the start of [`Simulation::step`],
+    /// cleared and refilled, and restored from the delivery stage's
+    /// arrivals — no per-round mailbox allocation after warm-up.
+    mailbox_pool: RoundMailbox<P::Msg>,
 }
 
 impl<P: Protocol, A: Adversary<P>> Simulation<P, A, PassThrough> {
@@ -236,6 +240,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
             halted: vec![false; cfg.n],
             halt_rounds: vec![None; cfg.n],
             metrics: RunMetrics::new(cfg.record_rounds),
+            mailbox_pool: RoundMailbox::new(cfg.n),
             nodes,
             adversary,
             delivery,
@@ -290,8 +295,10 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
         let round = self.round;
         self.trace.push(Event::RoundStart { round });
 
-        // Phase 1: live honest nodes emit.
-        let mut mailbox: RoundMailbox<P::Msg> = RoundMailbox::new(n);
+        // Phase 1: live honest nodes emit. The round mailbox is pooled:
+        // taken from the previous round's arrivals, cleared in place.
+        let mut mailbox = std::mem::take(&mut self.mailbox_pool);
+        mailbox.reset(n);
         for i in 0..n {
             let id = NodeId::new(i as u32);
             if self.halted[i] || self.ledger.is_corrupted(id) {
@@ -340,7 +347,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
         // Every corrupted node's slot is reset: silent unless the action
         // provides an emission. This also erases the honest emission of a
         // node corrupted this round (rushing corruption).
-        for id in self.ledger.corrupted_nodes().collect::<Vec<_>>() {
+        for id in self.ledger.corrupted_nodes() {
             mailbox.silence(id);
         }
         for (id, send) in action.sends {
@@ -377,6 +384,8 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
                 });
             }
         }
+        // The arrivals mailbox becomes next round's pooled wire mailbox.
+        self.mailbox_pool = arrivals;
 
         // Phase 4: metrics.
         let halted_honest = self

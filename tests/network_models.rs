@@ -315,6 +315,81 @@ fn full_matrix_runs_under_every_network() {
     }
 }
 
+/// Cross-process determinism: a fixed-seed run under a randomized
+/// network model reproduces a *committed* golden `TrialResult`, field
+/// for field. The old mailbox stored per-recipient traffic in a
+/// `RandomState`-keyed `HashMap`, whose iteration order varies between
+/// processes — results were only reproducible within one process. The
+/// dense mailbox iterates in receiver order by construction; this pin
+/// holds across processes, machines, and (absent an intentional
+/// contract change) commits.
+#[test]
+fn fixed_seed_network_runs_match_committed_goldens() {
+    struct NetGolden {
+        net: NetworkSpec,
+        rounds: u64,
+        corruptions: usize,
+        messages: usize,
+        bits: usize,
+        max_edge_bits: usize,
+        delivered: usize,
+        dropped: usize,
+        delayed: usize,
+    }
+    let goldens = [
+        NetGolden {
+            net: NetworkSpec::LossyLinks { p_drop: 0.05 },
+            rounds: 150,
+            corruptions: 5,
+            messages: 26250,
+            bits: 325766,
+            max_edge_bits: 15,
+            delivered: 24899,
+            dropped: 1351,
+            delayed: 0,
+        },
+        NetGolden {
+            net: NetworkSpec::BoundedDelay {
+                max_delay: 2,
+                scheduler: DelayScheduler::Random,
+            },
+            rounds: 150,
+            corruptions: 5,
+            messages: 26625,
+            bits: 330933,
+            max_edge_bits: 15,
+            delivered: 26269,
+            dropped: 0,
+            delayed: 42030,
+        },
+    ];
+    for g in goldens {
+        let r = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .network(g.net)
+            .seed(42)
+            .max_rounds(150)
+            .run();
+        let name = g.net.name();
+        assert_eq!(r.rounds, g.rounds, "{name}: rounds drifted");
+        assert!(!r.terminated, "{name}: committee BA stalls at the cap");
+        assert!(r.agreement, "{name}: agreement drifted");
+        assert_eq!(r.decision, None, "{name}: decision drifted");
+        assert_eq!(r.corruptions, g.corruptions, "{name}: corruptions drifted");
+        assert_eq!(r.messages, g.messages, "{name}: messages drifted");
+        assert_eq!(r.bits, g.bits, "{name}: bits drifted");
+        assert_eq!(
+            r.max_edge_bits, g.max_edge_bits,
+            "{name}: edge bits drifted"
+        );
+        assert_eq!(r.delivered, g.delivered, "{name}: delivered drifted");
+        assert_eq!(r.dropped, g.dropped, "{name}: dropped drifted");
+        assert_eq!(r.delayed, g.delayed, "{name}: delayed drifted");
+        assert_eq!(r.agree_fraction, 1.0, "{name}: agree fraction drifted");
+    }
+}
+
 /// A partition that never heals keeps the paper protocol from global
 /// agreement... but once healed in time, agreement is reached. The
 /// model must make a visible difference.
