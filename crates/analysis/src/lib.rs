@@ -26,5 +26,5 @@ pub mod theory;
 
 pub use plot::{render as render_plot, PlotOptions};
 pub use regression::{fit_linear, fit_loglog, fit_power_law, LinearFit};
-pub use stats::Summary;
+pub use stats::{percentile_nearest_rank, Proportion, Summary};
 pub use table::{Series, Table};

@@ -87,6 +87,28 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of a pre-sorted integer sample: the smallest
+/// value with at least `⌈p/100 · N⌉` observations at or below it.
+///
+/// This is the **workspace-wide convention for discrete round counts**
+/// (used by `BatchReport::rounds_percentile` in `aba-harness` and the
+/// campaign cell summaries in `aba-sweep`): every reported percentile is
+/// an observation that actually occurred, never an interpolated value.
+/// For continuous measurements summarized by [`Summary`], the type-7
+/// interpolating [`quantile_sorted`] remains the convention; the two
+/// estimators disagree whenever the rank falls between observations
+/// (pinned in this module's tests).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `(0, 100]`.
+pub fn percentile_nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Proportion of `true` in a boolean sample together with a Wilson 95%
 /// confidence interval — used for agreement/validity success rates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +125,17 @@ pub struct Proportion {
     pub wilson_high: f64,
 }
 
+/// Center and (unclamped) half-width of the Wilson 95% interval for
+/// `successes` out of `n` trials — the one place the formula lives.
+fn wilson_parts(p: f64, n: f64) -> (f64, f64) {
+    let z = 1.96_f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    (center, half)
+}
+
 impl Proportion {
     /// Computes the proportion; returns `None` when `trials == 0`.
     pub fn of(successes: usize, trials: usize) -> Option<Proportion> {
@@ -111,11 +144,7 @@ impl Proportion {
         }
         let n = trials as f64;
         let p = successes as f64 / n;
-        let z = 1.96_f64;
-        let z2 = z * z;
-        let denom = 1.0 + z2 / n;
-        let center = (p + z2 / (2.0 * n)) / denom;
-        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        let (center, half) = wilson_parts(p, n);
         Some(Proportion {
             successes,
             trials,
@@ -128,6 +157,15 @@ impl Proportion {
     /// Computes the proportion of `true` in a slice.
     pub fn of_bools(sample: &[bool]) -> Option<Proportion> {
         Self::of(sample.iter().filter(|b| **b).count(), sample.len())
+    }
+
+    /// Half-width of the Wilson 95% interval, *before* clamping the ends
+    /// into `[0, 1]` — the monotone-shrinking precision measure used by
+    /// sequential stopping rules (`aba-sweep`): it decays as `Θ(1/√n)`
+    /// even when the point estimate sits on a boundary, where the clamped
+    /// `(wilson_high − wilson_low)/2` would understate the uncertainty.
+    pub fn half_width(&self) -> f64 {
+        wilson_parts(self.estimate, self.trials as f64).1
     }
 }
 
@@ -195,6 +233,91 @@ mod tests {
         let many: Vec<f64> = (0..300).map(|i| (i % 3) as f64 + 1.0).collect();
         let big = Summary::of(&many).unwrap();
         assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn nearest_rank_percentile_convention() {
+        // The convention cases from BatchReport::rounds_percentile.
+        let sorted = [10, 20, 30, 40];
+        assert_eq!(percentile_nearest_rank(&sorted, 25.0), 10);
+        assert_eq!(percentile_nearest_rank(&sorted, 50.0), 20);
+        assert_eq!(percentile_nearest_rank(&sorted, 75.0), 30);
+        assert_eq!(percentile_nearest_rank(&sorted, 76.0), 40);
+        assert_eq!(percentile_nearest_rank(&sorted, 100.0), 40);
+        assert_eq!(percentile_nearest_rank(&[7], 50.0), 7);
+        // Tiny p clamps to the first observation.
+        assert_eq!(percentile_nearest_rank(&sorted, 0.001), 10);
+    }
+
+    #[test]
+    fn nearest_rank_vs_type7_disagree_between_observations() {
+        // Both conventions exist in this crate on purpose; pin where they
+        // differ so neither silently drifts toward the other. At p50 on
+        // an even-sized sample the type-7 estimator interpolates (25.0)
+        // while nearest-rank returns a real observation (20).
+        let ints = [10u64, 20, 30, 40];
+        let floats = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_nearest_rank(&ints, 50.0), 20);
+        assert!((quantile_sorted(&floats, 0.5) - 25.0).abs() < 1e-12);
+        // On odd-sized samples the two agree at the median.
+        let ints = [1u64, 2, 3];
+        let floats = [1.0, 2.0, 3.0];
+        assert_eq!(
+            percentile_nearest_rank(&ints, 50.0) as f64,
+            quantile_sorted(&floats, 0.5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn nearest_rank_empty_panics() {
+        let _ = percentile_nearest_rank(&[], 50.0);
+    }
+
+    #[test]
+    fn wilson_matches_tabulated_values() {
+        // Reference values computed independently from the closed-form
+        // Wilson score interval at z = 1.96 (agree with published tables,
+        // e.g. epitools, to 4 decimals).
+        let cases = [
+            (8usize, 10usize, 0.490157, 0.943319, 0.226581),
+            (0, 10, 0.0, 0.277540, 0.138770),
+            (10, 10, 0.722460, 1.0, 0.138770),
+            (5, 10, 0.236590, 0.763410, 0.263410),
+            (90, 100, 0.825633, 0.944771, 0.059569),
+            (45, 60, 0.627677, 0.842236, 0.107280),
+            (1, 30, 0.005908, 0.166708, 0.080400),
+        ];
+        for (s, n, low, high, half) in cases {
+            let p = Proportion::of(s, n).unwrap();
+            assert!(
+                (p.wilson_low - low).abs() < 1e-5,
+                "{s}/{n} low {} != {low}",
+                p.wilson_low
+            );
+            assert!(
+                (p.wilson_high - high).abs() < 1e-5,
+                "{s}/{n} high {} != {high}",
+                p.wilson_high
+            );
+            assert!(
+                (p.half_width() - half).abs() < 1e-5,
+                "{s}/{n} half {} != {half}",
+                p.half_width()
+            );
+        }
+    }
+
+    #[test]
+    fn wilson_half_width_shrinks_with_trials() {
+        // The stopping rule relies on the unclamped half-width decaying
+        // even at boundary estimates (all successes).
+        let mut last = f64::INFINITY;
+        for n in [4usize, 16, 64, 256] {
+            let hw = Proportion::of(n, n).unwrap().half_width();
+            assert!(hw < last, "half_width must shrink: {hw} !< {last}");
+            last = hw;
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 
 use aba_bench::Group;
-use aba_harness::experiments::{self, ExpParams};
+use aba_sweep::experiments::{self, ExpParams};
 
 fn main() {
     let group = Group::new("experiment_quick");

@@ -1,0 +1,73 @@
+//! Campaign-executor benches: the wall-clock payoff of campaign-wide
+//! work stealing over the sequential per-cell batch loop.
+//!
+//! Both contenders run the same e16-style grid (3 protocols × 3
+//! networks at n = 32, fixed 8 trials per cell). The sequential loop
+//! is what every experiment did before `aba-sweep`: one `run_batch`
+//! per cell, each an implicit barrier, so the cap-stalled lossy and
+//! delayed committee cells serialize the sweep. The campaign executor
+//! schedules all 72 (cell, trial) tasks on one work-stealing pool.
+//!
+//! ```text
+//! cargo bench -p aba-bench --bench sweep
+//! ```
+
+use aba_bench::Group;
+use aba_harness::{AttackSpec, NetworkSpec, ProtocolSpec, ScenarioBuilder};
+use aba_net::DelayScheduler;
+use aba_sweep::{CampaignSpec, RoundCap, StopRule};
+
+const N: usize = 32;
+const T: usize = 10;
+const TRIALS: usize = 8;
+
+const PROTOCOLS: [ProtocolSpec; 3] = [
+    ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+    ProtocolSpec::ChorCoan { beta: 1.0 },
+    ProtocolSpec::PhaseKing,
+];
+
+const NETWORKS: [NetworkSpec; 3] = [
+    NetworkSpec::Synchronous,
+    NetworkSpec::LossyLinks { p_drop: 0.1 },
+    NetworkSpec::BoundedDelay {
+        max_delay: 2,
+        scheduler: DelayScheduler::Random,
+    },
+];
+
+fn main() {
+    let group = Group::new("sweep_grid");
+    let cap = (24 * N) as u64;
+
+    group.bench("sequential_cells", || {
+        let mut total = 0usize;
+        for proto in PROTOCOLS {
+            for net in NETWORKS {
+                let report = ScenarioBuilder::new(N, T)
+                    .protocol(proto)
+                    .adversary(AttackSpec::FullAttack)
+                    .network(net)
+                    .max_rounds(cap)
+                    .trials(TRIALS)
+                    .run_batch();
+                total += report.len();
+            }
+        }
+        total
+    });
+
+    group.bench("campaign_executor", || {
+        CampaignSpec::new("bench-grid")
+            .sizes(&[(N, T)])
+            .protocols(&PROTOCOLS)
+            .attacks(&[AttackSpec::FullAttack])
+            .networks(&NETWORKS)
+            .round_cap(RoundCap::Fixed(cap))
+            .stop(StopRule::fixed(TRIALS))
+            .run()
+            .total_trials()
+    });
+
+    aba_bench::finish();
+}

@@ -175,6 +175,20 @@ impl ScenarioBuilder {
     }
 }
 
+/// Runs one fully-specified scenario to completion — the by-reference
+/// runner hook for external orchestrators (the `aba-sweep` campaign
+/// executor schedules individual `(cell, trial)` tasks through this,
+/// reusing the same monomorphized protocol × adversary × network
+/// dispatch as [`ScenarioBuilder::run`] without cloning the scenario).
+///
+/// # Panics
+///
+/// Panics if the scenario's `(n, t)` violates a protocol precondition
+/// (`n ≥ 3t + 1` for the agreement protocols).
+pub fn run_scenario(s: &Scenario) -> TrialResult {
+    runner::run_scenario(s)
+}
+
 /// Aggregated outcome of a batch of trials.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
@@ -254,10 +268,57 @@ impl BatchReport {
         }
         let mut rounds: Vec<u64> = self.results.iter().map(|r| r.rounds).collect();
         rounds.sort_unstable();
-        // Nearest-rank: the smallest value with at least ⌈p/100 · N⌉
-        // observations at or below it.
-        let rank = ((p / 100.0) * rounds.len() as f64).ceil() as usize;
-        rounds[rank.clamp(1, rounds.len()) - 1]
+        aba_analysis::percentile_nearest_rank(&rounds, p)
+    }
+
+    /// Merges another batch of the same scenario axes into this one.
+    ///
+    /// The operation is **associative and order-invariant**: trials are
+    /// interleaved by their per-trial seed (a stable sort), so any merge
+    /// tree over the same set of partial batches yields the same report.
+    /// This is the facade-level counterpart of `aba-sweep`'s mergeable
+    /// cell accumulators — use it to aggregate a batch incrementally
+    /// (e.g. growing a batch until an interval is tight) without
+    /// re-running earlier trials. The base scenario keeps the smallest
+    /// seed seen, preserving the "trial `i` ran at `seed + i`" reading
+    /// for contiguous seed ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports disagree on any scenario axis other
+    /// than the seed, or if their seed ranges overlap — merging
+    /// different cells (or the same trial twice, which would silently
+    /// double-weight it) is a bug, not data.
+    pub fn merge(&mut self, other: &BatchReport) {
+        let mut a = self.scenario.clone();
+        let mut b = other.scenario.clone();
+        a.seed = 0;
+        b.seed = 0;
+        assert_eq!(a, b, "merged batches must share every non-seed axis");
+        if other.results.is_empty() {
+            return;
+        }
+        // Build and validate the merged list before touching self, so a
+        // rejected merge leaves the report untouched.
+        let mut merged: Vec<TrialResult> = self
+            .results
+            .iter()
+            .chain(other.results.iter())
+            .cloned()
+            .collect();
+        merged.sort_by_key(|r| r.seed);
+        if let Some(w) = merged.windows(2).find(|w| w[0].seed == w[1].seed) {
+            panic!(
+                "merged batches overlap: trial seed {} appears twice",
+                w[0].seed
+            );
+        }
+        if self.results.is_empty() {
+            self.scenario.seed = other.scenario.seed;
+        } else {
+            self.scenario.seed = self.scenario.seed.min(other.scenario.seed);
+        }
+        self.results = merged;
     }
 
     /// Mean messages the network dropped per trial.
@@ -358,6 +419,84 @@ mod tests {
         assert_eq!(synth.rounds_percentile(75.0), 30);
         assert_eq!(synth.rounds_percentile(76.0), 40);
         assert_eq!(synth.rounds_percentile(100.0), 40);
+    }
+
+    #[test]
+    fn merge_of_split_halves_equals_one_shot() {
+        let base = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::SplitVote)
+            .seed(100);
+        let whole = base.clone().trials(8).run_batch();
+        let first = base.clone().trials(4).run_batch();
+        let second = base.clone().seed(104).trials(4).run_batch();
+        // Merge in either order: both equal the one-shot batch.
+        let mut ab = first.clone();
+        ab.merge(&second);
+        assert_eq!(ab, whole);
+        let mut ba = second.clone();
+        ba.merge(&first);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn merge_is_associative_even_interleaved() {
+        let base = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::SplitVote);
+        // Three non-contiguous single-trial batches at seeds 5, 1, 3.
+        let parts: Vec<BatchReport> = [5u64, 1, 3]
+            .iter()
+            .map(|s| base.clone().seed(*s).trials(1).run_batch())
+            .collect();
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut right = parts[2].clone();
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[0]);
+        right.merge(&bc);
+        assert_eq!(left, right);
+        let seeds: Vec<u64> = left.results.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![1, 3, 5], "trials interleave by seed");
+        assert_eq!(left.scenario.seed, 1, "base seed is the minimum");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let base = ScenarioBuilder::new(16, 5).adversary(AttackSpec::Benign);
+        let full = base.clone().trials(2).run_batch();
+        let empty = base.clone().seed(900).trials(0).run_batch();
+        let mut merged = full.clone();
+        merged.merge(&empty);
+        assert_eq!(merged, full);
+        let mut from_empty = empty.clone();
+        from_empty.merge(&full);
+        assert_eq!(from_empty.results, full.results);
+        assert_eq!(from_empty.scenario.seed, full.scenario.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn merge_rejects_overlapping_seed_ranges() {
+        // Growing a batch by re-running a superset range would silently
+        // double-weight the shared trials; the merge must refuse.
+        let base = ScenarioBuilder::new(16, 5).adversary(AttackSpec::Benign);
+        let mut four = base.clone().seed(100).trials(4).run_batch();
+        let eight = base.clone().seed(100).trials(8).run_batch();
+        four.merge(&eight);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-seed axis")]
+    fn merge_rejects_mismatched_axes() {
+        let a = ScenarioBuilder::new(16, 5).trials(1).run_batch();
+        let b = ScenarioBuilder::new(16, 5)
+            .adversary(AttackSpec::Benign)
+            .trials(1)
+            .run_batch();
+        let mut a = a;
+        a.merge(&b);
     }
 
     #[test]

@@ -1,16 +1,14 @@
-//! # aba-harness — the ScenarioBuilder facade and the experiment suite
+//! # aba-harness — the ScenarioBuilder facade and the trial runner
 //!
 //! This crate owns the **one blessed way to run an experiment**: the
 //! [`ScenarioBuilder`] facade, which composes protocol × adversary ×
 //! parameters declaratively and executes trials on all cores. On top of
-//! it sit the reproducible experiments E1–E15 documented in
-//! EXPERIMENTS.md at the repository root, each regenerating one table or
-//! figure validating a quantitative claim of the paper. Run them with
-//! the `aba-experiments` binary:
-//!
-//! ```text
-//! aba-experiments --exp all --quick --out results/
-//! ```
+//! it sit the campaign orchestration subsystem (`aba-sweep`) and the
+//! reproducible experiments E1–E16 documented in EXPERIMENTS.md at the
+//! repository root (run them with `aba-experiments`, which lives in
+//! `aba-sweep`). External orchestrators schedule individual trials
+//! through the [`run_scenario`] hook, reusing the same monomorphized
+//! dispatch as the facade.
 //!
 //! ## Running a scenario
 //!
@@ -28,13 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod experiments;
 pub mod facade;
 pub mod report;
 pub(crate) mod runner;
 pub mod scenario;
 
-pub use facade::{BatchReport, ScenarioBuilder};
+pub use facade::{run_scenario, BatchReport, ScenarioBuilder};
 pub use report::Report;
 pub use runner::TrialResult;
 pub use scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};

@@ -20,6 +20,9 @@ use aba_sim::{RunReport, SimConfig, Simulation, Verdict};
 /// Result of one trial, flattened for aggregation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialResult {
+    /// Master seed the trial ran at (trial `i` of a batch runs at
+    /// `base seed + i`; merge operations order trials by this field).
+    pub seed: u64,
     /// Rounds until every honest node halted (or the cap).
     pub rounds: u64,
     /// Whether every honest node terminated before the cap.
@@ -72,8 +75,14 @@ fn majority_fraction(report: &RunReport) -> f64 {
 impl TrialResult {
     /// The fields shared by every kind of run; the agreement/validity/
     /// decision triple is left at its vacuous default for the caller.
-    fn base(report: &RunReport, adversary: &'static str, network: &'static str) -> TrialResult {
+    fn base(
+        report: &RunReport,
+        seed: u64,
+        adversary: &'static str,
+        network: &'static str,
+    ) -> TrialResult {
         TrialResult {
+            seed,
             rounds: report.rounds,
             terminated: report.all_halted,
             agreement: true,
@@ -94,6 +103,7 @@ impl TrialResult {
 
     fn from_run(
         report: &RunReport,
+        seed: u64,
         inputs: &[bool],
         adversary: &'static str,
         network: &'static str,
@@ -103,7 +113,7 @@ impl TrialResult {
             agreement: verdict.agreement,
             validity: verdict.validity,
             decision: verdict.decision,
-            ..Self::base(report, adversary, network)
+            ..Self::base(report, seed, adversary, network)
         }
     }
 
@@ -111,6 +121,7 @@ impl TrialResult {
     /// coin was common; validity is vacuous.
     fn from_coin_run(
         report: &RunReport,
+        seed: u64,
         adversary: &'static str,
         network: &'static str,
     ) -> TrialResult {
@@ -122,7 +133,7 @@ impl TrialResult {
             } else {
                 None
             },
-            ..Self::base(report, adversary, network)
+            ..Self::base(report, seed, adversary, network)
         }
     }
 
@@ -194,7 +205,7 @@ where
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = CommitteeBa::network(&cfg, &inputs);
     let report = simulate(s, nodes, adversary);
-    TrialResult::from_run(&report, &inputs, name, s.network.name())
+    TrialResult::from_run(&report, s.seed, &inputs, name, s.network.name())
 }
 
 fn run_phase_king<A>(s: &Scenario, adversary: A) -> TrialResult
@@ -205,7 +216,7 @@ where
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = PhaseKingBa::network(s.n, s.t, &inputs);
     let report = simulate(s, nodes, adversary);
-    TrialResult::from_run(&report, &inputs, name, s.network.name())
+    TrialResult::from_run(&report, s.seed, &inputs, name, s.network.name())
 }
 
 fn run_coin<A>(s: &Scenario, adversary: A) -> TrialResult
@@ -215,7 +226,7 @@ where
     let name = adversary.name();
     let nodes = CoinFlipNode::network(s.n);
     let report = simulate(s, nodes, adversary);
-    TrialResult::from_coin_run(&report, name, s.network.name())
+    TrialResult::from_coin_run(&report, s.seed, name, s.network.name())
 }
 
 fn run_sampling<A>(s: &Scenario, iters: u64, adversary: A) -> TrialResult
@@ -231,7 +242,7 @@ where
     let inputs = s.inputs.materialize(s.n, s.seed);
     let nodes = SamplingMajorityNode::network(s.n, iters, &inputs);
     let report = simulate(s, nodes, adversary);
-    TrialResult::from_run(&report, &inputs, name, s.network.name())
+    TrialResult::from_run(&report, s.seed, &inputs, name, s.network.name())
 }
 
 /// Dispatches the one-shot coin over the attack axis. Protocol-specific

@@ -1,0 +1,275 @@
+//! Campaign artifacts: one CSV row and one JSON object per cell, in
+//! grid order.
+//!
+//! Emission is **byte-deterministic**: cells are written in grid order,
+//! integers verbatim, floats with Rust's shortest-roundtrip `{}`
+//! formatting. Combined with the executor's worker-count-independent
+//! trial allocation, the same spec + seed produces byte-identical
+//! artifacts at any parallelism. The JSON document doubles as the
+//! resumable checkpoint (see [`crate::checkpoint`]): the raw integer
+//! tallies it carries are exactly what [`super::CellSummary`] needs to
+//! reproduce every derived value bit for bit.
+
+use crate::summary::CellSummary;
+use std::path::{Path, PathBuf};
+
+/// Finished campaign: every cell summary, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Campaign name (artifact file stem).
+    pub name: String,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Spec fingerprint (seed + stopping rule) for resume validation.
+    pub fingerprint: String,
+    /// Cell summaries, in grid order.
+    pub cells: Vec<CellSummary>,
+}
+
+/// The CSV header emitted by [`CampaignResult::to_csv`].
+pub const CSV_HEADER: &str = "key,protocol,attack,network,inputs,info,n,t,cell_seed,trials,\
+     stopped,agree_rate,wilson_low,wilson_high,term_rate,correct_rate,mean_rounds,p50_rounds,\
+     p95_rounds,min_rounds,max_rounds,mean_messages,mean_corruptions,delivery_rate,\
+     mean_agree_fraction";
+
+impl CampaignResult {
+    /// Total trials the campaign ran (what adaptive allocation saves).
+    pub fn total_trials(&self) -> usize {
+        self.cells.iter().map(|c| c.trials).sum()
+    }
+
+    /// Looks a cell up by its canonical key.
+    pub fn cell(&self, key: &str) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| c.key == key)
+    }
+
+    /// The first cell matching a predicate (cells are in grid order).
+    pub fn find(&self, pred: impl Fn(&CellSummary) -> bool) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| pred(c))
+    }
+
+    /// Renders the per-cell CSV (header + one row per cell, grid order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for c in &self.cells {
+            let w = c.agreement_wilson();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                c.key,
+                c.protocol,
+                c.attack,
+                c.network,
+                c.inputs,
+                c.info,
+                c.n,
+                c.t,
+                c.cell_seed,
+                c.trials,
+                c.stopped,
+                c.agreement_rate(),
+                w.wilson_low,
+                w.wilson_high,
+                c.termination_rate(),
+                c.correct_rate(),
+                c.mean_rounds(),
+                c.p50_rounds,
+                c.p95_rounds,
+                c.min_rounds,
+                c.max_rounds,
+                c.mean_messages(),
+                c.mean_corruptions(),
+                c.delivery_rate(),
+                c.mean_agree_fraction(),
+            ));
+        }
+        out
+    }
+
+    /// Renders the campaign JSON document (hand-rolled: offline
+    /// workspace, no serde). One cell object per line inside the
+    /// `"cells"` array — the same line-oriented shape `aba-bench` uses,
+    /// parseable by [`crate::checkpoint::parse`].
+    pub fn to_json(&self) -> String {
+        let esc = esc_json;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"campaign\": \"{}\",\n", esc(&self.name)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"fingerprint\": \"{}\",\n",
+            esc(&self.fingerprint)
+        ));
+        out.push_str(&format!("  \"total_trials\": {},\n", self.total_trials()));
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let w = c.agreement_wilson();
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"protocol\": \"{}\", \"attack\": \"{}\", \
+                 \"network\": \"{}\", \"inputs\": \"{}\", \"info\": \"{}\", \"n\": {}, \
+                 \"t\": {}, \"cell_seed\": {}, \"trials\": {}, \"stopped\": \"{}\", \
+                 \"agreements\": {}, \"terminations\": {}, \"corrects\": {}, \
+                 \"sum_rounds\": {}, \"min_rounds\": {}, \"max_rounds\": {}, \
+                 \"p50_rounds\": {}, \"p95_rounds\": {}, \"sum_messages\": {}, \
+                 \"sum_delivered\": {}, \"sum_dropped\": {}, \"sum_delayed\": {}, \
+                 \"sum_corruptions\": {}, \"sum_agree_fraction\": {}, \
+                 \"agree_rate\": {}, \"mean_rounds\": {}, \"wilson_low\": {}, \
+                 \"wilson_high\": {}, \"delivery_rate\": {}}}",
+                esc(&c.key),
+                esc(&c.protocol),
+                esc(&c.attack),
+                esc(&c.network),
+                esc(&c.inputs),
+                esc(&c.info),
+                c.n,
+                c.t,
+                c.cell_seed,
+                c.trials,
+                esc(&c.stopped),
+                c.agreements,
+                c.terminations,
+                c.corrects,
+                c.sum_rounds,
+                c.min_rounds,
+                c.max_rounds,
+                c.p50_rounds,
+                c.p95_rounds,
+                c.sum_messages,
+                c.sum_delivered,
+                c.sum_dropped,
+                c.sum_delayed,
+                c.sum_corruptions,
+                json_f64(c.sum_agree_fraction),
+                json_f64(c.agreement_rate()),
+                json_f64(c.mean_rounds()),
+                json_f64(w.wilson_low),
+                json_f64(w.wilson_high),
+                json_f64(c.delivery_rate()),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes `{name}.csv` and `{name}.json` under `dir`, returning
+    /// their paths. The JSON doubles as a resume checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let csv = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&csv, self.to_csv())?;
+        let json = dir.join(format!("{}.json", self.name));
+        std::fs::write(&json, self.to_json())?;
+        Ok((csv, json))
+    }
+}
+
+/// Escapes a string for a JSON literal in the line-oriented artifact.
+/// Newlines and other control characters MUST be escaped — the
+/// checkpoint parser is line-oriented, so a raw `\n` in a campaign
+/// name would split its line and make an otherwise valid checkpoint
+/// unparseable.
+pub(crate) fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-roundtrip decimal for a finite f64 (`null` otherwise —
+/// JSON has no NaN/Infinity; campaign sums are always finite).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(key: &str, trials: usize) -> CellSummary {
+        CellSummary {
+            key: key.to_string(),
+            protocol: "paper-lv(a2)".to_string(),
+            attack: "full-attack".to_string(),
+            network: "sync".to_string(),
+            inputs: "split".to_string(),
+            info: "rushing".to_string(),
+            n: 16,
+            t: 5,
+            cell_seed: 99,
+            trials,
+            stopped: "fixed".to_string(),
+            agreements: trials,
+            terminations: trials,
+            corrects: trials,
+            sum_rounds: 10 * trials as u64,
+            min_rounds: 10,
+            max_rounds: 10,
+            p50_rounds: 10,
+            p95_rounds: 10,
+            sum_messages: 100,
+            sum_delivered: 100,
+            sum_dropped: 0,
+            sum_delayed: 0,
+            sum_corruptions: 0,
+            sum_agree_fraction: trials as f64,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_grid_rows() {
+        let r = CampaignResult {
+            name: "t".to_string(),
+            seed: 0,
+            fingerprint: "fp".to_string(),
+            cells: vec![summary("a", 4), summary("b", 8)],
+        };
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("key,protocol,"));
+        assert!(lines[1].starts_with("a,paper-lv(a2),"));
+        assert!(lines[2].starts_with("b,"));
+        assert_eq!(r.total_trials(), 12);
+        assert!(r.cell("b").is_some());
+        assert!(r.cell("c").is_none());
+        assert_eq!(r.find(|c| c.trials == 8).unwrap().key, "b");
+    }
+
+    #[test]
+    fn artifacts_write_to_disk() {
+        let dir = std::env::temp_dir().join("aba_sweep_artifact_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = CampaignResult {
+            name: "demo".to_string(),
+            seed: 3,
+            fingerprint: "fp".to_string(),
+            cells: vec![summary("a", 4)],
+        };
+        let (csv, json) = r.write_artifacts(&dir).unwrap();
+        assert!(csv.ends_with("demo.csv") && csv.exists());
+        assert!(json.ends_with("demo.json") && json.exists());
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"campaign\": \"demo\""));
+        assert!(doc.contains("\"sum_rounds\": 40"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

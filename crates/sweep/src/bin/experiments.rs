@@ -5,7 +5,7 @@
 //! aba-experiments [--exp all|e1|e2|...] [--quick] [--seed N] [--out DIR] [--list]
 //! ```
 
-use aba_harness::experiments::{self, ExpParams};
+use aba_sweep::experiments::{self, ExpParams};
 use std::path::PathBuf;
 use std::process::ExitCode;
 

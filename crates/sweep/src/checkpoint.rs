@@ -1,0 +1,246 @@
+//! Resumable checkpoints: parsing the campaign JSON artifact back into
+//! cell summaries.
+//!
+//! The checkpoint *is* the JSON artifact ([`CampaignResult::to_json`](crate::artifact::CampaignResult::to_json)):
+//! it carries the raw integer tallies plus the one floating-point sum,
+//! which Rust prints in shortest-roundtrip form — so a summary survives
+//! a save/load cycle bit for bit, and a resumed campaign emits
+//! byte-identical artifacts. The parser is hand-rolled and
+//! line-oriented (offline workspace, no serde), in the same style as
+//! `aba-bench`'s `parse_bench_json`: one cell object per line.
+//!
+//! Resume safety: the executor only reuses a checkpointed cell when the
+//! campaign [`fingerprint`](crate::CampaignSpec::fingerprint) (master
+//! seed + stopping rule) matches and the cell's key and derived seed
+//! are unchanged — anything else re-runs from scratch.
+
+use crate::summary::CellSummary;
+use std::path::Path;
+
+/// A parsed checkpoint document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Campaign name recorded at save time.
+    pub name: String,
+    /// Spec fingerprint recorded at save time.
+    pub fingerprint: String,
+    /// Finalized cell summaries.
+    pub cells: Vec<CellSummary>,
+}
+
+/// Extracts a `"key": "value"` string field, undoing the writer's
+/// escaping (`crate::artifact::esc_json`).
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a `"key": 123` unsigned integer field.
+fn int_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts a `"key": 1.25` float field (shortest-roundtrip decimal;
+/// parsing recovers the exact bits the writer printed).
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let lit: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    lit.parse().ok()
+}
+
+/// Parses a checkpoint document produced by [`CampaignResult::to_json`](crate::artifact::CampaignResult::to_json).
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse(doc: &str) -> Result<Checkpoint, String> {
+    let mut name = None;
+    let mut fingerprint = None;
+    let mut cells = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if name.is_none() && line.starts_with("\"campaign\"") {
+            name = str_field(&format!("{{{line}}}"), "campaign");
+            continue;
+        }
+        if fingerprint.is_none() && line.starts_with("\"fingerprint\"") {
+            fingerprint = str_field(&format!("{{{line}}}"), "fingerprint");
+            continue;
+        }
+        if !line.starts_with('{') || !line.contains("\"key\"") {
+            continue;
+        }
+        let parse_cell = || -> Option<CellSummary> {
+            Some(CellSummary {
+                key: str_field(line, "key")?,
+                protocol: str_field(line, "protocol")?,
+                attack: str_field(line, "attack")?,
+                network: str_field(line, "network")?,
+                inputs: str_field(line, "inputs")?,
+                info: str_field(line, "info")?,
+                n: int_field(line, "n")? as usize,
+                t: int_field(line, "t")? as usize,
+                cell_seed: int_field(line, "cell_seed")?,
+                trials: int_field(line, "trials")? as usize,
+                stopped: str_field(line, "stopped")?,
+                agreements: int_field(line, "agreements")? as usize,
+                terminations: int_field(line, "terminations")? as usize,
+                corrects: int_field(line, "corrects")? as usize,
+                sum_rounds: int_field(line, "sum_rounds")?,
+                min_rounds: int_field(line, "min_rounds")?,
+                max_rounds: int_field(line, "max_rounds")?,
+                p50_rounds: int_field(line, "p50_rounds")?,
+                p95_rounds: int_field(line, "p95_rounds")?,
+                sum_messages: int_field(line, "sum_messages")?,
+                sum_delivered: int_field(line, "sum_delivered")?,
+                sum_dropped: int_field(line, "sum_dropped")?,
+                sum_delayed: int_field(line, "sum_delayed")?,
+                sum_corruptions: int_field(line, "sum_corruptions")?,
+                sum_agree_fraction: f64_field(line, "sum_agree_fraction")?,
+            })
+        };
+        cells.push(parse_cell().ok_or_else(|| format!("malformed checkpoint cell: {line}"))?);
+    }
+    Ok(Checkpoint {
+        name: name.ok_or("checkpoint missing \"campaign\" field")?,
+        fingerprint: fingerprint.ok_or("checkpoint missing \"fingerprint\" field")?,
+        cells,
+    })
+}
+
+/// Loads and parses a checkpoint file. `Ok(None)` when the file does
+/// not exist (a fresh campaign), `Err` when it exists but is
+/// unreadable or malformed.
+///
+/// # Errors
+///
+/// Returns a message for IO failures and parse failures.
+pub fn load(path: &Path) -> Result<Option<Checkpoint>, String> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let doc = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&doc).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::CampaignResult;
+
+    fn summary(key: &str) -> CellSummary {
+        CellSummary {
+            key: key.to_string(),
+            protocol: "chor-coan(b1.5)".to_string(),
+            attack: "crash(2)".to_string(),
+            network: "lossy(0.1)".to_string(),
+            inputs: "split".to_string(),
+            info: "rushing".to_string(),
+            n: 31,
+            t: 10,
+            cell_seed: 0xDEAD_BEEF_u64,
+            trials: 17,
+            stopped: "rounds-ci".to_string(),
+            agreements: 15,
+            terminations: 16,
+            corrects: 15,
+            sum_rounds: 431,
+            min_rounds: 8,
+            max_rounds: 96,
+            p50_rounds: 20,
+            p95_rounds: 96,
+            sum_messages: 123_456,
+            sum_delivered: 120_000,
+            sum_dropped: 3_456,
+            sum_delayed: 0,
+            sum_corruptions: 34,
+            // A value with a long mantissa: must survive bit for bit.
+            sum_agree_fraction: 16.333333333333332,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bit_for_bit() {
+        let result = CampaignResult {
+            name: "round\"trip".to_string(),
+            seed: 9,
+            fingerprint: "seed9|min8|batch8|max64|agree0.1|rounds0.1".to_string(),
+            cells: vec![summary("a|b|c"), summary("d|e|f")],
+        };
+        let parsed = parse(&result.to_json()).expect("parses");
+        assert_eq!(parsed.name, result.name);
+        assert_eq!(parsed.fingerprint, result.fingerprint);
+        assert_eq!(parsed.cells, result.cells);
+        assert_eq!(
+            parsed.cells[0].sum_agree_fraction.to_bits(),
+            result.cells[0].sum_agree_fraction.to_bits(),
+            "float sum must round-trip exactly"
+        );
+    }
+
+    #[test]
+    fn control_characters_in_names_round_trip() {
+        // The parser is line-oriented: a raw newline in the campaign
+        // name must not split its line (it is escaped on write and
+        // decoded on parse).
+        let result = CampaignResult {
+            name: "nightly\nrun\twith \"quotes\" and \\slashes\\".to_string(),
+            seed: 1,
+            fingerprint: "fp\u{1}".to_string(),
+            cells: vec![summary("k\ney")],
+        };
+        let parsed = parse(&result.to_json()).expect("parses despite control chars");
+        assert_eq!(parsed.name, result.name);
+        assert_eq!(parsed.fingerprint, result.fingerprint);
+        assert_eq!(parsed.cells[0].key, "k\ney");
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_start() {
+        let path = std::env::temp_dir().join("aba_sweep_no_such_checkpoint.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load(&path), Ok(None));
+    }
+
+    #[test]
+    fn malformed_cell_is_an_error() {
+        let doc = "{\n\"campaign\": \"x\",\n\"fingerprint\": \"y\",\n{\"key\": \"broken\"}\n}";
+        assert!(parse(doc).unwrap_err().contains("malformed"));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(parse("{}").unwrap_err().contains("campaign"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The campaign-wide work-stealing executor.
+//!
+//! One shared task queue schedules at **(cell, trial)** granularity
+//! across the whole grid: workers claim individual trials, so a slow
+//! Las Vegas cell occupies at most a few cores while the rest of the
+//! grid drains — unlike a per-cell `run_batch` loop, where every cell
+//! is a barrier and one heavy tail idles the machine.
+//!
+//! Determinism contract (pinned by `tests/campaign.rs`): the set of
+//! trials each cell runs, every summary, and the emitted artifact
+//! bytes are **independent of worker count and completion order**.
+//! Three properties compose to give this:
+//!
+//! 1. trial `i` of a cell always runs at `cell_seed + i`, regardless of
+//!    which worker claims it;
+//! 2. the stopping rule is consulted only at batch boundaries, on the
+//!    complete ordered prefix of the cell's trials;
+//! 3. summaries fold trials in index order (and the accumulator is
+//!    merge-order invariant besides).
+
+use crate::artifact::CampaignResult;
+use crate::checkpoint;
+use crate::spec::{CampaignSpec, CellSpec};
+use crate::stop::StopDecision;
+use crate::summary::{CellAccum, CellSummary};
+use aba_harness::TrialResult;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+/// Execution options for [`CampaignSpec::run_with`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Worker threads (`0` = all available cores).
+    pub workers: usize,
+    /// Checkpoint file: loaded (if present and compatible) before the
+    /// run to skip finalized cells, rewritten after every cell
+    /// finalization and at completion. The file is the campaign JSON
+    /// artifact itself.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// Per-cell mutable state behind the queue lock.
+struct CellRun {
+    /// Trial results, indexed by trial number; `None` = in flight.
+    results: Vec<Option<TrialResult>>,
+    /// Trials scheduled so far (prefix length once the batch drains).
+    scheduled: usize,
+    /// Scheduled trials not yet recorded.
+    outstanding: usize,
+    /// Set exactly once, when the stopping rule fires.
+    summary: Option<CellSummary>,
+}
+
+/// Queue state shared by all workers.
+struct State {
+    queue: VecDeque<(usize, usize)>,
+    runs: Vec<CellRun>,
+    /// Cells not yet finalized; workers exit when this reaches 0.
+    open: usize,
+    /// Set when a trial panicked: every worker drains out immediately
+    /// (the panic itself propagates through the thread scope).
+    aborted: bool,
+}
+
+/// Best-effort checkpoint write: creates the parent directory, writes
+/// to a sibling temp file and renames it over the target (the
+/// checkpoint on disk is atomically either the old snapshot or the new
+/// one — a crash mid-write can never leave a torn JSON that would make
+/// the next resume fail), reports failures to stderr, never fails the
+/// campaign (the in-memory result is authoritative).
+fn write_checkpoint(path: &std::path::Path, result: &CampaignResult) {
+    let attempt = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, result.to_json())?;
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = attempt() {
+        eprintln!(
+            "warning: cannot write campaign checkpoint {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Maintains the finalized-cell list and serializes mid-run checkpoint
+/// writes *outside* the scheduler lock.
+///
+/// A finalizing worker clones exactly one `CellSummary` under the
+/// scheduler lock and hands it here; the sink keeps the accumulated
+/// grid (in grid order), renders the JSON, and performs the file IO
+/// under its own lock — so neither the O(cells) snapshot nor the disk
+/// write ever stalls trial claiming. Cells only ever fill in, so each
+/// write strictly extends the previous one and the file on disk only
+/// moves forward.
+struct CheckpointSink {
+    path: std::path::PathBuf,
+    name: String,
+    seed: u64,
+    fingerprint: String,
+    cells: Mutex<Vec<Option<CellSummary>>>,
+}
+
+impl CheckpointSink {
+    fn record(&self, index: usize, summary: CellSummary) {
+        let mut cells = self.cells.lock().expect("checkpoint sink lock");
+        cells[index] = Some(summary);
+        let snapshot = CampaignResult {
+            name: self.name.clone(),
+            seed: self.seed,
+            fingerprint: self.fingerprint.clone(),
+            cells: cells.iter().flatten().cloned().collect(),
+        };
+        // Write while still holding the sink lock: writes stay ordered,
+        // and only other *finalizing* workers ever wait here.
+        write_checkpoint(&self.path, &snapshot);
+    }
+}
+
+/// Unblocks the campaign when a trial panics (see `worker_loop`).
+struct AbortOnPanic<'a> {
+    state: &'a Mutex<State>,
+    idle: &'a Condvar,
+    armed: bool,
+}
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut st) = self.state.lock() {
+                st.aborted = true;
+                st.queue.clear();
+            }
+            self.idle.notify_all();
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Runs the campaign on all cores (no checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid spec (empty axes, bad stopping schedule,
+    /// or a cell violating a protocol precondition such as
+    /// `n ≥ 3t + 1`).
+    pub fn run(&self) -> CampaignResult {
+        self.run_with(&RunOptions::default())
+    }
+
+    /// Runs the campaign with explicit worker count and optional
+    /// resumable checkpoint.
+    ///
+    /// Checkpoint reuse is conservative: a stored cell is adopted only
+    /// when the campaign fingerprint (master seed + stopping rule), the
+    /// cell key, and the derived cell seed all match; otherwise the
+    /// cell re-runs. Checkpoint *write* failures are reported to stderr
+    /// but never fail the campaign — resumability is best-effort, the
+    /// in-memory result is authoritative.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CampaignSpec::run`], plus a malformed (not missing)
+    /// checkpoint file.
+    pub fn run_with(&self, opts: &RunOptions) -> CampaignResult {
+        self.stop.validate();
+        let cells = self.cells();
+        let fingerprint = self.fingerprint();
+
+        // Adopt compatible finalized cells from the checkpoint.
+        let restored: Vec<Option<CellSummary>> = match &opts.checkpoint {
+            Some(path) => {
+                let stored = checkpoint::load(path)
+                    .unwrap_or_else(|e| panic!("unusable checkpoint {}: {e}", path.display()));
+                let stored_cells = stored
+                    .filter(|c| c.fingerprint == fingerprint)
+                    .map(|c| c.cells)
+                    .unwrap_or_default();
+                cells
+                    .iter()
+                    .map(|cell| {
+                        stored_cells
+                            .iter()
+                            .find(|s| s.key == cell.key && s.cell_seed == cell.scenario.seed)
+                            .cloned()
+                    })
+                    .collect()
+            }
+            None => vec![None; cells.len()],
+        };
+
+        let mut state = State {
+            queue: VecDeque::new(),
+            runs: Vec::with_capacity(cells.len()),
+            open: 0,
+            aborted: false,
+        };
+        let first_batch = self.stop.min_trials.min(self.stop.max_trials);
+        for (i, restored) in restored.into_iter().enumerate() {
+            let done = restored.is_some();
+            state.runs.push(CellRun {
+                results: if done {
+                    Vec::new()
+                } else {
+                    vec![None; first_batch]
+                },
+                scheduled: if done { 0 } else { first_batch },
+                outstanding: if done { 0 } else { first_batch },
+                summary: restored,
+            });
+            if !done {
+                state.open += 1;
+                for t in 0..first_batch {
+                    state.queue.push_back((i, t));
+                }
+            }
+        }
+
+        // Cap workers at the campaign's *potential* task count (open
+        // cells × trial cap), not the initial queue length: adaptive
+        // rules with a small min_trials enqueue bigger batches later
+        // and must still be able to use the whole machine.
+        let potential_tasks = state.open.saturating_mul(self.stop.max_trials);
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            opts.workers
+        }
+        .min(potential_tasks.max(1));
+
+        let any_open = state.open > 0;
+        // Pre-seed the sink with checkpoint-restored cells so mid-run
+        // snapshots never lose them.
+        let sink = opts.checkpoint.as_ref().map(|path| CheckpointSink {
+            path: path.clone(),
+            name: self.name.clone(),
+            seed: self.seed,
+            fingerprint: fingerprint.clone(),
+            cells: Mutex::new(state.runs.iter().map(|r| r.summary.clone()).collect()),
+        });
+        let state = Mutex::new(state);
+        let idle = Condvar::new();
+        if any_open {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| self.worker_loop(&cells, &state, &idle, sink.as_ref()));
+                }
+            });
+        }
+
+        let runs = state.into_inner().expect("no worker panicked").runs;
+        let result = CampaignResult {
+            name: self.name.clone(),
+            seed: self.seed,
+            fingerprint,
+            cells: runs
+                .into_iter()
+                .map(|r| r.summary.expect("all cells finalized"))
+                .collect(),
+        };
+        if let Some(path) = &opts.checkpoint {
+            write_checkpoint(path, &result);
+        }
+        result
+    }
+
+    fn worker_loop(
+        &self,
+        cells: &[CellSpec],
+        state: &Mutex<State>,
+        idle: &Condvar,
+        sink: Option<&CheckpointSink>,
+    ) {
+        loop {
+            // Claim the next (cell, trial) task, or exit when the whole
+            // campaign has drained (or a sibling's trial panicked).
+            let (ci, ti) = {
+                let mut st = state.lock().expect("state lock");
+                loop {
+                    if st.aborted {
+                        return;
+                    }
+                    if let Some(task) = st.queue.pop_front() {
+                        break task;
+                    }
+                    if st.open == 0 {
+                        return;
+                    }
+                    st = idle.wait(st).expect("state lock");
+                }
+            };
+
+            // Run the trial outside the lock: this is the monomorphized
+            // protocol × adversary × network dispatch from aba-harness.
+            // The abort guard keeps a panicking trial (e.g. an invalid
+            // (n, t) for the cell's protocol) from deadlocking waiting
+            // workers: on unwind it raises the abort flag and wakes
+            // everyone, so the scope joins and the panic propagates.
+            let mut abort = AbortOnPanic {
+                state,
+                idle,
+                armed: true,
+            };
+            let mut scenario = cells[ci].scenario.clone();
+            scenario.seed = scenario.seed.wrapping_add(ti as u64);
+            let result = aba_harness::run_scenario(&scenario);
+            abort.armed = false;
+
+            let mut st = state.lock().expect("state lock");
+            if st.aborted {
+                return;
+            }
+            {
+                let run = &mut st.runs[ci];
+                run.results[ti] = Some(result);
+                run.outstanding -= 1;
+                if run.outstanding > 0 {
+                    continue;
+                }
+            }
+            // Batch boundary: the prefix 0..scheduled is complete.
+            // Consult the stopping rule and either extend the cell or
+            // finalize it.
+            let decision = {
+                let run = &st.runs[ci];
+                let prefix: Vec<TrialResult> = run
+                    .results
+                    .iter()
+                    .map(|r| r.clone().expect("prefix complete"))
+                    .collect();
+                self.stop.decide(&prefix)
+            };
+            // A finalized cell clones its one summary under the lock
+            // and persists after releasing (see CheckpointSink).
+            let mut pending_checkpoint = None;
+            match decision {
+                StopDecision::Continue { next_batch } => {
+                    let start = {
+                        let run = &mut st.runs[ci];
+                        let start = run.scheduled;
+                        run.scheduled += next_batch;
+                        run.outstanding = next_batch;
+                        run.results.resize(run.scheduled, None);
+                        start
+                    };
+                    for t in start..start + next_batch {
+                        st.queue.push_back((ci, t));
+                    }
+                }
+                StopDecision::Stop { reason } => {
+                    let summary = {
+                        let run = &st.runs[ci];
+                        let mut accum = CellAccum::new();
+                        for r in &run.results {
+                            accum.push(r.as_ref().expect("prefix complete"));
+                        }
+                        accum.summarize(&cells[ci], reason)
+                    };
+                    let run = &mut st.runs[ci];
+                    if sink.is_some() {
+                        pending_checkpoint = Some((ci, summary.clone()));
+                    }
+                    run.summary = Some(summary);
+                    run.results = Vec::new();
+                    st.open -= 1;
+                }
+            }
+            idle.notify_all();
+            drop(st);
+            if let (Some(sink), Some((index, summary))) = (sink, pending_checkpoint) {
+                sink.record(index, summary);
+            }
+        }
+    }
+}

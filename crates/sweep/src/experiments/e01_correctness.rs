@@ -7,10 +7,10 @@
 //! and split inputs and report the success rates.
 
 use super::{agreement_rate, mean_rounds, termination_rate, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, InputSpec, ProtocolSpec};
 use aba_analysis::Table;
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, InputSpec, ProtocolSpec};
 
 /// Runs E1.
 pub fn run(params: &ExpParams) -> Report {
@@ -60,7 +60,7 @@ pub fn run(params: &ExpParams) -> Report {
                         .trials(trials)
                         .run_batch()
                         .results;
-                    let validity_applicable: Vec<&crate::runner::TrialResult> =
+                    let validity_applicable: Vec<&aba_harness::TrialResult> =
                         results.iter().filter(|r| r.validity.is_some()).collect();
                     let valid_pct = if validity_applicable.is_empty() {
                         f64::NAN

@@ -14,11 +14,11 @@
 //! * the Paley–Zygmund floor at the Theorem 3 budget.
 
 use super::ExpParams;
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{Series, Table};
 use aba_coin::analysis;
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Measured outcome of a batch of standalone coin runs.
 struct CoinStats {

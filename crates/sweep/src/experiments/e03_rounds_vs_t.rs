@@ -17,10 +17,10 @@
 //! and the full series are reported for inspection.
 
 use super::{log_sweep, mean_rounds, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{fit_loglog, theory, Series, Table};
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Runs E3.
 pub fn run(params: &ExpParams) -> Report {

@@ -3,22 +3,46 @@
 //! Claim (the paper's worked example): at `t = n^{3/4}` the paper's
 //! protocol takes `Õ(√n)` rounds while Chor–Coan needs `Õ(n^{3/4})` —
 //! asymptotically separated curves. We sweep `n` with `t = ⌊n^{3/4}⌋`
-//! and plot both measured round counts next to both theory shapes.
+//! as one campaign (both protocols × all sizes in a single
+//! work-stealing grid; the large-`n` Chor–Coan tails no longer
+//! serialize the sweep) and plot both measured round counts next to
+//! both theory shapes.
 
-use super::{mean_rounds, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
+use super::ExpParams;
+use crate::spec::protocol_key;
+use crate::{CampaignSpec, RoundCap, StopRule};
 use aba_analysis::{fit_loglog, theory, Series, Table};
+use aba_harness::Report;
+use aba_harness::{AttackSpec, ProtocolSpec};
+
+const PROTOCOLS: [ProtocolSpec; 2] = [
+    ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+    ProtocolSpec::ChorCoan { beta: 1.0 },
+];
 
 /// Runs E5.
 pub fn run(params: &ExpParams) -> Report {
     let mut report = Report::new("E5", "Scaling at t = n^0.75 (Section 1.2)");
-    let (ns, trials): (&[usize], usize) = if params.quick {
-        (&[128, 256], 3)
-    } else {
-        (&[128, 256, 512, 1024, 2048], 8)
-    };
+    let ns: &[usize] = params.pick(&[128, 256], &[128, 256, 512, 1024, 2048]);
+    // Quick mode pins the old fixed trial count; full mode lets the
+    // stopping rule concentrate trials on the noisy large-n cells.
+    let stop = params.pick(
+        StopRule::fixed(3),
+        StopRule::adaptive(8, 4, 24).agree_half_width(None),
+    );
+    let sizes: Vec<(usize, usize)> = ns
+        .iter()
+        .map(|&n| (n, ((n as f64).powf(0.75) as usize).min((n - 1) / 3)))
+        .collect();
+
+    let result = CampaignSpec::new("e05-scaling")
+        .sizes(&sizes)
+        .protocols(&PROTOCOLS)
+        .attacks(&[AttackSpec::FullAttack])
+        .round_cap(RoundCap::PerNode(8))
+        .seed(params.seed)
+        .stop(stop)
+        .run();
 
     let mut paper_series = Series::new("paper measured");
     let mut cc_series = Series::new("chor-coan measured");
@@ -29,29 +53,15 @@ pub fn run(params: &ExpParams) -> Report {
         &["n", "t", "paper", "chor-coan", "paper bound", "cc bound"],
     );
 
-    for &n in ns {
-        let t = ((n as f64).powf(0.75) as usize).min((n - 1) / 3);
-        let max_rounds = (8 * n) as u64;
-        let paper = mean_rounds(
-            &ScenarioBuilder::new(n, t)
-                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .adversary(AttackSpec::FullAttack)
-                .seed(params.seed)
-                .max_rounds(max_rounds)
-                .trials(trials)
-                .run_batch()
-                .results,
-        );
-        let cc = mean_rounds(
-            &ScenarioBuilder::new(n, t)
-                .protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
-                .adversary(AttackSpec::FullAttack)
-                .seed(params.seed)
-                .max_rounds(max_rounds)
-                .trials(trials)
-                .run_batch()
-                .results,
-        );
+    for &(n, t) in &sizes {
+        let mean = |p: &ProtocolSpec| {
+            result
+                .find(|c| c.n == n && c.protocol == protocol_key(p))
+                .expect("cell present")
+                .mean_rounds()
+        };
+        let paper = mean(&PROTOCOLS[0]);
+        let cc = mean(&PROTOCOLS[1]);
         paper_series.push(n as f64, paper);
         cc_series.push(n as f64, cc);
         paper_bound.push(n as f64, theory::paper_bound(n, t));
@@ -79,6 +89,12 @@ pub fn run(params: &ExpParams) -> Report {
             fit.slope, fit.r_squared
         ));
     }
+    report.note(format!(
+        "campaign `{}`: {} trials over {} cells (adaptive stopping)",
+        result.name,
+        result.total_trials(),
+        result.cells.len()
+    ));
     report.note(
         "Paper claim: at t = n^0.75 the new protocol is polynomially faster — asymptotically. \
          Honest caveat: with base-2 logs the separation n^0.5·log n < n^0.75/log n only opens \

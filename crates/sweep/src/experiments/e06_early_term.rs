@@ -8,10 +8,10 @@
 //! corruptions, and sweep `q`.
 
 use super::{mean_rounds, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Runs E6.
 pub fn run(params: &ExpParams) -> Report {

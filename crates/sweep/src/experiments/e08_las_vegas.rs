@@ -6,10 +6,10 @@
 //! rate, termination rate, and the distribution of rounds.
 
 use super::{agreement_rate, termination_rate, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::Table;
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Runs E8.
 pub fn run(params: &ExpParams) -> Report {

@@ -7,10 +7,10 @@
 //! and report the ratio to the bound curve.
 
 use super::{log_sweep, mean_rounds, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Runs E9.
 pub fn run(params: &ExpParams) -> Report {

@@ -8,11 +8,11 @@
 //! unlimited budget and record what the optimal attack actually paid.
 
 use super::ExpParams;
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{fit_loglog, Series, Table};
 use aba_coin::analysis;
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 use aba_sim::InfoModel;
 
 fn mean_cost(s: usize, trials: usize, seed: u64, info: InfoModel) -> f64 {

@@ -8,11 +8,11 @@
 //! phases are too few) and the cost in rounds.
 
 use super::{agreement_rate, mean_rounds, termination_rate, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_agreement::BaConfig;
 use aba_analysis::Table;
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Runs E11.
 pub fn run(params: &ExpParams) -> Report {

@@ -4,23 +4,24 @@
 //! adaptive Byzantine (non-rushing) < adaptive Byzantine (rushing). Each
 //! strategy plays against the Las Vegas paper protocol at fixed `(n, t)`;
 //! the table shows how many rounds each information/adaptivity level
-//! actually buys the adversary.
+//! actually buys the adversary. The whole matrix runs as one campaign —
+//! attacks × information models as grid axes — so the expensive rushing
+//! cells steal idle cores from the cheap benign ones, and the stopping
+//! rule spends trials where the round distributions are widest.
 
-use super::{agreement_rate, mean_rounds, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
+use super::ExpParams;
+use crate::spec::{attack_key, info_key};
+use crate::{CampaignSpec, RoundCap, StopRule};
 use aba_analysis::Table;
+use aba_harness::Report;
+use aba_harness::{AttackSpec, ProtocolSpec};
 use aba_sim::InfoModel;
 
 /// Runs E12.
 pub fn run(params: &ExpParams) -> Report {
     let mut report = Report::new("E12", "Adversary ablation matrix");
-    let (n, t, trials) = if params.quick {
-        (32, 10, 6)
-    } else {
-        (128, 42, 20)
-    };
+    let (n, t) = params.pick((32, 10), (128, 42));
+    let stop = params.pick(StopRule::fixed(6), StopRule::adaptive(12, 8, 40));
 
     let attacks = [
         AttackSpec::Benign,
@@ -31,6 +32,17 @@ pub fn run(params: &ExpParams) -> Report {
         AttackSpec::FullAttackFrugal,
         AttackSpec::FullAttack,
     ];
+    let infos = [InfoModel::NonRushing, InfoModel::Rushing];
+
+    let result = CampaignSpec::new("e12-adversaries")
+        .sizes(&[(n, t)])
+        .protocols(&[ProtocolSpec::PaperLasVegas { alpha: 2.0 }])
+        .attacks(&attacks)
+        .infos(&infos)
+        .round_cap(RoundCap::PerNode(16))
+        .seed(params.seed)
+        .stop(stop)
+        .run();
 
     let mut table = Table::new(
         "Rounds bought by each adversary class",
@@ -40,38 +52,34 @@ pub fn run(params: &ExpParams) -> Report {
             "mean rounds",
             "agree%",
             "corruptions used (mean)",
+            "trials",
         ],
     );
 
     for attack in attacks {
-        for info in [InfoModel::NonRushing, InfoModel::Rushing] {
-            let results = ScenarioBuilder::new(n, t)
-                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
-                .adversary(attack)
-                .info_model(info)
-                .seed(params.seed)
-                .max_rounds((16 * n) as u64)
-                .trials(trials)
-                .run_batch()
-                .results;
-            let used =
-                results.iter().map(|r| r.corruptions as f64).sum::<f64>() / results.len() as f64;
+        for info in infos {
+            let cell = result
+                .find(|c| c.attack == attack_key(&attack) && c.info == info_key(info))
+                .expect("cell present");
             table.push_row(vec![
                 attack.name().into(),
-                (if info.is_rushing() {
-                    "rushing"
-                } else {
-                    "non-rushing"
-                })
-                .into(),
-                mean_rounds(&results).into(),
-                (agreement_rate(&results) * 100.0).into(),
-                used.into(),
+                info_key(info).into(),
+                cell.mean_rounds().into(),
+                (cell.agreement_rate() * 100.0).into(),
+                cell.mean_corruptions().into(),
+                cell.trials.into(),
             ]);
         }
     }
 
     report.tables.push(table);
+    report.note(format!(
+        "campaign `{}`: {} trials over {} cells (adaptive stopping; the trials column shows \
+         where the budget went)",
+        result.name,
+        result.total_trials(),
+        result.cells.len()
+    ));
     report.note(
         "Paper context (Section 1): the adaptive rushing adversary is the strongest model; \
          static and crash adversaries barely slow the protocol. PASS iff mean rounds increase \

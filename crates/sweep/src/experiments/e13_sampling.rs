@@ -10,11 +10,11 @@
 //! cliff, mirroring E2's coin cliff.
 
 use super::ExpParams;
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, InputSpec, ProtocolSpec};
 use aba_agreement::SamplingMajorityNode;
 use aba_analysis::{Series, Table};
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, InputSpec, ProtocolSpec};
 
 /// Runs E13.
 pub fn run(params: &ExpParams) -> Report {

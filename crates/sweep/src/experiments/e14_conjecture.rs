@@ -11,10 +11,10 @@
 //! achieves.
 
 use super::{log_sweep, mean_rounds, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{theory, Series, Table};
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Least-squares scale for `y ≈ a·basis` through the origin, plus the
 /// relative RMS residual of that fit.

@@ -14,10 +14,10 @@
 //!   `n` while the shared-coin variants stay flat.
 
 use super::{mean_rounds, termination_rate, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, ProtocolSpec};
 use aba_analysis::{Series, Table};
+use aba_harness::Report;
+use aba_harness::ScenarioBuilder;
+use aba_harness::{AttackSpec, ProtocolSpec};
 
 /// Runs E15.
 pub fn run(params: &ExpParams) -> Report {

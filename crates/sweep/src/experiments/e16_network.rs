@@ -7,12 +7,21 @@
 //! synchrony (delay-bound sweep, random and adversarial schedulers).
 //! Reported per cell: agreement rate, termination rate, and the round
 //! blow-up relative to the same protocol on the synchronous network.
+//!
+//! The whole protocol × network grid runs as **one campaign**: the
+//! lossy/delayed cells stall at the round cap and dominate wall-clock,
+//! so scheduling at (cell, trial) granularity lets the cheap
+//! synchronous baselines and Phase-King cells finish early and lend
+//! their cores to the stalled committee cells — and the `p_drop = 0`
+//! sweep rows simply *are* the synchronous baseline cells (one cell,
+//! reused, instead of a re-run).
 
-use super::{agreement_rate, termination_rate, ExpParams};
-use crate::facade::ScenarioBuilder;
-use crate::report::Report;
-use crate::scenario::{AttackSpec, NetworkSpec, ProtocolSpec};
+use super::ExpParams;
+use crate::spec::{network_key, protocol_key};
+use crate::{CampaignSpec, RoundCap, StopRule};
 use aba_analysis::{Series, Table};
+use aba_harness::Report;
+use aba_harness::{AttackSpec, NetworkSpec, ProtocolSpec};
 use aba_net::DelayScheduler;
 
 const PROTOCOLS: [(&str, ProtocolSpec); 3] = [
@@ -24,36 +33,58 @@ const PROTOCOLS: [(&str, ProtocolSpec); 3] = [
 /// Runs E16.
 pub fn run(params: &ExpParams) -> Report {
     let mut report = Report::new("E16", "Agreement under weakened synchrony (aba-net)");
-    let (n, t) = if params.quick { (16, 5) } else { (32, 10) };
-    let trials = if params.quick { 6 } else { 24 };
-    let cap = (24 * n) as u64;
+    let (n, t) = params.pick((16, 5), (32, 10));
+    // Quick mode pins the old fixed trial count. Full mode is adaptive:
+    // deterministic cells (Phase-King, cap-stalled committee cells)
+    // stop at min_trials, agreement-flapping cells earn the budget.
+    let stop = params.pick(StopRule::fixed(6), StopRule::adaptive(12, 6, 36));
+    let p_drops: &[f64] = params.pick(&[0.0, 0.1, 0.3], &[0.0, 0.02, 0.05, 0.1, 0.2, 0.3]);
+    let delays: &[u64] = params.pick(&[1, 3], &[1, 2, 4, 8]);
+    let schedulers = [
+        ("random", DelayScheduler::Random),
+        ("adversarial", DelayScheduler::DelayHonest),
+    ];
 
-    let run_cell = |proto: ProtocolSpec, net: NetworkSpec| {
-        ScenarioBuilder::new(n, t)
-            .protocol(proto)
-            .adversary(AttackSpec::FullAttack)
-            .network(net)
-            .seed(params.seed)
-            .max_rounds(cap)
-            .trials(trials)
-            .run_batch()
+    // Network axis: the synchronous baseline (which doubles as the
+    // p_drop = 0 row), the strictly positive drop rates, and the delay
+    // bounds under both schedulers.
+    let mut networks = vec![NetworkSpec::Synchronous];
+    networks.extend(
+        p_drops
+            .iter()
+            .filter(|p| **p > 0.0)
+            .map(|&p_drop| NetworkSpec::LossyLinks { p_drop }),
+    );
+    for &(_, scheduler) in &schedulers {
+        networks.extend(delays.iter().map(|&max_delay| NetworkSpec::BoundedDelay {
+            max_delay,
+            scheduler,
+        }));
+    }
+
+    let result = CampaignSpec::new("e16-network")
+        .sizes(&[(n, t)])
+        .protocols(&[PROTOCOLS[0].1, PROTOCOLS[1].1, PROTOCOLS[2].1])
+        .attacks(&[AttackSpec::FullAttack])
+        .networks(&networks)
+        .round_cap(RoundCap::PerNode(24))
+        .seed(params.seed)
+        .stop(stop)
+        .run();
+
+    let cell = |proto: &ProtocolSpec, net: &NetworkSpec| {
+        result
+            .find(|c| c.protocol == protocol_key(proto) && c.network == network_key(net))
+            .expect("cell present")
     };
 
-    // Per-protocol synchronous baselines — reused verbatim as the
-    // p_drop = 0 sweep rows (runs are deterministic, so re-running the
-    // cell would reproduce these batches exactly).
-    let baseline_batches: Vec<_> = PROTOCOLS
+    // Per-protocol synchronous baselines.
+    let baseline: Vec<f64> = PROTOCOLS
         .iter()
-        .map(|(_, p)| run_cell(*p, NetworkSpec::Synchronous))
+        .map(|(_, p)| cell(p, &NetworkSpec::Synchronous).mean_rounds())
         .collect();
-    let baseline: Vec<f64> = baseline_batches.iter().map(|b| b.mean_rounds()).collect();
 
     // Sweep 1: drop probability.
-    let p_drops: &[f64] = if params.quick {
-        &[0.0, 0.1, 0.3]
-    } else {
-        &[0.0, 0.02, 0.05, 0.1, 0.2, 0.3]
-    };
     let mut loss_table = Table::new(
         "Lossy links: drop probability sweep (full attack)",
         &[
@@ -72,21 +103,22 @@ pub fn run(params: &ExpParams) -> Report {
         .collect();
     for &p_drop in p_drops {
         for (i, (name, proto)) in PROTOCOLS.iter().enumerate() {
-            let batch = if p_drop == 0.0 {
-                baseline_batches[i].clone()
+            let net = if p_drop == 0.0 {
+                NetworkSpec::Synchronous
             } else {
-                run_cell(*proto, NetworkSpec::LossyLinks { p_drop })
+                NetworkSpec::LossyLinks { p_drop }
             };
-            let agree = agreement_rate(&batch.results);
+            let c = cell(proto, &net);
+            let agree = c.agreement_rate();
             loss_series[i].push(p_drop, agree * 100.0);
             loss_table.push_row(vec![
                 p_drop.into(),
                 (*name).into(),
                 (agree * 100.0).into(),
-                (termination_rate(&batch.results) * 100.0).into(),
-                batch.mean_rounds().into(),
-                (batch.mean_rounds() / baseline[i]).into(),
-                (batch.delivery_rate() * 100.0).into(),
+                (c.termination_rate() * 100.0).into(),
+                c.mean_rounds().into(),
+                (c.mean_rounds() / baseline[i]).into(),
+                (c.delivery_rate() * 100.0).into(),
             ]);
         }
     }
@@ -94,7 +126,6 @@ pub fn run(params: &ExpParams) -> Report {
     report.series.extend(loss_series);
 
     // Sweep 2: delay bound, random and adversarial schedulers.
-    let delays: &[u64] = if params.quick { &[1, 3] } else { &[1, 2, 4, 8] };
     let mut delay_table = Table::new(
         "Bounded delay: delay-bound sweep (full attack)",
         &[
@@ -108,15 +139,11 @@ pub fn run(params: &ExpParams) -> Report {
         ],
     );
     for &max_delay in delays {
-        for scheduler in [DelayScheduler::Random, DelayScheduler::DelayHonest] {
-            let sched_name = match scheduler {
-                DelayScheduler::Random => "random",
-                DelayScheduler::DelayHonest => "adversarial",
-            };
+        for &(sched_name, scheduler) in &schedulers {
             for (i, (name, proto)) in PROTOCOLS.iter().enumerate() {
-                let batch = run_cell(
-                    *proto,
-                    NetworkSpec::BoundedDelay {
+                let c = cell(
+                    proto,
+                    &NetworkSpec::BoundedDelay {
                         max_delay,
                         scheduler,
                     },
@@ -125,16 +152,22 @@ pub fn run(params: &ExpParams) -> Report {
                     (max_delay as usize).into(),
                     sched_name.into(),
                     (*name).into(),
-                    (agreement_rate(&batch.results) * 100.0).into(),
-                    (termination_rate(&batch.results) * 100.0).into(),
-                    batch.mean_rounds().into(),
-                    (batch.mean_rounds() / baseline[i]).into(),
+                    (c.agreement_rate() * 100.0).into(),
+                    (c.termination_rate() * 100.0).into(),
+                    c.mean_rounds().into(),
+                    (c.mean_rounds() / baseline[i]).into(),
                 ]);
             }
         }
     }
     report.tables.push(delay_table);
 
+    report.note(format!(
+        "campaign `{}`: {} trials over {} cells (adaptive stopping)",
+        result.name,
+        result.total_trials(),
+        result.cells.len()
+    ));
     report.note(
         "The paper's guarantees assume lock-step synchrony; this experiment measures \
          degradation outside the model. Observed shape: at p_drop = 0 every protocol matches \

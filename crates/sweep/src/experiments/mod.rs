@@ -22,8 +22,8 @@ pub mod e14_conjecture;
 pub mod e15_coin_sources;
 pub mod e16_network;
 
-use crate::report::Report;
-use crate::runner::TrialResult;
+use aba_harness::Report;
+use aba_harness::TrialResult;
 
 /// Global experiment parameters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,6 +32,19 @@ pub struct ExpParams {
     pub quick: bool,
     /// Master seed offset.
     pub seed: u64,
+}
+
+impl ExpParams {
+    /// Picks the quick-mode or full-mode value of a parameter — the one
+    /// place experiments scale their sizes, trials, and sweeps down for
+    /// smoke runs.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
 }
 
 /// A registered experiment.
@@ -203,6 +216,21 @@ mod tests {
     }
 
     #[test]
+    fn pick_scales_by_mode() {
+        let quick = ExpParams {
+            quick: true,
+            seed: 0,
+        };
+        let full = ExpParams {
+            quick: false,
+            seed: 0,
+        };
+        assert_eq!(quick.pick(3, 8), 3);
+        assert_eq!(full.pick(3, 8), 8);
+        assert_eq!(quick.pick(&[1, 2][..], &[1, 2, 3][..]), &[1, 2]);
+    }
+
+    #[test]
     fn log_sweep_shapes() {
         let s = log_sweep(1, 100, 5);
         assert_eq!(s.first(), Some(&1));
@@ -214,8 +242,9 @@ mod tests {
 
     #[test]
     fn aggregation_helpers() {
-        use crate::runner::TrialResult;
+        use aba_harness::TrialResult;
         let t = |rounds, agreement, terminated| TrialResult {
+            seed: 0,
             rounds,
             terminated,
             agreement,

@@ -1,0 +1,439 @@
+//! Declarative description of a whole measurement campaign.
+//!
+//! A [`CampaignSpec`] composes axes — `(n, t)` sizes, protocols (with
+//! their parameters), attacks, networks, input assignments, information
+//! models — into a grid of *cells*, each a fully-specified base
+//! [`Scenario`]. Cell identity is the canonical [`CellSpec::key`]
+//! string; the per-cell seed is derived from that key and the campaign
+//! master seed, so **reordering axes, inserting new axis values, or
+//! removing cells never changes the seeds (and therefore the results)
+//! of the surviving cells**.
+
+use crate::stop::StopRule;
+use aba_harness::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
+use aba_sim::InfoModel;
+
+/// Round-cap policy applied uniformly across the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundCap {
+    /// The same cap for every cell.
+    Fixed(u64),
+    /// Cap scales with the cell's network size: `factor · n`.
+    PerNode(u64),
+}
+
+impl RoundCap {
+    /// The cap for a cell of `n` nodes.
+    pub fn for_n(&self, n: usize) -> u64 {
+        match self {
+            RoundCap::Fixed(r) => *r,
+            RoundCap::PerNode(f) => f.saturating_mul(n as u64),
+        }
+    }
+}
+
+/// Canonical, parameter-carrying identity of a protocol axis value.
+///
+/// Unlike [`ProtocolSpec::name`], two different parameterizations of
+/// the same protocol map to different keys — the key is what makes a
+/// campaign cell's identity (and thus its derived seed) unambiguous.
+pub fn protocol_key(p: &ProtocolSpec) -> String {
+    match p {
+        ProtocolSpec::Paper { alpha } => format!("paper(a{alpha})"),
+        ProtocolSpec::PaperLasVegas { alpha } => format!("paper-lv(a{alpha})"),
+        ProtocolSpec::PaperLiteralCoin { alpha } => format!("paper-literal(a{alpha})"),
+        ProtocolSpec::ChorCoan { beta } => format!("chor-coan(b{beta})"),
+        ProtocolSpec::RabinDealer => "rabin-dealer".to_string(),
+        ProtocolSpec::BenOrPrivate => "ben-or-private".to_string(),
+        ProtocolSpec::PhaseKing => "phase-king".to_string(),
+        ProtocolSpec::CommonCoin => "common-coin".to_string(),
+        ProtocolSpec::SamplingMajority { iters } => format!("sampling-majority(i{iters})"),
+    }
+}
+
+/// Canonical, parameter-carrying identity of an attack axis value.
+pub fn attack_key(a: &AttackSpec) -> String {
+    match a {
+        AttackSpec::Crash { per_round } => format!("crash({per_round})"),
+        AttackSpec::FullAttackCapped { q } => format!("full-capped({q})"),
+        other => other.name().to_string(),
+    }
+}
+
+/// Canonical, parameter-carrying identity of a network axis value.
+pub fn network_key(net: &NetworkSpec) -> String {
+    match net {
+        NetworkSpec::Synchronous => "sync".to_string(),
+        NetworkSpec::LossyLinks { p_drop } => format!("lossy({p_drop})"),
+        NetworkSpec::BoundedDelay {
+            max_delay,
+            scheduler: _,
+        } => format!("{}({max_delay})", net.name()),
+        // No commas in keys: keys appear verbatim in unquoted CSV cells.
+        NetworkSpec::Partition { groups, heal_round } => {
+            format!("partition({groups}:heal{heal_round})")
+        }
+    }
+}
+
+/// Canonical identity of an information-model axis value.
+pub fn info_key(info: InfoModel) -> &'static str {
+    if info.is_rushing() {
+        "rushing"
+    } else {
+        "non-rushing"
+    }
+}
+
+/// One cell of the campaign grid: a base scenario plus its canonical
+/// identity. Trial `i` of the cell runs at `scenario.seed + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Position in the grid (artifact row order).
+    pub index: usize,
+    /// Canonical identity: every axis value, parameters included.
+    pub key: String,
+    /// The fully-specified base scenario; `seed` is the derived cell
+    /// seed.
+    pub scenario: Scenario,
+}
+
+/// FNV-1a over the key bytes, finalized through SplitMix64 together
+/// with the campaign master seed. Depends only on (key, campaign seed):
+/// stable under any reordering or extension of the axes.
+pub(crate) fn derive_cell_seed(campaign_seed: u64, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut state = h ^ campaign_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    aba_sim::rng::splitmix64(&mut state)
+}
+
+/// A declarative measurement campaign: axes × stopping rule × seed.
+///
+/// ```
+/// use aba_sweep::{CampaignSpec, StopRule};
+/// use aba_harness::{AttackSpec, NetworkSpec, ProtocolSpec};
+///
+/// let result = CampaignSpec::new("demo")
+///     .sizes(&[(16, 5)])
+///     .protocols(&[ProtocolSpec::PaperLasVegas { alpha: 2.0 }])
+///     .attacks(&[AttackSpec::Benign, AttackSpec::SplitVote])
+///     .stop(StopRule::fixed(2))
+///     .run();
+/// assert_eq!(result.cells.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (artifact file stem).
+    pub name: String,
+    /// `(n, t)` pairs.
+    pub sizes: Vec<(usize, usize)>,
+    /// Protocol axis (parameters included).
+    pub protocols: Vec<ProtocolSpec>,
+    /// Attack axis.
+    pub attacks: Vec<AttackSpec>,
+    /// Network axis.
+    pub networks: Vec<NetworkSpec>,
+    /// Input-assignment axis.
+    pub inputs: Vec<InputSpec>,
+    /// Information-model axis.
+    pub infos: Vec<InfoModel>,
+    /// Round-cap policy.
+    pub cap: RoundCap,
+    /// Campaign master seed (mixed into every cell seed).
+    pub seed: u64,
+    /// Per-cell sequential stopping rule.
+    pub stop: StopRule,
+}
+
+impl CampaignSpec {
+    /// A campaign with the workspace's default single-valued axes: the
+    /// paper's Las Vegas protocol, the full attack, the synchronous
+    /// network, split inputs, the rushing information model, a
+    /// 20 000-round cap, seed 0, and the default adaptive stopping rule.
+    /// Axes start empty only where there is no sensible default
+    /// (`sizes`).
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            sizes: Vec::new(),
+            protocols: vec![ProtocolSpec::PaperLasVegas { alpha: 2.0 }],
+            attacks: vec![AttackSpec::FullAttack],
+            networks: vec![NetworkSpec::Synchronous],
+            inputs: vec![InputSpec::Split],
+            infos: vec![InfoModel::Rushing],
+            cap: RoundCap::Fixed(20_000),
+            seed: 0,
+            stop: StopRule::default(),
+        }
+    }
+
+    /// Sets the `(n, t)` axis.
+    #[must_use]
+    pub fn sizes(mut self, sizes: &[(usize, usize)]) -> Self {
+        self.sizes = sizes.to_vec();
+        self
+    }
+
+    /// Sets the protocol axis.
+    #[must_use]
+    pub fn protocols(mut self, ps: &[ProtocolSpec]) -> Self {
+        self.protocols = ps.to_vec();
+        self
+    }
+
+    /// Sets the attack axis.
+    #[must_use]
+    pub fn attacks(mut self, attacks: &[AttackSpec]) -> Self {
+        self.attacks = attacks.to_vec();
+        self
+    }
+
+    /// Sets the network axis.
+    #[must_use]
+    pub fn networks(mut self, nets: &[NetworkSpec]) -> Self {
+        self.networks = nets.to_vec();
+        self
+    }
+
+    /// Sets the input-assignment axis.
+    #[must_use]
+    pub fn inputs(mut self, inputs: &[InputSpec]) -> Self {
+        self.inputs = inputs.to_vec();
+        self
+    }
+
+    /// Sets the information-model axis.
+    #[must_use]
+    pub fn infos(mut self, infos: &[InfoModel]) -> Self {
+        self.infos = infos.to_vec();
+        self
+    }
+
+    /// Sets the round-cap policy.
+    #[must_use]
+    pub fn round_cap(mut self, cap: RoundCap) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the campaign master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-cell stopping rule.
+    #[must_use]
+    pub fn stop(mut self, stop: StopRule) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Expands the axes into the cell grid, in canonical row order
+    /// (sizes, then protocols, attacks, networks, inputs, infos —
+    /// rightmost axis fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty or two cells share a key (duplicate
+    /// axis values).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        assert!(!self.sizes.is_empty(), "campaign has no (n, t) sizes");
+        assert!(!self.protocols.is_empty(), "campaign has no protocols");
+        assert!(!self.attacks.is_empty(), "campaign has no attacks");
+        assert!(!self.networks.is_empty(), "campaign has no networks");
+        assert!(!self.inputs.is_empty(), "campaign has no inputs");
+        assert!(!self.infos.is_empty(), "campaign has no info models");
+        let mut cells = Vec::with_capacity(
+            self.sizes.len()
+                * self.protocols.len()
+                * self.attacks.len()
+                * self.networks.len()
+                * self.inputs.len()
+                * self.infos.len(),
+        );
+        for &(n, t) in &self.sizes {
+            for protocol in &self.protocols {
+                for attack in &self.attacks {
+                    for network in &self.networks {
+                        for inputs in &self.inputs {
+                            for &info in &self.infos {
+                                let cap = self.cap.for_n(n);
+                                let key = format!(
+                                    "{}|{}|{}|n{n}t{t}|{}|{}|cap{cap}",
+                                    protocol_key(protocol),
+                                    attack_key(attack),
+                                    network_key(network),
+                                    inputs.name(),
+                                    info_key(info),
+                                );
+                                let scenario = Scenario::new(n, t)
+                                    .with_protocol(*protocol)
+                                    .with_attack(*attack)
+                                    .with_network(*network)
+                                    .with_inputs(*inputs)
+                                    .with_info(info)
+                                    .with_max_rounds(cap)
+                                    .with_seed(derive_cell_seed(self.seed, &key));
+                                cells.push(CellSpec {
+                                    index: cells.len(),
+                                    key,
+                                    scenario,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut keys: Vec<&str> = cells.iter().map(|c| c.key.as_str()).collect();
+        keys.sort_unstable();
+        if let Some(w) = keys.windows(2).find(|w| w[0] == w[1]) {
+            panic!("duplicate campaign cell: {}", w[0]);
+        }
+        cells
+    }
+
+    /// Canonical description of the stopping rule + campaign seed, used
+    /// to decide whether a checkpoint is resumable under this spec.
+    pub fn fingerprint(&self) -> String {
+        format!("seed{}|{}", self.seed, self.stop.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_net::DelayScheduler;
+
+    #[test]
+    fn keys_carry_parameters() {
+        assert_eq!(
+            protocol_key(&ProtocolSpec::PaperLasVegas { alpha: 2.0 }),
+            "paper-lv(a2)"
+        );
+        assert_eq!(
+            protocol_key(&ProtocolSpec::ChorCoan { beta: 1.5 }),
+            "chor-coan(b1.5)"
+        );
+        assert_eq!(attack_key(&AttackSpec::Crash { per_round: 2 }), "crash(2)");
+        assert_eq!(attack_key(&AttackSpec::FullAttack), "full-attack");
+        assert_eq!(
+            network_key(&NetworkSpec::LossyLinks { p_drop: 0.1 }),
+            "lossy(0.1)"
+        );
+        assert_ne!(
+            network_key(&NetworkSpec::LossyLinks { p_drop: 0.1 }),
+            network_key(&NetworkSpec::LossyLinks { p_drop: 0.3 })
+        );
+        assert_eq!(
+            network_key(&NetworkSpec::BoundedDelay {
+                max_delay: 2,
+                scheduler: DelayScheduler::DelayHonest
+            }),
+            "bounded-delay-adv(2)"
+        );
+        // Keys land in unquoted CSV cells: no commas, ever.
+        for key in [
+            network_key(&NetworkSpec::Partition {
+                groups: 3,
+                heal_round: 5,
+            }),
+            protocol_key(&ProtocolSpec::ChorCoan { beta: 1.25 }),
+            attack_key(&AttackSpec::FullAttackCapped { q: 7 }),
+        ] {
+            assert!(!key.contains(','), "comma in key {key}");
+        }
+    }
+
+    #[test]
+    fn grid_is_the_cartesian_product() {
+        let spec = CampaignSpec::new("grid")
+            .sizes(&[(16, 5), (31, 10)])
+            .protocols(&[
+                ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+                ProtocolSpec::PhaseKing,
+            ])
+            .attacks(&[AttackSpec::Benign, AttackSpec::FullAttack])
+            .networks(&[
+                NetworkSpec::Synchronous,
+                NetworkSpec::LossyLinks { p_drop: 0.1 },
+            ]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        let mut keys: Vec<&String> = cells.iter().map(|c| &c.key).collect();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "keys are unique");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_under_reordering() {
+        let a = CampaignSpec::new("a")
+            .sizes(&[(16, 5)])
+            .protocols(&[
+                ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+                ProtocolSpec::PhaseKing,
+            ])
+            .attacks(&[AttackSpec::Benign, AttackSpec::SplitVote])
+            .seed(7);
+        // Same axes, reversed order, one extra attack inserted.
+        let b = CampaignSpec::new("b")
+            .sizes(&[(16, 5)])
+            .protocols(&[
+                ProtocolSpec::PhaseKing,
+                ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+            ])
+            .attacks(&[
+                AttackSpec::SplitVote,
+                AttackSpec::StaticSilent,
+                AttackSpec::Benign,
+            ])
+            .seed(7);
+        for cell in a.cells() {
+            let twin = b
+                .cells()
+                .into_iter()
+                .find(|c| c.key == cell.key)
+                .expect("shared cell present in both grids");
+            assert_eq!(twin.scenario, cell.scenario, "seed drifted: {}", cell.key);
+        }
+        // A different campaign seed moves every cell seed.
+        let c = a.clone().seed(8);
+        for (x, y) in a.cells().iter().zip(c.cells()) {
+            assert_ne!(x.scenario.seed, y.scenario.seed, "{}", x.key);
+        }
+    }
+
+    #[test]
+    fn round_cap_policies() {
+        assert_eq!(RoundCap::Fixed(100).for_n(64), 100);
+        assert_eq!(RoundCap::PerNode(8).for_n(64), 512);
+        let spec = CampaignSpec::new("cap")
+            .sizes(&[(16, 5)])
+            .round_cap(RoundCap::PerNode(24));
+        assert_eq!(spec.cells()[0].scenario.max_rounds, 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate campaign cell")]
+    fn duplicate_axis_values_are_rejected() {
+        let _ = CampaignSpec::new("dup")
+            .sizes(&[(16, 5)])
+            .attacks(&[AttackSpec::Benign, AttackSpec::Benign])
+            .cells();
+    }
+
+    #[test]
+    #[should_panic(expected = "no (n, t) sizes")]
+    fn empty_sizes_axis_is_rejected() {
+        let _ = CampaignSpec::new("empty").cells();
+    }
+}

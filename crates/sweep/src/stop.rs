@@ -1,0 +1,323 @@
+//! Sequential stopping: how many trials each campaign cell deserves.
+//!
+//! The paper's claims are probabilistic — agreement holds w.h.p., round
+//! counts are Las Vegas — so campaign cells estimate proportions and
+//! tails. A fixed trial count wastes most samples on cells that are
+//! already precise (deterministic baselines, saturated agreement) while
+//! starving the interesting ones. The [`StopRule`] implements a
+//! per-cell sequential stopping rule: after each completed *batch* of
+//! trials, stop as soon as either precision target is met — the
+//! (unclamped) Wilson 95% half-width on the agreement probability, or
+//! the relative 95% CI half-width on mean rounds — up to a hard trial
+//! cap.
+//!
+//! Decisions are only ever evaluated on the **complete prefix** of
+//! trials `0..k` (in trial-index order) at batch boundaries, never on
+//! whichever trials happen to have finished first. This is what makes
+//! the executor's output independent of worker count and scheduling:
+//! the set of trials a cell runs is a pure function of the cell's
+//! results, which are a pure function of its derived seeds.
+
+use aba_analysis::stats::{Proportion, Summary};
+use aba_harness::TrialResult;
+
+/// Per-cell sequential stopping rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopRule {
+    /// Trials always run before the first decision (≥ 1).
+    pub min_trials: usize,
+    /// Trials added per round of the rule after the first (≥ 1).
+    pub batch: usize,
+    /// Hard cap on trials per cell (≥ `min_trials`).
+    pub max_trials: usize,
+    /// Target unclamped Wilson 95% half-width on the agreement
+    /// probability (`None` disables the criterion).
+    pub agree_half_width: Option<f64>,
+    /// Target *relative* 95% CI half-width on mean rounds,
+    /// `ci95_half_width / mean` (`None` disables the criterion).
+    pub rounds_rel_half_width: Option<f64>,
+}
+
+impl Default for StopRule {
+    /// Adaptive default: 8-trial batches, stop at a 0.1 Wilson
+    /// half-width on agreement or a 10% relative CI on mean rounds,
+    /// cap at 64 trials.
+    fn default() -> Self {
+        StopRule {
+            min_trials: 8,
+            batch: 8,
+            max_trials: 64,
+            agree_half_width: Some(0.1),
+            rounds_rel_half_width: Some(0.1),
+        }
+    }
+}
+
+/// Outcome of one stopping decision at a batch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopDecision {
+    /// Run `next_batch` more trials, then decide again.
+    Continue {
+        /// Number of additional trials to schedule.
+        next_batch: usize,
+    },
+    /// The cell is done.
+    Stop {
+        /// Which criterion fired (recorded in the cell summary):
+        /// `"agree-ci"`, `"rounds-ci"`, `"fixed"`, or `"trial-cap"`.
+        reason: &'static str,
+    },
+}
+
+impl StopRule {
+    /// A degenerate rule running exactly `k` trials — what migrated
+    /// experiments use in `--quick` mode, and the right choice for
+    /// fixed-work benchmarking.
+    pub fn fixed(k: usize) -> Self {
+        assert!(k >= 1, "a cell needs at least one trial");
+        StopRule {
+            min_trials: k,
+            batch: k,
+            max_trials: k,
+            agree_half_width: None,
+            rounds_rel_half_width: None,
+        }
+    }
+
+    /// An adaptive rule with explicit schedule; precision targets start
+    /// at the defaults and can be overridden with
+    /// [`StopRule::agree_half_width`] / [`StopRule::rounds_rel_half_width`].
+    pub fn adaptive(min_trials: usize, batch: usize, max_trials: usize) -> Self {
+        StopRule {
+            min_trials,
+            batch,
+            max_trials,
+            ..StopRule::default()
+        }
+    }
+
+    /// Sets the Wilson half-width target on agreement probability.
+    #[must_use]
+    pub fn agree_half_width(mut self, target: Option<f64>) -> Self {
+        self.agree_half_width = target;
+        self
+    }
+
+    /// Sets the relative CI half-width target on mean rounds.
+    #[must_use]
+    pub fn rounds_rel_half_width(mut self, target: Option<f64>) -> Self {
+        self.rounds_rel_half_width = target;
+        self
+    }
+
+    /// Validates the schedule invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_trials < 1`, `batch < 1`, or
+    /// `max_trials < min_trials`.
+    pub fn validate(&self) {
+        assert!(self.min_trials >= 1, "min_trials must be ≥ 1");
+        assert!(self.batch >= 1, "batch must be ≥ 1");
+        assert!(
+            self.max_trials >= self.min_trials,
+            "max_trials {} < min_trials {}",
+            self.max_trials,
+            self.min_trials
+        );
+    }
+
+    /// Decides at a batch boundary, given the complete ordered prefix of
+    /// the cell's trials. Pure: same prefix, same decision.
+    pub fn decide(&self, completed: &[TrialResult]) -> StopDecision {
+        let k = completed.len();
+        debug_assert!(k >= self.min_trials.min(self.max_trials));
+        if k >= self.min_trials {
+            if let Some(target) = self.agree_half_width {
+                let agreements = completed.iter().filter(|r| r.agreement).count();
+                let p = Proportion::of(agreements, k).expect("k ≥ 1");
+                if p.half_width() <= target {
+                    return StopDecision::Stop { reason: "agree-ci" };
+                }
+            }
+            // The rounds criterion needs k ≥ 2: a single sample has
+            // std_dev 0 by convention, which would read as "zero
+            // uncertainty" and finalize a noisy cell off one trial.
+            if let Some(target) = self.rounds_rel_half_width {
+                if k >= 2 {
+                    let rounds: Vec<f64> = completed.iter().map(|r| r.rounds as f64).collect();
+                    let s = Summary::of(&rounds).expect("k ≥ 1");
+                    if s.mean > 0.0 && s.ci95_half_width() / s.mean <= target {
+                        return StopDecision::Stop {
+                            reason: "rounds-ci",
+                        };
+                    }
+                }
+            }
+            if self.agree_half_width.is_none() && self.rounds_rel_half_width.is_none() {
+                return StopDecision::Stop { reason: "fixed" };
+            }
+        }
+        if k >= self.max_trials {
+            return StopDecision::Stop {
+                reason: "trial-cap",
+            };
+        }
+        StopDecision::Continue {
+            next_batch: self.batch.min(self.max_trials - k),
+        }
+    }
+
+    /// Canonical description, stored in checkpoints: a checkpoint is
+    /// only resumable under the rule that produced it.
+    pub fn fingerprint(&self) -> String {
+        let opt = |o: Option<f64>| o.map_or("off".to_string(), |v| format!("{v}"));
+        format!(
+            "min{}|batch{}|max{}|agree{}|rounds{}",
+            self.min_trials,
+            self.batch,
+            self.max_trials,
+            opt(self.agree_half_width),
+            opt(self.rounds_rel_half_width)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(rounds: u64, agreement: bool) -> TrialResult {
+        TrialResult {
+            seed: 0,
+            rounds,
+            terminated: true,
+            agreement,
+            validity: None,
+            decision: None,
+            corruptions: 0,
+            messages: 0,
+            bits: 0,
+            max_edge_bits: 0,
+            agree_fraction: 1.0,
+            delivered: 0,
+            dropped: 0,
+            delayed: 0,
+            adversary: "test",
+            network: "sync",
+        }
+    }
+
+    #[test]
+    fn fixed_rule_stops_exactly_at_k() {
+        let rule = StopRule::fixed(6);
+        rule.validate();
+        let trials: Vec<TrialResult> = (0..6).map(|i| trial(10 + i, true)).collect();
+        assert_eq!(rule.decide(&trials), StopDecision::Stop { reason: "fixed" });
+    }
+
+    #[test]
+    fn deterministic_cells_stop_at_min_trials() {
+        // Zero round variance → relative CI is 0 → stops immediately.
+        let rule = StopRule::adaptive(4, 8, 64).agree_half_width(None);
+        let trials: Vec<TrialResult> = (0..4).map(|_| trial(12, true)).collect();
+        assert_eq!(
+            rule.decide(&trials),
+            StopDecision::Stop {
+                reason: "rounds-ci"
+            }
+        );
+    }
+
+    #[test]
+    fn noisy_cells_continue_to_the_cap() {
+        // Alternating extremes keep the relative CI wide; agreement
+        // flapping keeps the Wilson interval wide.
+        let rule = StopRule::adaptive(4, 4, 12);
+        let mk = |k: usize| -> Vec<TrialResult> {
+            (0..k)
+                .map(|i| trial(if i % 2 == 0 { 1 } else { 400 }, i % 2 == 0))
+                .collect()
+        };
+        assert_eq!(
+            rule.decide(&mk(4)),
+            StopDecision::Continue { next_batch: 4 }
+        );
+        assert_eq!(
+            rule.decide(&mk(8)),
+            StopDecision::Continue { next_batch: 4 }
+        );
+        assert_eq!(
+            rule.decide(&mk(12)),
+            StopDecision::Stop {
+                reason: "trial-cap"
+            }
+        );
+    }
+
+    #[test]
+    fn wilson_criterion_fires_once_precise() {
+        // All-agree cells: the unclamped Wilson half-width crosses 0.1
+        // strictly between 8 and 16 trials (0.162 at 8, 0.097 at 16).
+        let rule = StopRule::adaptive(8, 8, 64).rounds_rel_half_width(None);
+        let all_agree = |k: usize| -> Vec<TrialResult> {
+            (0..k).map(|i| trial(1 + (i as u64 % 97), true)).collect()
+        };
+        assert_eq!(
+            rule.decide(&all_agree(8)),
+            StopDecision::Continue { next_batch: 8 }
+        );
+        assert_eq!(
+            rule.decide(&all_agree(16)),
+            StopDecision::Stop { reason: "agree-ci" }
+        );
+    }
+
+    #[test]
+    fn next_batch_never_overshoots_the_cap() {
+        let rule = StopRule::adaptive(4, 8, 10);
+        let noisy: Vec<TrialResult> = (0..4)
+            .map(|i| trial(if i % 2 == 0 { 1 } else { 400 }, i % 2 == 0))
+            .collect();
+        assert_eq!(
+            rule.decide(&noisy),
+            StopDecision::Continue { next_batch: 6 }
+        );
+    }
+
+    #[test]
+    fn one_trial_is_never_zero_uncertainty() {
+        // min_trials = 1 with only the rounds criterion: a single
+        // sample must not read as converged.
+        let rule = StopRule::adaptive(1, 4, 64).agree_half_width(None);
+        assert_eq!(
+            rule.decide(&[trial(17, true)]),
+            StopDecision::Continue { next_batch: 4 }
+        );
+        // Two identical samples may stop (true zero variance).
+        assert_eq!(
+            rule.decide(&[trial(17, true), trial(17, true)]),
+            StopDecision::Stop {
+                reason: "rounds-ci"
+            }
+        );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_rules() {
+        assert_ne!(
+            StopRule::fixed(6).fingerprint(),
+            StopRule::fixed(8).fingerprint()
+        );
+        assert_ne!(
+            StopRule::default().fingerprint(),
+            StopRule::default().agree_half_width(None).fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_trials")]
+    fn invalid_schedule_is_rejected() {
+        StopRule::adaptive(8, 4, 4).validate();
+    }
+}

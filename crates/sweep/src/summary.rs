@@ -1,0 +1,339 @@
+//! Streaming, mergeable per-cell accumulation and the finished
+//! [`CellSummary`].
+//!
+//! [`CellAccum`] absorbs trials one at a time ([`CellAccum::push`]) and
+//! combines with other accumulators ([`CellAccum::merge`]); summarizing
+//! is **order-invariant** — integer tallies commute, the rounds
+//! multiset is sorted before percentiles, and the floating-point
+//! agreement fractions are summed in `total_cmp` order — so any merge
+//! tree over the same trials produces the bit-identical summary. That
+//! invariance (together with the stopping rule's prefix discipline) is
+//! what makes campaign artifacts byte-identical regardless of worker
+//! count.
+
+use crate::spec::{attack_key, info_key, network_key, protocol_key, CellSpec};
+use aba_analysis::stats::{percentile_nearest_rank, Proportion};
+use aba_harness::TrialResult;
+
+/// Streaming accumulator over one cell's trials.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellAccum {
+    trials: usize,
+    agreements: usize,
+    terminations: usize,
+    corrects: usize,
+    rounds: Vec<u64>,
+    agree_fractions: Vec<f64>,
+    sum_messages: u64,
+    sum_delivered: u64,
+    sum_dropped: u64,
+    sum_delayed: u64,
+    sum_corruptions: u64,
+}
+
+impl CellAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of trials absorbed so far.
+    pub fn len(&self) -> usize {
+        self.trials
+    }
+
+    /// Whether no trial has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.trials == 0
+    }
+
+    /// Absorbs one trial.
+    pub fn push(&mut self, r: &TrialResult) {
+        self.trials += 1;
+        self.agreements += usize::from(r.agreement);
+        self.terminations += usize::from(r.terminated);
+        self.corrects += usize::from(r.correct());
+        self.rounds.push(r.rounds);
+        self.agree_fractions.push(r.agree_fraction);
+        self.sum_messages += r.messages as u64;
+        self.sum_delivered += r.delivered as u64;
+        self.sum_dropped += r.dropped as u64;
+        self.sum_delayed += r.delayed as u64;
+        self.sum_corruptions += r.corruptions as u64;
+    }
+
+    /// Merges another accumulator into this one (associative; summaries
+    /// are invariant under merge order).
+    pub fn merge(&mut self, other: &CellAccum) {
+        self.trials += other.trials;
+        self.agreements += other.agreements;
+        self.terminations += other.terminations;
+        self.corrects += other.corrects;
+        self.rounds.extend_from_slice(&other.rounds);
+        self.agree_fractions
+            .extend_from_slice(&other.agree_fractions);
+        self.sum_messages += other.sum_messages;
+        self.sum_delivered += other.sum_delivered;
+        self.sum_dropped += other.sum_dropped;
+        self.sum_delayed += other.sum_delayed;
+        self.sum_corruptions += other.sum_corruptions;
+    }
+
+    /// Finalizes into a [`CellSummary`] for `cell`, recording which
+    /// stopping criterion ended the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator — a finalized cell has run at
+    /// least `min_trials ≥ 1` trials.
+    pub fn summarize(&self, cell: &CellSpec, stopped: &str) -> CellSummary {
+        assert!(self.trials > 0, "summarizing an empty cell");
+        let mut rounds = self.rounds.clone();
+        rounds.sort_unstable();
+        // Sum the fractions in value order: merge-order invariant.
+        let mut fractions = self.agree_fractions.clone();
+        fractions.sort_unstable_by(f64::total_cmp);
+        let s = &cell.scenario;
+        CellSummary {
+            key: cell.key.clone(),
+            protocol: protocol_key(&s.protocol),
+            attack: attack_key(&s.attack),
+            network: network_key(&s.network),
+            inputs: s.inputs.name().to_string(),
+            info: info_key(s.info).to_string(),
+            n: s.n,
+            t: s.t,
+            cell_seed: s.seed,
+            trials: self.trials,
+            stopped: stopped.to_string(),
+            agreements: self.agreements,
+            terminations: self.terminations,
+            corrects: self.corrects,
+            sum_rounds: rounds.iter().sum(),
+            min_rounds: rounds[0],
+            max_rounds: rounds[rounds.len() - 1],
+            p50_rounds: percentile_nearest_rank(&rounds, 50.0),
+            p95_rounds: percentile_nearest_rank(&rounds, 95.0),
+            sum_messages: self.sum_messages,
+            sum_delivered: self.sum_delivered,
+            sum_dropped: self.sum_dropped,
+            sum_delayed: self.sum_delayed,
+            sum_corruptions: self.sum_corruptions,
+            sum_agree_fraction: fractions.iter().sum(),
+        }
+    }
+}
+
+/// Finished, mergeable-by-construction summary of one campaign cell.
+///
+/// Stores identity, integer tallies, and a single floating-point sum;
+/// every rate and mean is derived on demand, so a summary
+/// round-tripped through a checkpoint reproduces derived values (and
+/// artifacts) bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Canonical cell identity (see `CampaignSpec::cells`).
+    pub key: String,
+    /// Parameter-carrying protocol key.
+    pub protocol: String,
+    /// Parameter-carrying attack key.
+    pub attack: String,
+    /// Parameter-carrying network key.
+    pub network: String,
+    /// Input-assignment name.
+    pub inputs: String,
+    /// Information-model name.
+    pub info: String,
+    /// Network size.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Derived cell seed (trial `i` ran at `cell_seed + i`).
+    pub cell_seed: u64,
+    /// Trials the stopping rule allocated.
+    pub trials: usize,
+    /// Which stopping criterion ended the cell.
+    pub stopped: String,
+    /// Trials with full honest agreement.
+    pub agreements: usize,
+    /// Trials terminating before the round cap.
+    pub terminations: usize,
+    /// Trials satisfying Definition 1 outright.
+    pub corrects: usize,
+    /// Total rounds across trials.
+    pub sum_rounds: u64,
+    /// Fastest trial.
+    pub min_rounds: u64,
+    /// Slowest trial.
+    pub max_rounds: u64,
+    /// Nearest-rank median rounds.
+    pub p50_rounds: u64,
+    /// Nearest-rank 95th-percentile rounds.
+    pub p95_rounds: u64,
+    /// Total messages emitted.
+    pub sum_messages: u64,
+    /// Total messages delivered.
+    pub sum_delivered: u64,
+    /// Total messages dropped by the network.
+    pub sum_dropped: u64,
+    /// Total delay events.
+    pub sum_delayed: u64,
+    /// Total corruptions performed.
+    pub sum_corruptions: u64,
+    /// Sum of per-trial honest-majority fractions.
+    pub sum_agree_fraction: f64,
+}
+
+impl CellSummary {
+    /// Fraction of trials with full honest agreement.
+    pub fn agreement_rate(&self) -> f64 {
+        self.agreements as f64 / self.trials as f64
+    }
+
+    /// Fraction of trials terminating before the cap.
+    pub fn termination_rate(&self) -> f64 {
+        self.terminations as f64 / self.trials as f64
+    }
+
+    /// Fraction of trials satisfying Definition 1.
+    pub fn correct_rate(&self) -> f64 {
+        self.corrects as f64 / self.trials as f64
+    }
+
+    /// Mean rounds (censored trials count at the cap).
+    pub fn mean_rounds(&self) -> f64 {
+        self.sum_rounds as f64 / self.trials as f64
+    }
+
+    /// Mean messages per trial.
+    pub fn mean_messages(&self) -> f64 {
+        self.sum_messages as f64 / self.trials as f64
+    }
+
+    /// Mean corruptions per trial.
+    pub fn mean_corruptions(&self) -> f64 {
+        self.sum_corruptions as f64 / self.trials as f64
+    }
+
+    /// Fraction of emitted messages the network delivered (1.0 when
+    /// nothing was emitted).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.sum_messages == 0 {
+            return 1.0;
+        }
+        self.sum_delivered as f64 / self.sum_messages as f64
+    }
+
+    /// Mean honest-majority agreement fraction.
+    pub fn mean_agree_fraction(&self) -> f64 {
+        self.sum_agree_fraction / self.trials as f64
+    }
+
+    /// Wilson 95% interval on the agreement probability.
+    pub fn agreement_wilson(&self) -> Proportion {
+        Proportion::of(self.agreements, self.trials).expect("trials ≥ 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_harness::{AttackSpec, Scenario};
+
+    fn cell() -> CellSpec {
+        CellSpec {
+            index: 0,
+            key: "test-cell".to_string(),
+            scenario: Scenario::new(16, 5).with_attack(AttackSpec::Benign),
+        }
+    }
+
+    fn trial(seed: u64, rounds: u64, agreement: bool, agree_fraction: f64) -> TrialResult {
+        TrialResult {
+            seed,
+            rounds,
+            terminated: true,
+            agreement,
+            validity: None,
+            decision: None,
+            corruptions: 2,
+            messages: 100,
+            bits: 0,
+            max_edge_bits: 0,
+            agree_fraction,
+            delivered: 90,
+            dropped: 10,
+            delayed: 0,
+            adversary: "test",
+            network: "sync",
+        }
+    }
+
+    #[test]
+    fn merge_tree_invariance_including_floats() {
+        // Fractions chosen so naive left-to-right float summation
+        // differs between orders; the accumulator must not care.
+        let trials: Vec<TrialResult> = (0..9)
+            .map(|i| trial(i, (i * i) % 7 + 1, i % 3 != 0, 1.0 / (i as f64 + 1.0)))
+            .collect();
+        let mut one_shot = CellAccum::new();
+        for t in &trials {
+            one_shot.push(t);
+        }
+        // Merge tree A: ((0..3) ∪ (3..6)) ∪ (6..9); tree B reversed.
+        let chunk = |range: std::ops::Range<usize>| {
+            let mut a = CellAccum::new();
+            for t in &trials[range] {
+                a.push(t);
+            }
+            a
+        };
+        let mut tree_a = chunk(0..3);
+        tree_a.merge(&chunk(3..6));
+        tree_a.merge(&chunk(6..9));
+        let mut tree_b = chunk(6..9);
+        let mut left = chunk(3..6);
+        left.merge(&chunk(0..3));
+        tree_b.merge(&left);
+        let c = cell();
+        let s0 = one_shot.summarize(&c, "fixed");
+        assert_eq!(tree_a.summarize(&c, "fixed"), s0);
+        assert_eq!(tree_b.summarize(&c, "fixed"), s0);
+        assert_eq!(s0.trials, 9);
+    }
+
+    #[test]
+    fn summary_derivations() {
+        let mut a = CellAccum::new();
+        for (i, (rounds, agree)) in [(10u64, true), (20, true), (30, false), (40, true)]
+            .iter()
+            .enumerate()
+        {
+            a.push(&trial(i as u64, *rounds, *agree, 1.0));
+        }
+        let s = a.summarize(&cell(), "agree-ci");
+        assert_eq!(s.trials, 4);
+        assert_eq!(s.agreements, 3);
+        assert_eq!(s.stopped, "agree-ci");
+        assert_eq!(s.mean_rounds(), 25.0);
+        assert_eq!(s.p50_rounds, 20, "nearest-rank convention");
+        assert_eq!(s.p95_rounds, 40);
+        assert_eq!(s.min_rounds, 10);
+        assert_eq!(s.max_rounds, 40);
+        assert_eq!(s.agreement_rate(), 0.75);
+        assert_eq!(s.delivery_rate(), 0.9);
+        assert_eq!(s.mean_corruptions(), 2.0);
+        let w = s.agreement_wilson();
+        assert_eq!(w.successes, 3);
+        assert_eq!(w.trials, 4);
+        assert_eq!(s.protocol, "paper(a2)");
+        assert_eq!(s.attack, "benign");
+        assert_eq!(s.network, "sync");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cell")]
+    fn empty_accum_cannot_summarize() {
+        let _ = CellAccum::new().summarize(&cell(), "fixed");
+    }
+}

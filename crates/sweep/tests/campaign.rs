@@ -1,0 +1,212 @@
+//! End-to-end campaign invariants.
+//!
+//! Pinned here (the PR's acceptance criteria):
+//! * **Worker invariance** — the same `CampaignSpec` + seed produces
+//!   byte-identical CSV/JSON artifacts at 1 worker and at N workers.
+//! * **Reorder stability** — permuting axes leaves shared cells'
+//!   summaries untouched.
+//! * **Adaptive allocation** — deterministic cells stop at
+//!   `min_trials`; agreement-flapping cells run to the cap.
+//! * **Resume** — a finished checkpoint short-circuits the rerun to
+//!   byte-identical artifacts; incompatible checkpoints are ignored.
+
+use aba_harness::{AttackSpec, NetworkSpec, ProtocolSpec};
+use aba_sweep::{CampaignSpec, RoundCap, RunOptions, StopRule};
+
+/// A small but heterogeneous grid: deterministic Phase-King next to a
+/// Las Vegas committee protocol, synchronous next to lossy.
+fn demo_spec() -> CampaignSpec {
+    CampaignSpec::new("demo")
+        .sizes(&[(16, 5)])
+        .protocols(&[
+            ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+            ProtocolSpec::PhaseKing,
+        ])
+        .attacks(&[AttackSpec::Benign, AttackSpec::FullAttack])
+        .networks(&[
+            NetworkSpec::Synchronous,
+            NetworkSpec::LossyLinks { p_drop: 0.1 },
+        ])
+        .round_cap(RoundCap::Fixed(400))
+        .seed(42)
+        .stop(StopRule::adaptive(4, 4, 12))
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_worker_counts() {
+    let spec = demo_spec();
+    let serial = spec.run_with(&RunOptions {
+        workers: 1,
+        checkpoint: None,
+    });
+    let parallel = spec.run_with(&RunOptions {
+        workers: 8,
+        checkpoint: None,
+    });
+    let auto = spec.run();
+    assert_eq!(
+        serial.cells, parallel.cells,
+        "summaries must not depend on scheduling"
+    );
+    assert_eq!(serial.to_csv(), parallel.to_csv(), "CSV bytes must match");
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "JSON bytes must match"
+    );
+    assert_eq!(serial.to_csv(), auto.to_csv());
+    assert_eq!(serial.to_json(), auto.to_json());
+}
+
+#[test]
+fn cells_are_stable_under_axis_reordering() {
+    let a = demo_spec().run_with(&RunOptions {
+        workers: 2,
+        checkpoint: None,
+    });
+    // Same axes, permuted, plus an extra protocol inserted in front.
+    let b = CampaignSpec::new("demo-reordered")
+        .sizes(&[(16, 5)])
+        .protocols(&[
+            ProtocolSpec::ChorCoan { beta: 1.0 },
+            ProtocolSpec::PhaseKing,
+            ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ])
+        .attacks(&[AttackSpec::FullAttack, AttackSpec::Benign])
+        .networks(&[
+            NetworkSpec::LossyLinks { p_drop: 0.1 },
+            NetworkSpec::Synchronous,
+        ])
+        .round_cap(RoundCap::Fixed(400))
+        .seed(42)
+        .stop(StopRule::adaptive(4, 4, 12))
+        .run_with(&RunOptions {
+            workers: 3,
+            checkpoint: None,
+        });
+    for cell in &a.cells {
+        let twin = b.cell(&cell.key).expect("shared cell survives reordering");
+        assert_eq!(twin, cell, "summary drifted for {}", cell.key);
+    }
+}
+
+#[test]
+fn adaptive_allocation_spends_where_the_noise_is() {
+    let result = demo_spec().run();
+    // Phase-King is deterministic: same rounds every seed, full
+    // agreement — the rule stops at min_trials.
+    let pk_sync = result
+        .find(|c| c.protocol == "phase-king" && c.network == "sync" && c.attack == "benign")
+        .unwrap();
+    assert_eq!(pk_sync.trials, 4, "deterministic cell stops at min_trials");
+    assert!(pk_sync.stopped == "agree-ci" || pk_sync.stopped == "rounds-ci");
+    // Every cell respects the schedule bounds.
+    for c in &result.cells {
+        assert!(
+            (4..=12).contains(&c.trials),
+            "{}: {} trials",
+            c.key,
+            c.trials
+        );
+        assert!(
+            ["agree-ci", "rounds-ci", "trial-cap"].contains(&c.stopped.as_str()),
+            "{}: stopped = {}",
+            c.key,
+            c.stopped
+        );
+    }
+    // The grand total sits strictly between all-min and all-max: the
+    // rule neither starves everything nor burns the full budget.
+    let (lo, hi) = (4 * result.cells.len(), 12 * result.cells.len());
+    let total = result.total_trials();
+    assert!(
+        total > lo && total < hi,
+        "total {total} not in ({lo}, {hi})"
+    );
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_and_skips_work() {
+    let dir = std::env::temp_dir().join("aba_sweep_resume_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Note: the directory does not exist — the executor must create it.
+    let ckpt = dir.join("demo.json");
+    let spec = demo_spec();
+    let first = spec.run_with(&RunOptions {
+        workers: 4,
+        checkpoint: Some(ckpt.clone()),
+    });
+    assert!(ckpt.exists(), "checkpoint written");
+    // Resume from the finished checkpoint: all cells restored, output
+    // byte-identical (worker count differs on purpose).
+    let resumed = spec.run_with(&RunOptions {
+        workers: 1,
+        checkpoint: Some(ckpt.clone()),
+    });
+    assert_eq!(resumed.to_csv(), first.to_csv());
+    assert_eq!(resumed.to_json(), first.to_json());
+    // A different stopping rule invalidates the checkpoint: the cells
+    // re-run (trials change) instead of being adopted.
+    let refit = spec.clone().stop(StopRule::fixed(2)).run_with(&RunOptions {
+        workers: 2,
+        checkpoint: Some(ckpt.clone()),
+    });
+    assert!(refit.cells.iter().all(|c| c.trials == 2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_checkpoint_resumes_only_matching_cells() {
+    let dir = std::env::temp_dir().join("aba_sweep_partial_resume_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("partial.json");
+    let spec = demo_spec();
+    let full = spec.run();
+    // Truncate the finished campaign to half its cells and save that as
+    // the checkpoint — as if the first run died midway.
+    let mut partial = full.clone();
+    partial.cells.truncate(full.cells.len() / 2);
+    std::fs::write(&ckpt, partial.to_json()).unwrap();
+    let resumed = spec.run_with(&RunOptions {
+        workers: 4,
+        checkpoint: Some(ckpt.clone()),
+    });
+    assert_eq!(resumed.to_csv(), full.to_csv(), "resume completes the grid");
+    assert_eq!(resumed.to_json(), full.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[should_panic(expected = "scoped thread panicked")]
+fn invalid_cell_panics_instead_of_hanging() {
+    // (16, 8) violates n ≥ 3t + 1 for the committee protocols: the
+    // first trial of that cell panics inside a worker ("valid (n, t)",
+    // printed to stderr). The abort flag must drain every other worker
+    // so the panic propagates through the thread scope — a hang here
+    // would time the suite out.
+    let _ = CampaignSpec::new("invalid")
+        .sizes(&[(16, 5), (16, 8)])
+        .protocols(&[ProtocolSpec::PaperLasVegas { alpha: 2.0 }])
+        .stop(StopRule::fixed(4))
+        .run_with(&RunOptions {
+            workers: 4,
+            checkpoint: None,
+        });
+}
+
+#[test]
+fn campaign_result_lookups() {
+    let result = demo_spec().run();
+    assert_eq!(result.cells.len(), 8);
+    assert_eq!(result.name, "demo");
+    assert_eq!(result.seed, 42);
+    let key = &result.cells[3].key;
+    assert_eq!(&result.cell(key).unwrap().key, key);
+    assert!(result.cell("nope").is_none());
+    // Cells arrive in grid order: protocols outermost after sizes.
+    assert!(result.cells[..4]
+        .iter()
+        .all(|c| c.protocol == "paper-lv(a2)"));
+    assert!(result.cells[4..].iter().all(|c| c.protocol == "phase-king"));
+}

@@ -27,6 +27,30 @@
 //! Single runs use `.run()`; custom adversaries plug in through
 //! `.run_with(...)` (see `examples/custom_adversary.rs`).
 //!
+//! ## Running a campaign
+//!
+//! Whole scenario *grids* — protocol × adversary × network × `(n, t)` —
+//! run through the [`CampaignSpec`] orchestrator from `aba-sweep`: one
+//! campaign-wide work-stealing pool schedules individual `(cell,
+//! trial)` tasks, a per-cell sequential stopping rule allocates trials
+//! adaptively, and CSV/JSON artifacts (byte-identical at any worker
+//! count, resumable via checkpoints) come out the other end:
+//!
+//! ```
+//! use adaptive_ba::prelude::*;
+//!
+//! let result = CampaignSpec::new("demo")
+//!     .sizes(&[(16, 5)])
+//!     .protocols(&[ProtocolSpec::PaperLasVegas { alpha: 2.0 }])
+//!     .attacks(&[AttackSpec::Benign, AttackSpec::FullAttack])
+//!     .stop(StopRule::fixed(2))
+//!     .run();
+//! assert_eq!(result.cells.len(), 2);
+//! ```
+//!
+//! See `examples/campaign.rs` for stopping rules, checkpoints, and
+//! artifact emission.
+//!
 //! ## Workspace layout
 //!
 //! This crate re-exports the workspace crates:
@@ -41,8 +65,11 @@
 //!   protocol (Algorithm 3) and the baselines it is compared against;
 //! * [`attacks`] — protocol-aware adaptive rushing attack strategies;
 //! * [`analysis`] — statistics, regression, and theory bound curves;
-//! * [`harness`] — the [`ScenarioBuilder`] facade, the experiment suite
-//!   E1–E15, and the parallel trial runner.
+//! * [`harness`] — the [`ScenarioBuilder`] facade and the parallel
+//!   trial runner;
+//! * [`sweep`] — campaign orchestration (scenario grids, adaptive trial
+//!   allocation, work stealing, resumable artifacts) and the experiment
+//!   suite E1–E16 behind the `aba-experiments` binary.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md at the repository root for the system inventory and the
@@ -59,11 +86,13 @@ pub use aba_coin as coin;
 pub use aba_harness as harness;
 pub use aba_net as net;
 pub use aba_sim as sim;
+pub use aba_sweep as sweep;
 
 pub use aba_harness::{
     AttackSpec, BatchReport, DelayScheduler, InputSpec, NetworkSpec, ProtocolSpec, Scenario,
     ScenarioBuilder, TrialResult,
 };
+pub use aba_sweep::{CampaignResult, CampaignSpec, CellSummary, RoundCap, RunOptions, StopRule};
 
 /// Workspace-wide prelude: the most common types for running experiments.
 pub mod prelude {
@@ -75,4 +104,7 @@ pub mod prelude {
         ScenarioBuilder, TrialResult,
     };
     pub use aba_sim::prelude::*;
+    pub use aba_sweep::{
+        CampaignResult, CampaignSpec, CellSummary, RoundCap, RunOptions, StopRule,
+    };
 }
