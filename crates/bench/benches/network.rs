@@ -73,8 +73,47 @@ fn main() {
     let group = Group::new("net_models");
     bench_small(&group, n, rounds, cfg);
     bench_large();
+    bench_oracle(n, rounds, cfg);
 
     aba_bench::finish();
+}
+
+/// The oracle-seam overhead pair: the same engine workload with
+/// `NoOracle` (the default fourth generic, which must cost nothing) and
+/// with every lemma checker armed. CI's compare gate pins
+/// `oracle/lemma-suite` at ≤5% over `oracle/no-oracle` *within this
+/// run* (see `check_overhead`), so the bound holds on any hardware.
+fn bench_oracle(n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {
+    use aba_check::LemmaSuite;
+
+    let group = Group::new("oracle");
+    group.bench("no-oracle", || {
+        Simulation::with_network(
+            cfg(),
+            nodes(n, rounds),
+            Benign,
+            NetDelivery::new(Synchronous, 1),
+        )
+        .run()
+        .rounds
+    });
+    group.bench("lemma-suite", || {
+        let suite = LemmaSuite::new()
+            .agreement()
+            .validity(true)
+            .early_termination(0, rounds + 16)
+            .congest(64)
+            .budget_monotonicity();
+        Simulation::with_oracle(
+            cfg(),
+            nodes(n, rounds),
+            Benign,
+            NetDelivery::new(Synchronous, 1),
+            suite,
+        )
+        .run()
+        .rounds
+    });
 }
 
 fn bench_small(group: &Group, n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {

@@ -23,7 +23,7 @@
 //! required whenever the committed baseline and the fresh run come
 //! from different hardware.
 
-use aba_bench::{compare_benches, parse_bench_json};
+use aba_bench::{check_overhead, compare_benches, parse_bench_json};
 use std::process::ExitCode;
 
 struct Args {
@@ -33,6 +33,9 @@ struct Args {
     warn: f64,
     fail: f64,
     normalize: Option<String>,
+    /// `probe:control:max_frac` in-run ratio checks on the fresh file
+    /// (e.g. `oracle/lemma-suite:oracle/no-oracle:0.05`). Repeatable.
+    overheads: Vec<(String, String, f64)>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         warn: 0.10,
         fail: 0.35,
         normalize: None,
+        overheads: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,6 +58,20 @@ fn parse_args() -> Result<Args, String> {
             "--warn" => args.warn = value()?.parse().map_err(|e| format!("--warn: {e}"))?,
             "--fail" => args.fail = value()?.parse().map_err(|e| format!("--fail: {e}"))?,
             "--normalize" => args.normalize = Some(value()?),
+            "--overhead" => {
+                let spec = value()?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [probe, control, frac] = parts[..] else {
+                    return Err(format!(
+                        "--overhead wants probe:control:max_frac, got {spec}"
+                    ));
+                };
+                let frac: f64 = frac
+                    .parse()
+                    .map_err(|e| format!("--overhead max_frac: {e}"))?;
+                args.overheads
+                    .push((probe.to_string(), control.to_string(), frac));
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -127,6 +145,19 @@ fn main() -> ExitCode {
             args.fail * 100.0
         );
         failed = true;
+    }
+    for (probe, control, max_frac) in &args.overheads {
+        match check_overhead(&fresh, probe, control, *max_frac) {
+            Ok(frac) => println!(
+                "overhead gate OK: {probe} is {:+.1}% vs {control} (budget {:.0}%)",
+                frac * 100.0,
+                max_frac * 100.0
+            ),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
     }
     if failed {
         ExitCode::FAILURE

@@ -266,6 +266,42 @@ pub fn compare_benches(
     report
 }
 
+/// Checks an in-run overhead ratio: `probe`'s best-iteration time may
+/// exceed `control`'s by at most `max_frac` (e.g. `0.05` = 5%). Both
+/// rows come from the *same* records (one bench run), so the check is
+/// hardware-independent by construction — this is how CI pins the
+/// oracle-enabled engine at ≤5% over `NoOracle`. Keys are
+/// `"group/label"`. Returns the measured fractional overhead.
+///
+/// # Errors
+///
+/// Returns a message when either row is missing or the overhead
+/// exceeds `max_frac`.
+pub fn check_overhead(
+    records: &[BenchRecord],
+    probe: &str,
+    control: &str,
+    max_frac: f64,
+) -> Result<f64, String> {
+    let find = |key: &str| {
+        records
+            .iter()
+            .find(|r| format!("{}/{}", r.group, r.label) == key)
+            .ok_or_else(|| format!("measurement {key} missing from the run"))
+    };
+    let probe_ns = find(probe)?.best_ns.max(1) as f64;
+    let control_ns = find(control)?.best_ns.max(1) as f64;
+    let frac = probe_ns / control_ns - 1.0;
+    if frac > max_frac {
+        return Err(format!(
+            "{probe} is {:.1}% over {control}, budget {:.1}%",
+            frac * 100.0,
+            max_frac * 100.0
+        ));
+    }
+    Ok(frac)
+}
+
 /// A named group of measurements, printed as an aligned table.
 pub struct Group {
     name: &'static str,
@@ -347,6 +383,30 @@ mod tests {
             .find(|r| r.group == "smoke" && r.label == "counter")
             .expect("measurement recorded");
         assert!(rec.iters >= 1);
+    }
+
+    #[test]
+    fn overhead_gate_accepts_and_rejects() {
+        let rec = |label: &str, best_ns: u128| BenchRecord {
+            group: "oracle".into(),
+            label: label.into(),
+            mean_ns: 0,
+            best_ns,
+            iters: 1,
+        };
+        let records = vec![rec("no-oracle", 1000), rec("lemma-suite", 1040)];
+        let frac = check_overhead(&records, "oracle/lemma-suite", "oracle/no-oracle", 0.05)
+            .expect("4% fits a 5% budget");
+        assert!((frac - 0.04).abs() < 1e-9);
+        let records = vec![rec("no-oracle", 1000), rec("lemma-suite", 1100)];
+        let err = check_overhead(&records, "oracle/lemma-suite", "oracle/no-oracle", 0.05)
+            .expect_err("10% breaks a 5% budget");
+        assert!(err.contains("10.0%"), "{err}");
+        assert!(
+            check_overhead(&records, "oracle/nope", "oracle/no-oracle", 0.05)
+                .expect_err("missing row")
+                .contains("missing"),
+        );
     }
 
     #[test]

@@ -1,0 +1,554 @@
+//! Online checkers for the paper's lemmas.
+//!
+//! Each checker implements [`Oracle`] over any message type (none of
+//! them inspects message *contents* — they read the ledger, halt flags,
+//! decided outputs, and round metrics the engine already maintains), so
+//! one monomorphization per protocol suffices and a checker costs one
+//! `O(n)` scan per round at most.
+//!
+//! Semantics are **online and strict**: a checker fires in the first
+//! round the violation becomes observable, quantifying over nodes that
+//! are honest *at that moment*. This is at least as strong as the
+//! post-hoc [`aba_sim::Verdict`] (which quantifies over nodes honest at
+//! the end): a node that decides wrongly and is corrupted afterwards
+//! still fired the oracle — the protocol made an honest node err, even
+//! if the adversary later hides the evidence.
+
+use crate::violation::{Violation, ViolationLog};
+use aba_sim::engine::RunReport;
+use aba_sim::id::NodeId;
+use aba_sim::message::Message;
+use aba_sim::oracle::{Oracle, RoundCtx};
+
+/// Lemma: any two honest nodes that decide, decide the same value
+/// (Definition 1, Agreement — checked *at decision time*, not post hoc).
+#[derive(Debug, Clone, Default)]
+pub struct AgreementAtDecision {
+    /// First honest decision seen: `(node, round, value)`.
+    first: Option<(NodeId, u64, bool)>,
+    /// Nodes already processed (halt observed), lazily sized to `n`.
+    seen: Vec<bool>,
+    log: ViolationLog,
+}
+
+/// Lemma: under uniform honest inputs `b`, every honest decision is `b`
+/// (Definition 1, Validity).
+#[derive(Debug, Clone)]
+pub struct Validity {
+    expected: bool,
+    seen: Vec<bool>,
+    log: ViolationLog,
+}
+
+/// Lemma: when the adversary is capped at `q < t` actual corruptions,
+/// the run terminates within a `q`-dependent round bound (Theorem 2's
+/// early-termination clause). The bound itself is supplied by the
+/// caller (the harness derives it from `aba-analysis`'s
+/// `early_termination_bound` with the generous constants the
+/// integration tests use); the checker also pins the budget accounting:
+/// the adversary must never spend more than its cap.
+#[derive(Debug, Clone)]
+pub struct EarlyTerminationBudget {
+    /// The adversary's actual-corruption cap `q`.
+    q: usize,
+    /// Maximum rounds the run may take under that cap.
+    round_bound: u64,
+    fired_rounds: bool,
+    fired_cap: bool,
+    log: ViolationLog,
+}
+
+/// Lemma: no message exceeds the CONGEST per-edge-per-round bit budget
+/// (`O(log n)` bits; the engine guarantees one message per ordered pair
+/// per round, so the per-edge maximum *is* the largest message).
+#[derive(Debug, Clone)]
+pub struct CongestEdgeBound {
+    budget_bits: usize,
+    log: ViolationLog,
+}
+
+/// Engine-accounting invariant: the corruption counter is monotone,
+/// never exceeds the budget `t`, and the per-round delta in the metrics
+/// matches the ledger.
+#[derive(Debug, Clone, Default)]
+pub struct CorruptionBudgetMonotonicity {
+    prev_used: usize,
+    log: ViolationLog,
+}
+
+impl AgreementAtDecision {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn scan<M: Message>(&mut self, ctx: &RoundCtx<'_, M>) {
+        if self.seen.len() != ctx.n {
+            self.seen = vec![false; ctx.n];
+        }
+        for i in 0..ctx.n {
+            // No corruption filter: `outputs[i]` is only ever recorded
+            // at an *honest* halt (the engine never steps corrupted
+            // nodes), so a node that decided and was corrupted later —
+            // even in the very same round — still counts as the honest
+            // decision it was.
+            if !ctx.halted[i] || self.seen[i] {
+                continue;
+            }
+            self.seen[i] = true;
+            let Some(value) = ctx.outputs[i] else {
+                continue;
+            };
+            match self.first {
+                None => self.first = Some((NodeId::new(i as u32), ctx.round.index(), value)),
+                Some((peer, peer_round, prior)) if prior != value => {
+                    self.log
+                        .fire("agreement-at-decision", ctx.round.index(), || {
+                            format!(
+                                "v{i} decided {value} but {peer} decided {prior} at r{peer_round}"
+                            )
+                        });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+impl<M: Message> Oracle<M> for AgreementAtDecision {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        self.scan(ctx);
+    }
+}
+
+impl Validity {
+    /// A checker armed with the uniform honest input `b`.
+    pub fn new(expected: bool) -> Self {
+        Validity {
+            expected,
+            seen: Vec::new(),
+            log: ViolationLog::default(),
+        }
+    }
+}
+
+impl<M: Message> Oracle<M> for Validity {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        if self.seen.len() != ctx.n {
+            self.seen = vec![false; ctx.n];
+        }
+        for i in 0..ctx.n {
+            // No corruption filter: `outputs[i]` is only ever recorded
+            // at an *honest* halt (the engine never steps corrupted
+            // nodes), so a node that decided and was corrupted later —
+            // even in the very same round — still counts as the honest
+            // decision it was.
+            if !ctx.halted[i] || self.seen[i] {
+                continue;
+            }
+            self.seen[i] = true;
+            if let Some(value) = ctx.outputs[i] {
+                if value != self.expected {
+                    let expected = self.expected;
+                    self.log.fire("validity", ctx.round.index(), || {
+                        format!("v{i} decided {value} under uniform input {expected}")
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl EarlyTerminationBudget {
+    /// A checker armed with the adversary's cap `q` and the maximum
+    /// rounds the run may take under it.
+    pub fn new(q: usize, round_bound: u64) -> Self {
+        EarlyTerminationBudget {
+            q,
+            round_bound,
+            fired_rounds: false,
+            fired_cap: false,
+            log: ViolationLog::default(),
+        }
+    }
+}
+
+impl<M: Message> Oracle<M> for EarlyTerminationBudget {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        // Round indices are zero-based: executing round `round_bound`
+        // means the run has taken more than `round_bound` rounds.
+        if !self.fired_rounds && ctx.round.index() >= self.round_bound {
+            self.fired_rounds = true;
+            let bound = self.round_bound;
+            let q = self.q;
+            self.log.fire("early-termination", ctx.round.index(), || {
+                format!("run exceeded the {bound}-round bound for corruption cap q={q}")
+            });
+        }
+        if !self.fired_cap && ctx.ledger.used() > self.q {
+            self.fired_cap = true;
+            let q = self.q;
+            let used = ctx.ledger.used();
+            self.log.fire("early-termination", ctx.round.index(), || {
+                format!("adversary spent {used} corruptions, above its cap q={q}")
+            });
+        }
+    }
+
+    fn observe_end(&mut self, report: &RunReport) {
+        // Only a run that was actually *allowed* to reach the bound can
+        // witness non-termination: a caller-configured round cap below
+        // the bound truncates the run without saying anything about the
+        // lemma (covers the `max_rounds == round_bound` edge, which the
+        // per-round check above cannot see).
+        if !self.fired_rounds && !report.all_halted && report.rounds >= self.round_bound {
+            self.fired_rounds = true;
+            let q = self.q;
+            self.log.fire("early-termination", report.rounds, || {
+                format!("run hit the round cap without terminating despite corruption cap q={q}")
+            });
+        }
+    }
+}
+
+impl CongestEdgeBound {
+    /// A checker armed with the per-edge-per-round bit budget.
+    pub fn new(budget_bits: usize) -> Self {
+        CongestEdgeBound {
+            budget_bits,
+            log: ViolationLog::default(),
+        }
+    }
+}
+
+impl<M: Message> Oracle<M> for CongestEdgeBound {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        let max = ctx.metrics.max_edge_bits;
+        if max > self.budget_bits {
+            let budget = self.budget_bits;
+            self.log.fire("congest-edge-bound", ctx.round.index(), || {
+                format!("{max} bits crossed an edge, budget is {budget}")
+            });
+        }
+    }
+}
+
+impl CorruptionBudgetMonotonicity {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<M: Message> Oracle<M> for CorruptionBudgetMonotonicity {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        let used = ctx.ledger.used();
+        let round = ctx.round.index();
+        if used > ctx.ledger.budget() {
+            let budget = ctx.ledger.budget();
+            self.log.fire("corruption-budget", round, || {
+                format!("{used} corruptions exceed the budget t={budget}")
+            });
+        }
+        if used < self.prev_used {
+            let prev = self.prev_used;
+            self.log.fire("corruption-budget", round, || {
+                format!("corruption counter went backwards: {prev} -> {used}")
+            });
+        } else if ctx.metrics.corruptions != used - self.prev_used {
+            let delta = ctx.metrics.corruptions;
+            let expected = used - self.prev_used;
+            self.log.fire("corruption-budget", round, || {
+                format!("round reported {delta} corruptions, ledger moved by {expected}")
+            });
+        }
+        self.prev_used = used;
+    }
+}
+
+/// Everything the oracles concluded about one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Total firings across every armed oracle (each list is capped, the
+    /// count is not).
+    pub total: usize,
+    /// Retained violation details, sorted by round (stable across runs
+    /// and worker counts).
+    pub violations: Vec<Violation>,
+}
+
+impl OracleReport {
+    /// The earliest retained violation, if any fired.
+    pub fn first(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+
+    /// Whether no oracle fired.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// The aggregate the harness attaches to a checked run: every lemma
+/// checker, individually armed or dormant.
+#[derive(Debug, Clone, Default)]
+pub struct LemmaSuite {
+    agreement: Option<AgreementAtDecision>,
+    validity: Option<Validity>,
+    early: Option<EarlyTerminationBudget>,
+    congest: Option<CongestEdgeBound>,
+    budget: Option<CorruptionBudgetMonotonicity>,
+}
+
+impl LemmaSuite {
+    /// A suite with every checker dormant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the agreement-at-decision checker.
+    #[must_use]
+    pub fn agreement(mut self) -> Self {
+        self.agreement = Some(AgreementAtDecision::new());
+        self
+    }
+
+    /// Arms the validity checker for uniform honest input `b`.
+    #[must_use]
+    pub fn validity(mut self, expected: bool) -> Self {
+        self.validity = Some(Validity::new(expected));
+        self
+    }
+
+    /// Arms the early-termination checker for corruption cap `q` and the
+    /// given round bound.
+    #[must_use]
+    pub fn early_termination(mut self, q: usize, round_bound: u64) -> Self {
+        self.early = Some(EarlyTerminationBudget::new(q, round_bound));
+        self
+    }
+
+    /// Arms the CONGEST edge-bit checker.
+    #[must_use]
+    pub fn congest(mut self, budget_bits: usize) -> Self {
+        self.congest = Some(CongestEdgeBound::new(budget_bits));
+        self
+    }
+
+    /// Arms the corruption-budget accounting checker.
+    #[must_use]
+    pub fn budget_monotonicity(mut self) -> Self {
+        self.budget = Some(CorruptionBudgetMonotonicity::new());
+        self
+    }
+
+    fn logs(&self) -> impl Iterator<Item = &ViolationLog> {
+        [
+            self.agreement.as_ref().map(|c| &c.log),
+            self.validity.as_ref().map(|c| &c.log),
+            self.early.as_ref().map(|c| &c.log),
+            self.congest.as_ref().map(|c| &c.log),
+            self.budget.as_ref().map(|c| &c.log),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// Folds every checker's log into one [`OracleReport`].
+    pub fn report(&self) -> OracleReport {
+        let total = self.logs().map(ViolationLog::total).sum();
+        let mut violations: Vec<Violation> =
+            self.logs().flat_map(|l| l.kept().iter().cloned()).collect();
+        violations.sort_by_key(|v| v.round);
+        OracleReport { total, violations }
+    }
+}
+
+impl<M: Message> Oracle<M> for LemmaSuite {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        if let Some(c) = &mut self.agreement {
+            c.observe_round(ctx);
+        }
+        if let Some(c) = &mut self.validity {
+            Oracle::<M>::observe_round(c, ctx);
+        }
+        if let Some(c) = &mut self.early {
+            Oracle::<M>::observe_round(c, ctx);
+        }
+        if let Some(c) = &mut self.congest {
+            Oracle::<M>::observe_round(c, ctx);
+        }
+        if let Some(c) = &mut self.budget {
+            Oracle::<M>::observe_round(c, ctx);
+        }
+    }
+
+    fn observe_end(&mut self, report: &RunReport) {
+        if let Some(c) = &mut self.early {
+            Oracle::<M>::observe_end(c, report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::adversary::{Adversary, AdversaryAction, Benign, CorruptSend, RoundView};
+    use aba_sim::mailbox::Inbox;
+    use aba_sim::message::Emission;
+    use aba_sim::prelude::*;
+    use rand::RngCore;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Bit(bool);
+    impl Message for Bit {
+        fn bit_size(&self) -> usize {
+            1
+        }
+    }
+
+    /// Decides its own input after one round — a protocol that violates
+    /// agreement under split inputs by construction.
+    #[derive(Debug, Clone)]
+    struct Stubborn {
+        input: bool,
+        done: bool,
+    }
+    impl Protocol for Stubborn {
+        type Msg = Bit;
+        fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<Bit> {
+            Emission::Broadcast(Bit(self.input))
+        }
+        fn receive(&mut self, _r: Round, _inbox: Inbox<'_, Bit>, _rng: &mut dyn RngCore) {
+            self.done = true;
+        }
+        fn output(&self) -> Option<bool> {
+            self.done.then_some(self.input)
+        }
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn run_suite(inputs: &[bool], suite: LemmaSuite) -> (RunReport, LemmaSuite) {
+        let nodes: Vec<Stubborn> = inputs
+            .iter()
+            .map(|b| Stubborn {
+                input: *b,
+                done: false,
+            })
+            .collect();
+        let cfg = SimConfig::new(inputs.len(), 0);
+        Simulation::with_oracle(cfg, nodes, Benign, PassThrough, suite).run_with_oracle()
+    }
+
+    #[test]
+    fn agreement_oracle_fires_on_split_decisions() {
+        let (_, suite) = run_suite(&[true, false, true], LemmaSuite::new().agreement());
+        let report = suite.report();
+        assert_eq!(report.total, 1, "one conflicting decision pair");
+        assert_eq!(report.first().unwrap().oracle, "agreement-at-decision");
+        assert_eq!(report.first().unwrap().round, 0);
+    }
+
+    #[test]
+    fn agreement_oracle_clean_on_uniform_decisions() {
+        let (_, suite) = run_suite(&[true, true, true], LemmaSuite::new().agreement());
+        assert!(suite.report().is_clean());
+    }
+
+    #[test]
+    fn validity_oracle_fires_on_flipped_output() {
+        // All nodes "decide" their input; arming validity with the
+        // opposite expectation must flag every decision.
+        let (_, suite) = run_suite(&[true, true], LemmaSuite::new().validity(false));
+        let report = suite.report();
+        assert_eq!(report.total, 2);
+        assert_eq!(report.first().unwrap().oracle, "validity");
+    }
+
+    #[test]
+    fn congest_oracle_fires_only_above_budget() {
+        let (_, suite) = run_suite(&[true, true], LemmaSuite::new().congest(1));
+        assert!(
+            suite.report().is_clean(),
+            "1-bit messages fit a 1-bit budget"
+        );
+        let (_, suite) = run_suite(&[true, true], LemmaSuite::new().congest(0));
+        assert_eq!(suite.report().total, 1);
+    }
+
+    #[test]
+    fn early_termination_round_bound() {
+        // The run takes exactly 1 round; a 1-round bound is respected, a
+        // 0-round bound is not.
+        let (_, suite) = run_suite(&[true, true], LemmaSuite::new().early_termination(0, 1));
+        assert!(suite.report().is_clean());
+        let (_, suite) = run_suite(&[true, true], LemmaSuite::new().early_termination(0, 0));
+        let report = suite.report();
+        assert_eq!(report.total, 1);
+        assert!(report.first().unwrap().detail.contains("0-round bound"));
+    }
+
+    /// Corrupts node 0 at round 0 and silences it.
+    struct CorruptZero;
+    impl Adversary<Stubborn> for CorruptZero {
+        fn act(
+            &mut self,
+            view: &RoundView<'_, Stubborn>,
+            _rng: &mut dyn RngCore,
+        ) -> AdversaryAction<Bit> {
+            if view.round == Round::ZERO {
+                AdversaryAction {
+                    corruptions: vec![NodeId::new(0)],
+                    sends: vec![(NodeId::new(0), CorruptSend::Broadcast(Bit(false)))],
+                }
+            } else {
+                AdversaryAction::pass()
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_nodes_do_not_trip_agreement_and_cap_overrun_fires() {
+        // Node 0 holds the deviant input but is corrupted before any
+        // honest node decides: agreement over honest deciders holds.
+        // The early-termination checker armed with cap q=0 must flag the
+        // single corruption as a cap overrun.
+        let nodes = vec![
+            Stubborn {
+                input: false,
+                done: false,
+            },
+            Stubborn {
+                input: true,
+                done: false,
+            },
+            Stubborn {
+                input: true,
+                done: false,
+            },
+        ];
+        let suite = LemmaSuite::new()
+            .agreement()
+            .early_termination(0, 50)
+            .budget_monotonicity();
+        let cfg = SimConfig::new(3, 1);
+        let (report, suite) =
+            Simulation::with_oracle(cfg, nodes, CorruptZero, PassThrough, suite).run_with_oracle();
+        assert_eq!(report.corruptions_used, 1);
+        let oracle_report = suite.report();
+        assert_eq!(oracle_report.total, 1, "{:?}", oracle_report.violations);
+        assert!(oracle_report
+            .first()
+            .unwrap()
+            .detail
+            .contains("above its cap"));
+    }
+
+    #[test]
+    fn budget_monotonicity_clean_on_benign_run() {
+        let (_, suite) = run_suite(&[true, true], LemmaSuite::new().budget_monotonicity());
+        assert!(suite.report().is_clean());
+    }
+}

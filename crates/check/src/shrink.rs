@@ -1,0 +1,92 @@
+//! Greedy failure shrinking.
+//!
+//! When an oracle fires, the raw failing scenario is rarely the best
+//! artifact: the same violation usually reproduces at a fraction of the
+//! network size, at a small seed, and within a short round prefix.
+//! [`shrink_greedy`] is the generic engine: the caller supplies a
+//! candidate generator (ordered most-aggressive-first) and a predicate
+//! that re-runs the checkers; the shrinker walks downhill, accepting
+//! the first still-failing candidate each step, until a fixed point or
+//! the evaluation budget.
+//!
+//! Determinism: candidates and the predicate must be pure functions of
+//! the candidate (re-running a seeded scenario is), so the shrunken
+//! result is identical across runs, processes, and worker counts — a
+//! requirement for byte-identical sweep repro artifacts.
+
+/// Accounting for one shrink session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidates whose predicate was evaluated.
+    pub evaluated: usize,
+    /// Candidates accepted (steps actually taken downhill).
+    pub accepted: usize,
+}
+
+/// Greedily minimizes `initial` while `still_fails` holds.
+///
+/// Each step, `candidates` proposes smaller variants of the current
+/// candidate (in preference order); the first one that still fails is
+/// adopted and the loop restarts from it. The process stops at a fixed
+/// point (no candidate fails) or after `max_evals` predicate
+/// evaluations. `initial` is assumed failing and is returned unchanged
+/// when nothing smaller fails.
+pub fn shrink_greedy<C: Clone>(
+    initial: C,
+    mut candidates: impl FnMut(&C) -> Vec<C>,
+    mut still_fails: impl FnMut(&C) -> bool,
+    max_evals: usize,
+) -> (C, ShrinkStats) {
+    let mut current = initial;
+    let mut stats = ShrinkStats::default();
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if stats.evaluated >= max_evals {
+                break 'outer;
+            }
+            stats.evaluated += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                stats.accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_smallest_failing_value() {
+        // "Fails" iff >= 17; candidates halve and decrement.
+        let (min, stats) = shrink_greedy(
+            1000u64,
+            |&c| vec![c / 2, c.saturating_sub(1)],
+            |&c| c >= 17,
+            1000,
+        );
+        assert_eq!(min, 17);
+        assert!(stats.accepted > 0);
+        assert!(stats.evaluated >= stats.accepted);
+    }
+
+    #[test]
+    fn respects_the_evaluation_budget() {
+        let (min, stats) =
+            shrink_greedy(1_000_000u64, |&c| vec![c.saturating_sub(1)], |&c| c > 0, 10);
+        assert_eq!(stats.evaluated, 10);
+        assert_eq!(min, 1_000_000 - 10);
+    }
+
+    #[test]
+    fn fixed_point_returns_initial() {
+        let (min, stats) = shrink_greedy(5u64, |&c| vec![c - 1], |&c| c == 5, 100);
+        assert_eq!(min, 5);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.evaluated, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! The violation record shared by every oracle.
+
+use std::fmt;
+
+/// One observed lemma violation.
+///
+/// `round` is the round at which the violation first became observable
+/// online — for a fixed scenario and seed it is stable across runs,
+/// processes, and worker counts, which is what makes golden tests and
+/// byte-identical sweep artifacts possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the oracle that fired (e.g. `"agreement-at-decision"`).
+    pub oracle: &'static str,
+    /// Round at which the violation was detected.
+    pub round: u64,
+    /// Human-readable specifics (nodes, values, measured vs bound).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @ r{}] {}", self.oracle, self.round, self.detail)
+    }
+}
+
+/// A bounded violation log: counts every firing, keeps the details of
+/// the first [`ViolationLog::CAP`] — a run that violates an invariant
+/// every round for thousands of rounds must not balloon memory, while
+/// the first-violation round (the shrink anchor) is always retained.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ViolationLog {
+    total: usize,
+    kept: Vec<Violation>,
+}
+
+impl ViolationLog {
+    /// How many violation details are retained per oracle.
+    pub(crate) const CAP: usize = 16;
+
+    /// Records a firing; `detail` is only rendered while under the cap.
+    pub(crate) fn fire(
+        &mut self,
+        oracle: &'static str,
+        round: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.total += 1;
+        if self.kept.len() < Self::CAP {
+            self.kept.push(Violation {
+                oracle,
+                round,
+                detail: detail(),
+            });
+        }
+    }
+
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+
+    pub(crate) fn kept(&self) -> &[Violation] {
+        &self.kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_everything_but_keeps_a_cap() {
+        let mut log = ViolationLog::default();
+        for r in 0..100 {
+            log.fire("test-oracle", r, || format!("round {r}"));
+        }
+        assert_eq!(log.total(), 100);
+        assert_eq!(log.kept().len(), ViolationLog::CAP);
+        assert_eq!(log.kept()[0].round, 0);
+        assert_eq!(log.kept()[0].to_string(), "[test-oracle @ r0] round 0");
+    }
+}

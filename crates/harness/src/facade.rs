@@ -19,6 +19,7 @@
 //! assert_eq!(report.agreement_rate(), 1.0);
 //! ```
 
+use crate::check::CheckedTrial;
 use crate::runner::{self, TrialResult};
 use crate::scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
 use aba_agreement::CommitteeBa;
@@ -123,6 +124,30 @@ impl ScenarioBuilder {
     /// (`n ≥ 3t + 1` for the agreement protocols).
     pub fn run(&self) -> TrialResult {
         runner::run_scenario(&self.scenario)
+    }
+
+    /// Runs a single trial with the scenario's lemma oracles attached
+    /// (agreement at decision, validity, early termination under a
+    /// capped adversary, the CONGEST edge bound, and corruption-budget
+    /// accounting — see `aba-check`). The trial result is bit-identical
+    /// to [`ScenarioBuilder::run`]; the oracle report carries every
+    /// violation with the round it first became observable.
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`ScenarioBuilder::run`].
+    pub fn check(&self) -> CheckedTrial {
+        crate::check::check_scenario(&self.scenario)
+    }
+
+    /// Runs the configured number of trials with oracles attached, in
+    /// parallel (seeds `seed..seed + trials`), in seed order.
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`ScenarioBuilder::run`].
+    pub fn check_batch(&self) -> Vec<CheckedTrial> {
+        runner::run_many_with(&self.scenario, self.trials, crate::check::check_scenario)
     }
 
     /// Runs the configured number of trials in parallel (seeds
@@ -622,18 +647,40 @@ mod tests {
             .run();
         assert!(r.terminated && r.agreement);
         assert_ne!(r.adversary, AttackSpec::CoinKiller.name());
+        assert!(r.downgraded, "the substitution is flagged");
         let r = ScenarioBuilder::new(36, 3)
             .protocol(ProtocolSpec::CommonCoin)
             .adversary(AttackSpec::FullAttack)
             .run();
         assert!(r.terminated);
         assert_ne!(r.adversary, AttackSpec::FullAttack.name());
+        assert!(r.downgraded);
         // A matched pair records the adversary it asked for.
         let r = ScenarioBuilder::new(16, 5)
             .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
             .adversary(AttackSpec::Benign)
             .run();
         assert_eq!(r.adversary, "benign");
+        assert!(!r.downgraded);
+    }
+
+    #[test]
+    fn check_attaches_oracles_without_perturbing_the_trial() {
+        let b = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::FullAttack)
+            .seed(4)
+            .trials(2);
+        let checked = b.check();
+        assert!(checked.is_clean(), "{:?}", checked.oracle.violations);
+        assert_eq!(checked.result, b.run());
+        let batch = b.check_batch();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], checked);
+        let plain = b.run_batch();
+        for (c, p) in batch.iter().zip(&plain.results) {
+            assert_eq!(&c.result, p);
+        }
     }
 
     #[test]

@@ -26,15 +26,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod facade;
 pub mod report;
 pub(crate) mod runner;
 pub mod scenario;
 
+pub use check::{check_scenario, replay_scenario, shrink_violation, CheckedTrial, Repro};
 pub use facade::{run_scenario, BatchReport, ScenarioBuilder};
 pub use report::Report;
-pub use runner::TrialResult;
+pub use runner::{ReplayOutcome, TrialResult};
 pub use scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
+
+// Re-export the oracle report types so facade users need only this
+// crate to inspect check results.
+pub use aba_check::{OracleReport, Violation};
 
 // `NetworkSpec::BoundedDelay` carries an `aba-net` scheduler; re-export
 // it so facade users need only this crate.

@@ -4,16 +4,26 @@
 //! facade: it monomorphizes the declarative [`Scenario`] into a concrete
 //! protocol/adversary pair and runs it. It is crate-private on purpose —
 //! downstream code composes runs exclusively through the facade.
+//!
+//! Execution is factored through the [`Drive`] strategy so the one
+//! attack-dispatch table serves three run modes: [`Plain`] (just the
+//! [`TrialResult`]), [`CheckDrive`] (the lemma oracles from `aba-check`
+//! attached via the engine's oracle seam), and [`Replayed`] (record the
+//! run, re-drive it from the trace, return both results — the
+//! differential that pins trace fidelity).
 
+use crate::check::{lemma_suite_for, CheckedTrial};
 use crate::scenario::{AttackSpec, NetworkSpec, ProtocolSpec, Scenario};
 use aba_adversary::{AdaptiveCrash, Benign, BudgetCapped, StaticBehavior, StaticByzantine};
 use aba_agreement::{BaConfig, CoinRoundMode, CommitteeBa, PhaseKingBa, SamplingMajorityNode};
 use aba_attacks::{
     AdaptiveFullAttack, BudgetPolicy, CoinKiller, NonRushingPolicy, SamplingPoison, SplitVote,
 };
+use aba_check::TraceRecorder;
 use aba_coin::CoinFlipNode;
 use aba_net::{BoundedDelay, LossyLinks, NetDelivery, Partition, Synchronous};
 use aba_sim::adversary::Adversary;
+use aba_sim::oracle::{NoOracle, Oracle};
 use aba_sim::protocol::Protocol;
 use aba_sim::{RunReport, SimConfig, Simulation, Verdict};
 
@@ -58,6 +68,11 @@ pub struct TrialResult {
     /// strategy; this field records the substitution so results are
     /// never silently misattributed.
     pub adversary: &'static str,
+    /// True when the requested [`AttackSpec`] did not apply to the
+    /// protocol and the dispatcher substituted the strongest applicable
+    /// strategy (named in `adversary`). Always check this flag before
+    /// attributing a result to the attack that was *asked for*.
+    pub downgraded: bool,
     /// Name of the network model the trial ran under.
     pub network: &'static str,
 }
@@ -80,6 +95,7 @@ impl TrialResult {
         seed: u64,
         adversary: &'static str,
         network: &'static str,
+        downgraded: bool,
     ) -> TrialResult {
         TrialResult {
             seed,
@@ -97,6 +113,7 @@ impl TrialResult {
             dropped: report.metrics.total_dropped,
             delayed: report.metrics.total_delayed,
             adversary,
+            downgraded,
             network,
         }
     }
@@ -107,13 +124,14 @@ impl TrialResult {
         inputs: &[bool],
         adversary: &'static str,
         network: &'static str,
+        downgraded: bool,
     ) -> TrialResult {
         let verdict = Verdict::evaluate(inputs, &report.outputs, &report.honest);
         TrialResult {
             agreement: verdict.agreement,
             validity: verdict.validity,
             decision: verdict.decision,
-            ..Self::base(report, seed, adversary, network)
+            ..Self::base(report, seed, adversary, network, downgraded)
         }
     }
 
@@ -124,6 +142,7 @@ impl TrialResult {
         seed: u64,
         adversary: &'static str,
         network: &'static str,
+        downgraded: bool,
     ) -> TrialResult {
         let agreement = report.honest_outputs_agree();
         TrialResult {
@@ -133,7 +152,7 @@ impl TrialResult {
             } else {
                 None
             },
-            ..Self::base(report, seed, adversary, network)
+            ..Self::base(report, seed, adversary, network, downgraded)
         }
     }
 
@@ -144,6 +163,24 @@ impl TrialResult {
     }
 }
 
+/// Both sides of a record/replay differential (see
+/// [`crate::check::replay_scenario`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// The live run, with the trace recorder attached.
+    pub live: TrialResult,
+    /// The same run re-driven from the recorded trace (no network
+    /// model, no adversary strategy — scripts only).
+    pub replayed: TrialResult,
+}
+
+impl ReplayOutcome {
+    /// Whether the replay reproduced the live run bit for bit.
+    pub fn is_faithful(&self) -> bool {
+        self.live == self.replayed
+    }
+}
+
 fn sim_config(s: &Scenario) -> SimConfig {
     SimConfig::new(s.n, s.t)
         .with_seed(s.seed)
@@ -151,184 +188,430 @@ fn sim_config(s: &Scenario) -> SimConfig {
         .with_max_rounds(s.max_rounds)
 }
 
-/// Runs the simulation under the scenario's network conditions,
-/// monomorphizing the engine over the concrete delivery stage so every
-/// protocol × adversary × network combination stays static-dispatch.
+/// How the honest outcome of a run is evaluated into a [`TrialResult`].
+#[derive(Clone, Copy)]
+pub(crate) enum Eval<'a> {
+    /// Agreement/validity against the materialized inputs.
+    Inputs(&'a [bool]),
+    /// Coin semantics: agreement = commonality, validity vacuous.
+    Coin,
+}
+
+impl Eval<'_> {
+    fn trial(
+        &self,
+        s: &Scenario,
+        report: &RunReport,
+        adversary: &'static str,
+        downgraded: bool,
+    ) -> TrialResult {
+        match self {
+            Eval::Inputs(inputs) => TrialResult::from_run(
+                report,
+                s.seed,
+                inputs,
+                adversary,
+                s.network.name(),
+                downgraded,
+            ),
+            Eval::Coin => {
+                TrialResult::from_coin_run(report, s.seed, adversary, s.network.name(), downgraded)
+            }
+        }
+    }
+}
+
+/// Runs the simulation under the scenario's network conditions with an
+/// oracle attached, monomorphizing the engine over the concrete delivery
+/// stage so every protocol × adversary × network × oracle combination
+/// stays static-dispatch.
 ///
 /// The model is seeded from the scenario's master seed on the dedicated
 /// network RNG stream, so the same seed reproduces the same drops and
 /// delays — and switching models never perturbs node or adversary
 /// randomness.
-fn simulate<P, A>(s: &Scenario, nodes: Vec<P>, adversary: A) -> RunReport
+fn simulate_oracle<P, A, O>(s: &Scenario, nodes: Vec<P>, adversary: A, oracle: O) -> (RunReport, O)
 where
     P: Protocol,
     A: Adversary<P>,
+    O: Oracle<P::Msg>,
 {
     let cfg = sim_config(s);
     match s.network {
-        NetworkSpec::Synchronous => {
-            Simulation::with_network(cfg, nodes, adversary, NetDelivery::new(Synchronous, s.seed))
-                .run()
-        }
-        NetworkSpec::LossyLinks { p_drop } => Simulation::with_network(
+        NetworkSpec::Synchronous => Simulation::with_oracle(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(Synchronous, s.seed),
+            oracle,
+        )
+        .run_with_oracle(),
+        NetworkSpec::LossyLinks { p_drop } => Simulation::with_oracle(
             cfg,
             nodes,
             adversary,
             NetDelivery::new(LossyLinks::new(p_drop), s.seed),
+            oracle,
         )
-        .run(),
+        .run_with_oracle(),
         NetworkSpec::BoundedDelay {
             max_delay,
             scheduler,
-        } => Simulation::with_network(
+        } => Simulation::with_oracle(
             cfg,
             nodes,
             adversary,
             NetDelivery::new(BoundedDelay::new(max_delay, scheduler), s.seed),
+            oracle,
         )
-        .run(),
-        NetworkSpec::Partition { groups, heal_round } => Simulation::with_network(
+        .run_with_oracle(),
+        NetworkSpec::Partition { groups, heal_round } => Simulation::with_oracle(
             cfg,
             nodes,
             adversary,
             NetDelivery::new(Partition::striped(s.n, groups, heal_round), s.seed),
+            oracle,
         )
-        .run(),
+        .run_with_oracle(),
     }
 }
 
-fn run_committee<A>(s: &Scenario, cfg: BaConfig, adversary: A) -> TrialResult
+/// An execution strategy over the monomorphized protocol × adversary ×
+/// network dispatch. `make_nodes` rebuilds the protocol network from
+/// scratch (replay drives the engine twice).
+pub(crate) trait Drive {
+    /// What one driven trial produces.
+    type Out;
+
+    /// Executes one fully-dispatched combination.
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> Self::Out
+    where
+        P: Protocol,
+        A: Adversary<P>;
+}
+
+/// The default strategy: run once, no oracle.
+pub(crate) struct Plain;
+
+impl Drive for Plain {
+    type Out = TrialResult;
+
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> TrialResult
+    where
+        P: Protocol,
+        A: Adversary<P>,
+    {
+        let name = adversary.name();
+        let (report, _) = simulate_oracle(s, make_nodes(), adversary, NoOracle);
+        eval.trial(s, &report, name, downgraded)
+    }
+}
+
+/// Run once with the scenario's lemma oracles attached.
+pub(crate) struct CheckDrive;
+
+impl Drive for CheckDrive {
+    type Out = CheckedTrial;
+
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> CheckedTrial
+    where
+        P: Protocol,
+        A: Adversary<P>,
+    {
+        let name = adversary.name();
+        let suite = lemma_suite_for(s);
+        let (report, suite) = simulate_oracle(s, make_nodes(), adversary, suite);
+        CheckedTrial {
+            result: eval.trial(s, &report, name, downgraded),
+            oracle: suite.report(),
+        }
+    }
+}
+
+/// Record the live run, then re-drive the engine from the trace with
+/// the recorded adversary actions and arrivals standing in for the
+/// strategy and the network model.
+pub(crate) struct Replayed;
+
+impl Drive for Replayed {
+    type Out = ReplayOutcome;
+
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> ReplayOutcome
+    where
+        P: Protocol,
+        A: Adversary<P>,
+    {
+        let name = adversary.name();
+        let (live_report, recorder) =
+            simulate_oracle(s, make_nodes(), adversary, TraceRecorder::new());
+        let (replay_adv, replay_delivery) = recorder.into_recording().into_replay(name);
+        let replay_report =
+            Simulation::with_network(sim_config(s), make_nodes(), replay_adv, replay_delivery)
+                .run();
+        ReplayOutcome {
+            live: eval.trial(s, &live_report, name, downgraded),
+            replayed: eval.trial(s, &replay_report, name, downgraded),
+        }
+    }
+}
+
+fn run_committee<D, A>(
+    d: &D,
+    s: &Scenario,
+    cfg: &BaConfig,
+    adversary: A,
+    downgraded: bool,
+) -> D::Out
 where
+    D: Drive,
     A: Adversary<CommitteeBa>,
 {
-    let name = adversary.name();
     let inputs = s.inputs.materialize(s.n, s.seed);
-    let nodes = CommitteeBa::network(&cfg, &inputs);
-    let report = simulate(s, nodes, adversary);
-    TrialResult::from_run(&report, s.seed, &inputs, name, s.network.name())
+    d.drive(
+        s,
+        &|| CommitteeBa::network(cfg, &inputs),
+        adversary,
+        Eval::Inputs(&inputs),
+        downgraded,
+    )
 }
 
-fn run_phase_king<A>(s: &Scenario, adversary: A) -> TrialResult
+fn run_phase_king<D, A>(d: &D, s: &Scenario, adversary: A, downgraded: bool) -> D::Out
 where
+    D: Drive,
     A: Adversary<PhaseKingBa>,
 {
-    let name = adversary.name();
     let inputs = s.inputs.materialize(s.n, s.seed);
-    let nodes = PhaseKingBa::network(s.n, s.t, &inputs);
-    let report = simulate(s, nodes, adversary);
-    TrialResult::from_run(&report, s.seed, &inputs, name, s.network.name())
+    d.drive(
+        s,
+        &|| PhaseKingBa::network(s.n, s.t, &inputs),
+        adversary,
+        Eval::Inputs(&inputs),
+        downgraded,
+    )
 }
 
-fn run_coin<A>(s: &Scenario, adversary: A) -> TrialResult
+fn run_coin<D, A>(d: &D, s: &Scenario, adversary: A, downgraded: bool) -> D::Out
 where
+    D: Drive,
     A: Adversary<CoinFlipNode>,
 {
-    let name = adversary.name();
-    let nodes = CoinFlipNode::network(s.n);
-    let report = simulate(s, nodes, adversary);
-    TrialResult::from_coin_run(&report, s.seed, name, s.network.name())
+    d.drive(
+        s,
+        &|| CoinFlipNode::network(s.n),
+        adversary,
+        Eval::Coin,
+        downgraded,
+    )
 }
 
-fn run_sampling<A>(s: &Scenario, iters: u64, adversary: A) -> TrialResult
+fn run_sampling<D, A>(d: &D, s: &Scenario, iters: u64, adversary: A, downgraded: bool) -> D::Out
 where
+    D: Drive,
     A: Adversary<SamplingMajorityNode>,
 {
-    let name = adversary.name();
     let iters = if iters == 0 {
         SamplingMajorityNode::recommended_iterations(s.n)
     } else {
         iters
     };
     let inputs = s.inputs.materialize(s.n, s.seed);
-    let nodes = SamplingMajorityNode::network(s.n, iters, &inputs);
-    let report = simulate(s, nodes, adversary);
-    TrialResult::from_run(&report, s.seed, &inputs, name, s.network.name())
+    d.drive(
+        s,
+        &|| SamplingMajorityNode::network(s.n, iters, &inputs),
+        adversary,
+        Eval::Inputs(&inputs),
+        downgraded,
+    )
 }
 
 /// Dispatches the one-shot coin over the attack axis. Protocol-specific
 /// attacks that don't understand the coin degrade to [`CoinKiller`], the
-/// strongest coin-aware adversary.
-fn dispatch_coin(s: &Scenario) -> TrialResult {
+/// strongest coin-aware adversary (recorded via `downgraded`).
+fn dispatch_coin<D: Drive>(d: &D, s: &Scenario) -> D::Out {
     let killer = || CoinKiller::new(NonRushingPolicy::Guaranteed);
     match s.attack {
-        AttackSpec::Benign => run_coin(s, Benign),
-        AttackSpec::StaticSilent => {
-            run_coin(s, StaticByzantine::first_t(s.t, StaticBehavior::Silence))
-        }
+        AttackSpec::Benign => run_coin(d, s, Benign, false),
+        AttackSpec::StaticSilent => run_coin(
+            d,
+            s,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
+        ),
         AttackSpec::StaticMirror => run_coin(
+            d,
             s,
             StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
         ),
-        AttackSpec::Crash { per_round } => run_coin(s, AdaptiveCrash::steady(per_round)),
-        AttackSpec::FullAttackCapped { q } => run_coin(s, BudgetCapped::new(killer(), q)),
-        AttackSpec::CoinKiller
-        | AttackSpec::SplitVote
+        AttackSpec::Crash { per_round } => run_coin(d, s, AdaptiveCrash::steady(per_round), false),
+        // The capped *combined* attack doesn't exist for the coin; the
+        // capped coin killer stands in — a substitution, so flagged.
+        AttackSpec::FullAttackCapped { q } => run_coin(d, s, BudgetCapped::new(killer(), q), true),
+        AttackSpec::CoinKiller => run_coin(d, s, killer(), false),
+        AttackSpec::SplitVote
         | AttackSpec::FullAttack
         | AttackSpec::FullAttackFrugal
-        | AttackSpec::SamplingPoison => run_coin(s, killer()),
+        | AttackSpec::SamplingPoison => run_coin(d, s, killer(), true),
     }
 }
 
 /// Dispatches the sampling-majority dynamic over the attack axis.
 /// Protocol-specific attacks that don't understand it degrade to
 /// [`SamplingPoison`], the strongest sampling-aware adversary.
-fn dispatch_sampling(s: &Scenario, iters: u64) -> TrialResult {
+fn dispatch_sampling<D: Drive>(d: &D, s: &Scenario, iters: u64) -> D::Out {
     match s.attack {
-        AttackSpec::Benign => run_sampling(s, iters, Benign),
+        AttackSpec::Benign => run_sampling(d, s, iters, Benign, false),
         AttackSpec::StaticSilent => run_sampling(
+            d,
             s,
             iters,
             StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
         ),
         AttackSpec::StaticMirror => run_sampling(
+            d,
             s,
             iters,
             StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
         ),
-        AttackSpec::Crash { per_round } => run_sampling(s, iters, AdaptiveCrash::steady(per_round)),
-        AttackSpec::FullAttackCapped { q } => {
-            run_sampling(s, iters, BudgetCapped::new(SamplingPoison::eager(), q))
+        AttackSpec::Crash { per_round } => {
+            run_sampling(d, s, iters, AdaptiveCrash::steady(per_round), false)
         }
-        AttackSpec::SamplingPoison
-        | AttackSpec::SplitVote
+        // As with the coin: the capped combined attack degrades to the
+        // capped poisoner, and the substitution is flagged.
+        AttackSpec::FullAttackCapped { q } => run_sampling(
+            d,
+            s,
+            iters,
+            BudgetCapped::new(SamplingPoison::eager(), q),
+            true,
+        ),
+        AttackSpec::SamplingPoison => run_sampling(d, s, iters, SamplingPoison::eager(), false),
+        AttackSpec::SplitVote
         | AttackSpec::FullAttack
         | AttackSpec::FullAttackFrugal
-        | AttackSpec::CoinKiller => run_sampling(s, iters, SamplingPoison::eager()),
+        | AttackSpec::CoinKiller => run_sampling(d, s, iters, SamplingPoison::eager(), true),
     }
 }
 
 /// Dispatches a committee-protocol scenario over the attack axis.
-fn dispatch_committee(s: &Scenario, cfg: BaConfig) -> TrialResult {
+fn dispatch_committee<D: Drive>(d: &D, s: &Scenario, cfg: BaConfig) -> D::Out {
+    let cfg = &cfg;
     match s.attack {
-        AttackSpec::Benign => run_committee(s, cfg, Benign),
+        AttackSpec::Benign => run_committee(d, s, cfg, Benign, false),
         AttackSpec::StaticSilent => run_committee(
+            d,
             s,
             cfg,
             StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
         ),
         AttackSpec::StaticMirror => run_committee(
+            d,
             s,
             cfg,
             StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
         ),
-        AttackSpec::Crash { per_round } => run_committee(s, cfg, AdaptiveCrash::steady(per_round)),
-        AttackSpec::SplitVote => run_committee(s, cfg, SplitVote::new()),
-        AttackSpec::FullAttack => {
-            run_committee(s, cfg, AdaptiveFullAttack::new(BudgetPolicy::Greedy))
+        AttackSpec::Crash { per_round } => {
+            run_committee(d, s, cfg, AdaptiveCrash::steady(per_round), false)
         }
-        AttackSpec::FullAttackFrugal => {
-            run_committee(s, cfg, AdaptiveFullAttack::new(BudgetPolicy::Frugal))
-        }
+        AttackSpec::SplitVote => run_committee(d, s, cfg, SplitVote::new(), false),
+        AttackSpec::FullAttack => run_committee(
+            d,
+            s,
+            cfg,
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+            false,
+        ),
+        AttackSpec::FullAttackFrugal => run_committee(
+            d,
+            s,
+            cfg,
+            AdaptiveFullAttack::new(BudgetPolicy::Frugal),
+            false,
+        ),
         AttackSpec::FullAttackCapped { q } => run_committee(
+            d,
             s,
             cfg,
             BudgetCapped::new(AdaptiveFullAttack::new(BudgetPolicy::Greedy), q),
+            false,
         ),
         // Protocol-mismatched attacks degrade to the strongest
-        // committee-aware adversary.
-        AttackSpec::CoinKiller | AttackSpec::SamplingPoison => {
-            run_committee(s, cfg, AdaptiveFullAttack::new(BudgetPolicy::Greedy))
+        // committee-aware adversary — recorded via `downgraded`.
+        AttackSpec::CoinKiller | AttackSpec::SamplingPoison => run_committee(
+            d,
+            s,
+            cfg,
+            AdaptiveFullAttack::new(BudgetPolicy::Greedy),
+            true,
+        ),
+    }
+}
+
+/// Dispatches the deterministic Phase-King baseline over the attack
+/// axis.
+fn dispatch_phase_king<D: Drive>(d: &D, s: &Scenario) -> D::Out {
+    match s.attack {
+        AttackSpec::Benign => run_phase_king(d, s, Benign, false),
+        AttackSpec::StaticSilent => run_phase_king(
+            d,
+            s,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
+        ),
+        AttackSpec::StaticMirror => run_phase_king(
+            d,
+            s,
+            StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
+        ),
+        AttackSpec::Crash { per_round } => {
+            run_phase_king(d, s, AdaptiveCrash::steady(per_round), false)
         }
+        // The BA-state-aware attacks don't apply to Phase-King's message
+        // type; they degrade to adaptive crash, the strongest generic
+        // adversary. The substitution used to be silent — it is now
+        // recorded on the result (`downgraded` + the `adversary` name),
+        // so a sweep can never misattribute Phase-King numbers to an
+        // attack that never ran.
+        AttackSpec::SplitVote
+        | AttackSpec::FullAttack
+        | AttackSpec::FullAttackFrugal
+        | AttackSpec::FullAttackCapped { .. }
+        | AttackSpec::CoinKiller
+        | AttackSpec::SamplingPoison => run_phase_king(d, s, AdaptiveCrash::steady(1), true),
     }
 }
 
@@ -374,40 +657,34 @@ where
             s.protocol.name()
         )
     });
-    run_committee(s, cfg, adversary)
+    run_committee(&Plain, s, &cfg, adversary, false)
+}
+
+/// Drives one scenario to completion under the given strategy.
+///
+/// # Panics
+///
+/// Panics if the scenario's `(n, t)` violates a protocol precondition
+/// (`n ≥ 3t + 1`); scenario construction is programmer-controlled.
+pub(crate) fn drive_scenario<D: Drive>(d: &D, s: &Scenario) -> D::Out {
+    if let Some(cfg) = committee_config(s) {
+        return dispatch_committee(d, s, cfg);
+    }
+    match s.protocol {
+        ProtocolSpec::CommonCoin => dispatch_coin(d, s),
+        ProtocolSpec::SamplingMajority { iters } => dispatch_sampling(d, s, iters),
+        ProtocolSpec::PhaseKing => dispatch_phase_king(d, s),
+        _ => unreachable!("committee-family protocols are handled above"),
+    }
 }
 
 /// Runs one scenario to completion.
 ///
 /// # Panics
 ///
-/// Panics if the scenario's `(n, t)` violates a protocol precondition
-/// (`n ≥ 3t + 1`); scenario construction is programmer-controlled.
+/// Same preconditions as [`drive_scenario`].
 pub(crate) fn run_scenario(s: &Scenario) -> TrialResult {
-    if let Some(cfg) = committee_config(s) {
-        return dispatch_committee(s, cfg);
-    }
-    match s.protocol {
-        ProtocolSpec::CommonCoin => dispatch_coin(s),
-        ProtocolSpec::SamplingMajority { iters } => dispatch_sampling(s, iters),
-        ProtocolSpec::PhaseKing => match s.attack {
-            AttackSpec::Benign => run_phase_king(s, Benign),
-            AttackSpec::StaticSilent => {
-                run_phase_king(s, StaticByzantine::first_t(s.t, StaticBehavior::Silence))
-            }
-            AttackSpec::StaticMirror => run_phase_king(
-                s,
-                StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
-            ),
-            AttackSpec::Crash { per_round } => run_phase_king(s, AdaptiveCrash::steady(per_round)),
-            // The BA-state-aware attacks don't apply to Phase-King's
-            // message type; fall back to adaptive crash, the strongest
-            // generic adversary (Phase-King is deterministic, so its
-            // round count is attack-independent anyway).
-            _ => run_phase_king(s, AdaptiveCrash::steady(1)),
-        },
-        _ => unreachable!("committee-family protocols are handled above"),
-    }
+    drive_scenario(&Plain, s)
 }
 
 /// Runs `trials` seed-shifted copies of a base scenario in parallel,
@@ -417,9 +694,10 @@ pub(crate) fn run_scenario(s: &Scenario) -> TrialResult {
 /// a shared atomic index, so a single slow trial (a long Las Vegas tail,
 /// a round-cap run under an adverse network) occupies one core instead
 /// of idling everything behind a statically-assigned chunk.
-pub(crate) fn run_many_with<F>(base: &Scenario, trials: usize, run: F) -> Vec<TrialResult>
+pub(crate) fn run_many_with<R, F>(base: &Scenario, trials: usize, run: F) -> Vec<R>
 where
-    F: Fn(&Scenario) -> TrialResult + Sync,
+    R: Send,
+    F: Fn(&Scenario) -> R + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -438,7 +716,7 @@ where
         .unwrap_or(4)
         .min(scenarios.len());
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<TrialResult>> = vec![None; scenarios.len()];
+    let mut results: Vec<Option<R>> = (0..scenarios.len()).map(|_| None).collect();
     let run = &run;
     let next = &next;
     let scenarios = &scenarios;
@@ -499,6 +777,7 @@ mod tests {
             let r = run_scenario(&s);
             assert!(r.correct(), "{} failed: {r:?}", proto.name());
             assert_eq!(r.decision, Some(true));
+            assert!(!r.downgraded, "{}: benign never downgrades", proto.name());
         }
     }
 
@@ -520,6 +799,7 @@ mod tests {
             let r = run_scenario(&s);
             assert!(r.terminated, "{} never terminated", attack.name());
             assert!(r.agreement, "{} broke agreement: {r:?}", attack.name());
+            assert!(!r.downgraded, "{} applies as-is", attack.name());
         }
     }
 
@@ -556,5 +836,41 @@ mod tests {
             "edge bits {} exceed {budget}",
             r.max_edge_bits
         );
+    }
+
+    #[test]
+    fn phase_king_downgrade_is_recorded() {
+        // Regression for the silent Phase-King fallback: every
+        // BA-state-aware attack spec degrades to adaptive crash, and the
+        // substitution must be visible on the result.
+        for attack in [
+            AttackSpec::SplitVote,
+            AttackSpec::FullAttack,
+            AttackSpec::FullAttackFrugal,
+            AttackSpec::FullAttackCapped { q: 2 },
+            AttackSpec::CoinKiller,
+            AttackSpec::SamplingPoison,
+        ] {
+            let s = Scenario::new(16, 5)
+                .with_protocol(ProtocolSpec::PhaseKing)
+                .with_attack(attack);
+            let r = run_scenario(&s);
+            assert!(r.downgraded, "{} must be flagged", attack.name());
+            assert_eq!(r.adversary, "crash-steady", "{}", attack.name());
+            assert_ne!(r.adversary, attack.name());
+        }
+        // Applicable specs are not flagged.
+        for attack in [
+            AttackSpec::Benign,
+            AttackSpec::StaticSilent,
+            AttackSpec::StaticMirror,
+            AttackSpec::Crash { per_round: 1 },
+        ] {
+            let s = Scenario::new(16, 5)
+                .with_protocol(ProtocolSpec::PhaseKing)
+                .with_attack(attack);
+            let r = run_scenario(&s);
+            assert!(!r.downgraded, "{} applies to Phase-King", attack.name());
+        }
     }
 }

@@ -19,6 +19,7 @@ use crate::error::SimError;
 use crate::id::{NodeId, Round};
 use crate::mailbox::RoundMailbox;
 use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::oracle::{NoOracle, Oracle, RoundCtx};
 use crate::protocol::Protocol;
 use crate::rng::{self, streams};
 use crate::trace::{Event, Trace};
@@ -147,22 +148,34 @@ impl RunReport {
 }
 
 /// A single simulation run binding a protocol, an adversary, a network
-/// delivery stage, and a config.
+/// delivery stage, an optional online oracle, and a config.
 ///
 /// The third type parameter selects the [`Delivery`] implementation and
 /// defaults to [`PassThrough`] (strict lock-step synchrony); richer
 /// network conditions plug in via [`Simulation::with_network`] without
-/// giving up static dispatch.
-pub struct Simulation<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg> = PassThrough> {
+/// giving up static dispatch. The fourth selects the online [`Oracle`]
+/// and defaults to [`NoOracle`], whose empty inline hooks make the
+/// unobserved engine bit-identical in behaviour and cost to the
+/// pre-oracle engine; checkers attach via [`Simulation::with_oracle`].
+pub struct Simulation<
+    P: Protocol,
+    A: Adversary<P>,
+    D: Delivery<P::Msg> = PassThrough,
+    O: Oracle<P::Msg> = NoOracle,
+> {
     cfg: SimConfig,
     nodes: Vec<P>,
     adversary: A,
     delivery: D,
+    oracle: O,
     ledger: CorruptionLedger,
     node_rngs: Vec<SmallRng>,
     adv_rng: SmallRng,
     halted: Vec<bool>,
     halt_rounds: Vec<Option<u64>>,
+    /// Decided outputs, recorded at halt time (what the oracle seam sees
+    /// mid-run; the final report re-reads the nodes).
+    outputs: Vec<Option<bool>>,
     metrics: RunMetrics,
     trace: Trace,
     round: Round,
@@ -219,6 +232,40 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
         adversary: A,
         delivery: D,
     ) -> Result<Self, SimError> {
+        Simulation::try_with_oracle(cfg, nodes, adversary, delivery, NoOracle)
+    }
+}
+
+impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simulation<P, A, D, O> {
+    /// Creates a simulation with an explicit delivery stage and an online
+    /// oracle observing every round (see [`Oracle`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::new`].
+    pub fn with_oracle(
+        cfg: SimConfig,
+        nodes: Vec<P>,
+        adversary: A,
+        delivery: D,
+        oracle: O,
+    ) -> Self {
+        Self::try_with_oracle(cfg, nodes, adversary, delivery, oracle)
+            .expect("invalid simulation setup")
+    }
+
+    /// Fallible constructor with an explicit delivery stage and oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::try_new`].
+    pub fn try_with_oracle(
+        cfg: SimConfig,
+        nodes: Vec<P>,
+        adversary: A,
+        delivery: D,
+        oracle: O,
+    ) -> Result<Self, SimError> {
         if cfg.n == 0 {
             return Err(SimError::BadNetworkSize { n: 0 });
         }
@@ -239,11 +286,13 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
         Ok(Simulation {
             halted: vec![false; cfg.n],
             halt_rounds: vec![None; cfg.n],
+            outputs: vec![None; cfg.n],
             metrics: RunMetrics::new(cfg.record_rounds),
             mailbox_pool: RoundMailbox::new(cfg.n),
             nodes,
             adversary,
             delivery,
+            oracle,
             ledger,
             node_rngs,
             adv_rng,
@@ -311,10 +360,11 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
             if self.nodes[i].halted() {
                 self.halted[i] = true;
                 self.halt_rounds[i] = Some(round.index());
+                self.outputs[i] = self.nodes[i].output();
                 self.trace.push(Event::Halt {
                     round,
                     node: id,
-                    output: self.nodes[i].output(),
+                    output: self.outputs[i],
                 });
             }
         }
@@ -331,6 +381,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
             };
             self.adversary.act(&view, &mut self.adv_rng)
         };
+        self.oracle.observe_action(round, &action);
 
         // Apply corruptions; budget violations are programming errors in
         // the strategy and surface as panics with context.
@@ -377,36 +428,46 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
             if self.nodes[i].halted() {
                 self.halted[i] = true;
                 self.halt_rounds[i] = Some(round.index());
+                self.outputs[i] = self.nodes[i].output();
                 self.trace.push(Event::Halt {
                     round,
                     node: id,
-                    output: self.nodes[i].output(),
+                    output: self.outputs[i],
                 });
             }
         }
-        // The arrivals mailbox becomes next round's pooled wire mailbox.
-        self.mailbox_pool = arrivals;
 
-        // Phase 4: metrics.
+        // Phase 4: metrics, and the oracle's end-of-round observation
+        // (the arrivals mailbox is still at hand here).
         let halted_honest = self
             .halted
             .iter()
             .enumerate()
             .filter(|(i, h)| **h && !self.ledger.is_corrupted(NodeId::new(*i as u32)))
             .count();
-        self.metrics.absorb(
-            RoundMetrics {
-                messages: round_messages,
-                bits: round_bits,
-                max_edge_bits: round_max_edge,
-                corruptions: self.ledger.used() - corruptions_before,
-                halted_honest,
-                delivered: delivery_stats.delivered,
-                dropped: delivery_stats.dropped,
-                delayed: delivery_stats.delayed,
-            },
-            self.cfg.record_rounds,
-        );
+        let round_metrics = RoundMetrics {
+            messages: round_messages,
+            bits: round_bits,
+            max_edge_bits: round_max_edge,
+            corruptions: self.ledger.used() - corruptions_before,
+            halted_honest,
+            delivered: delivery_stats.delivered,
+            dropped: delivery_stats.dropped,
+            delayed: delivery_stats.delayed,
+        };
+        self.oracle.observe_round(&RoundCtx {
+            round,
+            n,
+            t: self.cfg.t,
+            arrivals: &arrivals,
+            metrics: &round_metrics,
+            ledger: &self.ledger,
+            halted: &self.halted,
+            outputs: &self.outputs,
+        });
+        self.metrics.absorb(round_metrics, self.cfg.record_rounds);
+        // The arrivals mailbox becomes next round's pooled wire mailbox.
+        self.mailbox_pool = arrivals;
 
         self.round = round.next();
         if self.all_honest_halted() || self.round.index() >= self.cfg.max_rounds {
@@ -416,13 +477,25 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
     }
 
     /// Runs to completion and produces the report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_with_oracle().0
+    }
+
+    /// Runs to completion, returning the report and the oracle (with
+    /// whatever it recorded or concluded).
+    pub fn run_with_oracle(mut self) -> (RunReport, O) {
         while self.step() {}
-        self.into_report()
+        self.into_report_and_oracle()
     }
 
     /// Finalizes a (possibly partially stepped) simulation into a report.
     pub fn into_report(self) -> RunReport {
+        self.into_report_and_oracle().0
+    }
+
+    /// Finalizes into the report plus the oracle. The oracle's
+    /// [`Oracle::observe_end`] hook fires here, on the finished report.
+    pub fn into_report_and_oracle(mut self) -> (RunReport, O) {
         let honest: Vec<bool> = (0..self.cfg.n)
             .map(|i| !self.ledger.is_corrupted(NodeId::new(i as u32)))
             .collect();
@@ -437,7 +510,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
             .iter()
             .zip(&honest)
             .all(|(halted, h)| !*h || *halted);
-        RunReport {
+        let report = RunReport {
             rounds: self.round.index(),
             all_halted,
             outputs,
@@ -446,7 +519,9 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>> Simulation<P, A, D> {
             halt_rounds: self.halt_rounds,
             metrics: self.metrics,
             trace: self.trace,
-        }
+        };
+        self.oracle.observe_end(&report);
+        (report, self.oracle)
     }
 }
 

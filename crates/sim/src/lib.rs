@@ -72,6 +72,7 @@ pub mod id;
 pub mod mailbox;
 pub mod message;
 pub mod metrics;
+pub mod oracle;
 pub mod protocol;
 pub mod rng;
 pub mod trace;
@@ -85,6 +86,7 @@ pub use id::{NodeId, Round};
 pub use mailbox::{Inbox, RoundMailbox};
 pub use message::{Emission, Message};
 pub use metrics::{RoundMetrics, RunMetrics};
+pub use oracle::{NoOracle, Oracle, RoundCtx};
 pub use protocol::Protocol;
 pub use trace::{Event, Trace};
 pub use verdict::Verdict;
@@ -101,6 +103,7 @@ pub mod prelude {
     pub use crate::mailbox::{Inbox, RoundMailbox};
     pub use crate::message::{Emission, Message};
     pub use crate::metrics::{RoundMetrics, RunMetrics};
+    pub use crate::oracle::{NoOracle, Oracle, RoundCtx};
     pub use crate::protocol::Protocol;
     pub use crate::trace::{Event, Trace};
     pub use crate::verdict::Verdict;

@@ -636,6 +636,33 @@ impl<M: Message> RoundMailbox<M> {
         taken
     }
 
+    /// The per-receiver deviations of `sender`'s row from its broadcast
+    /// base, in receiver order: `(receiver, None)` for a receiver knocked
+    /// out of the base, `(receiver, Some(m))` for a receiver overridden
+    /// with a specific message. Yields nothing for silent and pure-
+    /// broadcast rows.
+    ///
+    /// Together with [`RoundMailbox::broadcast_base`] this is the
+    /// mailbox's *recording view*: `(base, deviations)` reproduces
+    /// [`RoundMailbox::resolve`] for every receiver without expanding a
+    /// broadcast into clones — which is what keeps the `aba-check` trace
+    /// recorder allocation-light.
+    pub fn deviations(&self, sender: NodeId) -> impl Iterator<Item = (NodeId, Option<&M>)> {
+        let me = sender.index();
+        let row = &self.rows[me];
+        let lane = self.lane(me);
+        row.dense
+            .then(|| {
+                lane.iter().enumerate().filter_map(|(r, c)| match c {
+                    Cell::Inherit => None,
+                    Cell::Knocked => Some((NodeId::new(r as u32), None)),
+                    Cell::Msg(m) => Some((NodeId::new(r as u32), Some(m))),
+                })
+            })
+            .into_iter()
+            .flatten()
+    }
+
     /// The message `receiver` gets from `sender` this round, if any.
     pub fn resolve(&self, sender: NodeId, receiver: NodeId) -> Option<&M> {
         let me = sender.index();

@@ -1,0 +1,148 @@
+//! The online-observer seam of the engine.
+//!
+//! An [`Oracle`] watches a run from inside the engine: it sees the
+//! adversary's action before it is applied, the completed round (the
+//! arrivals receivers actually processed, the round's metrics, the
+//! corruption ledger, halt flags, and decided outputs), and the finished
+//! report. Oracles never influence the run — the engine hands them
+//! shared references only — so attaching one cannot perturb results.
+//!
+//! The seam mirrors the [`crate::delivery::Delivery`] seam: a fourth
+//! generic parameter on [`crate::Simulation`] defaulting to [`NoOracle`],
+//! whose empty inline hooks compile away entirely. Concrete observers —
+//! the per-lemma invariant checkers and the trace recorder/replayer —
+//! live in the `aba-check` crate, keeping `aba-sim` dependency-free.
+
+use crate::adversary::{AdversaryAction, CorruptionLedger};
+use crate::engine::RunReport;
+use crate::id::Round;
+use crate::mailbox::RoundMailbox;
+use crate::message::Message;
+use crate::metrics::RoundMetrics;
+
+/// Everything an oracle sees at the end of one round, after delivery and
+/// local processing.
+///
+/// All references point at live engine state; the context is rebuilt
+/// every round and costs a handful of pointer copies.
+pub struct RoundCtx<'a, M: Message> {
+    /// The round that just completed.
+    pub round: Round,
+    /// Network size `n`.
+    pub n: usize,
+    /// Corruption budget `t`.
+    pub t: usize,
+    /// The arrivals mailbox — exactly what receivers processed this
+    /// round (post-delivery, not the offered wire load).
+    pub arrivals: &'a RoundMailbox<M>,
+    /// This round's measurements (wire-side message/bit counts, the
+    /// per-edge bit maximum, corruption and delivery accounting).
+    pub metrics: &'a RoundMetrics,
+    /// Corruption bookkeeping as of the end of the round.
+    pub ledger: &'a CorruptionLedger,
+    /// Per-node halt flags (corrupted nodes keep their last value).
+    pub halted: &'a [bool],
+    /// Per-node decided outputs, recorded at halt time (`None` for nodes
+    /// that have not halted — and for nodes corrupted before halting).
+    pub outputs: &'a [Option<bool>],
+}
+
+/// An online observer attached to a [`crate::Simulation`].
+///
+/// Every hook has an empty default body, so an oracle implements only
+/// what it needs; [`NoOracle`] implements none and vanishes at compile
+/// time.
+pub trait Oracle<M: Message> {
+    /// Observes the adversary's action for `round`, before the engine
+    /// validates and applies it.
+    fn observe_action(&mut self, round: Round, action: &AdversaryAction<M>) {
+        let _ = (round, action);
+    }
+
+    /// Observes a completed round (after delivery and local processing,
+    /// before the round's metrics are folded into the run totals).
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Observes the finished run, right before the report is returned.
+    fn observe_end(&mut self, report: &RunReport) {
+        let _ = report;
+    }
+}
+
+/// The default oracle: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOracle;
+
+impl<M: Message> Oracle<M> for NoOracle {}
+
+/// Pairs compose oracles: `(recorder, checkers)` attaches both to one
+/// run. Nest tuples for more.
+impl<M: Message, A: Oracle<M>, B: Oracle<M>> Oracle<M> for (A, B) {
+    fn observe_action(&mut self, round: Round, action: &AdversaryAction<M>) {
+        self.0.observe_action(round, action);
+        self.1.observe_action(round, action);
+    }
+
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+        self.0.observe_round(ctx);
+        self.1.observe_round(ctx);
+    }
+
+    fn observe_end(&mut self, report: &RunReport) {
+        self.0.observe_end(report);
+        self.1.observe_end(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Tm(u8);
+    impl Message for Tm {
+        fn bit_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// Counts hook invocations.
+    #[derive(Default)]
+    struct Tally {
+        actions: usize,
+        rounds: usize,
+        ends: usize,
+    }
+
+    impl Oracle<Tm> for Tally {
+        fn observe_action(&mut self, _round: Round, _action: &AdversaryAction<Tm>) {
+            self.actions += 1;
+        }
+        fn observe_round(&mut self, _ctx: &RoundCtx<'_, Tm>) {
+            self.rounds += 1;
+        }
+        fn observe_end(&mut self, _report: &RunReport) {
+            self.ends += 1;
+        }
+    }
+
+    #[test]
+    fn tuple_forwards_to_both() {
+        let mut pair = (Tally::default(), Tally::default());
+        let action: AdversaryAction<Tm> = AdversaryAction::pass();
+        Oracle::<Tm>::observe_action(&mut pair, Round::ZERO, &action);
+        Oracle::<Tm>::observe_action(&mut pair, Round::new(1), &action);
+        assert_eq!(pair.0.actions, 2);
+        assert_eq!(pair.1.actions, 2);
+    }
+
+    #[test]
+    fn no_oracle_has_empty_hooks() {
+        // Just exercises the default bodies for coverage.
+        let mut o = NoOracle;
+        let action: AdversaryAction<Tm> = AdversaryAction::pass();
+        Oracle::<Tm>::observe_action(&mut o, Round::ZERO, &action);
+    }
+}

@@ -30,7 +30,7 @@ pub struct CampaignResult {
 pub const CSV_HEADER: &str = "key,protocol,attack,network,inputs,info,n,t,cell_seed,trials,\
      stopped,agree_rate,wilson_low,wilson_high,term_rate,correct_rate,mean_rounds,p50_rounds,\
      p95_rounds,min_rounds,max_rounds,mean_messages,mean_corruptions,delivery_rate,\
-     mean_agree_fraction";
+     mean_agree_fraction,oracle_violations";
 
 impl CampaignResult {
     /// Total trials the campaign ran (what adaptive allocation saves).
@@ -55,7 +55,7 @@ impl CampaignResult {
         for c in &self.cells {
             let w = c.agreement_wilson();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.key,
                 c.protocol,
                 c.attack,
@@ -81,6 +81,7 @@ impl CampaignResult {
                 c.mean_corruptions(),
                 c.delivery_rate(),
                 c.mean_agree_fraction(),
+                c.oracle_violations,
             ));
         }
         out
@@ -114,7 +115,8 @@ impl CampaignResult {
                  \"sum_rounds\": {}, \"min_rounds\": {}, \"max_rounds\": {}, \
                  \"p50_rounds\": {}, \"p95_rounds\": {}, \"sum_messages\": {}, \
                  \"sum_delivered\": {}, \"sum_dropped\": {}, \"sum_delayed\": {}, \
-                 \"sum_corruptions\": {}, \"sum_agree_fraction\": {}, \
+                 \"sum_corruptions\": {}, \"oracle_violations\": {}, \
+                 \"sum_agree_fraction\": {}, \
                  \"agree_rate\": {}, \"mean_rounds\": {}, \"wilson_low\": {}, \
                  \"wilson_high\": {}, \"delivery_rate\": {}}}",
                 esc(&c.key),
@@ -141,6 +143,7 @@ impl CampaignResult {
                 c.sum_dropped,
                 c.sum_delayed,
                 c.sum_corruptions,
+                c.oracle_violations,
                 json_f64(c.sum_agree_fraction),
                 json_f64(c.agreement_rate()),
                 json_f64(c.mean_rounds()),
@@ -167,6 +170,76 @@ impl CampaignResult {
         std::fs::write(&json, self.to_json())?;
         Ok((csv, json))
     }
+}
+
+/// Renders one scenario as a self-contained JSON object (parameter-
+/// carrying axis keys, seed, round cap) — everything needed to rebuild
+/// the exact `ScenarioBuilder` call by hand.
+fn render_scenario(s: &aba_harness::Scenario) -> String {
+    use crate::spec::{attack_key, info_key, network_key, protocol_key};
+    format!(
+        "{{\"n\": {}, \"t\": {}, \"protocol\": \"{}\", \"attack\": \"{}\", \
+         \"network\": \"{}\", \"inputs\": \"{}\", \"info\": \"{}\", \"seed\": {}, \
+         \"max_rounds\": {}}}",
+        s.n,
+        s.t,
+        esc_json(&protocol_key(&s.protocol)),
+        esc_json(&attack_key(&s.attack)),
+        esc_json(&network_key(&s.network)),
+        s.inputs.name(),
+        info_key(s.info),
+        s.seed,
+        s.max_rounds,
+    )
+}
+
+fn render_violation(v: &aba_harness::Violation) -> String {
+    format!(
+        "{{\"oracle\": \"{}\", \"round\": {}, \"detail\": \"{}\"}}",
+        esc_json(v.oracle),
+        v.round,
+        esc_json(&v.detail)
+    )
+}
+
+/// Renders a self-contained failure repro artifact: the violating cell,
+/// the scenario + seed + first-violation round as observed, and the
+/// greedily shrunken scenario that still violates. Byte-deterministic
+/// given the repro, so sweep repro artifacts are identical at any
+/// worker count.
+pub fn render_repro(cell_key: &str, repro: &aba_harness::Repro) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"cell\": \"{}\",\n", esc_json(cell_key)));
+    out.push_str(&format!(
+        "  \"violations\": {},\n",
+        repro.original_oracle.total
+    ));
+    if let Some(first) = repro.original_oracle.first() {
+        out.push_str(&format!(
+            "  \"first_violation\": {},\n",
+            render_violation(first)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"scenario\": {},\n",
+        render_scenario(&repro.original)
+    ));
+    out.push_str(&format!(
+        "  \"shrunk_scenario\": {},\n",
+        render_scenario(&repro.shrunk)
+    ));
+    if let Some(first) = repro.shrunk_oracle.first() {
+        out.push_str(&format!(
+            "  \"shrunk_first_violation\": {},\n",
+            render_violation(first)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"shrink\": {{\"evaluated\": {}, \"accepted\": {}}}\n",
+        repro.evaluated, repro.accepted
+    ));
+    out.push_str("}\n");
+    out
 }
 
 /// Escapes a string for a JSON literal in the line-oriented artifact.
@@ -231,6 +304,7 @@ mod tests {
             sum_delayed: 0,
             sum_corruptions: 0,
             sum_agree_fraction: trials as f64,
+            oracle_violations: 0,
         }
     }
 

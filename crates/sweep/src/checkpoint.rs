@@ -127,6 +127,9 @@ pub fn parse(doc: &str) -> Result<Checkpoint, String> {
                 sum_delayed: int_field(line, "sum_delayed")?,
                 sum_corruptions: int_field(line, "sum_corruptions")?,
                 sum_agree_fraction: f64_field(line, "sum_agree_fraction")?,
+                // Absent in pre-oracle checkpoints: default to 0 (such
+                // files only match oracle-free fingerprints anyway).
+                oracle_violations: int_field(line, "oracle_violations").unwrap_or(0) as usize,
             })
         };
         cells.push(parse_cell().ok_or_else(|| format!("malformed checkpoint cell: {line}"))?);
@@ -187,6 +190,7 @@ mod tests {
             sum_corruptions: 34,
             // A value with a long mantissa: must survive bit for bit.
             sum_agree_fraction: 16.333333333333332,
+            oracle_violations: 3,
         }
     }
 

@@ -38,12 +38,20 @@ pub struct RunOptions {
     /// finalization and at completion. The file is the campaign JSON
     /// artifact itself.
     pub checkpoint: Option<PathBuf>,
+    /// Where to write per-cell failure repro artifacts. When the
+    /// campaign runs with oracles and a cell records violations, the
+    /// finalizing worker shrinks the first violating trial
+    /// (`aba_harness::shrink_violation`) and writes a self-contained
+    /// repro JSON here through the same atomic temp+rename path as
+    /// checkpoints. Artifact bytes are worker-count independent.
+    pub repro_dir: Option<PathBuf>,
 }
 
 /// Per-cell mutable state behind the queue lock.
 struct CellRun {
-    /// Trial results, indexed by trial number; `None` = in flight.
-    results: Vec<Option<TrialResult>>,
+    /// Trial results (with the trial's oracle-violation count), indexed
+    /// by trial number; `None` = in flight.
+    results: Vec<Option<(TrialResult, usize)>>,
     /// Trials scheduled so far (prefix length once the batch drains).
     scheduled: usize,
     /// Scheduled trials not yet recorded.
@@ -63,26 +71,29 @@ struct State {
     aborted: bool,
 }
 
-/// Best-effort checkpoint write: creates the parent directory, writes
-/// to a sibling temp file and renames it over the target (the
-/// checkpoint on disk is atomically either the old snapshot or the new
-/// one — a crash mid-write can never leave a torn JSON that would make
-/// the next resume fail), reports failures to stderr, never fails the
-/// campaign (the in-memory result is authoritative).
-fn write_checkpoint(path: &std::path::Path, result: &CampaignResult) {
-    let attempt = || -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
+/// Atomic file write: creates the parent directory, writes to a sibling
+/// temp file and renames it over the target — the file on disk is
+/// always either the old content or the new one; a crash mid-write can
+/// never leave a torn document. Shared by checkpoints and repro
+/// artifacts.
+pub(crate) fn atomic_write(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
         }
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, result.to_json())?;
-        std::fs::rename(&tmp, path)
-    };
-    if let Err(e) = attempt() {
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Best-effort checkpoint write via [`atomic_write`]; reports failures
+/// to stderr, never fails the campaign (the in-memory result is
+/// authoritative).
+fn write_checkpoint(path: &std::path::Path, result: &CampaignResult) {
+    if let Err(e) = atomic_write(path, &result.to_json()) {
         eprintln!(
             "warning: cannot write campaign checkpoint {}: {e}",
             path.display()
@@ -252,7 +263,15 @@ impl CampaignSpec {
         if any_open {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| self.worker_loop(&cells, &state, &idle, sink.as_ref()));
+                    scope.spawn(|| {
+                        self.worker_loop(
+                            &cells,
+                            &state,
+                            &idle,
+                            sink.as_ref(),
+                            opts.repro_dir.as_deref(),
+                        )
+                    });
                 }
             });
         }
@@ -279,6 +298,7 @@ impl CampaignSpec {
         state: &Mutex<State>,
         idle: &Condvar,
         sink: Option<&CheckpointSink>,
+        repro_dir: Option<&std::path::Path>,
     ) {
         loop {
             // Claim the next (cell, trial) task, or exit when the whole
@@ -312,7 +332,12 @@ impl CampaignSpec {
             };
             let mut scenario = cells[ci].scenario.clone();
             scenario.seed = scenario.seed.wrapping_add(ti as u64);
-            let result = aba_harness::run_scenario(&scenario);
+            let outcome = if self.oracles {
+                let checked = aba_harness::check_scenario(&scenario);
+                (checked.result, checked.oracle.total)
+            } else {
+                (aba_harness::run_scenario(&scenario), 0)
+            };
             abort.armed = false;
 
             let mut st = state.lock().expect("state lock");
@@ -321,7 +346,7 @@ impl CampaignSpec {
             }
             {
                 let run = &mut st.runs[ci];
-                run.results[ti] = Some(result);
+                run.results[ti] = Some(outcome);
                 run.outstanding -= 1;
                 if run.outstanding > 0 {
                     continue;
@@ -335,13 +360,17 @@ impl CampaignSpec {
                 let prefix: Vec<TrialResult> = run
                     .results
                     .iter()
-                    .map(|r| r.clone().expect("prefix complete"))
+                    .map(|r| r.clone().expect("prefix complete").0)
                     .collect();
                 self.stop.decide(&prefix)
             };
             // A finalized cell clones its one summary under the lock
-            // and persists after releasing (see CheckpointSink).
+            // and persists after releasing (see CheckpointSink); a
+            // violating cell additionally notes its first violating
+            // trial for the repro artifact (the complete ordered prefix
+            // makes "first" worker-count independent).
             let mut pending_checkpoint = None;
+            let mut pending_repro = None;
             match decision {
                 StopDecision::Continue { next_batch } => {
                     let start = {
@@ -361,10 +390,20 @@ impl CampaignSpec {
                         let run = &st.runs[ci];
                         let mut accum = CellAccum::new();
                         for r in &run.results {
-                            accum.push(r.as_ref().expect("prefix complete"));
+                            let (result, violations) = r.as_ref().expect("prefix complete");
+                            accum.push_checked(result, *violations);
                         }
                         accum.summarize(&cells[ci], reason)
                     };
+                    if repro_dir.is_some() && summary.oracle_violations > 0 {
+                        let run = &st.runs[ci];
+                        let first_violating = run
+                            .results
+                            .iter()
+                            .position(|r| r.as_ref().is_some_and(|(_, v)| *v > 0))
+                            .expect("a violation was tallied");
+                        pending_repro = Some((ci, first_violating));
+                    }
                     let run = &mut st.runs[ci];
                     if sink.is_some() {
                         pending_checkpoint = Some((ci, summary.clone()));
@@ -379,6 +418,33 @@ impl CampaignSpec {
             if let (Some(sink), Some((index, summary))) = (sink, pending_checkpoint) {
                 sink.record(index, summary);
             }
+            if let (Some(dir), Some((index, trial))) = (repro_dir, pending_repro) {
+                self.write_repro(dir, &cells[index], trial);
+            }
+        }
+    }
+
+    /// Shrinks the cell's first violating trial and writes the repro
+    /// artifact (best-effort: IO failures warn, the campaign proceeds).
+    fn write_repro(&self, dir: &std::path::Path, cell: &CellSpec, trial: usize) {
+        let mut scenario = cell.scenario.clone();
+        scenario.seed = scenario.seed.wrapping_add(trial as u64);
+        let Some(repro) = aba_harness::shrink_violation(&scenario) else {
+            // The trial tallied violations but a re-check came back
+            // clean — would indicate nondeterminism; surface loudly.
+            eprintln!(
+                "warning: cell {} trial {trial} no longer violates on re-check",
+                cell.key
+            );
+            return;
+        };
+        let path = dir.join(format!("{}-cell{:03}.repro.json", self.name, cell.index));
+        let doc = crate::artifact::render_repro(&cell.key, &repro);
+        if let Err(e) = atomic_write(&path, &doc) {
+            eprintln!(
+                "warning: cannot write repro artifact {}: {e}",
+                path.display()
+            );
         }
     }
 }

@@ -259,6 +259,7 @@ mod tests {
             dropped: 0,
             delayed: 0,
             adversary: "test",
+            downgraded: false,
             network: "sync",
         };
         let rs = vec![t(10, true, true), t(20, false, false)];

@@ -147,6 +147,12 @@ pub struct CampaignSpec {
     pub seed: u64,
     /// Per-cell sequential stopping rule.
     pub stop: StopRule,
+    /// Run every trial with its lemma oracles attached (`aba-check`):
+    /// trial results are bit-identical either way, and each cell's
+    /// summary gains its `oracle_violations` tally. Part of the spec
+    /// (not a run option) because it changes the artifact contents and
+    /// therefore checkpoint compatibility.
+    pub oracles: bool,
 }
 
 impl CampaignSpec {
@@ -168,6 +174,7 @@ impl CampaignSpec {
             cap: RoundCap::Fixed(20_000),
             seed: 0,
             stop: StopRule::default(),
+            oracles: false,
         }
     }
 
@@ -231,6 +238,13 @@ impl CampaignSpec {
     #[must_use]
     pub fn stop(mut self, stop: StopRule) -> Self {
         self.stop = stop;
+        self
+    }
+
+    /// Enables (or disables) the lemma oracles on every trial.
+    #[must_use]
+    pub fn oracles(mut self, on: bool) -> Self {
+        self.oracles = on;
         self
     }
 
@@ -299,10 +313,14 @@ impl CampaignSpec {
         cells
     }
 
-    /// Canonical description of the stopping rule + campaign seed, used
-    /// to decide whether a checkpoint is resumable under this spec.
+    /// Canonical description of the stopping rule + campaign seed (and
+    /// the oracle flag, when enabled — oracle-checked summaries carry an
+    /// extra tally, so a mixed resume must re-run), used to decide
+    /// whether a checkpoint is resumable under this spec. Oracle-free
+    /// campaigns keep the historical fingerprint format.
     pub fn fingerprint(&self) -> String {
-        format!("seed{}|{}", self.seed, self.stop.fingerprint())
+        let oracles = if self.oracles { "|oracles" } else { "" };
+        format!("seed{}|{}{oracles}", self.seed, self.stop.fingerprint())
     }
 }
 

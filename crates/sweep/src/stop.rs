@@ -204,6 +204,7 @@ mod tests {
             dropped: 0,
             delayed: 0,
             adversary: "test",
+            downgraded: false,
             network: "sync",
         }
     }

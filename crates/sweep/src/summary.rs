@@ -29,6 +29,7 @@ pub struct CellAccum {
     sum_dropped: u64,
     sum_delayed: u64,
     sum_corruptions: u64,
+    oracle_violations: usize,
 }
 
 impl CellAccum {
@@ -47,8 +48,13 @@ impl CellAccum {
         self.trials == 0
     }
 
-    /// Absorbs one trial.
+    /// Absorbs one trial (no oracles attached — zero violations).
     pub fn push(&mut self, r: &TrialResult) {
+        self.push_checked(r, 0);
+    }
+
+    /// Absorbs one oracle-checked trial with its violation count.
+    pub fn push_checked(&mut self, r: &TrialResult, violations: usize) {
         self.trials += 1;
         self.agreements += usize::from(r.agreement);
         self.terminations += usize::from(r.terminated);
@@ -60,6 +66,7 @@ impl CellAccum {
         self.sum_dropped += r.dropped as u64;
         self.sum_delayed += r.delayed as u64;
         self.sum_corruptions += r.corruptions as u64;
+        self.oracle_violations += violations;
     }
 
     /// Merges another accumulator into this one (associative; summaries
@@ -77,6 +84,7 @@ impl CellAccum {
         self.sum_dropped += other.sum_dropped;
         self.sum_delayed += other.sum_delayed;
         self.sum_corruptions += other.sum_corruptions;
+        self.oracle_violations += other.oracle_violations;
     }
 
     /// Finalizes into a [`CellSummary`] for `cell`, recording which
@@ -120,6 +128,7 @@ impl CellAccum {
             sum_delayed: self.sum_delayed,
             sum_corruptions: self.sum_corruptions,
             sum_agree_fraction: fractions.iter().sum(),
+            oracle_violations: self.oracle_violations,
         }
     }
 }
@@ -182,6 +191,9 @@ pub struct CellSummary {
     pub sum_corruptions: u64,
     /// Sum of per-trial honest-majority fractions.
     pub sum_agree_fraction: f64,
+    /// Total lemma-oracle firings across the cell's trials (0 when the
+    /// campaign ran without oracles).
+    pub oracle_violations: usize,
 }
 
 impl CellSummary {
@@ -265,6 +277,7 @@ mod tests {
             dropped: 10,
             delayed: 0,
             adversary: "test",
+            downgraded: false,
             network: "sync",
         }
     }

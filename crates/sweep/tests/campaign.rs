@@ -38,10 +38,12 @@ fn artifacts_are_byte_identical_across_worker_counts() {
     let serial = spec.run_with(&RunOptions {
         workers: 1,
         checkpoint: None,
+        repro_dir: None,
     });
     let parallel = spec.run_with(&RunOptions {
         workers: 8,
         checkpoint: None,
+        repro_dir: None,
     });
     let auto = spec.run();
     assert_eq!(
@@ -63,6 +65,7 @@ fn cells_are_stable_under_axis_reordering() {
     let a = demo_spec().run_with(&RunOptions {
         workers: 2,
         checkpoint: None,
+        repro_dir: None,
     });
     // Same axes, permuted, plus an extra protocol inserted in front.
     let b = CampaignSpec::new("demo-reordered")
@@ -83,6 +86,7 @@ fn cells_are_stable_under_axis_reordering() {
         .run_with(&RunOptions {
             workers: 3,
             checkpoint: None,
+            repro_dir: None,
         });
     for cell in &a.cells {
         let twin = b.cell(&cell.key).expect("shared cell survives reordering");
@@ -135,6 +139,7 @@ fn checkpoint_resume_is_byte_identical_and_skips_work() {
     let first = spec.run_with(&RunOptions {
         workers: 4,
         checkpoint: Some(ckpt.clone()),
+        repro_dir: None,
     });
     assert!(ckpt.exists(), "checkpoint written");
     // Resume from the finished checkpoint: all cells restored, output
@@ -142,6 +147,7 @@ fn checkpoint_resume_is_byte_identical_and_skips_work() {
     let resumed = spec.run_with(&RunOptions {
         workers: 1,
         checkpoint: Some(ckpt.clone()),
+        repro_dir: None,
     });
     assert_eq!(resumed.to_csv(), first.to_csv());
     assert_eq!(resumed.to_json(), first.to_json());
@@ -150,6 +156,7 @@ fn checkpoint_resume_is_byte_identical_and_skips_work() {
     let refit = spec.clone().stop(StopRule::fixed(2)).run_with(&RunOptions {
         workers: 2,
         checkpoint: Some(ckpt.clone()),
+        repro_dir: None,
     });
     assert!(refit.cells.iter().all(|c| c.trials == 2));
     let _ = std::fs::remove_dir_all(&dir);
@@ -171,6 +178,7 @@ fn partial_checkpoint_resumes_only_matching_cells() {
     let resumed = spec.run_with(&RunOptions {
         workers: 4,
         checkpoint: Some(ckpt.clone()),
+        repro_dir: None,
     });
     assert_eq!(resumed.to_csv(), full.to_csv(), "resume completes the grid");
     assert_eq!(resumed.to_json(), full.to_json());
@@ -192,6 +200,7 @@ fn invalid_cell_panics_instead_of_hanging() {
         .run_with(&RunOptions {
             workers: 4,
             checkpoint: None,
+            repro_dir: None,
         });
 }
 

@@ -65,6 +65,7 @@ fn main() {
     let fresh = spec.run_with(&RunOptions {
         workers: 0,
         checkpoint: Some(ckpt.clone()),
+        repro_dir: None,
     });
     println!(
         "   {} trials in {:.2?} (adaptive allocation: {}..{} per cell)",
@@ -89,6 +90,7 @@ fn main() {
     let resumed = spec.run_with(&RunOptions {
         workers: 0,
         checkpoint: Some(ckpt.clone()),
+        repro_dir: None,
     });
     println!("   restored in {:.2?}", started.elapsed());
     assert_eq!(

@@ -1,0 +1,84 @@
+//! The oracle-checked quick matrix CI runs on every push: a small
+//! protocol × attack × network grid where every lemma is expected to
+//! hold, each cell run with the full `aba-check` oracle suite attached.
+//! Any violation prints its repro-ready details and fails the process.
+//!
+//! ```text
+//! cargo run --release -p adaptive-ba --example checked_matrix
+//! ```
+
+use adaptive_ba::{AttackSpec, NetworkSpec, ProtocolSpec, ScenarioBuilder};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let protocols = [
+        ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ProtocolSpec::ChorCoan { beta: 1.0 },
+        ProtocolSpec::PhaseKing,
+    ];
+    let attacks = [
+        AttackSpec::Benign,
+        AttackSpec::StaticMirror,
+        AttackSpec::FullAttack,
+        AttackSpec::FullAttackCapped { q: 2 },
+    ];
+    let networks = [
+        NetworkSpec::Synchronous,
+        NetworkSpec::LossyLinks { p_drop: 0.05 },
+    ];
+
+    let mut cells = 0usize;
+    let mut trials = 0usize;
+    let mut violations = 0usize;
+    println!(
+        "{:<14} {:<14} {:<8} {:>6} {:>10}",
+        "protocol", "attack", "net", "rounds", "violations"
+    );
+    for protocol in protocols {
+        for attack in attacks {
+            for network in networks {
+                // Phase-King is deterministic lock-step: its agreement
+                // lemma assumes synchrony, so only the synchronous row
+                // is a *claim* (the adversarial-network failure mode is
+                // pinned by tests/oracle_goldens.rs instead).
+                if matches!(protocol, ProtocolSpec::PhaseKing)
+                    && !matches!(network, NetworkSpec::Synchronous)
+                {
+                    continue;
+                }
+                let checked = ScenarioBuilder::new(16, 5)
+                    .protocol(protocol)
+                    .adversary(attack)
+                    .network(network)
+                    .max_rounds(2_000)
+                    .seed(2026)
+                    .trials(2)
+                    .check_batch();
+                cells += 1;
+                let cell_violations: usize = checked.iter().map(|c| c.oracle.total).sum();
+                let max_rounds = checked.iter().map(|c| c.result.rounds).max().unwrap_or(0);
+                trials += checked.len();
+                violations += cell_violations;
+                println!(
+                    "{:<14} {:<14} {:<8} {:>6} {:>10}",
+                    protocol.name(),
+                    attack.name(),
+                    network.name(),
+                    max_rounds,
+                    cell_violations
+                );
+                for c in &checked {
+                    for v in &c.oracle.violations {
+                        eprintln!("VIOLATION seed={}: {v}", c.result.seed);
+                    }
+                }
+            }
+        }
+    }
+    println!("\n{cells} cells, {trials} oracle-checked trials, {violations} violations");
+    if violations > 0 {
+        eprintln!("error: the quick matrix must be violation-free");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

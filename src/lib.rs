@@ -65,6 +65,10 @@
 //!   protocol (Algorithm 3) and the baselines it is compared against;
 //! * [`attacks`] — protocol-aware adaptive rushing attack strategies;
 //! * [`analysis`] — statistics, regression, and theory bound curves;
+//! * [`check`] — online invariant oracles (one per paper lemma), trace
+//!   capture/replay, and the failure shrinker behind
+//!   `ScenarioBuilder::check()` and the sweep's `oracle_violations`
+//!   column;
 //! * [`harness`] — the [`ScenarioBuilder`] facade and the parallel
 //!   trial runner;
 //! * [`sweep`] — campaign orchestration (scenario grids, adaptive trial
@@ -82,6 +86,7 @@ pub use aba_adversary as adversary;
 pub use aba_agreement as agreement;
 pub use aba_analysis as analysis;
 pub use aba_attacks as attacks;
+pub use aba_check as check;
 pub use aba_coin as coin;
 pub use aba_harness as harness;
 pub use aba_net as net;
@@ -89,8 +94,8 @@ pub use aba_sim as sim;
 pub use aba_sweep as sweep;
 
 pub use aba_harness::{
-    AttackSpec, BatchReport, DelayScheduler, InputSpec, NetworkSpec, ProtocolSpec, Scenario,
-    ScenarioBuilder, TrialResult,
+    AttackSpec, BatchReport, CheckedTrial, DelayScheduler, InputSpec, NetworkSpec, OracleReport,
+    ProtocolSpec, ReplayOutcome, Scenario, ScenarioBuilder, TrialResult, Violation,
 };
 pub use aba_sweep::{CampaignResult, CampaignSpec, CellSummary, RoundCap, RunOptions, StopRule};
 
@@ -100,8 +105,9 @@ pub mod prelude {
     pub use aba_attacks::prelude::*;
     pub use aba_coin::prelude::*;
     pub use aba_harness::{
-        AttackSpec, BatchReport, DelayScheduler, InputSpec, NetworkSpec, ProtocolSpec, Scenario,
-        ScenarioBuilder, TrialResult,
+        AttackSpec, BatchReport, CheckedTrial, DelayScheduler, InputSpec, NetworkSpec,
+        OracleReport, ProtocolSpec, ReplayOutcome, Scenario, ScenarioBuilder, TrialResult,
+        Violation,
     };
     pub use aba_sim::prelude::*;
     pub use aba_sweep::{
