@@ -106,8 +106,10 @@ pub fn render(series: &[Series], opts: &PlotOptions) -> String {
     let mut out = String::new();
     for (i, row) in grid.iter().enumerate() {
         let label = if i == 0 {
+            // aba-lint: allow(float-determinism) — axis labels on a human-readable plot, not artifact values
             format!("{:>10.3} ", untransform(max_y, opts.log_y))
         } else if i == h - 1 {
+            // aba-lint: allow(float-determinism) — axis labels on a human-readable plot, not artifact values
             format!("{:>10.3} ", untransform(min_y, opts.log_y))
         } else {
             " ".repeat(11)
@@ -122,6 +124,7 @@ pub fn render(series: &[Series], opts: &PlotOptions) -> String {
     out.push_str(&"-".repeat(w));
     out.push('\n');
     out.push_str(&format!(
+        // aba-lint: allow(float-determinism) — x-axis endpoints of a human-readable plot, not artifact values
         "{:>12.3}{:>width$.3}\n",
         untransform(min_x, opts.log_x),
         untransform(max_x, opts.log_x),

@@ -35,7 +35,7 @@ impl Summary {
             0.0
         };
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        sorted.sort_unstable_by(f64::total_cmp);
         Some(Summary {
             count,
             mean,
@@ -62,6 +62,27 @@ impl Summary {
         }
         1.96 * self.std_dev / (self.count as f64).sqrt()
     }
+}
+
+/// Sums a float sample in ascending `total_cmp` value order — the
+/// workspace convention for any accumulation whose result lands in an
+/// artifact. Float addition is not associative, so a sum taken in
+/// arrival order depends on worker interleaving and merge order; in
+/// value order it is a pure function of the *multiset* of samples and
+/// is therefore bit-identical at any worker count. (`total_cmp` rather
+/// than `partial_cmp` so NaN payloads also land in a fixed position.)
+pub fn sum_value_ordered(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    sorted.iter().sum()
+}
+
+/// Mean via [`sum_value_ordered`]; `NaN` for an empty sample.
+pub fn mean_value_ordered(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    sum_value_ordered(xs) / xs.len() as f64
 }
 
 /// Quantile of a pre-sorted sample via linear interpolation between
@@ -198,6 +219,33 @@ mod tests {
     fn summary_of_u64() {
         let s = Summary::of_u64(&[2, 4, 6]).unwrap();
         assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_ordered_sum_is_bitwise_order_invariant() {
+        // A scale mix where naive left-to-right summation genuinely
+        // depends on order (catastrophic absorption at 1e16).
+        let base = [1e16, 1.0, -1e16, 3.5, 0.1, 2.5e-7, -42.0, 7.75];
+        let canonical = sum_value_ordered(&base);
+        let mut rotated = base.to_vec();
+        for _ in 1..base.len() {
+            rotated.rotate_left(1);
+            assert_eq!(canonical.to_bits(), sum_value_ordered(&rotated).to_bits());
+        }
+        let mut reversed = base.to_vec();
+        reversed.reverse();
+        assert_eq!(canonical.to_bits(), sum_value_ordered(&reversed).to_bits());
+        // The guard is not vacuous: arrival-order summation differs.
+        let naive_fwd: f64 = base.iter().sum();
+        let naive_rev: f64 = reversed.iter().sum();
+        assert_ne!(naive_fwd.to_bits(), naive_rev.to_bits());
+    }
+
+    #[test]
+    fn value_ordered_mean_edge_cases() {
+        assert!(mean_value_ordered(&[]).is_nan());
+        assert_eq!(mean_value_ordered(&[2.0, 4.0]), 3.0);
+        assert_eq!(sum_value_ordered(&[]), 0.0);
     }
 
     #[test]

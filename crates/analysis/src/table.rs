@@ -26,8 +26,10 @@ impl Cell {
                 if x.is_nan() {
                     "—".to_string()
                 } else if x.abs() >= 1000.0 {
+                    // aba-lint: allow(float-determinism) — report-table display rounding; raw values live in the JSON artifacts
                     format!("{x:.0}")
                 } else {
+                    // aba-lint: allow(float-determinism) — report-table display rounding; raw values live in the JSON artifacts
                     format!("{x:.3}")
                 }
             }
@@ -187,7 +189,7 @@ pub fn series_to_markdown(title: &str, x_label: &str, series: &[Series]) -> Stri
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.0))
         .collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN x"));
+    xs.sort_unstable_by(f64::total_cmp);
     xs.dedup();
 
     let mut columns: Vec<&str> = vec![x_label];

@@ -58,7 +58,7 @@ fn quantiles_monotone() {
         let len = 1 + cases.below(99) as usize;
         let steps = 2 + cases.below(18) as usize;
         let mut xs = cases.floats(len, -1e3, 1e3);
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_unstable_by(f64::total_cmp);
         let mut last = f64::NEG_INFINITY;
         for i in 0..=steps {
             let q = quantile_sorted(&xs, i as f64 / steps as f64);

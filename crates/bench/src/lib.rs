@@ -324,6 +324,7 @@ impl Group {
 
     /// Measures `f` adaptively and prints one result line. The closure's
     /// return value is black-boxed so the work cannot be optimized away.
+    #[allow(clippy::disallowed_methods)] // wall-clock timing is this crate's entire job
     pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
         // Warm-up: one untimed call (fills caches, triggers lazy init).
         black_box(f());

@@ -107,6 +107,7 @@ impl<M: Message> Delivery<M> for ReplayDelivery<M> {
         } in rows
         {
             if let Some(base) = base {
+                // aba-lint: allow(seam-bypass) — ReplayDelivery IS a delivery adapter: it reconstructs recorded wire state verbatim
                 wire.set_broadcast_except(sender, base, &knocked);
             }
             for (receiver, m) in overrides {

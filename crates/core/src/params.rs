@@ -272,6 +272,7 @@ impl BaConfig {
     /// [`CoinSource::Dealer`]).
     pub fn dealer_coin(&self, phase: u64) -> Option<bool> {
         match self.coin {
+            // aba-lint: allow(rng-stream-ledger) — dealer coin hashes the configured seed, not a ledger stream; no RNG state is consumed
             CoinSource::Dealer { seed } => Some(aba_sim::rng::derive_seed(seed, phase) & 1 == 1),
             CoinSource::Committee | CoinSource::Private => None,
         }
@@ -341,6 +342,7 @@ mod tests {
         let cfg = BaConfig::rabin_dealer(16, 5, 99).unwrap();
         let c1 = cfg.dealer_coin(1).unwrap();
         assert_eq!(cfg.dealer_coin(1).unwrap(), c1, "deterministic per phase");
+        // aba-lint: allow(hash-nondeterminism) — distinctness count only; iteration order never observed
         let distinct: std::collections::HashSet<bool> =
             (1..40).map(|p| cfg.dealer_coin(p).unwrap()).collect();
         assert_eq!(distinct.len(), 2, "dealer coin takes both values");

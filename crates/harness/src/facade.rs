@@ -381,9 +381,11 @@ impl BatchReport {
     }
 
     /// Mean honest-majority agreement fraction (the almost-everywhere
-    /// metric).
+    /// metric). Summed in `total_cmp` value order so the mean is
+    /// bit-identical however the batch was assembled or merged.
     pub fn mean_agree_fraction(&self) -> f64 {
-        self.mean(|r| r.agree_fraction)
+        let fracs: Vec<f64> = self.results.iter().map(|r| r.agree_fraction).collect();
+        aba_analysis::stats::mean_value_ordered(&fracs)
     }
 
     /// Among agreeing trials, the fraction that decided `b` (`NaN` if no
@@ -485,6 +487,29 @@ mod tests {
         let seeds: Vec<u64> = left.results.iter().map(|r| r.seed).collect();
         assert_eq!(seeds, vec![1, 3, 5], "trials interleave by seed");
         assert_eq!(left.scenario.seed, 1, "base seed is the minimum");
+    }
+
+    #[test]
+    fn mean_agree_fraction_is_bitwise_order_invariant() {
+        // The mean sums in total_cmp value order, so reordering the
+        // result list must not move even the last bit.
+        let report = ScenarioBuilder::new(16, 5)
+            .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+            .adversary(AttackSpec::SplitVote)
+            .trials(8)
+            .run_batch();
+        let canonical = report.mean_agree_fraction();
+        let mut reversed = report.clone();
+        reversed.results.reverse();
+        assert_eq!(
+            canonical.to_bits(),
+            reversed.mean_agree_fraction().to_bits()
+        );
+        let mut rotated = report.clone();
+        for _ in 1..report.len() {
+            rotated.results.rotate_left(1);
+            assert_eq!(canonical.to_bits(), rotated.mean_agree_fraction().to_bits());
+        }
     }
 
     #[test]

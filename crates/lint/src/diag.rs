@@ -1,0 +1,46 @@
+//! Diagnostics: stable, sortable `file:line rule-id message` findings.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human explanation, one line.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding.
+    pub fn new(path: &str, line: u32, rule: &'static str, msg: impl Into<String>) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} {} {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Sorts findings into the stable output order (path, line, rule, msg).
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.msg.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.msg.as_str(),
+        ))
+    });
+}

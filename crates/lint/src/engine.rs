@@ -1,0 +1,245 @@
+//! Orchestration: walk the workspace, run every rule on every file,
+//! apply suppressions, enforce the panic budget, and return stable
+//! diagnostics.
+
+use crate::diag::{self, Diagnostic};
+use crate::lexer::lex;
+use crate::registry::{self, Registry};
+use crate::rules::{self, FileCtx};
+use crate::source::{self, FileKind, WorkspaceFile};
+use crate::suppress;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Workspace-relative path of the panic budget file.
+pub const PANIC_BUDGET_PATH: &str = "crates/lint/panic_budget.txt";
+
+/// Workspace-relative path of the RNG stream ledger.
+pub const LEDGER_PATH: &str = "crates/sim/src/rng.rs";
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; *findings* are returned as
+/// diagnostics, never as errors.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let registry = load_registry(root, &mut diags);
+    let budget = load_budget(root, &mut diags);
+    let files = source::collect_workspace(root)?;
+    let mut counted: BTreeMap<String, usize> = BTreeMap::new();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs)?;
+        let n_sites = lint_one(f, &src, registry.as_ref(), &budget, &mut diags);
+        if n_sites > 0 {
+            counted.insert(f.rel.clone(), n_sites);
+        }
+    }
+    // Stale budget entries: pinned files that no longer have sites.
+    for (path, pinned) in &budget {
+        if !counted.contains_key(path) && *pinned > 0 {
+            diags.push(Diagnostic::new(
+                PANIC_BUDGET_PATH,
+                1,
+                "panic-hygiene",
+                format!(
+                    "stale budget entry: {path} pins {pinned} panic sites but has none; re-pin with --pin-panic-budget"
+                ),
+            ));
+        }
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Lints one source text under an explicit classification; used for
+/// fixtures and the CI negative control (`--single`). The panic budget
+/// is zero, so any panic site fires.
+pub fn lint_single(
+    rel: &str,
+    src: &str,
+    crate_name: &str,
+    kind: FileKind,
+    registry: Option<&Registry>,
+) -> Vec<Diagnostic> {
+    let f = WorkspaceFile {
+        abs: rel.into(),
+        rel: rel.to_string(),
+        crate_name: crate_name.to_string(),
+        kind,
+    };
+    let mut diags = Vec::new();
+    lint_one(&f, src, registry, &BTreeMap::new(), &mut diags);
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Runs every rule on one file; returns the file's panic-site count
+/// (after suppressions) and appends diagnostics.
+fn lint_one(
+    f: &WorkspaceFile,
+    src: &str,
+    registry: Option<&Registry>,
+    budget: &BTreeMap<String, usize>,
+    diags: &mut Vec<Diagnostic>,
+) -> usize {
+    let tokens = lex(src);
+    let tests = source::test_regions(src, &tokens);
+    let (mut sups, bad) = suppress::parse(src, &tokens);
+    for b in bad {
+        diags.push(Diagnostic::new(
+            &f.rel,
+            b.line,
+            "bad-suppression",
+            format!("malformed aba-lint comment: {}", b.why),
+        ));
+    }
+    let ctx = FileCtx::new(&f.rel, &f.crate_name, f.kind, src, &tokens, &tests);
+    let mut raw = Vec::new();
+    rules::run_all(&ctx, registry, &mut raw);
+    for d in raw {
+        if !suppress::covers(&mut sups, d.rule, d.line) {
+            diags.push(d);
+        }
+    }
+    // Panic hygiene: count unsuppressed sites, compare to the budget.
+    let sites: Vec<u32> = rules::panic_sites(&ctx)
+        .into_iter()
+        .filter(|&line| !suppress::covers(&mut sups, "panic-hygiene", line))
+        .collect();
+    let pinned = budget.get(&f.rel).copied().unwrap_or(0);
+    if sites.len() != pinned {
+        diags.push(Diagnostic::new(
+            &f.rel,
+            sites.first().copied().unwrap_or(1),
+            "panic-hygiene",
+            format!(
+                "{} panic sites (unwrap/expect/panic!/unreachable!/todo!/unimplemented!) but the budget pins {}; fix the drift or re-pin with --pin-panic-budget",
+                sites.len(),
+                pinned
+            ),
+        ));
+    }
+    for s in sups.iter().filter(|s| !s.used) {
+        diags.push(Diagnostic::new(
+            &f.rel,
+            s.line,
+            "unused-suppression",
+            format!(
+                "allow({}) matches no finding; remove the stale annotation",
+                s.rules.join(", ")
+            ),
+        ));
+    }
+    sites.len()
+}
+
+/// Loads and self-checks the stream ledger; problems become findings.
+fn load_registry(root: &Path, diags: &mut Vec<Diagnostic>) -> Option<Registry> {
+    let path = root.join(LEDGER_PATH);
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                LEDGER_PATH,
+                1,
+                "rng-stream-ledger",
+                format!("cannot read the stream ledger: {e}"),
+            ));
+            return None;
+        }
+    };
+    match registry::extract(&src) {
+        Ok(reg) => {
+            for problem in reg.self_check() {
+                diags.push(Diagnostic::new(
+                    LEDGER_PATH,
+                    1,
+                    "rng-stream-ledger",
+                    problem,
+                ));
+            }
+            Some(reg)
+        }
+        Err(e) => {
+            diags.push(Diagnostic::new(LEDGER_PATH, 1, "rng-stream-ledger", e));
+            None
+        }
+    }
+}
+
+/// Loads `panic_budget.txt` (`<path> <count>` lines, `#` comments).
+fn load_budget(root: &Path, diags: &mut Vec<Diagnostic>) -> BTreeMap<String, usize> {
+    let mut budget = BTreeMap::new();
+    let path = root.join(PANIC_BUDGET_PATH);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                PANIC_BUDGET_PATH,
+                1,
+                "panic-hygiene",
+                format!("cannot read the panic budget: {e}; pin one with --pin-panic-budget"),
+            ));
+            return budget;
+        }
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let entry = parts.next().map(str::to_string);
+        let count = parts.next().and_then(|c| c.parse::<usize>().ok());
+        match (entry, count) {
+            (Some(p), Some(c)) => {
+                budget.insert(p, c);
+            }
+            _ => diags.push(Diagnostic::new(
+                PANIC_BUDGET_PATH,
+                lineno as u32 + 1,
+                "panic-hygiene",
+                format!("unparseable budget line: `{line}`"),
+            )),
+        }
+    }
+    budget
+}
+
+/// Counts panic sites across the workspace and renders a fresh budget
+/// file body (sorted, commented header).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn pin_panic_budget(root: &Path) -> io::Result<String> {
+    let files = source::collect_workspace(root)?;
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs)?;
+        let tokens = lex(&src);
+        let tests = source::test_regions(&src, &tokens);
+        let (mut sups, _) = suppress::parse(&src, &tokens);
+        let ctx = FileCtx::new(&f.rel, &f.crate_name, f.kind, &src, &tokens, &tests);
+        let n = rules::panic_sites(&ctx)
+            .into_iter()
+            .filter(|&line| !suppress::covers(&mut sups, "panic-hygiene", line))
+            .count();
+        if n > 0 {
+            counts.insert(f.rel.clone(), n);
+        }
+    }
+    let mut out = String::from(
+        "# Pinned panic-site inventory (unwrap/expect/panic!/unreachable!/todo!/unimplemented!)\n\
+         # in runtime library code. aba-lint fails when a file drifts from its pinned count in\n\
+         # either direction: adding a panic site needs a justified re-pin, and removing one must\n\
+         # ratchet the budget down. Regenerate with: cargo run -p aba-lint -- --pin-panic-budget\n",
+    );
+    for (path, n) in &counts {
+        out.push_str(&format!("{path} {n}\n"));
+    }
+    Ok(out)
+}

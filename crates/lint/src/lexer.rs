@@ -1,0 +1,498 @@
+//! Hand-rolled Rust lexer: a trivia-preserving token stream, no parse.
+//!
+//! The linter's rules only need identifiers, literals, punctuation, and
+//! comments with accurate line numbers — not a syntax tree. The lexer
+//! therefore emits *every* byte of the input as part of some token
+//! (whitespace and comments are tokens too), which gives a mechanical
+//! correctness check: concatenating the token texts must reproduce the
+//! file byte for byte. A differential test pins that round-trip over
+//! the whole workspace.
+//!
+//! Handled surface: line comments, nested block comments, string
+//! literals with escapes, raw strings with arbitrary `#` fences, byte
+//! and raw-byte strings, char vs byte-char literals, the char-literal /
+//! lifetime ambiguity, raw identifiers, and numeric literals with
+//! underscores, base prefixes, exponents, and type suffixes. Anything
+//! unrecognized falls back to a one-character `Punct` token, which
+//! keeps the stream total and the round-trip exact.
+
+/// Classification of one source token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (including newlines).
+    Whitespace,
+    /// `// ...` up to (not including) the newline.
+    LineComment,
+    /// `/* ... */`, nesting-aware.
+    BlockComment,
+    /// An identifier or keyword.
+    Ident,
+    /// A raw identifier: `r#ident`.
+    RawIdent,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// A char literal: `'x'`, `'\n'`, `'\u{7fff}'`.
+    CharLit,
+    /// A byte-char literal: `b'x'`.
+    ByteLit,
+    /// A normal string literal, escapes handled.
+    StrLit,
+    /// A raw string literal: `r"…"`, `r#"…"#`, any fence depth.
+    RawStrLit,
+    /// A byte or raw-byte string literal: `b"…"`, `br#"…"#`.
+    ByteStrLit,
+    /// A numeric literal, including suffix: `1_000u64`, `0xFF`, `1.5e-3`.
+    NumLit,
+    /// A single punctuation character (or unrecognized byte/char).
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether the token carries no semantic weight for rules
+    /// (whitespace and comments).
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+
+    /// Whether the token is a comment.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One token: a classified byte span of the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into a total, trivia-preserving token stream.
+///
+/// Every byte of the input belongs to exactly one token, in order, so
+/// `tokens.iter().map(|t| t.text(src)).collect::<String>() == src`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks: Vec<Token> = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        let kind;
+        if c.is_ascii_whitespace() {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            kind = TokenKind::Whitespace;
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            kind = TokenKind::LineComment;
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            let mut depth = 1usize;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            kind = TokenKind::BlockComment;
+        } else if c == b'\'' {
+            match scan_quote(b, i) {
+                Some((end, k)) => {
+                    i = end;
+                    kind = k;
+                }
+                None => {
+                    i += 1;
+                    kind = TokenKind::Punct;
+                }
+            }
+        } else if c == b'"' {
+            i = scan_string(b, i + 1);
+            kind = TokenKind::StrLit;
+        } else if c == b'r' && matches!(b.get(i + 1), Some(b'"') | Some(b'#')) {
+            match scan_raw_prefixed(b, i + 1) {
+                RawScan::RawString(end) => {
+                    i = end;
+                    kind = TokenKind::RawStrLit;
+                }
+                RawScan::RawIdent(end) => {
+                    i = end;
+                    kind = TokenKind::RawIdent;
+                }
+                RawScan::NotRaw => {
+                    i = scan_ident(b, i);
+                    kind = TokenKind::Ident;
+                }
+            }
+        } else if c == b'b' && matches!(b.get(i + 1), Some(b'"') | Some(b'\'') | Some(b'r')) {
+            match b[i + 1] {
+                b'"' => {
+                    i = scan_string(b, i + 2);
+                    kind = TokenKind::ByteStrLit;
+                }
+                b'\'' => match scan_quote(b, i + 1) {
+                    Some((end, _)) => {
+                        i = end;
+                        kind = TokenKind::ByteLit;
+                    }
+                    None => {
+                        i = scan_ident(b, i);
+                        kind = TokenKind::Ident;
+                    }
+                },
+                _ => match scan_raw_prefixed(b, i + 2) {
+                    RawScan::RawString(end) => {
+                        i = end;
+                        kind = TokenKind::ByteStrLit;
+                    }
+                    _ => {
+                        i = scan_ident(b, i);
+                        kind = TokenKind::Ident;
+                    }
+                },
+            }
+        } else if is_ident_start(c) {
+            i = scan_ident(b, i);
+            kind = TokenKind::Ident;
+        } else if c.is_ascii_digit() {
+            i = scan_number(b, i);
+            kind = TokenKind::NumLit;
+        } else {
+            // One punctuation character; consume a full UTF-8 char so a
+            // stray non-ASCII byte can't split a code point.
+            let width = utf8_width(c);
+            i = (i + width).min(b.len());
+            kind = TokenKind::Punct;
+        }
+        debug_assert!(i > start, "lexer must always make progress");
+        toks.push(Token {
+            kind,
+            start,
+            end: i,
+            line,
+        });
+        line += src[start..i].bytes().filter(|&c| c == b'\n').count() as u32;
+    }
+    toks
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Scans past a normal (escaped) string body starting *after* the
+/// opening quote; returns the offset just past the closing quote (or
+/// EOF for an unterminated literal).
+fn scan_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn scan_ident(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && is_ident_continue(b[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Disambiguates `'` at offset `i`: char literal vs lifetime/label.
+///
+/// Returns `(end, kind)`, or `None` when the quote opens a char literal
+/// that never closes on the same line (treated as stray punctuation).
+fn scan_quote(b: &[u8], i: usize) -> Option<(usize, TokenKind)> {
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char literal: skip escape pairs until the close quote.
+        let mut j = i + 1;
+        while j < b.len() && b[j] != b'\n' {
+            match b[j] {
+                b'\\' => j = (j + 2).min(b.len()),
+                b'\'' => return Some((j + 1, TokenKind::CharLit)),
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    if is_ident_start(next) || next == b'_' {
+        let end = scan_ident(b, i + 1);
+        // `'a'` (a one-char ident run closed by a quote) is a char
+        // literal; `'a` / `'static` / `'_` are lifetimes or labels.
+        if b.get(end) == Some(&b'\'') {
+            return Some((end + 1, TokenKind::CharLit));
+        }
+        return Some((end, TokenKind::Lifetime));
+    }
+    if next.is_ascii_digit() {
+        if b.get(i + 2) == Some(&b'\'') {
+            return Some((i + 3, TokenKind::CharLit));
+        }
+        return None;
+    }
+    // A punctuation char literal like `'{'` or `'"'`.
+    if next != b'\'' && b.get(i + 1 + utf8_width(next)) == Some(&b'\'') {
+        return Some((i + 2 + utf8_width(next), TokenKind::CharLit));
+    }
+    None
+}
+
+enum RawScan {
+    RawString(usize),
+    RawIdent(usize),
+    NotRaw,
+}
+
+/// Scans a raw construct whose `r` (or `br`) prefix ends at offset `i`:
+/// either a raw string `#*"…"#*` or a raw identifier `#ident`.
+fn scan_raw_prefixed(b: &[u8], i: usize) -> RawScan {
+    let mut hashes = 0usize;
+    while b.get(i + hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    match b.get(i + hashes) {
+        Some(b'"') => {
+            // Body runs until `"` followed by `hashes` hashes.
+            let mut j = i + hashes + 1;
+            while j < b.len() {
+                if b[j] == b'"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&c| c == b'#')
+                        .count()
+                        == hashes
+                {
+                    return RawScan::RawString(j + 1 + hashes);
+                }
+                j += 1;
+            }
+            RawScan::RawString(j)
+        }
+        Some(&c) if hashes == 1 && is_ident_start(c) => RawScan::RawIdent(scan_ident(b, i + 1)),
+        _ => RawScan::NotRaw,
+    }
+}
+
+/// Scans a numeric literal starting at a digit.
+fn scan_number(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'0' && matches!(b.get(i + 1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part only when the dot is followed by a digit, so
+    // ranges (`0..n`) and method calls on integers stay separate tokens.
+    if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent with an explicit sign (`1e-5`); unsigned exponents are
+    // swallowed by the suffix loop below.
+    if matches!(b.get(i), Some(b'e') | Some(b'E'))
+        && matches!(b.get(i + 1), Some(b'+') | Some(b'-'))
+        && b.get(i + 2).is_some_and(|c| c.is_ascii_digit())
+    {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Type suffix (`u64`, `f32`) or a plain exponent (`1e5`).
+    while i < b.len() && is_ident_continue(b[i]) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let got: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(got, src, "token concatenation must reproduce the source");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r#"quote " inside"#; let t = r##"deep "# fence"##;"####;
+        roundtrip(src);
+        let k = kinds(src);
+        assert!(k
+            .iter()
+            .any(|(kind, text)| *kind == TokenKind::RawStrLit && text.contains("quote")));
+        assert!(k
+            .iter()
+            .any(|(kind, text)| *kind == TokenKind::RawStrLit && text.contains("deep")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        roundtrip(src);
+        let k = kinds(src);
+        assert_eq!(k.len(), 2, "only the two idents survive: {k:?}");
+        assert_eq!(k[0].1, "a");
+        assert_eq!(k[1].1, "b");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '\\u{7fff}'; 'outer: loop { break 'outer; } }";
+        roundtrip(src);
+        let k = kinds(src);
+        let lifetimes: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'outer", "'outer"]);
+        let chars: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::CharLit)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'", "'\\u{7fff}'"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'x';"###;
+        roundtrip(src);
+        let k = kinds(src);
+        assert_eq!(
+            k.iter()
+                .filter(|(kind, _)| *kind == TokenKind::ByteStrLit)
+                .count(),
+            2
+        );
+        assert!(k.iter().any(|(kind, _)| *kind == TokenKind::ByteLit));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#type = 1; let r = 2;";
+        roundtrip(src);
+        let k = kinds(src);
+        assert!(k
+            .iter()
+            .any(|(kind, text)| *kind == TokenKind::RawIdent && *text == "r#type"));
+        assert!(k
+            .iter()
+            .any(|(kind, text)| *kind == TokenKind::Ident && *text == "r"));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let src = "let a = 1_000u64; let b = 0xBF58_476D; let c = 1.5e-3; let d = 1e5; let e = 0..10; let f = x.0;";
+        roundtrip(src);
+        let nums: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(kind, _)| *kind == TokenKind::NumLit)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["1_000u64", "0xBF58_476D", "1.5e-3", "1e5", "0", "10", "0"]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_format_braces() {
+        let src = r#"let s = format!("{x:.3} \"quoted\" {:>10.3}", y);"#;
+        roundtrip(src);
+        let strs: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(kind, _)| *kind == TokenKind::StrLit)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].contains("quoted"));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\nbb\n\nccc // tail\nd";
+        let by_text: Vec<(String, u32)> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            by_text,
+            vec![
+                ("a".to_string(), 1),
+                ("bb".to_string(), 2),
+                ("ccc".to_string(), 4),
+                ("d".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_lose_bytes() {
+        roundtrip("let s = \"never closed");
+        roundtrip("/* never closed");
+        roundtrip("let c = 'a");
+        roundtrip("let r = r#\"never closed");
+    }
+}

@@ -1,0 +1,28 @@
+//! `aba-lint`: the workspace determinism linter.
+//!
+//! Every reproducibility guarantee this workspace makes — bit-identical
+//! trace replay under all network models, byte-identical sweep
+//! artifacts at any worker count, cross-process deterministic
+//! mailboxes — rests on source conventions that no compiler checks:
+//! no hash-order iteration near results, RNG draws only through the
+//! declared stream ledger, `total_cmp` ordering and shortest-roundtrip
+//! formatting for floats, message placement only through the delivery
+//! seam, and a pinned panic-site inventory. This crate enforces those
+//! conventions mechanically: a hand-rolled lexer (token stream only,
+//! no parse, zero dependencies — matching the workspace's offline
+//! constraint), per-crate rule scoping, inline annotated exceptions
+//! with mandatory reasons, and stable `file:line rule-id message`
+//! output. It runs as a CI gate and as this crate's own integration
+//! test, which asserts the workspace is lint-clean.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+pub use diag::Diagnostic;
+pub use engine::{lint_single, lint_workspace, pin_panic_budget};
+pub use source::FileKind;

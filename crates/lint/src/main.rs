@@ -1,0 +1,107 @@
+//! CLI for the workspace determinism linter.
+//!
+//! ```text
+//! aba-lint [--root DIR]              lint the whole workspace
+//! aba-lint --single FILE [FILE..]    lint files as result-affecting lib
+//!                                    code (fixtures / negative control)
+//! aba-lint --pin-panic-budget        regenerate the panic budget file
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use aba_lint::{engine, lint_single, lint_workspace, FileKind};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut singles: Vec<PathBuf> = Vec::new();
+    let mut pin = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--single" => {
+                singles.extend(args.by_ref().map(PathBuf::from));
+            }
+            "--pin-panic-budget" => pin = true,
+            "--help" | "-h" => {
+                println!(
+                    "aba-lint: workspace determinism linter\n\
+                     usage: aba-lint [--root DIR] [--single FILE..] [--pin-panic-budget]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if pin {
+        return match engine::pin_panic_budget(&root) {
+            Ok(body) => {
+                let path = root.join(engine::PANIC_BUDGET_PATH);
+                match std::fs::write(&path, body) {
+                    Ok(()) => {
+                        eprintln!("pinned panic budget at {}", path.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(&format!("writing {}: {e}", path.display())),
+                }
+            }
+            Err(e) => fail(&format!("scanning workspace: {e}")),
+        };
+    }
+    if !singles.is_empty() {
+        // Fixture mode: strictest scope (result-affecting lib code, no
+        // budget), with the real ledger when the workspace is present.
+        let ledger = std::fs::read_to_string(root.join(engine::LEDGER_PATH))
+            .ok()
+            .and_then(|src| aba_lint::registry::extract(&src).ok());
+        let mut n = 0usize;
+        for path in &singles {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("reading {}: {e}", path.display())),
+            };
+            let rel = path.to_string_lossy().replace('\\', "/");
+            for d in lint_single(&rel, &src, "aba-fixture", FileKind::Lib, ledger.as_ref()) {
+                println!("{d}");
+                n += 1;
+            }
+        }
+        return verdict(n);
+    }
+    match lint_workspace(&root) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            verdict(diags.len())
+        }
+        Err(e) => fail(&format!("linting workspace: {e}")),
+    }
+}
+
+fn verdict(findings: usize) -> ExitCode {
+    if findings == 0 {
+        eprintln!("aba-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("aba-lint: {findings} finding(s)");
+        ExitCode::from(1)
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!(
+        "aba-lint: {why}\nusage: aba-lint [--root DIR] [--single FILE..] [--pin-panic-budget]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(why: &str) -> ExitCode {
+    eprintln!("aba-lint: {why}");
+    ExitCode::from(2)
+}

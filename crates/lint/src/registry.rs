@@ -1,0 +1,213 @@
+//! The RNG stream ledger, extracted from source.
+//!
+//! Every named randomness stream in the workspace is declared exactly
+//! once, in the `pub mod streams` block of `crates/sim/src/rng.rs`.
+//! The linter parses that block (token-level, tiny const-expression
+//! evaluator) and cross-checks every `streams::X` reference in the
+//! workspace against it, so a subsystem cannot invent an unregistered
+//! stream — two subsystems silently sharing a stream id is exactly the
+//! bug class that breaks reorder-stable seeding.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Node streams use their index (0..n); reserved engine streams must
+/// live far above any plausible network size.
+pub const RESERVED_FLOOR: u64 = 1 << 32;
+
+/// The parsed stream ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// `(name, value)` pairs in declaration order.
+    pub streams: Vec<(String, u64)>,
+}
+
+impl Registry {
+    /// Whether `name` is a registered stream constant.
+    pub fn contains(&self, name: &str) -> bool {
+        self.streams.iter().any(|(n, _)| n == name)
+    }
+
+    /// Problems with the ledger itself: duplicate values (two
+    /// subsystems sharing a stream) and reserved constants below the
+    /// node-index space.
+    pub fn self_check(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, (name_a, val_a)) in self.streams.iter().enumerate() {
+            for (name_b, val_b) in &self.streams[i + 1..] {
+                if val_a == val_b {
+                    problems.push(format!(
+                        "streams {name_a} and {name_b} share value {val_a:#x}; every stream must be unique"
+                    ));
+                }
+            }
+            if *val_a < RESERVED_FLOOR {
+                problems.push(format!(
+                    "stream {name_a} = {val_a:#x} collides with the node-index stream space (< 2^32)"
+                ));
+            }
+        }
+        problems
+    }
+}
+
+/// Extracts the registry from the source of the ledger file.
+///
+/// # Errors
+///
+/// Returns a description when the `streams` module or a constant in it
+/// cannot be parsed — a broken ledger must fail the lint, not pass it.
+pub fn extract(src: &str) -> Result<Registry, String> {
+    let tokens = lex(src);
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_trivia()).collect();
+    let start = sig
+        .windows(2)
+        .position(|w| w[0].text(src) == "mod" && w[1].text(src) == "streams")
+        .ok_or("no `mod streams` block found in the ledger file")?;
+    // Find the module's opening brace, then walk its consts.
+    let mut i = start + 2;
+    while i < sig.len() && sig[i].text(src) != "{" {
+        i += 1;
+    }
+    if i >= sig.len() {
+        return Err("`mod streams` has no body".to_string());
+    }
+    let mut depth = 0i32;
+    let mut streams = Vec::new();
+    while i < sig.len() {
+        let t = sig[i].text(src);
+        match t {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "const" if depth == 1 => {
+                let name = sig
+                    .get(i + 1)
+                    .map(|t| t.text(src).to_string())
+                    .ok_or("const without a name in `mod streams`")?;
+                // Skip to `=`, then evaluate tokens up to `;`.
+                let mut j = i + 2;
+                while j < sig.len() && sig[j].text(src) != "=" {
+                    j += 1;
+                }
+                let mut expr = Vec::new();
+                let mut k = j + 1;
+                while k < sig.len() && sig[k].text(src) != ";" {
+                    expr.push(sig[k]);
+                    k += 1;
+                }
+                let value = eval(src, &expr)
+                    .ok_or_else(|| format!("cannot evaluate stream constant {name}"))?;
+                streams.push((name, value));
+                i = k;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if streams.is_empty() {
+        return Err("`mod streams` declares no constants".to_string());
+    }
+    Ok(Registry { streams })
+}
+
+/// Evaluates the tiny const-expression language the ledger uses:
+/// integer literals, `u64::MAX`, and left-associative `+`/`-` chains.
+fn eval(src: &str, expr: &[&Token]) -> Option<u64> {
+    let mut value: Option<u64> = None;
+    let mut op: u8 = b'+';
+    let mut i = 0usize;
+    while i < expr.len() {
+        let t = expr[i];
+        let text = t.text(src);
+        let operand = if t.kind == TokenKind::NumLit {
+            i += 1;
+            parse_int(text)?
+        } else if text == "u64"
+            && expr.get(i + 1).map(|t| t.text(src)) == Some(":")
+            && expr.get(i + 2).map(|t| t.text(src)) == Some(":")
+            && expr.get(i + 3).map(|t| t.text(src)) == Some("MAX")
+        {
+            i += 4;
+            u64::MAX
+        } else if text == "+" || text == "-" {
+            op = text.as_bytes()[0];
+            i += 1;
+            continue;
+        } else {
+            return None;
+        };
+        value = Some(match (value, op) {
+            (None, _) => operand,
+            (Some(v), b'+') => v.checked_add(operand)?,
+            (Some(v), _) => v.checked_sub(operand)?,
+        });
+    }
+    value
+}
+
+/// Parses a Rust integer literal (underscores, `0x`/`0o`/`0b`, suffix).
+fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(hex) = clean.strip_prefix("0x") {
+        (hex, 16)
+    } else if let Some(oct) = clean.strip_prefix("0o") {
+        (oct, 8)
+    } else if let Some(bin) = clean.strip_prefix("0b") {
+        (bin, 2)
+    } else {
+        (clean.as_str(), 10)
+    };
+    let digits = digits.trim_end_matches(|c: char| c.is_ascii_alphabetic() && radix == 10);
+    let digits = digits.strip_suffix("u64").unwrap_or(digits);
+    u64::from_str_radix(digits, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEDGER: &str = "pub mod streams {\n    /// doc\n    pub const ADVERSARY: u64 = u64::MAX;\n    pub const ENGINE: u64 = u64::MAX - 1;\n    pub const INPUTS: u64 = u64::MAX - 2;\n    pub const NETWORK: u64 = u64::MAX - 3;\n}\n";
+
+    #[test]
+    fn extracts_the_four_seed_streams() {
+        let reg = extract(LEDGER).unwrap();
+        assert_eq!(reg.streams.len(), 4);
+        assert_eq!(reg.streams[0], ("ADVERSARY".to_string(), u64::MAX));
+        assert_eq!(reg.streams[3], ("NETWORK".to_string(), u64::MAX - 3));
+        assert!(reg.contains("ENGINE"));
+        assert!(!reg.contains("BOGUS"));
+        assert!(reg.self_check().is_empty());
+    }
+
+    #[test]
+    fn duplicate_values_are_flagged() {
+        let reg =
+            extract("mod streams { pub const A: u64 = u64::MAX; pub const B: u64 = u64::MAX; }")
+                .unwrap();
+        let problems = reg.self_check();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("share value"));
+    }
+
+    #[test]
+    fn low_streams_collide_with_node_space() {
+        let reg = extract("mod streams { pub const LOW: u64 = 7; }").unwrap();
+        assert!(reg.self_check()[0].contains("node-index"));
+    }
+
+    #[test]
+    fn missing_module_is_an_error() {
+        assert!(extract("pub fn nothing() {}").is_err());
+    }
+
+    #[test]
+    fn literal_forms_parse() {
+        assert_eq!(parse_int("1_000"), Some(1000));
+        assert_eq!(parse_int("0xFF"), Some(255));
+        assert_eq!(parse_int("42u64"), Some(42));
+    }
+}

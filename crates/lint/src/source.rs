@@ -1,0 +1,348 @@
+//! Workspace file discovery and per-file context classification.
+//!
+//! Rules are scoped by *crate* (which package owns the file) and by
+//! *kind* (library, binary, test, bench, example), plus by
+//! `#[cfg(test)]` regions inside library files. All of that is derived
+//! mechanically here so rule code can ask "is this line engine code?"
+//! without re-deriving path conventions.
+
+use crate::lexer::Token;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What role a file plays in its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` library code (result-affecting unless in `#[cfg(test)]`).
+    Lib,
+    /// `src/bin/**` or `src/main.rs` — a CLI entry point.
+    Bin,
+    /// `tests/**` integration tests.
+    Test,
+    /// `benches/**` timing harnesses.
+    Bench,
+    /// `examples/**` demo programs.
+    Example,
+}
+
+/// One discovered workspace source file.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with `/` separators (diagnostic key).
+    pub rel: String,
+    /// Owning package name from the nearest `Cargo.toml`.
+    pub crate_name: String,
+    /// Role of the file within its crate.
+    pub kind: FileKind,
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "node_modules"];
+
+/// Fixture sources are lint-rule test vectors, not workspace code.
+const FIXTURE_DIR: &str = "crates/lint/tests/fixtures";
+
+/// Collects every `.rs` file of the workspace rooted at `root`, sorted
+/// by relative path for stable diagnostics.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the directory walk.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<WorkspaceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<Vec<_>>>()?;
+    entries.sort();
+    for path in entries {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            if rel_of(root, &path) == FIXTURE_DIR {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_of(root, &path);
+            if let Some((crate_name, kind)) = classify(root, &path, &rel) {
+                out.push(WorkspaceFile {
+                    abs: path.clone(),
+                    rel,
+                    crate_name,
+                    kind,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Determines (crate, kind) from the path, or `None` for files outside
+/// any recognized crate layout (e.g. stray scripts).
+fn classify(root: &Path, abs: &Path, rel: &str) -> Option<(String, FileKind)> {
+    // Find the nearest ancestor directory holding a Cargo.toml.
+    let mut dir = abs.parent()?;
+    let manifest = loop {
+        let candidate = dir.join("Cargo.toml");
+        if candidate.is_file() {
+            break candidate;
+        }
+        if dir == root {
+            return None;
+        }
+        dir = dir.parent()?;
+    };
+    let crate_name = package_name(&manifest)?;
+    let crate_rel = rel_of(root, dir);
+    let inside = if crate_rel.is_empty() {
+        rel.to_string()
+    } else {
+        rel.strip_prefix(&format!("{crate_rel}/"))?.to_string()
+    };
+    let kind = if inside.starts_with("src/bin/") || inside == "src/main.rs" {
+        FileKind::Bin
+    } else if inside.starts_with("src/") {
+        FileKind::Lib
+    } else if inside.starts_with("tests/") {
+        FileKind::Test
+    } else if inside.starts_with("benches/") {
+        FileKind::Bench
+    } else if inside.starts_with("examples/") {
+        FileKind::Example
+    } else {
+        return None;
+    };
+    Some((crate_name, kind))
+}
+
+/// Extracts `name = "…"` from a `[package]` manifest (hand-rolled —
+/// the linter has no TOML dependency by design).
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items, computed
+/// from the token stream.
+///
+/// The scan recognizes `#[cfg(test)]` (and `cfg(all(test, …))` etc. —
+/// any cfg attribute mentioning `test` without `not`), skips any
+/// further attributes, then brace-matches the annotated item's body.
+/// An inner `#![cfg(test)]` marks the whole file.
+pub fn test_regions(src: &str, tokens: &[Token]) -> TestRegions {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_trivia()).collect();
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut whole_file = false;
+    let mut i = 0usize;
+    while i < sig.len() {
+        if sig[i].text(src) != "#" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < sig.len() && sig[j].text(src) == "!";
+        if inner {
+            j += 1;
+        }
+        if j >= sig.len() || sig[j].text(src) != "[" {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test_cfg) = scan_attribute(src, &sig, j);
+        if !is_test_cfg {
+            i = attr_end;
+            continue;
+        }
+        if inner {
+            whole_file = true;
+            i = attr_end;
+            continue;
+        }
+        // Skip any further outer attributes between the cfg and the item.
+        let mut k = attr_end;
+        while k + 1 < sig.len() && sig[k].text(src) == "#" && sig[k + 1].text(src) == "[" {
+            let (end, _) = scan_attribute(src, &sig, k + 1);
+            k = end;
+        }
+        // Find the item body: first `{` at zero paren/bracket depth, or a
+        // `;` ending a body-less item.
+        let mut depth = 0i32;
+        let mut end_line = sig[i].line;
+        while k < sig.len() {
+            let t = sig[k].text(src);
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => {
+                    end_line = sig[k].line;
+                    k += 1;
+                    break;
+                }
+                "{" if depth == 0 => {
+                    let close = match_braces(src, &sig, k);
+                    end_line = sig[close.min(sig.len() - 1)].line;
+                    k = close + 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((sig[i].line, end_line));
+        i = k;
+    }
+    TestRegions {
+        whole_file,
+        regions,
+    }
+}
+
+/// Scans an attribute whose `[` sits at `sig[open]`; returns the index
+/// just past the closing `]` and whether it is a test-selecting cfg.
+fn scan_attribute(src: &str, sig: &[&Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut k = open;
+    while k < sig.len() {
+        let t = sig[k].text(src);
+        match t {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, saw_cfg && saw_test && !saw_not);
+                }
+            }
+            "cfg" => saw_cfg = true,
+            "test" => saw_test = true,
+            "not" => saw_not = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    (k, false)
+}
+
+/// Index of the `}` matching the `{` at `sig[open]` (or the last token
+/// for unbalanced input).
+fn match_braces(src: &str, sig: &[&Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < sig.len() {
+        match sig[k].text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    sig.len().saturating_sub(1)
+}
+
+/// The `#[cfg(test)]` coverage of one file.
+#[derive(Debug, Clone, Default)]
+pub struct TestRegions {
+    /// Whole file is test-gated (`#![cfg(test)]`).
+    pub whole_file: bool,
+    /// Inclusive line ranges of test-gated items.
+    pub regions: Vec<(u32, u32)>,
+}
+
+impl TestRegions {
+    /// Whether `line` is inside test-gated code.
+    pub fn contains(&self, line: u32) -> bool {
+        self.whole_file || self.regions.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_region_covers_mod_body() {
+        let src = "pub fn live() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\npub fn also_live() {}\n";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert!(!regions.contains(1));
+        assert!(regions.contains(3));
+        assert!(regions.contains(5));
+        assert!(regions.contains(6));
+        assert!(!regions.contains(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn prod_only() {}\n";
+        let toks = lex(src);
+        assert!(!test_regions(src, &toks).contains(2));
+    }
+
+    #[test]
+    fn attributes_between_cfg_and_item_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n    const X: u8 = 0;\n}\n";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert!(regions.contains(4));
+    }
+
+    #[test]
+    fn fn_headers_with_parens_do_not_confuse_body_search() {
+        let src = "#[cfg(test)]\nfn f(a: (u8, u8), b: [u8; 2]) -> bool {\n    a.0 == b[0]\n}\nfn live() {}\n";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert!(regions.contains(3));
+        assert!(!regions.contains(5));
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() {}\n";
+        let toks = lex(src);
+        assert!(test_regions(src, &toks).contains(2));
+    }
+}

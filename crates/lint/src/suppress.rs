@@ -1,0 +1,177 @@
+//! Inline suppression comments.
+//!
+//! A finding can be acknowledged in place with a comment of the form
+//! (marker, `allow`, a parenthesized rule list, a separator, and a
+//! mandatory free-text reason):
+//!
+//! ```text
+//! (slash-slash) aba-lint: allow(rule-id) - why this site is exempt
+//! ```
+//!
+//! Accepted separators between the rule list and the reason are an
+//! em/en dash, `--`, `-`, or `:`. The reason is not optional: an allow
+//! without one is itself a diagnostic, and so is an allow that no
+//! longer matches any finding — annotations must stay live
+//! documentation, not fossils.
+
+use crate::lexer::Token;
+use crate::rules::RULE_IDS;
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on; it covers this line and the next.
+    pub line: u32,
+    /// Rules the comment allows.
+    pub rules: Vec<String>,
+    /// Whether any diagnostic consumed this suppression.
+    pub used: bool,
+}
+
+/// A malformed suppression attempt (reported as `bad-suppression`).
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub why: String,
+}
+
+/// The marker that opens a suppression comment.
+const MARKER: &str = "aba-lint:";
+
+/// Extracts all (well- and mal-formed) suppressions from the comment
+/// tokens of a file.
+pub fn parse(src: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens.iter().filter(|t| t.kind.is_comment()) {
+        // A suppression is a comment whose *content* starts with the
+        // marker; prose that merely mentions the marker is ignored.
+        let content = t.text(src).trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = content.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_body(rest) {
+            Ok(rules) => ok.push(Suppression {
+                line: t.line,
+                rules,
+                used: false,
+            }),
+            Err(why) => bad.push(BadSuppression { line: t.line, why }),
+        }
+    }
+    (ok, bad)
+}
+
+/// Parses `allow(rule[, rule]*) <sep> <reason>` after the marker.
+fn parse_body(rest: &str) -> Result<Vec<String>, String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err("expected `allow(<rule>)` after the marker".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule list".to_string());
+    };
+    let mut rules = Vec::new();
+    for raw in rest[..close].split(',') {
+        let rule = raw.trim();
+        if rule.is_empty() {
+            return Err("empty rule name in allow list".to_string());
+        }
+        if !RULE_IDS.contains(&rule) {
+            return Err(format!("unknown rule `{rule}`"));
+        }
+        rules.push(rule.to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = ["\u{2014}", "\u{2013}", "--", "-", ":"]
+        .iter()
+        .find_map(|sep| after.strip_prefix(sep));
+    let Some(reason) = reason else {
+        return Err("missing separator before the reason".to_string());
+    };
+    let reason = reason.trim_end_matches("*/").trim();
+    if reason.len() < 3 {
+        return Err("a non-empty reason is mandatory".to_string());
+    }
+    Ok(rules)
+}
+
+/// Marks a matching suppression used and reports whether `rule` at
+/// `line` is covered. A suppression on line L covers findings on L
+/// (trailing comment) and L+1 (comment on its own line).
+pub fn covers(sups: &mut [Suppression], rule: &str, line: u32) -> bool {
+    for s in sups.iter_mut() {
+        if (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule) {
+            s.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
+        let toks = lex(src);
+        parse(src, &toks)
+    }
+
+    #[test]
+    fn well_formed_suppression_parses() {
+        let src = "// aba-lint: allow(hash-nondeterminism) \u{2014} membership only, order never read\nuse std::collections::HashSet;\n";
+        let (ok, bad) = parse_src(src);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rules, vec!["hash-nondeterminism"]);
+        assert_eq!(ok[0].line, 1);
+    }
+
+    #[test]
+    fn ascii_separators_accepted() {
+        for sep in ["--", "-", ":"] {
+            let src = format!("// aba-lint: allow(panic-hygiene) {sep} startup-only invariant\n");
+            let (ok, bad) = parse_src(&src);
+            assert!(bad.is_empty(), "sep {sep}: {bad:?}");
+            assert_eq!(ok.len(), 1, "sep {sep}");
+        }
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let (ok, bad) = parse_src("// aba-lint: allow(hash-nondeterminism)\n");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].why.contains("separator"), "{}", bad[0].why);
+        let (ok2, bad2) = parse_src("// aba-lint: allow(hash-nondeterminism) \u{2014}  \n");
+        assert!(ok2.is_empty());
+        assert_eq!(bad2.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let (ok, bad) = parse_src("// aba-lint: allow(no-such-rule) \u{2014} reason text\n");
+        assert!(ok.is_empty());
+        assert!(bad[0].why.contains("unknown rule"));
+    }
+
+    #[test]
+    fn multi_rule_allow_and_coverage() {
+        let src =
+            "// aba-lint: allow(hash-nondeterminism, float-determinism) \u{2014} test vector\nlet x = 1;\n";
+        let (mut ok, bad) = parse_src(src);
+        assert!(bad.is_empty());
+        assert!(covers(&mut ok, "float-determinism", 2));
+        assert!(covers(&mut ok, "hash-nondeterminism", 1));
+        assert!(!covers(&mut ok, "seam-bypass", 2));
+        assert!(ok[0].used);
+    }
+}

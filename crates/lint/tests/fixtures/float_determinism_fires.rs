@@ -1,0 +1,10 @@
+//! Fixture: a partial_cmp float sort and a narrowing cast on a
+//! library path.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}

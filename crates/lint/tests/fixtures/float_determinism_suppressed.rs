@@ -1,0 +1,11 @@
+//! Fixture: the same float sites, acknowledged with reasoned allows.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    // aba-lint: allow(float-determinism) — fixture: display-only ordering that never reaches artifacts
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn narrow(x: f64) -> f32 {
+    // aba-lint: allow(float-determinism) — fixture: intentional narrowing documented at the site
+    x as f32
+}

@@ -1,0 +1,10 @@
+//! Fixture: hash-order iteration on a result path. Never compiled —
+//! linted by tests/rules.rs and the CI negative control.
+
+pub fn tally(votes: &[u64]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for v in votes {
+        seen.insert(*v);
+    }
+    seen.len()
+}

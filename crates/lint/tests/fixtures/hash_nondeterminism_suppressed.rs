@@ -1,0 +1,10 @@
+//! Fixture: the same hash-set use, acknowledged with a reasoned allow.
+
+pub fn tally(votes: &[u64]) -> usize {
+    // aba-lint: allow(hash-nondeterminism) — fixture: membership count only, order never read
+    let mut seen = std::collections::HashSet::new();
+    for v in votes {
+        seen.insert(*v);
+    }
+    seen.len()
+}

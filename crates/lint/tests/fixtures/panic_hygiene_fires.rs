@@ -1,0 +1,6 @@
+//! Fixture: a panic site with no budget to cover it (`--single` pins
+//! the budget at zero).
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture: the same panic site, acknowledged with a reasoned allow.
+
+pub fn head(xs: &[u64]) -> u64 {
+    // aba-lint: allow(panic-hygiene) — fixture: non-empty input is a documented caller invariant
+    *xs.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Fixture: RNG construction that bypasses the stream ledger, plus a
+//! reference to a stream the ledger never declared.
+
+pub fn fresh_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+pub fn side_stream() -> u64 {
+    streams::SIDE_CHANNEL
+}

@@ -1,0 +1,6 @@
+//! Fixture: the same raw construction, acknowledged with a reasoned allow.
+
+pub fn fresh_rng(seed: u64) -> SmallRng {
+    // aba-lint: allow(rng-stream-ledger) — fixture: compat shim mirroring the upstream constructor
+    SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,7 @@
+//! Fixture: mailbox construction and mutation outside the delivery seam.
+
+pub fn forge() -> RoundMailbox {
+    let mut wire = RoundMailbox::new(8);
+    wire.knock_out(3);
+    wire
+}

@@ -1,0 +1,9 @@
+//! Fixture: the same mailbox mutation, acknowledged with reasoned allows.
+
+pub fn forge() -> RoundMailbox {
+    // aba-lint: allow(seam-bypass) — fixture: replay adapter reconstructing recorded wire state
+    let mut wire = RoundMailbox::new(8);
+    // aba-lint: allow(seam-bypass) — fixture: replay adapter reconstructing recorded wire state
+    wire.knock_out(3);
+    wire
+}

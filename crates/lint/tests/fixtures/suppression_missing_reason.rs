@@ -1,0 +1,10 @@
+//! Fixture: an allow without a reason is itself a diagnostic.
+
+pub fn tally(votes: &[u64]) -> usize {
+    // aba-lint: allow(hash-nondeterminism)
+    let mut seen = std::collections::HashSet::new();
+    for v in votes {
+        seen.insert(*v);
+    }
+    seen.len()
+}

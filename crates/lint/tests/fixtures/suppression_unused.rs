@@ -1,0 +1,6 @@
+//! Fixture: an allow that matches no finding is a stale annotation.
+
+pub fn quiet() -> u64 {
+    // aba-lint: allow(seam-bypass) — fixture: stale annotation with nothing left to cover
+    7
+}

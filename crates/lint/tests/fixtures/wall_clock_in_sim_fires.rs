@@ -1,0 +1,6 @@
+//! Fixture: a wall-clock read in library code.
+
+pub fn trial_nanos() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

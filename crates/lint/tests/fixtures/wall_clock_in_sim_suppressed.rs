@@ -1,0 +1,7 @@
+//! Fixture: the same clock read, acknowledged with a reasoned allow.
+
+pub fn trial_nanos() -> u128 {
+    // aba-lint: allow(wall-clock-in-sim) — fixture: harness-side timing that never reaches results
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

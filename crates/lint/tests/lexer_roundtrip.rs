@@ -1,0 +1,57 @@
+//! Differential test: lexing any workspace file and concatenating the
+//! token texts must reproduce the source byte-for-byte. Run over every
+//! Rust file in the repository, this pins the lexer against the full
+//! variety of syntax the rules will ever see.
+
+use aba_lint::lexer::lex;
+use aba_lint::source::collect_workspace;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn every_workspace_file_roundtrips() {
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    assert!(
+        files.len() > 40,
+        "suspiciously few files ({}) — walk broken?",
+        files.len()
+    );
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs).expect("readable");
+        let tokens = lex(&src);
+        let mut rebuilt = String::with_capacity(src.len());
+        for t in &tokens {
+            rebuilt.push_str(t.text(&src));
+        }
+        assert_eq!(rebuilt, src, "round-trip mismatch in {}", f.rel);
+        // Token spans tile the file: contiguous, in order, no gaps.
+        let mut pos = 0usize;
+        for t in &tokens {
+            assert_eq!(t.start, pos, "gap/overlap at byte {pos} in {}", f.rel);
+            assert!(t.end > t.start, "empty token at byte {pos} in {}", f.rel);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "trailing bytes unlexed in {}", f.rel);
+    }
+}
+
+/// Line numbers are consistent with the newline count of everything
+/// lexed before each token.
+#[test]
+fn line_numbers_match_newline_counts() {
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    for f in files.iter().take(20) {
+        let src = std::fs::read_to_string(&f.abs).expect("readable");
+        for t in lex(&src) {
+            let expected = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+            assert_eq!(
+                t.line, expected,
+                "line drift in {} at byte {}",
+                f.rel, t.start
+            );
+        }
+    }
+}

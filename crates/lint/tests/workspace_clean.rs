@@ -1,0 +1,28 @@
+//! The workspace's own lint gate, as a test: the repository must be
+//! finding-free, and the full pass must stay fast enough to sit in CI
+//! ahead of the test matrix.
+
+use aba_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+#[allow(clippy::disallowed_methods)] // timing the lint pass itself is the point
+fn workspace_is_lint_clean() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let t0 = std::time::Instant::now();
+    let diags = lint_workspace(root).expect("workspace walk");
+    let elapsed = t0.elapsed();
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        elapsed.as_secs() < 5,
+        "full lint pass took {elapsed:?}; the CI gate budget is 5s"
+    );
+}

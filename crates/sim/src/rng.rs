@@ -85,6 +85,8 @@ mod tests {
 
     #[test]
     fn node_streams_are_pairwise_distinct_for_small_networks() {
+        #[allow(clippy::disallowed_methods)]
+        // aba-lint: allow(hash-nondeterminism) — collision probe only; iteration order never observed
         let mut seen = std::collections::HashSet::new();
         for i in 0..1024 {
             assert!(seen.insert(derive_seed(9, i)), "collision at stream {i}");

@@ -107,6 +107,7 @@ fn corrupted_nodes_are_frozen() {
         let mut sim = Simulation::new(cfg, probes(n, deadline), Scripted { script });
         while sim.step() {}
         // Corruption rounds, by node.
+        // aba-lint: allow(hash-nondeterminism) — keyed lookup only; iteration order never observed
         let corrupted_at: std::collections::HashMap<usize, u64> = sim
             .ledger()
             .history()

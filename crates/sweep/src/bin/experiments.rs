@@ -87,6 +87,7 @@ fn main() -> ExitCode {
 
     for def in defs {
         eprintln!("running {} — {} ...", def.id, def.title);
+        #[allow(clippy::disallowed_methods)] // stderr progress timing, never in results
         let started = std::time::Instant::now();
         let report = (def.runner)(&params);
         eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());

@@ -205,6 +205,7 @@ mod tests {
     fn registry_is_complete_and_unique() {
         let defs = all();
         assert_eq!(defs.len(), 16);
+        // aba-lint: allow(hash-nondeterminism) — uniqueness count only; iteration order never observed
         let ids: std::collections::HashSet<&str> = defs.iter().map(|d| d.id).collect();
         assert_eq!(ids.len(), 16);
         assert!(by_id("e3").is_some());

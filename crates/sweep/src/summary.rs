@@ -12,7 +12,7 @@
 //! count.
 
 use crate::spec::{attack_key, info_key, network_key, protocol_key, CellSpec};
-use aba_analysis::stats::{percentile_nearest_rank, Proportion};
+use aba_analysis::stats::{percentile_nearest_rank, sum_value_ordered, Proportion};
 use aba_harness::TrialResult;
 
 /// Streaming accumulator over one cell's trials.
@@ -98,9 +98,6 @@ impl CellAccum {
         assert!(self.trials > 0, "summarizing an empty cell");
         let mut rounds = self.rounds.clone();
         rounds.sort_unstable();
-        // Sum the fractions in value order: merge-order invariant.
-        let mut fractions = self.agree_fractions.clone();
-        fractions.sort_unstable_by(f64::total_cmp);
         let s = &cell.scenario;
         CellSummary {
             key: cell.key.clone(),
@@ -127,7 +124,7 @@ impl CellAccum {
             sum_dropped: self.sum_dropped,
             sum_delayed: self.sum_delayed,
             sum_corruptions: self.sum_corruptions,
-            sum_agree_fraction: fractions.iter().sum(),
+            sum_agree_fraction: sum_value_ordered(&self.agree_fractions),
             oracle_violations: self.oracle_violations,
         }
     }
@@ -313,6 +310,35 @@ mod tests {
         assert_eq!(tree_a.summarize(&c, "fixed"), s0);
         assert_eq!(tree_b.summarize(&c, "fixed"), s0);
         assert_eq!(s0.trials, 9);
+    }
+
+    #[test]
+    fn shuffled_push_order_is_bitwise_identical() {
+        // Beyond merge-tree invariance: the float fraction sum must be
+        // identical to the last bit under any push order.
+        let trials: Vec<TrialResult> = (0..12)
+            .map(|i| trial(i, i + 1, true, 1.0 / (i as f64 + 1.0)))
+            .collect();
+        let summarize_in = |order: &[usize]| {
+            let mut a = CellAccum::new();
+            for &i in order {
+                a.push(&trials[i]);
+            }
+            a.summarize(&cell(), "fixed").sum_agree_fraction
+        };
+        let forward: Vec<usize> = (0..trials.len()).collect();
+        let canonical = summarize_in(&forward);
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        assert_eq!(canonical.to_bits(), summarize_in(&reversed).to_bits());
+        // Evens then odds — a worker-interleaving-shaped permutation.
+        let interleaved: Vec<usize> = forward
+            .iter()
+            .filter(|i| *i % 2 == 0)
+            .chain(forward.iter().filter(|i| *i % 2 == 1))
+            .copied()
+            .collect();
+        assert_eq!(canonical.to_bits(), summarize_in(&interleaved).to_bits());
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn main() {
     let _ = std::fs::remove_file(&ckpt);
 
     println!("== fresh campaign ({} cells)", spec.cells().len());
+    #[allow(clippy::disallowed_methods)] // demo-shell progress timing, never in results
     let started = std::time::Instant::now();
     let fresh = spec.run_with(&RunOptions {
         workers: 0,
@@ -86,6 +87,7 @@ fn main() {
     }
 
     println!("== resumed campaign (from {})", ckpt.display());
+    #[allow(clippy::disallowed_methods)] // demo-shell progress timing, never in results
     let started = std::time::Instant::now();
     let resumed = spec.run_with(&RunOptions {
         workers: 0,

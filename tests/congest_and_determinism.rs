@@ -58,6 +58,7 @@ fn different_seeds_differ_somewhere() {
         .adversary(AttackSpec::SplitVote)
         .max_rounds(40_000);
     let results = base.trials(16).run_batch().results;
+    // aba-lint: allow(hash-nondeterminism) — distinctness count only; iteration order never observed
     let distinct_rounds: std::collections::HashSet<u64> =
         results.iter().map(|r| r.rounds).collect();
     assert!(
