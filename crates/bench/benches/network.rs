@@ -74,8 +74,45 @@ fn main() {
     bench_small(&group, n, rounds, cfg);
     bench_large();
     bench_oracle(n, rounds, cfg);
+    bench_probe(n, rounds, cfg);
 
     aba_bench::finish();
+}
+
+/// The probe-seam overhead pair: the same engine workload with
+/// `NoProbe` (the default fifth generic, which must cost nothing) and
+/// with the full `EventProbe` (event log + metrics registry) attached.
+/// CI pins `probe/event-probe` at ≤5% over `probe/no-probe` *within
+/// this run* (see `check_overhead`), extending the oracle-seam budget
+/// to observed runs.
+fn bench_probe(n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {
+    use aba_obs::EventProbe;
+
+    let group = Group::new("probe");
+    group.bench("no-probe", || {
+        Simulation::with_instruments(
+            cfg(),
+            nodes(n, rounds),
+            Benign,
+            NetDelivery::new(Synchronous, 1),
+            NoOracle,
+            NoProbe,
+        )
+        .run()
+        .rounds
+    });
+    group.bench("event-probe", || {
+        let (report, _, probe) = Simulation::with_instruments(
+            cfg(),
+            nodes(n, rounds),
+            Benign,
+            NetDelivery::new(Synchronous, 1),
+            NoOracle,
+            EventProbe::new(),
+        )
+        .run_instrumented();
+        report.rounds + probe.log().len() as u64
+    });
 }
 
 /// The oracle-seam overhead pair: the same engine workload with

@@ -62,12 +62,50 @@ pub fn records() -> Vec<BenchRecord> {
     RECORDS.lock().expect("records lock").clone()
 }
 
+/// Machine-environment snapshot written into the JSON header by
+/// [`finish`]: logical core count, `rustc --version`, and the current
+/// git revision (each `"unknown"`/`0` where unavailable). Comparisons
+/// ignore it — [`parse_bench_json`] only reads measurement lines — so
+/// it exists to let humans judge whether two `BENCH_*.json` files came
+/// from comparable machines.
+fn env_meta_json() -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let probe = |prog: &str, args: &[&str]| -> String {
+        std::process::Command::new(prog)
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    };
+    let rustc = probe("rustc", &["--version"]);
+    let git_rev = probe("git", &["rev-parse", "--short", "HEAD"]);
+    format!(
+        "\"meta\": {{\"cores\": {cores}, \"rustc\": \"{}\", \"git_rev\": \"{}\"}}",
+        esc(&rustc),
+        esc(&git_rev)
+    )
+}
+
 /// Renders records as a JSON document (hand-rolled: offline workspace,
 /// no serde). Group/label strings are benchmark-author-controlled ASCII,
-/// but quotes and backslashes are escaped anyway.
-fn records_to_json(records: &[BenchRecord]) -> String {
+/// but quotes and backslashes are escaped anyway. `meta` is an optional
+/// pre-rendered `"meta": {...}` header member (see [`env_meta_json`]).
+fn records_to_json(records: &[BenchRecord], meta: Option<&str>) -> String {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-    let mut out = String::from("{\n  \"benches\": [");
+    let mut out = String::from("{\n");
+    if let Some(meta) = meta {
+        out.push_str("  ");
+        out.push_str(meta);
+        out.push_str(",\n");
+    }
+    out.push_str("  \"benches\": [");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -102,7 +140,7 @@ pub fn finish() {
     while let Some(a) = args.next() {
         if a == "--json" {
             let path = args.next().expect("--json needs a path");
-            let json = records_to_json(&records());
+            let json = records_to_json(&records(), Some(&env_meta_json()));
             std::fs::write(&path, json)
                 .unwrap_or_else(|e| panic!("cannot write bench JSON to {path}: {e}"));
             eprintln!("wrote bench results to {path}");
@@ -114,6 +152,8 @@ pub fn finish() {
 /// Parses a `BENCH_*.json` document produced by [`finish`] back into
 /// records. Hand-rolled like the writer: the format is exactly what
 /// [`finish`] emits — one object per line inside the `"benches"` array.
+/// The `"meta"` header (environment metadata) is deliberately ignored,
+/// so comparisons never depend on where a file was produced.
 ///
 /// # Errors
 ///
@@ -428,8 +468,22 @@ mod tests {
                 iters: 1,
             },
         ];
-        let parsed = parse_bench_json(&records_to_json(&records)).expect("parses");
+        let parsed = parse_bench_json(&records_to_json(&records, None)).expect("parses");
         assert_eq!(parsed, records);
+        // The environment header is skipped by the parser: two files
+        // from different machines parse to comparable records.
+        let meta = "\"meta\": {\"cores\": 4, \"rustc\": \"rustc 1.0.0\", \"git_rev\": \"abc123\"}";
+        let parsed = parse_bench_json(&records_to_json(&records, Some(meta))).expect("parses");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn env_meta_has_all_fields() {
+        let meta = env_meta_json();
+        assert!(meta.starts_with("\"meta\": {"));
+        for key in ["\"cores\": ", "\"rustc\": \"", "\"git_rev\": \""] {
+            assert!(meta.contains(key), "missing {key} in {meta}");
+        }
     }
 
     #[test]
@@ -547,22 +601,25 @@ mod tests {
 
     #[test]
     fn json_rendering_is_well_formed() {
-        let json = records_to_json(&[
-            BenchRecord {
-                group: "g".into(),
-                label: "a\"b".into(),
-                mean_ns: 12,
-                best_ns: 10,
-                iters: 3,
-            },
-            BenchRecord {
-                group: "g".into(),
-                label: "plain".into(),
-                mean_ns: 99,
-                best_ns: 98,
-                iters: 1,
-            },
-        ]);
+        let json = records_to_json(
+            &[
+                BenchRecord {
+                    group: "g".into(),
+                    label: "a\"b".into(),
+                    mean_ns: 12,
+                    best_ns: 10,
+                    iters: 3,
+                },
+                BenchRecord {
+                    group: "g".into(),
+                    label: "plain".into(),
+                    mean_ns: 99,
+                    best_ns: 98,
+                    iters: 1,
+                },
+            ],
+            None,
+        );
         assert!(json.starts_with("{\n  \"benches\": ["));
         assert!(json.contains("\"label\": \"a\\\"b\""));
         assert!(json.contains("\"mean_ns\": 99"));

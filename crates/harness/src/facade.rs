@@ -140,6 +140,18 @@ impl ScenarioBuilder {
         crate::check::check_scenario(&self.scenario)
     }
 
+    /// Runs a single trial with the deterministic observability channel
+    /// attached on top of [`ScenarioBuilder::check`]: the result and
+    /// oracle report are identical, plus the trial's structured event
+    /// log and metrics registry (see `aba-obs`).
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`ScenarioBuilder::run`].
+    pub fn observe(&self) -> crate::observe::ObservedTrial {
+        crate::observe::observe_scenario(&self.scenario)
+    }
+
     /// Runs the configured number of trials with oracles attached, in
     /// parallel (seeds `seed..seed + trials`), in seed order.
     ///

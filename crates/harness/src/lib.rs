@@ -28,12 +28,14 @@
 
 pub mod check;
 pub mod facade;
+pub mod observe;
 pub mod report;
 pub(crate) mod runner;
 pub mod scenario;
 
 pub use check::{check_scenario, replay_scenario, shrink_violation, CheckedTrial, Repro};
 pub use facade::{run_scenario, BatchReport, ScenarioBuilder};
+pub use observe::{observe_replay, observe_scenario, ObservedReplay, ObservedTrial};
 pub use report::Report;
 pub use runner::{ReplayOutcome, TrialResult};
 pub use scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};

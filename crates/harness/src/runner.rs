@@ -22,8 +22,10 @@ use aba_attacks::{
 use aba_check::TraceRecorder;
 use aba_coin::CoinFlipNode;
 use aba_net::{BoundedDelay, LossyLinks, NetDelivery, Partition, Synchronous};
+use aba_obs::{EventKind, EventProbe};
 use aba_sim::adversary::Adversary;
 use aba_sim::oracle::{NoOracle, Oracle};
+use aba_sim::probe::{NoProbe, Probe};
 use aba_sim::protocol::Protocol;
 use aba_sim::{RunReport, SimConfig, Simulation, Verdict};
 
@@ -236,43 +238,68 @@ where
     A: Adversary<P>,
     O: Oracle<P::Msg>,
 {
+    let (report, oracle, NoProbe) = simulate_full(s, nodes, adversary, oracle, NoProbe);
+    (report, oracle)
+}
+
+/// The fully-instrumented variant of [`simulate_oracle`]: same network
+/// dispatch, with a probe attached through the engine's third seam.
+/// Probes observe only, so the report and oracle are bit-identical to
+/// the probe-less run.
+fn simulate_full<P, A, O, B>(
+    s: &Scenario,
+    nodes: Vec<P>,
+    adversary: A,
+    oracle: O,
+    probe: B,
+) -> (RunReport, O, B)
+where
+    P: Protocol,
+    A: Adversary<P>,
+    O: Oracle<P::Msg>,
+    B: Probe,
+{
     let cfg = sim_config(s);
     match s.network {
-        NetworkSpec::Synchronous => Simulation::with_oracle(
+        NetworkSpec::Synchronous => Simulation::with_instruments(
             cfg,
             nodes,
             adversary,
             NetDelivery::new(Synchronous, s.seed),
             oracle,
+            probe,
         )
-        .run_with_oracle(),
-        NetworkSpec::LossyLinks { p_drop } => Simulation::with_oracle(
+        .run_instrumented(),
+        NetworkSpec::LossyLinks { p_drop } => Simulation::with_instruments(
             cfg,
             nodes,
             adversary,
             NetDelivery::new(LossyLinks::new(p_drop), s.seed),
             oracle,
+            probe,
         )
-        .run_with_oracle(),
+        .run_instrumented(),
         NetworkSpec::BoundedDelay {
             max_delay,
             scheduler,
-        } => Simulation::with_oracle(
+        } => Simulation::with_instruments(
             cfg,
             nodes,
             adversary,
             NetDelivery::new(BoundedDelay::new(max_delay, scheduler), s.seed),
             oracle,
+            probe,
         )
-        .run_with_oracle(),
-        NetworkSpec::Partition { groups, heal_round } => Simulation::with_oracle(
+        .run_instrumented(),
+        NetworkSpec::Partition { groups, heal_round } => Simulation::with_instruments(
             cfg,
             nodes,
             adversary,
             NetDelivery::new(Partition::striped(s.n, groups, heal_round), s.seed),
             oracle,
+            probe,
         )
-        .run_with_oracle(),
+        .run_instrumented(),
     }
 }
 
@@ -379,6 +406,101 @@ impl Drive for Replayed {
         ReplayOutcome {
             live: eval.trial(s, &live_report, name, downgraded),
             replayed: eval.trial(s, &replay_report, name, downgraded),
+        }
+    }
+}
+
+/// Run once with both the lemma oracles *and* the deterministic-channel
+/// [`EventProbe`] attached; oracle violations are appended to the event
+/// log so the log carries the full story of the trial.
+pub(crate) struct ObserveDrive;
+
+impl Drive for ObserveDrive {
+    type Out = crate::observe::ObservedTrial;
+
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> crate::observe::ObservedTrial
+    where
+        P: Protocol,
+        A: Adversary<P>,
+    {
+        let name = adversary.name();
+        let suite = lemma_suite_for(s);
+        let (report, suite, mut probe) =
+            simulate_full(s, make_nodes(), adversary, suite, EventProbe::new());
+        let oracle = suite.report();
+        for v in &oracle.violations {
+            probe.push(EventKind::Violation {
+                round: v.round,
+                oracle: v.oracle.to_string(),
+                detail: v.detail.clone(),
+            });
+        }
+        let (events, metrics) = probe.into_parts();
+        crate::observe::ObservedTrial {
+            result: eval.trial(s, &report, name, downgraded),
+            oracle,
+            events,
+            metrics,
+        }
+    }
+}
+
+/// Record the live run with the probe attached, re-drive it from the
+/// trace with a fresh probe, and return both observability channels —
+/// the differential that pins "live vs replay event logs are
+/// byte-identical". Neither side gets oracle-violation events appended
+/// (the replay runs oracle-less), keeping the two logs comparable.
+pub(crate) struct ObservedReplayDrive;
+
+impl Drive for ObservedReplayDrive {
+    type Out = crate::observe::ObservedReplay;
+
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> crate::observe::ObservedReplay
+    where
+        P: Protocol,
+        A: Adversary<P>,
+    {
+        let name = adversary.name();
+        let (live_report, recorder, live_probe) = simulate_full(
+            s,
+            make_nodes(),
+            adversary,
+            TraceRecorder::new(),
+            EventProbe::new(),
+        );
+        let (replay_adv, replay_delivery) = recorder.into_recording().into_replay(name);
+        let (replay_report, NoOracle, replay_probe) = Simulation::with_instruments(
+            sim_config(s),
+            make_nodes(),
+            replay_adv,
+            replay_delivery,
+            NoOracle,
+            EventProbe::new(),
+        )
+        .run_instrumented();
+        let (live_events, live_metrics) = live_probe.into_parts();
+        let (replayed_events, replayed_metrics) = replay_probe.into_parts();
+        crate::observe::ObservedReplay {
+            live: eval.trial(s, &live_report, name, downgraded),
+            replayed: eval.trial(s, &replay_report, name, downgraded),
+            live_events,
+            replayed_events,
+            live_metrics,
+            replayed_metrics,
         }
     }
 }

@@ -1,0 +1,274 @@
+//! The deterministic metrics registry: named counters, gauges, and
+//! fixed-boundary histograms.
+//!
+//! Everything here is engineered for **merge-order invariance**: counter
+//! merges add, gauge merges take the maximum, histogram merges add
+//! bucket-wise over identical fixed boundaries — all commutative and
+//! associative — and rendering iterates `BTreeMap`s in key order. A
+//! campaign registry assembled from per-trial registries is therefore a
+//! pure function of the trial set, independent of worker count or
+//! completion order, and its rendered text is pinned by the same
+//! determinism tests as the event log.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fixed histogram bucket boundaries: powers of two from `1` to
+/// `2^31`, plus an implicit overflow bucket. Fixed boundaries (rather
+/// than adaptive ones) are what make histogram merges associative.
+pub const POW2_BOUNDS: [u64; 32] = {
+    let mut b = [0u64; 32];
+    let mut i = 0;
+    while i < 32 {
+        b[i] = 1u64 << i;
+        i += 1;
+    }
+    b
+};
+
+/// A histogram over the fixed [`POW2_BOUNDS`] boundaries. Bucket `i`
+/// counts observations `v` with `v <= POW2_BOUNDS[i]` (first matching
+/// bucket); larger observations land in the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket counts; index `POW2_BOUNDS.len()` is overflow.
+    counts: Vec<u64>,
+    /// Total observations.
+    count: u64,
+    /// Sum of all observations (u128: immune to overflow at any
+    /// realistic campaign size).
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; POW2_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        let idx = POW2_BOUNDS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(POW2_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Adds `other` bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`; the overflow bucket
+    /// reports `u64::MAX` as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (POW2_BOUNDS.get(i).copied().unwrap_or(u64::MAX), *c))
+            .collect()
+    }
+}
+
+/// A named registry of counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `v` to counter `name` (creating it at zero). Allocation-free
+    /// when the counter already exists — this sits on the probe's flush
+    /// path.
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_string(), v);
+        }
+    }
+
+    /// Raises gauge `name` to `v` if `v` is larger (high-water-mark
+    /// semantics — the only gauge merge that is order-invariant).
+    pub fn gauge_max(&mut self, name: &str, v: i64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = (*g).max(v);
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Folds a pre-accumulated histogram into histogram `name`
+    /// (bucket-wise add — same semantics as [`merge`](Self::merge)).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        if let Some(mine) = self.histograms.get_mut(name) {
+            mine.merge(h);
+        } else {
+            self.histograms.insert(name.to_string(), h.clone());
+        }
+    }
+
+    /// Reads counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`: counters add, gauges max, histograms
+    /// add bucket-wise. Commutative and associative, so campaign
+    /// assembly may merge per-trial registries in any order.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(k.clone()).or_insert(i64::MIN);
+            *g = (*g).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Renders the registry as deterministic text, keys sorted within
+    /// each section:
+    ///
+    /// ```text
+    /// counter <name> <value>
+    /// gauge <name> <value>
+    /// hist <name> count=<n> sum=<s> buckets=<le1>:<c1>,<le2>:<c2>,...
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = write!(out, "hist {k} count={} sum={} buckets=", h.count(), h.sum());
+            let buckets = h.nonzero_buckets();
+            for (i, (le, c)) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if *le == u64::MAX {
+                    let _ = write!(out, "inf:{c}");
+                } else {
+                    let _ = write!(out, "{le}:{c}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_powers_of_two() {
+        assert_eq!(POW2_BOUNDS[0], 1);
+        assert_eq!(POW2_BOUNDS[10], 1024);
+        assert_eq!(POW2_BOUNDS[31], 1 << 31);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::default();
+        h.observe(1);
+        h.observe(3);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.nonzero_buckets(), vec![(1, 1), (4, 1), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("msgs", 3);
+        a.gauge_max("edge_bits", 10);
+        a.observe("lat", 5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("msgs", 4);
+        b.gauge_max("edge_bits", 7);
+        b.observe("lat", 900);
+
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.render(), ba.render());
+        assert_eq!(ab.counter("msgs"), 7);
+        assert_eq!(ab.gauge("edge_bits"), Some(10));
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("b", 2);
+        r.counter_add("a", 1);
+        r.observe("h", 2);
+        r.observe("h", 2);
+        assert_eq!(
+            r.render(),
+            "counter a 1\ncounter b 2\nhist h count=2 sum=4 buckets=2:2\n"
+        );
+    }
+}

@@ -20,6 +20,7 @@ use crate::id::{NodeId, Round};
 use crate::mailbox::RoundMailbox;
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::oracle::{NoOracle, Oracle, RoundCtx};
+use crate::probe::{NoProbe, Probe, RoundPhase};
 use crate::protocol::Protocol;
 use crate::rng::{self, streams};
 use crate::trace::{Event, Trace};
@@ -157,17 +158,22 @@ impl RunReport {
 /// and defaults to [`NoOracle`], whose empty inline hooks make the
 /// unobserved engine bit-identical in behaviour and cost to the
 /// pre-oracle engine; checkers attach via [`Simulation::with_oracle`].
+/// The fifth selects the instrumentation [`Probe`] and defaults to
+/// [`NoProbe`] under the same zero-cost contract; observers attach via
+/// [`Simulation::with_instruments`].
 pub struct Simulation<
     P: Protocol,
     A: Adversary<P>,
     D: Delivery<P::Msg> = PassThrough,
     O: Oracle<P::Msg> = NoOracle,
+    B: Probe = NoProbe,
 > {
     cfg: SimConfig,
     nodes: Vec<P>,
     adversary: A,
     delivery: D,
     oracle: O,
+    probe: B,
     ledger: CorruptionLedger,
     node_rngs: Vec<SmallRng>,
     adv_rng: SmallRng,
@@ -266,6 +272,45 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
         delivery: D,
         oracle: O,
     ) -> Result<Self, SimError> {
+        Simulation::try_with_instruments(cfg, nodes, adversary, delivery, oracle, NoProbe)
+    }
+}
+
+impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>, B: Probe>
+    Simulation<P, A, D, O, B>
+{
+    /// Creates a fully-instrumented simulation: explicit delivery stage,
+    /// online oracle, and engine probe (see [`Probe`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::new`].
+    pub fn with_instruments(
+        cfg: SimConfig,
+        nodes: Vec<P>,
+        adversary: A,
+        delivery: D,
+        oracle: O,
+        probe: B,
+    ) -> Self {
+        Self::try_with_instruments(cfg, nodes, adversary, delivery, oracle, probe)
+            .expect("invalid simulation setup")
+    }
+
+    /// Fallible fully-instrumented constructor. The probe's
+    /// [`Probe::run_start`] hook fires here, on the validated config.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::try_new`].
+    pub fn try_with_instruments(
+        cfg: SimConfig,
+        nodes: Vec<P>,
+        adversary: A,
+        delivery: D,
+        oracle: O,
+        mut probe: B,
+    ) -> Result<Self, SimError> {
         if cfg.n == 0 {
             return Err(SimError::BadNetworkSize { n: 0 });
         }
@@ -283,6 +328,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
         } else {
             Trace::disabled()
         };
+        probe.run_start(&cfg);
         Ok(Simulation {
             halted: vec![false; cfg.n],
             halt_rounds: vec![None; cfg.n],
@@ -293,6 +339,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
             adversary,
             delivery,
             oracle,
+            probe,
             ledger,
             node_rngs,
             adv_rng,
@@ -343,6 +390,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
         let n = self.cfg.n;
         let round = self.round;
         self.trace.push(Event::RoundStart { round });
+        self.probe.round_start(round);
 
         // Phase 1: live honest nodes emit. The round mailbox is pooled:
         // taken from the previous round's arrivals, cleared in place.
@@ -366,8 +414,10 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
                     node: id,
                     output: self.outputs[i],
                 });
+                self.probe.halt(round, id, self.outputs[i]);
             }
         }
+        self.probe.phase_end(round, RoundPhase::Emit);
 
         // Phase 2: the adversary acts.
         let corruptions_before = self.ledger.used();
@@ -394,6 +444,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
                 node: *id,
                 total: self.ledger.used(),
             });
+            self.probe.corruption(round, *id, self.ledger.used());
         }
         // Every corrupted node's slot is reset: silent unless the action
         // provides an emission. This also erases the honest emission of a
@@ -410,6 +461,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
             }
             mailbox.set(id, send);
         }
+        self.probe.phase_end(round, RoundPhase::Adversary);
 
         // Phase 3: the delivery stage decides what arrives this round
         // (emission metrics are taken from the wire mailbox first, so
@@ -419,6 +471,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
         let round_bits = mailbox.total_bits();
         let round_max_edge = mailbox.max_edge_bits();
         let (arrivals, delivery_stats) = self.delivery.deliver(round, mailbox, &self.ledger);
+        self.probe.phase_end(round, RoundPhase::Deliver);
         for i in 0..n {
             let id = NodeId::new(i as u32);
             if self.halted[i] || self.ledger.is_corrupted(id) {
@@ -434,8 +487,10 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
                     node: id,
                     output: self.outputs[i],
                 });
+                self.probe.halt(round, id, self.outputs[i]);
             }
         }
+        self.probe.phase_end(round, RoundPhase::Receive);
 
         // Phase 4: metrics, and the oracle's end-of-round observation
         // (the arrivals mailbox is still at hand here).
@@ -465,6 +520,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
             halted: &self.halted,
             outputs: &self.outputs,
         });
+        self.probe.round_end(round, &round_metrics);
         self.metrics.absorb(round_metrics, self.cfg.record_rounds);
         // The arrivals mailbox becomes next round's pooled wire mailbox.
         self.mailbox_pool = arrivals;
@@ -483,19 +539,33 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
 
     /// Runs to completion, returning the report and the oracle (with
     /// whatever it recorded or concluded).
-    pub fn run_with_oracle(mut self) -> (RunReport, O) {
+    pub fn run_with_oracle(self) -> (RunReport, O) {
+        let (report, oracle, _) = self.run_instrumented();
+        (report, oracle)
+    }
+
+    /// Runs to completion, returning the report, the oracle, and the
+    /// probe (with whatever each recorded).
+    pub fn run_instrumented(mut self) -> (RunReport, O, B) {
         while self.step() {}
-        self.into_report_and_oracle()
+        self.into_parts()
     }
 
     /// Finalizes a (possibly partially stepped) simulation into a report.
     pub fn into_report(self) -> RunReport {
-        self.into_report_and_oracle().0
+        self.into_parts().0
     }
 
-    /// Finalizes into the report plus the oracle. The oracle's
-    /// [`Oracle::observe_end`] hook fires here, on the finished report.
-    pub fn into_report_and_oracle(mut self) -> (RunReport, O) {
+    /// Finalizes into the report plus the oracle (the probe is dropped).
+    pub fn into_report_and_oracle(self) -> (RunReport, O) {
+        let (report, oracle, _) = self.into_parts();
+        (report, oracle)
+    }
+
+    /// Finalizes into the report, the oracle, and the probe. The
+    /// oracle's [`Oracle::observe_end`] and the probe's
+    /// [`Probe::run_end`] hooks fire here, on the finished report.
+    pub fn into_parts(mut self) -> (RunReport, O, B) {
         let honest: Vec<bool> = (0..self.cfg.n)
             .map(|i| !self.ledger.is_corrupted(NodeId::new(i as u32)))
             .collect();
@@ -521,7 +591,8 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
             trace: self.trace,
         };
         self.oracle.observe_end(&report);
-        (report, self.oracle)
+        self.probe.run_end(&report);
+        (report, self.oracle, self.probe)
     }
 }
 

@@ -73,6 +73,7 @@ pub mod mailbox;
 pub mod message;
 pub mod metrics;
 pub mod oracle;
+pub mod probe;
 pub mod protocol;
 pub mod rng;
 pub mod trace;
@@ -85,8 +86,9 @@ pub use error::SimError;
 pub use id::{NodeId, Round};
 pub use mailbox::{Inbox, RoundMailbox};
 pub use message::{Emission, Message};
-pub use metrics::{RoundMetrics, RunMetrics};
+pub use metrics::{RoundMetrics, RunMetrics, PER_ROUND_CAP};
 pub use oracle::{NoOracle, Oracle, RoundCtx};
+pub use probe::{NoProbe, Probe, RoundPhase};
 pub use protocol::Protocol;
 pub use trace::{Event, Trace};
 pub use verdict::Verdict;
@@ -104,6 +106,7 @@ pub mod prelude {
     pub use crate::message::{Emission, Message};
     pub use crate::metrics::{RoundMetrics, RunMetrics};
     pub use crate::oracle::{NoOracle, Oracle, RoundCtx};
+    pub use crate::probe::{NoProbe, Probe, RoundPhase};
     pub use crate::protocol::Protocol;
     pub use crate::trace::{Event, Trace};
     pub use crate::verdict::Verdict;

@@ -29,6 +29,14 @@ pub struct RoundMetrics {
     pub delayed: usize,
 }
 
+/// Capacity of the per-round ring buffer: recording keeps the **most
+/// recent** `PER_ROUND_CAP` rounds, so probe-enabled long-horizon runs
+/// (the sampling dynamics run for thousands of rounds; future async
+/// engines for more) hold bounded memory instead of growing linearly.
+/// Evictions are counted in [`RunMetrics::per_round_dropped`] so every
+/// export can carry an explicit "truncated" marker.
+pub const PER_ROUND_CAP: usize = 4096;
+
 /// Aggregated measurements for a whole run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunMetrics {
@@ -52,7 +60,17 @@ pub struct RunMetrics {
     /// Total delay events (see [`RoundMetrics::delayed`]).
     pub total_delayed: usize,
     /// Per-round breakdown (present only when recording is enabled).
+    ///
+    /// This is a **ring buffer** capped at [`PER_ROUND_CAP`]: once the
+    /// cap is reached the oldest round is overwritten, so the vector's
+    /// storage order is rotated. Read through
+    /// [`RunMetrics::per_round_ordered`] for chronological order and
+    /// check [`RunMetrics::per_round_truncated`] before treating it as
+    /// the complete history.
     pub per_round: Vec<RoundMetrics>,
+    /// Rounds evicted from [`RunMetrics::per_round`] by the ring-buffer
+    /// cap — non-zero exactly when the recorded history is truncated.
+    pub per_round_dropped: u64,
 }
 
 impl RunMetrics {
@@ -76,8 +94,38 @@ impl RunMetrics {
         self.total_dropped += rm.dropped;
         self.total_delayed += rm.delayed;
         if keep_round {
-            self.per_round.push(rm);
+            if self.per_round.len() < PER_ROUND_CAP {
+                self.per_round.push(rm);
+            } else {
+                // Ring eviction: round index r lands in slot r % CAP, so
+                // the slot being overwritten always holds the oldest
+                // surviving round.
+                let slot = ((self.rounds - 1) % PER_ROUND_CAP as u64) as usize;
+                self.per_round[slot] = rm;
+                self.per_round_dropped += 1;
+            }
         }
+    }
+
+    /// Whether the per-round ring buffer evicted any rounds — exports
+    /// must surface this as an explicit "truncated" marker.
+    pub fn per_round_truncated(&self) -> bool {
+        self.per_round_dropped > 0
+    }
+
+    /// The recorded rounds in chronological order (oldest surviving
+    /// round first), undoing the ring buffer's storage rotation. When
+    /// nothing was evicted this is simply a copy of
+    /// [`RunMetrics::per_round`].
+    pub fn per_round_ordered(&self) -> Vec<RoundMetrics> {
+        if !self.per_round_truncated() {
+            return self.per_round.clone();
+        }
+        let head = (self.rounds % PER_ROUND_CAP as u64) as usize;
+        let mut out = Vec::with_capacity(self.per_round.len());
+        out.extend_from_slice(&self.per_round[head..]);
+        out.extend_from_slice(&self.per_round[..head]);
+        out
     }
 
     /// Average messages per round, if any rounds ran.
@@ -143,5 +191,47 @@ mod tests {
         m.absorb(RoundMetrics::default(), false);
         assert_eq!(m.rounds, 1);
         assert!(m.per_round.is_empty());
+        assert!(!m.per_round_truncated());
+    }
+
+    /// One round's metrics tagged with a recognizable message count.
+    fn tagged(i: usize) -> RoundMetrics {
+        RoundMetrics {
+            messages: i,
+            ..RoundMetrics::default()
+        }
+    }
+
+    #[test]
+    fn per_round_ring_keeps_most_recent_rounds() {
+        let mut m = RunMetrics::new(true);
+        let total = PER_ROUND_CAP + 100;
+        for i in 0..total {
+            m.absorb(tagged(i), true);
+        }
+        assert_eq!(m.per_round.len(), PER_ROUND_CAP);
+        assert_eq!(m.per_round_dropped, 100);
+        assert!(m.per_round_truncated());
+        let ordered = m.per_round_ordered();
+        assert_eq!(ordered.len(), PER_ROUND_CAP);
+        assert_eq!(ordered[0].messages, 100, "oldest surviving round");
+        assert_eq!(ordered[PER_ROUND_CAP - 1].messages, total - 1, "newest");
+        // Chronological throughout, not just at the ends.
+        assert!(ordered
+            .windows(2)
+            .all(|w| w[1].messages == w[0].messages + 1));
+        // Totals are unaffected by eviction.
+        assert_eq!(m.rounds, total as u64);
+    }
+
+    #[test]
+    fn per_round_below_cap_is_complete_and_in_order() {
+        let mut m = RunMetrics::new(true);
+        for i in 0..10 {
+            m.absorb(tagged(i), true);
+        }
+        assert_eq!(m.per_round_dropped, 0);
+        assert_eq!(m.per_round_ordered(), m.per_round);
+        assert_eq!(m.per_round.len(), 10);
     }
 }

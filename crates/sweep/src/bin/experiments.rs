@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! aba-experiments [--exp all|e1|e2|...] [--quick] [--seed N] [--out DIR] [--list]
+//!                 [--quiet] [--verbose]
 //! ```
 
+use aba_obs::log::{self, Verbosity};
 use aba_sweep::experiments::{self, ExpParams};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,10 +41,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
             "--list" => args.list = true,
+            "--quiet" => log::set_verbosity(Verbosity::Quiet),
+            "--verbose" => log::set_verbosity(Verbosity::Verbose),
             "--help" | "-h" => {
                 println!(
                     "usage: aba-experiments [--exp all|e1..e16] [--quick] [--seed N] \
-                     [--out DIR] [--list]"
+                     [--out DIR] [--list] [--quiet] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -86,15 +90,18 @@ fn main() -> ExitCode {
     };
 
     for def in defs {
-        eprintln!("running {} — {} ...", def.id, def.title);
+        log::info(&format!("running {} — {} ...", def.id, def.title));
         #[allow(clippy::disallowed_methods)] // stderr progress timing, never in results
         let started = std::time::Instant::now();
         let report = (def.runner)(&params);
-        eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());
+        log::info(&format!(
+            "  done in {:.1}s",
+            started.elapsed().as_secs_f64()
+        ));
         println!("{}", report.to_markdown());
         if let Some(dir) = &args.out {
             if let Err(e) = report.write_to(dir) {
-                eprintln!("error writing {}: {e}", def.id);
+                log::warn(&format!("error writing {}: {e}", def.id));
                 return ExitCode::FAILURE;
             }
         }

@@ -20,10 +20,13 @@
 
 use crate::artifact::CampaignResult;
 use crate::checkpoint;
+use crate::profiling::ExecProfiler;
 use crate::spec::{CampaignSpec, CellSpec};
 use crate::stop::StopDecision;
 use crate::summary::{CellAccum, CellSummary};
 use aba_harness::TrialResult;
+use aba_obs::log as obslog;
+use aba_obs::{chrome_trace, collapsed_from_log, EventKind, EventLog, MetricsRegistry};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
@@ -45,6 +48,22 @@ pub struct RunOptions {
     /// repro JSON here through the same atomic temp+rename path as
     /// checkpoints. Artifact bytes are worker-count independent.
     pub repro_dir: Option<PathBuf>,
+    /// Where to write the **deterministic** observability artifacts
+    /// (`{name}.events.log`, `{name}.metrics.txt`, `{name}.trace.json`,
+    /// `{name}.collapsed.txt`). When set, every trial runs with the
+    /// `aba-obs` event probe attached; the campaign log splices
+    /// per-trial logs in grid/trial order, so all four files are
+    /// byte-identical at any worker count (pinned by
+    /// `tests/obs_campaign.rs`). Trial results and the ordinary
+    /// artifacts are unaffected — probes observe only.
+    pub obs_dir: Option<PathBuf>,
+    /// Where to write the **wall-clock** timing artifacts
+    /// (`{name}.timing.csv`, `{name}.profile.json`,
+    /// `{name}.timing.collapsed.txt` — see [`crate::profiling`]).
+    /// Explicitly non-deterministic; never mixed into the
+    /// byte-deterministic artifacts. `None` (the default) means no
+    /// clocks are read at all.
+    pub profile_dir: Option<PathBuf>,
 }
 
 /// Per-cell mutable state behind the queue lock.
@@ -52,6 +71,10 @@ struct CellRun {
     /// Trial results (with the trial's oracle-violation count), indexed
     /// by trial number; `None` = in flight.
     results: Vec<Option<(TrialResult, usize)>>,
+    /// Per-trial deterministic observability capture, parallel to
+    /// `results` (populated only when `RunOptions::obs_dir` is set;
+    /// retained through finalization for campaign assembly).
+    obs: Vec<Option<(EventLog, MetricsRegistry)>>,
     /// Trials scheduled so far (prefix length once the batch drains).
     scheduled: usize,
     /// Scheduled trials not yet recorded.
@@ -94,10 +117,10 @@ pub(crate) fn atomic_write(path: &std::path::Path, contents: &str) -> std::io::R
 /// authoritative).
 fn write_checkpoint(path: &std::path::Path, result: &CampaignResult) {
     if let Err(e) = atomic_write(path, &result.to_json()) {
-        eprintln!(
+        obslog::warn(&format!(
             "warning: cannot write campaign checkpoint {}: {e}",
             path.display()
-        );
+        ));
     }
 }
 
@@ -213,11 +236,17 @@ impl CampaignSpec {
             open: 0,
             aborted: false,
         };
+        let obs_on = opts.obs_dir.is_some();
         let first_batch = self.stop.min_trials.min(self.stop.max_trials);
         for (i, restored) in restored.into_iter().enumerate() {
             let done = restored.is_some();
             state.runs.push(CellRun {
                 results: if done {
+                    Vec::new()
+                } else {
+                    vec![None; first_batch]
+                },
+                obs: if done || !obs_on {
                     Vec::new()
                 } else {
                     vec![None; first_batch]
@@ -258,18 +287,23 @@ impl CampaignSpec {
             fingerprint: fingerprint.clone(),
             cells: Mutex::new(state.runs.iter().map(|r| r.summary.clone()).collect()),
         });
+        // The timing channel is constructed only when asked for: an
+        // unprofiled campaign reads no clocks (see crate::profiling).
+        let profiler = opts.profile_dir.as_ref().map(|_| ExecProfiler::new());
         let state = Mutex::new(state);
         let idle = Condvar::new();
         if any_open {
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
+                for worker in 0..workers {
+                    let state = &state;
+                    let idle = &idle;
+                    let cells = &cells;
+                    let sink = sink.as_ref();
+                    let repro_dir = opts.repro_dir.as_deref();
+                    let profiler = profiler.as_ref();
+                    scope.spawn(move || {
                         self.worker_loop(
-                            &cells,
-                            &state,
-                            &idle,
-                            sink.as_ref(),
-                            opts.repro_dir.as_deref(),
+                            cells, state, idle, sink, repro_dir, obs_on, profiler, worker,
                         )
                     });
                 }
@@ -277,6 +311,12 @@ impl CampaignSpec {
         }
 
         let runs = state.into_inner().expect("no worker panicked").runs;
+        if let Some(dir) = &opts.obs_dir {
+            self.write_obs_artifacts(dir, &cells, &runs);
+        }
+        if let (Some(dir), Some(prof)) = (&opts.profile_dir, &profiler) {
+            prof.write_artifacts(dir, &self.name);
+        }
         let result = CampaignResult {
             name: self.name.clone(),
             seed: self.seed,
@@ -292,6 +332,55 @@ impl CampaignSpec {
         result
     }
 
+    /// Splices the per-trial deterministic captures into one campaign
+    /// event log and merged registry — cells in grid order, trials in
+    /// index order, checkpoint-adopted cells marked with a `note` — and
+    /// writes the four deterministic observability artifacts. Splice
+    /// order is a function of the spec alone, so the bytes are
+    /// worker-count independent.
+    fn write_obs_artifacts(&self, dir: &std::path::Path, cells: &[CellSpec], runs: &[CellRun]) {
+        let mut events = EventLog::new();
+        let mut registry = MetricsRegistry::new();
+        events.push(EventKind::CampaignStart {
+            name: self.name.clone(),
+        });
+        for (cell, run) in cells.iter().zip(runs) {
+            events.push(EventKind::CellStart {
+                key: cell.key.clone(),
+            });
+            if run.obs.iter().flatten().next().is_none() {
+                events.push(EventKind::Note {
+                    text: format!(
+                        "cell {} adopted from checkpoint; trials not re-observed",
+                        cell.key
+                    ),
+                });
+            }
+            for (log, metrics) in run.obs.iter().flatten() {
+                events.absorb(log);
+                registry.merge(metrics);
+            }
+            events.push(EventKind::CellEnd {
+                key: cell.key.clone(),
+            });
+        }
+        for (suffix, contents) in [
+            ("events.log", events.render()),
+            ("metrics.txt", registry.render()),
+            ("trace.json", chrome_trace(&events)),
+            ("collapsed.txt", collapsed_from_log(&events)),
+        ] {
+            let path = dir.join(format!("{}.{suffix}", self.name));
+            if let Err(e) = atomic_write(&path, &contents) {
+                obslog::warn(&format!(
+                    "warning: cannot write observability artifact {}: {e}",
+                    path.display()
+                ));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // private fan-out of RunOptions; a param struct would just restate it
     fn worker_loop(
         &self,
         cells: &[CellSpec],
@@ -299,18 +388,21 @@ impl CampaignSpec {
         idle: &Condvar,
         sink: Option<&CheckpointSink>,
         repro_dir: Option<&std::path::Path>,
+        obs_on: bool,
+        profiler: Option<&ExecProfiler>,
+        worker: usize,
     ) {
         loop {
             // Claim the next (cell, trial) task, or exit when the whole
             // campaign has drained (or a sibling's trial panicked).
-            let (ci, ti) = {
+            let ((ci, ti), depth) = {
                 let mut st = state.lock().expect("state lock");
                 loop {
                     if st.aborted {
                         return;
                     }
                     if let Some(task) = st.queue.pop_front() {
-                        break task;
+                        break (task, st.queue.len());
                     }
                     if st.open == 0 {
                         return;
@@ -318,6 +410,9 @@ impl CampaignSpec {
                     st = idle.wait(st).expect("state lock");
                 }
             };
+            if let Some(p) = profiler {
+                p.record_claim(worker, depth);
+            }
 
             // Run the trial outside the lock: this is the monomorphized
             // protocol × adversary × network dispatch from aba-harness.
@@ -332,13 +427,25 @@ impl CampaignSpec {
             };
             let mut scenario = cells[ci].scenario.clone();
             scenario.seed = scenario.seed.wrapping_add(ti as u64);
-            let outcome = if self.oracles {
+            let timer = profiler.map(|p| p.trial_timer());
+            // With observation on, the trial runs through the probe-
+            // instrumented drive; the result and (when armed) the
+            // violation tally are bit-identical to the uninstrumented
+            // paths, so summaries and artifacts don't depend on obs.
+            let (outcome, observed) = if obs_on {
+                let o = aba_harness::observe_scenario(&scenario);
+                let violations = if self.oracles { o.oracle.total } else { 0 };
+                ((o.result, violations), Some((o.events, o.metrics)))
+            } else if self.oracles {
                 let checked = aba_harness::check_scenario(&scenario);
-                (checked.result, checked.oracle.total)
+                ((checked.result, checked.oracle.total), None)
             } else {
-                (aba_harness::run_scenario(&scenario), 0)
+                ((aba_harness::run_scenario(&scenario), 0), None)
             };
             abort.armed = false;
+            if let (Some(p), Some(t)) = (profiler, timer) {
+                p.record_trial(&cells[ci].key, worker, t);
+            }
 
             let mut st = state.lock().expect("state lock");
             if st.aborted {
@@ -347,6 +454,9 @@ impl CampaignSpec {
             {
                 let run = &mut st.runs[ci];
                 run.results[ti] = Some(outcome);
+                if let Some(obs) = observed {
+                    run.obs[ti] = Some(obs);
+                }
                 run.outstanding -= 1;
                 if run.outstanding > 0 {
                     continue;
@@ -379,6 +489,9 @@ impl CampaignSpec {
                         run.scheduled += next_batch;
                         run.outstanding = next_batch;
                         run.results.resize(run.scheduled, None);
+                        if obs_on {
+                            run.obs.resize(run.scheduled, None);
+                        }
                         start
                     };
                     for t in start..start + next_batch {
@@ -432,19 +545,19 @@ impl CampaignSpec {
         let Some(repro) = aba_harness::shrink_violation(&scenario) else {
             // The trial tallied violations but a re-check came back
             // clean — would indicate nondeterminism; surface loudly.
-            eprintln!(
+            obslog::warn(&format!(
                 "warning: cell {} trial {trial} no longer violates on re-check",
                 cell.key
-            );
+            ));
             return;
         };
         let path = dir.join(format!("{}-cell{:03}.repro.json", self.name, cell.index));
         let doc = crate::artifact::render_repro(&cell.key, &repro);
         if let Err(e) = atomic_write(&path, &doc) {
-            eprintln!(
+            obslog::warn(&format!(
                 "warning: cannot write repro artifact {}: {e}",
                 path.display()
-            );
+            ));
         }
     }
 }

@@ -48,9 +48,12 @@ pub mod artifact;
 pub mod checkpoint;
 pub mod executor;
 pub mod experiments;
+pub mod profiling;
 pub mod spec;
 pub mod stop;
 pub mod summary;
+
+pub use profiling::ExecProfiler;
 
 pub use artifact::CampaignResult;
 pub use executor::RunOptions;

@@ -1,0 +1,230 @@
+//! The sweep executor's **timing channel**: wall-clock trial spans,
+//! per-cell latency percentiles, and scheduler pressure counters.
+//!
+//! This file is one of the two registered wall-clock files (aba-lint's
+//! `wall-clock-in-sim` scoping — `TIMING_PATHS` in
+//! `crates/lint/src/rules.rs`). Its numbers vary run to run and machine
+//! to machine by design, so they are written to their own files
+//! (`{name}.timing.csv`, `{name}.profile.json`,
+//! `{name}.timing.collapsed.txt`) and never into the deterministic
+//! CSV/JSON/checkpoint artifacts, which stay byte-identical with or
+//! without profiling.
+//!
+//! Zero cost when disabled: the executor constructs an [`ExecProfiler`]
+//! only when [`RunOptions::profile_dir`](crate::RunOptions) is set, so
+//! an unprofiled campaign performs no clock reads and takes no extra
+//! locks.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+use aba_obs::export::{chrome_trace_from_spans, collapsed_stacks, SpanRecord};
+use aba_obs::log;
+use aba_obs::timing::{summarize_latencies, LatencySummary, WallClock};
+
+/// A trial span in flight: created at claim time, closed by
+/// [`ExecProfiler::record_trial`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrialTimer {
+    start_us: u64,
+}
+
+/// Mutable profiling state, behind one leaf mutex (locked briefly per
+/// trial; the scheduler's state lock is never held at the same time).
+#[derive(Debug, Default)]
+struct ProfInner {
+    /// One span per completed trial, in completion order.
+    spans: Vec<SpanRecord>,
+    /// Nanosecond trial latencies per cell key.
+    cell_ns: BTreeMap<String, Vec<u64>>,
+    /// Claims per worker index (the work-stealing balance).
+    worker_claims: Vec<u64>,
+    /// Shared-queue depth observed at each claim.
+    depth_sum: u64,
+    /// Maximum observed queue depth.
+    depth_max: u64,
+    /// Number of depth samples (= total claims).
+    claims: u64,
+}
+
+/// Wall-clock profiler for one campaign run.
+#[derive(Debug)]
+pub struct ExecProfiler {
+    clock: WallClock,
+    inner: Mutex<ProfInner>,
+}
+
+impl Default for ExecProfiler {
+    fn default() -> Self {
+        ExecProfiler::new()
+    }
+}
+
+impl ExecProfiler {
+    /// Anchors the profiler's clock at "now".
+    pub fn new() -> Self {
+        ExecProfiler {
+            clock: WallClock::new(),
+            inner: Mutex::new(ProfInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProfInner> {
+        // A poisoned profiler must never abort a campaign: the inner
+        // state is append-only counters, safe to keep using.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one task claim by `worker` that observed `queue_depth`
+    /// tasks still queued.
+    pub fn record_claim(&self, worker: usize, queue_depth: usize) {
+        let mut inner = self.lock();
+        if inner.worker_claims.len() <= worker {
+            inner.worker_claims.resize(worker + 1, 0);
+        }
+        inner.worker_claims[worker] += 1;
+        inner.depth_sum += queue_depth as u64;
+        inner.depth_max = inner.depth_max.max(queue_depth as u64);
+        inner.claims += 1;
+    }
+
+    /// Starts timing one trial.
+    pub fn trial_timer(&self) -> TrialTimer {
+        TrialTimer {
+            start_us: self.clock.now_us(),
+        }
+    }
+
+    /// Closes a trial span for `cell_key` executed by `worker`.
+    pub fn record_trial(&self, cell_key: &str, worker: usize, timer: TrialTimer) {
+        let end_us = self.clock.now_us();
+        let dur_us = end_us.saturating_sub(timer.start_us).max(1);
+        let mut inner = self.lock();
+        inner.spans.push(SpanRecord {
+            name: cell_key.to_string(),
+            cat: "trial".to_string(),
+            ts_us: timer.start_us,
+            dur_us,
+            tid: worker as u64,
+        });
+        inner
+            .cell_ns
+            .entry(cell_key.to_string())
+            .or_default()
+            .push(dur_us * 1_000);
+    }
+
+    /// Per-cell latency summaries, sorted by cell key.
+    pub fn latency_summaries(&self) -> Vec<(String, LatencySummary)> {
+        let mut inner = self.lock();
+        let mut out = Vec::new();
+        for (key, samples) in inner.cell_ns.iter_mut() {
+            if let Some(s) = summarize_latencies(samples) {
+                out.push((key.clone(), s));
+            }
+        }
+        out
+    }
+
+    /// Writes the three timing artifacts for campaign `name` into
+    /// `dir` (best-effort: IO failures warn, the campaign proceeds):
+    ///
+    /// * `{name}.timing.csv` — per-cell latency percentiles plus
+    ///   `#`-prefixed scheduler counter lines;
+    /// * `{name}.profile.json` — Chrome trace of trial spans (tracks =
+    ///   workers), for Perfetto;
+    /// * `{name}.timing.collapsed.txt` — collapsed stacks weighted by
+    ///   wall time, for flamegraph tooling.
+    pub fn write_artifacts(&self, dir: &Path, name: &str) {
+        let mut csv = String::from(LatencySummary::csv_header());
+        csv.push('\n');
+        for (key, summary) in self.latency_summaries() {
+            csv.push_str(&summary.csv_row(&key));
+            csv.push('\n');
+        }
+        {
+            let inner = self.lock();
+            let mean_depth = if inner.claims > 0 {
+                inner.depth_sum as f64 / inner.claims as f64
+            } else {
+                0.0
+            };
+            csv.push_str(&format!(
+                "# exec claims={} queue_depth_max={} queue_depth_mean={mean_depth:.2}\n",
+                inner.claims, inner.depth_max
+            ));
+            for (w, c) in inner.worker_claims.iter().enumerate() {
+                csv.push_str(&format!("# worker {w} claims={c}\n"));
+            }
+        }
+
+        let (profile, collapsed) = {
+            let inner = self.lock();
+            let profile = chrome_trace_from_spans(&inner.spans);
+            let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+            for span in &inner.spans {
+                *agg.entry(format!("{name};{}", span.name)).or_insert(0) += span.dur_us;
+            }
+            let lines: Vec<(String, u64)> = agg.into_iter().collect();
+            (profile, collapsed_stacks(&lines))
+        };
+
+        for (suffix, contents) in [
+            ("timing.csv", csv.as_str()),
+            ("profile.json", profile.as_str()),
+            ("timing.collapsed.txt", collapsed.as_str()),
+        ] {
+            let path = dir.join(format!("{name}.{suffix}"));
+            if let Err(e) = crate::executor::atomic_write(&path, contents) {
+                log::warn(&format!(
+                    "warning: cannot write timing artifact {}: {e}",
+                    path.display()
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_collects_spans_and_percentiles() {
+        let p = ExecProfiler::new();
+        p.record_claim(0, 3);
+        p.record_claim(1, 5);
+        let t = p.trial_timer();
+        p.record_trial("cell_a", 0, t);
+        let t = p.trial_timer();
+        p.record_trial("cell_a", 1, t);
+        let summaries = p.latency_summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].0, "cell_a");
+        assert_eq!(summaries[0].1.count, 2);
+        let inner = p.lock();
+        assert_eq!(inner.claims, 2);
+        assert_eq!(inner.depth_max, 5);
+        assert_eq!(inner.worker_claims, vec![1, 1]);
+        assert_eq!(inner.spans.len(), 2);
+    }
+
+    #[test]
+    fn artifacts_are_written_and_parseable_shaped() {
+        let dir = std::env::temp_dir().join(format!("aba_prof_test_{}", std::process::id()));
+        let p = ExecProfiler::new();
+        let t = p.trial_timer();
+        p.record_trial("k", 0, t);
+        p.write_artifacts(&dir, "demo");
+        let csv = std::fs::read_to_string(dir.join("demo.timing.csv")).unwrap();
+        assert!(csv.starts_with(LatencySummary::csv_header()));
+        assert!(csv.contains("k,1,"));
+        let json = std::fs::read_to_string(dir.join("demo.profile.json")).unwrap();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"name\":\"k\""));
+        let collapsed = std::fs::read_to_string(dir.join("demo.timing.collapsed.txt")).unwrap();
+        assert!(collapsed.starts_with("demo;k "));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -39,11 +39,13 @@ fn artifacts_are_byte_identical_across_worker_counts() {
         workers: 1,
         checkpoint: None,
         repro_dir: None,
+        ..RunOptions::default()
     });
     let parallel = spec.run_with(&RunOptions {
         workers: 8,
         checkpoint: None,
         repro_dir: None,
+        ..RunOptions::default()
     });
     let auto = spec.run();
     assert_eq!(
@@ -66,6 +68,7 @@ fn cells_are_stable_under_axis_reordering() {
         workers: 2,
         checkpoint: None,
         repro_dir: None,
+        ..RunOptions::default()
     });
     // Same axes, permuted, plus an extra protocol inserted in front.
     let b = CampaignSpec::new("demo-reordered")
@@ -87,6 +90,7 @@ fn cells_are_stable_under_axis_reordering() {
             workers: 3,
             checkpoint: None,
             repro_dir: None,
+            ..RunOptions::default()
         });
     for cell in &a.cells {
         let twin = b.cell(&cell.key).expect("shared cell survives reordering");
@@ -140,6 +144,7 @@ fn checkpoint_resume_is_byte_identical_and_skips_work() {
         workers: 4,
         checkpoint: Some(ckpt.clone()),
         repro_dir: None,
+        ..RunOptions::default()
     });
     assert!(ckpt.exists(), "checkpoint written");
     // Resume from the finished checkpoint: all cells restored, output
@@ -148,6 +153,7 @@ fn checkpoint_resume_is_byte_identical_and_skips_work() {
         workers: 1,
         checkpoint: Some(ckpt.clone()),
         repro_dir: None,
+        ..RunOptions::default()
     });
     assert_eq!(resumed.to_csv(), first.to_csv());
     assert_eq!(resumed.to_json(), first.to_json());
@@ -157,6 +163,7 @@ fn checkpoint_resume_is_byte_identical_and_skips_work() {
         workers: 2,
         checkpoint: Some(ckpt.clone()),
         repro_dir: None,
+        ..RunOptions::default()
     });
     assert!(refit.cells.iter().all(|c| c.trials == 2));
     let _ = std::fs::remove_dir_all(&dir);
@@ -179,6 +186,7 @@ fn partial_checkpoint_resumes_only_matching_cells() {
         workers: 4,
         checkpoint: Some(ckpt.clone()),
         repro_dir: None,
+        ..RunOptions::default()
     });
     assert_eq!(resumed.to_csv(), full.to_csv(), "resume completes the grid");
     assert_eq!(resumed.to_json(), full.to_json());
@@ -201,6 +209,7 @@ fn invalid_cell_panics_instead_of_hanging() {
             workers: 4,
             checkpoint: None,
             repro_dir: None,
+            ..RunOptions::default()
         });
 }
 

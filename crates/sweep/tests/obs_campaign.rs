@@ -1,0 +1,103 @@
+//! Deterministic-channel observability artifacts are part of the
+//! reproducibility surface: the same `CampaignSpec` + seed must write
+//! byte-identical `{name}.events.log` / `{name}.metrics.txt` /
+//! `{name}.trace.json` / `{name}.collapsed.txt` at any worker count,
+//! and attaching the probe must not perturb the ordinary artifacts.
+
+use aba_harness::{AttackSpec, NetworkSpec, ProtocolSpec};
+use aba_sweep::{CampaignSpec, RoundCap, RunOptions, StopRule};
+use std::path::{Path, PathBuf};
+
+const OBS_FILES: [&str; 4] = [
+    "obs.events.log",
+    "obs.metrics.txt",
+    "obs.trace.json",
+    "obs.collapsed.txt",
+];
+
+fn obs_spec() -> CampaignSpec {
+    CampaignSpec::new("obs")
+        .sizes(&[(16, 5)])
+        .protocols(&[
+            ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+            ProtocolSpec::PhaseKing,
+        ])
+        .attacks(&[AttackSpec::Benign, AttackSpec::FullAttack])
+        .networks(&[
+            NetworkSpec::Synchronous,
+            NetworkSpec::LossyLinks { p_drop: 0.1 },
+        ])
+        .round_cap(RoundCap::Fixed(400))
+        .seed(42)
+        .stop(StopRule::fixed(3))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("aba_obs_campaign_{tag}_{}", std::process::id()))
+}
+
+fn read_artifacts(dir: &Path) -> Vec<(String, String)> {
+    OBS_FILES
+        .iter()
+        .map(|f| {
+            let bytes = std::fs::read_to_string(dir.join(f))
+                .unwrap_or_else(|e| panic!("missing obs artifact {f}: {e}"));
+            (f.to_string(), bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn obs_artifacts_are_byte_identical_across_worker_counts() {
+    let spec = obs_spec();
+    let dir1 = temp_dir("w1");
+    let dir4 = temp_dir("w4");
+    let serial = spec.run_with(&RunOptions {
+        workers: 1,
+        obs_dir: Some(dir1.clone()),
+        ..RunOptions::default()
+    });
+    let parallel = spec.run_with(&RunOptions {
+        workers: 4,
+        obs_dir: Some(dir4.clone()),
+        ..RunOptions::default()
+    });
+
+    let a = read_artifacts(&dir1);
+    let b = read_artifacts(&dir4);
+    for ((name, bytes1), (_, bytes4)) in a.iter().zip(&b) {
+        assert!(!bytes1.is_empty(), "{name} must not be empty");
+        assert_eq!(bytes1, bytes4, "{name} must not depend on worker count");
+    }
+
+    // The event log narrates the whole campaign in grid order.
+    let events = &a[0].1;
+    assert!(events.starts_with("0 campaign-start name=obs\n"));
+    assert!(events.contains("cell-start"));
+    assert!(events.contains("trial-start"));
+    assert!(events.contains("cell-end"));
+    // The registry aggregates every trial.
+    let metrics = &a[1].1;
+    let trials: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("counter sim.trials "))
+        .expect("sim.trials counter present")
+        .parse()
+        .expect("counter value parses");
+    assert_eq!(trials, serial.total_trials() as u64);
+    // The Chrome trace is a JSON array with span and instant records.
+    let trace = &a[2].1;
+    assert!(trace.starts_with("[\n") && trace.trim_end().ends_with(']'));
+    assert!(trace.contains("\"ph\":\"B\"") && trace.contains("\"ph\":\"X\""));
+
+    // Probes observe only: summaries match an unobserved run.
+    let plain = spec.run_with(&RunOptions {
+        workers: 2,
+        ..RunOptions::default()
+    });
+    assert_eq!(serial.to_csv(), plain.to_csv());
+    assert_eq!(parallel.to_json(), plain.to_json());
+
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir4).ok();
+}

@@ -67,6 +67,7 @@ fn main() {
         workers: 0,
         checkpoint: Some(ckpt.clone()),
         repro_dir: None,
+        ..RunOptions::default()
     });
     println!(
         "   {} trials in {:.2?} (adaptive allocation: {}..{} per cell)",
@@ -93,6 +94,7 @@ fn main() {
         workers: 0,
         checkpoint: Some(ckpt.clone()),
         repro_dir: None,
+        ..RunOptions::default()
     });
     println!("   restored in {:.2?}", started.elapsed());
     assert_eq!(

@@ -71,6 +71,10 @@
 //!   column;
 //! * [`harness`] — the [`ScenarioBuilder`] facade and the parallel
 //!   trial runner;
+//! * [`obs`] — two-channel observability: a deterministic event log +
+//!   metrics registry on logical time (part of the reproducibility
+//!   surface) and a separate wall-clock profiling channel, with Chrome
+//!   trace-event and collapsed-stack exporters;
 //! * [`sweep`] — campaign orchestration (scenario grids, adaptive trial
 //!   allocation, work stealing, resumable artifacts) and the experiment
 //!   suite E1–E16 behind the `aba-experiments` binary.
@@ -90,12 +94,14 @@ pub use aba_check as check;
 pub use aba_coin as coin;
 pub use aba_harness as harness;
 pub use aba_net as net;
+pub use aba_obs as obs;
 pub use aba_sim as sim;
 pub use aba_sweep as sweep;
 
 pub use aba_harness::{
-    AttackSpec, BatchReport, CheckedTrial, DelayScheduler, InputSpec, NetworkSpec, OracleReport,
-    ProtocolSpec, ReplayOutcome, Scenario, ScenarioBuilder, TrialResult, Violation,
+    observe_replay, observe_scenario, AttackSpec, BatchReport, CheckedTrial, DelayScheduler,
+    InputSpec, NetworkSpec, ObservedReplay, ObservedTrial, OracleReport, ProtocolSpec,
+    ReplayOutcome, Scenario, ScenarioBuilder, TrialResult, Violation,
 };
 pub use aba_sweep::{CampaignResult, CampaignSpec, CellSummary, RoundCap, RunOptions, StopRule};
 

@@ -1,0 +1,134 @@
+//! The observability contract on the deterministic channel: an
+//! instrumented replay must reproduce the live run's event log and
+//! metrics registry **byte-for-byte** across every network family.
+//!
+//! These are the same six pinned scenarios as `tests/trace_replay.rs` —
+//! the trace-faithfulness differential — extended to the `aba-obs`
+//! channel: if the rendered event log or registry ever diverges between
+//! a live run and its replay, either a probe hook slipped out of
+//! logical time or the replay stopped re-driving some engine phase.
+
+use adaptive_ba::{
+    observe_replay, observe_scenario, AttackSpec, DelayScheduler, InputSpec, NetworkSpec,
+    ProtocolSpec, ScenarioBuilder,
+};
+
+/// The six pinned scenarios: every network family, mixed protocols and
+/// attacks, fixed seeds (kept in lockstep with `tests/trace_replay.rs`).
+fn pinned() -> Vec<(&'static str, ScenarioBuilder)> {
+    vec![
+        (
+            "paper-lv × full-attack × sync",
+            ScenarioBuilder::new(16, 5)
+                .protocol(ProtocolSpec::PaperLasVegas { alpha: 2.0 })
+                .adversary(AttackSpec::FullAttack)
+                .seed(42),
+        ),
+        (
+            "chor-coan × split-vote × lossy",
+            ScenarioBuilder::new(16, 5)
+                .protocol(ProtocolSpec::ChorCoan { beta: 1.0 })
+                .adversary(AttackSpec::SplitVote)
+                .network(NetworkSpec::LossyLinks { p_drop: 0.15 })
+                .max_rounds(300)
+                .seed(7),
+        ),
+        (
+            "phase-king × static-mirror × bounded-delay",
+            ScenarioBuilder::new(13, 4)
+                .protocol(ProtocolSpec::PhaseKing)
+                .adversary(AttackSpec::StaticMirror)
+                .network(NetworkSpec::BoundedDelay {
+                    max_delay: 2,
+                    scheduler: DelayScheduler::Random,
+                })
+                .max_rounds(200)
+                .seed(3),
+        ),
+        (
+            "paper × crash × bounded-delay-adv",
+            ScenarioBuilder::new(16, 5)
+                .protocol(ProtocolSpec::Paper { alpha: 2.0 })
+                .adversary(AttackSpec::Crash { per_round: 1 })
+                .network(NetworkSpec::BoundedDelay {
+                    max_delay: 3,
+                    scheduler: DelayScheduler::DelayHonest,
+                })
+                .max_rounds(300)
+                .seed(11),
+        ),
+        (
+            "common-coin × coin-killer × partition",
+            ScenarioBuilder::new(24, 6)
+                .protocol(ProtocolSpec::CommonCoin)
+                .adversary(AttackSpec::CoinKiller)
+                .network(NetworkSpec::Partition {
+                    groups: 2,
+                    heal_round: 3,
+                })
+                .max_rounds(100)
+                .seed(19),
+        ),
+        (
+            "sampling-majority × poison × lossy",
+            ScenarioBuilder::new(32, 2)
+                .protocol(ProtocolSpec::SamplingMajority { iters: 0 })
+                .adversary(AttackSpec::SamplingPoison)
+                .inputs(InputSpec::Random)
+                .network(NetworkSpec::LossyLinks { p_drop: 0.05 })
+                .max_rounds(4_000)
+                .seed(23),
+        ),
+    ]
+}
+
+#[test]
+fn event_log_and_metrics_match_live_vs_replay() {
+    for (label, builder) in pinned() {
+        let o = observe_replay(builder.scenario());
+        assert_eq!(
+            o.live, o.replayed,
+            "{label}: replayed result diverged from the live run"
+        );
+        assert!(o.is_faithful(), "{label}: replay not faithful");
+        assert!(
+            o.channels_match(),
+            "{label}: observability channels diverged between live and replay"
+        );
+        assert_eq!(
+            o.live_events.render(),
+            o.replayed_events.render(),
+            "{label}: event log bytes"
+        );
+        assert_eq!(
+            o.live_metrics.render(),
+            o.replayed_metrics.render(),
+            "{label}: metrics bytes"
+        );
+    }
+}
+
+#[test]
+fn observation_does_not_perturb_results() {
+    // Probes observe only: the observed trial's result equals the
+    // builder facade's plain run, scenario by scenario.
+    for (label, builder) in pinned() {
+        let observed = observe_scenario(builder.scenario());
+        let plain = builder.clone().run();
+        assert_eq!(observed.result, plain, "{label}: probe perturbed the run");
+        assert!(
+            !observed.events.is_empty(),
+            "{label}: no events were recorded"
+        );
+    }
+}
+
+#[test]
+fn observation_is_deterministic() {
+    let scenarios = pinned();
+    let s = scenarios[1].1.scenario();
+    let a = observe_scenario(s);
+    let b = observe_scenario(s);
+    assert_eq!(a.events.render(), b.events.render());
+    assert_eq!(a.metrics.render(), b.metrics.render());
+}

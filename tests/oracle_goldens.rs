@@ -91,6 +91,7 @@ fn sweep_oracle_column_and_repro_are_worker_count_invariant() {
             workers,
             checkpoint: None,
             repro_dir: Some(repro_dir.clone()),
+            ..RunOptions::default()
         });
         (result, repro_dir)
     };
