@@ -8,7 +8,7 @@
 //! parameterized for) budget `t`.
 
 use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
-use aba_sim::Protocol;
+use aba_sim::{MessagePlane, Protocol};
 use rand::RngCore;
 
 /// Caps the corruptions of an inner adversary at `q`.
@@ -39,8 +39,12 @@ impl<A> BudgetCapped<A> {
     }
 }
 
-impl<P: Protocol, A: Adversary<P>> Adversary<P> for BudgetCapped<A> {
-    fn act(&mut self, view: &RoundView<'_, P>, rng: &mut dyn RngCore) -> AdversaryAction<P::Msg> {
+impl<P: Protocol, L: MessagePlane<P::Msg>, A: Adversary<P, L>> Adversary<P, L> for BudgetCapped<A> {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, P, L>,
+        rng: &mut dyn RngCore,
+    ) -> AdversaryAction<P::Msg> {
         let mut action = self.inner.act(view, rng);
         let used = view.ledger.used();
         let allowed = self.cap.saturating_sub(used);

@@ -8,7 +8,7 @@
 //! the adversary chooses whom to crash and when, with full information.
 
 use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
-use aba_sim::{NodeId, Protocol};
+use aba_sim::{MessagePlane, NodeId, Protocol};
 use rand::{seq::SliceRandom, RngCore};
 
 /// When the crash adversary pulls the trigger.
@@ -52,8 +52,8 @@ impl AdaptiveCrash {
         Self::new(CrashSchedule::Steady { per_round })
     }
 
-    fn pick<P: Protocol>(
-        view: &RoundView<'_, P>,
+    fn pick<P: Protocol, L: MessagePlane<P::Msg>>(
+        view: &RoundView<'_, P, L>,
         how_many: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<NodeId> {
@@ -65,8 +65,12 @@ impl AdaptiveCrash {
     }
 }
 
-impl<P: Protocol> Adversary<P> for AdaptiveCrash {
-    fn act(&mut self, view: &RoundView<'_, P>, rng: &mut dyn RngCore) -> AdversaryAction<P::Msg> {
+impl<P: Protocol, L: MessagePlane<P::Msg>> Adversary<P, L> for AdaptiveCrash {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, P, L>,
+        rng: &mut dyn RngCore,
+    ) -> AdversaryAction<P::Msg> {
         let r = view.round.index();
         let corruptions = match self.schedule {
             CrashSchedule::Steady { per_round } => Self::pick(view, per_round, rng),

@@ -8,7 +8,7 @@
 //! don't rely on Byzantine messages being malformed.
 
 use aba_sim::adversary::{Adversary, AdversaryAction, CorruptSend, RoundView};
-use aba_sim::{NodeId, Protocol};
+use aba_sim::{MessagePlane, NodeId, Protocol};
 use rand::{seq::SliceRandom, Rng, RngCore};
 
 /// See module docs.
@@ -31,8 +31,12 @@ impl Default for RandomReplay {
     }
 }
 
-impl<P: Protocol> Adversary<P> for RandomReplay {
-    fn act(&mut self, view: &RoundView<'_, P>, rng: &mut dyn RngCore) -> AdversaryAction<P::Msg> {
+impl<P: Protocol, L: MessagePlane<P::Msg>> Adversary<P, L> for RandomReplay {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, P, L>,
+        rng: &mut dyn RngCore,
+    ) -> AdversaryAction<P::Msg> {
         // Corrupt a few more random live nodes.
         let mut live: Vec<NodeId> = view.live_honest().collect();
         live.shuffle(rng);
@@ -74,7 +78,7 @@ impl<P: Protocol> Adversary<P> for RandomReplay {
                     .filter_map(|recv| {
                         let recv = NodeId::new(recv as u32);
                         let src = sources[rng.gen_range(0..sources.len())];
-                        mailbox.resolve(src, recv).map(|m| (recv, m.clone()))
+                        mailbox.resolve_value(src, recv).map(|m| (recv, m))
                     })
                     .collect();
                 (*victim, CorruptSend::PerRecipient(per))

@@ -7,7 +7,7 @@
 //! that adaptivity is what makes the problem hard.
 
 use aba_sim::adversary::{Adversary, AdversaryAction, CorruptSend, RoundView};
-use aba_sim::{NodeId, Protocol, Round};
+use aba_sim::{MessagePlane, NodeId, Protocol, Round};
 use rand::{Rng, RngCore};
 
 /// What the statically corrupted nodes do each round.
@@ -64,8 +64,12 @@ impl StaticByzantine {
     }
 }
 
-impl<P: Protocol> Adversary<P> for StaticByzantine {
-    fn act(&mut self, view: &RoundView<'_, P>, rng: &mut dyn RngCore) -> AdversaryAction<P::Msg> {
+impl<P: Protocol, L: MessagePlane<P::Msg>> Adversary<P, L> for StaticByzantine {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, P, L>,
+        rng: &mut dyn RngCore,
+    ) -> AdversaryAction<P::Msg> {
         let corruptions = if view.round == Round::ZERO {
             self.victims.clone()
         } else {
@@ -101,7 +105,7 @@ impl<P: Protocol> Adversary<P> for StaticByzantine {
                                     let recv = NodeId::new(recv as u32);
                                     let src =
                                         honest_senders[rng.gen_range(0..honest_senders.len())];
-                                    mailbox.resolve(src, recv).map(|m| (recv, m.clone()))
+                                    mailbox.resolve_value(src, recv).map(|m| (recv, m))
                                 })
                                 .collect();
                             (*victim, CorruptSend::PerRecipient(per_recipient))

@@ -2,7 +2,7 @@
 
 use aba_agreement::{BaConfig, BaMsg, BaNodeView, CoinRoundMode};
 use aba_sim::adversary::RoundView;
-use aba_sim::{NodeId, Protocol, RoundMailbox};
+use aba_sim::{MessagePlane, NodeId, Protocol};
 
 /// Everything a BA attack needs to know about the current round, pulled
 /// out of the full-information view.
@@ -21,9 +21,10 @@ pub(crate) struct BaRoundCtx<'a> {
 }
 
 impl<'a> BaRoundCtx<'a> {
-    pub fn capture<P>(view: &'a RoundView<'a, P>) -> BaRoundCtx<'a>
+    pub fn capture<P, L>(view: &'a RoundView<'a, P, L>) -> BaRoundCtx<'a>
     where
         P: Protocol<Msg = BaMsg> + BaNodeView,
+        L: MessagePlane<BaMsg>,
     {
         let cfg = view.nodes[0].ba_config();
         let (phase, sub) = cfg.schedule(view.round);
@@ -67,9 +68,9 @@ impl<'a> BaRoundCtx<'a> {
 
     /// Reads the current committee's honest flips from the rushing
     /// mailbox: returns `(sum, plus_flippers, minus_flippers)`.
-    pub fn committee_flips(
+    pub fn committee_flips<L: MessagePlane<BaMsg>>(
         &self,
-        mailbox: &RoundMailbox<BaMsg>,
+        mailbox: &L,
     ) -> (i64, Vec<NodeId>, Vec<NodeId>) {
         let mut plus = Vec::new();
         let mut minus = Vec::new();
@@ -92,9 +93,10 @@ impl<'a> BaRoundCtx<'a> {
 }
 
 /// Counts live honest nodes holding each value; returns `(h0, h1)`.
-pub(crate) fn val_counts<P>(view: &RoundView<'_, P>, live: &[NodeId]) -> (usize, usize)
+pub(crate) fn val_counts<P, L>(view: &RoundView<'_, P, L>, live: &[NodeId]) -> (usize, usize)
 where
     P: Protocol<Msg = BaMsg> + BaNodeView,
+    L: MessagePlane<BaMsg>,
 {
     let mut h = [0usize; 2];
     for id in live {
@@ -104,9 +106,13 @@ where
 }
 
 /// Live honest nodes with `decided = true`, and their majority value.
-pub(crate) fn deciders<P>(view: &RoundView<'_, P>, live: &[NodeId]) -> (Vec<NodeId>, Option<bool>)
+pub(crate) fn deciders<P, L>(
+    view: &RoundView<'_, P, L>,
+    live: &[NodeId],
+) -> (Vec<NodeId>, Option<bool>)
 where
     P: Protocol<Msg = BaMsg> + BaNodeView,
+    L: MessagePlane<BaMsg>,
 {
     let d: Vec<NodeId> = live
         .iter()

@@ -29,7 +29,7 @@
 use crate::ctx::{deciders, val_counts, BaRoundCtx};
 use aba_agreement::{BaMsg, BaNodeView, CoinRoundMode, SubRound};
 use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
-use aba_sim::{Emission, NodeId, Protocol};
+use aba_sim::{Emission, MessagePlane, NodeId, Protocol};
 use rand::RngCore;
 
 /// How eagerly the attack spends its corruption budget on coin denials.
@@ -104,13 +104,14 @@ impl AdaptiveFullAttack {
     }
 
     /// Round-1 move: create honest deciders when the puppet count allows.
-    fn act_round1<P>(
+    fn act_round1<P, L>(
         &mut self,
-        view: &RoundView<'_, P>,
+        view: &RoundView<'_, P, L>,
         ctx: &BaRoundCtx<'_>,
     ) -> AdversaryAction<BaMsg>
     where
         P: Protocol<Msg = BaMsg> + BaNodeView,
+        L: MessagePlane<BaMsg>,
     {
         self.pending_topup = None;
         let (h0, h1) = val_counts(view, &ctx.live);
@@ -198,15 +199,16 @@ impl AdaptiveFullAttack {
 
     /// The coin-denial decision, shared by piggyback round 2 and literal
     /// round 3.
-    fn deny_coin<P>(
+    fn deny_coin<P, L>(
         &mut self,
-        view: &RoundView<'_, P>,
+        view: &RoundView<'_, P, L>,
         ctx: &BaRoundCtx<'_>,
         victims: Vec<NodeId>,
         b_i: Option<bool>,
     ) -> AdversaryAction<BaMsg>
     where
         P: Protocol<Msg = BaMsg> + BaNodeView,
+        L: MessagePlane<BaMsg>,
     {
         let free = ctx.free_members();
         let Some(mailbox) = view.outgoing else {
@@ -309,13 +311,14 @@ impl AdaptiveFullAttack {
     /// Round-2 move (piggyback): pick top-up victims and resolve the coin
     /// in one shot. For literal mode this only places the top-up; the
     /// coin decision happens in round 3.
-    fn act_round2<P>(
+    fn act_round2<P, L>(
         &mut self,
-        view: &RoundView<'_, P>,
+        view: &RoundView<'_, P, L>,
         ctx: &BaRoundCtx<'_>,
     ) -> AdversaryAction<BaMsg>
     where
         P: Protocol<Msg = BaMsg> + BaNodeView,
+        L: MessagePlane<BaMsg>,
     {
         let (d, b_i) = deciders(view, &ctx.live);
         let t = ctx.cfg.t;
@@ -378,11 +381,16 @@ enum CoinMove {
     Split,
 }
 
-impl<P> Adversary<P> for AdaptiveFullAttack
+impl<P, L> Adversary<P, L> for AdaptiveFullAttack
 where
     P: Protocol<Msg = BaMsg> + BaNodeView,
+    L: MessagePlane<BaMsg>,
 {
-    fn act(&mut self, view: &RoundView<'_, P>, _rng: &mut dyn RngCore) -> AdversaryAction<BaMsg> {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, P, L>,
+        _rng: &mut dyn RngCore,
+    ) -> AdversaryAction<BaMsg> {
         let ctx = BaRoundCtx::capture(view);
         if ctx.live.is_empty() {
             return AdversaryAction::pass();

@@ -16,7 +16,7 @@
 use crate::ctx::BaRoundCtx;
 use aba_agreement::{BaMsg, BaNodeView, CoinRoundMode, SubRound};
 use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
-use aba_sim::{Emission, NodeId, Protocol};
+use aba_sim::{Emission, MessagePlane, NodeId, Protocol};
 use rand::RngCore;
 
 /// See module docs.
@@ -82,11 +82,16 @@ impl SplitVote {
     }
 }
 
-impl<P> Adversary<P> for SplitVote
+impl<P, L> Adversary<P, L> for SplitVote
 where
     P: Protocol<Msg = BaMsg> + BaNodeView,
+    L: MessagePlane<BaMsg>,
 {
-    fn act(&mut self, view: &RoundView<'_, P>, _rng: &mut dyn RngCore) -> AdversaryAction<BaMsg> {
+    fn act(
+        &mut self,
+        view: &RoundView<'_, P, L>,
+        _rng: &mut dyn RngCore,
+    ) -> AdversaryAction<BaMsg> {
         let ctx = BaRoundCtx::capture(view);
         if !ctx.is_coin_subround() || ctx.live.is_empty() {
             return AdversaryAction::pass();

@@ -16,11 +16,19 @@ use aba_sim::adversary::Benign;
 use aba_sim::prelude::*;
 use rand::RngCore;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Beat(#[allow(dead_code)] u8);
 impl Message for Beat {
     fn bit_size(&self) -> usize {
         8
+    }
+}
+impl PackedMessage for Beat {
+    fn pack(&self) -> Option<u32> {
+        Some(self.0 as u32)
+    }
+    fn unpack(code: u32) -> Self {
+        Beat(code as u8)
     }
 }
 
@@ -61,6 +69,50 @@ fn nodes(n: usize, rounds: u64) -> Vec<Chatter> {
         .collect()
 }
 
+/// A binary-voting chatter that consumes its inbox the way the
+/// committee protocols do: one masked threshold tally per round,
+/// answered by the packed plane's word-parallel popcount and by a
+/// per-message scan on the dense plane. This is the workload the
+/// bit-packed plane exists for.
+#[derive(Debug)]
+struct TallyChatter {
+    rounds: u64,
+    seen: usize,
+    halted: bool,
+}
+
+impl Protocol for TallyChatter {
+    type Msg = Beat;
+    fn emit(&mut self, _r: Round, _rng: &mut dyn RngCore) -> Emission<Beat> {
+        Emission::Broadcast(Beat(1))
+    }
+    fn receive(&mut self, r: Round, inbox: Inbox<'_, Beat>, _rng: &mut dyn RngCore) {
+        let ones = inbox
+            .packed_match_count(0xFF, 1, None)
+            .unwrap_or_else(|| inbox.iter().filter(|(_, m)| m.0 == 1).count());
+        self.seen += ones;
+        if r.index() + 1 >= self.rounds {
+            self.halted = true;
+        }
+    }
+    fn output(&self) -> Option<bool> {
+        self.halted.then_some(self.seen > 0)
+    }
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+fn tally_nodes(n: usize, rounds: u64) -> Vec<TallyChatter> {
+    (0..n)
+        .map(|_| TallyChatter {
+            rounds,
+            seen: 0,
+            halted: false,
+        })
+        .collect()
+}
+
 fn main() {
     let n = 128usize;
     let rounds = 8u64;
@@ -90,23 +142,18 @@ fn bench_probe(n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {
 
     let group = Group::new("probe");
     group.bench("no-probe", || {
-        Simulation::with_instruments(
-            cfg(),
-            nodes(n, rounds),
-            Benign,
-            NetDelivery::new(Synchronous, 1),
-            NoOracle,
-            NoProbe,
-        )
-        .run()
-        .rounds
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
+        Simulation::with_instruments(cfg(), nodes(n, rounds), Benign, net, NoOracle, NoProbe)
+            .run()
+            .rounds
     });
     group.bench("event-probe", || {
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
         let (report, _, probe) = Simulation::with_instruments(
             cfg(),
             nodes(n, rounds),
             Benign,
-            NetDelivery::new(Synchronous, 1),
+            net,
             NoOracle,
             EventProbe::new(),
         )
@@ -125,14 +172,10 @@ fn bench_oracle(n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {
 
     let group = Group::new("oracle");
     group.bench("no-oracle", || {
-        Simulation::with_network(
-            cfg(),
-            nodes(n, rounds),
-            Benign,
-            NetDelivery::new(Synchronous, 1),
-        )
-        .run()
-        .rounds
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
+        Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+            .run()
+            .rounds
     });
     group.bench("lemma-suite", || {
         let suite = LemmaSuite::new()
@@ -141,15 +184,10 @@ fn bench_oracle(n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {
             .early_termination(0, rounds + 16)
             .congest(64)
             .budget_monotonicity();
-        Simulation::with_oracle(
-            cfg(),
-            nodes(n, rounds),
-            Benign,
-            NetDelivery::new(Synchronous, 1),
-            suite,
-        )
-        .run()
-        .rounds
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
+        Simulation::with_oracle(cfg(), nodes(n, rounds), Benign, net, suite)
+            .run()
+            .rounds
     });
 }
 
@@ -160,31 +198,33 @@ fn bench_small(group: &Group, n: usize, rounds: u64, cfg: impl Fn() -> SimConfig
             .rounds
     });
     group.bench("sync", || {
-        let net = NetDelivery::new(Synchronous, 1);
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
         Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
             .run()
             .rounds
     });
     group.bench("lossy(0.1)", || {
-        let net = NetDelivery::new(LossyLinks::new(0.1), 1);
+        let net: NetDelivery<Beat, _> = NetDelivery::new(LossyLinks::new(0.1), 1);
         Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
             .run()
             .rounds
     });
     group.bench("delay(2,random)", || {
-        let net = NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
+        let net: NetDelivery<Beat, _> =
+            NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
         Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
             .run()
             .rounds
     });
     group.bench("delay(2,adv)", || {
-        let net = NetDelivery::new(BoundedDelay::new(2, DelayScheduler::DelayHonest), 1);
+        let net: NetDelivery<Beat, _> =
+            NetDelivery::new(BoundedDelay::new(2, DelayScheduler::DelayHonest), 1);
         Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
             .run()
             .rounds
     });
     group.bench("partition(2,heal=4)", || {
-        let net = NetDelivery::new(Partition::striped(n, 2, 4), 1);
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Partition::striped(n, 2, 4), 1);
         Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
             .run()
             .rounds
@@ -204,20 +244,94 @@ fn bench_large() {
                 .with_max_rounds(rounds + 16)
         };
         group.bench(&format!("sync n={n}"), || {
-            let net = NetDelivery::new(Synchronous, 1);
+            let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
             Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
                 .run()
                 .rounds
         });
         group.bench(&format!("lossy(0.1) n={n}"), || {
-            let net = NetDelivery::new(LossyLinks::new(0.1), 1);
+            let net: NetDelivery<Beat, _> = NetDelivery::new(LossyLinks::new(0.1), 1);
             Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
                 .run()
                 .rounds
         });
         group.bench(&format!("delay(2,random) n={n}"), || {
-            let net = NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
+            let net: NetDelivery<Beat, _> =
+                NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
             Simulation::with_network(cfg(), nodes(n, rounds), Benign, net)
+                .run()
+                .rounds
+        });
+    }
+
+    // The bit-packed binary plane on the same sweep, one size up: the
+    // `packed *` rows run the popcount-tally workload on
+    // `PackedMailbox`, the `dense *` control rows run the identical
+    // workload on `RoundMailbox` — so each pair isolates the plane.
+    for n in [512usize, 1024, 4096] {
+        let cfg = || {
+            SimConfig::new(n, 0)
+                .with_seed(1)
+                .with_max_rounds(rounds + 16)
+        };
+        group.bench(&format!("packed sync n={n}"), || {
+            let net = NetDelivery::new(Synchronous, 1);
+            PackedSimulation::with_instruments(
+                cfg(),
+                tally_nodes(n, rounds),
+                Benign,
+                net,
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+            .rounds
+        });
+        group.bench(&format!("packed lossy(0.1) n={n}"), || {
+            let net = NetDelivery::new(LossyLinks::new(0.1), 1);
+            PackedSimulation::with_instruments(
+                cfg(),
+                tally_nodes(n, rounds),
+                Benign,
+                net,
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+            .rounds
+        });
+        group.bench(&format!("packed delay(2,random) n={n}"), || {
+            let net = NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
+            PackedSimulation::with_instruments(
+                cfg(),
+                tally_nodes(n, rounds),
+                Benign,
+                net,
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+            .rounds
+        });
+        group.bench(&format!("dense sync n={n}"), || {
+            let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
+            Simulation::with_network(cfg(), tally_nodes(n, rounds), Benign, net)
+                .run()
+                .rounds
+        });
+        group.bench(&format!("dense lossy(0.1) n={n}"), || {
+            let net: NetDelivery<Beat, _> = NetDelivery::new(LossyLinks::new(0.1), 1);
+            Simulation::with_network(cfg(), tally_nodes(n, rounds), Benign, net)
+                .run()
+                .rounds
+        });
+        group.bench(&format!("dense delay(2,random) n={n}"), || {
+            let net: NetDelivery<Beat, _> =
+                NetDelivery::new(BoundedDelay::new(2, DelayScheduler::Random), 1);
+            Simulation::with_network(cfg(), tally_nodes(n, rounds), Benign, net)
                 .run()
                 .rounds
         });

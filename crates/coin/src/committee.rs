@@ -79,6 +79,20 @@ impl CommitteePlan {
         (lo..hi).map(|i| NodeId::new(i as u32))
     }
 
+    /// The raw ID range of committee `idx` — committees are contiguous
+    /// by construction, which is what lets packed-plane tallies filter
+    /// committee senders with a word mask instead of a membership scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= count()`.
+    pub fn id_range(&self, idx: usize) -> std::ops::Range<u32> {
+        assert!(idx < self.count, "committee {idx} out of range");
+        let lo = idx * self.size;
+        let hi = ((idx + 1) * self.size).min(self.n);
+        lo as u32..hi as u32
+    }
+
     /// Size of committee `idx` (equals `committee_size()` except possibly
     /// for the last).
     pub fn size_of(&self, idx: usize) -> usize {
@@ -174,6 +188,18 @@ mod tests {
             }
         }
         assert!(seen.into_iter().all(|s| s), "every node in some committee");
+    }
+
+    #[test]
+    fn id_range_matches_members() {
+        for (n, c) in [(12, 3), (10, 3), (10, 4), (23, 5), (5, 100)] {
+            let p = CommitteePlan::with_committee_count(n, c);
+            for idx in 0..p.count() {
+                let r = p.id_range(idx);
+                let ids: Vec<u32> = p.members(idx).map(|m| m.raw()).collect();
+                assert_eq!((r.start..r.end).collect::<Vec<_>>(), ids, "n={n} c={c}");
+            }
+        }
     }
 
     #[test]

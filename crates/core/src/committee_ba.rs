@@ -27,7 +27,7 @@
 //! completion under which Lemma 4's statement ("v terminates in phase
 //! i+1, everyone else by phase i+2") holds verbatim. See DESIGN.md.
 
-use crate::msg::{BaMsg, SubRound};
+use crate::msg::{ba_code, BaMsg, SubRound};
 use crate::params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
 use crate::view::BaNodeView;
 use aba_sim::{Emission, Inbox, NodeId, Protocol, Round};
@@ -134,21 +134,57 @@ impl CommitteeBa {
         self.decided = false;
     }
 
+    /// Word-parallel `[false, true]` tally of matching messages on the
+    /// packed plane, or `None` on the dense plane (callers fall back to
+    /// iteration, keeping dense runs byte-identical).
+    fn packed_val_counts(
+        inbox: &Inbox<'_, BaMsg>,
+        query: impl Fn(bool) -> Option<(u32, u32)>,
+    ) -> Option<[usize; 2]> {
+        let (m0, b0) = query(false)?;
+        let (m1, b1) = query(true)?;
+        Some([
+            inbox.packed_match_count(m0, b0, None)?,
+            inbox.packed_match_count(m1, b1, None)?,
+        ])
+    }
+
+    /// Word-parallel clamped-flip sum (`#(+1) − #(−1)`) over committee
+    /// senders on the packed plane, or `None` on the dense plane.
+    fn packed_flip_sum(
+        &self,
+        inbox: &Inbox<'_, BaMsg>,
+        committee: usize,
+        query: impl Fn(bool) -> Option<(u32, u32)>,
+    ) -> Option<i64> {
+        let senders = self.cfg.plan.id_range(committee);
+        let (mp, bp) = query(true)?;
+        let (mn, bn) = query(false)?;
+        let plus = inbox.packed_match_count(mp, bp, Some(senders.clone()))?;
+        let minus = inbox.packed_match_count(mn, bn, Some(senders))?;
+        Some(plus as i64 - minus as i64)
+    }
+
     fn tally_round1(&mut self, phase: u64, inbox: &Inbox<'_, BaMsg>) {
-        let mut cnt = [0usize; 2];
-        for (_, m) in inbox.iter() {
-            if let BaMsg::Phase {
-                phase: p,
-                sub: SubRound::One,
-                val,
-                ..
-            } = m
-            {
-                if *p == phase {
-                    cnt[*val as usize] += 1;
+        let packed =
+            Self::packed_val_counts(inbox, |v| ba_code::phase_val_query(phase, SubRound::One, v));
+        let cnt = packed.unwrap_or_else(|| {
+            let mut cnt = [0usize; 2];
+            for (_, m) in inbox.iter() {
+                if let BaMsg::Phase {
+                    phase: p,
+                    sub: SubRound::One,
+                    val,
+                    ..
+                } = m
+                {
+                    if *p == phase {
+                        cnt[*val as usize] += 1;
+                    }
                 }
             }
-        }
+            cnt
+        });
         let n_t = self.cfg.n - self.cfg.t;
         // At most one side can reach n−t (2(n−t) > n for t < n/2).
         if cnt[1] >= n_t {
@@ -167,30 +203,46 @@ impl CommitteeBa {
         let piggyback_coin = matches!(self.cfg.coin, CoinSource::Committee)
             && self.cfg.coin_round == CoinRoundMode::Piggyback;
 
-        let mut cnt_true = [0usize; 2];
-        let mut sum: i64 = 0;
-        for (sender, m) in inbox.iter() {
-            if let BaMsg::Phase {
-                phase: p,
-                sub: SubRound::Two,
-                val,
-                decided,
-                ..
-            } = m
-            {
-                if *p != phase {
-                    continue;
-                }
-                if *decided {
-                    cnt_true[*val as usize] += 1;
-                }
-                if piggyback_coin && self.cfg.plan.is_member(sender, committee) {
-                    if let Some(f) = m.clamped_flip() {
-                        sum += f;
+        let packed = Self::packed_val_counts(inbox, |v| {
+            ba_code::decided_val_query(phase, SubRound::Two, v)
+        })
+        .and_then(|cnt_true| {
+            let sum = if piggyback_coin {
+                self.packed_flip_sum(inbox, committee, |pos| {
+                    ba_code::piggyback_flip_query(phase, SubRound::Two, pos)
+                })?
+            } else {
+                0
+            };
+            Some((cnt_true, sum))
+        });
+        let (cnt_true, sum) = packed.unwrap_or_else(|| {
+            let mut cnt_true = [0usize; 2];
+            let mut sum: i64 = 0;
+            for (sender, m) in inbox.iter() {
+                if let BaMsg::Phase {
+                    phase: p,
+                    sub: SubRound::Two,
+                    val,
+                    decided,
+                    ..
+                } = m
+                {
+                    if *p != phase {
+                        continue;
+                    }
+                    if *decided {
+                        cnt_true[*val as usize] += 1;
+                    }
+                    if piggyback_coin && self.cfg.plan.is_member(sender, committee) {
+                        if let Some(f) = m.clamped_flip() {
+                            sum += f;
+                        }
                     }
                 }
             }
-        }
+            (cnt_true, sum)
+        });
 
         let n_t = self.cfg.n - self.cfg.t;
         let t1 = self.cfg.t + 1;
@@ -234,16 +286,22 @@ impl CommitteeBa {
     fn tally_round3(&mut self, phase: u64, inbox: &Inbox<'_, BaMsg>, rng: &mut dyn RngCore) {
         if self.need_coin {
             let committee = self.cfg.committee_for_phase(phase);
-            let mut sum: i64 = 0;
-            for (sender, m) in inbox.iter() {
-                if let BaMsg::Flip { phase: p, .. } = m {
-                    if *p == phase && self.cfg.plan.is_member(sender, committee) {
-                        if let Some(f) = m.clamped_flip() {
-                            sum += f;
+            let packed = self.packed_flip_sum(inbox, committee, |pos| {
+                ba_code::standalone_flip_query(phase, pos)
+            });
+            let sum = packed.unwrap_or_else(|| {
+                let mut sum: i64 = 0;
+                for (sender, m) in inbox.iter() {
+                    if let BaMsg::Flip { phase: p, .. } = m {
+                        if *p == phase && self.cfg.plan.is_member(sender, committee) {
+                            if let Some(f) = m.clamped_flip() {
+                                sum += f;
+                            }
                         }
                     }
                 }
-            }
+                sum
+            });
             self.apply_coin(phase, sum, rng);
             self.need_coin = false;
         }

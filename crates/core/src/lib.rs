@@ -35,7 +35,7 @@ pub mod sampling_majority;
 pub mod view;
 
 pub use committee_ba::CommitteeBa;
-pub use msg::{BaMsg, PkMsg, SubRound};
+pub use msg::{ba_code, BaMsg, PkMsg, SubRound};
 pub use params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
 pub use phase_king::PhaseKingBa;
 pub use sampling_majority::{SamplingMajorityNode, SmMsg};
@@ -44,7 +44,7 @@ pub use view::BaNodeView;
 /// Common imports.
 pub mod prelude {
     pub use crate::committee_ba::CommitteeBa;
-    pub use crate::msg::{BaMsg, PkMsg, SubRound};
+    pub use crate::msg::{ba_code, BaMsg, PkMsg, SubRound};
     pub use crate::params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
     pub use crate::phase_king::PhaseKingBa;
     pub use crate::sampling_majority::{SamplingMajorityNode, SmMsg};

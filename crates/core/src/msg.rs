@@ -1,7 +1,12 @@
 //! Wire formats of the agreement protocols, with CONGEST-honest bit
 //! sizes.
+//!
+//! [`BaMsg`] additionally implements [`PackedMessage`] — a fixed 32-bit
+//! binary layout — so committee-BA runs can opt into the bit-packed
+//! message plane (`aba_sim::PackedMailbox`) and tally thresholds with
+//! word-parallel popcounts instead of per-message iteration.
 
-use aba_sim::Message;
+use aba_sim::{Message, PackedMessage};
 
 /// Which communication round of a phase a message belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +110,133 @@ impl Message for BaMsg {
                 2 + bits_for(*phase) + 2 + 1 + 1 + 1 + usize::from(flip.is_some())
             }
             BaMsg::Flip { phase, .. } => 2 + bits_for(*phase) + 1,
+        }
+    }
+}
+
+/// 32-bit packed layout of [`BaMsg`] (low bit first):
+///
+/// ```text
+/// bit  0      tag: 0 = Phase, 1 = Flip
+/// bits 1-2    subround index 1..=3      (Phase only; 0 for Flip)
+/// bit  3      val                       (Phase only)
+/// bit  4      decided                   (Phase only)
+/// bit  5      flip present              (Phase only)
+/// bits 6-13   flip / value as `i8 as u8` (0 when absent)
+/// bits 14-31  phase, 18 bits (packing fails at phase >= 2^18)
+/// ```
+///
+/// The field order is chosen so that every threshold tally of the
+/// protocol is a single `(mask, bits)` equality query: phase, subround,
+/// `val`, `decided`, flip presence and flip *sign* (bit 13, the i8 sign
+/// bit) are each independently maskable.
+pub mod ba_code {
+    use super::SubRound;
+
+    /// Mask of the type-tag bit.
+    pub const TAG: u32 = 1;
+    /// Mask of the subround bits.
+    pub const SUB: u32 = 0b110;
+    /// Mask of the `val` bit.
+    pub const VAL: u32 = 1 << 3;
+    /// Mask of the `decided` bit.
+    pub const DECIDED: u32 = 1 << 4;
+    /// Mask of the flip-presence bit.
+    pub const FLIP_PRESENT: u32 = 1 << 5;
+    /// Shift of the 8-bit flip payload.
+    pub const FLIP_SHIFT: u32 = 6;
+    /// Mask of the flip sign bit (the i8 sign bit; clear means the
+    /// clamped contribution is `+1`).
+    pub const FLIP_SIGN: u32 = 1 << 13;
+    /// Shift of the phase counter.
+    pub const PHASE_SHIFT: u32 = 14;
+    /// Number of phase bits; phases `>= 2^18` do not pack.
+    pub const PHASE_BITS: u32 = 18;
+    /// Mask of the phase bits.
+    pub const PHASE: u32 = ((1 << PHASE_BITS) - 1) << PHASE_SHIFT;
+
+    /// The packed phase field, or `None` if the counter does not fit.
+    pub fn phase_field(phase: u64) -> Option<u32> {
+        (phase < 1 << PHASE_BITS).then_some((phase as u32) << PHASE_SHIFT)
+    }
+
+    /// `(mask, bits)` matching `Phase { phase, sub, val, .. }` with any
+    /// `decided`/flip — the round-1 value tally.
+    pub fn phase_val_query(phase: u64, sub: SubRound, val: bool) -> Option<(u32, u32)> {
+        let bits = phase_field(phase)? | ((sub.index() as u32) << 1) | ((val as u32) << 3);
+        Some((TAG | SUB | VAL | PHASE, bits))
+    }
+
+    /// `(mask, bits)` matching `Phase { phase, sub, val, decided: true, .. }`
+    /// — the round-2 decided-value tally.
+    pub fn decided_val_query(phase: u64, sub: SubRound, val: bool) -> Option<(u32, u32)> {
+        let (mask, bits) = phase_val_query(phase, sub, val)?;
+        Some((mask | DECIDED, bits | DECIDED))
+    }
+
+    /// `(mask, bits)` matching `Phase { phase, sub, flip: Some(f), .. }`
+    /// whose clamped flip is `+1` (`positive`) or `-1` — the piggybacked
+    /// committee-coin tally.
+    pub fn piggyback_flip_query(phase: u64, sub: SubRound, positive: bool) -> Option<(u32, u32)> {
+        let mut bits = phase_field(phase)? | ((sub.index() as u32) << 1) | FLIP_PRESENT;
+        if !positive {
+            bits |= FLIP_SIGN;
+        }
+        Some((TAG | SUB | FLIP_PRESENT | FLIP_SIGN | PHASE, bits))
+    }
+
+    /// `(mask, bits)` matching `Flip { phase, value }` whose clamped
+    /// contribution is `+1` (`positive`) or `-1` — the literal
+    /// coin-round tally.
+    pub fn standalone_flip_query(phase: u64, positive: bool) -> Option<(u32, u32)> {
+        let mut bits = phase_field(phase)? | TAG;
+        if !positive {
+            bits |= FLIP_SIGN;
+        }
+        Some((TAG | FLIP_SIGN | PHASE, bits))
+    }
+}
+
+impl PackedMessage for BaMsg {
+    fn pack(&self) -> Option<u32> {
+        match *self {
+            BaMsg::Phase {
+                phase,
+                sub,
+                val,
+                decided,
+                flip,
+            } => {
+                let mut c = ba_code::phase_field(phase)?;
+                c |= (sub.index() as u32) << 1;
+                c |= (val as u32) << 3;
+                c |= (decided as u32) << 4;
+                if let Some(f) = flip {
+                    c |= ba_code::FLIP_PRESENT | ((f as u8 as u32) << ba_code::FLIP_SHIFT);
+                }
+                Some(c)
+            }
+            BaMsg::Flip { phase, value } => Some(
+                ba_code::phase_field(phase)?
+                    | ba_code::TAG
+                    | ((value as u8 as u32) << ba_code::FLIP_SHIFT),
+            ),
+        }
+    }
+
+    fn unpack(code: u32) -> Self {
+        let phase = (code >> ba_code::PHASE_SHIFT) as u64;
+        let raw = ((code >> ba_code::FLIP_SHIFT) & 0xFF) as u8 as i8;
+        if code & ba_code::TAG != 0 {
+            BaMsg::Flip { phase, value: raw }
+        } else {
+            BaMsg::Phase {
+                phase,
+                sub: SubRound::from_index(((code >> 1) & 0b11) as u64),
+                val: code & ba_code::VAL != 0,
+                decided: code & ba_code::DECIDED != 0,
+                flip: (code & ba_code::FLIP_PRESENT != 0).then_some(raw),
+            }
         }
     }
 }
@@ -241,6 +373,128 @@ mod tests {
         };
         assert_eq!(m.clamped_flip(), None);
         assert_eq!(m.phase(), 1);
+    }
+
+    #[test]
+    fn packed_codec_roundtrips_exhaustively() {
+        let mut msgs = Vec::new();
+        for phase in [1, 2, 3, 500, (1 << 18) - 1] {
+            for value in [-128i8, -1, 0, 1, 127] {
+                msgs.push(BaMsg::Flip { phase, value });
+            }
+            for sub in [SubRound::One, SubRound::Two, SubRound::Three] {
+                for val in [false, true] {
+                    for decided in [false, true] {
+                        for flip in [None, Some(-128i8), Some(-1), Some(0), Some(1), Some(127)] {
+                            msgs.push(BaMsg::Phase {
+                                phase,
+                                sub,
+                                val,
+                                decided,
+                                flip,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for m in msgs {
+            let code = m.pack().expect("fits");
+            assert_eq!(BaMsg::unpack(code), m, "roundtrip of {m:?}");
+        }
+    }
+
+    #[test]
+    fn packing_fails_only_on_oversized_phase() {
+        let big = BaMsg::Flip {
+            phase: 1 << 18,
+            value: 1,
+        };
+        assert_eq!(big.pack(), None);
+        let big = BaMsg::Phase {
+            phase: 1 << 18,
+            sub: SubRound::One,
+            val: true,
+            decided: false,
+            flip: None,
+        };
+        assert_eq!(big.pack(), None);
+    }
+
+    #[test]
+    fn query_builders_match_pack_output() {
+        let matches = |m: &BaMsg, q: (u32, u32)| m.pack().expect("fits") & q.0 == q.1;
+        let msg = BaMsg::Phase {
+            phase: 7,
+            sub: SubRound::One,
+            val: true,
+            decided: false,
+            flip: None,
+        };
+        assert!(matches(
+            &msg,
+            ba_code::phase_val_query(7, SubRound::One, true).unwrap()
+        ));
+        assert!(!matches(
+            &msg,
+            ba_code::phase_val_query(7, SubRound::One, false).unwrap()
+        ));
+        assert!(!matches(
+            &msg,
+            ba_code::phase_val_query(8, SubRound::One, true).unwrap()
+        ));
+        // decided_val_query requires the decided bit regardless of val.
+        assert!(!matches(
+            &msg,
+            ba_code::decided_val_query(7, SubRound::One, true).unwrap()
+        ));
+        let dec = BaMsg::Phase {
+            phase: 7,
+            sub: SubRound::Two,
+            val: false,
+            decided: true,
+            flip: Some(-3),
+        };
+        assert!(matches(
+            &dec,
+            ba_code::decided_val_query(7, SubRound::Two, false).unwrap()
+        ));
+        // Flip sign splits on the clamped contribution: raw >= 0 is +1.
+        assert!(matches(
+            &dec,
+            ba_code::piggyback_flip_query(7, SubRound::Two, false).unwrap()
+        ));
+        assert!(!matches(
+            &dec,
+            ba_code::piggyback_flip_query(7, SubRound::Two, true).unwrap()
+        ));
+        let zero_flip = BaMsg::Phase {
+            phase: 7,
+            sub: SubRound::Two,
+            val: false,
+            decided: true,
+            flip: Some(0),
+        };
+        assert!(matches(
+            &zero_flip,
+            ba_code::piggyback_flip_query(7, SubRound::Two, true).unwrap()
+        ));
+        let f = BaMsg::Flip { phase: 9, value: 1 };
+        assert!(matches(
+            &f,
+            ba_code::standalone_flip_query(9, true).unwrap()
+        ));
+        assert!(!matches(
+            &f,
+            ba_code::standalone_flip_query(9, false).unwrap()
+        ));
+        // Phase messages never match the standalone-flip query.
+        assert!(!matches(
+            &dec,
+            ba_code::standalone_flip_query(7, false).unwrap()
+        ));
+        // Oversized phases refuse to build a query at all.
+        assert_eq!(ba_code::phase_val_query(1 << 18, SubRound::One, true), None);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::check::CheckedTrial;
 use crate::runner::{self, TrialResult};
-use crate::scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, InputSpec, NetworkSpec, PlaneSpec, ProtocolSpec, Scenario};
 use aba_agreement::CommitteeBa;
 use aba_sim::adversary::Adversary;
 use aba_sim::InfoModel;
@@ -108,6 +108,25 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn trials(mut self, k: usize) -> Self {
         self.trials = k;
+        self
+    }
+
+    /// Selects the message plane. [`PlaneSpec::Packed`] routes
+    /// committee-family runs through the bit-packed binary plane;
+    /// protocols without a packed codec silently stay dense so the
+    /// switch is always safe to set campaign-wide.
+    #[must_use]
+    pub fn plane(mut self, p: PlaneSpec) -> Self {
+        self.scenario.plane = p;
+        self
+    }
+
+    /// Sets the in-round worker count (default 1 = serial). Results are
+    /// byte-identical at any thread count; this only trades wall-clock
+    /// for cores on large `n`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.scenario.threads = threads;
         self
     }
 

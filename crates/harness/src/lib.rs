@@ -38,7 +38,7 @@ pub use facade::{run_scenario, BatchReport, ScenarioBuilder};
 pub use observe::{observe_replay, observe_scenario, ObservedReplay, ObservedTrial};
 pub use report::Report;
 pub use runner::{ReplayOutcome, TrialResult};
-pub use scenario::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
+pub use scenario::{AttackSpec, InputSpec, NetworkSpec, PlaneSpec, ProtocolSpec, Scenario};
 
 // Re-export the oracle report types so facade users need only this
 // crate to inspect check results.

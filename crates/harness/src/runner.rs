@@ -13,9 +13,11 @@
 //! differential that pins trace fidelity).
 
 use crate::check::{lemma_suite_for, CheckedTrial};
-use crate::scenario::{AttackSpec, NetworkSpec, ProtocolSpec, Scenario};
+use crate::scenario::{AttackSpec, NetworkSpec, PlaneSpec, ProtocolSpec, Scenario};
 use aba_adversary::{AdaptiveCrash, Benign, BudgetCapped, StaticBehavior, StaticByzantine};
-use aba_agreement::{BaConfig, CoinRoundMode, CommitteeBa, PhaseKingBa, SamplingMajorityNode};
+use aba_agreement::{
+    BaConfig, BaMsg, CoinRoundMode, CommitteeBa, PhaseKingBa, SamplingMajorityNode,
+};
 use aba_attacks::{
     AdaptiveFullAttack, BudgetPolicy, CoinKiller, NonRushingPolicy, SamplingPoison, SplitVote,
 };
@@ -27,7 +29,7 @@ use aba_sim::adversary::Adversary;
 use aba_sim::oracle::{NoOracle, Oracle};
 use aba_sim::probe::{NoProbe, Probe};
 use aba_sim::protocol::Protocol;
-use aba_sim::{RunReport, SimConfig, Simulation, Verdict};
+use aba_sim::{PackedMailbox, PackedSimulation, RunReport, SimConfig, Simulation, Verdict};
 
 /// Result of one trial, flattened for aggregation.
 #[derive(Debug, Clone, PartialEq)]
@@ -188,6 +190,7 @@ fn sim_config(s: &Scenario) -> SimConfig {
         .with_seed(s.seed)
         .with_info_model(s.info)
         .with_max_rounds(s.max_rounds)
+        .with_threads(s.threads)
 }
 
 /// How the honest outcome of a run is evaluated into a [`TrialResult`].
@@ -234,7 +237,8 @@ impl Eval<'_> {
 /// randomness.
 fn simulate_oracle<P, A, O>(s: &Scenario, nodes: Vec<P>, adversary: A, oracle: O) -> (RunReport, O)
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     A: Adversary<P>,
     O: Oracle<P::Msg>,
 {
@@ -254,7 +258,8 @@ fn simulate_full<P, A, O, B>(
     probe: B,
 ) -> (RunReport, O, B)
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     A: Adversary<P>,
     O: Oracle<P::Msg>,
     B: Probe,
@@ -303,6 +308,130 @@ where
     }
 }
 
+/// Packed-plane counterpart of [`simulate_full`] for the committee
+/// family: the same network dispatch with `L = PackedMailbox<BaMsg>`.
+/// The oracle and probe seams stay on the dense plane — the packed plane
+/// is a performance surface, pinned against dense `TrialResult`s by the
+/// differential suites rather than instrumented in place.
+fn simulate_packed<A>(s: &Scenario, nodes: Vec<CommitteeBa>, adversary: A) -> RunReport
+where
+    A: Adversary<CommitteeBa, PackedMailbox<BaMsg>>,
+{
+    let cfg = sim_config(s);
+    match s.network {
+        NetworkSpec::Synchronous => {
+            PackedSimulation::with_instruments(
+                cfg,
+                nodes,
+                adversary,
+                NetDelivery::new(Synchronous, s.seed),
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+        }
+        NetworkSpec::LossyLinks { p_drop } => {
+            PackedSimulation::with_instruments(
+                cfg,
+                nodes,
+                adversary,
+                NetDelivery::new(LossyLinks::new(p_drop), s.seed),
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+        }
+        NetworkSpec::BoundedDelay {
+            max_delay,
+            scheduler,
+        } => {
+            PackedSimulation::with_instruments(
+                cfg,
+                nodes,
+                adversary,
+                NetDelivery::new(BoundedDelay::new(max_delay, scheduler), s.seed),
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+        }
+        NetworkSpec::Partition { groups, heal_round } => {
+            PackedSimulation::with_instruments(
+                cfg,
+                nodes,
+                adversary,
+                NetDelivery::new(Partition::striped(s.n, groups, heal_round), s.seed),
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+        }
+    }
+}
+
+/// Packed-plane counterpart of [`run_committee`], [`Plain`]-drive only.
+fn run_committee_packed<A>(
+    s: &Scenario,
+    cfg: &BaConfig,
+    adversary: A,
+    downgraded: bool,
+) -> TrialResult
+where
+    A: Adversary<CommitteeBa, PackedMailbox<BaMsg>>,
+{
+    let inputs = s.inputs.materialize(s.n, s.seed);
+    let name = adversary.name();
+    let report = simulate_packed(s, CommitteeBa::network(cfg, &inputs), adversary);
+    Eval::Inputs(&inputs).trial(s, &report, name, downgraded)
+}
+
+/// Runs a committee-family scenario on the bit-packed plane, or `None`
+/// when the scenario's protocol has no packed codec (the coin, sampling,
+/// and Phase-King families stay dense). The attack table mirrors
+/// [`dispatch_committee`] entry for entry so a plane switch never
+/// changes which adversary runs.
+pub(crate) fn run_scenario_packed(s: &Scenario) -> Option<TrialResult> {
+    let cfg = &committee_config(s)?;
+    Some(match s.attack {
+        AttackSpec::Benign => run_committee_packed(s, cfg, Benign, false),
+        AttackSpec::StaticSilent => run_committee_packed(
+            s,
+            cfg,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
+        ),
+        AttackSpec::StaticMirror => run_committee_packed(
+            s,
+            cfg,
+            StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
+        ),
+        AttackSpec::Crash { per_round } => {
+            run_committee_packed(s, cfg, AdaptiveCrash::steady(per_round), false)
+        }
+        AttackSpec::SplitVote => run_committee_packed(s, cfg, SplitVote::new(), false),
+        AttackSpec::FullAttack => {
+            run_committee_packed(s, cfg, AdaptiveFullAttack::new(BudgetPolicy::Greedy), false)
+        }
+        AttackSpec::FullAttackFrugal => {
+            run_committee_packed(s, cfg, AdaptiveFullAttack::new(BudgetPolicy::Frugal), false)
+        }
+        AttackSpec::FullAttackCapped { q } => run_committee_packed(
+            s,
+            cfg,
+            BudgetCapped::new(AdaptiveFullAttack::new(BudgetPolicy::Greedy), q),
+            false,
+        ),
+        AttackSpec::CoinKiller | AttackSpec::SamplingPoison => {
+            run_committee_packed(s, cfg, AdaptiveFullAttack::new(BudgetPolicy::Greedy), true)
+        }
+    })
+}
+
 /// An execution strategy over the monomorphized protocol × adversary ×
 /// network dispatch. `make_nodes` rebuilds the protocol network from
 /// scratch (replay drives the engine twice).
@@ -320,7 +449,8 @@ pub(crate) trait Drive {
         downgraded: bool,
     ) -> Self::Out
     where
-        P: Protocol,
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
         A: Adversary<P>;
 }
 
@@ -339,7 +469,8 @@ impl Drive for Plain {
         downgraded: bool,
     ) -> TrialResult
     where
-        P: Protocol,
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
         A: Adversary<P>,
     {
         let name = adversary.name();
@@ -363,7 +494,8 @@ impl Drive for CheckDrive {
         downgraded: bool,
     ) -> CheckedTrial
     where
-        P: Protocol,
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
         A: Adversary<P>,
     {
         let name = adversary.name();
@@ -393,7 +525,8 @@ impl Drive for Replayed {
         downgraded: bool,
     ) -> ReplayOutcome
     where
-        P: Protocol,
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
         A: Adversary<P>,
     {
         let name = adversary.name();
@@ -427,7 +560,8 @@ impl Drive for ObserveDrive {
         downgraded: bool,
     ) -> crate::observe::ObservedTrial
     where
-        P: Protocol,
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
         A: Adversary<P>,
     {
         let name = adversary.name();
@@ -471,7 +605,8 @@ impl Drive for ObservedReplayDrive {
         downgraded: bool,
     ) -> crate::observe::ObservedReplay
     where
-        P: Protocol,
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
         A: Adversary<P>,
     {
         let name = adversary.name();
@@ -806,6 +941,11 @@ pub(crate) fn drive_scenario<D: Drive>(d: &D, s: &Scenario) -> D::Out {
 ///
 /// Same preconditions as [`drive_scenario`].
 pub(crate) fn run_scenario(s: &Scenario) -> TrialResult {
+    if s.plane == PlaneSpec::Packed {
+        if let Some(r) = run_scenario_packed(s) {
+            return r;
+        }
+    }
     drive_scenario(&Plain, s)
 }
 

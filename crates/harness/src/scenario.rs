@@ -211,6 +211,33 @@ impl NetworkSpec {
     }
 }
 
+/// Which message plane a run stores its rounds on.
+///
+/// Purely an execution-strategy knob: both planes reproduce the same
+/// observable semantics, so `TrialResult`s are identical either way —
+/// the packed plane is just faster at large `n` for binary protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaneSpec {
+    /// The dense broadcast-base + deviation-cell mailbox (the default;
+    /// works for every protocol).
+    #[default]
+    Dense,
+    /// The bit-packed binary plane (u64 bitset rows, word-parallel
+    /// tallies). Only the committee-BA family runs on it; the runner's
+    /// packed entry point reports other protocols as unsupported.
+    Packed,
+}
+
+impl PlaneSpec {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlaneSpec::Dense => "dense",
+            PlaneSpec::Packed => "packed",
+        }
+    }
+}
+
 /// A fully specified trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -232,6 +259,12 @@ pub struct Scenario {
     pub seed: u64,
     /// Round cap (runs hitting it count as non-terminating).
     pub max_rounds: u64,
+    /// In-round worker threads for the per-node protocol step (1 =
+    /// serial). Results are byte-identical at any thread count.
+    pub threads: usize,
+    /// Message plane to run on (execution strategy only; results are
+    /// identical across planes).
+    pub plane: PlaneSpec,
 }
 
 impl Scenario {
@@ -249,6 +282,8 @@ impl Scenario {
             network: NetworkSpec::Synchronous,
             seed: 0,
             max_rounds: 20_000,
+            threads: 1,
+            plane: PlaneSpec::Dense,
         }
     }
 
@@ -298,6 +333,21 @@ impl Scenario {
     #[must_use]
     pub fn with_max_rounds(mut self, r: u64) -> Self {
         self.max_rounds = r;
+        self
+    }
+
+    /// Sets the in-round worker thread count (clamped to ≥ 1 at run
+    /// time; 0 is treated as 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the message plane.
+    #[must_use]
+    pub fn with_plane(mut self, plane: PlaneSpec) -> Self {
+        self.plane = plane;
         self
     }
 }
@@ -373,5 +423,16 @@ mod tests {
     #[test]
     fn default_network_is_synchronous() {
         assert_eq!(Scenario::new(7, 2).network, NetworkSpec::Synchronous);
+    }
+
+    #[test]
+    fn plane_and_threads_default_dense_and_serial() {
+        let s = Scenario::new(8, 2);
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.plane, PlaneSpec::Dense);
+        let s = s.with_threads(4).with_plane(PlaneSpec::Packed);
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.plane.name(), "packed");
+        assert_eq!(PlaneSpec::default().name(), "dense");
     }
 }

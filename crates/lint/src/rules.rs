@@ -368,6 +368,11 @@ fn has_precision_spec(lit: &str) -> bool {
 /// adapters (`aba-net`) may place or remove messages; protocol,
 /// adversary, and analysis code observing the mailbox must stay
 /// read-only, or replay recordings diverge from live runs.
+///
+/// Both message planes are covered: the mutator names are shared
+/// through the `MessagePlane` trait, and constructing either plane
+/// (`RoundMailbox` or the bit-packed `PackedMailbox`) outside the seam
+/// owners is itself a finding.
 fn seam_bypass(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     if SEAM_OWNERS.contains(&ctx.crate_name) {
         return;
@@ -391,7 +396,7 @@ fn seam_bypass(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 && i >= 1
                 && ctx.text(i - 1) == "."
                 && ctx.sig.get(i + 1).is_some_and(|n| n.text(ctx.src) == "("))
-            || (name == "RoundMailbox"
+            || (matches!(name, "RoundMailbox" | "PackedMailbox")
                 && i + 3 < ctx.sig.len()
                 && ctx.text(i + 1) == ":"
                 && ctx.text(i + 2) == ":"

@@ -1,0 +1,10 @@
+//! Fixture: bit-packed mailbox construction and mutation outside the
+//! delivery seam — the packed plane is held to the same rule as the
+//! dense one.
+
+pub fn forge_packed() -> PackedMailbox {
+    let mut wire = PackedMailbox::new(64);
+    wire.set_broadcast_except(0, 1, &[3]);
+    wire.take_broadcast(0);
+    wire
+}

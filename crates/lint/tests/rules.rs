@@ -84,6 +84,28 @@ fn reasoned_allow_silences_each_rule() {
     }
 }
 
+/// The packed message plane is held to the same seam rule as the dense
+/// one: constructing a `PackedMailbox` or calling its mutators outside
+/// aba-sim/aba-net fires, and nothing else does.
+#[test]
+fn seam_bypass_covers_the_packed_plane() {
+    let diags = lint_fixture("seam_bypass_packed_fires.rs");
+    assert!(
+        diags.iter().any(|d| d.msg.contains("PackedMailbox")),
+        "packed construction not reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.msg.contains("set_broadcast_except"))
+            && diags.iter().any(|d| d.msg.contains("take_broadcast")),
+        "packed mutators not reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.rule == "seam-bypass"),
+        "unexpected extra rules: {:?}",
+        rules_of(&diags)
+    );
+}
+
 /// The rng fixture exercises both ledger checks: raw construction and
 /// an undeclared stream reference.
 #[test]

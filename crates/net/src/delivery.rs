@@ -17,7 +17,9 @@
 use crate::flight::FlightQueue;
 use crate::model::{Fate, Link, NetworkModel};
 use aba_sim::rng::{rng_for, streams};
-use aba_sim::{CorruptionLedger, Delivery, DeliveryStats, Message, NodeId, Round, RoundMailbox};
+use aba_sim::{
+    CorruptionLedger, Delivery, DeliveryStats, Message, MessagePlane, NodeId, Round, RoundMailbox,
+};
 use rand::rngs::SmallRng;
 
 /// Delivery stage backed by a pluggable network model and a cross-round
@@ -32,13 +34,13 @@ use rand::rngs::SmallRng;
 /// arrivals mailbox itself are pooled across rounds, so steady-state
 /// delivery allocates nothing.
 #[derive(Debug)]
-pub struct NetDelivery<M, N> {
+pub struct NetDelivery<M, N, L = RoundMailbox<M>> {
     model: N,
     queue: FlightQueue<M>,
     rng: SmallRng,
-    /// Pooled arrivals mailbox; swaps with the engine's wire mailbox
+    /// Pooled arrivals plane; swaps with the engine's wire plane
     /// every non-transparent round.
-    pool: RoundMailbox<M>,
+    pool: L,
     /// Receivers knocked out of this round's broadcasts (flat, ascending
     /// per sender), indexed by `bcast_spans`.
     knocked_flat: Vec<u32>,
@@ -58,14 +60,14 @@ pub struct NetDelivery<M, N> {
     spare_lists: Vec<Vec<u32>>,
 }
 
-impl<M: Message, N: NetworkModel> NetDelivery<M, N> {
+impl<M: Message, N: NetworkModel, L: MessagePlane<M>> NetDelivery<M, N, L> {
     /// Creates the stage for a run with the given master seed.
     pub fn new(model: N, master_seed: u64) -> Self {
         NetDelivery {
             model,
             queue: FlightQueue::new(),
             rng: rng_for(master_seed, streams::NETWORK),
-            pool: RoundMailbox::default(),
+            pool: L::default(),
             knocked_flat: Vec::new(),
             bcast_spans: Vec::new(),
             fresh: Vec::new(),
@@ -81,13 +83,13 @@ impl<M: Message, N: NetworkModel> NetDelivery<M, N> {
     }
 }
 
-impl<M: Message, N: NetworkModel> Delivery<M> for NetDelivery<M, N> {
+impl<M: Message, N: NetworkModel, L: MessagePlane<M>> Delivery<M, L> for NetDelivery<M, N, L> {
     fn deliver(
         &mut self,
         round: Round,
-        mut wire: RoundMailbox<M>,
+        mut wire: L,
         ledger: &CorruptionLedger,
-    ) -> (RoundMailbox<M>, DeliveryStats) {
+    ) -> (L, DeliveryStats) {
         let mut stats = DeliveryStats::default();
         if self.model.transparent(round) && self.queue.is_empty() {
             stats.delivered = wire.message_count();
@@ -159,16 +161,19 @@ impl<M: Message, N: NetworkModel> Delivery<M> for NetDelivery<M, N> {
             } else {
                 for r in 0..n as u32 {
                     let receiver = NodeId::new(r);
-                    let Some(m) = wire.resolve(sender, receiver) else {
+                    if !wire.has_message(sender, receiver) {
                         continue;
-                    };
+                    }
                     // A node's self-copy never touches the network:
                     // deliver it directly (it is also excluded from
                     // `message_count`, so it is not in the stats). It
                     // cannot conflict with queued traffic — the queue
                     // never carries self-links.
                     if r == s {
-                        out.insert(sender, receiver, m.clone());
+                        let m = wire
+                            .resolve_value(sender, receiver)
+                            .expect("present message resolves");
+                        out.insert(sender, receiver, m);
                         continue;
                     }
                     let link = Link {
@@ -181,7 +186,10 @@ impl<M: Message, N: NetworkModel> Delivery<M> for NetDelivery<M, N> {
                         Fate::Delay(d) => {
                             stats.delayed += 1;
                             let due = round.index() + d.max(1);
-                            self.queue.push(round, due, sender, receiver, m.clone());
+                            let m = wire
+                                .resolve_value(sender, receiver)
+                                .expect("present message resolves");
+                            self.queue.push(round, due, sender, receiver, m);
                         }
                         Fate::Drop => stats.dropped += 1,
                     }
@@ -233,9 +241,8 @@ impl<M: Message, N: NetworkModel> Delivery<M> for NetDelivery<M, N> {
             let sender = NodeId::new(s);
             let receiver = NodeId::new(r);
             let m = wire
-                .resolve(sender, receiver)
-                .expect("fresh message vanished mid-round")
-                .clone();
+                .resolve_value(sender, receiver)
+                .expect("fresh message vanished mid-round");
             match out.insert_if_vacant(sender, receiver, m) {
                 None => stats.delivered += 1,
                 Some(m) => {

@@ -18,7 +18,10 @@
 //! next round inside its group (the group splits off its undelivered
 //! tail as a `due + 1` group in place, preserving its position).
 
-use aba_sim::{Message, NodeId, Round, RoundMailbox};
+use aba_sim::{Message, MessagePlane, NodeId, Round};
+
+#[cfg(test)]
+use aba_sim::RoundMailbox;
 
 /// One group of messages travelling between rounds: the same payload
 /// from one sender to many receivers, emitted and due together.
@@ -138,8 +141,10 @@ impl<M: Message> FlightQueue<M> {
 
     /// Moves every message due by `round` into `out`, oldest first; a
     /// due message whose link is already occupied in `out` slips to the
-    /// next round. Messages due later stay queued untouched.
-    pub fn drain_due(&mut self, round: Round, out: &mut RoundMailbox<M>) -> DrainOutcome {
+    /// next round. Messages due later stay queued untouched. Generic
+    /// over the message plane: the queue drains into the packed plane
+    /// exactly as into the dense mailbox.
+    pub fn drain_due<L: MessagePlane<M>>(&mut self, round: Round, out: &mut L) -> DrainOutcome {
         let mut outcome = DrainOutcome::default();
         // Ping-pong with the pooled scratch vector: `drain` moves groups
         // out without giving up either buffer's capacity, so steady-state

@@ -51,7 +51,12 @@ pub enum Fate {
 /// A deterministic, seed-reproducible network-condition model.
 pub trait NetworkModel {
     /// Decides the fate of the message crossing `link` in `round`.
-    fn route(&mut self, round: Round, link: Link, rng: &mut dyn RngCore) -> Fate;
+    ///
+    /// Generic over the RNG so the per-edge draw inlines into the
+    /// delivery loop (the `n²` calls per round made a `dyn RngCore`
+    /// vtable hop measurable at large `n`); models that need dynamic
+    /// dispatch can still take `&mut dyn RngCore` via `R = dyn RngCore`.
+    fn route<R: RngCore + ?Sized>(&mut self, round: Round, link: Link, rng: &mut R) -> Fate;
 
     /// True if every message this round is delivered immediately and no
     /// randomness is consumed — the fast-path promise (see module docs).
@@ -69,7 +74,7 @@ mod tests {
 
     struct AlwaysDrop;
     impl NetworkModel for AlwaysDrop {
-        fn route(&mut self, _: Round, _: Link, _: &mut dyn RngCore) -> Fate {
+        fn route<R: RngCore + ?Sized>(&mut self, _: Round, _: Link, _: &mut R) -> Fate {
             Fate::Drop
         }
         fn name(&self) -> &'static str {

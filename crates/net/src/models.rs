@@ -16,7 +16,7 @@ use rand::{Rng, RngCore};
 pub struct Synchronous;
 
 impl NetworkModel for Synchronous {
-    fn route(&mut self, _round: Round, _link: Link, _rng: &mut dyn RngCore) -> Fate {
+    fn route<R: RngCore + ?Sized>(&mut self, _round: Round, _link: Link, _rng: &mut R) -> Fate {
         Fate::Deliver
     }
 
@@ -35,6 +35,13 @@ impl NetworkModel for Synchronous {
 #[derive(Debug, Clone, Copy)]
 pub struct LossyLinks {
     p_drop: f64,
+    /// `ceil(p_drop * 2^53)`: the integer drop threshold. `gen_bool`
+    /// compares a 53-bit draw scaled by `2^-53` against `p_drop`; both
+    /// scalings are exact (powers of two), so `draw < p_drop * 2^53`
+    /// over the integers decides the *same* fate from the *same* single
+    /// `next_u64` — replays stay bit-identical while the per-edge hot
+    /// path loses the int→float convert and multiply.
+    drop_threshold: u64,
 }
 
 impl LossyLinks {
@@ -48,7 +55,10 @@ impl LossyLinks {
             (0.0..=1.0).contains(&p_drop),
             "p_drop must be a probability, got {p_drop}"
         );
-        LossyLinks { p_drop }
+        LossyLinks {
+            p_drop,
+            drop_threshold: (p_drop * (1u64 << 53) as f64).ceil() as u64,
+        }
     }
 
     /// The per-message drop probability.
@@ -58,8 +68,10 @@ impl LossyLinks {
 }
 
 impl NetworkModel for LossyLinks {
-    fn route(&mut self, _round: Round, _link: Link, rng: &mut dyn RngCore) -> Fate {
-        if rng.gen_bool(self.p_drop) {
+    fn route<R: RngCore + ?Sized>(&mut self, _round: Round, _link: Link, rng: &mut R) -> Fate {
+        // Integer form of `rng.gen_bool(self.p_drop)` — same draw, same
+        // fate (see `drop_threshold`).
+        if (rng.next_u64() >> 11) < self.drop_threshold {
             Fate::Drop
         } else {
             Fate::Deliver
@@ -116,7 +128,7 @@ impl BoundedDelay {
 }
 
 impl NetworkModel for BoundedDelay {
-    fn route(&mut self, _round: Round, link: Link, rng: &mut dyn RngCore) -> Fate {
+    fn route<R: RngCore + ?Sized>(&mut self, _round: Round, link: Link, rng: &mut R) -> Fate {
         if self.max_delay == 0 {
             return Fate::Deliver;
         }
@@ -208,7 +220,7 @@ impl Partition {
 }
 
 impl NetworkModel for Partition {
-    fn route(&mut self, round: Round, link: Link, _rng: &mut dyn RngCore) -> Fate {
+    fn route<R: RngCore + ?Sized>(&mut self, round: Round, link: Link, _rng: &mut R) -> Fate {
         if self.connected(round, link.sender, link.receiver) {
             Fate::Deliver
         } else {

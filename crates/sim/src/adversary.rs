@@ -20,6 +20,7 @@ use crate::error::SimError;
 use crate::id::{NodeId, Round};
 use crate::mailbox::RoundMailbox;
 use crate::message::Emission;
+use crate::plane::MessagePlane;
 use crate::protocol::Protocol;
 use rand::RngCore;
 
@@ -178,21 +179,23 @@ impl<M> Default for AdversaryAction<M> {
 /// full-information model; strategies for a concrete protocol type can
 /// read any field its accessors expose. `outgoing` carries the messages
 /// honest nodes emitted this round; it is `None` under
-/// [`InfoModel::NonRushing`].
-pub struct RoundView<'a, P: Protocol> {
+/// [`InfoModel::NonRushing`]. `L` is the message plane the run uses
+/// (default: the dense [`RoundMailbox`]).
+pub struct RoundView<'a, P: Protocol, L: MessagePlane<P::Msg> = RoundMailbox<<P as Protocol>::Msg>>
+{
     /// Current round.
     pub round: Round,
     /// All protocol nodes (honest and corrupted alike), indexed by ID.
     pub nodes: &'a [P],
     /// Honest emissions of the current round (rushing model only).
-    pub outgoing: Option<&'a RoundMailbox<P::Msg>>,
+    pub outgoing: Option<&'a L>,
     /// Corruption bookkeeping (who is corrupted, remaining budget).
     pub ledger: &'a CorruptionLedger,
     /// Which nodes have halted.
     pub halted: &'a [bool],
 }
 
-impl<'a, P: Protocol> RoundView<'a, P> {
+impl<'a, P: Protocol, L: MessagePlane<P::Msg>> RoundView<'a, P, L> {
     /// Network size.
     pub fn n(&self) -> usize {
         self.nodes.len()
@@ -215,9 +218,10 @@ impl<'a, P: Protocol> RoundView<'a, P> {
 /// independent RNG stream, and return an [`AdversaryAction`]. The engine
 /// validates the action (budget, no sends from honest nodes) and applies
 /// it.
-pub trait Adversary<P: Protocol> {
+pub trait Adversary<P: Protocol, L: MessagePlane<P::Msg> = RoundMailbox<<P as Protocol>::Msg>> {
     /// Decide this round's corruptions and Byzantine messages.
-    fn act(&mut self, view: &RoundView<'_, P>, rng: &mut dyn RngCore) -> AdversaryAction<P::Msg>;
+    fn act(&mut self, view: &RoundView<'_, P, L>, rng: &mut dyn RngCore)
+        -> AdversaryAction<P::Msg>;
 
     /// Human-readable strategy name (used in reports).
     fn name(&self) -> &'static str {
@@ -238,8 +242,12 @@ impl Benign {
     }
 }
 
-impl<P: Protocol> Adversary<P> for Benign {
-    fn act(&mut self, _view: &RoundView<'_, P>, _rng: &mut dyn RngCore) -> AdversaryAction<P::Msg> {
+impl<P: Protocol, L: MessagePlane<P::Msg>> Adversary<P, L> for Benign {
+    fn act(
+        &mut self,
+        _view: &RoundView<'_, P, L>,
+        _rng: &mut dyn RngCore,
+    ) -> AdversaryAction<P::Msg> {
         AdversaryAction::pass()
     }
 

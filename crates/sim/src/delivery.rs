@@ -18,6 +18,7 @@ use crate::adversary::CorruptionLedger;
 use crate::id::Round;
 use crate::mailbox::RoundMailbox;
 use crate::message::Message;
+use crate::plane::MessagePlane;
 
 /// What the delivery stage did with this round's traffic.
 ///
@@ -46,19 +47,19 @@ pub struct DeliveryStats {
 /// seed: the engine guarantees `deliver` is called exactly once per
 /// round, in round order, so any internal RNG stream replays identically
 /// for identical runs.
-pub trait Delivery<M: Message> {
+///
+/// The second parameter is the message plane the stage operates on,
+/// defaulting to the dense [`RoundMailbox`] — implementations generic
+/// over `L` (like `aba-net`'s `NetDelivery`) work unchanged on the
+/// bit-packed plane.
+pub trait Delivery<M: Message, L: MessagePlane<M> = RoundMailbox<M>> {
     /// Decides this round's arrivals.
     ///
     /// `wire` holds everything emitted this round (post-adversary);
     /// `ledger` identifies corrupted senders, letting adversarial
     /// schedulers discriminate honest traffic. Returns the mailbox to
     /// deliver plus the round's accounting.
-    fn deliver(
-        &mut self,
-        round: Round,
-        wire: RoundMailbox<M>,
-        ledger: &CorruptionLedger,
-    ) -> (RoundMailbox<M>, DeliveryStats);
+    fn deliver(&mut self, round: Round, wire: L, ledger: &CorruptionLedger) -> (L, DeliveryStats);
 
     /// Messages currently held for future rounds.
     fn in_flight(&self) -> usize {
@@ -75,13 +76,13 @@ pub trait Delivery<M: Message> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PassThrough;
 
-impl<M: Message> Delivery<M> for PassThrough {
+impl<M: Message, L: MessagePlane<M>> Delivery<M, L> for PassThrough {
     fn deliver(
         &mut self,
         _round: Round,
-        wire: RoundMailbox<M>,
+        wire: L,
         _ledger: &CorruptionLedger,
-    ) -> (RoundMailbox<M>, DeliveryStats) {
+    ) -> (L, DeliveryStats) {
         let stats = DeliveryStats {
             delivered: wire.message_count(),
             ..DeliveryStats::default()

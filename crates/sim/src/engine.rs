@@ -18,8 +18,10 @@ use crate::delivery::{Delivery, PassThrough};
 use crate::error::SimError;
 use crate::id::{NodeId, Round};
 use crate::mailbox::RoundMailbox;
+use crate::message::Emission;
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::oracle::{NoOracle, Oracle, RoundCtx};
+use crate::plane::MessagePlane;
 use crate::probe::{NoProbe, Probe, RoundPhase};
 use crate::protocol::Protocol;
 use crate::rng::{self, streams};
@@ -43,6 +45,13 @@ pub struct SimConfig {
     pub record_rounds: bool,
     /// Record a structured event trace.
     pub trace: bool,
+    /// In-round worker threads for the emit and receive phases
+    /// (`0`/`1` = serial). Results are byte-identical at any value:
+    /// nodes are sharded into fixed contiguous ID ranges, each node
+    /// draws from its own per-node RNG stream, and every reduction
+    /// (emission installation, halt bookkeeping, probe hooks) is
+    /// replayed on the main thread in ID order.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -56,6 +65,7 @@ impl SimConfig {
             seed: 0,
             record_rounds: false,
             trace: false,
+            threads: 1,
         }
     }
 
@@ -91,6 +101,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_round_metrics(mut self, on: bool) -> Self {
         self.record_rounds = on;
+        self
+    }
+
+    /// Sets the in-round worker-thread count (see [`SimConfig::threads`]).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -160,13 +177,18 @@ impl RunReport {
 /// pre-oracle engine; checkers attach via [`Simulation::with_oracle`].
 /// The fifth selects the instrumentation [`Probe`] and defaults to
 /// [`NoProbe`] under the same zero-cost contract; observers attach via
-/// [`Simulation::with_instruments`].
+/// [`Simulation::with_instruments`]. The sixth selects the
+/// [`MessagePlane`] the round's messages live in and defaults to the
+/// dense [`RoundMailbox`]; binary-BA protocol families opt into the
+/// bit-packed [`crate::packed::PackedMailbox`] (see [`PackedSimulation`])
+/// for word-parallel tallies at large `n`.
 pub struct Simulation<
     P: Protocol,
-    A: Adversary<P>,
-    D: Delivery<P::Msg> = PassThrough,
-    O: Oracle<P::Msg> = NoOracle,
+    A: Adversary<P, L>,
+    D: Delivery<P::Msg, L> = PassThrough,
+    O: Oracle<P::Msg, L> = NoOracle,
     B: Probe = NoProbe,
+    L: MessagePlane<P::Msg> = RoundMailbox<<P as Protocol>::Msg>,
 > {
     cfg: SimConfig,
     nodes: Vec<P>,
@@ -186,11 +208,19 @@ pub struct Simulation<
     trace: Trace,
     round: Round,
     done: bool,
-    /// Pooled round mailbox: taken at the start of [`Simulation::step`],
+    /// Pooled round plane: taken at the start of [`Simulation::step`],
     /// cleared and refilled, and restored from the delivery stage's
     /// arrivals — no per-round mailbox allocation after warm-up.
-    mailbox_pool: RoundMailbox<P::Msg>,
+    mailbox_pool: L,
+    /// Pooled emission buffer for the sharded emit phase (empty and
+    /// untouched while running serially).
+    emit_buf: Vec<Option<Emission<P::Msg>>>,
 }
+
+/// A [`Simulation`] on the bit-packed
+/// [`PackedMailbox`](crate::packed::PackedMailbox) plane.
+pub type PackedSimulation<P, A, D = PassThrough, O = NoOracle, B = NoProbe> =
+    Simulation<P, A, D, O, B, crate::packed::PackedMailbox<<P as Protocol>::Msg>>;
 
 impl<P: Protocol, A: Adversary<P>> Simulation<P, A, PassThrough> {
     /// Creates a simulation on the synchronous network (every message
@@ -276,8 +306,14 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>> Simul
     }
 }
 
-impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>, B: Probe>
-    Simulation<P, A, D, O, B>
+impl<
+        P: Protocol,
+        A: Adversary<P, L>,
+        D: Delivery<P::Msg, L>,
+        O: Oracle<P::Msg, L>,
+        B: Probe,
+        L: MessagePlane<P::Msg>,
+    > Simulation<P, A, D, O, B, L>
 {
     /// Creates a fully-instrumented simulation: explicit delivery stage,
     /// online oracle, and engine probe (see [`Probe`]).
@@ -329,12 +365,15 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>, B: Pr
             Trace::disabled()
         };
         probe.run_start(&cfg);
+        let mut mailbox_pool = L::default();
+        mailbox_pool.reset(cfg.n);
         Ok(Simulation {
             halted: vec![false; cfg.n],
             halt_rounds: vec![None; cfg.n],
             outputs: vec![None; cfg.n],
             metrics: RunMetrics::new(cfg.record_rounds),
-            mailbox_pool: RoundMailbox::new(cfg.n),
+            mailbox_pool,
+            emit_buf: Vec::new(),
             nodes,
             adversary,
             delivery,
@@ -382,39 +421,112 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>, B: Pr
             .all(|(i, h)| *h || self.ledger.is_corrupted(NodeId::new(i as u32)))
     }
 
+    /// Records node `i`'s halt (it may halt inside `emit` — "broadcast
+    /// once more and terminate" — or inside `receive`).
+    fn record_halt(&mut self, round: Round, i: usize) {
+        let id = NodeId::new(i as u32);
+        self.halted[i] = true;
+        self.halt_rounds[i] = Some(round.index());
+        self.outputs[i] = self.nodes[i].output();
+        self.trace.push(Event::Halt {
+            round,
+            node: id,
+            output: self.outputs[i],
+        });
+        self.probe.halt(round, id, self.outputs[i]);
+    }
+
     /// Executes one round. Returns `true` if the run is still going.
-    pub fn step(&mut self) -> bool {
+    ///
+    /// The `Send`/`Sync` bounds exist for the in-round worker pool
+    /// ([`SimConfig::threads`]); every protocol/message in this
+    /// workspace is plain data, so they are satisfied automatically.
+    pub fn step(&mut self) -> bool
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+        L: Sync,
+    {
         if self.done {
             return false;
         }
         let n = self.cfg.n;
         let round = self.round;
+        let threads = self.cfg.threads.clamp(1, n);
         self.trace.push(Event::RoundStart { round });
         self.probe.round_start(round);
 
         // Phase 1: live honest nodes emit. The round mailbox is pooled:
         // taken from the previous round's arrivals, cleared in place.
+        //
+        // With in-round workers, nodes are sharded into fixed contiguous
+        // ID ranges; each worker writes emissions into its slice of the
+        // pooled buffer, and the main thread then installs them — and
+        // replays the halt bookkeeping — strictly in ID order, so the
+        // mailbox, trace, and probe streams are byte-identical to the
+        // serial schedule at any thread count.
         let mut mailbox = std::mem::take(&mut self.mailbox_pool);
         mailbox.reset(n);
-        for i in 0..n {
-            let id = NodeId::new(i as u32);
-            if self.halted[i] || self.ledger.is_corrupted(id) {
-                continue;
+        if threads > 1 {
+            if self.emit_buf.len() != n {
+                self.emit_buf.clear();
+                self.emit_buf.resize_with(n, || None);
             }
-            let emission = self.nodes[i].emit(round, &mut self.node_rngs[i]);
-            mailbox.set(id, emission);
-            // A node may halt inside emit ("broadcast once more and
-            // terminate"); its emission above is still delivered.
-            if self.nodes[i].halted() {
-                self.halted[i] = true;
-                self.halt_rounds[i] = Some(round.index());
-                self.outputs[i] = self.nodes[i].output();
-                self.trace.push(Event::Halt {
-                    round,
-                    node: id,
-                    output: self.outputs[i],
+            let chunk = n.div_ceil(threads);
+            {
+                let halted = &self.halted;
+                let ledger = &self.ledger;
+                let mut nodes_rest: &mut [P] = &mut self.nodes;
+                let mut rngs_rest: &mut [SmallRng] = &mut self.node_rngs;
+                let mut buf_rest: &mut [Option<Emission<P::Msg>>] = &mut self.emit_buf;
+                std::thread::scope(|s| {
+                    let mut start = 0;
+                    while start < n {
+                        let len = chunk.min(n - start);
+                        let (nc, nr) = nodes_rest.split_at_mut(len);
+                        let (rc, rr) = rngs_rest.split_at_mut(len);
+                        let (bc, br) = buf_rest.split_at_mut(len);
+                        nodes_rest = nr;
+                        rngs_rest = rr;
+                        buf_rest = br;
+                        let base = start;
+                        s.spawn(move || {
+                            for (off, ((node, rng), slot)) in nc
+                                .iter_mut()
+                                .zip(rc.iter_mut())
+                                .zip(bc.iter_mut())
+                                .enumerate()
+                            {
+                                let i = base + off;
+                                if halted[i] || ledger.is_corrupted(NodeId::new(i as u32)) {
+                                    continue;
+                                }
+                                *slot = Some(node.emit(round, rng));
+                            }
+                        });
+                        start += len;
+                    }
                 });
-                self.probe.halt(round, id, self.outputs[i]);
+            }
+            for i in 0..n {
+                if let Some(emission) = self.emit_buf[i].take() {
+                    mailbox.set(NodeId::new(i as u32), emission);
+                    if self.nodes[i].halted() {
+                        self.record_halt(round, i);
+                    }
+                }
+            }
+        } else {
+            for i in 0..n {
+                let id = NodeId::new(i as u32);
+                if self.halted[i] || self.ledger.is_corrupted(id) {
+                    continue;
+                }
+                let emission = self.nodes[i].emit(round, &mut self.node_rngs[i]);
+                mailbox.set(id, emission);
+                if self.nodes[i].halted() {
+                    self.record_halt(round, i);
+                }
             }
         }
         self.probe.phase_end(round, RoundPhase::Emit);
@@ -472,22 +584,60 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>, B: Pr
         let round_max_edge = mailbox.max_edge_bits();
         let (arrivals, delivery_stats) = self.delivery.deliver(round, mailbox, &self.ledger);
         self.probe.phase_end(round, RoundPhase::Deliver);
-        for i in 0..n {
-            let id = NodeId::new(i as u32);
-            if self.halted[i] || self.ledger.is_corrupted(id) {
-                continue;
+        // With in-round workers, receivers share the arrivals plane
+        // immutably over the same fixed ID shards; the halted flags are
+        // only read during the phase (a node's halt can't change another
+        // node's skip decision within a phase), so the per-node work is
+        // schedule-independent. Halt bookkeeping is again replayed on
+        // the main thread in ID order.
+        if threads > 1 {
+            let halted = &self.halted;
+            let ledger = &self.ledger;
+            let arrivals_ref = &arrivals;
+            let chunk = n.div_ceil(threads);
+            let mut nodes_rest: &mut [P] = &mut self.nodes;
+            let mut rngs_rest: &mut [SmallRng] = &mut self.node_rngs;
+            std::thread::scope(|s| {
+                let mut start = 0;
+                while start < n {
+                    let len = chunk.min(n - start);
+                    let (nc, nr) = nodes_rest.split_at_mut(len);
+                    let (rc, rr) = rngs_rest.split_at_mut(len);
+                    nodes_rest = nr;
+                    rngs_rest = rr;
+                    let base = start;
+                    s.spawn(move || {
+                        for (off, (node, rng)) in nc.iter_mut().zip(rc.iter_mut()).enumerate() {
+                            let i = base + off;
+                            let id = NodeId::new(i as u32);
+                            if halted[i] || ledger.is_corrupted(id) {
+                                continue;
+                            }
+                            node.receive(round, arrivals_ref.inbox(id), rng);
+                        }
+                    });
+                    start += len;
+                }
+            });
+            for i in 0..n {
+                let id = NodeId::new(i as u32);
+                if self.halted[i] || self.ledger.is_corrupted(id) {
+                    continue;
+                }
+                if self.nodes[i].halted() {
+                    self.record_halt(round, i);
+                }
             }
-            self.nodes[i].receive(round, arrivals.inbox(id), &mut self.node_rngs[i]);
-            if self.nodes[i].halted() {
-                self.halted[i] = true;
-                self.halt_rounds[i] = Some(round.index());
-                self.outputs[i] = self.nodes[i].output();
-                self.trace.push(Event::Halt {
-                    round,
-                    node: id,
-                    output: self.outputs[i],
-                });
-                self.probe.halt(round, id, self.outputs[i]);
+        } else {
+            for i in 0..n {
+                let id = NodeId::new(i as u32);
+                if self.halted[i] || self.ledger.is_corrupted(id) {
+                    continue;
+                }
+                self.nodes[i].receive(round, arrivals.inbox(id), &mut self.node_rngs[i]);
+                if self.nodes[i].halted() {
+                    self.record_halt(round, i);
+                }
             }
         }
         self.probe.phase_end(round, RoundPhase::Receive);
@@ -519,6 +669,7 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>, B: Pr
             ledger: &self.ledger,
             halted: &self.halted,
             outputs: &self.outputs,
+            _msg: std::marker::PhantomData,
         });
         self.probe.round_end(round, &round_metrics);
         self.metrics.absorb(round_metrics, self.cfg.record_rounds);
@@ -533,20 +684,35 @@ impl<P: Protocol, A: Adversary<P>, D: Delivery<P::Msg>, O: Oracle<P::Msg>, B: Pr
     }
 
     /// Runs to completion and produces the report.
-    pub fn run(self) -> RunReport {
+    pub fn run(self) -> RunReport
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+        L: Sync,
+    {
         self.run_with_oracle().0
     }
 
     /// Runs to completion, returning the report and the oracle (with
     /// whatever it recorded or concluded).
-    pub fn run_with_oracle(self) -> (RunReport, O) {
+    pub fn run_with_oracle(self) -> (RunReport, O)
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+        L: Sync,
+    {
         let (report, oracle, _) = self.run_instrumented();
         (report, oracle)
     }
 
     /// Runs to completion, returning the report, the oracle, and the
     /// probe (with whatever each recorded).
-    pub fn run_instrumented(mut self) -> (RunReport, O, B) {
+    pub fn run_instrumented(mut self) -> (RunReport, O, B)
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+        L: Sync,
+    {
         while self.step() {}
         self.into_parts()
     }

@@ -73,6 +73,8 @@ pub mod mailbox;
 pub mod message;
 pub mod metrics;
 pub mod oracle;
+pub mod packed;
+pub mod plane;
 pub mod probe;
 pub mod protocol;
 pub mod rng;
@@ -81,13 +83,15 @@ pub mod verdict;
 
 pub use adversary::{Adversary, AdversaryAction, CorruptionLedger, InfoModel, RoundView};
 pub use delivery::{Delivery, DeliveryStats, PassThrough};
-pub use engine::{RunReport, SimConfig, Simulation};
+pub use engine::{PackedSimulation, RunReport, SimConfig, Simulation};
 pub use error::SimError;
 pub use id::{NodeId, Round};
 pub use mailbox::{Inbox, RoundMailbox};
 pub use message::{Emission, Message};
 pub use metrics::{RoundMetrics, RunMetrics, PER_ROUND_CAP};
 pub use oracle::{NoOracle, Oracle, RoundCtx};
+pub use packed::{PackedMailbox, PackedMessage};
+pub use plane::MessagePlane;
 pub use probe::{NoProbe, Probe, RoundPhase};
 pub use protocol::Protocol;
 pub use trace::{Event, Trace};
@@ -99,13 +103,15 @@ pub mod prelude {
         Adversary, AdversaryAction, CorruptSend, CorruptionLedger, InfoModel, RoundView,
     };
     pub use crate::delivery::{Delivery, DeliveryStats, PassThrough};
-    pub use crate::engine::{RunReport, SimConfig, Simulation};
+    pub use crate::engine::{PackedSimulation, RunReport, SimConfig, Simulation};
     pub use crate::error::SimError;
     pub use crate::id::{NodeId, Round};
     pub use crate::mailbox::{Inbox, RoundMailbox};
     pub use crate::message::{Emission, Message};
     pub use crate::metrics::{RoundMetrics, RunMetrics};
     pub use crate::oracle::{NoOracle, Oracle, RoundCtx};
+    pub use crate::packed::{PackedMailbox, PackedMessage};
+    pub use crate::plane::MessagePlane;
     pub use crate::probe::{NoProbe, Probe, RoundPhase};
     pub use crate::protocol::Protocol;
     pub use crate::trace::{Event, Trace};

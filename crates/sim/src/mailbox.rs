@@ -693,10 +693,7 @@ impl<M: Message> RoundMailbox<M> {
 
     /// Zero-allocation view of all messages addressed to `receiver`.
     pub fn inbox(&self, receiver: NodeId) -> Inbox<'_, M> {
-        Inbox {
-            mailbox: self,
-            receiver,
-        }
+        Inbox::dense(self, receiver)
     }
 
     /// Total point-to-point messages generated this round. O(1): the
@@ -733,13 +730,96 @@ impl<M: Message> RoundMailbox<M> {
 /// Iteration yields `(sender, &message)` in sender-ID order, one entry per
 /// sender that addressed this receiver. The receiver's own broadcast is
 /// included (the paper's tallies count the node's own value).
-#[derive(Debug, Clone, Copy)]
+///
+/// The view is backend-polymorphic: the engine hands protocols the same
+/// `Inbox` type whether the round's messages live in the dense
+/// [`RoundMailbox`] or the bit-packed
+/// [`PackedMailbox`](crate::packed::PackedMailbox). The packed backend
+/// additionally answers word-parallel threshold queries through
+/// [`Inbox::packed_match_count`].
+#[derive(Debug, Clone)]
 pub struct Inbox<'a, M> {
-    mailbox: &'a RoundMailbox<M>,
+    backend: InboxBackend<'a, M>,
     receiver: NodeId,
 }
 
+#[derive(Debug, Clone)]
+enum InboxBackend<'a, M> {
+    Dense(&'a RoundMailbox<M>),
+    Packed {
+        plane: &'a crate::packed::PackedMailbox<M>,
+        decode: fn(u32) -> M,
+        /// Decoded `(sender, message)` pairs, materialized on first
+        /// by-reference access (iteration / `from`); the fast paths
+        /// (`len`, `packed_match_count`) never touch it.
+        scratch: std::cell::OnceCell<Vec<(NodeId, M)>>,
+    },
+}
+
+/// Iterator over either backend's inbox entries.
+enum EitherIter<A, B> {
+    Dense(A),
+    Packed(B),
+}
+
+impl<A: Iterator<Item = T>, B: Iterator<Item = T>, T> Iterator for EitherIter<A, B> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        match self {
+            EitherIter::Dense(it) => it.next(),
+            EitherIter::Packed(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            EitherIter::Dense(it) => it.size_hint(),
+            EitherIter::Packed(it) => it.size_hint(),
+        }
+    }
+
+    // Internal iteration must reach the wrapped adapter: `count`,
+    // `for_each`, and the `filter(..).count()` tallies the protocols
+    // run per round all lower to `fold`, and the dense backend's
+    // `filter_map` only vectorizes through its own `fold` — the default
+    // `next()` loop over the enum costs ~4x on the hot path.
+    fn fold<Acc, F>(self, init: Acc, f: F) -> Acc
+    where
+        F: FnMut(Acc, T) -> Acc,
+    {
+        match self {
+            EitherIter::Dense(it) => it.fold(init, f),
+            EitherIter::Packed(it) => it.fold(init, f),
+        }
+    }
+}
+
 impl<'a, M: Message> Inbox<'a, M> {
+    /// A dense-backed inbox (constructed by [`RoundMailbox::inbox`]).
+    pub(crate) fn dense(mailbox: &'a RoundMailbox<M>, receiver: NodeId) -> Self {
+        Inbox {
+            backend: InboxBackend::Dense(mailbox),
+            receiver,
+        }
+    }
+
+    /// A packed-backed inbox (constructed by the packed plane's
+    /// `MessagePlane::inbox`).
+    pub(crate) fn packed(
+        plane: &'a crate::packed::PackedMailbox<M>,
+        decode: fn(u32) -> M,
+        receiver: NodeId,
+    ) -> Self {
+        Inbox {
+            backend: InboxBackend::Packed {
+                plane,
+                decode,
+                scratch: std::cell::OnceCell::new(),
+            },
+            receiver,
+        }
+    }
+
     /// The receiving node.
     pub fn receiver(&self) -> NodeId {
         self.receiver
@@ -747,38 +827,102 @@ impl<'a, M: Message> Inbox<'a, M> {
 
     /// Network size.
     pub fn n(&self) -> usize {
-        self.mailbox.n
+        match &self.backend {
+            InboxBackend::Dense(mb) => mb.n,
+            InboxBackend::Packed { plane, .. } => plane.n(),
+        }
+    }
+
+    /// The packed backend's decoded entries, filled on first use.
+    fn packed_entries(&self) -> Option<&Vec<(NodeId, M)>> {
+        match &self.backend {
+            InboxBackend::Dense(_) => None,
+            InboxBackend::Packed {
+                plane,
+                decode,
+                scratch,
+            } => Some(scratch.get_or_init(|| {
+                let mut out = Vec::new();
+                plane.fill_inbox(self.receiver, *decode, &mut out);
+                out
+            })),
+        }
     }
 
     /// Iterates over `(sender, message)` pairs addressed to this receiver.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a M)> + '_ {
-        let r = self.receiver.index();
-        let mb = self.mailbox;
-        let n = mb.n;
-        let lanes = &mb.lanes;
-        mb.rows.iter().enumerate().filter_map(move |(s, row)| {
-            let lane = if lanes.is_empty() {
-                &[][..]
-            } else {
-                &lanes[s * n..(s + 1) * n]
-            };
-            row.effective(lane, r).map(|m| (NodeId::new(s as u32), m))
-        })
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &M)> + '_ {
+        match &self.backend {
+            InboxBackend::Dense(mb) => {
+                let r = self.receiver.index();
+                let n = mb.n;
+                let lanes = &mb.lanes;
+                EitherIter::Dense(mb.rows.iter().enumerate().filter_map(move |(s, row)| {
+                    let lane = if lanes.is_empty() {
+                        &[][..]
+                    } else {
+                        &lanes[s * n..(s + 1) * n]
+                    };
+                    row.effective(lane, r).map(|m| (NodeId::new(s as u32), m))
+                }))
+            }
+            InboxBackend::Packed { .. } => EitherIter::Packed(
+                self.packed_entries()
+                    .expect("packed backend")
+                    .iter()
+                    .map(|(s, m)| (*s, m)),
+            ),
+        }
     }
 
     /// The message from a specific sender, if any.
-    pub fn from(&self, sender: NodeId) -> Option<&'a M> {
-        self.mailbox.resolve(sender, self.receiver)
+    pub fn from(&self, sender: NodeId) -> Option<&M> {
+        match &self.backend {
+            InboxBackend::Dense(mb) => mb.resolve(sender, self.receiver),
+            InboxBackend::Packed { .. } => {
+                let entries = self.packed_entries().expect("packed backend");
+                entries
+                    .binary_search_by_key(&sender, |(s, _)| *s)
+                    .ok()
+                    .map(|i| &entries[i].1)
+            }
+        }
     }
 
-    /// Number of messages addressed to this receiver.
+    /// Number of messages addressed to this receiver. On the packed
+    /// backend this is a word-parallel popcount, O(n/64).
     pub fn len(&self) -> usize {
-        self.iter().count()
+        match &self.backend {
+            InboxBackend::Dense(_) => self.iter().count(),
+            InboxBackend::Packed { plane, .. } => plane.inbox_len(self.receiver),
+        }
     }
 
     /// Whether the inbox is empty.
     pub fn is_empty(&self) -> bool {
-        self.iter().next().is_none()
+        match &self.backend {
+            InboxBackend::Dense(_) => self.iter().next().is_none(),
+            InboxBackend::Packed { .. } => self.len() == 0,
+        }
+    }
+
+    /// Word-parallel masked count: how many senders delivered this
+    /// receiver a message whose packed code satisfies
+    /// `code & mask == bits`, optionally restricted to a sender-ID
+    /// range. Returns `None` on the dense backend — callers fall back
+    /// to their by-reference iteration, keeping dense-plane behaviour
+    /// (and its goldens) untouched.
+    pub fn packed_match_count(
+        &self,
+        mask: u32,
+        bits: u32,
+        senders: Option<std::ops::Range<u32>>,
+    ) -> Option<usize> {
+        match &self.backend {
+            InboxBackend::Dense(_) => None,
+            InboxBackend::Packed { plane, .. } => {
+                Some(plane.match_count(self.receiver, mask, bits, senders))
+            }
+        }
     }
 }
 

@@ -19,22 +19,24 @@ use crate::id::Round;
 use crate::mailbox::RoundMailbox;
 use crate::message::Message;
 use crate::metrics::RoundMetrics;
+use crate::plane::MessagePlane;
 
 /// Everything an oracle sees at the end of one round, after delivery and
 /// local processing.
 ///
 /// All references point at live engine state; the context is rebuilt
-/// every round and costs a handful of pointer copies.
-pub struct RoundCtx<'a, M: Message> {
+/// every round and costs a handful of pointer copies. `L` is the message
+/// plane the run uses (default: the dense [`RoundMailbox`]).
+pub struct RoundCtx<'a, M: Message, L: MessagePlane<M> = RoundMailbox<M>> {
     /// The round that just completed.
     pub round: Round,
     /// Network size `n`.
     pub n: usize,
     /// Corruption budget `t`.
     pub t: usize,
-    /// The arrivals mailbox — exactly what receivers processed this
+    /// The arrivals plane — exactly what receivers processed this
     /// round (post-delivery, not the offered wire load).
-    pub arrivals: &'a RoundMailbox<M>,
+    pub arrivals: &'a L,
     /// This round's measurements (wire-side message/bit counts, the
     /// per-edge bit maximum, corruption and delivery accounting).
     pub metrics: &'a RoundMetrics,
@@ -45,6 +47,8 @@ pub struct RoundCtx<'a, M: Message> {
     /// Per-node decided outputs, recorded at halt time (`None` for nodes
     /// that have not halted — and for nodes corrupted before halting).
     pub outputs: &'a [Option<bool>],
+    /// Ties the context to the message type (carried by the plane `L`).
+    pub(crate) _msg: std::marker::PhantomData<M>,
 }
 
 /// An online observer attached to a [`crate::Simulation`].
@@ -52,7 +56,7 @@ pub struct RoundCtx<'a, M: Message> {
 /// Every hook has an empty default body, so an oracle implements only
 /// what it needs; [`NoOracle`] implements none and vanishes at compile
 /// time.
-pub trait Oracle<M: Message> {
+pub trait Oracle<M: Message, L: MessagePlane<M> = RoundMailbox<M>> {
     /// Observes the adversary's action for `round`, before the engine
     /// validates and applies it.
     fn observe_action(&mut self, round: Round, action: &AdversaryAction<M>) {
@@ -61,7 +65,7 @@ pub trait Oracle<M: Message> {
 
     /// Observes a completed round (after delivery and local processing,
     /// before the round's metrics are folded into the run totals).
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         let _ = ctx;
     }
 
@@ -75,17 +79,17 @@ pub trait Oracle<M: Message> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoOracle;
 
-impl<M: Message> Oracle<M> for NoOracle {}
+impl<M: Message, L: MessagePlane<M>> Oracle<M, L> for NoOracle {}
 
 /// Pairs compose oracles: `(recorder, checkers)` attaches both to one
 /// run. Nest tuples for more.
-impl<M: Message, A: Oracle<M>, B: Oracle<M>> Oracle<M> for (A, B) {
+impl<M: Message, L: MessagePlane<M>, A: Oracle<M, L>, B: Oracle<M, L>> Oracle<M, L> for (A, B) {
     fn observe_action(&mut self, round: Round, action: &AdversaryAction<M>) {
         self.0.observe_action(round, action);
         self.1.observe_action(round, action);
     }
 
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         self.0.observe_round(ctx);
         self.1.observe_round(ctx);
     }

@@ -1,0 +1,275 @@
+//! The message-plane seam of the engine.
+//!
+//! The engine never cares *how* a round's messages are stored — only
+//! that it can install emissions, let the delivery stage reroute them,
+//! and hand receivers an inbox. [`MessagePlane`] captures exactly that
+//! contract, mirroring the Delivery/Oracle/Probe seams: a sixth generic
+//! parameter on [`crate::Simulation`] defaulting to the dense
+//! [`RoundMailbox`], chosen statically per protocol family, so the
+//! default path compiles to the very same code it always did.
+//!
+//! Two planes implement the trait:
+//!
+//! * [`RoundMailbox`] — the dense broadcast-base + deviation-cell
+//!   mailbox (PR 3). General: any [`Message`] type, full by-reference
+//!   access. This is the default.
+//! * [`crate::packed::PackedMailbox`] — u64-word bitset rows for
+//!   messages that fit a 32-bit code ([`crate::packed::PackedMessage`]),
+//!   with word-parallel popcount tallies. Binary-BA protocols opt in
+//!   for large-`n` throughput.
+//!
+//! # Semantics contract
+//!
+//! Every implementation must reproduce the dense mailbox's observable
+//! behaviour exactly — same counting convention (a broadcast is `n - 1`
+//! messages, the local self-copy is free, an explicit self-message
+//! counts), same replace/merge/knock-out rules, same inbox contents in
+//! the same sender order. The packed-vs-dense differential test drives
+//! both planes through this whole surface and compares every observable
+//! after every mutation.
+
+use crate::id::NodeId;
+use crate::mailbox::{Inbox, RoundMailbox};
+use crate::message::{Emission, Message};
+
+/// A per-round message store, as the engine and the delivery stage see
+/// it.
+///
+/// `Default` must produce an empty zero-node plane (the pooling
+/// placeholder); [`MessagePlane::reset`] sizes it. All methods mirror
+/// the inherent [`RoundMailbox`] API — see those docs for the precise
+/// semantics each implementation must reproduce.
+pub trait MessagePlane<M: Message>: Default {
+    /// Empties the plane and (re)sizes it for an `n`-node network,
+    /// retaining allocations for pooling.
+    fn reset(&mut self, n: usize);
+
+    /// Number of nodes in the network.
+    fn n(&self) -> usize;
+
+    /// Installs `emission` as `sender`'s contribution, replacing
+    /// whatever was there.
+    fn set(&mut self, sender: NodeId, emission: Emission<M>);
+
+    /// Removes `sender`'s contribution entirely.
+    fn silence(&mut self, sender: NodeId);
+
+    /// Adds a single point-to-point message, replacing an existing one
+    /// for the same pair.
+    fn insert(&mut self, sender: NodeId, receiver: NodeId, m: M);
+
+    /// Inserts `m` only if the pair is vacant, handing `m` back when
+    /// the link is busy.
+    fn insert_if_vacant(&mut self, sender: NodeId, receiver: NodeId, m: M) -> Option<M>;
+
+    /// Like [`MessagePlane::insert_if_vacant`], but builds the message
+    /// only when the pair is actually vacant. Returns whether it was
+    /// installed.
+    fn insert_if_vacant_with(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+        make: impl FnOnce() -> M,
+    ) -> bool;
+
+    /// Installs a broadcast that skips the receivers in `except`.
+    fn set_broadcast_except(&mut self, sender: NodeId, msg: M, except: &[u32]);
+
+    /// Layers a broadcast *under* the row's existing point-to-point
+    /// messages; receivers that already hold one are appended to
+    /// `conflicts`. `except` must be sorted ascending; the row must not
+    /// already hold a base.
+    fn merge_broadcast_except(
+        &mut self,
+        sender: NodeId,
+        msg: M,
+        except: &[u32],
+        conflicts: &mut Vec<u32>,
+    );
+
+    /// Removes and returns `sender`'s *pure* broadcast message, leaving
+    /// the row silent; `None` for any other row shape.
+    fn take_broadcast(&mut self, sender: NodeId) -> Option<M>;
+
+    /// Removes the single `(sender, receiver)` message, if any.
+    fn knock_out(&mut self, sender: NodeId, receiver: NodeId);
+
+    /// The row's shared broadcast base, if any — present even when
+    /// receivers have been knocked out or overridden.
+    fn broadcast_base(&self, sender: NodeId) -> Option<&M>;
+
+    /// The broadcast message of `sender`, if it (purely) broadcast.
+    fn broadcast_of(&self, sender: NodeId) -> Option<&M>;
+
+    /// The message `receiver` gets from `sender` this round, by value
+    /// (packed planes materialize it from the stored code).
+    fn resolve_value(&self, sender: NodeId, receiver: NodeId) -> Option<M>;
+
+    /// Whether `receiver` gets a message from `sender` this round.
+    fn has_message(&self, sender: NodeId, receiver: NodeId) -> bool;
+
+    /// Whether `sender` purely broadcast.
+    fn is_broadcast(&self, sender: NodeId) -> bool;
+
+    /// Whether `sender` sent nothing at all (to anyone, itself
+    /// included).
+    fn is_silent(&self, sender: NodeId) -> bool;
+
+    /// View of all messages addressed to `receiver`.
+    fn inbox(&self, receiver: NodeId) -> Inbox<'_, M>;
+
+    /// Total point-to-point messages this round (see the counting
+    /// convention in the [`crate::mailbox`] docs).
+    fn message_count(&self) -> usize;
+
+    /// Total bits on the wire this round.
+    fn total_bits(&self) -> usize;
+
+    /// The largest message crossing any single edge this round.
+    fn max_edge_bits(&self) -> usize;
+}
+
+impl<M: Message> MessagePlane<M> for RoundMailbox<M> {
+    fn reset(&mut self, n: usize) {
+        RoundMailbox::reset(self, n);
+    }
+
+    fn n(&self) -> usize {
+        RoundMailbox::n(self)
+    }
+
+    fn set(&mut self, sender: NodeId, emission: Emission<M>) {
+        RoundMailbox::set(self, sender, emission);
+    }
+
+    fn silence(&mut self, sender: NodeId) {
+        RoundMailbox::silence(self, sender);
+    }
+
+    fn insert(&mut self, sender: NodeId, receiver: NodeId, m: M) {
+        RoundMailbox::insert(self, sender, receiver, m);
+    }
+
+    fn insert_if_vacant(&mut self, sender: NodeId, receiver: NodeId, m: M) -> Option<M> {
+        RoundMailbox::insert_if_vacant(self, sender, receiver, m)
+    }
+
+    fn insert_if_vacant_with(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+        make: impl FnOnce() -> M,
+    ) -> bool {
+        RoundMailbox::insert_if_vacant_with(self, sender, receiver, make)
+    }
+
+    fn set_broadcast_except(&mut self, sender: NodeId, msg: M, except: &[u32]) {
+        RoundMailbox::set_broadcast_except(self, sender, msg, except);
+    }
+
+    fn merge_broadcast_except(
+        &mut self,
+        sender: NodeId,
+        msg: M,
+        except: &[u32],
+        conflicts: &mut Vec<u32>,
+    ) {
+        RoundMailbox::merge_broadcast_except(self, sender, msg, except, conflicts);
+    }
+
+    fn take_broadcast(&mut self, sender: NodeId) -> Option<M> {
+        RoundMailbox::take_broadcast(self, sender)
+    }
+
+    fn knock_out(&mut self, sender: NodeId, receiver: NodeId) {
+        RoundMailbox::knock_out(self, sender, receiver);
+    }
+
+    fn broadcast_base(&self, sender: NodeId) -> Option<&M> {
+        RoundMailbox::broadcast_base(self, sender)
+    }
+
+    fn broadcast_of(&self, sender: NodeId) -> Option<&M> {
+        RoundMailbox::broadcast_of(self, sender)
+    }
+
+    fn resolve_value(&self, sender: NodeId, receiver: NodeId) -> Option<M> {
+        self.resolve(sender, receiver).cloned()
+    }
+
+    fn has_message(&self, sender: NodeId, receiver: NodeId) -> bool {
+        self.resolve(sender, receiver).is_some()
+    }
+
+    fn is_broadcast(&self, sender: NodeId) -> bool {
+        RoundMailbox::is_broadcast(self, sender)
+    }
+
+    fn is_silent(&self, sender: NodeId) -> bool {
+        RoundMailbox::is_silent(self, sender)
+    }
+
+    fn inbox(&self, receiver: NodeId) -> Inbox<'_, M> {
+        RoundMailbox::inbox(self, receiver)
+    }
+
+    fn message_count(&self) -> usize {
+        RoundMailbox::message_count(self)
+    }
+
+    fn total_bits(&self) -> usize {
+        RoundMailbox::total_bits(self)
+    }
+
+    fn max_edge_bits(&self) -> usize {
+        RoundMailbox::max_edge_bits(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Tm(u8);
+    impl Message for Tm {
+        fn bit_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// The trait forwards to the dense mailbox without changing any
+    /// observable: a quick spot check (the differential test covers the
+    /// packed plane against this same surface).
+    #[test]
+    fn dense_plane_forwards_to_inherent_api() {
+        fn drive<L: MessagePlane<Tm>>(plane: &mut L) -> (usize, usize, usize, bool) {
+            plane.reset(4);
+            plane.set(NodeId::new(0), Emission::Broadcast(Tm(7)));
+            plane.set(
+                NodeId::new(1),
+                Emission::PerRecipient(vec![(NodeId::new(2), Tm(9))]),
+            );
+            plane.knock_out(NodeId::new(0), NodeId::new(3));
+            assert_eq!(
+                plane.resolve_value(NodeId::new(0), NodeId::new(1)),
+                Some(Tm(7))
+            );
+            assert!(!plane.has_message(NodeId::new(0), NodeId::new(3)));
+            assert!(plane.broadcast_base(NodeId::new(0)).is_some());
+            assert!(
+                plane.broadcast_of(NodeId::new(0)).is_none(),
+                "knocked row is impure"
+            );
+            (
+                plane.message_count(),
+                plane.total_bits(),
+                plane.max_edge_bits(),
+                plane.is_silent(NodeId::new(3)),
+            )
+        }
+        let mut mb = RoundMailbox::<Tm>::default();
+        assert_eq!(drive(&mut mb), (3, 24, 8, true));
+        assert_eq!(mb.inbox(NodeId::new(2)).len(), 2);
+    }
+}

@@ -64,6 +64,12 @@ pub struct RunOptions {
     /// byte-deterministic artifacts. `None` (the default) means no
     /// clocks are read at all.
     pub profile_dir: Option<PathBuf>,
+    /// In-round worker threads forwarded into every trial's engine
+    /// (`0` = keep each scenario's own setting). Trial results and all
+    /// artifacts are byte-identical at any value — this only trades
+    /// wall-clock for cores on large `n`. Orthogonal to `workers`,
+    /// which parallelizes *across* trials.
+    pub threads: usize,
 }
 
 /// Per-cell mutable state behind the queue lock.
@@ -301,9 +307,10 @@ impl CampaignSpec {
                     let sink = sink.as_ref();
                     let repro_dir = opts.repro_dir.as_deref();
                     let profiler = profiler.as_ref();
+                    let threads = opts.threads;
                     scope.spawn(move || {
                         self.worker_loop(
-                            cells, state, idle, sink, repro_dir, obs_on, profiler, worker,
+                            cells, state, idle, sink, repro_dir, obs_on, profiler, worker, threads,
                         )
                     });
                 }
@@ -391,6 +398,7 @@ impl CampaignSpec {
         obs_on: bool,
         profiler: Option<&ExecProfiler>,
         worker: usize,
+        threads: usize,
     ) {
         loop {
             // Claim the next (cell, trial) task, or exit when the whole
@@ -427,6 +435,9 @@ impl CampaignSpec {
             };
             let mut scenario = cells[ci].scenario.clone();
             scenario.seed = scenario.seed.wrapping_add(ti as u64);
+            if threads != 0 {
+                scenario.threads = threads;
+            }
             let timer = profiler.map(|p| p.trial_timer());
             // With observation on, the trial runs through the probe-
             // instrumented drive; the result and (when armed) the

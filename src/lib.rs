@@ -100,7 +100,7 @@ pub use aba_sweep as sweep;
 
 pub use aba_harness::{
     observe_replay, observe_scenario, AttackSpec, BatchReport, CheckedTrial, DelayScheduler,
-    InputSpec, NetworkSpec, ObservedReplay, ObservedTrial, OracleReport, ProtocolSpec,
+    InputSpec, NetworkSpec, ObservedReplay, ObservedTrial, OracleReport, PlaneSpec, ProtocolSpec,
     ReplayOutcome, Scenario, ScenarioBuilder, TrialResult, Violation,
 };
 pub use aba_sweep::{CampaignResult, CampaignSpec, CellSummary, RoundCap, RunOptions, StopRule};
@@ -112,8 +112,8 @@ pub mod prelude {
     pub use aba_coin::prelude::*;
     pub use aba_harness::{
         AttackSpec, BatchReport, CheckedTrial, DelayScheduler, InputSpec, NetworkSpec,
-        OracleReport, ProtocolSpec, ReplayOutcome, Scenario, ScenarioBuilder, TrialResult,
-        Violation,
+        OracleReport, PlaneSpec, ProtocolSpec, ReplayOutcome, Scenario, ScenarioBuilder,
+        TrialResult, Violation,
     };
     pub use aba_sim::prelude::*;
     pub use aba_sweep::{
