@@ -127,6 +127,7 @@ fn main() {
     bench_large();
     bench_oracle(n, rounds, cfg);
     bench_probe(n, rounds, cfg);
+    bench_provenance();
 
     aba_bench::finish();
 }
@@ -159,6 +160,57 @@ fn bench_probe(n: usize, rounds: u64, cfg: impl Fn() -> SimConfig) {
         )
         .run_instrumented();
         report.rounds + probe.log().len() as u64
+    });
+}
+
+/// The provenance overhead pair: a dense broadcast workload with
+/// `NoProbe` and with the causal-provenance probe (arrival scan +
+/// online frontier-bitset closure + per-node traffic tallies) attached.
+/// CI pins `provenance/provenance-probe` at ≤5% over
+/// `provenance/no-probe` *within this run* (see `check_overhead`).
+///
+/// The pair runs at experiment scale (`n = 1024`) rather than the small
+/// smoke size: the probe's steady-state cost is O(n) per round (the
+/// saturation fast path plus the arrival-scan fill), while the engine
+/// round itself routes n² messages — the gate pins that asymptotic
+/// claim where campaigns actually run, not on a toy run whose rounds
+/// are cheaper than any bookkeeping.
+fn bench_provenance() {
+    use aba_obs::ProvenanceProbe;
+
+    let n = 1024usize;
+    let rounds = 32u64;
+    let cfg = || {
+        SimConfig::new(n, 0)
+            .with_seed(1)
+            .with_max_rounds(rounds + 16)
+    };
+    let group = Group::new("provenance");
+    group.bench("no-probe", || {
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
+        Simulation::with_instruments(cfg(), nodes(n, rounds), Benign, net, NoOracle, NoProbe)
+            .run()
+            .rounds
+    });
+    // The probe is reused across iterations (its documented contract:
+    // `run_start` re-sizes in place, retaining allocations) so the row
+    // measures steady-state tracing cost, not first-run page faults on
+    // the closure pools — matching a campaign worker that traces many
+    // trials in sequence.
+    let mut probe = ProvenanceProbe::new();
+    group.bench("provenance-probe", move || {
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
+        let (report, _, p) = Simulation::with_instruments(
+            cfg(),
+            nodes(n, rounds),
+            Benign,
+            net,
+            NoOracle,
+            std::mem::take(&mut probe),
+        )
+        .run_instrumented();
+        probe = p;
+        report.rounds + probe.rounds().len() as u64
     });
 }
 

@@ -25,6 +25,11 @@
 //!   adversary strategy attached; a faithful trace reproduces the live
 //!   run bit for bit under every network model (pinned by the
 //!   `trace_replay` differential tests).
+//! * **Blame** ([`blame`]): given a run whose honest deciders disagree
+//!   and a causal-influence relation (supplied by `aba-obs`'s
+//!   provenance probe), a deterministic greedy cover of the minority
+//!   deciders by corrupted senders — the repro artifact's "who to
+//!   remove first" slice.
 //! * **Shrinking** ([`shrink`]): a generic greedy minimizer the harness
 //!   uses to cut a failing scenario down along `n`, the trial seed, and
 //!   the round prefix before writing a repro artifact.
@@ -36,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod oracles;
 pub mod record;
 pub mod replay;
 pub mod shrink;
 pub mod violation;
 
+pub use blame::{blame_disagreement, BlameReport};
 pub use oracles::{
     AgreementAtDecision, CongestEdgeBound, CorruptionBudgetMonotonicity, EarlyTerminationBudget,
     LemmaSuite, OracleReport, Validity,

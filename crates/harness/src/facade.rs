@@ -171,6 +171,20 @@ impl ScenarioBuilder {
         crate::observe::observe_scenario(&self.scenario)
     }
 
+    /// Runs a single trial with the causal provenance layer attached on
+    /// top of [`ScenarioBuilder::observe`]: the result, oracle report,
+    /// event log, and metrics are identical, plus each node's decision
+    /// cone, the per-node communication profile, the causal-graph
+    /// exporters, and — when honest deciders disagree — the violation
+    /// blame set (see `aba-obs::provenance` and `aba-check::blame`).
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`ScenarioBuilder::run`].
+    pub fn provenance(&self) -> crate::provenance::ProvenancedTrial {
+        crate::provenance::provenance_scenario(&self.scenario)
+    }
+
     /// Runs the configured number of trials with oracles attached, in
     /// parallel (seeds `seed..seed + trials`), in seed order.
     ///

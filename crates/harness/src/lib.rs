@@ -29,6 +29,7 @@
 pub mod check;
 pub mod facade;
 pub mod observe;
+pub mod provenance;
 pub mod report;
 pub(crate) mod runner;
 pub mod scenario;
@@ -36,13 +37,14 @@ pub mod scenario;
 pub use check::{check_scenario, replay_scenario, shrink_violation, CheckedTrial, Repro};
 pub use facade::{run_scenario, BatchReport, ScenarioBuilder};
 pub use observe::{observe_replay, observe_scenario, ObservedReplay, ObservedTrial};
+pub use provenance::{provenance_replay, provenance_scenario, ProvenancedReplay, ProvenancedTrial};
 pub use report::Report;
 pub use runner::{ReplayOutcome, TrialResult};
 pub use scenario::{AttackSpec, InputSpec, NetworkSpec, PlaneSpec, ProtocolSpec, Scenario};
 
 // Re-export the oracle report types so facade users need only this
 // crate to inspect check results.
-pub use aba_check::{OracleReport, Violation};
+pub use aba_check::{BlameReport, OracleReport, Violation};
 
 // `NetworkSpec::BoundedDelay` carries an `aba-net` scheduler; re-export
 // it so facade users need only this crate.

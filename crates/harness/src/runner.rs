@@ -24,7 +24,7 @@ use aba_attacks::{
 use aba_check::TraceRecorder;
 use aba_coin::CoinFlipNode;
 use aba_net::{BoundedDelay, LossyLinks, NetDelivery, Partition, Synchronous};
-use aba_obs::{EventKind, EventProbe};
+use aba_obs::{EventKind, EventProbe, ProvenanceProbe};
 use aba_sim::adversary::Adversary;
 use aba_sim::oracle::{NoOracle, Oracle};
 use aba_sim::probe::{NoProbe, Probe};
@@ -582,6 +582,117 @@ impl Drive for ObserveDrive {
             oracle,
             events,
             metrics,
+        }
+    }
+}
+
+/// Run once with the lemma oracles, the deterministic-channel
+/// [`EventProbe`], *and* the causal [`ProvenanceProbe`] attached; when
+/// the run's honest deciders disagree, the blame set is computed from
+/// the provenance influence relation.
+pub(crate) struct ProvenanceDrive;
+
+impl Drive for ProvenanceDrive {
+    type Out = crate::provenance::ProvenancedTrial;
+
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> crate::provenance::ProvenancedTrial
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        A: Adversary<P>,
+    {
+        let name = adversary.name();
+        let suite = lemma_suite_for(s);
+        let (report, suite, probes) = simulate_full(
+            s,
+            make_nodes(),
+            adversary,
+            suite,
+            (EventProbe::new(), ProvenanceProbe::new()),
+        );
+        let (mut event_probe, provenance) = probes;
+        let oracle = suite.report();
+        for v in &oracle.violations {
+            event_probe.push(EventKind::Violation {
+                round: v.round,
+                oracle: v.oracle.to_string(),
+                detail: v.detail.clone(),
+            });
+        }
+        let blame = aba_check::blame_disagreement(&report, |d, c| provenance.influenced(d, c));
+        let (events, mut metrics) = event_probe.into_parts();
+        // One registry for the trial: fold the probe's prov.* metrics
+        // into the deterministic channel (merge is order-invariant).
+        metrics.merge(provenance.metrics());
+        crate::provenance::ProvenancedTrial {
+            result: eval.trial(s, &report, name, downgraded),
+            oracle,
+            events,
+            metrics,
+            provenance,
+            blame,
+        }
+    }
+}
+
+/// Record the live run with the provenance probe attached, re-drive it
+/// from the trace with a fresh one, and return both provenance layers —
+/// the differential pinning "live vs replay provenance artifacts are
+/// byte-identical".
+pub(crate) struct ProvenancedReplayDrive;
+
+impl Drive for ProvenancedReplayDrive {
+    type Out = crate::provenance::ProvenancedReplay;
+
+    fn drive<P, A>(
+        &self,
+        s: &Scenario,
+        make_nodes: &dyn Fn() -> Vec<P>,
+        adversary: A,
+        eval: Eval<'_>,
+        downgraded: bool,
+    ) -> crate::provenance::ProvenancedReplay
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        A: Adversary<P>,
+    {
+        let name = adversary.name();
+        let (live_report, recorder, live_probes) = simulate_full(
+            s,
+            make_nodes(),
+            adversary,
+            TraceRecorder::new(),
+            (EventProbe::new(), ProvenanceProbe::new()),
+        );
+        let (replay_adv, replay_delivery) = recorder.into_recording().into_replay(name);
+        let (replay_report, NoOracle, replay_probes) = Simulation::with_instruments(
+            sim_config(s),
+            make_nodes(),
+            replay_adv,
+            replay_delivery,
+            NoOracle,
+            (EventProbe::new(), ProvenanceProbe::new()),
+        )
+        .run_instrumented();
+        let (live_event_probe, live_provenance) = live_probes;
+        let (replay_event_probe, replayed_provenance) = replay_probes;
+        let (live_events, _) = live_event_probe.into_parts();
+        let (replayed_events, _) = replay_event_probe.into_parts();
+        crate::provenance::ProvenancedReplay {
+            live: eval.trial(s, &live_report, name, downgraded),
+            replayed: eval.trial(s, &replay_report, name, downgraded),
+            live_events,
+            replayed_events,
+            live_provenance,
+            replayed_provenance,
         }
     }
 }

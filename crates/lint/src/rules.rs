@@ -373,6 +373,12 @@ fn has_precision_spec(lit: &str) -> bool {
 /// through the `MessagePlane` trait, and constructing either plane
 /// (`RoundMailbox` or the bit-packed `PackedMailbox`) outside the seam
 /// owners is itself a finding.
+///
+/// The provenance seam is held to the same rule: the engine alone
+/// records arrivals into the `ArrivalScan` it hands probes, so
+/// constructing one or calling its recording mutators outside the seam
+/// owners fires — a hand-built scan would let analysis code fabricate
+/// causal history the replay differential can never check.
 fn seam_bypass(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     if SEAM_OWNERS.contains(&ctx.crate_name) {
         return;
@@ -386,28 +392,50 @@ fn seam_bypass(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
         "insert_if_vacant_with",
         "silence",
     ];
+    /// `ArrivalScan` recording mutators (the read-side getters are fair
+    /// game everywhere — that is what the probe seam is for).
+    const ARRIVAL_MUTATORS: &[&str] = &[
+        "mark_base",
+        "mark_knocked",
+        "or_knocked_word",
+        "mark_extra",
+        "or_extra_word",
+        "add_sent",
+        "add_recv",
+        "finish_base_recv",
+        "set_corrupted",
+        "tally_offered",
+        "scan_arrivals",
+    ];
     for (i, t) in ctx.sig.iter().enumerate() {
         if t.kind != TokenKind::Ident || !ctx.is_runtime(t.line) {
             continue;
         }
         let name = ctx.text(i);
-        let hit = MUTATORS.contains(&name)
+        let constructed = matches!(name, "RoundMailbox" | "PackedMailbox" | "ArrivalScan")
+            && i + 3 < ctx.sig.len()
+            && ctx.text(i + 1) == ":"
+            && ctx.text(i + 2) == ":"
+            && matches!(ctx.text(i + 3), "new" | "default");
+        let hit = constructed
+            || MUTATORS.contains(&name)
+            || ARRIVAL_MUTATORS.contains(&name)
             || (name == "set"
                 && i >= 1
                 && ctx.text(i - 1) == "."
-                && ctx.sig.get(i + 1).is_some_and(|n| n.text(ctx.src) == "("))
-            || (matches!(name, "RoundMailbox" | "PackedMailbox")
-                && i + 3 < ctx.sig.len()
-                && ctx.text(i + 1) == ":"
-                && ctx.text(i + 2) == ":"
-                && matches!(ctx.text(i + 3), "new" | "default"));
+                && ctx.sig.get(i + 1).is_some_and(|n| n.text(ctx.src) == "("));
         if hit {
+            let what = if ARRIVAL_MUTATORS.contains(&name) || name == "ArrivalScan" {
+                "records/constructs the arrival scan"
+            } else {
+                "mutates/constructs the round mailbox"
+            };
             out.push(Diagnostic::new(
                 ctx.rel,
                 t.line,
                 "seam-bypass",
                 format!(
-                    "`{name}` mutates/constructs the round mailbox outside aba-sim/aba-net; message placement must go through the delivery seam"
+                    "`{name}` {what} outside aba-sim/aba-net; message placement and arrival recording must go through the engine seams"
                 ),
             ));
         }

@@ -1,0 +1,11 @@
+//! Fixture: arrival-scan construction and recording outside the engine
+//! seam — causal provenance is recorded by aba-sim and *read* by
+//! probes; fabricating a scan in analysis code bypasses that boundary.
+
+pub fn forge_arrivals() -> ArrivalScan {
+    let mut scan = ArrivalScan::new();
+    scan.mark_base(0, 8);
+    scan.add_sent(0, 1, 8);
+    scan.set_corrupted(&[true]);
+    scan
+}

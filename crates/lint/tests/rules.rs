@@ -106,6 +106,29 @@ fn seam_bypass_covers_the_packed_plane() {
     );
 }
 
+/// The provenance seam is held to the same rule as the message planes:
+/// constructing an `ArrivalScan` or calling its recording mutators
+/// outside aba-sim/aba-net fires, and nothing else does.
+#[test]
+fn seam_bypass_covers_the_arrival_scan() {
+    let diags = lint_fixture("seam_bypass_arrivals_fires.rs");
+    assert!(
+        diags.iter().any(|d| d.msg.contains("ArrivalScan")),
+        "arrival-scan construction not reported: {diags:?}"
+    );
+    for mutator in ["mark_base", "add_sent", "set_corrupted"] {
+        assert!(
+            diags.iter().any(|d| d.msg.contains(mutator)),
+            "arrival mutator `{mutator}` not reported: {diags:?}"
+        );
+    }
+    assert!(
+        diags.iter().all(|d| d.rule == "seam-bypass"),
+        "unexpected extra rules: {:?}",
+        rules_of(&diags)
+    );
+}
+
 /// The rng fixture exercises both ledger checks: raw construction and
 /// an undeclared stream reference.
 #[test]

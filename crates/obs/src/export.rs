@@ -28,7 +28,7 @@ pub struct SpanRecord {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -48,7 +48,7 @@ fn escape_json(s: &str) -> String {
 
 /// Joins pre-rendered trace-event objects into a Chrome trace JSON
 /// array (one object per line, for diffability).
-fn join_trace(events: Vec<String>) -> String {
+pub(crate) fn join_trace(events: Vec<String>) -> String {
     let mut out = String::from("[\n");
     for (i, ev) in events.iter().enumerate() {
         out.push_str(ev);
@@ -87,6 +87,13 @@ pub fn chrome_trace_from_spans(spans: &[SpanRecord]) -> String {
 /// events (corruptions, halts, violations, truncation, notes) become
 /// `i` instants.
 pub fn chrome_trace(log: &EventLog) -> String {
+    join_trace(chrome_trace_events(log))
+}
+
+/// The individual trace-event objects behind [`chrome_trace`], one
+/// pre-rendered JSON object per entry — the provenance exporter splices
+/// its flow events onto this list before joining.
+pub(crate) fn chrome_trace_events(log: &EventLog) -> Vec<String> {
     let mut events: Vec<String> = Vec::with_capacity(log.len() + 8);
     // Open B spans, as (name) — closed in reverse order at log end if
     // the log stops mid-span.
@@ -177,7 +184,7 @@ pub fn chrome_trace(log: &EventLog) -> String {
     while !open.is_empty() {
         end(&mut events, &mut open, final_ts);
     }
-    join_trace(events)
+    events
 }
 
 /// Renders `(stack, value)` pairs as collapsed-stack text, one

@@ -40,6 +40,7 @@ pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod probe;
+pub mod provenance;
 pub mod timing;
 
 pub use event::{EventKind, EventLog, ObsEvent};
@@ -48,4 +49,5 @@ pub use export::{
 };
 pub use metrics::{Histogram, MetricsRegistry, POW2_BOUNDS};
 pub use probe::EventProbe;
+pub use provenance::{chrome_trace_with_flows, ConeStats, ProvenanceProbe, RoundEdges};
 pub use timing::{percentile, summarize_latencies, LatencySummary, Stopwatch, WallClock};

@@ -1,0 +1,486 @@
+//! Pooled per-round arrival summary handed to [`crate::probe::Probe`]s
+//! that opt into happens-before recording.
+//!
+//! The provenance layer of `aba-obs` needs, once per round, the full
+//! sender → receiver arrival relation plus per-node traffic counters —
+//! but it must cost nothing when unused and never allocate per message.
+//! [`ArrivalScan`] is the answer: a pooled, non-generic bundle of u64
+//! bitsets that both message planes know how to fill in O(n + deviations)
+//! time, mirroring the broadcast-base + deviation-cell layout of the
+//! planes themselves:
+//!
+//! * `base_senders` — one bit per sender that contributed a broadcast
+//!   base this round (every receiver gets it unless knocked out);
+//! * `knocked[r]` — receiver-major rows, bit `s` set when `r` does *not*
+//!   receive `s`'s base (knock-out or a per-recipient override row with
+//!   a hole);
+//! * `extra[r]` — receiver-major rows, bit `s` set when an explicit
+//!   point-to-point message `s → r` arrives (deviation cells, including
+//!   overrides of a base);
+//!
+//! so the arrival in-set of receiver `r` is
+//! `(base_senders & !knocked[r]) | extra[r]`, and a receiver with no
+//! knocked/extra words (`is_clean`) receives exactly `base_senders` —
+//! the broadcast fast path that keeps online closure near-linear.
+//!
+//! Traffic counters follow the engine's counting convention exactly
+//! (a broadcast is `n - 1` messages, the local self-copy is free, an
+//! explicit self-message counts): `sent_*` is filled from the wire
+//! plane before delivery (offered traffic, summing to
+//! [`crate::metrics::RoundMetrics::messages`]/`bits`), `recv_*` from
+//! the arrivals plane after delivery (summing to the round's delivered
+//! count).
+
+use crate::id::NodeId;
+
+/// Number of u64 words needed for an `n`-bit set.
+#[inline]
+pub(crate) fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// A pooled, reusable summary of one round's arrivals and traffic.
+///
+/// Filled by the message planes via
+/// [`MessagePlane::tally_offered`](crate::plane::MessagePlane::tally_offered)
+/// and
+/// [`MessagePlane::scan_arrivals`](crate::plane::MessagePlane::scan_arrivals),
+/// then handed by reference to [`Probe::arrivals`](crate::probe::Probe::arrivals).
+/// All storage is retained across rounds; `reset` only zeroes.
+#[derive(Debug, Default, Clone)]
+pub struct ArrivalScan {
+    n: usize,
+    words: usize,
+    /// Bit `s`: sender `s` has a broadcast base on the arrivals plane.
+    base_senders: Vec<u64>,
+    /// Per sender: bit size of the base message (0 when none).
+    base_bits: Vec<u32>,
+    /// Receiver-major `n × words`: bit `s` set ⇒ `r` does NOT get `s`'s base.
+    knocked: Vec<u64>,
+    /// Receiver-major `n × words`: bit `s` set ⇒ explicit message `s → r`.
+    extra: Vec<u64>,
+    /// Bit `r`: receiver `r` has at least one knocked/extra bit (not clean).
+    dirty: Vec<u64>,
+    /// Per sender: messages offered on the wire this round.
+    sent_msgs: Vec<u32>,
+    /// Per sender: bits offered on the wire this round.
+    sent_bits: Vec<u64>,
+    /// Per receiver: messages delivered this round.
+    recv_msgs: Vec<u32>,
+    /// Per receiver: bits delivered this round.
+    recv_bits: Vec<u64>,
+    /// Bit `s`: sender `s` was corrupted at scan time.
+    corrupted: Vec<u64>,
+}
+
+impl ArrivalScan {
+    /// A fresh, empty scan (the pooling placeholder, like the planes').
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the scan and (re)sizes it for an `n`-node network,
+    /// retaining allocations.
+    ///
+    /// When the shape is unchanged (the per-round pooled case), the
+    /// `n × words` knocked/extra pools are swept per *dirty row* rather
+    /// than wholesale — the dirty bitset records exactly which rows
+    /// carry bits, so a clean round's reset is O(n), not O(n·words).
+    pub fn reset(&mut self, n: usize) {
+        let words = words_for(n);
+        if self.n == n && self.words == words {
+            for w in 0..words {
+                let mut bits = self.dirty[w];
+                while bits != 0 {
+                    let r = w * 64 + bits.trailing_zeros() as usize;
+                    self.knocked[r * words..(r + 1) * words].fill(0);
+                    self.extra[r * words..(r + 1) * words].fill(0);
+                    bits &= bits - 1;
+                }
+                self.dirty[w] = 0;
+            }
+            self.base_senders.fill(0);
+            self.base_bits.fill(0);
+            self.sent_msgs.fill(0);
+            self.sent_bits.fill(0);
+            self.recv_msgs.fill(0);
+            self.recv_bits.fill(0);
+            self.corrupted.fill(0);
+            return;
+        }
+        self.n = n;
+        self.words = words;
+        resize_zero(&mut self.base_senders, words);
+        resize_zero(&mut self.base_bits, n);
+        resize_zero(&mut self.knocked, n * words);
+        resize_zero(&mut self.extra, n * words);
+        resize_zero(&mut self.dirty, words);
+        resize_zero(&mut self.sent_msgs, n);
+        resize_zero(&mut self.sent_bits, n);
+        resize_zero(&mut self.recv_msgs, n);
+        resize_zero(&mut self.recv_bits, n);
+        resize_zero(&mut self.corrupted, words);
+    }
+
+    /// Number of nodes this scan was sized for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Words per bitset row (`ceil(n / 64)`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    // --- plane-side builder API -------------------------------------
+
+    /// Records that sender `s` contributed a broadcast base of
+    /// `bits` bits.
+    #[inline]
+    pub fn mark_base(&mut self, s: usize, bits: u32) {
+        self.base_senders[s / 64] |= 1 << (s % 64);
+        self.base_bits[s] = bits;
+    }
+
+    /// Records that receiver `r` does not get `s`'s base.
+    ///
+    /// Callers must only mark senders that actually have a base this
+    /// round (`knocked ⊆ base_senders`) — [`ArrivalScan::finish_base_recv`]
+    /// subtracts the knocked bases from the per-receiver totals.
+    #[inline]
+    pub fn mark_knocked(&mut self, r: usize, s: usize) {
+        self.knocked[r * self.words + s / 64] |= 1 << (s % 64);
+        self.dirty[r / 64] |= 1 << (r % 64);
+    }
+
+    /// Word-granular [`ArrivalScan::mark_knocked`] (packed-plane path):
+    /// ORs `bits` into word `w` of `r`'s knocked row. Same
+    /// `knocked ⊆ base_senders` precondition.
+    #[inline]
+    pub fn or_knocked_word(&mut self, r: usize, w: usize, bits: u64) {
+        if bits != 0 {
+            self.knocked[r * self.words + w] |= bits;
+            self.dirty[r / 64] |= 1 << (r % 64);
+        }
+    }
+
+    /// Records an explicit point-to-point arrival `s → r`.
+    #[inline]
+    pub fn mark_extra(&mut self, r: usize, s: usize) {
+        self.extra[r * self.words + s / 64] |= 1 << (s % 64);
+        self.dirty[r / 64] |= 1 << (r % 64);
+    }
+
+    /// Word-granular [`ArrivalScan::mark_extra`] (packed-plane path).
+    #[inline]
+    pub fn or_extra_word(&mut self, r: usize, w: usize, bits: u64) {
+        if bits != 0 {
+            self.extra[r * self.words + w] |= bits;
+            self.dirty[r / 64] |= 1 << (r % 64);
+        }
+    }
+
+    /// Adds to sender `s`'s offered-traffic counters.
+    #[inline]
+    pub fn add_sent(&mut self, s: usize, msgs: u32, bits: u64) {
+        self.sent_msgs[s] += msgs;
+        self.sent_bits[s] += bits;
+    }
+
+    /// Adds to receiver `r`'s delivered-traffic counters.
+    #[inline]
+    pub fn add_recv(&mut self, r: usize, msgs: u32, bits: u64) {
+        self.recv_msgs[r] += msgs;
+        self.recv_bits[r] += bits;
+    }
+
+    /// Folds the broadcast bases into the per-receiver delivered
+    /// counters, after every base/knocked mark is in: each receiver
+    /// gets every un-knocked base, its own base self-copy free — the
+    /// engine's counting convention. O(n + knocked bits): clean
+    /// receivers use the round totals directly.
+    ///
+    /// Explicit arrivals are *not* folded here; planes account them
+    /// per deviation cell via [`ArrivalScan::add_recv`].
+    pub fn finish_base_recv(&mut self) {
+        let total_msgs: u32 = self.base_senders.iter().map(|w| w.count_ones()).sum();
+        let mut total_bits = 0u64;
+        for (w, &word) in self.base_senders.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                total_bits += self.base_bits[s] as u64;
+                bits &= bits - 1;
+            }
+        }
+        for r in 0..self.n {
+            let mut msgs = total_msgs;
+            let mut bits = total_bits;
+            let mut own_in = self.base_senders[r / 64] & (1 << (r % 64)) != 0;
+            if !self.is_clean(r) {
+                let start = r * self.words;
+                for w in 0..self.words {
+                    let mut k = self.knocked[start + w];
+                    while k != 0 {
+                        let s = w * 64 + k.trailing_zeros() as usize;
+                        msgs -= 1;
+                        bits -= self.base_bits[s] as u64;
+                        if s == r {
+                            own_in = false;
+                        }
+                        k &= k - 1;
+                    }
+                }
+            }
+            if own_in {
+                msgs -= 1;
+                bits -= self.base_bits[r] as u64;
+            }
+            self.recv_msgs[r] += msgs;
+            self.recv_bits[r] += bits;
+        }
+    }
+
+    /// Sets the corrupted-sender bitset from the ledger's flags.
+    pub fn set_corrupted(&mut self, flags: &[bool]) {
+        debug_assert_eq!(flags.len(), self.n);
+        for (word, chunk) in self.corrupted.iter_mut().zip(flags.chunks(64)) {
+            let mut bits = 0u64;
+            for (i, &f) in chunk.iter().enumerate() {
+                bits |= (f as u64) << i;
+            }
+            *word = bits;
+        }
+    }
+
+    // --- probe-side query API ---------------------------------------
+
+    /// Bitset of senders whose broadcast base is on the arrivals plane.
+    #[inline]
+    pub fn base_senders(&self) -> &[u64] {
+        &self.base_senders
+    }
+
+    /// Bit size of sender `s`'s base message (0 when it has none).
+    #[inline]
+    pub fn base_bits(&self, s: usize) -> u32 {
+        self.base_bits[s]
+    }
+
+    /// Receiver `r`'s knocked row (bit `s` ⇒ no base from `s`).
+    #[inline]
+    pub fn knocked_row(&self, r: usize) -> &[u64] {
+        &self.knocked[r * self.words..(r + 1) * self.words]
+    }
+
+    /// Receiver `r`'s explicit-arrival row (bit `s` ⇒ message `s → r`).
+    #[inline]
+    pub fn extra_row(&self, r: usize) -> &[u64] {
+        &self.extra[r * self.words..(r + 1) * self.words]
+    }
+
+    /// Whether `r` receives exactly the broadcast bases (no knocked or
+    /// extra bits) — the fast path for online closure.
+    #[inline]
+    pub fn is_clean(&self, r: usize) -> bool {
+        self.dirty[r / 64] & (1 << (r % 64)) == 0
+    }
+
+    /// Bit `r`: receiver `r`'s in-set deviates from the broadcast bases.
+    /// All-zero means every receiver is clean — consumers can skip
+    /// per-receiver [`ArrivalScan::is_clean`] probing entirely.
+    #[inline]
+    pub fn dirty(&self) -> &[u64] {
+        &self.dirty
+    }
+
+    /// Writes receiver `r`'s arrival in-set,
+    /// `(base_senders & !knocked[r]) | extra[r]`, into `out`
+    /// (`out.len() == words`).
+    pub fn in_set(&self, r: usize, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.words);
+        let k = self.knocked_row(r);
+        let e = self.extra_row(r);
+        for (w, o) in out.iter_mut().enumerate() {
+            *o = (self.base_senders[w] & !k[w]) | e[w];
+        }
+    }
+
+    /// Calls `f(s)` for every sender in `r`'s arrival in-set, in
+    /// ascending sender order.
+    pub fn for_each_sender(&self, r: usize, mut f: impl FnMut(NodeId)) {
+        let k = self.knocked_row(r);
+        let e = self.extra_row(r);
+        for w in 0..self.words {
+            let mut bits = (self.base_senders[w] & !k[w]) | e[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                f(NodeId::new((w * 64 + b) as u32));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Whether a message `s → r` arrives this round.
+    pub fn has_message(&self, s: usize, r: usize) -> bool {
+        let (w, b) = (s / 64, 1u64 << (s % 64));
+        (self.base_senders[w] & !self.knocked_row(r)[w] | self.extra_row(r)[w]) & b != 0
+    }
+
+    /// Per-sender offered message counts (index = sender id).
+    #[inline]
+    pub fn sent_msgs(&self) -> &[u32] {
+        &self.sent_msgs
+    }
+
+    /// Per-sender offered bit counts.
+    #[inline]
+    pub fn sent_bits(&self) -> &[u64] {
+        &self.sent_bits
+    }
+
+    /// Per-receiver delivered message counts.
+    #[inline]
+    pub fn recv_msgs(&self) -> &[u32] {
+        &self.recv_msgs
+    }
+
+    /// Per-receiver delivered bit counts.
+    #[inline]
+    pub fn recv_bits(&self) -> &[u64] {
+        &self.recv_bits
+    }
+
+    /// Bitset of corrupted senders at scan time.
+    #[inline]
+    pub fn corrupted(&self) -> &[u64] {
+        &self.corrupted
+    }
+
+    /// Whether node `s` was corrupted at scan time.
+    #[inline]
+    pub fn is_corrupted(&self, s: usize) -> bool {
+        self.corrupted[s / 64] & (1 << (s % 64)) != 0
+    }
+}
+
+fn resize_zero<T: Copy + Default>(v: &mut Vec<T>, len: usize) {
+    v.clear();
+    v.resize(len, T::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_set_combines_base_knocked_and_extra() {
+        let mut s = ArrivalScan::new();
+        s.reset(70);
+        s.mark_base(0, 8);
+        s.mark_base(65, 16);
+        s.mark_knocked(3, 0); // 3 loses 0's base
+        s.mark_extra(3, 7); // 7 -> 3 explicit
+        assert!(!s.is_clean(3));
+        assert!(s.is_clean(4));
+        let mut got = Vec::new();
+        s.for_each_sender(3, |id| got.push(id.index()));
+        assert_eq!(got, vec![7, 65]);
+        let mut all = Vec::new();
+        s.for_each_sender(4, |id| all.push(id.index()));
+        assert_eq!(all, vec![0, 65]);
+        assert!(s.has_message(65, 3));
+        assert!(!s.has_message(0, 3));
+        assert!(s.has_message(7, 3));
+        let mut buf = vec![0u64; s.words()];
+        s.in_set(3, &mut buf);
+        assert_eq!(buf[0], 1 << 7);
+        assert_eq!(buf[1], 1 << 1);
+    }
+
+    #[test]
+    fn reset_clears_everything_and_resizes() {
+        let mut s = ArrivalScan::new();
+        s.reset(10);
+        s.mark_base(9, 4);
+        s.mark_extra(1, 2);
+        s.add_sent(0, 3, 24);
+        s.add_recv(1, 1, 8);
+        s.set_corrupted(&[
+            true, false, false, false, false, false, false, false, false, false,
+        ]);
+        assert!(s.is_corrupted(0));
+        s.reset(4);
+        assert_eq!(s.n(), 4);
+        assert!(s.is_clean(1));
+        assert_eq!(s.sent_msgs(), &[0; 4]);
+        assert_eq!(s.recv_bits(), &[0; 4]);
+        assert!(!s.is_corrupted(0));
+        let mut any = false;
+        s.for_each_sender(0, |_| any = true);
+        assert!(!any);
+    }
+
+    #[test]
+    fn finish_base_recv_applies_the_counting_convention() {
+        let mut s = ArrivalScan::new();
+        s.reset(4);
+        // Bases from 0 (8 bits) and 1 (16 bits); receiver 2 loses 0's
+        // base; receiver 1 gets its own base (free self-copy).
+        s.mark_base(0, 8);
+        s.mark_base(1, 16);
+        s.mark_knocked(2, 0);
+        s.finish_base_recv();
+        // r=0: own base free, 1's base counts -> (1, 16)
+        assert_eq!((s.recv_msgs()[0], s.recv_bits()[0]), (1, 16));
+        // r=1: 0's base counts, own free -> (1, 8)
+        assert_eq!((s.recv_msgs()[1], s.recv_bits()[1]), (1, 8));
+        // r=2: 0's base knocked, 1's counts -> (1, 16)
+        assert_eq!((s.recv_msgs()[2], s.recv_bits()[2]), (1, 16));
+        // r=3: both count -> (2, 24)
+        assert_eq!((s.recv_msgs()[3], s.recv_bits()[3]), (2, 24));
+    }
+
+    #[test]
+    fn finish_base_recv_handles_own_base_knocked_for_self() {
+        let mut s = ArrivalScan::new();
+        s.reset(2);
+        s.mark_base(0, 8);
+        s.mark_knocked(0, 0); // 0 loses its own (free) self-copy
+        s.finish_base_recv();
+        assert_eq!((s.recv_msgs()[0], s.recv_bits()[0]), (0, 0));
+        assert_eq!((s.recv_msgs()[1], s.recv_bits()[1]), (1, 8));
+    }
+
+    #[test]
+    fn word_granular_marks_match_bit_marks() {
+        let mut a = ArrivalScan::new();
+        let mut b = ArrivalScan::new();
+        a.reset(70);
+        b.reset(70);
+        a.mark_knocked(3, 65);
+        a.mark_extra(3, 2);
+        b.or_knocked_word(3, 1, 1 << 1);
+        b.or_extra_word(3, 0, 1 << 2);
+        b.or_extra_word(5, 0, 0); // no-op: must not dirty r=5
+        assert_eq!(a.knocked_row(3), b.knocked_row(3));
+        assert_eq!(a.extra_row(3), b.extra_row(3));
+        assert!(!b.is_clean(3));
+        assert!(b.is_clean(5));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = ArrivalScan::new();
+        s.reset(3);
+        s.add_sent(1, 2, 10);
+        s.add_sent(1, 1, 5);
+        s.add_recv(2, 4, 40);
+        assert_eq!(s.sent_msgs()[1], 3);
+        assert_eq!(s.sent_bits()[1], 15);
+        assert_eq!(s.recv_msgs()[2], 4);
+        assert_eq!(s.recv_bits()[2], 40);
+    }
+}

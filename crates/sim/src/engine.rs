@@ -215,6 +215,9 @@ pub struct Simulation<
     /// Pooled emission buffer for the sharded emit phase (empty and
     /// untouched while running serially).
     emit_buf: Vec<Option<Emission<P::Msg>>>,
+    /// Pooled per-round arrival scan, filled only when the probe opts
+    /// in ([`Probe::WANTS_ARRIVALS`]); empty otherwise.
+    arrival_scan: crate::arrivals::ArrivalScan,
 }
 
 /// A [`Simulation`] on the bit-packed
@@ -374,6 +377,7 @@ impl<
             metrics: RunMetrics::new(cfg.record_rounds),
             mailbox_pool,
             emit_buf: Vec::new(),
+            arrival_scan: crate::arrivals::ArrivalScan::new(),
             nodes,
             adversary,
             delivery,
@@ -582,8 +586,19 @@ impl<
         let round_messages = mailbox.message_count();
         let round_bits = mailbox.total_bits();
         let round_max_edge = mailbox.max_edge_bits();
+        if B::WANTS_ARRIVALS {
+            // Offered traffic is read off the wire mailbox here, at the
+            // same point the round's message/bit metrics are taken.
+            self.arrival_scan.reset(n);
+            mailbox.tally_offered(&mut self.arrival_scan);
+        }
         let (arrivals, delivery_stats) = self.delivery.deliver(round, mailbox, &self.ledger);
         self.probe.phase_end(round, RoundPhase::Deliver);
+        if B::WANTS_ARRIVALS {
+            arrivals.scan_arrivals(&mut self.arrival_scan);
+            self.arrival_scan.set_corrupted(self.ledger.flags());
+            self.probe.arrivals(round, &self.arrival_scan);
+        }
         // With in-round workers, receivers share the arrivals plane
         // immutably over the same fixed ID shards; the halted flags are
         // only read during the phase (a node's halt can't change another

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod arrivals;
 pub mod delivery;
 pub mod engine;
 pub mod error;
@@ -82,6 +83,7 @@ pub mod trace;
 pub mod verdict;
 
 pub use adversary::{Adversary, AdversaryAction, CorruptionLedger, InfoModel, RoundView};
+pub use arrivals::ArrivalScan;
 pub use delivery::{Delivery, DeliveryStats, PassThrough};
 pub use engine::{PackedSimulation, RunReport, SimConfig, Simulation};
 pub use error::SimError;
@@ -102,6 +104,7 @@ pub mod prelude {
     pub use crate::adversary::{
         Adversary, AdversaryAction, CorruptSend, CorruptionLedger, InfoModel, RoundView,
     };
+    pub use crate::arrivals::ArrivalScan;
     pub use crate::delivery::{Delivery, DeliveryStats, PassThrough};
     pub use crate::engine::{PackedSimulation, RunReport, SimConfig, Simulation};
     pub use crate::error::SimError;

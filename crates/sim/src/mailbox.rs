@@ -723,6 +723,59 @@ impl<M: Message> RoundMailbox<M> {
             .max()
             .unwrap_or(0)
     }
+
+    /// Adds each sender's offered traffic (this plane as the *wire*
+    /// mailbox, pre-delivery) to `scan`'s per-sender counters. The
+    /// per-row counters are maintained incrementally, so this is O(n)
+    /// and sums exactly to [`RoundMailbox::message_count`] /
+    /// [`RoundMailbox::total_bits`].
+    pub(crate) fn tally_offered_into(&self, scan: &mut crate::arrivals::ArrivalScan) {
+        for (s, row) in self.rows.iter().enumerate() {
+            if row.count != 0 {
+                scan.add_sent(s, row.count as u32, row.bits as u64);
+            }
+        }
+    }
+
+    /// Fills `scan`'s arrival bitsets and per-receiver delivered
+    /// counters from this plane as the *arrivals* mailbox
+    /// (post-delivery). O(n) over rows plus one lane walk per dense
+    /// row, mirroring [`RoundMailbox::deviations`]. Self-copies land in
+    /// the arrival bitsets (they are real inbox entries) but not in the
+    /// delivered counters — they never touch the network, matching
+    /// [`RoundMailbox::message_count`] and the delivery stats.
+    pub(crate) fn scan_arrivals_into(&self, scan: &mut crate::arrivals::ArrivalScan) {
+        for (s, row) in self.rows.iter().enumerate() {
+            let has_base = if let Some(base) = &row.base {
+                scan.mark_base(s, base.bit_size() as u32);
+                true
+            } else {
+                false
+            };
+            if row.dense {
+                for (r, c) in self.lane(s).iter().enumerate() {
+                    match c {
+                        Cell::Inherit => {}
+                        Cell::Knocked => {
+                            if has_base {
+                                scan.mark_knocked(r, s);
+                            }
+                        }
+                        Cell::Msg(m) => {
+                            if has_base {
+                                scan.mark_knocked(r, s);
+                            }
+                            scan.mark_extra(r, s);
+                            if r != s {
+                                scan.add_recv(r, 1, m.bit_size() as u64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scan.finish_base_recv();
+    }
 }
 
 /// Lazily-resolved view of one receiver's incoming messages.

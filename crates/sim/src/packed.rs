@@ -536,6 +536,62 @@ impl<M: PackedMessage> PackedMailbox<M> {
     fn is_silent_row(&self, me: usize) -> bool {
         self.row_count[me] == 0 && self.effective_code(me, me).is_none()
     }
+
+    /// Adds each sender's offered traffic (this plane as the *wire*
+    /// mailbox, pre-delivery) to `scan`'s per-sender counters. O(n);
+    /// sums exactly to the plane's `message_count` / `total_bits`.
+    pub(crate) fn tally_offered_into(&self, scan: &mut crate::arrivals::ArrivalScan) {
+        for s in 0..self.n {
+            if self.row_count[s] != 0 {
+                scan.add_sent(s, self.row_count[s] as u32, self.row_bits[s] as u64);
+            }
+        }
+    }
+
+    /// Fills `scan`'s arrival bitsets and per-receiver delivered
+    /// counters from this plane as the *arrivals* mailbox
+    /// (post-delivery). Word-parallel: the column-mirrored deviation
+    /// lanes OR straight into the scan's receiver rows, so the cost is
+    /// O(n·words) word ops plus one decode per explicit cell.
+    pub(crate) fn scan_arrivals_into(&self, scan: &mut crate::arrivals::ArrivalScan) {
+        for (w, &word) in self.base_mask.iter().enumerate() {
+            let mut b = word;
+            while b != 0 {
+                let s = w * 64 + b.trailing_zeros() as usize;
+                let bs = self.base[s].as_ref().map_or(0, Message::bit_size);
+                scan.mark_base(s, bs as u32);
+                b &= b - 1;
+            }
+        }
+        if !self.col_dev.is_empty() {
+            for r in 0..self.n {
+                for w in 0..self.words {
+                    // Knocked bits only matter where a base exists;
+                    // explicit cells (has ⊆ dev) knock the base *and*
+                    // land as extras with their own bit size.
+                    scan.or_knocked_word(
+                        r,
+                        w,
+                        self.col_dev[r * self.words + w] & self.base_mask[w],
+                    );
+                    let ex = self.col_has[r * self.words + w];
+                    scan.or_extra_word(r, w, ex);
+                    let mut e = ex;
+                    while e != 0 {
+                        let s = w * 64 + e.trailing_zeros() as usize;
+                        // Self-copies never touch the network: in the
+                        // bitsets, out of the delivered counters.
+                        if s != r {
+                            let bs = Self::bit_size_of_code(self.codes[s][r]);
+                            scan.add_recv(r, 1, bs as u64);
+                        }
+                        e &= e - 1;
+                    }
+                }
+            }
+        }
+        scan.finish_base_recv();
+    }
 }
 
 impl<M: PackedMessage> MessagePlane<M> for PackedMailbox<M> {
@@ -920,6 +976,14 @@ impl<M: PackedMessage> MessagePlane<M> for PackedMailbox<M> {
             .map(|s| self.row_current_max(s))
             .max()
             .unwrap_or(0)
+    }
+
+    fn tally_offered(&self, scan: &mut crate::arrivals::ArrivalScan) {
+        self.tally_offered_into(scan);
+    }
+
+    fn scan_arrivals(&self, scan: &mut crate::arrivals::ArrivalScan) {
+        self.scan_arrivals_into(scan);
     }
 }
 

@@ -28,6 +28,7 @@
 //! both planes through this whole surface and compares every observable
 //! after every mutation.
 
+use crate::arrivals::ArrivalScan;
 use crate::id::NodeId;
 use crate::mailbox::{Inbox, RoundMailbox};
 use crate::message::{Emission, Message};
@@ -127,6 +128,20 @@ pub trait MessagePlane<M: Message>: Default {
 
     /// The largest message crossing any single edge this round.
     fn max_edge_bits(&self) -> usize;
+
+    /// Adds each sender's offered traffic to `scan`'s per-sender
+    /// counters (this plane as the *wire* mailbox, pre-delivery).
+    /// Per-sender sums must equal [`MessagePlane::message_count`] /
+    /// [`MessagePlane::total_bits`] exactly.
+    fn tally_offered(&self, scan: &mut ArrivalScan);
+
+    /// Fills `scan`'s arrival bitsets and per-receiver delivered
+    /// counters (this plane as the *arrivals* mailbox, post-delivery).
+    /// The in-set of each receiver must reproduce
+    /// [`MessagePlane::has_message`], and per-receiver counter sums
+    /// must equal the plane's `message_count` / `total_bits` under the
+    /// engine's counting convention.
+    fn scan_arrivals(&self, scan: &mut ArrivalScan);
 }
 
 impl<M: Message> MessagePlane<M> for RoundMailbox<M> {
@@ -223,6 +238,14 @@ impl<M: Message> MessagePlane<M> for RoundMailbox<M> {
 
     fn max_edge_bits(&self) -> usize {
         RoundMailbox::max_edge_bits(self)
+    }
+
+    fn tally_offered(&self, scan: &mut ArrivalScan) {
+        self.tally_offered_into(scan);
+    }
+
+    fn scan_arrivals(&self, scan: &mut ArrivalScan) {
+        self.scan_arrivals_into(scan);
     }
 }
 

@@ -19,6 +19,7 @@
 //! observe only: they receive no mutable access to nodes, mailboxes, or
 //! RNGs, so an instrumented run's outcome is the uninstrumented one.
 
+use crate::arrivals::ArrivalScan;
 use crate::engine::{RunReport, SimConfig};
 use crate::id::{NodeId, Round};
 use crate::metrics::RoundMetrics;
@@ -69,6 +70,14 @@ impl RoundPhase {
 /// such probes belong to the explicitly non-deterministic timing
 /// channel of `aba-obs` and its lint-registered files.
 pub trait Probe {
+    /// Whether this probe wants the per-round [`ArrivalScan`].
+    ///
+    /// The scan costs O(n + deviations) per round to fill, so the
+    /// engine skips it entirely — at compile time, for statically
+    /// known probes — unless a probe opts in. Tuples opt in when
+    /// either member does.
+    const WANTS_ARRIVALS: bool = false;
+
     /// The run is configured and about to execute its first round.
     fn run_start(&mut self, cfg: &SimConfig) {
         let _ = cfg;
@@ -94,6 +103,15 @@ pub trait Probe {
         let _ = (round, node, output);
     }
 
+    /// The round's arrival relation and per-node traffic, post-delivery.
+    ///
+    /// Fires between [`RoundPhase::Deliver`] and the receive loop, only
+    /// when [`Probe::WANTS_ARRIVALS`] is set. The scan is pooled and
+    /// reused every round — copy out whatever must survive.
+    fn arrivals(&mut self, round: Round, scan: &ArrivalScan) {
+        let _ = (round, scan);
+    }
+
     /// The round completed with these measurements.
     fn round_end(&mut self, round: Round, metrics: &RoundMetrics) {
         let _ = (round, metrics);
@@ -116,6 +134,8 @@ impl Probe for NoProbe {}
 /// Probes compose as tuples (mirroring [`crate::oracle::Oracle`]):
 /// `(A, B)` forwards every hook to `A` then `B`, and tuples nest.
 impl<A: Probe, B: Probe> Probe for (A, B) {
+    const WANTS_ARRIVALS: bool = A::WANTS_ARRIVALS || B::WANTS_ARRIVALS;
+
     fn run_start(&mut self, cfg: &SimConfig) {
         self.0.run_start(cfg);
         self.1.run_start(cfg);
@@ -135,6 +155,10 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn halt(&mut self, round: Round, node: NodeId, output: Option<bool>) {
         self.0.halt(round, node, output);
         self.1.halt(round, node, output);
+    }
+    fn arrivals(&mut self, round: Round, scan: &ArrivalScan) {
+        self.0.arrivals(round, scan);
+        self.1.arrivals(round, scan);
     }
     fn round_end(&mut self, round: Round, metrics: &RoundMetrics) {
         self.0.round_end(round, metrics);

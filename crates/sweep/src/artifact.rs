@@ -204,10 +204,16 @@ fn render_violation(v: &aba_harness::Violation) -> String {
 
 /// Renders a self-contained failure repro artifact: the violating cell,
 /// the scenario + seed + first-violation round as observed, and the
-/// greedily shrunken scenario that still violates. Byte-deterministic
-/// given the repro, so sweep repro artifacts are identical at any
-/// worker count.
-pub fn render_repro(cell_key: &str, repro: &aba_harness::Repro) -> String {
+/// greedily shrunken scenario that still violates. When a provenance
+/// trace of the shrunken scenario is supplied, the artifact also
+/// carries the causal layer — the violation blame set and the decision
+/// cone of every blamed target. Byte-deterministic given the inputs, so
+/// sweep repro artifacts are identical at any worker count.
+pub fn render_repro(
+    cell_key: &str,
+    repro: &aba_harness::Repro,
+    shrunk_trace: Option<&aba_harness::ProvenancedTrial>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"cell\": \"{}\",\n", esc_json(cell_key)));
     out.push_str(&format!(
@@ -234,12 +240,72 @@ pub fn render_repro(cell_key: &str, repro: &aba_harness::Repro) -> String {
             render_violation(first)
         ));
     }
+    if let Some(traced) = shrunk_trace {
+        out.push_str(&format!("  \"blame\": {},\n", render_blame(traced)));
+        out.push_str("  \"target_cones\": [");
+        let mut first = true;
+        for &target in &traced.blame.targets {
+            if let Some(stats) = traced.provenance.explain(target) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("\n    ");
+                out.push_str(&render_cone(&stats));
+            }
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+    }
     out.push_str(&format!(
         "  \"shrink\": {{\"evaluated\": {}, \"accepted\": {}}}\n",
         repro.evaluated, repro.accepted
     ));
     out.push_str("}\n");
     out
+}
+
+/// Renders the blame set of a provenance-traced trial: who the minority
+/// deciders were and which corrupted senders causally cover them.
+fn render_blame(traced: &aba_harness::ProvenancedTrial) -> String {
+    fn ids(v: &[aba_sim::NodeId]) -> String {
+        let mut s = String::from("[");
+        for (i, id) in v.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&id.index().to_string());
+        }
+        s.push(']');
+        s
+    }
+    format!(
+        "{{\"blamed\": {}, \"targets\": {}, \"uncovered\": {}}}",
+        ids(&traced.blame.blamed),
+        ids(&traced.blame.targets),
+        ids(&traced.blame.uncovered)
+    )
+}
+
+/// Renders one decision cone's statistics (see [`aba_obs::ConeStats`]).
+fn render_cone(stats: &aba_obs::ConeStats) -> String {
+    let output = match stats.output {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"node\": {}, \"round\": {}, \"output\": {}, \"decided\": {}, \
+         \"width\": {}, \"depth\": {}, \"corrupted_ancestors\": {}, \
+         \"influenced_by\": {}, \"influence_fraction\": {}}}",
+        stats.node.index(),
+        stats.round,
+        output,
+        stats.decided,
+        stats.width,
+        stats.depth,
+        stats.corrupted_ancestors,
+        stats.influenced_by,
+        json_f64(stats.influence_fraction()),
+    )
 }
 
 /// Escapes a string for a JSON literal in the line-oriented artifact.

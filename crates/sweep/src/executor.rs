@@ -57,6 +57,18 @@ pub struct RunOptions {
     /// `tests/obs_campaign.rs`). Trial results and the ordinary
     /// artifacts are unaffected — probes observe only.
     pub obs_dir: Option<PathBuf>,
+    /// Where to write the **deterministic** causal-provenance artifacts
+    /// (`{name}.provenance.txt` — per-node decision cones, traffic
+    /// profiles, and blame lines for every trial in grid/trial order —
+    /// plus `{name}-cell{NNN}.cone.dot` / `.cone.jsonl` causal graphs
+    /// for the first violating trial of each violating cell). When set,
+    /// every trial runs with the `aba-obs` provenance probe attached
+    /// (and, when `obs_dir` is also set, feeds the same run's event log
+    /// and metrics into the observability artifacts — the `prov.*`
+    /// histograms appear in `{name}.metrics.txt`). All bytes are
+    /// worker-count independent (pinned by `tests/provenance_sweep.rs`).
+    /// Trial results and the ordinary artifacts are unaffected.
+    pub provenance_dir: Option<PathBuf>,
     /// Where to write the **wall-clock** timing artifacts
     /// (`{name}.timing.csv`, `{name}.profile.json`,
     /// `{name}.timing.collapsed.txt` — see [`crate::profiling`]).
@@ -81,12 +93,28 @@ struct CellRun {
     /// `results` (populated only when `RunOptions::obs_dir` is set;
     /// retained through finalization for campaign assembly).
     obs: Vec<Option<(EventLog, MetricsRegistry)>>,
+    /// Per-trial provenance capture, parallel to `results` (populated
+    /// only when `RunOptions::provenance_dir` is set; retained through
+    /// finalization for campaign assembly).
+    prov: Vec<Option<ProvCapture>>,
     /// Trials scheduled so far (prefix length once the batch drains).
     scheduled: usize,
     /// Scheduled trials not yet recorded.
     outstanding: usize,
     /// Set exactly once, when the stopping rule fires.
     summary: Option<CellSummary>,
+}
+
+/// What one provenance-traced trial leaves behind for the campaign
+/// artifacts: the per-node summary text (with the blame line when a
+/// disagreement was traced), the oracle-violation tally, and — for
+/// violating trials only — the rendered causal graphs.
+struct ProvCapture {
+    summary: String,
+    violations: usize,
+    /// `(dot, jsonl)` causal-graph exports, rendered at capture time so
+    /// the probe itself need not be retained.
+    graphs: Option<(String, String)>,
 }
 
 /// Queue state shared by all workers.
@@ -243,6 +271,7 @@ impl CampaignSpec {
             aborted: false,
         };
         let obs_on = opts.obs_dir.is_some();
+        let prov_on = opts.provenance_dir.is_some();
         let first_batch = self.stop.min_trials.min(self.stop.max_trials);
         for (i, restored) in restored.into_iter().enumerate() {
             let done = restored.is_some();
@@ -256,6 +285,11 @@ impl CampaignSpec {
                     Vec::new()
                 } else {
                     vec![None; first_batch]
+                },
+                prov: if done || !prov_on {
+                    Vec::new()
+                } else {
+                    (0..first_batch).map(|_| None).collect()
                 },
                 scheduled: if done { 0 } else { first_batch },
                 outstanding: if done { 0 } else { first_batch },
@@ -310,7 +344,8 @@ impl CampaignSpec {
                     let threads = opts.threads;
                     scope.spawn(move || {
                         self.worker_loop(
-                            cells, state, idle, sink, repro_dir, obs_on, profiler, worker, threads,
+                            cells, state, idle, sink, repro_dir, obs_on, prov_on, profiler, worker,
+                            threads,
                         )
                     });
                 }
@@ -320,6 +355,9 @@ impl CampaignSpec {
         let runs = state.into_inner().expect("no worker panicked").runs;
         if let Some(dir) = &opts.obs_dir {
             self.write_obs_artifacts(dir, &cells, &runs);
+        }
+        if let Some(dir) = &opts.provenance_dir {
+            self.write_provenance_artifacts(dir, &cells, &runs);
         }
         if let (Some(dir), Some(prof)) = (&opts.profile_dir, &profiler) {
             prof.write_artifacts(dir, &self.name);
@@ -387,6 +425,60 @@ impl CampaignSpec {
         }
     }
 
+    /// Splices the per-trial provenance summaries into one campaign
+    /// text artifact — cells in grid order, trials in index order,
+    /// checkpoint-adopted cells marked — and writes the causal-graph
+    /// exports of each violating cell's first violating trial. Like the
+    /// obs artifacts, the bytes are a function of the spec alone.
+    fn write_provenance_artifacts(
+        &self,
+        dir: &std::path::Path,
+        cells: &[CellSpec],
+        runs: &[CellRun],
+    ) {
+        let mut out = String::new();
+        for (cell, run) in cells.iter().zip(runs) {
+            out.push_str(&format!("== cell {} ==\n", cell.key));
+            if run.prov.iter().flatten().next().is_none() {
+                out.push_str("(adopted from checkpoint; trials not re-traced)\n");
+            }
+            for (ti, cap) in run.prov.iter().enumerate() {
+                let Some(cap) = cap else { continue };
+                out.push_str(&format!("-- trial {ti} --\n"));
+                out.push_str(&cap.summary);
+            }
+        }
+        let path = dir.join(format!("{}.provenance.txt", self.name));
+        if let Err(e) = atomic_write(&path, &out) {
+            obslog::warn(&format!(
+                "warning: cannot write provenance artifact {}: {e}",
+                path.display()
+            ));
+        }
+        for (cell, run) in cells.iter().zip(runs) {
+            // First violating trial in index order — worker-count
+            // independent because the prefix is complete.
+            let Some((dot, jsonl)) = run
+                .prov
+                .iter()
+                .flatten()
+                .find(|c| c.violations > 0)
+                .and_then(|c| c.graphs.as_ref())
+            else {
+                continue;
+            };
+            for (suffix, contents) in [("cone.dot", dot), ("cone.jsonl", jsonl)] {
+                let path = dir.join(format!("{}-cell{:03}.{suffix}", self.name, cell.index));
+                if let Err(e) = atomic_write(&path, contents) {
+                    obslog::warn(&format!(
+                        "warning: cannot write causal graph {}: {e}",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)] // private fan-out of RunOptions; a param struct would just restate it
     fn worker_loop(
         &self,
@@ -396,6 +488,7 @@ impl CampaignSpec {
         sink: Option<&CheckpointSink>,
         repro_dir: Option<&std::path::Path>,
         obs_on: bool,
+        prov_on: bool,
         profiler: Option<&ExecProfiler>,
         worker: usize,
         threads: usize,
@@ -439,19 +532,30 @@ impl CampaignSpec {
                 scenario.threads = threads;
             }
             let timer = profiler.map(|p| p.trial_timer());
-            // With observation on, the trial runs through the probe-
-            // instrumented drive; the result and (when armed) the
-            // violation tally are bit-identical to the uninstrumented
-            // paths, so summaries and artifacts don't depend on obs.
-            let (outcome, observed) = if obs_on {
+            // With observation or provenance on, the trial runs through
+            // the probe-instrumented drive; the result and (when armed)
+            // the violation tally are bit-identical to the
+            // uninstrumented paths, so summaries and the ordinary
+            // artifacts don't depend on either.
+            let (outcome, observed, prov) = if prov_on {
+                let o = aba_harness::provenance_scenario(&scenario);
+                let violations = if self.oracles { o.oracle.total } else { 0 };
+                let capture = ProvCapture {
+                    summary: o.summary(),
+                    violations,
+                    graphs: (violations > 0).then(|| (o.dot_graph(), o.jsonl_graph())),
+                };
+                let observed = obs_on.then_some((o.events, o.metrics));
+                ((o.result, violations), observed, Some(capture))
+            } else if obs_on {
                 let o = aba_harness::observe_scenario(&scenario);
                 let violations = if self.oracles { o.oracle.total } else { 0 };
-                ((o.result, violations), Some((o.events, o.metrics)))
+                ((o.result, violations), Some((o.events, o.metrics)), None)
             } else if self.oracles {
                 let checked = aba_harness::check_scenario(&scenario);
-                ((checked.result, checked.oracle.total), None)
+                ((checked.result, checked.oracle.total), None, None)
             } else {
-                ((aba_harness::run_scenario(&scenario), 0), None)
+                ((aba_harness::run_scenario(&scenario), 0), None, None)
             };
             abort.armed = false;
             if let (Some(p), Some(t)) = (profiler, timer) {
@@ -467,6 +571,9 @@ impl CampaignSpec {
                 run.results[ti] = Some(outcome);
                 if let Some(obs) = observed {
                     run.obs[ti] = Some(obs);
+                }
+                if let Some(p) = prov {
+                    run.prov[ti] = Some(p);
                 }
                 run.outstanding -= 1;
                 if run.outstanding > 0 {
@@ -502,6 +609,9 @@ impl CampaignSpec {
                         run.results.resize(run.scheduled, None);
                         if obs_on {
                             run.obs.resize(run.scheduled, None);
+                        }
+                        if prov_on {
+                            run.prov.resize_with(run.scheduled, || None);
                         }
                         start
                     };
@@ -548,8 +658,10 @@ impl CampaignSpec {
         }
     }
 
-    /// Shrinks the cell's first violating trial and writes the repro
-    /// artifact (best-effort: IO failures warn, the campaign proceeds).
+    /// Shrinks the cell's first violating trial, traces the shrunken
+    /// scenario's provenance (blame set + target decision cones), and
+    /// writes the repro artifact (best-effort: IO failures warn, the
+    /// campaign proceeds).
     fn write_repro(&self, dir: &std::path::Path, cell: &CellSpec, trial: usize) {
         let mut scenario = cell.scenario.clone();
         scenario.seed = scenario.seed.wrapping_add(trial as u64);
@@ -562,8 +674,11 @@ impl CampaignSpec {
             ));
             return;
         };
+        // The shrunken scenario is small by construction; one more
+        // traced run buys the causal layer for the artifact.
+        let traced = aba_harness::provenance_scenario(&repro.shrunk);
         let path = dir.join(format!("{}-cell{:03}.repro.json", self.name, cell.index));
-        let doc = crate::artifact::render_repro(&cell.key, &repro);
+        let doc = crate::artifact::render_repro(&cell.key, &repro, Some(&traced));
         if let Err(e) = atomic_write(&path, &doc) {
             obslog::warn(&format!(
                 "warning: cannot write repro artifact {}: {e}",

@@ -99,8 +99,9 @@ pub use aba_sim as sim;
 pub use aba_sweep as sweep;
 
 pub use aba_harness::{
-    observe_replay, observe_scenario, AttackSpec, BatchReport, CheckedTrial, DelayScheduler,
-    InputSpec, NetworkSpec, ObservedReplay, ObservedTrial, OracleReport, PlaneSpec, ProtocolSpec,
+    observe_replay, observe_scenario, provenance_replay, provenance_scenario, AttackSpec,
+    BatchReport, BlameReport, CheckedTrial, DelayScheduler, InputSpec, NetworkSpec, ObservedReplay,
+    ObservedTrial, OracleReport, PlaneSpec, ProtocolSpec, ProvenancedReplay, ProvenancedTrial,
     ReplayOutcome, Scenario, ScenarioBuilder, TrialResult, Violation,
 };
 pub use aba_sweep::{CampaignResult, CampaignSpec, CellSummary, RoundCap, RunOptions, StopRule};

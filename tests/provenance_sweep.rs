@@ -1,0 +1,128 @@
+//! Campaign-level provenance artifacts are part of the deterministic
+//! reproducibility surface: the per-trial summaries, the blame lines,
+//! and the causal-graph exports for the violating cell must come out
+//! byte-identical at any worker count and any in-round thread count.
+
+use adaptive_ba::{
+    AttackSpec, CampaignSpec, DelayScheduler, NetworkSpec, ProtocolSpec, RunOptions, StopRule,
+};
+use std::path::{Path, PathBuf};
+
+/// The golden grid: one violating cell (Phase-King under the
+/// adversarial scheduler) and clean cells around it.
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("prov")
+        .sizes(&[(13, 4)])
+        .protocols(&[
+            ProtocolSpec::PhaseKing,
+            ProtocolSpec::PaperLasVegas { alpha: 2.0 },
+        ])
+        .attacks(&[AttackSpec::StaticMirror])
+        .networks(&[
+            NetworkSpec::Synchronous,
+            NetworkSpec::BoundedDelay {
+                max_delay: 2,
+                scheduler: DelayScheduler::DelayHonest,
+            },
+        ])
+        .round_cap(adaptive_ba::RoundCap::Fixed(200))
+        .stop(StopRule::fixed(2))
+        .oracles(true)
+        .seed(5)
+}
+
+fn files(d: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(d)
+        .expect("provenance dir exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    names
+}
+
+fn assert_identical_trees(a: &Path, b: &Path, what: &str) {
+    let names = files(a);
+    assert_eq!(names, files(b), "{what}: file sets differ");
+    for name in &names {
+        let x = std::fs::read_to_string(a.join(name)).unwrap();
+        let y = std::fs::read_to_string(b.join(name)).unwrap();
+        assert_eq!(x, y, "{what}: {name} bytes differ");
+    }
+}
+
+fn run(
+    dir: &Path,
+    sub: &str,
+    workers: usize,
+    threads: usize,
+) -> (adaptive_ba::CampaignResult, PathBuf) {
+    let prov_dir = dir.join(sub);
+    let result = spec().run_with(&RunOptions {
+        workers,
+        threads,
+        provenance_dir: Some(prov_dir.clone()),
+        ..RunOptions::default()
+    });
+    (result, prov_dir)
+}
+
+#[test]
+fn provenance_artifacts_are_worker_count_invariant() {
+    let dir = std::env::temp_dir().join("aba_provenance_sweep_workers");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (serial, serial_dir) = run(&dir, "w1", 1, 0);
+    let (parallel, parallel_dir) = run(&dir, "w4", 4, 0);
+    assert_eq!(serial, parallel, "summaries diverged across worker counts");
+    assert_identical_trees(&serial_dir, &parallel_dir, "workers 1 vs 4");
+
+    let names = files(&serial_dir);
+    // The campaign summary artifact is always present...
+    assert!(
+        names.contains(&"prov.provenance.txt".to_string()),
+        "campaign provenance summary missing: {names:?}"
+    );
+    // ...and the violating cell emitted its causal graph, in both
+    // formats, named by cell index.
+    assert!(
+        names.iter().any(|f| f.ends_with(".cone.dot")),
+        "violating cell must emit a DOT causal graph: {names:?}"
+    );
+    assert!(
+        names.iter().any(|f| f.ends_with(".cone.jsonl")),
+        "violating cell must emit a line-JSON causal graph: {names:?}"
+    );
+
+    let summary = std::fs::read_to_string(serial_dir.join("prov.provenance.txt")).unwrap();
+    // Cells in grid order, trials in index order, per-node lines.
+    assert!(summary.contains("== cell "), "cell headers: {summary}");
+    assert!(summary.contains("-- trial 0 --"), "trial headers");
+    assert!(summary.contains("node v0 "), "per-node profile lines");
+    // The disagreement cell carries its blame line.
+    assert!(
+        summary.contains("blame blamed=["),
+        "violating cell's blame line missing from:\n{summary}"
+    );
+
+    let dot = std::fs::read_to_string(
+        serial_dir.join(names.iter().find(|f| f.ends_with(".cone.dot")).unwrap()),
+    )
+    .unwrap();
+    assert!(dot.starts_with("digraph provenance"), "DOT header: {dot}");
+    let jsonl = std::fs::read_to_string(
+        serial_dir.join(names.iter().find(|f| f.ends_with(".cone.jsonl")).unwrap()),
+    )
+    .unwrap();
+    assert!(jsonl.lines().count() > 1, "line-JSON graph has records");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn provenance_artifacts_are_thread_count_invariant() {
+    let dir = std::env::temp_dir().join("aba_provenance_sweep_threads");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (serial, serial_dir) = run(&dir, "t1", 2, 1);
+    let (threaded, threaded_dir) = run(&dir, "t4", 2, 4);
+    assert_eq!(serial, threaded, "summaries diverged across thread counts");
+    assert_identical_trees(&serial_dir, &threaded_dir, "threads 1 vs 4");
+    let _ = std::fs::remove_dir_all(&dir);
+}
