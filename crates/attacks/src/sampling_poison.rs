@@ -8,6 +8,7 @@
 
 use aba_agreement::sampling_majority::{SamplingMajorityNode, SmMsg};
 use aba_sim::adversary::{Adversary, AdversaryAction, RoundView};
+use aba_sim::plane::MessagePlane;
 use aba_sim::{Emission, NodeId};
 use rand::RngCore;
 
@@ -33,10 +34,13 @@ impl SamplingPoison {
     }
 }
 
-impl Adversary<SamplingMajorityNode> for SamplingPoison {
+// Generic over the message plane: the strategy only reads node state and
+// the corruption ledger, never the outgoing plane, so it runs unchanged
+// on the dense and sparse planes.
+impl<L: MessagePlane<SmMsg>> Adversary<SamplingMajorityNode, L> for SamplingPoison {
     fn act(
         &mut self,
-        view: &RoundView<'_, SamplingMajorityNode>,
+        view: &RoundView<'_, SamplingMajorityNode, L>,
         _rng: &mut dyn RngCore,
     ) -> AdversaryAction<SmMsg> {
         let (iter, sub) = (view.round.index() / 2 + 1, view.round.index() % 2 + 1);

@@ -113,6 +113,61 @@ fn tally_nodes(n: usize, rounds: u64) -> Vec<TallyChatter> {
         .collect()
 }
 
+/// A point-to-point chatter with the sampled protocols' traffic shape:
+/// each node sends `⌈log₂ n⌉` unicasts per round to a deterministic
+/// spread of peers. Broadcast at n = 65 536 would put Θ(n²) messages on
+/// the wire per round; this sub-quadratic workload is what the sparse
+/// plane routes, at sizes where a dense plane cannot even allocate.
+#[derive(Debug)]
+struct SparseChatter {
+    me: u32,
+    n: u32,
+    fanout: u32,
+    rounds: u64,
+    seen: usize,
+    halted: bool,
+}
+
+impl Protocol for SparseChatter {
+    type Msg = Beat;
+    fn emit(&mut self, r: Round, _rng: &mut dyn RngCore) -> Emission<Beat> {
+        let base = self
+            .me
+            .wrapping_mul(2_654_435_761)
+            .wrapping_add(r.index() as u32);
+        let peers = (0..self.fanout)
+            .map(|j| (NodeId::new(base.wrapping_add(j * j + 1) % self.n), Beat(1)))
+            .collect();
+        Emission::PerRecipient(peers)
+    }
+    fn receive(&mut self, r: Round, inbox: Inbox<'_, Beat>, _rng: &mut dyn RngCore) {
+        self.seen += inbox.iter().count();
+        if r.index() + 1 >= self.rounds {
+            self.halted = true;
+        }
+    }
+    fn output(&self) -> Option<bool> {
+        self.halted.then_some(self.seen > 0)
+    }
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+fn sparse_nodes(n: usize, rounds: u64) -> Vec<SparseChatter> {
+    let fanout = (usize::BITS - (n - 1).leading_zeros()).max(1);
+    (0..n as u32)
+        .map(|me| SparseChatter {
+            me,
+            n: n as u32,
+            fanout,
+            rounds,
+            seen: 0,
+            halted: false,
+        })
+        .collect()
+}
+
 fn main() {
     let n = 128usize;
     let rounds = 8u64;
@@ -386,6 +441,44 @@ fn bench_large() {
             Simulation::with_network(cfg(), tally_nodes(n, rounds), Benign, net)
                 .run()
                 .rounds
+        });
+    }
+
+    // The adjacency-list sparse plane on the sampled protocols' unicast
+    // workload (log₂ n sends per node per round), at sizes the dense
+    // planes cannot reach without an n × n allocation. The `dense p2p
+    // n=4096` control runs the identical workload on `RoundMailbox` —
+    // the one size where both planes fit — so the pair isolates the
+    // plane swap before the sweep escapes dense range.
+    group.bench("dense p2p sync n=4096", || {
+        let n = 4096usize;
+        let cfg = SimConfig::new(n, 0)
+            .with_seed(1)
+            .with_max_rounds(rounds + 16);
+        let net: NetDelivery<Beat, _> = NetDelivery::new(Synchronous, 1);
+        Simulation::with_network(cfg, sparse_nodes(n, rounds), Benign, net)
+            .run()
+            .rounds
+    });
+    for n in [4096usize, 16384, 65536] {
+        let cfg = move || {
+            SimConfig::new(n, 0)
+                .with_seed(1)
+                .with_max_rounds(rounds + 16)
+        };
+        group.bench(&format!("sparse p2p sync n={n}"), || {
+            let net = NetDelivery::new(Synchronous, 1);
+            SparseSimulation::with_instruments(
+                cfg(),
+                sparse_nodes(n, rounds),
+                Benign,
+                net,
+                NoOracle,
+                NoProbe,
+            )
+            .run_instrumented()
+            .0
+            .rounds
         });
     }
 }

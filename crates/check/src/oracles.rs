@@ -19,6 +19,7 @@ use aba_sim::engine::RunReport;
 use aba_sim::id::NodeId;
 use aba_sim::message::Message;
 use aba_sim::oracle::{Oracle, RoundCtx};
+use aba_sim::plane::MessagePlane;
 
 /// Lemma: any two honest nodes that decide, decide the same value
 /// (Definition 1, Agreement — checked *at decision time*, not post hoc).
@@ -82,7 +83,7 @@ impl AgreementAtDecision {
         Self::default()
     }
 
-    fn scan<M: Message>(&mut self, ctx: &RoundCtx<'_, M>) {
+    fn scan<M: Message, L: MessagePlane<M>>(&mut self, ctx: &RoundCtx<'_, M, L>) {
         if self.seen.len() != ctx.n {
             self.seen = vec![false; ctx.n];
         }
@@ -115,8 +116,8 @@ impl AgreementAtDecision {
     }
 }
 
-impl<M: Message> Oracle<M> for AgreementAtDecision {
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+impl<M: Message, L: MessagePlane<M>> Oracle<M, L> for AgreementAtDecision {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         self.scan(ctx);
     }
 }
@@ -132,8 +133,8 @@ impl Validity {
     }
 }
 
-impl<M: Message> Oracle<M> for Validity {
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+impl<M: Message, L: MessagePlane<M>> Oracle<M, L> for Validity {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         if self.seen.len() != ctx.n {
             self.seen = vec![false; ctx.n];
         }
@@ -173,8 +174,8 @@ impl EarlyTerminationBudget {
     }
 }
 
-impl<M: Message> Oracle<M> for EarlyTerminationBudget {
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+impl<M: Message, L: MessagePlane<M>> Oracle<M, L> for EarlyTerminationBudget {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         // Round indices are zero-based: executing round `round_bound`
         // means the run has taken more than `round_bound` rounds.
         if !self.fired_rounds && ctx.round.index() >= self.round_bound {
@@ -221,8 +222,8 @@ impl CongestEdgeBound {
     }
 }
 
-impl<M: Message> Oracle<M> for CongestEdgeBound {
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+impl<M: Message, L: MessagePlane<M>> Oracle<M, L> for CongestEdgeBound {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         let max = ctx.metrics.max_edge_bits;
         if max > self.budget_bits {
             let budget = self.budget_bits;
@@ -240,8 +241,8 @@ impl CorruptionBudgetMonotonicity {
     }
 }
 
-impl<M: Message> Oracle<M> for CorruptionBudgetMonotonicity {
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+impl<M: Message, L: MessagePlane<M>> Oracle<M, L> for CorruptionBudgetMonotonicity {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         let used = ctx.ledger.used();
         let round = ctx.round.index();
         if used > ctx.ledger.budget() {
@@ -364,28 +365,28 @@ impl LemmaSuite {
     }
 }
 
-impl<M: Message> Oracle<M> for LemmaSuite {
-    fn observe_round(&mut self, ctx: &RoundCtx<'_, M>) {
+impl<M: Message, L: MessagePlane<M>> Oracle<M, L> for LemmaSuite {
+    fn observe_round(&mut self, ctx: &RoundCtx<'_, M, L>) {
         if let Some(c) = &mut self.agreement {
             c.observe_round(ctx);
         }
         if let Some(c) = &mut self.validity {
-            Oracle::<M>::observe_round(c, ctx);
+            Oracle::<M, L>::observe_round(c, ctx);
         }
         if let Some(c) = &mut self.early {
-            Oracle::<M>::observe_round(c, ctx);
+            Oracle::<M, L>::observe_round(c, ctx);
         }
         if let Some(c) = &mut self.congest {
-            Oracle::<M>::observe_round(c, ctx);
+            Oracle::<M, L>::observe_round(c, ctx);
         }
         if let Some(c) = &mut self.budget {
-            Oracle::<M>::observe_round(c, ctx);
+            Oracle::<M, L>::observe_round(c, ctx);
         }
     }
 
     fn observe_end(&mut self, report: &RunReport) {
         if let Some(c) = &mut self.early {
-            Oracle::<M>::observe_end(c, report);
+            Oracle::<M, L>::observe_end(c, report);
         }
     }
 }

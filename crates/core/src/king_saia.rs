@@ -1,0 +1,494 @@
+//! King–Saia-style sampled-committee agreement (related work).
+//!
+//! King & Saia, *Breaking the O(n²) Bit Barrier: Scalable Byzantine
+//! Agreement with an Adaptive Adversary* (PODC 2010 / JACM 2011), reach
+//! agreement with `Õ(√n)` bits per processor by electing a small
+//! committee and letting everyone else communicate with a polylog-sized
+//! sample of it. This module implements a synchronous full-information
+//! rendition of that communication pattern as an
+//! [`aba_sim::Protocol`] — the *structure* the paper contrasts against,
+//! not a line-by-line reproduction of the original's spectral
+//! machinery:
+//!
+//! * a **public committee** of `Θ(log² n)` nodes, sampled on the pinned
+//!   [`streams::COMMITTEE_SAMPLE`](aba_sim::rng::streams) RNG stream —
+//!   a pure function of the master seed, so every node (and the
+//!   full-information adversary) derives the same committee without
+//!   perturbing any node, adversary, or network stream;
+//! * each iteration spans **three engine rounds**: (1) every node sends
+//!   its value to `Θ(log n)` sampled committee members, (2) members
+//!   exchange committee votes among themselves while non-members send
+//!   queries to sampled members, (3) members reply and everyone adopts
+//!   the committee's majority.
+//!
+//! Per iteration the wire carries `O(n log n + log⁴ n)` messages —
+//! sub-quadratic by construction, which is what lets the e05 campaign
+//! run this protocol at n = 65,536 on the sparse message plane. Like
+//! [`SamplingMajorityNode`](crate::sampling_majority::SamplingMajorityNode)
+//! it provides almost-everywhere → everywhere convergence only for
+//! adversaries below the sampling threshold; experiments measure it as
+//! a baseline, not as a Definition-1 everywhere-agreement protocol.
+
+use aba_sim::rng::{rng_for, streams};
+use aba_sim::{Emission, Inbox, Message, NodeId, Protocol, Round};
+use rand::{Rng, RngCore};
+use std::sync::Arc;
+
+/// Wire format of the sampled-committee protocol. Every variant is
+/// iteration-tagged so stale traffic from earlier iterations is
+/// ignored, exactly as in the sampling-majority baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KsMsg {
+    /// A node's current value, pushed to sampled committee members.
+    Vote {
+        /// Iteration number (1-based).
+        iter: u64,
+        /// The sender's current value.
+        val: bool,
+    },
+    /// A committee member's proposal, exchanged within the committee.
+    CommitteeVote {
+        /// Iteration number (1-based).
+        iter: u64,
+        /// Majority of the votes the member collected.
+        val: bool,
+    },
+    /// "Send me the committee's value" (non-member → sampled member).
+    Query {
+        /// Iteration number (1-based).
+        iter: u64,
+    },
+    /// A member's answer to a query.
+    Reply {
+        /// Iteration number (1-based).
+        iter: u64,
+        /// The committee's agreed value.
+        val: bool,
+    },
+}
+
+impl Message for KsMsg {
+    fn bit_size(&self) -> usize {
+        let iter = match self {
+            KsMsg::Vote { iter, .. }
+            | KsMsg::CommitteeVote { iter, .. }
+            | KsMsg::Query { iter }
+            | KsMsg::Reply { iter, .. } => *iter,
+        };
+        // tag (2) + iteration counter + value (1 unless a query).
+        2 + (64 - iter.max(1).leading_zeros()) as usize
+            + usize::from(!matches!(self, KsMsg::Query { .. }))
+    }
+}
+
+/// One node of the King–Saia-style sampled-committee protocol. See the
+/// module docs for the round structure.
+#[derive(Debug, Clone)]
+pub struct KingSaiaNode {
+    id: NodeId,
+    n: usize,
+    iterations: u64,
+    val: bool,
+    /// The public committee, sorted ascending; shared (not cloned) per
+    /// node — at n = 65,536 a per-node copy of a `Θ(log² n)` committee
+    /// would itself be a latent O(n log² n) allocation.
+    committee: Arc<Vec<NodeId>>,
+    is_member: bool,
+    /// How many committee members each node samples per push/query.
+    samples: usize,
+    /// Member state: vote tally collected in sub-round 1.
+    vote_ones: usize,
+    vote_total: usize,
+    /// Member state: proposal derived from the vote tally.
+    proposal: bool,
+    /// Member state: the committee's agreed value for this iteration.
+    committee_val: bool,
+    /// Member state: who queried us in sub-round 2.
+    queriers: Vec<NodeId>,
+    /// Non-member state: the members we queried in sub-round 2.
+    targets: Vec<NodeId>,
+    out: Option<bool>,
+    halted: bool,
+}
+
+impl KingSaiaNode {
+    /// Network size this node was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this node sits on the public committee.
+    pub fn is_committee_member(&self) -> bool {
+        self.is_member
+    }
+
+    /// The committee size used for an `n`-node network: `⌈2·log₂²n⌉`,
+    /// clamped to `[1, n]`.
+    pub fn committee_size(n: usize) -> usize {
+        let l = (n.max(2) as f64).log2();
+        ((2.0 * l * l).ceil() as usize).clamp(1, n)
+    }
+
+    /// How many committee members each node samples when pushing votes
+    /// and querying: `⌈log₂ n⌉ + 1`, clamped to the committee size.
+    pub fn sample_size(n: usize) -> usize {
+        let l = (n.max(2) as f64).log2().ceil() as usize;
+        (l + 1).clamp(1, Self::committee_size(n))
+    }
+
+    /// The iteration count the sampling analyses suggest: `Θ(log n)` —
+    /// the committee relay converges a factor `log n` faster than the
+    /// pairwise sampling dynamic.
+    pub fn recommended_iterations(n: usize) -> u64 {
+        let l = (n.max(2) as f64).log2();
+        (2.0 * l).ceil() as u64
+    }
+
+    /// Samples the public committee for `(n, seed)` on the pinned
+    /// [`streams::COMMITTEE_SAMPLE`] stream: `committee_size(n)`
+    /// distinct members, sorted ascending. Every node of a run derives
+    /// this same committee; so can adversaries and experiments (the
+    /// full-information model — the committee is common knowledge).
+    pub fn sample_committee(n: usize, seed: u64) -> Vec<NodeId> {
+        let k = Self::committee_size(n);
+        let mut rng = rng_for(seed, streams::COMMITTEE_SAMPLE);
+        let mut members = std::collections::BTreeSet::new();
+        while members.len() < k {
+            members.insert(rng.gen_range(0..n as u32));
+        }
+        members.into_iter().map(NodeId::new).collect()
+    }
+
+    /// Builds the whole network from an input assignment, sampling the
+    /// committee from `seed` (pass the run's master seed; the committee
+    /// stream never collides with node or adversary streams).
+    pub fn network(n: usize, iterations: u64, inputs: &[bool], seed: u64) -> Vec<KingSaiaNode> {
+        assert_eq!(inputs.len(), n, "one input per node");
+        assert!(n >= 1 && iterations >= 1);
+        let committee = Arc::new(Self::sample_committee(n, seed));
+        let samples = Self::sample_size(n);
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let id = NodeId::new(i as u32);
+                KingSaiaNode {
+                    id,
+                    n,
+                    iterations,
+                    val: *b,
+                    is_member: committee.binary_search(&id).is_ok(),
+                    committee: Arc::clone(&committee),
+                    samples,
+                    vote_ones: 0,
+                    vote_total: 0,
+                    proposal: *b,
+                    committee_val: *b,
+                    queriers: Vec::new(),
+                    targets: Vec::new(),
+                    out: None,
+                    halted: false,
+                }
+            })
+            .collect()
+    }
+
+    /// Current value (exposed for adversaries and experiments — the
+    /// full-information model).
+    pub fn val(&self) -> bool {
+        self.val
+    }
+
+    /// The node ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node sits on the public committee.
+    pub fn is_member(&self) -> bool {
+        self.is_member
+    }
+
+    /// The public committee, sorted ascending.
+    pub fn committee(&self) -> &[NodeId] {
+        &self.committee
+    }
+
+    /// Whether `who` sits on the public committee (senders of committee
+    /// votes are validated against this — a Byzantine non-member cannot
+    /// forge its way into the committee exchange).
+    fn member(&self, who: NodeId) -> bool {
+        self.committee.binary_search(&who).is_ok()
+    }
+
+    /// `(iteration, sub-round)` of an engine round; three engine rounds
+    /// per iteration.
+    fn schedule(round: Round) -> (u64, u64) {
+        (round.index() / 3 + 1, round.index() % 3 + 1)
+    }
+
+    /// Samples `self.samples` committee members (with replacement,
+    /// deduplicated) into `out`, sorted ascending.
+    fn sample_members(&self, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
+        out.clear();
+        for _ in 0..self.samples {
+            out.push(self.committee[rng.gen_range(0..self.committee.len())]);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+impl Protocol for KingSaiaNode {
+    type Msg = KsMsg;
+
+    fn emit(&mut self, round: Round, rng: &mut dyn RngCore) -> Emission<KsMsg> {
+        let (iter, sub) = Self::schedule(round);
+        match sub {
+            1 => {
+                // Push the current value to a committee sample.
+                let mut picks = Vec::new();
+                self.sample_members(rng, &mut picks);
+                let vote = KsMsg::Vote {
+                    iter,
+                    val: self.val,
+                };
+                self.vote_ones = 0;
+                self.vote_total = 0;
+                self.queriers.clear();
+                Emission::PerRecipient(picks.into_iter().map(|m| (m, vote)).collect())
+            }
+            2 => {
+                if self.is_member {
+                    // Exchange proposals within the committee (own vote
+                    // is counted locally, not wired to ourselves).
+                    let cv = KsMsg::CommitteeVote {
+                        iter,
+                        val: self.proposal,
+                    };
+                    Emission::PerRecipient(
+                        self.committee
+                            .iter()
+                            .filter(|m| **m != self.id)
+                            .map(|m| (*m, cv))
+                            .collect(),
+                    )
+                } else {
+                    // Ask a fresh committee sample for the outcome.
+                    let mut picks = Vec::new();
+                    self.sample_members(rng, &mut picks);
+                    self.targets = picks.clone();
+                    let q = KsMsg::Query { iter };
+                    Emission::PerRecipient(picks.into_iter().map(|m| (m, q)).collect())
+                }
+            }
+            3 => {
+                if self.is_member {
+                    let reply = KsMsg::Reply {
+                        iter,
+                        val: self.committee_val,
+                    };
+                    Emission::PerRecipient(self.queriers.iter().map(|q| (*q, reply)).collect())
+                } else {
+                    Emission::Silent
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: Inbox<'_, KsMsg>, _rng: &mut dyn RngCore) {
+        let (iter, sub) = Self::schedule(round);
+        match sub {
+            1 => {
+                if self.is_member {
+                    for (_, m) in inbox.iter() {
+                        if let KsMsg::Vote { iter: i, val } = m {
+                            if *i == iter {
+                                self.vote_total += 1;
+                                self.vote_ones += usize::from(*val);
+                            }
+                        }
+                    }
+                    // Majority of collected votes; no votes (or a tie)
+                    // keeps the member's own value.
+                    self.proposal = if 2 * self.vote_ones > self.vote_total {
+                        true
+                    } else if 2 * self.vote_ones < self.vote_total {
+                        false
+                    } else {
+                        self.val
+                    };
+                }
+            }
+            2 => {
+                if self.is_member {
+                    // Committee majority over validated member votes
+                    // plus our own proposal; ties keep the proposal.
+                    let mut ones = usize::from(self.proposal);
+                    let mut total = 1usize;
+                    for (s, m) in inbox.iter() {
+                        match m {
+                            KsMsg::CommitteeVote { iter: i, val }
+                                if *i == iter && self.member(s) =>
+                            {
+                                total += 1;
+                                ones += usize::from(*val);
+                            }
+                            KsMsg::Query { iter: i } if *i == iter => self.queriers.push(s),
+                            _ => {}
+                        }
+                    }
+                    self.committee_val = if 2 * ones > total {
+                        true
+                    } else if 2 * ones < total {
+                        false
+                    } else {
+                        self.proposal
+                    };
+                }
+            }
+            3 => {
+                if self.is_member {
+                    self.val = self.committee_val;
+                } else {
+                    // Majority of the replies from the members we
+                    // actually queried; silence or a tie keeps the
+                    // current value.
+                    let mut ones = 0usize;
+                    let mut total = 0usize;
+                    for target in &self.targets {
+                        if let Some(KsMsg::Reply { iter: i, val }) = inbox.from(*target) {
+                            if *i == iter {
+                                total += 1;
+                                ones += usize::from(*val);
+                            }
+                        }
+                    }
+                    if 2 * ones > total {
+                        self.val = true;
+                    } else if 2 * ones < total {
+                        self.val = false;
+                    }
+                }
+                if iter >= self.iterations {
+                    self.out = Some(self.val);
+                    self.halted = true;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.out
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aba_sim::adversary::Benign;
+    use aba_sim::{SimConfig, Simulation, SparseSimulation};
+
+    #[test]
+    fn committee_is_deterministic_sorted_and_sized() {
+        let a = KingSaiaNode::sample_committee(256, 7);
+        let b = KingSaiaNode::sample_committee(256, 7);
+        assert_eq!(a, b, "committee is a pure function of (n, seed)");
+        assert_ne!(a, KingSaiaNode::sample_committee(256, 8));
+        assert_eq!(a.len(), KingSaiaNode::committee_size(256));
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(a.iter().all(|m| m.index() < 256));
+    }
+
+    #[test]
+    fn committee_size_is_polylog() {
+        assert_eq!(KingSaiaNode::committee_size(1), 1);
+        let small = KingSaiaNode::committee_size(64);
+        let large = KingSaiaNode::committee_size(65_536);
+        assert!(small < large);
+        assert!(large < 1024, "polylog, not polynomial: {large}");
+        assert!(KingSaiaNode::sample_size(65_536) <= large);
+    }
+
+    #[test]
+    fn uniform_inputs_agree_and_halt() {
+        let n = 48;
+        let iters = 4;
+        let nodes = KingSaiaNode::network(n, iters, &vec![true; n], 11);
+        let report = Simulation::new(SimConfig::new(n, 0).with_seed(11), nodes, Benign).run();
+        assert!(report.all_halted);
+        assert!(report.outputs.iter().all(|o| *o == Some(true)));
+        assert_eq!(report.rounds, 3 * iters);
+    }
+
+    #[test]
+    fn split_inputs_converge_fault_free() {
+        let n = 64;
+        let iters = KingSaiaNode::recommended_iterations(n);
+        let mut converged = 0;
+        for seed in 0..10 {
+            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let nodes = KingSaiaNode::network(n, iters, &inputs, seed);
+            let report = Simulation::new(SimConfig::new(n, 0).with_seed(seed), nodes, Benign).run();
+            let ones = report.outputs.iter().filter(|o| **o == Some(true)).count();
+            if ones == 0 || ones == n {
+                converged += 1;
+            }
+        }
+        assert!(converged >= 8, "converged in only {converged}/10 runs");
+    }
+
+    #[test]
+    fn message_complexity_is_subquadratic() {
+        let n = 256;
+        let nodes = KingSaiaNode::network(n, 4, &vec![false; n], 3);
+        let report = Simulation::new(SimConfig::new(n, 0).with_seed(3), nodes, Benign).run();
+        let per_round = report.metrics.total_messages as f64 / report.rounds as f64;
+        // Per iteration: ≤ n·s votes + k² committee votes + n·s queries
+        // + n·s replies over three rounds — far below the n²/ broadcast
+        // regime.
+        let k = KingSaiaNode::committee_size(n) as f64;
+        let s = KingSaiaNode::sample_size(n) as f64;
+        let bound = (n as f64) * s + k * k;
+        assert!(
+            per_round <= bound,
+            "expected ≤ {bound} messages/round, got {per_round}"
+        );
+        assert!(
+            per_round < (n * n) as f64 / 8.0,
+            "sub-quadratic: got {per_round}"
+        );
+    }
+
+    #[test]
+    fn runs_identically_on_the_sparse_plane() {
+        use aba_sim::{NoOracle, NoProbe, PassThrough};
+        let n = 32;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let dense = Simulation::new(
+            SimConfig::new(n, 0).with_seed(5),
+            KingSaiaNode::network(n, 3, &inputs, 5),
+            Benign,
+        )
+        .run();
+        let sparse = SparseSimulation::with_instruments(
+            SimConfig::new(n, 0).with_seed(5),
+            KingSaiaNode::network(n, 3, &inputs, 5),
+            Benign,
+            PassThrough,
+            NoOracle,
+            NoProbe,
+        )
+        .run();
+        assert_eq!(dense.outputs, sparse.outputs);
+        assert_eq!(dense.rounds, sparse.rounds);
+        assert_eq!(dense.metrics.total_messages, sparse.metrics.total_messages);
+        assert_eq!(dense.metrics.max_edge_bits, sparse.metrics.max_edge_bits);
+    }
+}

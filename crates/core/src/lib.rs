@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod committee_ba;
+pub mod king_saia;
 pub mod msg;
 pub mod params;
 pub mod phase_king;
@@ -35,6 +36,7 @@ pub mod sampling_majority;
 pub mod view;
 
 pub use committee_ba::CommitteeBa;
+pub use king_saia::{KingSaiaNode, KsMsg};
 pub use msg::{ba_code, BaMsg, PkMsg, SubRound};
 pub use params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
 pub use phase_king::PhaseKingBa;
@@ -44,6 +46,7 @@ pub use view::BaNodeView;
 /// Common imports.
 pub mod prelude {
     pub use crate::committee_ba::CommitteeBa;
+    pub use crate::king_saia::{KingSaiaNode, KsMsg};
     pub use crate::msg::{ba_code, BaMsg, PkMsg, SubRound};
     pub use crate::params::{BaConfig, CoinRoundMode, CoinSource, TerminationMode};
     pub use crate::phase_king::PhaseKingBa;

@@ -9,8 +9,9 @@
 //!
 //! * **Agreement/validity** arm for the full-agreement protocols
 //!   (committee family and Phase-King). The common coin may be
-//!   legitimately uncommon and sampling majority only promises
-//!   *almost-everywhere* agreement, so both stay dormant there. The whp
+//!   legitimately uncommon, and sampling majority and King–Saia only
+//!   promise *almost-everywhere* agreement, so all three stay dormant
+//!   there. The whp
 //!   paper variant *does* arm them: a low-probability agreement failure
 //!   is exactly the event worth flagging with its round.
 //! * **Early termination** arms for the paper-family protocols under
@@ -50,7 +51,9 @@ impl CheckedTrial {
 fn full_agreement(p: ProtocolSpec) -> bool {
     !matches!(
         p,
-        ProtocolSpec::CommonCoin | ProtocolSpec::SamplingMajority { .. }
+        ProtocolSpec::CommonCoin
+            | ProtocolSpec::SamplingMajority { .. }
+            | ProtocolSpec::KingSaia { .. }
     )
 }
 
@@ -113,6 +116,11 @@ pub(crate) fn lemma_suite_for(s: &Scenario) -> LemmaSuite {
 ///
 /// Same preconditions as [`crate::run_scenario`].
 pub fn check_scenario(s: &Scenario) -> CheckedTrial {
+    if s.plane == crate::scenario::PlaneSpec::Sparse {
+        if let Some(checked) = runner::drive_scenario_sparse(&CheckDrive, s) {
+            return checked;
+        }
+    }
     runner::drive_scenario(&CheckDrive, s)
 }
 
@@ -281,6 +289,33 @@ mod tests {
         assert_eq!(r.t, 5);
         assert_eq!(r.attack, AttackSpec::FullAttackCapped { q: 5 });
         assert!(r.n > 3 * r.t);
+    }
+
+    #[test]
+    fn sparse_checked_trials_match_dense_and_stay_clean() {
+        // The lemma oracles attach directly to the sparse plane; the
+        // checked result (CongestEdgeBound armed) must match the dense
+        // run field for field and stay violation-free.
+        for proto in [
+            ProtocolSpec::SamplingMajority { iters: 6 },
+            ProtocolSpec::KingSaia { iters: 4 },
+        ] {
+            let dense = Scenario::new(24, 7)
+                .with_protocol(proto)
+                .with_attack(AttackSpec::SamplingPoison)
+                .with_seed(5);
+            let sparse = dense.clone().with_plane(crate::scenario::PlaneSpec::Sparse);
+            let d = check_scenario(&dense);
+            let sp = check_scenario(&sparse);
+            assert_eq!(d.result, sp.result, "{}", proto.name());
+            assert_eq!(d.oracle, sp.oracle, "{}", proto.name());
+            assert!(
+                sp.is_clean(),
+                "{}: {:?}",
+                proto.name(),
+                sp.oracle.violations
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::check::{lemma_suite_for, CheckedTrial};
 use crate::scenario::{AttackSpec, NetworkSpec, PlaneSpec, ProtocolSpec, Scenario};
 use aba_adversary::{AdaptiveCrash, Benign, BudgetCapped, StaticBehavior, StaticByzantine};
 use aba_agreement::{
-    BaConfig, BaMsg, CoinRoundMode, CommitteeBa, PhaseKingBa, SamplingMajorityNode,
+    BaConfig, BaMsg, CoinRoundMode, CommitteeBa, KingSaiaNode, PhaseKingBa, SamplingMajorityNode,
 };
 use aba_attacks::{
     AdaptiveFullAttack, BudgetPolicy, CoinKiller, NonRushingPolicy, SamplingPoison, SplitVote,
@@ -29,7 +29,10 @@ use aba_sim::adversary::Adversary;
 use aba_sim::oracle::{NoOracle, Oracle};
 use aba_sim::probe::{NoProbe, Probe};
 use aba_sim::protocol::Protocol;
-use aba_sim::{PackedMailbox, PackedSimulation, RunReport, SimConfig, Simulation, Verdict};
+use aba_sim::{
+    PackedMailbox, PackedSimulation, RunReport, SimConfig, Simulation, SparseMailbox,
+    SparseSimulation, Verdict,
+};
 
 /// Result of one trial, flattened for aggregation.
 #[derive(Debug, Clone, PartialEq)]
@@ -432,6 +435,243 @@ pub(crate) fn run_scenario_packed(s: &Scenario) -> Option<TrialResult> {
     })
 }
 
+/// Sparse-plane counterpart of [`simulate_oracle`], generic over the
+/// protocol so the sampled family (sampling-majority and King–Saia)
+/// shares one network dispatch. Unlike the packed plane, the oracle
+/// seam stays live here — the lemma checkers are generic over the
+/// message plane — so armed campaigns (CongestEdgeBound especially) run
+/// directly on the sparse plane at scale. The probe seam stays
+/// dense-side.
+fn simulate_sparse<P, A, O>(s: &Scenario, nodes: Vec<P>, adversary: A, oracle: O) -> (RunReport, O)
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    A: Adversary<P, SparseMailbox<P::Msg>>,
+    O: Oracle<P::Msg, SparseMailbox<P::Msg>>,
+{
+    let cfg = sim_config(s);
+    let (report, oracle, NoProbe) = match s.network {
+        NetworkSpec::Synchronous => SparseSimulation::with_instruments(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(Synchronous, s.seed),
+            oracle,
+            NoProbe,
+        )
+        .run_instrumented(),
+        NetworkSpec::LossyLinks { p_drop } => SparseSimulation::with_instruments(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(LossyLinks::new(p_drop), s.seed),
+            oracle,
+            NoProbe,
+        )
+        .run_instrumented(),
+        NetworkSpec::BoundedDelay {
+            max_delay,
+            scheduler,
+        } => SparseSimulation::with_instruments(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(BoundedDelay::new(max_delay, scheduler), s.seed),
+            oracle,
+            NoProbe,
+        )
+        .run_instrumented(),
+        NetworkSpec::Partition { groups, heal_round } => SparseSimulation::with_instruments(
+            cfg,
+            nodes,
+            adversary,
+            NetDelivery::new(Partition::striped(s.n, groups, heal_round), s.seed),
+            oracle,
+            NoProbe,
+        )
+        .run_instrumented(),
+    };
+    (report, oracle)
+}
+
+/// Execution strategy over the sparse-plane dispatch — the sparse twin
+/// of [`Drive`], needed because sparse adversaries are typed against
+/// `SparseMailbox` rather than the default plane. Implemented for
+/// [`Plain`] and [`CheckDrive`].
+pub(crate) trait DriveSparse {
+    /// What one driven sparse trial produces.
+    type Out;
+
+    /// Executes one fully-dispatched sparse combination.
+    fn drive_sparse<P, A>(
+        &self,
+        s: &Scenario,
+        nodes: Vec<P>,
+        inputs: &[bool],
+        adversary: A,
+        downgraded: bool,
+    ) -> Self::Out
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        A: Adversary<P, SparseMailbox<P::Msg>>;
+}
+
+impl DriveSparse for Plain {
+    type Out = TrialResult;
+
+    fn drive_sparse<P, A>(
+        &self,
+        s: &Scenario,
+        nodes: Vec<P>,
+        inputs: &[bool],
+        adversary: A,
+        downgraded: bool,
+    ) -> TrialResult
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        A: Adversary<P, SparseMailbox<P::Msg>>,
+    {
+        let name = adversary.name();
+        let (report, _) = simulate_sparse(s, nodes, adversary, NoOracle);
+        Eval::Inputs(inputs).trial(s, &report, name, downgraded)
+    }
+}
+
+impl DriveSparse for CheckDrive {
+    type Out = CheckedTrial;
+
+    fn drive_sparse<P, A>(
+        &self,
+        s: &Scenario,
+        nodes: Vec<P>,
+        inputs: &[bool],
+        adversary: A,
+        downgraded: bool,
+    ) -> CheckedTrial
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        A: Adversary<P, SparseMailbox<P::Msg>>,
+    {
+        let name = adversary.name();
+        let suite = lemma_suite_for(s);
+        let (report, suite) = simulate_sparse(s, nodes, adversary, suite);
+        CheckedTrial {
+            result: Eval::Inputs(inputs).trial(s, &report, name, downgraded),
+            oracle: suite.report(),
+        }
+    }
+}
+
+/// Sparse-plane sampling-majority dispatch. Mirrors
+/// [`dispatch_sampling`] entry for entry ([`SamplingPoison`] is generic
+/// over the plane), so a plane switch never changes which adversary runs.
+fn dispatch_sampling_sparse<D: DriveSparse>(d: &D, s: &Scenario, iters: u64) -> D::Out {
+    let iters = if iters == 0 {
+        SamplingMajorityNode::recommended_iterations(s.n)
+    } else {
+        iters
+    };
+    let inputs = s.inputs.materialize(s.n, s.seed);
+    let nodes = || SamplingMajorityNode::network(s.n, iters, &inputs);
+    match s.attack {
+        AttackSpec::Benign => d.drive_sparse(s, nodes(), &inputs, Benign, false),
+        AttackSpec::StaticSilent => d.drive_sparse(
+            s,
+            nodes(),
+            &inputs,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
+        ),
+        AttackSpec::StaticMirror => d.drive_sparse(
+            s,
+            nodes(),
+            &inputs,
+            StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
+        ),
+        AttackSpec::Crash { per_round } => {
+            d.drive_sparse(s, nodes(), &inputs, AdaptiveCrash::steady(per_round), false)
+        }
+        AttackSpec::FullAttackCapped { q } => d.drive_sparse(
+            s,
+            nodes(),
+            &inputs,
+            BudgetCapped::new(SamplingPoison::eager(), q),
+            true,
+        ),
+        AttackSpec::SamplingPoison => {
+            d.drive_sparse(s, nodes(), &inputs, SamplingPoison::eager(), false)
+        }
+        AttackSpec::SplitVote
+        | AttackSpec::FullAttack
+        | AttackSpec::FullAttackFrugal
+        | AttackSpec::CoinKiller => {
+            d.drive_sparse(s, nodes(), &inputs, SamplingPoison::eager(), true)
+        }
+    }
+}
+
+/// Sparse-plane King–Saia dispatch. Mirrors [`dispatch_king_saia`] entry
+/// for entry.
+fn dispatch_king_saia_sparse<D: DriveSparse>(d: &D, s: &Scenario, iters: u64) -> D::Out {
+    let iters = king_saia_iters(s, iters);
+    let inputs = s.inputs.materialize(s.n, s.seed);
+    let nodes = || KingSaiaNode::network(s.n, iters, &inputs, s.seed);
+    match s.attack {
+        AttackSpec::Benign => d.drive_sparse(s, nodes(), &inputs, Benign, false),
+        AttackSpec::StaticSilent => d.drive_sparse(
+            s,
+            nodes(),
+            &inputs,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
+        ),
+        AttackSpec::StaticMirror => d.drive_sparse(
+            s,
+            nodes(),
+            &inputs,
+            StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
+        ),
+        AttackSpec::Crash { per_round } => {
+            d.drive_sparse(s, nodes(), &inputs, AdaptiveCrash::steady(per_round), false)
+        }
+        AttackSpec::FullAttackCapped { q } => d.drive_sparse(
+            s,
+            nodes(),
+            &inputs,
+            BudgetCapped::new(AdaptiveCrash::steady(1), q),
+            true,
+        ),
+        AttackSpec::SplitVote
+        | AttackSpec::FullAttack
+        | AttackSpec::FullAttackFrugal
+        | AttackSpec::CoinKiller
+        | AttackSpec::SamplingPoison => {
+            d.drive_sparse(s, nodes(), &inputs, AdaptiveCrash::steady(1), true)
+        }
+    }
+}
+
+/// Drives a sampled-family scenario on the sparse adjacency plane, or
+/// `None` when the scenario's protocol is not in the sampled family (the
+/// committee, coin, and Phase-King families stay dense).
+pub(crate) fn drive_scenario_sparse<D: DriveSparse>(d: &D, s: &Scenario) -> Option<D::Out> {
+    match s.protocol {
+        ProtocolSpec::SamplingMajority { iters } => Some(dispatch_sampling_sparse(d, s, iters)),
+        ProtocolSpec::KingSaia { iters } => Some(dispatch_king_saia_sparse(d, s, iters)),
+        _ => None,
+    }
+}
+
+/// Runs a sampled-family scenario on the sparse plane ([`Plain`] drive).
+pub(crate) fn run_scenario_sparse(s: &Scenario) -> Option<TrialResult> {
+    drive_scenario_sparse(&Plain, s)
+}
+
 /// An execution strategy over the monomorphized protocol × adversary ×
 /// network dispatch. `make_nodes` rebuilds the protocol network from
 /// scratch (replay drives the engine twice).
@@ -821,6 +1061,31 @@ where
     )
 }
 
+/// Resolves a King–Saia iteration count (0 = recommended for `n`).
+fn king_saia_iters(s: &Scenario, iters: u64) -> u64 {
+    if iters == 0 {
+        KingSaiaNode::recommended_iterations(s.n)
+    } else {
+        iters
+    }
+}
+
+fn run_king_saia<D, A>(d: &D, s: &Scenario, iters: u64, adversary: A, downgraded: bool) -> D::Out
+where
+    D: Drive,
+    A: Adversary<KingSaiaNode>,
+{
+    let iters = king_saia_iters(s, iters);
+    let inputs = s.inputs.materialize(s.n, s.seed);
+    d.drive(
+        s,
+        &|| KingSaiaNode::network(s.n, iters, &inputs, s.seed),
+        adversary,
+        Eval::Inputs(&inputs),
+        downgraded,
+    )
+}
+
 /// Dispatches the one-shot coin over the attack axis. Protocol-specific
 /// attacks that don't understand the coin degrade to [`CoinKiller`], the
 /// strongest coin-aware adversary (recorded via `downgraded`).
@@ -889,6 +1154,47 @@ fn dispatch_sampling<D: Drive>(d: &D, s: &Scenario, iters: u64) -> D::Out {
         | AttackSpec::FullAttack
         | AttackSpec::FullAttackFrugal
         | AttackSpec::CoinKiller => run_sampling(d, s, iters, SamplingPoison::eager(), true),
+    }
+}
+
+/// Dispatches the King–Saia sampled-committee protocol over the attack
+/// axis. As with Phase-King, the BA-state-aware attacks don't speak its
+/// message type; they degrade to adaptive crash, the strongest generic
+/// adversary, and the substitution is recorded via `downgraded`.
+fn dispatch_king_saia<D: Drive>(d: &D, s: &Scenario, iters: u64) -> D::Out {
+    match s.attack {
+        AttackSpec::Benign => run_king_saia(d, s, iters, Benign, false),
+        AttackSpec::StaticSilent => run_king_saia(
+            d,
+            s,
+            iters,
+            StaticByzantine::first_t(s.t, StaticBehavior::Silence),
+            false,
+        ),
+        AttackSpec::StaticMirror => run_king_saia(
+            d,
+            s,
+            iters,
+            StaticByzantine::first_t(s.t, StaticBehavior::MirrorRandom),
+            false,
+        ),
+        AttackSpec::Crash { per_round } => {
+            run_king_saia(d, s, iters, AdaptiveCrash::steady(per_round), false)
+        }
+        // The capped combined attack degrades to capped adaptive crash;
+        // the substitution is flagged.
+        AttackSpec::FullAttackCapped { q } => run_king_saia(
+            d,
+            s,
+            iters,
+            BudgetCapped::new(AdaptiveCrash::steady(1), q),
+            true,
+        ),
+        AttackSpec::SplitVote
+        | AttackSpec::FullAttack
+        | AttackSpec::FullAttackFrugal
+        | AttackSpec::CoinKiller
+        | AttackSpec::SamplingPoison => run_king_saia(d, s, iters, AdaptiveCrash::steady(1), true),
     }
 }
 
@@ -1003,7 +1309,8 @@ pub(crate) fn committee_config(s: &Scenario) -> Option<BaConfig> {
         ProtocolSpec::BenOrPrivate => BaConfig::ben_or_private(s.n, s.t).expect("valid (n, t)"),
         ProtocolSpec::PhaseKing
         | ProtocolSpec::CommonCoin
-        | ProtocolSpec::SamplingMajority { .. } => return None,
+        | ProtocolSpec::SamplingMajority { .. }
+        | ProtocolSpec::KingSaia { .. } => return None,
     };
     Some(cfg)
 }
@@ -1041,6 +1348,7 @@ pub(crate) fn drive_scenario<D: Drive>(d: &D, s: &Scenario) -> D::Out {
     match s.protocol {
         ProtocolSpec::CommonCoin => dispatch_coin(d, s),
         ProtocolSpec::SamplingMajority { iters } => dispatch_sampling(d, s, iters),
+        ProtocolSpec::KingSaia { iters } => dispatch_king_saia(d, s, iters),
         ProtocolSpec::PhaseKing => dispatch_phase_king(d, s),
         _ => unreachable!("committee-family protocols are handled above"),
     }
@@ -1054,6 +1362,11 @@ pub(crate) fn drive_scenario<D: Drive>(d: &D, s: &Scenario) -> D::Out {
 pub(crate) fn run_scenario(s: &Scenario) -> TrialResult {
     if s.plane == PlaneSpec::Packed {
         if let Some(r) = run_scenario_packed(s) {
+            return r;
+        }
+    }
+    if s.plane == PlaneSpec::Sparse {
+        if let Some(r) = run_scenario_sparse(s) {
             return r;
         }
     }
@@ -1142,6 +1455,7 @@ mod tests {
             ProtocolSpec::RabinDealer,
             ProtocolSpec::BenOrPrivate,
             ProtocolSpec::PhaseKing,
+            ProtocolSpec::KingSaia { iters: 0 },
         ] {
             let s = Scenario::new(16, 5)
                 .with_protocol(proto)
@@ -1210,6 +1524,68 @@ mod tests {
             "edge bits {} exceed {budget}",
             r.max_edge_bits
         );
+    }
+
+    #[test]
+    fn sparse_plane_reproduces_dense_trials() {
+        // Plane choice is an execution strategy, never a semantics
+        // change: for the whole sampled family, every attack spec must
+        // yield the identical TrialResult on both planes.
+        for proto in [
+            ProtocolSpec::SamplingMajority { iters: 6 },
+            ProtocolSpec::KingSaia { iters: 4 },
+        ] {
+            for attack in [
+                AttackSpec::Benign,
+                AttackSpec::StaticSilent,
+                AttackSpec::StaticMirror,
+                AttackSpec::Crash { per_round: 1 },
+                AttackSpec::FullAttackCapped { q: 2 },
+                AttackSpec::SamplingPoison,
+                AttackSpec::FullAttack,
+            ] {
+                let dense = Scenario::new(24, 7)
+                    .with_protocol(proto)
+                    .with_attack(attack)
+                    .with_inputs(InputSpec::Random);
+                let sparse = dense.clone().with_plane(PlaneSpec::Sparse);
+                assert_eq!(
+                    run_scenario(&dense),
+                    run_scenario(&sparse),
+                    "{} under {} diverged across planes",
+                    proto.name(),
+                    attack.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_plane_falls_back_to_dense_outside_the_sampled_family() {
+        let s = Scenario::new(16, 5)
+            .with_attack(AttackSpec::FullAttack)
+            .with_plane(PlaneSpec::Sparse);
+        assert_eq!(
+            run_scenario(&s),
+            run_scenario(&s.clone().with_plane(PlaneSpec::Dense))
+        );
+    }
+
+    #[test]
+    fn king_saia_downgrade_is_recorded() {
+        for attack in [
+            AttackSpec::SplitVote,
+            AttackSpec::FullAttack,
+            AttackSpec::CoinKiller,
+            AttackSpec::SamplingPoison,
+        ] {
+            let s = Scenario::new(16, 5)
+                .with_protocol(ProtocolSpec::KingSaia { iters: 4 })
+                .with_attack(attack);
+            let r = run_scenario(&s);
+            assert!(r.downgraded, "{} must be flagged", attack.name());
+            assert_eq!(r.adversary, "crash-steady", "{}", attack.name());
+        }
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub enum ProtocolSpec {
         /// Sampling iterations (0 = recommended for `n`).
         iters: u64,
     },
+    /// King–Saia-style sampled-committee agreement (*Breaking the O(n²)
+    /// Bit Barrier*): public `Θ(log² n)` committee on the pinned
+    /// committee RNG stream, sub-quadratic on the wire. `iters = 0`
+    /// uses the recommended `Θ(log n)` count.
+    KingSaia {
+        /// Protocol iterations (0 = recommended for `n`).
+        iters: u64,
+    },
 }
 
 impl ProtocolSpec {
@@ -63,6 +71,7 @@ impl ProtocolSpec {
             ProtocolSpec::PhaseKing => "phase-king",
             ProtocolSpec::CommonCoin => "common-coin",
             ProtocolSpec::SamplingMajority { .. } => "sampling-majority",
+            ProtocolSpec::KingSaia { .. } => "king-saia",
         }
     }
 }
@@ -226,6 +235,10 @@ pub enum PlaneSpec {
     /// tallies). Only the committee-BA family runs on it; the runner's
     /// packed entry point reports other protocols as unsupported.
     Packed,
+    /// The sparse adjacency plane (per-sender receiver lists, never an
+    /// `n × n` allocation). The sampled / sub-quadratic protocol family
+    /// runs on it; other protocols fall back to the dense plane.
+    Sparse,
 }
 
 impl PlaneSpec {
@@ -234,6 +247,7 @@ impl PlaneSpec {
         match self {
             PlaneSpec::Dense => "dense",
             PlaneSpec::Packed => "packed",
+            PlaneSpec::Sparse => "sparse",
         }
     }
 }
@@ -372,6 +386,7 @@ mod tests {
     #[test]
     fn names_are_short_and_stable() {
         assert_eq!(ProtocolSpec::Paper { alpha: 2.0 }.name(), "paper");
+        assert_eq!(ProtocolSpec::KingSaia { iters: 0 }.name(), "king-saia");
         assert_eq!(AttackSpec::FullAttack.name(), "full-attack");
         assert_eq!(InputSpec::Split.name(), "split");
         assert_eq!(InputSpec::AllSame(false).name(), "all-0");
@@ -433,6 +448,7 @@ mod tests {
         let s = s.with_threads(4).with_plane(PlaneSpec::Packed);
         assert_eq!(s.threads, 4);
         assert_eq!(s.plane.name(), "packed");
+        assert_eq!(PlaneSpec::Sparse.name(), "sparse");
         assert_eq!(PlaneSpec::default().name(), "dense");
     }
 }

@@ -369,10 +369,11 @@ fn has_precision_spec(lit: &str) -> bool {
 /// adversary, and analysis code observing the mailbox must stay
 /// read-only, or replay recordings diverge from live runs.
 ///
-/// Both message planes are covered: the mutator names are shared
-/// through the `MessagePlane` trait, and constructing either plane
-/// (`RoundMailbox` or the bit-packed `PackedMailbox`) outside the seam
-/// owners is itself a finding.
+/// All three message planes are covered: the mutator names are shared
+/// through the `MessagePlane` trait, and constructing any plane
+/// (`RoundMailbox`, the bit-packed `PackedMailbox`, or the
+/// adjacency-list `SparseMailbox`) outside the seam owners is itself a
+/// finding.
 ///
 /// The provenance seam is held to the same rule: the engine alone
 /// records arrivals into the `ArrivalScan` it hands probes, so
@@ -412,8 +413,10 @@ fn seam_bypass(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let name = ctx.text(i);
-        let constructed = matches!(name, "RoundMailbox" | "PackedMailbox" | "ArrivalScan")
-            && i + 3 < ctx.sig.len()
+        let constructed = matches!(
+            name,
+            "RoundMailbox" | "PackedMailbox" | "SparseMailbox" | "ArrivalScan"
+        ) && i + 3 < ctx.sig.len()
             && ctx.text(i + 1) == ":"
             && ctx.text(i + 2) == ":"
             && matches!(ctx.text(i + 3), "new" | "default");

@@ -1,0 +1,10 @@
+//! Fixture: adjacency-list sparse mailbox construction and mutation
+//! outside the delivery seam — the sparse plane is held to the same
+//! rule as the dense and packed ones.
+
+pub fn forge_sparse() -> SparseMailbox<u8> {
+    let mut wire = SparseMailbox::new(64);
+    wire.merge_broadcast_except(0, 1, &[3], &mut Vec::new());
+    wire.insert_if_vacant(0, 1, 2);
+    wire
+}

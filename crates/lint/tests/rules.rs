@@ -106,6 +106,30 @@ fn seam_bypass_covers_the_packed_plane() {
     );
 }
 
+/// The adjacency-list sparse plane is held to the same seam rule as
+/// the dense and packed ones: constructing a `SparseMailbox` or calling
+/// its mutators outside aba-sim/aba-net fires, and nothing else does.
+#[test]
+fn seam_bypass_covers_the_sparse_plane() {
+    let diags = lint_fixture("seam_bypass_sparse_fires.rs");
+    assert!(
+        diags.iter().any(|d| d.msg.contains("SparseMailbox")),
+        "sparse construction not reported: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.msg.contains("merge_broadcast_except"))
+            && diags.iter().any(|d| d.msg.contains("insert_if_vacant")),
+        "sparse mutators not reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.rule == "seam-bypass"),
+        "unexpected extra rules: {:?}",
+        rules_of(&diags)
+    );
+}
+
 /// The provenance seam is held to the same rule as the message planes:
 /// constructing an `ArrivalScan` or calling its recording mutators
 /// outside aba-sim/aba-net fires, and nothing else does.

@@ -427,11 +427,18 @@ impl ProvenanceProbe {
     /// are omitted. Deterministic: everything renders in id order.
     pub fn dot_graph(&self) -> String {
         let n = self.n;
-        let mut edge_rounds = vec![0u32; n * n];
+        // Sparse aggregation keyed `(sender, receiver)`: the arrival
+        // relation at large `n` holds O(deviations + base·n) distinct
+        // edges per run, and an `n × n` counter matrix (1 GiB of `u32`s
+        // at n = 16 384) would wall off exactly the sizes the sparse
+        // plane exists for. `BTreeMap` iterates ascending, which is the
+        // sender-major order the exporter always printed.
+        let mut edge_rounds: std::collections::BTreeMap<(u32, u32), u32> =
+            std::collections::BTreeMap::new();
         for re in &self.rounds {
             re.for_each_edge(n, |s, r, _| {
                 if s != r {
-                    edge_rounds[s as usize * n + r as usize] += 1;
+                    *edge_rounds.entry((s, r)).or_insert(0) += 1;
                 }
             });
         }
@@ -459,13 +466,8 @@ impl ProvenanceProbe {
                 }
             );
         }
-        for s in 0..n {
-            for r in 0..n {
-                let c = edge_rounds[s * n + r];
-                if c > 0 {
-                    let _ = writeln!(out, "  v{s} -> v{r} [label=\"{c}\"];");
-                }
-            }
+        for (&(s, r), &c) in &edge_rounds {
+            let _ = writeln!(out, "  v{s} -> v{r} [label=\"{c}\"];");
         }
         out.push_str("}\n");
         out
@@ -1026,6 +1028,30 @@ mod tests {
         assert!(jsonl.starts_with("{\"n\":3,\"rounds\":1}\n"));
         assert!(jsonl.contains("\"receiver\":1"));
         assert_eq!(jsonl, p.jsonl_graph());
+    }
+
+    #[test]
+    fn dot_graph_scales_to_large_n_without_quadratic_allocation() {
+        // Regression: the exporter used to allocate an `n × n` edge
+        // matrix (1 GiB at this size) before writing a single byte.
+        // The sparse-plane sizes send a handful of point-to-point
+        // messages per node, so the aggregation must scale with the
+        // edges that exist, not with n².
+        let n = 16_384;
+        let mut p = probe_for(n);
+        let mut scan = ArrivalScan::new();
+        scan.reset(n);
+        for r in [7usize, 100, 9_999, 16_383] {
+            scan.mark_extra(r, 3);
+            scan.add_recv(r, 1, 8);
+        }
+        scan.set_corrupted(&vec![false; n]);
+        p.arrivals(Round::ZERO, &scan);
+        let dot = p.dot_graph();
+        assert!(dot.contains("v3 -> v7 [label=\"1\"];"));
+        assert!(dot.contains("v3 -> v16383 [label=\"1\"];"));
+        assert_eq!(dot.matches(" -> ").count(), 4);
+        assert_eq!(dot, p.dot_graph());
     }
 
     #[test]

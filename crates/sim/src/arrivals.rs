@@ -39,6 +39,9 @@ pub(crate) fn words_for(n: usize) -> usize {
     n.div_ceil(64)
 }
 
+/// Sentinel in [`ArrivalScan`]'s receiver→slot map: no row pair yet.
+const NO_SLOT: u32 = u32::MAX;
+
 /// A pooled, reusable summary of one round's arrivals and traffic.
 ///
 /// Filled by the message planes via
@@ -55,10 +58,19 @@ pub struct ArrivalScan {
     base_senders: Vec<u64>,
     /// Per sender: bit size of the base message (0 when none).
     base_bits: Vec<u32>,
-    /// Receiver-major `n × words`: bit `s` set ⇒ `r` does NOT get `s`'s base.
-    knocked: Vec<u64>,
-    /// Receiver-major `n × words`: bit `s` set ⇒ explicit message `s → r`.
-    extra: Vec<u64>,
+    /// Receiver → row-pair slot in [`Self::arena`] ([`NO_SLOT`] when the
+    /// receiver is clean). Knocked/extra rows used to be two dense
+    /// `n × words` matrices — 1 GiB combined at n = 65 536 — allocated
+    /// even when a round deviates at a handful of receivers. Rows now
+    /// materialize lazily, one pair per *dirty* receiver, so the scan
+    /// costs O(n + dirty·words) memory: exactly the shape of the sparse
+    /// plane's traffic.
+    row_slot: Vec<u32>,
+    /// Dirty receivers' row pairs, in first-touch order: slot `k` holds
+    /// the knocked row at `k·2·words`, the extra row `words` after it.
+    arena: Vec<u64>,
+    /// Shared all-zero row returned for clean receivers.
+    zero_row: Vec<u64>,
     /// Bit `r`: receiver `r` has at least one knocked/extra bit (not clean).
     dirty: Vec<u64>,
     /// Per sender: messages offered on the wire this round.
@@ -93,12 +105,12 @@ impl ArrivalScan {
                 let mut bits = self.dirty[w];
                 while bits != 0 {
                     let r = w * 64 + bits.trailing_zeros() as usize;
-                    self.knocked[r * words..(r + 1) * words].fill(0);
-                    self.extra[r * words..(r + 1) * words].fill(0);
+                    self.row_slot[r] = NO_SLOT;
                     bits &= bits - 1;
                 }
                 self.dirty[w] = 0;
             }
+            self.arena.clear();
             self.base_senders.fill(0);
             self.base_bits.fill(0);
             self.sent_msgs.fill(0);
@@ -112,14 +124,31 @@ impl ArrivalScan {
         self.words = words;
         resize_zero(&mut self.base_senders, words);
         resize_zero(&mut self.base_bits, n);
-        resize_zero(&mut self.knocked, n * words);
-        resize_zero(&mut self.extra, n * words);
+        self.row_slot.clear();
+        self.row_slot.resize(n, NO_SLOT);
+        self.arena.clear();
+        resize_zero(&mut self.zero_row, words);
         resize_zero(&mut self.dirty, words);
         resize_zero(&mut self.sent_msgs, n);
         resize_zero(&mut self.sent_bits, n);
         resize_zero(&mut self.recv_msgs, n);
         resize_zero(&mut self.recv_bits, n);
         resize_zero(&mut self.corrupted, words);
+    }
+
+    /// Base arena index of receiver `r`'s row pair, materializing a
+    /// zeroed pair (and marking `r` dirty) on first touch.
+    #[inline]
+    fn ensure_rows(&mut self, r: usize) -> usize {
+        let slot = self.row_slot[r];
+        if slot != NO_SLOT {
+            return slot as usize * 2 * self.words;
+        }
+        let slot = (self.arena.len() / (2 * self.words)) as u32;
+        self.row_slot[r] = slot;
+        self.arena.resize(self.arena.len() + 2 * self.words, 0);
+        self.dirty[r / 64] |= 1 << (r % 64);
+        slot as usize * 2 * self.words
     }
 
     /// Number of nodes this scan was sized for.
@@ -151,8 +180,8 @@ impl ArrivalScan {
     /// subtracts the knocked bases from the per-receiver totals.
     #[inline]
     pub fn mark_knocked(&mut self, r: usize, s: usize) {
-        self.knocked[r * self.words + s / 64] |= 1 << (s % 64);
-        self.dirty[r / 64] |= 1 << (r % 64);
+        let base = self.ensure_rows(r);
+        self.arena[base + s / 64] |= 1 << (s % 64);
     }
 
     /// Word-granular [`ArrivalScan::mark_knocked`] (packed-plane path):
@@ -161,24 +190,24 @@ impl ArrivalScan {
     #[inline]
     pub fn or_knocked_word(&mut self, r: usize, w: usize, bits: u64) {
         if bits != 0 {
-            self.knocked[r * self.words + w] |= bits;
-            self.dirty[r / 64] |= 1 << (r % 64);
+            let base = self.ensure_rows(r);
+            self.arena[base + w] |= bits;
         }
     }
 
     /// Records an explicit point-to-point arrival `s → r`.
     #[inline]
     pub fn mark_extra(&mut self, r: usize, s: usize) {
-        self.extra[r * self.words + s / 64] |= 1 << (s % 64);
-        self.dirty[r / 64] |= 1 << (r % 64);
+        let base = self.ensure_rows(r);
+        self.arena[base + self.words + s / 64] |= 1 << (s % 64);
     }
 
     /// Word-granular [`ArrivalScan::mark_extra`] (packed-plane path).
     #[inline]
     pub fn or_extra_word(&mut self, r: usize, w: usize, bits: u64) {
         if bits != 0 {
-            self.extra[r * self.words + w] |= bits;
-            self.dirty[r / 64] |= 1 << (r % 64);
+            let base = self.ensure_rows(r);
+            self.arena[base + self.words + w] |= bits;
         }
     }
 
@@ -220,9 +249,8 @@ impl ArrivalScan {
             let mut bits = total_bits;
             let mut own_in = self.base_senders[r / 64] & (1 << (r % 64)) != 0;
             if !self.is_clean(r) {
-                let start = r * self.words;
-                for w in 0..self.words {
-                    let mut k = self.knocked[start + w];
+                for (w, &kw) in self.knocked_row(r).iter().enumerate() {
+                    let mut k = kw;
                     while k != 0 {
                         let s = w * 64 + k.trailing_zeros() as usize;
                         msgs -= 1;
@@ -270,15 +298,29 @@ impl ArrivalScan {
     }
 
     /// Receiver `r`'s knocked row (bit `s` ⇒ no base from `s`).
+    /// Clean receivers share one all-zero row.
     #[inline]
     pub fn knocked_row(&self, r: usize) -> &[u64] {
-        &self.knocked[r * self.words..(r + 1) * self.words]
+        match self.row_slot[r] {
+            NO_SLOT => &self.zero_row,
+            slot => {
+                let base = slot as usize * 2 * self.words;
+                &self.arena[base..base + self.words]
+            }
+        }
     }
 
     /// Receiver `r`'s explicit-arrival row (bit `s` ⇒ message `s → r`).
+    /// Clean receivers share one all-zero row.
     #[inline]
     pub fn extra_row(&self, r: usize) -> &[u64] {
-        &self.extra[r * self.words..(r + 1) * self.words]
+        match self.row_slot[r] {
+            NO_SLOT => &self.zero_row,
+            slot => {
+                let base = slot as usize * 2 * self.words;
+                &self.arena[base + self.words..base + 2 * self.words]
+            }
+        }
     }
 
     /// Whether `r` receives exactly the broadcast bases (no knocked or

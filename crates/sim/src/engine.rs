@@ -225,6 +225,13 @@ pub struct Simulation<
 pub type PackedSimulation<P, A, D = PassThrough, O = NoOracle, B = NoProbe> =
     Simulation<P, A, D, O, B, crate::packed::PackedMailbox<<P as Protocol>::Msg>>;
 
+/// A [`Simulation`] on the adjacency-list
+/// [`SparseMailbox`](crate::sparse::SparseMailbox) plane — no n×n
+/// allocation ever, for sampling-based protocol families at very large
+/// `n`.
+pub type SparseSimulation<P, A, D = PassThrough, O = NoOracle, B = NoProbe> =
+    Simulation<P, A, D, O, B, crate::sparse::SparseMailbox<<P as Protocol>::Msg>>;
+
 impl<P: Protocol, A: Adversary<P>> Simulation<P, A, PassThrough> {
     /// Creates a simulation on the synchronous network (every message
     /// delivered in its emission round).

@@ -79,13 +79,14 @@ pub mod plane;
 pub mod probe;
 pub mod protocol;
 pub mod rng;
+pub mod sparse;
 pub mod trace;
 pub mod verdict;
 
 pub use adversary::{Adversary, AdversaryAction, CorruptionLedger, InfoModel, RoundView};
 pub use arrivals::ArrivalScan;
 pub use delivery::{Delivery, DeliveryStats, PassThrough};
-pub use engine::{PackedSimulation, RunReport, SimConfig, Simulation};
+pub use engine::{PackedSimulation, RunReport, SimConfig, Simulation, SparseSimulation};
 pub use error::SimError;
 pub use id::{NodeId, Round};
 pub use mailbox::{Inbox, RoundMailbox};
@@ -96,6 +97,7 @@ pub use packed::{PackedMailbox, PackedMessage};
 pub use plane::MessagePlane;
 pub use probe::{NoProbe, Probe, RoundPhase};
 pub use protocol::Protocol;
+pub use sparse::SparseMailbox;
 pub use trace::{Event, Trace};
 pub use verdict::Verdict;
 
@@ -106,7 +108,7 @@ pub mod prelude {
     };
     pub use crate::arrivals::ArrivalScan;
     pub use crate::delivery::{Delivery, DeliveryStats, PassThrough};
-    pub use crate::engine::{PackedSimulation, RunReport, SimConfig, Simulation};
+    pub use crate::engine::{PackedSimulation, RunReport, SimConfig, Simulation, SparseSimulation};
     pub use crate::error::SimError;
     pub use crate::id::{NodeId, Round};
     pub use crate::mailbox::{Inbox, RoundMailbox};
@@ -117,6 +119,7 @@ pub mod prelude {
     pub use crate::plane::MessagePlane;
     pub use crate::probe::{NoProbe, Probe, RoundPhase};
     pub use crate::protocol::Protocol;
+    pub use crate::sparse::SparseMailbox;
     pub use crate::trace::{Event, Trace};
     pub use crate::verdict::Verdict;
 }

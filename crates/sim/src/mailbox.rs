@@ -807,20 +807,25 @@ enum InboxBackend<'a, M> {
         /// (`len`, `packed_match_count`) never touch it.
         scratch: std::cell::OnceCell<Vec<(NodeId, M)>>,
     },
+    Sparse(&'a crate::sparse::SparseMailbox<M>),
 }
 
-/// Iterator over either backend's inbox entries.
-enum EitherIter<A, B> {
+/// Iterator over any backend's inbox entries.
+enum EitherIter<A, B, C> {
     Dense(A),
     Packed(B),
+    Sparse(C),
 }
 
-impl<A: Iterator<Item = T>, B: Iterator<Item = T>, T> Iterator for EitherIter<A, B> {
+impl<A: Iterator<Item = T>, B: Iterator<Item = T>, C: Iterator<Item = T>, T> Iterator
+    for EitherIter<A, B, C>
+{
     type Item = T;
     fn next(&mut self) -> Option<T> {
         match self {
             EitherIter::Dense(it) => it.next(),
             EitherIter::Packed(it) => it.next(),
+            EitherIter::Sparse(it) => it.next(),
         }
     }
 
@@ -828,6 +833,7 @@ impl<A: Iterator<Item = T>, B: Iterator<Item = T>, T> Iterator for EitherIter<A,
         match self {
             EitherIter::Dense(it) => it.size_hint(),
             EitherIter::Packed(it) => it.size_hint(),
+            EitherIter::Sparse(it) => it.size_hint(),
         }
     }
 
@@ -843,6 +849,7 @@ impl<A: Iterator<Item = T>, B: Iterator<Item = T>, T> Iterator for EitherIter<A,
         match self {
             EitherIter::Dense(it) => it.fold(init, f),
             EitherIter::Packed(it) => it.fold(init, f),
+            EitherIter::Sparse(it) => it.fold(init, f),
         }
     }
 }
@@ -873,6 +880,15 @@ impl<'a, M: Message> Inbox<'a, M> {
         }
     }
 
+    /// A sparse-backed inbox (constructed by the sparse plane's
+    /// `MessagePlane::inbox`).
+    pub(crate) fn sparse(plane: &'a crate::sparse::SparseMailbox<M>, receiver: NodeId) -> Self {
+        Inbox {
+            backend: InboxBackend::Sparse(plane),
+            receiver,
+        }
+    }
+
     /// The receiving node.
     pub fn receiver(&self) -> NodeId {
         self.receiver
@@ -883,13 +899,14 @@ impl<'a, M: Message> Inbox<'a, M> {
         match &self.backend {
             InboxBackend::Dense(mb) => mb.n,
             InboxBackend::Packed { plane, .. } => plane.n(),
+            InboxBackend::Sparse(plane) => plane.n(),
         }
     }
 
     /// The packed backend's decoded entries, filled on first use.
     fn packed_entries(&self) -> Option<&Vec<(NodeId, M)>> {
         match &self.backend {
-            InboxBackend::Dense(_) => None,
+            InboxBackend::Dense(_) | InboxBackend::Sparse(_) => None,
             InboxBackend::Packed {
                 plane,
                 decode,
@@ -924,6 +941,7 @@ impl<'a, M: Message> Inbox<'a, M> {
                     .iter()
                     .map(|(s, m)| (*s, m)),
             ),
+            InboxBackend::Sparse(plane) => EitherIter::Sparse(plane.inbox_iter(self.receiver)),
         }
     }
 
@@ -938,14 +956,17 @@ impl<'a, M: Message> Inbox<'a, M> {
                     .ok()
                     .map(|i| &entries[i].1)
             }
+            InboxBackend::Sparse(plane) => plane.resolve(sender, self.receiver),
         }
     }
 
     /// Number of messages addressed to this receiver. On the packed
-    /// backend this is a word-parallel popcount, O(n/64).
+    /// backend this is a word-parallel popcount, O(n/64); on the sparse
+    /// backend it walks the receiver's adjacency,
+    /// O(|bases| + |devs(r)|).
     pub fn len(&self) -> usize {
         match &self.backend {
-            InboxBackend::Dense(_) => self.iter().count(),
+            InboxBackend::Dense(_) | InboxBackend::Sparse(_) => self.iter().count(),
             InboxBackend::Packed { plane, .. } => plane.inbox_len(self.receiver),
         }
     }
@@ -953,7 +974,7 @@ impl<'a, M: Message> Inbox<'a, M> {
     /// Whether the inbox is empty.
     pub fn is_empty(&self) -> bool {
         match &self.backend {
-            InboxBackend::Dense(_) => self.iter().next().is_none(),
+            InboxBackend::Dense(_) | InboxBackend::Sparse(_) => self.iter().next().is_none(),
             InboxBackend::Packed { .. } => self.len() == 0,
         }
     }
@@ -961,9 +982,9 @@ impl<'a, M: Message> Inbox<'a, M> {
     /// Word-parallel masked count: how many senders delivered this
     /// receiver a message whose packed code satisfies
     /// `code & mask == bits`, optionally restricted to a sender-ID
-    /// range. Returns `None` on the dense backend — callers fall back
-    /// to their by-reference iteration, keeping dense-plane behaviour
-    /// (and its goldens) untouched.
+    /// range. Returns `None` on the dense and sparse backends —
+    /// callers fall back to their by-reference iteration, keeping those
+    /// planes' behaviour (and their goldens) untouched.
     pub fn packed_match_count(
         &self,
         mask: u32,
@@ -971,7 +992,7 @@ impl<'a, M: Message> Inbox<'a, M> {
         senders: Option<std::ops::Range<u32>>,
     ) -> Option<usize> {
         match &self.backend {
-            InboxBackend::Dense(_) => None,
+            InboxBackend::Dense(_) | InboxBackend::Sparse(_) => None,
             InboxBackend::Packed { plane, .. } => {
                 Some(plane.match_count(self.receiver, mask, bits, senders))
             }

@@ -766,10 +766,21 @@ impl<M: PackedMessage> MessagePlane<M> for PackedMailbox<M> {
             CellState::Inherit | CellState::Knocked => {}
         }
         // Vacant: an explicit message always counts (even a self-copy).
+        // Direct counter path, skipping the `begin_edit` fold: a pure
+        // add can never lower the row maximum, so no `old_max` snapshot
+        // is needed — and crucially no dirty-row rescan. This is the
+        // flight queue's drain primitive; paying `row_current_max`'s
+        // full-row decode on every requeued delivery after a knock-out
+        // dirtied the row is what made BoundedDelay slower packed than
+        // dense. Mirrors the dense plane's identical fast path. A dirty
+        // row implies the global cache is already dirty (`end_edit`
+        // propagates row dirt and nothing clears it until reset), so
+        // when `!max_dirty` the row maximum is exact and the cache
+        // update is sound.
         let m = make();
         let bs = m.bit_size();
         let code = Self::code_of(&m);
-        let old_max = self.begin_edit(me);
+        self.epoch = self.epoch.wrapping_add(1);
         self.ensure_dense(me);
         self.set_dev(me, r, true);
         self.set_has(me, r, true);
@@ -777,7 +788,12 @@ impl<M: PackedMessage> MessagePlane<M> for PackedMailbox<M> {
         self.row_count[me] += 1;
         self.row_bits[me] += bs;
         self.row_max[me] = self.row_max[me].max(bs);
-        self.end_edit(me, old_max);
+        let row_max = self.row_max[me];
+        self.count += 1;
+        self.bits += bs;
+        if !self.max_dirty {
+            self.max_cache = self.max_cache.max(row_max);
+        }
         true
     }
 

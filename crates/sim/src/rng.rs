@@ -39,6 +39,12 @@ pub mod streams {
     /// from every node and adversary stream so enabling a network model
     /// never perturbs protocol or adversary randomness.
     pub const NETWORK: u64 = u64::MAX - 3;
+    /// Stream for sampled-committee selection (King–Saia-style
+    /// protocols): the public committee is a pure function of
+    /// `(master seed, this stream)`, so every node — and the
+    /// full-information adversary — derives the same committee without
+    /// perturbing any node, adversary, or network stream.
+    pub const COMMITTEE_SAMPLE: u64 = u64::MAX - 4;
 }
 
 /// Creates the RNG for a given stream of a master seed.

@@ -1,0 +1,1174 @@
+//! Sparse message plane: per-sender adjacency with no n×n allocation.
+//!
+//! The dense [`RoundMailbox`](crate::mailbox::RoundMailbox) stamps a flat
+//! `n × n` deviation arena the first time any sender deviates from pure
+//! broadcast — O(n²) memory whether or not the protocol ever uses it.
+//! That is the right trade for broadcast-heavy committee protocols, but
+//! sampling-based protocols ([`SamplingMajorityNode`-style dynamics and
+//! King–Saia sampled committees](https://dl.acm.org/doi/10.1145/1993636.1993686))
+//! send O(polylog n) point-to-point messages per node per round: at
+//! n = 65,536 the dense arena is 4 Gi cells for a few hundred thousand
+//! live edges.
+//!
+//! [`SparseMailbox`] stores each sender's row as a **sorted deviation
+//! list** — `(receiver, cell)` pairs ordered by receiver — plus the same
+//! optional shared broadcast base the dense plane uses. Two sorted
+//! indices make the hot reads sublinear in `n`:
+//!
+//! * `base_senders`: the senders whose rows currently hold a broadcast
+//!   base, so a receiver's inbox never scans `n` rows to find them.
+//! * `by_receiver[r]`: the senders holding an explicit deviation cell
+//!   for receiver `r`, so inbox iteration is
+//!   O(|bases| + |devs(r)| · log dev_row) instead of O(n).
+//!
+//! Memory is O(n + Σ deviations + Σ bases): **no n×n allocation ever**,
+//! which is the entire point — the e05 campaign runs this plane at
+//! n = 65,536 in tens of megabytes.
+//!
+//! # Semantics contract
+//!
+//! Every observable — counters, dirty-flag behaviour of
+//! [`max_edge_bits`](SparseMailbox::max_edge_bits), replace/merge/
+//! knock-out rules, inbox order, arrival scans — reproduces the dense
+//! mailbox exactly, including its counting convention (a broadcast is
+//! `n − 1` messages, the local self-copy is free, an explicit
+//! self-message counts). The `sparse_differential` integration test
+//! drives both planes through the whole mutation surface and compares
+//! every observable after every step, mirroring `packed_differential`.
+//!
+//! Like the packed plane, a mutation that may have *lowered* a row
+//! maximum only marks the row dirty; readers rescan on demand and the
+//! rescan result is deliberately **not** memoized back into the row —
+//! the persistent dirty flag reproduces the dense plane's observable
+//! `max_edge_bits` stream bit-for-bit.
+
+use crate::arrivals::ArrivalScan;
+use crate::id::NodeId;
+use crate::mailbox::Inbox;
+use crate::message::{Emission, Message};
+use crate::plane::MessagePlane;
+
+/// One receiver's explicit deviation from the row's broadcast base.
+/// Absence of a cell means the receiver inherits the base (or nothing).
+#[derive(Debug, Clone)]
+enum SparseCell<M> {
+    /// The receiver gets nothing, even if the row has a base.
+    Knocked,
+    /// The receiver gets this specific message instead of the base.
+    Msg(M),
+}
+
+/// One sender's contribution to the round: an optional shared broadcast
+/// base plus a sorted per-receiver deviation list.
+#[derive(Debug, Clone)]
+struct SparseRow<M> {
+    base: Option<M>,
+    /// Whether the row has deviated from pure broadcast this round —
+    /// the sparse mirror of the dense row's `dense` flag. A row can be
+    /// deviated with an empty `devs` list (e.g. after a merge over a
+    /// silent row), and that state is observable: it makes the row
+    /// impure for [`SparseMailbox::broadcast_of`] / `take_broadcast`.
+    deviated: bool,
+    /// Explicit deviation cells, sorted by receiver, at most one per
+    /// receiver.
+    devs: Vec<(u32, SparseCell<M>)>,
+    /// Countable messages in this row (see the counting convention).
+    count: usize,
+    /// Total bits of the counted messages.
+    bits: usize,
+    /// Largest message present in this row, in bits. Exact unless
+    /// `max_dirty`.
+    max_bits: usize,
+    /// Set when a mutation removed or shrank a message that may have
+    /// held the row maximum; readers rescan the deviation list on
+    /// demand (and never memoize the result — see the module docs).
+    max_dirty: bool,
+}
+
+impl<M> Default for SparseRow<M> {
+    fn default() -> Self {
+        SparseRow {
+            base: None,
+            deviated: false,
+            devs: Vec::new(),
+            count: 0,
+            bits: 0,
+            max_bits: 0,
+            max_dirty: false,
+        }
+    }
+}
+
+impl<M: Message> SparseRow<M> {
+    /// Binary-search position of receiver `r`'s deviation cell.
+    fn dev_index(&self, r: u32) -> Result<usize, usize> {
+        self.devs.binary_search_by_key(&r, |(k, _)| *k)
+    }
+
+    /// The deviation cell for receiver `r`, if any.
+    fn dev(&self, r: u32) -> Option<&SparseCell<M>> {
+        self.dev_index(r).ok().map(|i| &self.devs[i].1)
+    }
+
+    /// The message receiver `r` gets from this row, if any.
+    fn effective(&self, r: u32) -> Option<&M> {
+        if !self.deviated {
+            self.base.as_ref()
+        } else {
+            match self.dev(r) {
+                None => self.base.as_ref(),
+                Some(SparseCell::Knocked) => None,
+                Some(SparseCell::Msg(m)) => Some(m),
+            }
+        }
+    }
+
+    /// `(counted, bits)` contribution of receiver `r` for a row owned
+    /// by sender `me` — the base self-copy is free, explicit messages
+    /// are not. Mirrors the dense row's `contribution`.
+    fn contribution(&self, me: u32, r: u32) -> (bool, usize) {
+        let via_base = !self.deviated || self.dev(r).is_none();
+        match self.effective(r) {
+            None => (false, 0),
+            Some(m) => {
+                if via_base && r == me {
+                    (false, 0)
+                } else {
+                    (true, m.bit_size())
+                }
+            }
+        }
+    }
+
+    /// The exact row maximum, rescanning the deviation list if a
+    /// removal dirtied the cached value. The result is *not* memoized
+    /// (see the module docs).
+    fn current_max(&self, n: usize) -> usize {
+        if !self.max_dirty {
+            return self.max_bits;
+        }
+        // The base is still reachable iff some receiver has no explicit
+        // deviation cell — the sparse mirror of the dense "lane has any
+        // Inherit" check.
+        let mut max = if self.base.is_some() && (!self.deviated || self.devs.len() < n) {
+            self.base.as_ref().map_or(0, Message::bit_size)
+        } else {
+            0
+        };
+        for (_, cell) in &self.devs {
+            if let SparseCell::Msg(m) = cell {
+                max = max.max(m.bit_size());
+            }
+        }
+        max
+    }
+}
+
+/// Inserts `v` into a sorted ID list, keeping it sorted and duplicate-
+/// free. O(1) amortized for the engine's ascending install order.
+fn list_insert(list: &mut Vec<u32>, v: u32) {
+    match list.last() {
+        Some(&last) if last < v => list.push(v),
+        _ => {
+            if let Err(i) = list.binary_search(&v) {
+                list.insert(i, v);
+            }
+        }
+    }
+}
+
+/// Removes `v` from a sorted ID list, if present.
+fn list_remove(list: &mut Vec<u32>, v: u32) {
+    if let Ok(i) = list.binary_search(&v) {
+        list.remove(i);
+    }
+}
+
+/// Sparse per-round message store: sorted per-sender deviation lists, a
+/// shared broadcast base per row, and receiver-side indices. See the
+/// module docs for layout, complexity, and the semantics contract.
+#[derive(Debug, Clone)]
+pub struct SparseMailbox<M> {
+    n: usize,
+    rows: Vec<SparseRow<M>>,
+    /// Sorted sender IDs whose rows currently hold a broadcast base.
+    base_senders: Vec<u32>,
+    /// Per receiver: sorted sender IDs holding an explicit deviation
+    /// cell for that receiver. Together with `base_senders` this makes
+    /// inbox resolution O(|bases| + |devs(r)|), never O(n).
+    by_receiver: Vec<Vec<u32>>,
+    count: usize,
+    bits: usize,
+    max_cache: usize,
+    max_dirty: bool,
+    /// Pooled scratch for `merge_broadcast_except`'s sorted-list merge.
+    merge_scratch: Vec<(u32, SparseCell<M>)>,
+}
+
+impl<M> Default for SparseMailbox<M> {
+    /// An empty zero-node mailbox — the pooling placeholder. Call
+    /// [`SparseMailbox::reset`] to size it before use.
+    fn default() -> Self {
+        SparseMailbox {
+            n: 0,
+            rows: Vec::new(),
+            base_senders: Vec::new(),
+            by_receiver: Vec::new(),
+            count: 0,
+            bits: 0,
+            max_cache: 0,
+            max_dirty: false,
+            merge_scratch: Vec::new(),
+        }
+    }
+}
+
+impl<M: Message> SparseMailbox<M> {
+    /// Creates an empty sparse mailbox for an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        let mut mb = Self::default();
+        mb.reset(n);
+        mb
+    }
+
+    /// Empties the mailbox and (re)sizes it for an `n`-node network,
+    /// retaining every allocation (rows, deviation lists, indices) so
+    /// pooled mailboxes allocate nothing per round after warm-up.
+    pub fn reset(&mut self, n: usize) {
+        self.rows.truncate(n);
+        for row in &mut self.rows {
+            // Skip rows untouched since the last reset: after warm-up a
+            // sparse round clears only the rows it actually used.
+            if row.base.is_some() || row.deviated || row.count != 0 {
+                row.base = None;
+                row.deviated = false;
+                row.devs.clear();
+                row.count = 0;
+                row.bits = 0;
+                row.max_bits = 0;
+                row.max_dirty = false;
+            }
+        }
+        self.rows.resize_with(n, SparseRow::default);
+        self.by_receiver.truncate(n);
+        for list in &mut self.by_receiver {
+            list.clear();
+        }
+        self.by_receiver.resize_with(n, Vec::new);
+        self.base_senders.clear();
+        self.n = n;
+        self.count = 0;
+        self.bits = 0;
+        self.max_cache = 0;
+        self.max_dirty = false;
+    }
+
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Subtracts row `me` from the global counters and returns the
+    /// row's exact current maximum; pair with
+    /// [`SparseMailbox::end_edit`].
+    fn begin_edit(&mut self, me: usize) -> usize {
+        let row = &self.rows[me];
+        self.count -= row.count;
+        self.bits -= row.bits;
+        row.current_max(self.n)
+    }
+
+    /// Adds row `me` back into the global counters, propagating the
+    /// dense plane's dirty-flag rule: a row whose maximum may have
+    /// shrunk (or is only an upper bound) dirties the global cache.
+    fn end_edit(&mut self, me: usize, old_max: usize) {
+        let row = &self.rows[me];
+        self.count += row.count;
+        self.bits += row.bits;
+        if row.max_dirty || row.max_bits < old_max {
+            self.max_dirty = true;
+        } else if !self.max_dirty {
+            self.max_cache = self.max_cache.max(row.max_bits);
+        }
+    }
+
+    /// Empties row `me` and deregisters it from both indices. Must run
+    /// inside a `begin_edit`/`end_edit` pair.
+    fn clear_row(&mut self, me: usize) {
+        let row = &mut self.rows[me];
+        if row.base.is_some() {
+            list_remove(&mut self.base_senders, me as u32);
+        }
+        for (r, _) in row.devs.drain(..) {
+            list_remove(&mut self.by_receiver[r as usize], me as u32);
+        }
+        row.base = None;
+        row.deviated = false;
+        row.count = 0;
+        row.bits = 0;
+        row.max_bits = 0;
+        row.max_dirty = false;
+    }
+
+    /// Installs (or replaces) receiver `r`'s deviation cell in row `me`,
+    /// keeping `by_receiver` in sync. Returns the replaced cell, if any.
+    fn put_dev(&mut self, me: usize, r: u32, cell: SparseCell<M>) -> Option<SparseCell<M>> {
+        let row = &mut self.rows[me];
+        match row.dev_index(r) {
+            Ok(i) => Some(std::mem::replace(&mut row.devs[i].1, cell)),
+            Err(i) => {
+                row.devs.insert(i, (r, cell));
+                list_insert(&mut self.by_receiver[r as usize], me as u32);
+                None
+            }
+        }
+    }
+
+    /// Installs `emission` as `sender`'s contribution, replacing
+    /// whatever was there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or any per-recipient receiver is out of range.
+    pub fn set(&mut self, sender: NodeId, emission: Emission<M>) {
+        let me = sender.index();
+        match emission {
+            Emission::Silent => self.silence(sender),
+            Emission::Broadcast(m) => {
+                let old_max = self.begin_edit(me);
+                self.clear_row(me);
+                let bs = m.bit_size();
+                let row = &mut self.rows[me];
+                row.count = self.n.saturating_sub(1);
+                row.bits = bs * row.count;
+                row.max_bits = bs;
+                row.base = Some(m);
+                list_insert(&mut self.base_senders, me as u32);
+                self.end_edit(me, old_max);
+            }
+            Emission::PerRecipient(v) => {
+                if v.is_empty() {
+                    self.silence(sender);
+                    return;
+                }
+                let old_max = self.begin_edit(me);
+                self.clear_row(me);
+                self.rows[me].deviated = true;
+                for (to, m) in v {
+                    // Later entries override earlier ones, exactly as
+                    // in the dense plane (including its lazy rescan of
+                    // an overridden duplicate's maximum).
+                    let bs = m.bit_size();
+                    assert!(to.index() < self.n, "recipient out of range");
+                    match self.put_dev(me, to.raw(), SparseCell::Msg(m)) {
+                        None | Some(SparseCell::Knocked) => {
+                            let row = &mut self.rows[me];
+                            row.count += 1;
+                            row.bits += bs;
+                        }
+                        Some(SparseCell::Msg(old)) => {
+                            let row = &mut self.rows[me];
+                            row.bits += bs;
+                            row.bits -= old.bit_size();
+                            row.max_dirty = true;
+                        }
+                    }
+                    let row = &mut self.rows[me];
+                    row.max_bits = row.max_bits.max(bs);
+                }
+                self.end_edit(me, old_max);
+            }
+        }
+    }
+
+    /// Removes `sender`'s contribution entirely.
+    pub fn silence(&mut self, sender: NodeId) {
+        let me = sender.index();
+        let old_max = self.begin_edit(me);
+        self.clear_row(me);
+        self.end_edit(me, old_max);
+    }
+
+    /// Installs a broadcast of `msg` from `sender` that skips the
+    /// receivers in `except` — one shared copy plus O(|except|) knocked
+    /// cells. Duplicate entries in `except` are tolerated; `sender`'s
+    /// free self-copy is unaffected unless explicitly listed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or any entry of `except` is out of range.
+    pub fn set_broadcast_except(&mut self, sender: NodeId, msg: M, except: &[u32]) {
+        let me = sender.index();
+        if except.is_empty() {
+            return self.set(sender, Emission::Broadcast(msg));
+        }
+        let old_max = self.begin_edit(me);
+        self.clear_row(me);
+        let bs = msg.bit_size();
+        {
+            let row = &mut self.rows[me];
+            row.deviated = true;
+            row.max_bits = bs;
+            row.count = self.n.saturating_sub(1);
+        }
+        for &r in except {
+            assert!((r as usize) < self.n, "except receiver out of range");
+            if self.rows[me].dev(r).is_none() {
+                self.put_dev(me, r, SparseCell::Knocked);
+                if r as usize != me {
+                    self.rows[me].count -= 1;
+                }
+            }
+        }
+        let row = &mut self.rows[me];
+        row.bits = bs * row.count;
+        row.base = Some(msg);
+        list_insert(&mut self.base_senders, me as u32);
+        self.end_edit(me, old_max);
+    }
+
+    /// Layers a broadcast of `msg` from `sender` *under* the row's
+    /// existing point-to-point messages: receivers with no message and
+    /// no `except` entry now inherit the shared base; receivers that
+    /// already hold a message keep it and are appended to `conflicts`
+    /// (ascending). `except` must be sorted ascending (duplicates are
+    /// tolerated); the row must not already hold a broadcast base.
+    ///
+    /// Cost: O(|devs| + |except|) — a sorted merge of the row's
+    /// deviation list with the except list, never an O(n) walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or any entry of `except` is out of range, or
+    /// if the row already has a base.
+    pub fn merge_broadcast_except(
+        &mut self,
+        sender: NodeId,
+        msg: M,
+        except: &[u32],
+        conflicts: &mut Vec<u32>,
+    ) {
+        let me = sender.index();
+        debug_assert!(except.windows(2).all(|w| w[0] <= w[1]), "except not sorted");
+        if let Some(&r) = except.last() {
+            assert!((r as usize) < self.n, "except receiver out of range");
+        }
+        let old_max = self.begin_edit(me);
+        {
+            let row = &mut self.rows[me];
+            assert!(
+                row.base.is_none(),
+                "merge_broadcast_except over an existing broadcast base"
+            );
+            row.deviated = true;
+        }
+        // Merge the (sorted) deviation list with the (sorted) except
+        // list into pooled scratch: existing cells keep their state
+        // (a knocked `except` hit silences a conflict report, exactly
+        // as in the dense walk), fresh except hits become Knocked.
+        let mut scratch = std::mem::take(&mut self.merge_scratch);
+        debug_assert!(scratch.is_empty());
+        let mut k = 0usize;
+        let row = &mut self.rows[me];
+        for (r, cell) in row.devs.drain(..) {
+            while k < except.len() && except[k] < r {
+                let e = except[k];
+                while k < except.len() && except[k] == e {
+                    k += 1;
+                }
+                scratch.push((e, SparseCell::Knocked));
+            }
+            let mut is_knocked = false;
+            while k < except.len() && except[k] == r {
+                is_knocked = true;
+                k += 1;
+            }
+            if matches!(cell, SparseCell::Msg(_)) && !is_knocked {
+                conflicts.push(r);
+            }
+            scratch.push((r, cell));
+        }
+        while k < except.len() {
+            let e = except[k];
+            while k < except.len() && except[k] == e {
+                k += 1;
+            }
+            scratch.push((e, SparseCell::Knocked));
+        }
+        std::mem::swap(&mut row.devs, &mut scratch);
+        self.merge_scratch = scratch;
+        // Register freshly-knocked receivers in the receiver index
+        // (existing cells are already registered).
+        let me_u32 = me as u32;
+        let mut fresh = Vec::new();
+        for &(r, ref cell) in &self.rows[me].devs {
+            if matches!(cell, SparseCell::Knocked) {
+                fresh.push(r);
+            }
+        }
+        for r in fresh {
+            list_insert(&mut self.by_receiver[r as usize], me_u32);
+        }
+        // Receivers that now inherit the base: everyone without an
+        // explicit cell, minus the sender's free self-copy.
+        let row = &mut self.rows[me];
+        let me_inherits = row.dev(me_u32).is_none();
+        let inherited = self.n - row.devs.len() - usize::from(me_inherits);
+        let bs = msg.bit_size();
+        row.count += inherited;
+        row.bits += inherited * bs;
+        row.max_bits = row.max_bits.max(bs);
+        row.base = Some(msg);
+        list_insert(&mut self.base_senders, me_u32);
+        self.end_edit(me, old_max);
+    }
+
+    /// Removes the single `(sender, receiver)` message, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or `receiver` is out of range.
+    pub fn knock_out(&mut self, sender: NodeId, receiver: NodeId) {
+        let me = sender.index();
+        let r = receiver.raw();
+        assert!((r as usize) < self.n, "receiver out of range");
+        if self.is_silent_row(me) {
+            return; // silent row: nothing to knock out
+        }
+        let old_max = self.begin_edit(me);
+        self.rows[me].deviated = true;
+        let row = &self.rows[me];
+        let (counted, bits) = row.contribution(me as u32, r);
+        let removed_bits = row.effective(r).map(Message::bit_size);
+        self.put_dev(me, r, SparseCell::Knocked);
+        let row = &mut self.rows[me];
+        if counted {
+            row.count -= 1;
+            row.bits -= bits;
+        }
+        if removed_bits == Some(row.max_bits) {
+            // The removed message may have held the row maximum.
+            row.max_dirty = true;
+        }
+        self.end_edit(me, old_max);
+    }
+
+    /// Whether row `me` carries nothing at all (not even a self-copy).
+    fn is_silent_row(&self, me: usize) -> bool {
+        let row = &self.rows[me];
+        row.count == 0 && row.effective(me as u32).is_none()
+    }
+
+    /// Adds a single point-to-point message, merging with whatever
+    /// `sender` already has in this mailbox; an existing message for
+    /// the same pair is replaced, other receivers of a broadcast keep
+    /// the shared copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or `receiver` is out of range.
+    pub fn insert(&mut self, sender: NodeId, receiver: NodeId, m: M) {
+        let me = sender.index();
+        let r = receiver.raw();
+        assert!((r as usize) < self.n, "receiver out of range");
+        let old_max = self.begin_edit(me);
+        self.rows[me].deviated = true;
+        let (counted, old_bits) = self.rows[me].contribution(me as u32, r);
+        let bs = m.bit_size();
+        self.put_dev(me, r, SparseCell::Msg(m));
+        let row = &mut self.rows[me];
+        if counted {
+            row.bits -= old_bits;
+            row.count -= 1;
+            if old_bits >= bs && old_bits == row.max_bits {
+                row.max_dirty = true;
+            }
+        }
+        row.count += 1;
+        row.bits += bs;
+        row.max_bits = row.max_bits.max(bs);
+        self.end_edit(me, old_max);
+    }
+
+    /// Inserts `m` at `(sender, receiver)` only if no message occupies
+    /// that pair, returning `None` on success and handing `m` back when
+    /// the link is busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or `receiver` is out of range.
+    pub fn insert_if_vacant(&mut self, sender: NodeId, receiver: NodeId, m: M) -> Option<M> {
+        let mut m = Some(m);
+        let inserted =
+            self.insert_if_vacant_with(sender, receiver, || m.take().expect("built once"));
+        debug_assert_eq!(inserted, m.is_none());
+        m
+    }
+
+    /// Like [`SparseMailbox::insert_if_vacant`], but builds the message
+    /// with `make` only when the pair is actually vacant. Returns
+    /// whether the message was installed. This is the flight queue's
+    /// drain primitive: one sorted-list probe decides *and* installs,
+    /// with no row rescan — a pure add can never lower a row maximum,
+    /// so the incremental counter update is exact (the same direct path
+    /// the dense plane takes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or `receiver` is out of range.
+    pub fn insert_if_vacant_with(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+        make: impl FnOnce() -> M,
+    ) -> bool {
+        let me = sender.index();
+        let r = receiver.raw();
+        assert!((r as usize) < self.n, "receiver out of range");
+        let row = &self.rows[me];
+        if !row.deviated && row.base.is_some() {
+            return false; // pure broadcast: every pair is occupied
+        }
+        match row.dev(r) {
+            Some(SparseCell::Msg(_)) => return false,
+            None if row.base.is_some() => return false,
+            None | Some(SparseCell::Knocked) => {}
+        }
+        // Vacant: an explicit message always counts (even a self-copy).
+        let m = make();
+        let bs = m.bit_size();
+        self.rows[me].deviated = true;
+        self.put_dev(me, r, SparseCell::Msg(m));
+        let row = &mut self.rows[me];
+        row.count += 1;
+        row.bits += bs;
+        row.max_bits = row.max_bits.max(bs);
+        let row_max = row.max_bits;
+        self.count += 1;
+        self.bits += bs;
+        if !self.max_dirty {
+            self.max_cache = self.max_cache.max(row_max);
+        }
+        true
+    }
+
+    /// Removes and returns `sender`'s *pure* broadcast message, leaving
+    /// the row silent; `None` for any other row shape.
+    pub fn take_broadcast(&mut self, sender: NodeId) -> Option<M> {
+        let me = sender.index();
+        if self.rows[me].deviated || self.rows[me].base.is_none() {
+            return None;
+        }
+        let old_max = self.begin_edit(me);
+        let taken = self.rows[me].base.take();
+        list_remove(&mut self.base_senders, me as u32);
+        self.clear_row(me);
+        self.end_edit(me, old_max);
+        taken
+    }
+
+    /// The row's shared broadcast base, if any — present even when
+    /// receivers have been knocked out or overridden.
+    pub fn broadcast_base(&self, sender: NodeId) -> Option<&M> {
+        self.rows[sender.index()].base.as_ref()
+    }
+
+    /// The broadcast message of `sender`, if it (purely) broadcast.
+    pub fn broadcast_of(&self, sender: NodeId) -> Option<&M> {
+        let row = &self.rows[sender.index()];
+        if row.deviated {
+            None
+        } else {
+            row.base.as_ref()
+        }
+    }
+
+    /// Whether `sender` broadcast (sent one identical message to
+    /// everyone, with no knock-outs or overrides).
+    pub fn is_broadcast(&self, sender: NodeId) -> bool {
+        let row = &self.rows[sender.index()];
+        row.base.is_some() && !row.deviated
+    }
+
+    /// Whether `sender` sent nothing at all (to anyone, itself
+    /// included).
+    pub fn is_silent(&self, sender: NodeId) -> bool {
+        self.is_silent_row(sender.index())
+    }
+
+    /// The message `receiver` gets from `sender` this round, if any.
+    pub fn resolve(&self, sender: NodeId, receiver: NodeId) -> Option<&M> {
+        self.rows[sender.index()].effective(receiver.raw())
+    }
+
+    /// Zero-allocation view of all messages addressed to `receiver`.
+    pub fn inbox(&self, receiver: NodeId) -> Inbox<'_, M> {
+        Inbox::sparse(self, receiver)
+    }
+
+    /// Iterates `(sender, message)` pairs addressed to `receiver` in
+    /// ascending sender order — a sorted-merge cursor over the base
+    /// index and the receiver's deviation index, O(|bases| + |devs(r)|)
+    /// and allocation-free.
+    pub(crate) fn inbox_iter(&self, receiver: NodeId) -> SparseInboxIter<'_, M> {
+        SparseInboxIter {
+            plane: self,
+            r: receiver.raw(),
+            bases: &self.base_senders,
+            devs: &self.by_receiver[receiver.index()],
+        }
+    }
+
+    /// Total point-to-point messages generated this round. O(1).
+    pub fn message_count(&self) -> usize {
+        self.count
+    }
+
+    /// Total bits on the wire this round. O(1).
+    pub fn total_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The largest message crossing any single edge this round, in
+    /// bits. O(1) unless a mutation lowered a row maximum since the
+    /// last full write, in which case the touched rows are rescanned.
+    pub fn max_edge_bits(&self) -> usize {
+        if !self.max_dirty {
+            return self.max_cache;
+        }
+        self.rows
+            .iter()
+            .map(|row| row.current_max(self.n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Adds each sender's offered traffic to `scan`'s per-sender
+    /// counters (this plane as the *wire* mailbox, pre-delivery).
+    pub(crate) fn tally_offered_into(&self, scan: &mut ArrivalScan) {
+        for (s, row) in self.rows.iter().enumerate() {
+            if row.count != 0 {
+                scan.add_sent(s, row.count as u32, row.bits as u64);
+            }
+        }
+    }
+
+    /// Fills `scan`'s arrival bitsets and per-receiver delivered
+    /// counters (this plane as the *arrivals* mailbox, post-delivery),
+    /// mirroring the dense walk — O(n + Σ deviations), never O(n²).
+    pub(crate) fn scan_arrivals_into(&self, scan: &mut ArrivalScan) {
+        for (s, row) in self.rows.iter().enumerate() {
+            let has_base = if let Some(base) = &row.base {
+                scan.mark_base(s, base.bit_size() as u32);
+                true
+            } else {
+                false
+            };
+            if row.deviated {
+                for &(r, ref cell) in &row.devs {
+                    let r = r as usize;
+                    match cell {
+                        SparseCell::Knocked => {
+                            if has_base {
+                                scan.mark_knocked(r, s);
+                            }
+                        }
+                        SparseCell::Msg(m) => {
+                            if has_base {
+                                scan.mark_knocked(r, s);
+                            }
+                            scan.mark_extra(r, s);
+                            if r != s {
+                                scan.add_recv(r, 1, m.bit_size() as u64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scan.finish_base_recv();
+    }
+}
+
+/// Sorted-merge iterator over one receiver's sparse inbox: advances a
+/// cursor through `base_senders` and `by_receiver[r]` in lockstep,
+/// yielding each sender's effective message in ascending sender order.
+pub(crate) struct SparseInboxIter<'a, M> {
+    plane: &'a SparseMailbox<M>,
+    r: u32,
+    /// Remaining senders with a broadcast base.
+    bases: &'a [u32],
+    /// Remaining senders with an explicit deviation cell for `r`.
+    devs: &'a [u32],
+}
+
+impl<'a, M: Message> Iterator for SparseInboxIter<'a, M> {
+    type Item = (NodeId, &'a M);
+
+    fn next(&mut self) -> Option<(NodeId, &'a M)> {
+        loop {
+            let (s, has_dev) = match (self.bases.first(), self.devs.first()) {
+                (Some(&b), Some(&d)) if b < d => {
+                    self.bases = &self.bases[1..];
+                    (b, false)
+                }
+                (Some(&b), Some(&d)) if b > d => {
+                    self.devs = &self.devs[1..];
+                    (d, true)
+                }
+                (Some(&b), Some(_)) => {
+                    self.bases = &self.bases[1..];
+                    self.devs = &self.devs[1..];
+                    (b, true)
+                }
+                (Some(&b), None) => {
+                    self.bases = &self.bases[1..];
+                    (b, false)
+                }
+                (None, Some(&d)) => {
+                    self.devs = &self.devs[1..];
+                    (d, true)
+                }
+                (None, None) => return None,
+            };
+            let row = &self.plane.rows[s as usize];
+            if has_dev {
+                match row.dev(self.r) {
+                    Some(SparseCell::Msg(m)) => return Some((NodeId::new(s), m)),
+                    _ => continue, // knocked out of the base (or silent)
+                }
+            } else if let Some(base) = row.base.as_ref() {
+                return Some((NodeId::new(s), base));
+            }
+            // A base sender with no base is impossible (index invariant),
+            // but fall through defensively rather than panic in a reader.
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.bases.len() + self.devs.len()))
+    }
+}
+
+impl<M: Message> MessagePlane<M> for SparseMailbox<M> {
+    fn reset(&mut self, n: usize) {
+        SparseMailbox::reset(self, n);
+    }
+
+    fn n(&self) -> usize {
+        SparseMailbox::n(self)
+    }
+
+    fn set(&mut self, sender: NodeId, emission: Emission<M>) {
+        SparseMailbox::set(self, sender, emission);
+    }
+
+    fn silence(&mut self, sender: NodeId) {
+        SparseMailbox::silence(self, sender);
+    }
+
+    fn insert(&mut self, sender: NodeId, receiver: NodeId, m: M) {
+        SparseMailbox::insert(self, sender, receiver, m);
+    }
+
+    fn insert_if_vacant(&mut self, sender: NodeId, receiver: NodeId, m: M) -> Option<M> {
+        SparseMailbox::insert_if_vacant(self, sender, receiver, m)
+    }
+
+    fn insert_if_vacant_with(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+        make: impl FnOnce() -> M,
+    ) -> bool {
+        SparseMailbox::insert_if_vacant_with(self, sender, receiver, make)
+    }
+
+    fn set_broadcast_except(&mut self, sender: NodeId, msg: M, except: &[u32]) {
+        SparseMailbox::set_broadcast_except(self, sender, msg, except);
+    }
+
+    fn merge_broadcast_except(
+        &mut self,
+        sender: NodeId,
+        msg: M,
+        except: &[u32],
+        conflicts: &mut Vec<u32>,
+    ) {
+        SparseMailbox::merge_broadcast_except(self, sender, msg, except, conflicts);
+    }
+
+    fn take_broadcast(&mut self, sender: NodeId) -> Option<M> {
+        SparseMailbox::take_broadcast(self, sender)
+    }
+
+    fn knock_out(&mut self, sender: NodeId, receiver: NodeId) {
+        SparseMailbox::knock_out(self, sender, receiver);
+    }
+
+    fn broadcast_base(&self, sender: NodeId) -> Option<&M> {
+        SparseMailbox::broadcast_base(self, sender)
+    }
+
+    fn broadcast_of(&self, sender: NodeId) -> Option<&M> {
+        SparseMailbox::broadcast_of(self, sender)
+    }
+
+    fn resolve_value(&self, sender: NodeId, receiver: NodeId) -> Option<M> {
+        self.resolve(sender, receiver).cloned()
+    }
+
+    fn has_message(&self, sender: NodeId, receiver: NodeId) -> bool {
+        self.resolve(sender, receiver).is_some()
+    }
+
+    fn is_broadcast(&self, sender: NodeId) -> bool {
+        SparseMailbox::is_broadcast(self, sender)
+    }
+
+    fn is_silent(&self, sender: NodeId) -> bool {
+        SparseMailbox::is_silent(self, sender)
+    }
+
+    fn inbox(&self, receiver: NodeId) -> Inbox<'_, M> {
+        SparseMailbox::inbox(self, receiver)
+    }
+
+    fn message_count(&self) -> usize {
+        SparseMailbox::message_count(self)
+    }
+
+    fn total_bits(&self) -> usize {
+        SparseMailbox::total_bits(self)
+    }
+
+    fn max_edge_bits(&self) -> usize {
+        SparseMailbox::max_edge_bits(self)
+    }
+
+    fn tally_offered(&self, scan: &mut ArrivalScan) {
+        self.tally_offered_into(scan);
+    }
+
+    fn scan_arrivals(&self, scan: &mut ArrivalScan) {
+        self.scan_arrivals_into(scan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Tm(u8);
+    impl Message for Tm {
+        fn bit_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// Variable-size message, for max-edge-bits recovery tests.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Var(usize);
+    impl Message for Var {
+        fn bit_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn broadcast_counts_n_minus_one() {
+        let mut mb = SparseMailbox::new(4);
+        mb.set(id(0), Emission::Broadcast(Tm(7)));
+        assert_eq!(mb.message_count(), 3);
+        assert_eq!(mb.total_bits(), 24);
+        assert_eq!(mb.max_edge_bits(), 8);
+        assert!(mb.is_broadcast(id(0)));
+        assert_eq!(mb.broadcast_of(id(0)), Some(&Tm(7)));
+        for r in 0..4 {
+            assert_eq!(mb.resolve(id(0), id(r)), Some(&Tm(7)));
+        }
+    }
+
+    #[test]
+    fn knock_out_and_inbox_order() {
+        let mut mb = SparseMailbox::new(5);
+        mb.set(id(0), Emission::Broadcast(Tm(1)));
+        mb.set(id(3), Emission::Broadcast(Tm(3)));
+        mb.insert(id(1), id(2), Tm(9));
+        mb.knock_out(id(0), id(2));
+        let inbox: Vec<_> = mb
+            .inbox(id(2))
+            .iter()
+            .map(|(s, m)| (s.raw(), m.clone()))
+            .collect();
+        assert_eq!(inbox, vec![(1, Tm(9)), (3, Tm(3))]);
+        assert!(!mb.is_broadcast(id(0)), "knocked row is impure");
+        assert!(mb.broadcast_base(id(0)).is_some());
+        assert_eq!(mb.message_count(), 4 + 4 + 1 - 1);
+    }
+
+    #[test]
+    fn explicit_self_message_counts_broadcast_self_copy_free() {
+        let mut mb = SparseMailbox::new(3);
+        mb.set(id(0), Emission::Broadcast(Tm(1)));
+        assert_eq!(mb.message_count(), 2);
+        mb.insert(id(1), id(1), Tm(2));
+        assert_eq!(mb.message_count(), 3, "explicit self-message counts");
+    }
+
+    #[test]
+    fn per_recipient_override_dirties_then_recovers() {
+        let mut mb = SparseMailbox::new(4);
+        mb.set(
+            id(0),
+            Emission::PerRecipient(vec![(id(1), Var(16)), (id(1), Var(4))]),
+        );
+        assert_eq!(mb.message_count(), 1);
+        assert_eq!(mb.total_bits(), 4);
+        // The override may have lowered the row max: a rescan finds 4,
+        // but the cached row.max_bits stays an upper bound (16) and the
+        // global reader rescans — same as dense.
+        assert_eq!(mb.max_edge_bits(), 4);
+    }
+
+    #[test]
+    fn max_edge_bits_recovers_after_removals() {
+        let mut mb = SparseMailbox::new(4);
+        mb.insert(id(0), id(1), Var(32));
+        mb.insert(id(1), id(2), Var(8));
+        assert_eq!(mb.max_edge_bits(), 32);
+        mb.knock_out(id(0), id(1));
+        assert_eq!(mb.max_edge_bits(), 8);
+        mb.silence(id(1));
+        assert_eq!(mb.max_edge_bits(), 0);
+    }
+
+    #[test]
+    fn set_broadcast_except_skips_and_counts() {
+        let mut mb = SparseMailbox::new(5);
+        mb.set_broadcast_except(id(0), Tm(7), &[3, 1, 3]);
+        assert_eq!(mb.message_count(), 2);
+        assert_eq!(mb.total_bits(), 16);
+        assert!(mb.resolve(id(0), id(1)).is_none());
+        assert!(mb.resolve(id(0), id(3)).is_none());
+        assert_eq!(mb.resolve(id(0), id(2)), Some(&Tm(7)));
+        assert_eq!(mb.resolve(id(0), id(0)), Some(&Tm(7)), "self-copy kept");
+    }
+
+    #[test]
+    fn merge_broadcast_reports_conflicts_ascending() {
+        let mut mb = SparseMailbox::new(6);
+        mb.insert(id(0), id(4), Tm(9));
+        mb.insert(id(0), id(1), Tm(8));
+        mb.knock_out(id(0), id(2));
+        let mut conflicts = Vec::new();
+        mb.merge_broadcast_except(id(0), Tm(1), &[4], &mut conflicts);
+        // 1 conflicts (kept message), 4 is knocked in except so its kept
+        // message is not reported, 2 stays knocked.
+        assert_eq!(conflicts, vec![1]);
+        assert_eq!(mb.resolve(id(0), id(1)), Some(&Tm(8)));
+        assert!(mb.resolve(id(0), id(2)).is_none());
+        assert_eq!(mb.resolve(id(0), id(3)), Some(&Tm(1)));
+        assert_eq!(mb.resolve(id(0), id(4)), Some(&Tm(9)));
+        assert_eq!(mb.resolve(id(0), id(5)), Some(&Tm(1)));
+        // count: explicit 1 and 4 (2 msgs) + inherited {3, 5} (2) — the
+        // self-copy at 0 is free, 2 knocked.
+        assert_eq!(mb.message_count(), 4);
+    }
+
+    #[test]
+    fn take_broadcast_only_pure() {
+        let mut mb = SparseMailbox::new(4);
+        mb.set(id(0), Emission::Broadcast(Tm(7)));
+        mb.set(id(1), Emission::Broadcast(Tm(8)));
+        mb.knock_out(id(1), id(2));
+        assert_eq!(mb.take_broadcast(id(0)), Some(Tm(7)));
+        assert!(mb.is_silent(id(0)));
+        assert_eq!(mb.take_broadcast(id(1)), None, "impure row");
+        assert_eq!(mb.take_broadcast(id(2)), None, "silent row");
+    }
+
+    #[test]
+    fn insert_if_vacant_respects_occupancy() {
+        let mut mb = SparseMailbox::new(4);
+        mb.set(id(0), Emission::Broadcast(Tm(7)));
+        assert_eq!(
+            mb.insert_if_vacant(id(0), id(2), Tm(9)),
+            Some(Tm(9)),
+            "pure broadcast occupies every pair"
+        );
+        mb.knock_out(id(0), id(2));
+        assert_eq!(
+            mb.insert_if_vacant(id(0), id(2), Tm(9)),
+            None,
+            "knocked pair is vacant"
+        );
+        assert_eq!(mb.resolve(id(0), id(2)), Some(&Tm(9)));
+        assert_eq!(mb.insert_if_vacant(id(0), id(2), Tm(5)), Some(Tm(5)));
+        assert_eq!(mb.insert_if_vacant(id(1), id(3), Tm(4)), None);
+        assert_eq!(mb.resolve(id(1), id(3)), Some(&Tm(4)));
+    }
+
+    #[test]
+    fn reset_pools_allocations_and_clears_state() {
+        let mut mb = SparseMailbox::new(4);
+        mb.set(id(0), Emission::Broadcast(Tm(7)));
+        mb.insert(id(1), id(2), Tm(9));
+        mb.reset(4);
+        assert_eq!(mb.message_count(), 0);
+        assert_eq!(mb.total_bits(), 0);
+        assert_eq!(mb.max_edge_bits(), 0);
+        for s in 0..4 {
+            assert!(mb.is_silent(id(s)));
+            assert_eq!(mb.inbox(id(s)).len(), 0);
+        }
+        mb.reset(2);
+        assert_eq!(mb.n(), 2);
+        mb.set(id(1), Emission::Broadcast(Tm(3)));
+        assert_eq!(mb.message_count(), 1);
+    }
+
+    #[test]
+    fn no_quadratic_allocation_at_large_n() {
+        // The whole point: a broadcast round at large n allocates O(n)
+        // rows and index slots, never an n×n arena. At n = 65,536 a
+        // dense arena would be 4 Gi cells; this must stay small enough
+        // to build instantly.
+        let n = 65_536;
+        let mut mb = SparseMailbox::new(n);
+        mb.set(id(7), Emission::Broadcast(Tm(1)));
+        mb.insert(id(3), id(9), Tm(2));
+        mb.knock_out(id(7), id(100));
+        assert_eq!(mb.message_count(), (n - 1) + 1 - 1);
+        assert_eq!(mb.inbox(id(9)).len(), 2);
+        assert_eq!(mb.inbox(id(100)).len(), 0);
+    }
+
+    #[test]
+    fn trait_surface_matches_dense_spot_check() {
+        // Same drive as plane.rs's dense_plane_forwards_to_inherent_api.
+        fn drive<L: MessagePlane<Tm>>(plane: &mut L) -> (usize, usize, usize, bool) {
+            plane.reset(4);
+            plane.set(NodeId::new(0), Emission::Broadcast(Tm(7)));
+            plane.set(
+                NodeId::new(1),
+                Emission::PerRecipient(vec![(NodeId::new(2), Tm(9))]),
+            );
+            plane.knock_out(NodeId::new(0), NodeId::new(3));
+            (
+                plane.message_count(),
+                plane.total_bits(),
+                plane.max_edge_bits(),
+                plane.is_silent(NodeId::new(3)),
+            )
+        }
+        let mut mb = SparseMailbox::<Tm>::default();
+        assert_eq!(drive(&mut mb), (3, 24, 8, true));
+        assert_eq!(mb.inbox(NodeId::new(2)).len(), 2);
+    }
+}

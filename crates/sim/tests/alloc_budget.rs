@@ -1,0 +1,159 @@
+//! Allocation-budget pins for the large-`n` path.
+//!
+//! The 65 536-node campaigns only work if nothing in the per-round loop
+//! — planes, arrival scans, metrics — allocates quadratically in `n` or
+//! linearly per message. This test wraps the global allocator in a
+//! counter and pins two budgets:
+//!
+//! * an [`ArrivalScan`] sized for n = 65 536 with a sparse deviation set
+//!   must stay tens of megabytes under the old dense `n × words`
+//!   knocked/extra matrices (1 GiB combined at that size), and a pooled
+//!   re-reset must allocate almost nothing;
+//! * a point-to-point run on the sparse plane at n = 8 192 must
+//!   allocate O(messages) total, not O(n²) per round.
+//!
+//! Budgets are deliberately loose (≥ 4× headroom over measured values)
+//! so they only fire on a complexity-class regression, not on incidental
+//! constant-factor drift.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aba_sim::adversary::Benign;
+use aba_sim::prelude::*;
+
+struct CountingAlloc;
+
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Bytes and allocation calls spent inside `f`.
+fn measure<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let (b0, c0) = (BYTES.load(Ordering::Relaxed), CALLS.load(Ordering::Relaxed));
+    let out = f();
+    let (b1, c1) = (BYTES.load(Ordering::Relaxed), CALLS.load(Ordering::Relaxed));
+    (b1 - b0, c1 - c0, out)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Ping;
+
+impl Message for Ping {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// Sends one point-to-point message around a ring each round — the
+/// traffic shape of the sampled sub-quadratic protocols, reduced to its
+/// allocation essentials.
+#[derive(Debug)]
+struct RingSender {
+    me: u32,
+    n: u32,
+    rounds_left: u32,
+}
+
+impl Protocol for RingSender {
+    type Msg = Ping;
+
+    fn emit(&mut self, _round: Round, _rng: &mut dyn rand::RngCore) -> Emission<Ping> {
+        Emission::PerRecipient(vec![(NodeId::new((self.me + 1) % self.n), Ping)])
+    }
+
+    fn receive(&mut self, _round: Round, _inbox: Inbox<'_, Ping>, _rng: &mut dyn rand::RngCore) {
+        self.rounds_left = self.rounds_left.saturating_sub(1);
+    }
+
+    fn output(&self) -> Option<bool> {
+        (self.rounds_left == 0).then_some(true)
+    }
+
+    fn halted(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+// One test function: the counters are process-global, so the two pins
+// run sequentially on one thread to keep their deltas honest.
+#[test]
+fn allocation_budgets_hold_at_large_n() {
+    // --- ArrivalScan at n = 65 536 -----------------------------------
+    let n = 65_536;
+    let mut scan = ArrivalScan::new();
+    let (bytes, _, ()) = measure(|| {
+        scan.reset(n);
+        for r in 0..1_000 {
+            scan.mark_extra(r * 17 % n, r);
+            scan.mark_knocked(r * 31 % n, r);
+        }
+    });
+    // Fixed state is O(n) (~5 MB) plus ~2 000 pooled 2·words rows
+    // (~16 KiB each); the old dense knocked/extra matrices alone were
+    // 1 GiB. Anything quadratic blows this budget by an order of
+    // magnitude.
+    assert!(
+        bytes < 128 << 20,
+        "ArrivalScan at n=65536 allocated {bytes} bytes — quadratic scratch is back"
+    );
+
+    // A pooled same-shape reset must reuse everything.
+    let (bytes, _, ()) = measure(|| {
+        scan.reset(n);
+        for r in 0..1_000 {
+            scan.mark_extra(r * 17 % n, r);
+        }
+    });
+    assert!(
+        bytes < 1 << 20,
+        "pooled ArrivalScan reset allocated {bytes} bytes — row pool not reused"
+    );
+
+    // --- sparse-plane steady state at n = 8 192 ----------------------
+    let n = 8_192u32;
+    let rounds = 32u32;
+    let nodes: Vec<RingSender> = (0..n)
+        .map(|me| RingSender {
+            me,
+            n,
+            rounds_left: rounds,
+        })
+        .collect();
+    let cfg = SimConfig::new(n as usize, 0).with_max_rounds(u64::from(rounds) + 4);
+    let (bytes, calls, report) = measure(|| {
+        SparseSimulation::with_instruments(cfg, nodes, Benign, PassThrough, NoOracle, NoProbe).run()
+    });
+    assert!(report.all_halted, "ring run did not complete");
+    // ~260 k messages at one small Vec each plus O(n) plane state:
+    // measured well under 64 MB. An O(n)-per-message or O(n²)-per-round
+    // scratch would cost gigabytes here.
+    assert!(
+        bytes < 256 << 20,
+        "sparse steady state allocated {bytes} bytes over {rounds} rounds"
+    );
+    assert!(
+        calls < 4 * u64::from(n) * u64::from(rounds),
+        "sparse steady state made {calls} allocator calls — per-message scratch regressed"
+    );
+}

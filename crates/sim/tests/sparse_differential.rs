@@ -1,0 +1,297 @@
+//! Differential test: the adjacency-list sparse plane against the dense
+//! broadcast-aware mailbox.
+//!
+//! Both planes implement [`MessagePlane`], so one driver replays seeded
+//! interleavings of the *whole* mutation API (`set` broadcast /
+//! per-recipient / silent, `silence`, `insert`, `knock_out`,
+//! `set_broadcast_except`, `merge_broadcast_except`, `take_broadcast`,
+//! `insert_if_vacant`, `insert_if_vacant_with`) against each and
+//! compares every observable after every step, across
+//! n ∈ {1, 2, 17, 64, 257} — mirroring `packed_differential.rs`. The
+//! generator deliberately also inserts messages equal to a live
+//! broadcast base (the flight-queue redelivery case) and, unlike the
+//! packed differential, uses unpackable variable-size payloads: the
+//! sparse plane is fully general over [`Message`], so its counters must
+//! track arbitrary bit sizes.
+//!
+//! On top of the per-step observables, both planes fill an
+//! [`ArrivalScan`] after every step and the scans are compared field by
+//! field — the provenance seam's view of the plane must be identical.
+
+use aba_sim::{ArrivalScan, Emission, Message, MessagePlane, NodeId, RoundMailbox, SparseMailbox};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Tm(u16);
+
+impl Message for Tm {
+    fn bit_size(&self) -> usize {
+        4 + (self.0 % 13) as usize // varied sizes exercise the bit counters
+    }
+}
+
+/// One random mutation applied to both planes through the trait.
+fn random_op(
+    gen: &mut SmallRng,
+    dense: &mut RoundMailbox<Tm>,
+    sparse: &mut SparseMailbox<Tm>,
+    n: usize,
+) {
+    let s = NodeId::new(gen.gen_range(0..n as u32));
+    let r = NodeId::new(gen.gen_range(0..n as u32));
+    // Half the time, aim the message at the sender's live base value —
+    // the equality path a generic reference model cannot express.
+    let msg = match dense.broadcast_base(s) {
+        Some(b) if gen.gen_bool(0.5) => b.clone(),
+        _ => Tm(gen.gen()),
+    };
+    match gen.gen_range(0..10u32) {
+        0 => {
+            let e = Emission::Broadcast(Tm(gen.gen()));
+            dense.set(s, e.clone());
+            MessagePlane::set(sparse, s, e);
+        }
+        1 => {
+            let k = gen.gen_range(0..2 * n);
+            let v: Vec<(NodeId, Tm)> = (0..k)
+                .map(|_| (NodeId::new(gen.gen_range(0..n as u32)), Tm(gen.gen())))
+                .collect();
+            let e = Emission::PerRecipient(v);
+            dense.set(s, e.clone());
+            MessagePlane::set(sparse, s, e);
+        }
+        2 => {
+            dense.silence(s);
+            MessagePlane::silence(sparse, s);
+        }
+        3 => {
+            dense.insert(s, r, msg.clone());
+            MessagePlane::insert(sparse, s, r, msg);
+        }
+        4 => {
+            dense.knock_out(s, r);
+            MessagePlane::knock_out(sparse, s, r);
+        }
+        5 => {
+            let mut except: Vec<u32> = (0..n as u32).filter(|_| gen.gen_bool(0.3)).collect();
+            except.sort_unstable();
+            // set_broadcast_except tolerates unsorted input and
+            // duplicates; shuffle and duplicate occasionally to prove
+            // the sparse plane does too.
+            if gen.gen_bool(0.3) && !except.is_empty() {
+                let dup = except[gen.gen_range(0..except.len())];
+                except.push(dup);
+                let a = gen.gen_range(0..except.len());
+                let b = gen.gen_range(0..except.len());
+                except.swap(a, b);
+            }
+            dense.set_broadcast_except(s, msg.clone(), &except);
+            MessagePlane::set_broadcast_except(sparse, s, msg, &except);
+        }
+        6 => {
+            // Precondition (shared by both planes): merging over an
+            // existing base is a programming error. Steer to a plain
+            // insert when the row already has one.
+            if dense.broadcast_base(s).is_some() {
+                dense.insert(s, r, msg.clone());
+                MessagePlane::insert(sparse, s, r, msg);
+            } else {
+                let mut except: Vec<u32> = (0..n as u32).filter(|_| gen.gen_bool(0.3)).collect();
+                except.sort_unstable();
+                let (mut ca, mut cb) = (Vec::new(), Vec::new());
+                dense.merge_broadcast_except(s, msg.clone(), &except, &mut ca);
+                MessagePlane::merge_broadcast_except(sparse, s, msg, &except, &mut cb);
+                assert_eq!(ca, cb, "merge_broadcast_except conflicts for {s}");
+            }
+        }
+        7 => {
+            let a = dense.take_broadcast(s);
+            let b = MessagePlane::take_broadcast(sparse, s);
+            assert_eq!(a, b, "take_broadcast disagrees for sender {s}");
+        }
+        8 => {
+            let a = dense.insert_if_vacant(s, r, msg.clone());
+            let b = MessagePlane::insert_if_vacant(sparse, s, r, msg);
+            assert_eq!(a, b, "insert_if_vacant disagrees for ({s}, {r})");
+        }
+        _ => {
+            let a = dense.insert_if_vacant_with(s, r, || msg.clone());
+            let b = MessagePlane::insert_if_vacant_with(sparse, s, r, || msg.clone());
+            assert_eq!(a, b, "insert_if_vacant_with disagrees for ({s}, {r})");
+        }
+    }
+}
+
+/// Fills a fresh scan from `plane` (both the wire-side tally and the
+/// arrival-side bitsets, as the engine does) and returns it.
+fn scan_of<L: MessagePlane<Tm>>(plane: &L, n: usize) -> ArrivalScan {
+    let mut scan = ArrivalScan::new();
+    scan.reset(n);
+    plane.tally_offered(&mut scan);
+    plane.scan_arrivals(&mut scan);
+    scan
+}
+
+fn assert_scans_equal(a: &ArrivalScan, b: &ArrivalScan, n: usize, ctx: &str) {
+    assert_eq!(a.base_senders(), b.base_senders(), "{ctx}: base_senders");
+    assert_eq!(a.sent_msgs(), b.sent_msgs(), "{ctx}: sent_msgs");
+    assert_eq!(a.sent_bits(), b.sent_bits(), "{ctx}: sent_bits");
+    assert_eq!(a.recv_msgs(), b.recv_msgs(), "{ctx}: recv_msgs");
+    assert_eq!(a.recv_bits(), b.recv_bits(), "{ctx}: recv_bits");
+    for s in 0..n {
+        assert_eq!(a.base_bits(s), b.base_bits(s), "{ctx}: base_bits({s})");
+    }
+    for r in 0..n {
+        assert_eq!(a.knocked_row(r), b.knocked_row(r), "{ctx}: knocked({r})");
+        assert_eq!(a.extra_row(r), b.extra_row(r), "{ctx}: extra({r})");
+        for s in 0..n {
+            assert_eq!(
+                a.has_message(s, r),
+                b.has_message(s, r),
+                "{ctx}: scan has_message({s}, {r})"
+            );
+        }
+    }
+}
+
+fn assert_equivalent(dense: &RoundMailbox<Tm>, sparse: &SparseMailbox<Tm>, n: usize, ctx: &str) {
+    assert_eq!(MessagePlane::n(dense), sparse.n(), "{ctx}: n");
+    for s in 0..n as u32 {
+        let s = NodeId::new(s);
+        assert_eq!(
+            dense.broadcast_base(s),
+            MessagePlane::broadcast_base(sparse, s),
+            "{ctx}: broadcast_base({s})"
+        );
+        assert_eq!(
+            dense.broadcast_of(s),
+            MessagePlane::broadcast_of(sparse, s),
+            "{ctx}: broadcast_of({s})"
+        );
+        assert_eq!(
+            dense.is_broadcast(s),
+            MessagePlane::is_broadcast(sparse, s),
+            "{ctx}: is_broadcast({s})"
+        );
+        assert_eq!(
+            dense.is_silent(s),
+            MessagePlane::is_silent(sparse, s),
+            "{ctx}: is_silent({s})"
+        );
+        for r in 0..n as u32 {
+            let r = NodeId::new(r);
+            assert_eq!(
+                MessagePlane::has_message(dense, s, r),
+                sparse.resolve(s, r).is_some(),
+                "{ctx}: has_message({s}, {r})"
+            );
+            assert_eq!(
+                MessagePlane::resolve_value(dense, s, r),
+                MessagePlane::resolve_value(sparse, s, r),
+                "{ctx}: resolve_value({s}, {r})"
+            );
+        }
+    }
+    for r in 0..n as u32 {
+        let r = NodeId::new(r);
+        let via_dense: Vec<(u32, Tm)> = dense
+            .inbox(r)
+            .iter()
+            .map(|(from, m)| (from.raw(), m.clone()))
+            .collect();
+        let via_sparse: Vec<(u32, Tm)> = MessagePlane::inbox(sparse, r)
+            .iter()
+            .map(|(from, m)| (from.raw(), m.clone()))
+            .collect();
+        assert_eq!(via_dense, via_sparse, "{ctx}: inbox({r})");
+        let sparse_inbox = MessagePlane::inbox(sparse, r);
+        assert_eq!(
+            via_dense.len(),
+            sparse_inbox.len(),
+            "{ctx}: inbox({r}).len()"
+        );
+        assert_eq!(
+            via_dense.is_empty(),
+            sparse_inbox.is_empty(),
+            "{ctx}: inbox({r}).is_empty()"
+        );
+        if let Some(&(from, _)) = via_dense.first() {
+            assert_eq!(
+                sparse_inbox.from(NodeId::new(from)),
+                dense.resolve(NodeId::new(from), r),
+                "{ctx}: inbox({r}).from({from})"
+            );
+        }
+        assert_eq!(
+            sparse_inbox.packed_match_count(0, 0, None),
+            None,
+            "{ctx}: sparse inbox must decline the packed tally"
+        );
+    }
+    assert_eq!(
+        dense.message_count(),
+        MessagePlane::message_count(sparse),
+        "{ctx}: message_count"
+    );
+    assert_eq!(
+        dense.total_bits(),
+        MessagePlane::total_bits(sparse),
+        "{ctx}: total_bits"
+    );
+    assert_eq!(
+        dense.max_edge_bits(),
+        MessagePlane::max_edge_bits(sparse),
+        "{ctx}: max_edge_bits"
+    );
+    assert_scans_equal(
+        &scan_of(dense, n),
+        &scan_of(sparse, n),
+        n,
+        &format!("{ctx}: arrival scan"),
+    );
+}
+
+#[test]
+fn sparse_plane_matches_dense_mailbox() {
+    for n in [1usize, 2, 17, 64, 257] {
+        let mut gen = SmallRng::seed_from_u64(0x5AB5 ^ n as u64);
+        let cases = if n >= 257 { 3 } else { 8 };
+        for case in 0..cases {
+            let mut dense: RoundMailbox<Tm> = RoundMailbox::new(n);
+            let mut sparse: SparseMailbox<Tm> = SparseMailbox::new(n);
+            let steps = gen.gen_range(4..40usize);
+            for step in 0..steps {
+                random_op(&mut gen, &mut dense, &mut sparse, n);
+                assert_equivalent(
+                    &dense,
+                    &sparse,
+                    n,
+                    &format!("n={n} case={case} step={step}"),
+                );
+            }
+            // Pooled reuse must behave like a fresh plane on both sides.
+            dense.reset(n);
+            MessagePlane::reset(&mut sparse, n);
+            assert_equivalent(&dense, &sparse, n, &format!("n={n} case={case} post-reset"));
+        }
+    }
+}
+
+#[test]
+fn sparse_plane_survives_resize_reuse() {
+    // Shrinking and growing a pooled sparse plane must leave no stale
+    // index entries behind (the dense plane drops its arena on resize;
+    // the sparse plane must deregister per-row state instead).
+    let mut gen = SmallRng::seed_from_u64(0xD1FF);
+    let mut dense: RoundMailbox<Tm> = RoundMailbox::new(17);
+    let mut sparse: SparseMailbox<Tm> = SparseMailbox::new(17);
+    for (i, n) in [17usize, 5, 64, 2, 33].into_iter().enumerate() {
+        dense.reset(n);
+        MessagePlane::reset(&mut sparse, n);
+        for step in 0..20 {
+            random_op(&mut gen, &mut dense, &mut sparse, n);
+            assert_equivalent(&dense, &sparse, n, &format!("resize {i} n={n} step={step}"));
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! of the surviving cells**.
 
 use crate::stop::StopRule;
-use aba_harness::{AttackSpec, InputSpec, NetworkSpec, ProtocolSpec, Scenario};
+use aba_harness::{AttackSpec, InputSpec, NetworkSpec, PlaneSpec, ProtocolSpec, Scenario};
 use aba_sim::InfoModel;
 
 /// Round-cap policy applied uniformly across the grid.
@@ -48,6 +48,7 @@ pub fn protocol_key(p: &ProtocolSpec) -> String {
         ProtocolSpec::PhaseKing => "phase-king".to_string(),
         ProtocolSpec::CommonCoin => "common-coin".to_string(),
         ProtocolSpec::SamplingMajority { iters } => format!("sampling-majority(i{iters})"),
+        ProtocolSpec::KingSaia { iters } => format!("king-saia(i{iters})"),
     }
 }
 
@@ -153,6 +154,12 @@ pub struct CampaignSpec {
     /// (not a run option) because it changes the artifact contents and
     /// therefore checkpoint compatibility.
     pub oracles: bool,
+    /// Message plane every cell runs on. Deliberately **not** part of
+    /// the cell key or the fingerprint: plane choice is an execution
+    /// strategy (results are pinned identical across planes by the
+    /// differential suites), so switching planes must never move cell
+    /// seeds or invalidate a checkpoint.
+    pub plane: PlaneSpec,
 }
 
 impl CampaignSpec {
@@ -175,6 +182,7 @@ impl CampaignSpec {
             seed: 0,
             stop: StopRule::default(),
             oracles: false,
+            plane: PlaneSpec::Dense,
         }
     }
 
@@ -248,6 +256,14 @@ impl CampaignSpec {
         self
     }
 
+    /// Sets the message plane every cell runs on (execution strategy
+    /// only; cell keys and seeds are unaffected).
+    #[must_use]
+    pub fn plane(mut self, plane: PlaneSpec) -> Self {
+        self.plane = plane;
+        self
+    }
+
     /// Expands the axes into the cell grid, in canonical row order
     /// (sizes, then protocols, attacks, networks, inputs, infos —
     /// rightmost axis fastest).
@@ -293,6 +309,7 @@ impl CampaignSpec {
                                     .with_inputs(*inputs)
                                     .with_info(info)
                                     .with_max_rounds(cap)
+                                    .with_plane(self.plane)
                                     .with_seed(derive_cell_seed(self.seed, &key));
                                 cells.push(CellSpec {
                                     index: cells.len(),
@@ -428,6 +445,25 @@ mod tests {
         for (x, y) in a.cells().iter().zip(c.cells()) {
             assert_ne!(x.scenario.seed, y.scenario.seed, "{}", x.key);
         }
+    }
+
+    #[test]
+    fn plane_knob_never_moves_keys_or_seeds() {
+        let dense = CampaignSpec::new("p")
+            .sizes(&[(16, 5)])
+            .protocols(&[ProtocolSpec::SamplingMajority { iters: 8 }])
+            .seed(3);
+        let sparse = dense.clone().plane(PlaneSpec::Sparse);
+        assert_eq!(dense.fingerprint(), sparse.fingerprint());
+        for (d, s) in dense.cells().iter().zip(sparse.cells()) {
+            assert_eq!(d.key, s.key);
+            assert_eq!(d.scenario.seed, s.scenario.seed);
+            assert_eq!(s.scenario.plane, PlaneSpec::Sparse);
+        }
+        assert_eq!(
+            protocol_key(&ProtocolSpec::KingSaia { iters: 16 }),
+            "king-saia(i16)"
+        );
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! non-committee protocol asked for the packed plane silently stays
 //! dense, so the switch is safe to set campaign-wide.
 
-use adaptive_ba::harness::check_scenario;
+use adaptive_ba::harness::{check_scenario, replay_scenario};
 use adaptive_ba::{
-    observe_replay, observe_scenario, AttackSpec, DelayScheduler, InputSpec, NetworkSpec,
-    PlaneSpec, ProtocolSpec, ScenarioBuilder,
+    observe_replay, observe_scenario, AttackSpec, CampaignSpec, DelayScheduler, InputSpec,
+    NetworkSpec, PlaneSpec, ProtocolSpec, RoundCap, RunOptions, ScenarioBuilder, StopRule,
 };
 
 /// The six pinned scenarios (lockstep with `tests/trace_replay.rs` and
@@ -187,6 +187,119 @@ fn packed_request_on_non_committee_protocols_stays_dense() {
         let packed = builder.clone().plane(PlaneSpec::Packed).run();
         assert_eq!(dense, packed, "{label}: packed fallback changed the run");
     }
+}
+
+/// The sampled-family scenarios the sparse plane routes (sampling
+/// majority and King–Saia; everything else falls back dense).
+fn sampled_pinned() -> Vec<(&'static str, ScenarioBuilder)> {
+    vec![
+        (
+            "sampling-majority × poison × sync",
+            ScenarioBuilder::new(32, 2)
+                .protocol(ProtocolSpec::SamplingMajority { iters: 8 })
+                .adversary(AttackSpec::SamplingPoison)
+                .inputs(InputSpec::Random)
+                .max_rounds(2_000)
+                .seed(29),
+        ),
+        (
+            "king-saia × crash × sync",
+            ScenarioBuilder::new(25, 6)
+                .protocol(ProtocolSpec::KingSaia { iters: 0 })
+                .adversary(AttackSpec::Crash { per_round: 1 })
+                .inputs(InputSpec::Random)
+                .max_rounds(2_000)
+                .seed(31),
+        ),
+        (
+            "king-saia × full-attack-capped × lossy",
+            ScenarioBuilder::new(16, 5)
+                .protocol(ProtocolSpec::KingSaia { iters: 12 })
+                .adversary(AttackSpec::FullAttackCapped { q: 2 })
+                .network(NetworkSpec::LossyLinks { p_drop: 0.1 })
+                .max_rounds(2_000)
+                .seed(37),
+        ),
+    ]
+}
+
+#[test]
+fn sparse_plane_reproduces_dense_trial_results() {
+    for (label, builder) in sampled_pinned() {
+        let dense = builder.clone().plane(PlaneSpec::Dense).run();
+        let sparse = builder.clone().plane(PlaneSpec::Sparse).run();
+        assert_eq!(dense, sparse, "{label}: sparse plane diverged from dense");
+    }
+}
+
+#[test]
+fn sparse_plane_is_thread_invariant() {
+    for (label, builder) in sampled_pinned() {
+        let serial = builder.clone().plane(PlaneSpec::Sparse).threads(1).run();
+        let sharded = builder.clone().plane(PlaneSpec::Sparse).threads(4).run();
+        assert_eq!(
+            serial, sharded,
+            "{label}: sparse result depends on thread count"
+        );
+    }
+}
+
+#[test]
+fn sparse_live_matches_recorded_replay() {
+    // Trace recording rides the dense drives; the sparse plane must
+    // produce exactly the trial the recorded replay re-derives.
+    for (label, builder) in sampled_pinned() {
+        let sparse_live = builder.clone().plane(PlaneSpec::Sparse).run();
+        let b = builder.clone();
+        let replay = replay_scenario(b.scenario());
+        assert!(replay.is_faithful(), "{label}: replay not faithful");
+        assert_eq!(
+            sparse_live, replay.replayed,
+            "{label}: sparse live run diverged from the recorded replay"
+        );
+    }
+}
+
+#[test]
+fn sparse_request_on_non_sampled_protocols_stays_dense() {
+    for (label, builder) in pinned() {
+        if label.starts_with("sampling") {
+            continue; // routed for real, covered above
+        }
+        let dense = builder.clone().run();
+        let sparse = builder.clone().plane(PlaneSpec::Sparse).run();
+        assert_eq!(dense, sparse, "{label}: sparse fallback changed the run");
+    }
+}
+
+#[test]
+fn sparse_campaign_artifacts_are_worker_invariant() {
+    let spec = CampaignSpec::new("sparse-worker-invariance")
+        .sizes(&[(32, 2), (64, 4)])
+        .protocols(&[
+            ProtocolSpec::SamplingMajority { iters: 8 },
+            ProtocolSpec::KingSaia { iters: 8 },
+        ])
+        .attacks(&[
+            AttackSpec::Crash { per_round: 1 },
+            AttackSpec::SamplingPoison,
+        ])
+        .round_cap(RoundCap::Fixed(300))
+        .stop(StopRule::fixed(2))
+        .oracles(true)
+        .plane(PlaneSpec::Sparse)
+        .seed(17);
+    let serial = spec.run_with(&RunOptions {
+        workers: 1,
+        ..RunOptions::default()
+    });
+    let parallel = spec.run_with(&RunOptions {
+        workers: 4,
+        ..RunOptions::default()
+    });
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
 }
 
 #[test]
